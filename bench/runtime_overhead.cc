@@ -1,0 +1,160 @@
+// B-RUN — runtime-mechanism overhead ablation (§3.1): what do the watchdog,
+// cleanup registry and protection domain cost per invocation, and how does
+// a safex extension compare against the interpreted and JITed eBPF
+// equivalent of the same workload (a packet counter)? Host wall-time is
+// what google-benchmark reports; the simulated-time accounting is identical
+// across variants by construction.
+#include <benchmark/benchmark.h>
+
+#include "bench/benchutil.h"
+#include "src/analysis/workloads.h"
+
+namespace {
+
+struct PacketRig : benchutil::Rig {
+  PacketRig() {
+    map_fd = benchutil::MustCreateArrayMap(*this, "counters", 8, 4);
+    xbase::u8 payload[64] = {};
+    payload[12] = 2;  // "protocol" byte the filter reads
+    auto skb_result = kernel.net().CreateSkBuff(kernel.mem(), payload);
+    skb = skb_result.ok() ? skb_result.value() : simkern::SkBuff{};
+  }
+
+  int map_fd = -1;
+  simkern::SkBuff skb;
+};
+
+class PacketCounterExt : public safex::Extension {
+ public:
+  explicit PacketCounterExt(int map_fd) : map_fd_(map_fd) {}
+  xbase::Result<xbase::u64> Run(safex::Ctx& ctx) override {
+    auto packet = ctx.Packet();
+    XB_RETURN_IF_ERROR(packet.status());
+    if (packet.value().size() < 14) {
+      return xbase::u64{2};
+    }
+    auto proto = packet.value().ReadU8(12);
+    XB_RETURN_IF_ERROR(proto.status());
+    auto map = ctx.Map(map_fd_);
+    XB_RETURN_IF_ERROR(map.status());
+    auto slot = map.value().LookupIndex(proto.value() & 3);
+    XB_RETURN_IF_ERROR(slot.status());
+    auto count = slot.value().ReadU64(0);
+    XB_RETURN_IF_ERROR(count.status());
+    XB_RETURN_IF_ERROR(slot.value().WriteU64(0, count.value() + 1));
+    return xbase::u64{2};  // XDP_PASS
+  }
+
+ private:
+  int map_fd_;
+};
+
+void BM_EbpfInterpreterPacketCounter(benchmark::State& state) {
+  PacketRig rig;
+  auto prog = analysis::BuildPacketCounter(rig.map_fd);
+  auto id = rig.loader.Load(prog.value());
+  if (!id.ok()) {
+    state.SkipWithError(id.status().ToString().c_str());
+    return;
+  }
+  auto loaded = rig.loader.Find(id.value());
+  for (auto _ : state) {
+    auto result = ebpf::Execute(rig.bpf, *loaded.value(),
+                                rig.skb.meta_addr, {}, &rig.loader);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EbpfInterpreterPacketCounter);
+
+void BM_SafexPacketCounter(benchmark::State& state) {
+  PacketRig rig;
+  PacketCounterExt ext(rig.map_fd);
+  safex::InvokeOptions opts;
+  opts.skb_meta = rig.skb.meta_addr;
+  const safex::CapSet caps = {safex::Capability::kPacketAccess,
+                              safex::Capability::kMapAccess};
+  for (auto _ : state) {
+    auto outcome = rig.safex_runtime->Invoke(ext, caps, opts);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_SafexPacketCounter);
+
+// Ablations: empty invocation with mechanisms individually exercised.
+void BM_SafexInvokeEmpty(benchmark::State& state) {
+  benchutil::Rig rig;
+  struct Nop : safex::Extension {
+    xbase::Result<xbase::u64> Run(safex::Ctx&) override {
+      return xbase::u64{0};
+    }
+  } ext;
+  for (auto _ : state) {
+    auto outcome = rig.safex_runtime->Invoke(ext, {}, {});
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_SafexInvokeEmpty);
+
+void BM_SafexCleanupHeavy(benchmark::State& state) {
+  benchutil::Rig rig;
+  struct AllocHeavy : safex::Extension {
+    xbase::s64 n;
+    explicit AllocHeavy(xbase::s64 count) : n(count) {}
+    xbase::Result<xbase::u64> Run(safex::Ctx& ctx) override {
+      for (xbase::s64 i = 0; i < n; ++i) {
+        auto chunk = ctx.Alloc(32);
+        XB_RETURN_IF_ERROR(chunk.status());
+      }
+      return xbase::u64{0};  // all freed by the cleanup registry
+    }
+  } ext(state.range(0));
+  const safex::CapSet caps = {safex::Capability::kDynAlloc};
+  for (auto _ : state) {
+    auto outcome = rig.safex_runtime->Invoke(ext, caps, {});
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["cleanups_per_invoke"] =
+      static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SafexCleanupHeavy)->Arg(1)->Arg(16)->Arg(63);
+
+void BM_SafexWatchdogFire(benchmark::State& state) {
+  benchutil::Rig rig;
+  struct Spin : safex::Extension {
+    xbase::Result<xbase::u64> Run(safex::Ctx& ctx) override {
+      for (;;) {
+        XB_RETURN_IF_ERROR(ctx.Tick());
+      }
+    }
+  } ext;
+  safex::InvokeOptions opts;
+  opts.watchdog_budget_ns = 10'000;  // fires after ~10k ticks
+  for (auto _ : state) {
+    auto outcome = rig.safex_runtime->Invoke(ext, {}, opts);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_SafexWatchdogFire);
+
+// Reference acquire/release through RAII vs the cleanup registry.
+void BM_SafexSockRefScope(benchmark::State& state) {
+  benchutil::Rig rig;
+  struct Lookup : safex::Extension {
+    xbase::Result<xbase::u64> Run(safex::Ctx& ctx) override {
+      auto sock = ctx.LookupTcp(
+          simkern::SockTuple{0x0a000001, 0x0a000002, 8080, 40000});
+      XB_RETURN_IF_ERROR(sock.status());
+      return static_cast<xbase::u64>(sock.value().src_port());
+    }
+  } ext;
+  const safex::CapSet caps = {safex::Capability::kSockLookup};
+  for (auto _ : state) {
+    auto outcome = rig.safex_runtime->Invoke(ext, caps, {});
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_SafexSockRefScope);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+// B-VER — quantifies §2.1 "Verification is expensive": verification cost
+// scales with program size and path count (the verifier simulates every
+// execution path), and the limits that keep it tractable are exactly the
+// expressiveness restrictions the paper complains about. The comparator is
+// the safex load path: one signature check + import fixup, independent of
+// program size or shape.
+#include <benchmark/benchmark.h>
+
+#include "bench/benchutil.h"
+#include "src/analysis/workloads.h"
+#include "src/ebpf/verifier.h"
+
+namespace {
+
+ebpf::VerifyOptions DefaultVerifyOptions(benchutil::Rig& rig) {
+  ebpf::VerifyOptions opts;
+  opts.version = rig.kernel.version();
+  opts.privileged = true;
+  opts.faults = &rig.bpf.faults();
+  return opts;
+}
+
+void BM_VerifyStraightLine(benchmark::State& state) {
+  benchutil::Rig rig;
+  auto prog = analysis::BuildStraightLine(
+      static_cast<xbase::u32>(state.range(0)));
+  const auto opts = DefaultVerifyOptions(rig);
+  xbase::u64 insns = 0;
+  for (auto _ : state) {
+    auto result =
+        ebpf::Verify(prog.value(), rig.bpf.maps(), rig.bpf.helpers(), opts);
+    insns = result.ok() ? result.value().stats.insns_processed : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["insns_processed"] = static_cast<double>(insns);
+}
+BENCHMARK(BM_VerifyStraightLine)->Arg(64)->Arg(512)->Arg(4096)->Arg(32768);
+
+void BM_VerifyBranchDiamonds(benchmark::State& state) {
+  benchutil::Rig rig;
+  auto prog = analysis::BuildBranchDiamonds(
+      static_cast<xbase::u32>(state.range(0)));
+  const auto opts = DefaultVerifyOptions(rig);
+  xbase::u64 states_explored = 0;
+  xbase::u64 insns = 0;
+  bool accepted = true;
+  for (auto _ : state) {
+    auto result =
+        ebpf::Verify(prog.value(), rig.bpf.maps(), rig.bpf.helpers(), opts);
+    accepted = result.ok();
+    if (result.ok()) {
+      states_explored = result.value().stats.states_explored;
+      insns = result.value().stats.insns_processed;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths_explored"] = static_cast<double>(states_explored);
+  state.counters["insns_processed"] = static_cast<double>(insns);
+  state.counters["accepted"] = accepted ? 1 : 0;
+}
+// 2^20 paths exceeds the 1M insn budget: the verifier gives up — a correct
+// program rejected purely for its shape (the paper's scalability wall).
+BENCHMARK(BM_VerifyBranchDiamonds)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_VerifyCountedLoop(benchmark::State& state) {
+  benchutil::Rig rig;
+  auto prog = analysis::BuildCountedLoop(
+      static_cast<xbase::u32>(state.range(0)));
+  const auto opts = DefaultVerifyOptions(rig);
+  xbase::u64 insns = 0;
+  bool accepted = true;
+  for (auto _ : state) {
+    auto result =
+        ebpf::Verify(prog.value(), rig.bpf.maps(), rig.bpf.helpers(), opts);
+    accepted = result.ok();
+    if (result.ok()) {
+      insns = result.value().stats.insns_processed;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["insns_processed"] = static_cast<double>(insns);
+  state.counters["accepted"] = accepted ? 1 : 0;
+}
+// The verifier walks every loop iteration: cost is linear in the trip
+// count even though the program is 8 instructions long. 300000 iterations
+// blow the budget.
+BENCHMARK(BM_VerifyCountedLoop)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(300000);
+
+// The safex comparator: signature validation + load-time fixup. Constant,
+// regardless of what the extension does.
+void BM_SafexSignedLoad(benchmark::State& state) {
+  benchutil::Rig rig;
+  safex::Toolchain toolchain(*rig.signing_key);
+  safex::ExtensionManifest manifest;
+  manifest.name = "bench-ext";
+  manifest.version = "1.0";
+  manifest.caps = {safex::Capability::kMapAccess,
+                   safex::Capability::kTracing};
+  manifest.imports = {"kcrate.map_lookup", "kcrate.map_update",
+                      "kcrate.trace"};
+  // Code identity scaled with the "program size" arg: hashing is the only
+  // size-dependent cost in the whole load path.
+  std::vector<xbase::u8> code(static_cast<size_t>(state.range(0)) * 8, 0xab);
+  auto artifact = toolchain.Build(
+      manifest,
+      []() {
+        struct Nop : safex::Extension {
+          xbase::Result<xbase::u64> Run(safex::Ctx&) override {
+            return xbase::u64{0};
+          }
+        };
+        return std::make_unique<Nop>();
+      },
+      code);
+  for (auto _ : state) {
+    auto id = rig.ext_loader->Load(artifact.value());
+    benchmark::DoNotOptimize(id);
+  }
+}
+BENCHMARK(BM_SafexSignedLoad)->Arg(64)->Arg(4096)->Arg(32768);
+
+// Toolchain-side cost (runs in userspace, off the kernel's critical path).
+void BM_SafexToolchainBuild(benchmark::State& state) {
+  benchutil::Rig rig;
+  safex::Toolchain toolchain(*rig.signing_key);
+  safex::ExtensionManifest manifest;
+  manifest.name = "bench-ext";
+  manifest.version = "1.0";
+  std::vector<xbase::u8> code(static_cast<size_t>(state.range(0)) * 8, 0xab);
+  for (auto _ : state) {
+    auto artifact = toolchain.Build(
+        manifest,
+        []() {
+          struct Nop : safex::Extension {
+            xbase::Result<xbase::u64> Run(safex::Ctx&) override {
+              return xbase::u64{0};
+            }
+          };
+          return std::make_unique<Nop>();
+        },
+        code);
+    benchmark::DoNotOptimize(artifact);
+  }
+}
+BENCHMARK(BM_SafexToolchainBuild)->Arg(64)->Arg(32768);
+
+}  // namespace
+
+BENCHMARK_MAIN();

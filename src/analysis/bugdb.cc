@@ -1,0 +1,135 @@
+#include "src/analysis/bugdb.h"
+
+#include "src/ebpf/fault.h"
+
+namespace analysis {
+
+const std::vector<BugEntry>& BugDatabase() {
+  // Counts per category/component follow Table 1 of the paper: 40 bugs in
+  // 2021-2022, 18 in helpers, 22 in the verifier. Entries whose reference
+  // begins with "study:" are from the paper's commit-log study without a
+  // public identifier quoted in the text.
+  static const std::vector<BugEntry> kBugs = {
+      // Arbitrary read/write: 3 total (1 helper, 2 verifier).
+      {"Arbitrary read/write", "Verifier", 2022, "CVE-2022-23222",
+       std::string(ebpf::kFaultVerifierScalarBounds)},
+      {"Arbitrary read/write", "Verifier", 2021, "CVE-2021-31440", ""},
+      {"Arbitrary read/write", "Helper", 2021, "CVE-2021-29154 (JIT path)",
+       std::string(ebpf::kFaultJitBranchOffByOne)},
+      // Deadlock/Hang: 2 total (1 helper, 1 verifier).
+      {"Deadlock/Hang", "Verifier", 2021, "study: spin_lock tracking gap",
+       std::string(ebpf::kFaultVerifierSpinLock)},
+      {"Deadlock/Hang", "Helper", 2022, "study: bpf_loop RCU stall (§2.2)",
+       ""},
+      // Integer overflow/underflow: 2 total (2 helper).
+      {"Integer overflow/underflow", "Helper", 2022,
+       "commit 87ac0d600943 (array map 32-bit offset)",
+       std::string(ebpf::kFaultHelperArrayOverflow)},
+      {"Integer overflow/underflow", "Helper", 2021,
+       "study: ringbuf size wrap", ""},
+      // Kernel pointer leak: 5 total (5 verifier).
+      {"Kernel pointer leak", "Verifier", 2021,
+       "commit a82fe085f344 (atomic cmpxchg r0)",
+       std::string(ebpf::kFaultVerifierPtrLeak)},
+      {"Kernel pointer leak", "Verifier", 2021,
+       "commit 7d3baf0afa3a (atomic fetch)", ""},
+      {"Kernel pointer leak", "Verifier", 2021, "CVE-2021-45402", ""},
+      {"Kernel pointer leak", "Verifier", 2022,
+       "commit 3844d153a41a (bounds propagation)", ""},
+      {"Kernel pointer leak", "Verifier", 2022,
+       "commit f1db20814af5 (release_reference type)", ""},
+      // Memory leak: 2 total (2 verifier).
+      {"Memory leak", "Verifier", 2021, "study: state bookkeeping leak",
+       std::string(ebpf::kFaultVerifierStateLeak)},
+      {"Memory leak", "Verifier", 2022, "study: local storage charge leak",
+       ""},
+      // Null-pointer dereference: 7 total (6 helper, 1 verifier).
+      {"Null-pointer dereference", "Helper", 2021,
+       "commit 1a9c72ad4c26 (task_storage null owner)",
+       std::string(ebpf::kFaultHelperTaskStorageNull)},
+      {"Null-pointer dereference", "Helper", 2022,
+       "CVE-2022-2785 (bpf_sys_bpf union pointer, §2.2)", ""},
+      {"Null-pointer dereference", "Helper", 2021,
+       "study: sk storage owner check", ""},
+      {"Null-pointer dereference", "Helper", 2022,
+       "study: perf_event_output ctx check", ""},
+      {"Null-pointer dereference", "Helper", 2022,
+       "study: tunnel key device check", ""},
+      {"Null-pointer dereference", "Helper", 2021,
+       "study: fib_lookup params check", ""},
+      {"Null-pointer dereference", "Verifier", 2022,
+       "study: insn aux state deref", ""},
+      // Out-of-bound access: 7 total (1 helper, 6 verifier).
+      {"Out-of-bound access", "Verifier", 2022,
+       "commit 3844d153a41a (jmp32 bounds)",
+       std::string(ebpf::kFaultVerifierJmp32Bounds)},
+      {"Out-of-bound access", "Verifier", 2021, "study: var_off stack read",
+       ""},
+      {"Out-of-bound access", "Verifier", 2021,
+       "study: ringbuf_reserve size check", ""},
+      {"Out-of-bound access", "Verifier", 2022, "study: dynptr bounds", ""},
+      {"Out-of-bound access", "Verifier", 2022,
+       "study: map_value with off spill", ""},
+      {"Out-of-bound access", "Verifier", 2021, "study: alu32 truncation",
+       ""},
+      {"Out-of-bound access", "Helper", 2022, "study: snprintf fmt walk",
+       ""},
+      // Reference count leak: 1 total (1 helper).
+      {"Reference count leak", "Helper", 2021,
+       "commit 06ab134ce8ec (bpf_get_task_stack)",
+       std::string(ebpf::kFaultHelperTaskStackLeak)},
+      // Use-after-free: 2 total (1 helper, 1 verifier).
+      {"Use-after-free", "Verifier", 2022,
+       "commit fb4e3b33e3e7 (inline_bpf_loop)",
+       std::string(ebpf::kFaultVerifierLoopInlineUaf)},
+      {"Use-after-free", "Helper", 2022, "study: timer callback teardown",
+       ""},
+      // Misc: 9 total (5 helper, 4 verifier).
+      {"Misc", "Helper", 2022,
+       "commit 3046a827316c (sk lookup request_sock leak)",
+       std::string(ebpf::kFaultHelperSkLookupLeak)},
+      {"Misc", "Helper", 2021, "study: probe_read_user fault window", ""},
+      {"Misc", "Helper", 2021, "study: get_stackid flag confusion", ""},
+      {"Misc", "Helper", 2022, "study: skb_adjust_room mac header", ""},
+      {"Misc", "Helper", 2022, "study: redirect map flush race", ""},
+      {"Misc", "Verifier", 2021, "study: subprog stack depth accounting",
+       ""},
+      {"Misc", "Verifier", 2021, "study: precision mark backtracking", ""},
+      {"Misc", "Verifier", 2022, "study: atomic op alignment", ""},
+      {"Misc", "Verifier", 2022, "study: btf id resolution", ""},
+  };
+  return kBugs;
+}
+
+std::map<std::string, CategoryCount> BugCensus() {
+  std::map<std::string, CategoryCount> census;
+  for (const BugEntry& bug : BugDatabase()) {
+    CategoryCount& row = census[bug.category];
+    ++row.total;
+    if (bug.component == "Helper") {
+      ++row.helper;
+    } else {
+      ++row.verifier;
+    }
+    CategoryCount& total = census["Total"];
+    ++total.total;
+    if (bug.component == "Helper") {
+      ++total.helper;
+    } else {
+      ++total.verifier;
+    }
+  }
+  return census;
+}
+
+std::vector<BugEntry> ModeledBugs() {
+  std::vector<BugEntry> modeled;
+  for (const BugEntry& bug : BugDatabase()) {
+    if (!bug.fault_id.empty()) {
+      modeled.push_back(bug);
+    }
+  }
+  return modeled;
+}
+
+}  // namespace analysis

@@ -1,0 +1,39 @@
+// Table 1: the 2021-2022 security-bug census for the eBPF verifier and
+// helper functions. The category/component counts reproduce the paper's
+// table exactly; each studied entry additionally records which injectable
+// defect in ebpf::FaultRegistry (if any) makes that bug class *executable*
+// in this repository, so the census is backed by running exploits rather
+// than only data entry.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/xbase/types.h"
+
+namespace analysis {
+
+struct BugEntry {
+  std::string category;   // Table 1 row
+  std::string component;  // "Helper" | "Verifier"
+  int year = 0;
+  std::string reference;  // CVE / commit / descriptive pointer
+  std::string fault_id;   // ebpf::FaultRegistry id when modelled; "" if not
+};
+
+const std::vector<BugEntry>& BugDatabase();
+
+struct CategoryCount {
+  int total = 0;
+  int helper = 0;
+  int verifier = 0;
+};
+
+// Category -> counts, plus a "Total" row — the exact shape of Table 1.
+std::map<std::string, CategoryCount> BugCensus();
+
+// Entries that are backed by an injectable defect.
+std::vector<BugEntry> ModeledBugs();
+
+}  // namespace analysis

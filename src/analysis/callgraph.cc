@@ -1,0 +1,53 @@
+#include "src/analysis/callgraph.h"
+
+#include <algorithm>
+
+namespace analysis {
+
+ComplexitySummary AnalyzeHelperComplexity(const ebpf::HelperRegistry& helpers,
+                                          const simkern::Kernel& kernel) {
+  ComplexitySummary summary;
+  const simkern::CallGraph& graph =
+      const_cast<simkern::Kernel&>(kernel).callgraph();
+
+  for (const ebpf::HelperSpec* spec : helpers.AllSpecs()) {
+    HelperComplexity entry;
+    entry.name = spec->name;
+    entry.helper_id = spec->id;
+    auto count = graph.ReachableCount(spec->entry_func);
+    entry.reachable_nodes = count.ok() ? count.value() : 0;
+    summary.helpers.push_back(std::move(entry));
+  }
+
+  std::sort(summary.helpers.begin(), summary.helpers.end(),
+            [](const HelperComplexity& a, const HelperComplexity& b) {
+              return a.reachable_nodes > b.reachable_nodes;
+            });
+
+  summary.total_helpers = summary.helpers.size();
+  if (summary.total_helpers == 0) {
+    return summary;
+  }
+  summary.max_nodes = summary.helpers.front().reachable_nodes;
+  summary.min_nodes = summary.helpers.back().reachable_nodes;
+  summary.median_nodes =
+      summary.helpers[summary.total_helpers / 2].reachable_nodes;
+
+  xbase::usize ge30 = 0;
+  xbase::usize ge500 = 0;
+  for (const HelperComplexity& entry : summary.helpers) {
+    if (entry.reachable_nodes >= 30) {
+      ++ge30;
+    }
+    if (entry.reachable_nodes >= 500) {
+      ++ge500;
+    }
+  }
+  summary.fraction_ge_30 =
+      static_cast<double>(ge30) / static_cast<double>(summary.total_helpers);
+  summary.fraction_ge_500 =
+      static_cast<double>(ge500) / static_cast<double>(summary.total_helpers);
+  return summary;
+}
+
+}  // namespace analysis

@@ -1,0 +1,36 @@
+// Figure 3 analysis: call-graph complexity of each registered eBPF helper,
+// measured by static reachability over the simulated kernel's call graph —
+// the same methodology as the paper (function pointers excluded, counts are
+// lower bounds).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ebpf/helper.h"
+#include "src/simkern/kernel.h"
+
+namespace analysis {
+
+struct HelperComplexity {
+  std::string name;
+  xbase::u32 helper_id = 0;
+  xbase::usize reachable_nodes = 0;
+};
+
+struct ComplexitySummary {
+  std::vector<HelperComplexity> helpers;  // sorted by node count descending
+  xbase::usize total_helpers = 0;
+  xbase::usize min_nodes = 0;
+  xbase::usize median_nodes = 0;
+  xbase::usize max_nodes = 0;
+  double fraction_ge_30 = 0;   // paper: 52.2 %
+  double fraction_ge_500 = 0;  // paper: 34.5 %
+};
+
+// Computes reachability for every helper registered in `helpers` against
+// `kernel`'s call graph.
+ComplexitySummary AnalyzeHelperComplexity(const ebpf::HelperRegistry& helpers,
+                                          const simkern::Kernel& kernel);
+
+}  // namespace analysis

@@ -1,0 +1,52 @@
+#include "src/analysis/growth.h"
+
+namespace analysis {
+
+using simkern::kPlottedVersions;
+using simkern::KernelVersion;
+using simkern::ReleaseYear;
+
+std::vector<GrowthPoint> VerifierLocSeries() {
+  std::vector<GrowthPoint> series;
+  for (KernelVersion version : kPlottedVersions) {
+    series.push_back(GrowthPoint{version, ReleaseYear(version),
+                                 ebpf::VerifierLocAtVersion(version)});
+  }
+  return series;
+}
+
+std::vector<GrowthPoint> VerifierFeatureSeries() {
+  std::vector<GrowthPoint> series;
+  for (KernelVersion version : kPlottedVersions) {
+    series.push_back(
+        GrowthPoint{version, ReleaseYear(version),
+                    ebpf::VerifierFeatureCountAtVersion(version)});
+  }
+  return series;
+}
+
+std::vector<GrowthPoint> HelperCountSeries(
+    const ebpf::HelperRegistry& helpers) {
+  std::vector<GrowthPoint> series;
+  for (KernelVersion version : kPlottedVersions) {
+    series.push_back(GrowthPoint{version, ReleaseYear(version),
+                                 helpers.CountAtVersion(version)});
+  }
+  return series;
+}
+
+double HelpersPerTwoYears(const std::vector<GrowthPoint>& series) {
+  if (series.size() < 2) {
+    return 0;
+  }
+  const GrowthPoint& first = series.front();
+  const GrowthPoint& last = series.back();
+  const int years = last.year - first.year;
+  if (years <= 0) {
+    return 0;
+  }
+  return static_cast<double>(last.value - first.value) * 2.0 /
+         static_cast<double>(years);
+}
+
+}  // namespace analysis

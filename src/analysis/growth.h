@@ -1,0 +1,33 @@
+// Figures 2 and 4: growth of the verifier and of the helper interface over
+// kernel versions/years. Both series are computed from the registries built
+// in this repository — the verifier's version-gated feature table and the
+// helper registry's introduction tags.
+#pragma once
+
+#include <vector>
+
+#include "src/ebpf/helper.h"
+#include "src/ebpf/verifier_features.h"
+#include "src/simkern/version.h"
+
+namespace analysis {
+
+struct GrowthPoint {
+  simkern::KernelVersion version;
+  int year = 0;
+  xbase::u64 value = 0;
+};
+
+// Figure 2: verifier LoC (Linux-attributed) by plotted version.
+std::vector<GrowthPoint> VerifierLocSeries();
+// Companion series: number of active verifier features/passes.
+std::vector<GrowthPoint> VerifierFeatureSeries();
+
+// Figure 4: number of helpers available by plotted version.
+std::vector<GrowthPoint> HelperCountSeries(const ebpf::HelperRegistry& helpers);
+
+// Average helpers added per two-year window over the series (the paper:
+// "roughly 50 helper functions are added every two years").
+double HelpersPerTwoYears(const std::vector<GrowthPoint>& series);
+
+}  // namespace analysis

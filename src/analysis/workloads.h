@@ -1,0 +1,94 @@
+// Workload and exploit program builders shared by the benchmark harnesses
+// and the integration tests. Each Build* function returns a complete eBPF
+// program reproducing one of the paper's demonstrations or one Table 1 bug
+// class; the comments state which defect (if any) must be injected for the
+// exploit to land.
+#pragma once
+
+#include "src/ebpf/asm.h"
+#include "src/ebpf/bpf.h"
+#include "src/xbase/status.h"
+
+namespace analysis {
+
+// §2.2 "Safety": calls bpf_sys_bpf(BPF_PROG_LOAD, attr, 24) with a NULL
+// instruction pointer inside the attr union. Passes any verifier (the union
+// field is invisible to it); crashes the kernel with no defect injected —
+// the bug is the interface.
+xbase::Result<ebpf::Program> BuildSysBpfNullCrash();
+
+// §2.2 "Termination": `nesting` levels of bpf_loop, each level running
+// `iters` iterations; the innermost body performs a map update. Runtime is
+// (iters ^ nesting) * body_cost — linear control over total runtime via
+// iters, exponential via nesting.
+xbase::Result<ebpf::Program> BuildNestedLoopStall(int map_fd,
+                                                  xbase::u32 nesting,
+                                                  xbase::u32 iters);
+
+// Table 1 "Arbitrary read/write" (verifier.scalar_bounds injected): walks a
+// map-value pointer `stride` bytes past the value and reads — landing in
+// whatever kernel memory follows.
+xbase::Result<ebpf::Program> BuildArbitraryReadExploit(int map_fd,
+                                                       xbase::s32 stride);
+
+// Table 1 "Out-of-bound access" (verifier.jmp32_bounds injected): a 64-bit
+// index whose low 32 bits look small defeats the buggy 32-bit bounds
+// propagation; the map value access is then out of bounds at runtime.
+xbase::Result<ebpf::Program> BuildJmp32BoundsExploit(int map_fd);
+
+// Table 1 "Kernel pointer leak" (verifier.ptr_leak_check injected, unpriv):
+// returns a map-value kernel address as the program's return value.
+xbase::Result<ebpf::Program> BuildPtrLeakExploit(int map_fd);
+
+// Table 1 "Deadlock" (verifier.spin_lock_tracking injected): acquires the
+// same bpf_spin_lock twice; with lock tracking off this verifies and then
+// self-deadlocks at runtime.
+xbase::Result<ebpf::Program> BuildDoubleSpinLock(int map_fd);
+
+// Table 1 "Reference count leak" #1 (verifier.ref_tracking injected):
+// bpf_sk_lookup_tcp without bpf_sk_release.
+xbase::Result<ebpf::Program> BuildSkLookupNoRelease();
+
+// A *correct* socket-lookup program (lookup + release). Used to show that
+// with helper.sk_lookup.request_sock_leak injected, even well-behaved
+// verified programs leak — the bug is inside the helper, below the
+// verifier's horizon.
+xbase::Result<ebpf::Program> BuildSkLookupWithRelease();
+
+// Table 1 "Reference count leak" #2 (helper.get_task_stack.refcount_leak
+// injected): drives bpf_get_task_stack down its error path (undersized
+// buffer), where the buggy helper forgets to drop the task reference.
+xbase::Result<ebpf::Program> BuildGetTaskStackErrorPath();
+
+// Table 1 "Null-pointer dereference" (helper.task_storage.null_owner
+// injected): passes a NULL task pointer to bpf_task_storage_get.
+xbase::Result<ebpf::Program> BuildTaskStorageNullOwner(int storage_fd);
+
+// Table 1 "Integer overflow" (helper.array_index_overflow injected):
+// updates a high array index whose wrapped offset aliases element 0, then
+// reads element 0 back (the corruption witness).
+xbase::Result<ebpf::Program> BuildArrayOverflowExploit(int map_fd,
+                                                       xbase::u32 hi_index);
+
+// Table 1 / CVE-2021-29154 (jit.branch_off_by_one injected): a long forward
+// branch that the buggy JIT lands one instruction short, executing a load
+// through an uninitialized register.
+xbase::Result<ebpf::Program> BuildJitHijackVictim();
+
+// Expressiveness corpus (§2.1 / B-EXP): a straight-line program of `len`
+// ALU instructions (size-limit probe).
+xbase::Result<ebpf::Program> BuildStraightLine(xbase::u32 len);
+
+// Path-explosion probe (B-VER): `branches` independent if/else diamonds,
+// which the verifier explores as 2^branches paths bounded by pruning.
+xbase::Result<ebpf::Program> BuildBranchDiamonds(xbase::u32 branches);
+
+// Verification-cost probe: a bounded loop of `trip_count` iterations whose
+// body the verifier walks iteration by iteration.
+xbase::Result<ebpf::Program> BuildCountedLoop(xbase::u32 trip_count);
+
+// A small packet filter (XDP-style) used by the runtime-overhead bench:
+// parses the first bytes of the packet and counts into a map.
+xbase::Result<ebpf::Program> BuildPacketCounter(int map_fd);
+
+}  // namespace analysis

@@ -1,0 +1,59 @@
+#include "src/core/artifact.h"
+
+#include "src/xbase/bytes.h"
+
+namespace safex {
+
+namespace {
+void PutU32(std::vector<xbase::u8>& out, xbase::u32 value) {
+  xbase::u8 buf[4];
+  xbase::StoreLe32(buf, value);
+  out.insert(out.end(), buf, buf + 4);
+}
+void PutString(std::vector<xbase::u8>& out, const std::string& text) {
+  PutU32(out, static_cast<xbase::u32>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+}
+}  // namespace
+
+std::vector<xbase::u8> CanonicalEncode(const ExtensionManifest& manifest,
+                                       const crypto::Digest256& code_hash) {
+  std::vector<xbase::u8> out;
+  out.reserve(128);
+  PutString(out, "safex-artifact-v1");
+  PutString(out, manifest.name);
+  PutString(out, manifest.version);
+  PutU32(out, static_cast<xbase::u32>(manifest.caps.size()));
+  for (Capability cap : manifest.caps) {
+    out.push_back(static_cast<xbase::u8>(cap));
+  }
+  out.push_back(manifest.uses_unsafe ? 1 : 0);
+  PutU32(out, static_cast<xbase::u32>(manifest.imports.size()));
+  for (const std::string& import : manifest.imports) {
+    PutString(out, import);
+  }
+  out.insert(out.end(), code_hash.begin(), code_hash.end());
+  return out;
+}
+
+const std::map<std::string, Capability>& KnownImports() {
+  static const std::map<std::string, Capability> kImports = {
+      {"kcrate.map_lookup", Capability::kMapAccess},
+      {"kcrate.map_update", Capability::kMapAccess},
+      {"kcrate.map_delete", Capability::kMapAccess},
+      {"kcrate.packet_view", Capability::kPacketAccess},
+      {"kcrate.current_task", Capability::kTaskInspect},
+      {"kcrate.task_storage", Capability::kTaskInspect},
+      {"kcrate.sk_lookup", Capability::kSockLookup},
+      {"kcrate.spin_lock", Capability::kSpinLock},
+      {"kcrate.ringbuf_output", Capability::kRingBuf},
+      {"kcrate.alloc", Capability::kDynAlloc},
+      {"kcrate.sys_bpf", Capability::kSysBpf},
+      {"kcrate.send_signal", Capability::kSignal},
+      {"kcrate.trace", Capability::kTracing},
+      {"kcrate.unsafe_raw", Capability::kUnsafeRaw},
+  };
+  return kImports;
+}
+
+}  // namespace safex

@@ -1,0 +1,49 @@
+// The signed-extension artifact: what the trusted userspace toolchain emits
+// and the kernel validates at load time (Figure 5's "signature validation" +
+// "load-time fixup" boxes). The canonical encoding is deterministic so both
+// sides MAC the same bytes; the factory stands in for the compiled machine
+// code (C++ cannot ship object code between processes — the code identity
+// that is actually signed is the code hash).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/caps.h"
+#include "src/core/ext.h"
+#include "src/crypto/keyring.h"
+
+namespace safex {
+
+struct ExtensionManifest {
+  std::string name;
+  std::string version;
+  CapSet caps;
+  bool uses_unsafe = false;  // contains `unsafe` blocks
+  // Symbolic kernel-crate imports; resolved by load-time fixup.
+  std::vector<std::string> imports;
+};
+
+// Deterministic byte encoding of (manifest, code hash): the exact message
+// that is signed and verified.
+std::vector<xbase::u8> CanonicalEncode(const ExtensionManifest& manifest,
+                                       const crypto::Digest256& code_hash);
+
+using ExtensionFactory = std::function<std::unique_ptr<Extension>()>;
+
+struct SignedArtifact {
+  ExtensionManifest manifest;
+  crypto::Digest256 code_hash = {};
+  crypto::Signature signature;
+  ExtensionFactory factory;
+};
+
+// The kernel-crate symbol table: every import an extension may bind, and
+// the capability the symbol requires. Used by the toolchain's audit and the
+// loader's fixup.
+const std::map<std::string, Capability>& KnownImports();
+
+}  // namespace safex

@@ -1,0 +1,33 @@
+#include "src/core/caps.h"
+
+namespace safex {
+
+std::string_view CapabilityName(Capability cap) {
+  switch (cap) {
+    case Capability::kMapAccess:
+      return "map_access";
+    case Capability::kPacketAccess:
+      return "packet_access";
+    case Capability::kTaskInspect:
+      return "task_inspect";
+    case Capability::kSockLookup:
+      return "sock_lookup";
+    case Capability::kSpinLock:
+      return "spin_lock";
+    case Capability::kRingBuf:
+      return "ringbuf";
+    case Capability::kDynAlloc:
+      return "dyn_alloc";
+    case Capability::kSysBpf:
+      return "sys_bpf";
+    case Capability::kSignal:
+      return "signal";
+    case Capability::kTracing:
+      return "tracing";
+    case Capability::kUnsafeRaw:
+      return "unsafe_raw";
+  }
+  return "unknown";
+}
+
+}  // namespace safex

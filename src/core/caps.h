@@ -1,0 +1,43 @@
+// Capabilities: what a safe extension is allowed to touch. The manifest the
+// trusted toolchain signs lists these; the loader audits them against kernel
+// policy, and the kernel-crate API enforces them again at runtime (defense
+// in depth — the runtime check is what makes a forged manifest useless even
+// if a signing key leaks).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/xbase/types.h"
+
+namespace safex {
+
+enum class Capability : xbase::u8 {
+  kMapAccess,     // BPF map lookup/update/delete through the crate
+  kPacketAccess,  // sk_buff payload views
+  kTaskInspect,   // current-task metadata, task storage
+  kSockLookup,    // socket lookup (acquiring references)
+  kSpinLock,      // kernel spin locks through RAII guards
+  kRingBuf,       // ring buffer output
+  kDynAlloc,      // pool-backed dynamic allocation (§4)
+  kSysBpf,        // the checked bpf(2) wrapper (§3.2's hardened interface)
+  kSignal,        // send signals
+  kTracing,       // printk-style diagnostics
+  kUnsafeRaw,     // raw kernel-address access: an `unsafe` block. Rejected
+                  // by the default toolchain policy.
+};
+
+std::string_view CapabilityName(Capability cap);
+
+using CapSet = std::vector<Capability>;
+
+inline bool HasCap(const CapSet& caps, Capability cap) {
+  for (Capability have : caps) {
+    if (have == cap) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace safex

@@ -1,0 +1,60 @@
+#include "src/core/cleanup.h"
+
+namespace safex {
+
+xbase::Status CleanupRegistry::Record(CleanupKind kind, xbase::u64 payload) {
+  if (count_ >= kCapacity) {
+    return xbase::ResourceExhausted("cleanup registry full");
+  }
+  entries_[count_++] = CleanupEntry{kind, payload};
+  return xbase::Status::Ok();
+}
+
+void CleanupRegistry::Discharge(CleanupKind kind, xbase::u64 payload) {
+  for (xbase::u32 i = count_; i > 0; --i) {
+    CleanupEntry& entry = entries_[i - 1];
+    if (entry.kind == kind && entry.payload == payload) {
+      // Compact: move the tail down one slot.
+      for (xbase::u32 j = i - 1; j + 1 < count_; ++j) {
+        entries_[j] = entries_[j + 1];
+      }
+      --count_;
+      return;
+    }
+  }
+}
+
+CleanupReport CleanupRegistry::RunAll(simkern::Kernel& kernel,
+                                      MemoryPool* pool) {
+  CleanupReport report;
+  while (count_ > 0) {
+    const CleanupEntry entry = entries_[--count_];
+    ++report.entries_run;
+    switch (entry.kind) {
+      case CleanupKind::kReleaseObject: {
+        if (!kernel.objects().Release(entry.payload).ok()) {
+          ++report.failures;
+        }
+        break;
+      }
+      case CleanupKind::kReleaseLock:
+        kernel.locks().ForceRelease(entry.payload);
+        break;
+      case CleanupKind::kFreePoolChunk:
+        if (pool == nullptr || !pool->Free(entry.payload).ok()) {
+          ++report.failures;
+        }
+        break;
+      case CleanupKind::kRcuUnlock:
+        if (!kernel.rcu().ReadUnlock().ok()) {
+          ++report.failures;
+        }
+        break;
+      case CleanupKind::kNone:
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace safex

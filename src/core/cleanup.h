@@ -1,0 +1,58 @@
+// On-the-fly resource cleanup (§3.1 "safe termination"). Every kernel
+// resource an extension acquires through the crate is recorded here together
+// with its *trusted* destructor — a fixed enum of framework-implemented
+// release actions, never user code (executing untrusted Drop impls during
+// termination is exactly what the paper rules out). The registry has fixed
+// capacity and allocates nothing, so it works in interrupt context and
+// cannot itself fail mid-termination.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "src/core/pool.h"
+#include "src/simkern/kernel.h"
+#include "src/xbase/status.h"
+
+namespace safex {
+
+enum class CleanupKind : xbase::u8 {
+  kNone = 0,
+  kReleaseObject,   // refcounted kernel object (sock, task, ringbuf record)
+  kReleaseLock,     // spin lock
+  kFreePoolChunk,   // pool allocation
+  kRcuUnlock,       // leave the read-side critical section
+};
+
+struct CleanupEntry {
+  CleanupKind kind = CleanupKind::kNone;
+  xbase::u64 payload = 0;  // object id / lock id / chunk address
+};
+
+struct CleanupReport {
+  xbase::u32 entries_run = 0;
+  xbase::u32 failures = 0;  // trusted destructors must not fail; counted anyway
+};
+
+class CleanupRegistry {
+ public:
+  static constexpr xbase::u32 kCapacity = 64;
+
+  // Records a resource. Fails only when the registry is full, in which case
+  // the *acquisition* must be refused (never the release).
+  xbase::Status Record(CleanupKind kind, xbase::u64 payload);
+  // Drops the record once the extension released the resource normally.
+  void Discharge(CleanupKind kind, xbase::u64 payload);
+
+  // Runs all outstanding destructors LIFO. Trusted code only: object
+  // releases, lock releases, pool frees. Returns what ran.
+  CleanupReport RunAll(simkern::Kernel& kernel, MemoryPool* pool);
+
+  xbase::u32 outstanding() const { return count_; }
+
+ private:
+  std::array<CleanupEntry, kCapacity> entries_;
+  xbase::u32 count_ = 0;
+};
+
+}  // namespace safex

@@ -1,0 +1,121 @@
+#include "src/core/hooks.h"
+
+#include <algorithm>
+
+#include "src/xbase/strfmt.h"
+
+namespace safex {
+
+std::string_view HookPointName(HookPoint hook) {
+  switch (hook) {
+    case HookPoint::kXdpIngress:
+      return "xdp_ingress";
+    case HookPoint::kSyscallEnter:
+      return "syscall_enter";
+    case HookPoint::kSchedSwitch:
+      return "sched_switch";
+  }
+  return "unknown";
+}
+
+xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
+                                                      xbase::u32 prog_id) {
+  XB_RETURN_IF_ERROR(bpf_loader_.Find(prog_id).status());
+  const xbase::u32 id = next_id_++;
+  attachments_.push_back(Attachment{id, hook, false, prog_id});
+  bpf_.kernel().Printk(xbase::StrFormat("hook %s: bpf prog %u attached",
+                                        HookPointName(hook).data(),
+                                        prog_id));
+  return id;
+}
+
+xbase::Result<xbase::u32> HookRegistry::AttachExtension(HookPoint hook,
+                                                        xbase::u32 ext_id) {
+  XB_RETURN_IF_ERROR(ext_loader_.Find(ext_id).status());
+  const xbase::u32 id = next_id_++;
+  attachments_.push_back(Attachment{id, hook, true, ext_id});
+  bpf_.kernel().Printk(xbase::StrFormat("hook %s: safex ext %u attached",
+                                        HookPointName(hook).data(), ext_id));
+  return id;
+}
+
+xbase::Status HookRegistry::Detach(xbase::u32 attachment_id) {
+  const auto before = attachments_.size();
+  attachments_.erase(
+      std::remove_if(attachments_.begin(), attachments_.end(),
+                     [attachment_id](const Attachment& attachment) {
+                       return attachment.id == attachment_id;
+                     }),
+      attachments_.end());
+  if (attachments_.size() == before) {
+    return xbase::NotFound("no such attachment");
+  }
+  return xbase::Status::Ok();
+}
+
+xbase::Result<HookFireReport> HookRegistry::Fire(HookPoint hook,
+                                                 simkern::Addr ctx_addr) {
+  HookFireReport report;
+  report.verdict = hook == HookPoint::kXdpIngress ? 2 /* XDP_PASS */ : 0;
+
+  for (const Attachment& attachment : attachments_) {
+    if (attachment.hook != hook) {
+      continue;
+    }
+    HookVerdict verdict;
+    verdict.from_safex = attachment.is_safex;
+    verdict.attachment_id = attachment.id;
+    if (attachment.is_safex) {
+      InvokeOptions options;
+      options.skb_meta = hook == HookPoint::kXdpIngress ? ctx_addr : 0;
+      auto outcome = ext_loader_.Invoke(attachment.target_id, options);
+      if (outcome.ok()) {
+        verdict.value = outcome.value().ret;
+        verdict.status = outcome.value().status;
+      } else {
+        verdict.status = outcome.status();
+      }
+    } else {
+      auto loaded = bpf_loader_.Find(attachment.target_id);
+      if (loaded.ok()) {
+        auto result = ebpf::Execute(bpf_, *loaded.value(), ctx_addr, {},
+                                    &bpf_loader_);
+        if (result.ok()) {
+          verdict.value = result.value().r0;
+        } else {
+          verdict.status = result.status();
+        }
+      } else {
+        verdict.status = loaded.status();
+      }
+    }
+
+    // Aggregate per hook semantics. A failed attachment contributes no
+    // verdict (fail open for tracing, fail open for XDP like a crashed
+    // program, deny-less for syscalls — the report carries the status).
+    if (verdict.status.ok()) {
+      if (hook == HookPoint::kXdpIngress && verdict.value == 1) {
+        report.verdict = 1;  // any DROP wins
+      }
+      if (hook == HookPoint::kSyscallEnter && verdict.value != 0 &&
+          !report.denied) {
+        report.denied = true;
+        report.verdict = verdict.value;
+      }
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+xbase::usize HookRegistry::AttachedCount(HookPoint hook) const {
+  xbase::usize count = 0;
+  for (const Attachment& attachment : attachments_) {
+    if (attachment.hook == hook) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace safex

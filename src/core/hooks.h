@@ -1,0 +1,72 @@
+// Hook points: where extensions attach and get invoked by kernel events.
+// Both frameworks attach here — verified eBPF programs and signed safex
+// extensions side by side — so experiments can drive identical event
+// streams through both and compare verdicts, cost and failure modes.
+#pragma once
+
+#include <vector>
+
+#include "src/core/loader.h"
+#include "src/ebpf/interp.h"
+#include "src/ebpf/loader.h"
+
+namespace safex {
+
+enum class HookPoint : xbase::u8 {
+  kXdpIngress,     // per packet; verdict: XDP_DROP(1)/XDP_PASS(2)
+  kSyscallEnter,   // per syscall; verdict: 0 allow, nonzero deny-errno
+  kSchedSwitch,    // tracing; verdict ignored
+};
+
+std::string_view HookPointName(HookPoint hook);
+
+struct HookVerdict {
+  bool from_safex = false;
+  xbase::u32 attachment_id = 0;
+  xbase::u64 value = 0;
+  xbase::Status status;  // non-OK if the program/extension failed
+};
+
+struct HookFireReport {
+  std::vector<HookVerdict> verdicts;
+  // Aggregate: packets — dropped if any attachment said DROP; syscalls —
+  // denied with the first nonzero errno.
+  xbase::u64 verdict = 0;
+  bool denied = false;
+};
+
+class HookRegistry {
+ public:
+  HookRegistry(ebpf::Bpf& bpf, ebpf::Loader& bpf_loader,
+               ExtLoader& ext_loader)
+      : bpf_(bpf), bpf_loader_(bpf_loader), ext_loader_(ext_loader) {}
+
+  // Attach a loaded eBPF program / safex extension to a hook. Returns an
+  // attachment id.
+  xbase::Result<xbase::u32> AttachProgram(HookPoint hook, xbase::u32 prog_id);
+  xbase::Result<xbase::u32> AttachExtension(HookPoint hook,
+                                            xbase::u32 ext_id);
+  xbase::Status Detach(xbase::u32 attachment_id);
+
+  // Fires every attachment in attach order with the given context address
+  // (skb meta for XDP; a per-event ctx block otherwise).
+  xbase::Result<HookFireReport> Fire(HookPoint hook, simkern::Addr ctx_addr);
+
+  xbase::usize AttachedCount(HookPoint hook) const;
+
+ private:
+  struct Attachment {
+    xbase::u32 id;
+    HookPoint hook;
+    bool is_safex;
+    xbase::u32 target_id;
+  };
+
+  ebpf::Bpf& bpf_;
+  ebpf::Loader& bpf_loader_;
+  ExtLoader& ext_loader_;
+  std::vector<Attachment> attachments_;
+  xbase::u32 next_id_ = 1;
+};
+
+}  // namespace safex

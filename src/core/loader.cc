@@ -1,0 +1,83 @@
+#include "src/core/loader.h"
+
+#include <chrono>
+
+#include "src/xbase/strfmt.h"
+
+namespace safex {
+
+xbase::Result<xbase::u32> ExtLoader::Load(const SignedArtifact& artifact) {
+  const auto start = std::chrono::steady_clock::now();
+  simkern::Kernel& kernel = runtime_.kernel();
+
+  // 1. Signature validation against the sealed boot keyring.
+  const std::vector<xbase::u8> message =
+      CanonicalEncode(artifact.manifest, artifact.code_hash);
+  XB_RETURN_IF_ERROR(runtime_.keyring().Verify(message, artifact.signature));
+
+  // 2. Kernel policy audit: even a validly signed unsafe extension needs
+  // the kernel to opt in.
+  if ((artifact.manifest.uses_unsafe ||
+       HasCap(artifact.manifest.caps, Capability::kUnsafeRaw)) &&
+      !runtime_.config().allow_unsafe_extensions) {
+    return xbase::PermissionDenied(
+        "kernel policy refuses unsafe extensions");
+  }
+
+  // 3. Load-time fixup: bind every symbolic import to a crate entry point.
+  xbase::u32 relocations = 0;
+  for (const std::string& import : artifact.manifest.imports) {
+    if (!KnownImports().contains(import)) {
+      return xbase::Rejected("fixup: unresolved import " + import);
+    }
+    ++relocations;
+  }
+
+  // 4. Instantiate.
+  if (artifact.factory == nullptr) {
+    return xbase::InvalidArgument("artifact has no body");
+  }
+  LoadedExtension loaded;
+  loaded.id = next_id_++;
+  loaded.manifest = artifact.manifest;
+  loaded.instance = artifact.factory();
+  loaded.relocations = relocations;
+  loaded.load_wall_ns = static_cast<xbase::u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (loaded.instance == nullptr) {
+    return xbase::Internal("artifact factory produced no extension");
+  }
+
+  kernel.Printk(xbase::StrFormat(
+      "safex: extension %u (%s %s) loaded: signature ok (key '%s'), "
+      "%u imports bound, no verifier involved",
+      loaded.id, loaded.manifest.name.c_str(),
+      loaded.manifest.version.c_str(), artifact.signature.key_id.c_str(),
+      relocations));
+
+  const xbase::u32 id = loaded.id;
+  extensions_.emplace(id, std::move(loaded));
+  return id;
+}
+
+xbase::Result<const LoadedExtension*> ExtLoader::Find(xbase::u32 id) const {
+  auto it = extensions_.find(id);
+  if (it == extensions_.end()) {
+    return xbase::NotFound(xbase::StrFormat("no extension id %u", id));
+  }
+  return &it->second;
+}
+
+xbase::Result<InvokeOutcome> ExtLoader::Invoke(xbase::u32 id,
+                                               const InvokeOptions& options) {
+  auto it = extensions_.find(id);
+  if (it == extensions_.end()) {
+    return xbase::NotFound(xbase::StrFormat("no extension id %u", id));
+  }
+  return runtime_.Invoke(*it->second.instance, it->second.manifest.caps,
+                         options);
+}
+
+}  // namespace safex

@@ -1,0 +1,44 @@
+// The kernel-side load path of the proposed framework: validate the
+// signature against the boot keyring, audit the manifest against kernel
+// policy, perform load-time fixup (bind symbolic imports to crate entry
+// points), and register the extension. No safety checking happens here —
+// that moved to the toolchain — which is exactly the paper's claim about
+// where the complexity goes.
+#pragma once
+
+#include <map>
+
+#include "src/core/artifact.h"
+#include "src/core/ext.h"
+
+namespace safex {
+
+struct LoadedExtension {
+  xbase::u32 id = 0;
+  ExtensionManifest manifest;
+  std::unique_ptr<Extension> instance;
+  xbase::u32 relocations = 0;  // imports bound during fixup
+  xbase::u64 load_wall_ns = 0; // host time spent in the load path
+};
+
+class ExtLoader {
+ public:
+  explicit ExtLoader(Runtime& runtime) : runtime_(runtime) {}
+
+  xbase::Result<xbase::u32> Load(const SignedArtifact& artifact);
+
+  xbase::Result<const LoadedExtension*> Find(xbase::u32 id) const;
+
+  // Invokes a loaded extension with its manifest's capabilities.
+  xbase::Result<InvokeOutcome> Invoke(xbase::u32 id,
+                                      const InvokeOptions& options = {});
+
+  xbase::usize size() const { return extensions_.size(); }
+
+ private:
+  Runtime& runtime_;
+  std::map<xbase::u32, LoadedExtension> extensions_;
+  xbase::u32 next_id_ = 1;
+};
+
+}  // namespace safex

@@ -1,0 +1,14 @@
+// The termination signal: thrown (once) by Ctx::Panic and caught by the
+// Runtime::Invoke harness. This is the single use of C++ exceptions in the
+// library; it stands in for the asynchronous kill the paper's watchdog
+// delivers. Cleanup does NOT depend on this unwind — the cleanup registry
+// releases every recorded resource regardless — so the design matches the
+// paper's no-ABI-unwinding requirement: user destructors are not trusted
+// with releasing kernel state, the registry is.
+#pragma once
+
+namespace safex {
+
+struct TerminationSignal {};
+
+}  // namespace safex

@@ -1,0 +1,86 @@
+#include "src/core/pool.h"
+
+#include "src/xbase/strfmt.h"
+
+namespace safex {
+
+xbase::Result<MemoryPool> MemoryPool::Create(simkern::Kernel& kernel,
+                                             const std::string& name,
+                                             u32 chunk_size, u32 chunk_count,
+                                             u32 protection_key) {
+  if (chunk_size == 0 || chunk_count == 0) {
+    return xbase::InvalidArgument("pool needs nonzero geometry");
+  }
+  MemoryPool pool;
+  pool.chunk_size_ = chunk_size;
+  pool.chunk_count_ = chunk_count;
+  pool.in_use_.assign(chunk_count, false);
+  pool.stats_.chunks_total = chunk_count;
+  XB_ASSIGN_OR_RETURN(
+      pool.base_,
+      kernel.mem().Map(static_cast<xbase::usize>(chunk_size) * chunk_count,
+                       simkern::MemPerm::kReadWrite,
+                       simkern::RegionKind::kExtensionPool, "pool:" + name));
+  kernel.mem().SetRegionKey(pool.base_, protection_key);
+  return pool;
+}
+
+xbase::Result<Addr> MemoryPool::Alloc(simkern::Kernel& kernel) {
+  ++stats_.alloc_calls;
+  for (u32 i = 0; i < chunk_count_; ++i) {
+    if (!in_use_[i]) {
+      in_use_[i] = true;
+      ++stats_.chunks_in_use;
+      stats_.peak_in_use = std::max(stats_.peak_in_use,
+                                    stats_.chunks_in_use);
+      const Addr addr = base_ + static_cast<u64>(i) * chunk_size_;
+      std::vector<xbase::u8> zeros(chunk_size_, 0);
+      XB_RETURN_IF_ERROR(kernel.mem().Write(addr, zeros));
+      return addr;
+    }
+  }
+  ++stats_.failed_allocs;
+  return xbase::ResourceExhausted("memory pool exhausted");
+}
+
+xbase::Status MemoryPool::Free(Addr addr) {
+  if (!Owns(addr) || (addr - base_) % chunk_size_ != 0) {
+    return xbase::InvalidArgument("free of non-pool address");
+  }
+  const u64 index = (addr - base_) / chunk_size_;
+  if (!in_use_[index]) {
+    return xbase::FailedPrecondition("double free of pool chunk");
+  }
+  in_use_[index] = false;
+  --stats_.chunks_in_use;
+  return xbase::Status::Ok();
+}
+
+void MemoryPool::Reset() {
+  for (u32 i = 0; i < chunk_count_; ++i) {
+    in_use_[i] = false;
+  }
+  stats_.chunks_in_use = 0;
+}
+
+bool MemoryPool::Owns(Addr addr) const {
+  return addr >= base_ &&
+         addr < base_ + static_cast<u64>(chunk_size_) * chunk_count_;
+}
+
+xbase::Result<PerCpuPools> PerCpuPools::Create(simkern::Kernel& kernel,
+                                               u32 chunk_size,
+                                               u32 chunk_count,
+                                               u32 protection_key) {
+  PerCpuPools pools;
+  for (u32 cpu = 0; cpu < simkern::kNumCpus; ++cpu) {
+    XB_ASSIGN_OR_RETURN(
+        MemoryPool pool,
+        MemoryPool::Create(kernel, xbase::StrFormat("percpu%u", cpu),
+                           chunk_size, chunk_count, protection_key));
+    pools.pools_.push_back(std::move(pool));
+  }
+  return pools;
+}
+
+}  // namespace safex

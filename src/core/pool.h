@@ -1,0 +1,71 @@
+// Pre-allocated memory pool (§4 "Dynamic memory allocation"): fixed-size
+// chunks carved out of one SimMemory region per CPU at framework init, so
+// extensions can allocate in non-sleepable contexts without touching the
+// kernel allocator. The unwind machinery also allocates from here — never
+// dynamically — which is the §3.1 requirement for termination in interrupt
+// context.
+#pragma once
+
+#include <vector>
+
+#include "src/simkern/kernel.h"
+#include "src/xbase/status.h"
+
+namespace safex {
+
+using simkern::Addr;
+using xbase::u32;
+using xbase::u64;
+
+struct PoolStats {
+  u32 chunks_total = 0;
+  u32 chunks_in_use = 0;
+  u32 peak_in_use = 0;
+  u64 alloc_calls = 0;
+  u64 failed_allocs = 0;
+};
+
+class MemoryPool {
+ public:
+  // Carves `chunk_count` chunks of `chunk_size` bytes out of fresh kernel
+  // memory tagged with `protection_key`.
+  static xbase::Result<MemoryPool> Create(simkern::Kernel& kernel,
+                                          const std::string& name,
+                                          u32 chunk_size, u32 chunk_count,
+                                          u32 protection_key);
+
+  // Allocates one chunk; the address is chunk_size bytes of zeroed memory.
+  xbase::Result<Addr> Alloc(simkern::Kernel& kernel);
+  xbase::Status Free(Addr addr);
+  // Frees everything (safe-termination path).
+  void Reset();
+
+  bool Owns(Addr addr) const;
+  u32 chunk_size() const { return chunk_size_; }
+  const PoolStats& stats() const { return stats_; }
+  Addr base() const { return base_; }
+
+ private:
+  MemoryPool() = default;
+
+  Addr base_ = 0;
+  u32 chunk_size_ = 0;
+  u32 chunk_count_ = 0;
+  std::vector<bool> in_use_;
+  PoolStats stats_;
+};
+
+// One pool per simulated CPU (§3.1's "dedicated per-CPU region").
+class PerCpuPools {
+ public:
+  static xbase::Result<PerCpuPools> Create(simkern::Kernel& kernel,
+                                           u32 chunk_size, u32 chunk_count,
+                                           u32 protection_key);
+
+  MemoryPool& ForCpu(u32 cpu) { return pools_[cpu % pools_.size()]; }
+
+ private:
+  std::vector<MemoryPool> pools_;
+};
+
+}  // namespace safex

@@ -1,0 +1,41 @@
+// Watchdog timer (§3.1 "Runtime protection"). Armed per invocation with a
+// simulated-time budget; every kernel-crate operation is a cancellation
+// point that polls it. When it fires, the invocation context flips to
+// terminated, every subsequent crate call fails fast, and the harness runs
+// the cleanup registry — the program is stopped long before the 21-second
+// RCU stall window that unbounded eBPF programs can hit (§2.2).
+#pragma once
+
+#include "src/simkern/clock.h"
+#include "src/xbase/types.h"
+
+namespace safex {
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+
+  void Arm(const simkern::SimClock& clock, xbase::u64 budget_ns) {
+    deadline_ns_ = clock.now_ns() + budget_ns;
+    armed_ = true;
+  }
+  void Disarm() { armed_ = false; }
+
+  bool Expired(const simkern::SimClock& clock) const {
+    return armed_ && clock.now_ns() >= deadline_ns_;
+  }
+
+  xbase::u64 deadline_ns() const { return deadline_ns_; }
+  bool armed() const { return armed_; }
+
+ private:
+  xbase::u64 deadline_ns_ = 0;
+  bool armed_ = false;
+};
+
+// Default invocation budget: 1 simulated millisecond — generous for any
+// packet/tracing hook, seven orders of magnitude below the RCU stall
+// threshold.
+inline constexpr xbase::u64 kDefaultWatchdogBudgetNs = simkern::kNsPerMs;
+
+}  // namespace safex

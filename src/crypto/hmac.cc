@@ -1,0 +1,41 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace crypto {
+
+using xbase::u8;
+using xbase::usize;
+
+Digest256 HmacSha256(std::span<const u8> key, std::span<const u8> message) {
+  constexpr usize kBlock = 64;
+  u8 key_block[kBlock] = {};
+
+  if (key.size() > kBlock) {
+    const Digest256 key_digest = Sha256::Hash(key);
+    std::memcpy(key_block, key_digest.data(), key_digest.size());
+  } else {
+    if (!key.empty()) {
+      std::memcpy(key_block, key.data(), key.size());
+    }
+  }
+
+  u8 ipad[kBlock];
+  u8 opad[kBlock];
+  for (usize i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<u8>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<u8>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.Update(std::span<const u8>(ipad, kBlock));
+  inner.Update(message);
+  const Digest256 inner_digest = inner.Finalize();
+
+  Sha256 outer;
+  outer.Update(std::span<const u8>(opad, kBlock));
+  outer.Update(std::span<const u8>(inner_digest.data(), inner_digest.size()));
+  return outer.Finalize();
+}
+
+}  // namespace crypto

@@ -1,0 +1,29 @@
+// HMAC-SHA256 (RFC 2104). This is the MAC that the trusted toolchain uses to
+// sign extension artifacts and that the simulated kernel validates at load
+// time. A production deployment would use an asymmetric scheme; a keyed MAC
+// reproduces the same trust decisions (accept / tamper-reject / unknown-key
+// reject) without an RSA dependency, which is all the paper's load path
+// needs (see DESIGN.md §2).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/xbase/types.h"
+
+namespace crypto {
+
+Digest256 HmacSha256(std::span<const xbase::u8> key,
+                     std::span<const xbase::u8> message);
+
+inline Digest256 HmacSha256(const std::string& key,
+                            std::span<const xbase::u8> message) {
+  return HmacSha256(std::span<const xbase::u8>(
+                        reinterpret_cast<const xbase::u8*>(key.data()),
+                        key.size()),
+                    message);
+}
+
+}  // namespace crypto

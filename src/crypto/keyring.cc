@@ -1,0 +1,55 @@
+#include "src/crypto/keyring.h"
+
+namespace crypto {
+
+using xbase::u8;
+
+SigningKey SigningKey::FromPassphrase(std::string key_id,
+                                      const std::string& passphrase) {
+  // Simple KDF: SHA-256("untenable-kdf-v1" || passphrase). Adequate for a
+  // simulation; documented as non-production in DESIGN.md.
+  const std::string salted = "untenable-kdf-v1" + passphrase;
+  const Digest256 digest = Sha256::HashString(salted);
+  return SigningKey(std::move(key_id),
+                    std::vector<u8>(digest.begin(), digest.end()));
+}
+
+Signature SigningKey::Sign(std::span<const u8> message) const {
+  Signature signature;
+  signature.key_id = key_id_;
+  signature.mac = HmacSha256(secret_, message);
+  return signature;
+}
+
+xbase::Status Keyring::Enroll(const SigningKey& key) {
+  return EnrollRaw(key.key_id(),
+                   std::vector<u8>(key.secret().begin(), key.secret().end()));
+}
+
+xbase::Status Keyring::EnrollRaw(std::string key_id,
+                                 std::vector<u8> secret) {
+  if (sealed_) {
+    return xbase::PermissionDenied("keyring is sealed");
+  }
+  if (keys_.contains(key_id)) {
+    return xbase::AlreadyExists("key id already enrolled: " + key_id);
+  }
+  keys_.emplace(std::move(key_id), std::move(secret));
+  return xbase::Status::Ok();
+}
+
+xbase::Status Keyring::Verify(std::span<const u8> message,
+                              const Signature& signature) const {
+  const auto it = keys_.find(signature.key_id);
+  if (it == keys_.end()) {
+    return xbase::PermissionDenied("signature by untrusted key: " +
+                                   signature.key_id);
+  }
+  const Digest256 expected = HmacSha256(it->second, message);
+  if (!DigestEqualConstantTime(expected, signature.mac)) {
+    return xbase::PermissionDenied("signature verification failed");
+  }
+  return xbase::Status::Ok();
+}
+
+}  // namespace crypto

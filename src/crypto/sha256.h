@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), implemented from scratch so the extension-signing
+// chain has no external dependencies. Streaming interface plus one-shot
+// helper; validated against the NIST test vectors in tests/crypto.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "src/xbase/types.h"
+
+namespace crypto {
+
+using Digest256 = std::array<xbase::u8, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(std::span<const xbase::u8> data);
+  // Finalizes and returns the digest. The object must be Reset() before
+  // further use.
+  Digest256 Finalize();
+
+  static Digest256 Hash(std::span<const xbase::u8> data);
+  static Digest256 HashString(const std::string& text);
+
+ private:
+  void ProcessBlock(const xbase::u8* block);
+
+  std::array<xbase::u32, 8> state_;
+  std::array<xbase::u8, 64> buffer_;
+  xbase::u64 total_bytes_;
+  xbase::usize buffered_;
+};
+
+// Constant-time digest comparison: signature checks must not leak where the
+// first mismatching byte is.
+bool DigestEqualConstantTime(const Digest256& a, const Digest256& b);
+
+}  // namespace crypto

@@ -1,0 +1,80 @@
+#include "src/ebpf/asm.h"
+
+#include <limits>
+
+#include "src/xbase/strfmt.h"
+
+namespace ebpf {
+
+ProgramBuilder& ProgramBuilder::JmpTo(u8 op, u8 dst, s32 imm,
+                                      const std::string& label) {
+  fixups_.push_back(Fixup{prog_.len(), label, FixupKind::kJump});
+  prog_.insns.push_back(JmpImm(op, dst, imm, 0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::JmpRegTo(u8 op, u8 dst, u8 src,
+                                         const std::string& label) {
+  fixups_.push_back(Fixup{prog_.len(), label, FixupKind::kJump});
+  prog_.insns.push_back(JmpReg(op, dst, src, 0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::JaTo(const std::string& label) {
+  fixups_.push_back(Fixup{prog_.len(), label, FixupKind::kJump});
+  prog_.insns.push_back(Ja(0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::CallTo(const std::string& label) {
+  fixups_.push_back(Fixup{prog_.len(), label, FixupKind::kCall});
+  prog_.insns.push_back(CallPseudo(0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::LdFuncTo(u8 dst, const std::string& label) {
+  fixups_.push_back(Fixup{prog_.len(), label, FixupKind::kFunc});
+  Ins(LdFunc(dst, 0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Bind(const std::string& label) {
+  labels_[label] = prog_.len();
+  return *this;
+}
+
+xbase::Result<Program> ProgramBuilder::Build() {
+  for (const Fixup& fixup : fixups_) {
+    auto it = labels_.find(fixup.label);
+    if (it == labels_.end()) {
+      return xbase::InvalidArgument("unbound label: " + fixup.label);
+    }
+    switch (fixup.kind) {
+      case FixupKind::kFunc:
+        // Absolute instruction index.
+        prog_.insns[fixup.insn_index].imm = static_cast<s32>(it->second);
+        break;
+      case FixupKind::kCall: {
+        const s64 delta = static_cast<s64>(it->second) -
+                          static_cast<s64>(fixup.insn_index) - 1;
+        prog_.insns[fixup.insn_index].imm = static_cast<s32>(delta);
+        break;
+      }
+      case FixupKind::kJump: {
+        // Jump offsets are relative to the instruction *after* the jump.
+        const s64 delta = static_cast<s64>(it->second) -
+                          static_cast<s64>(fixup.insn_index) - 1;
+        if (delta < std::numeric_limits<s16>::min() ||
+            delta > std::numeric_limits<s16>::max()) {
+          return xbase::InvalidArgument("jump target out of range: " +
+                                        fixup.label);
+        }
+        prog_.insns[fixup.insn_index].off = static_cast<s16>(delta);
+        break;
+      }
+    }
+  }
+  return prog_;
+}
+
+}  // namespace ebpf

@@ -1,0 +1,48 @@
+// The eBPF subsystem aggregate: one per simulated kernel. Owns the map
+// table, helper registry and fault registry; the loader and executor operate
+// through it.
+#pragma once
+
+#include "src/ebpf/fault.h"
+#include "src/ebpf/helper.h"
+#include "src/ebpf/kfunc.h"
+#include "src/ebpf/map.h"
+#include "src/simkern/kernel.h"
+
+namespace ebpf {
+
+class Bpf {
+ public:
+  explicit Bpf(simkern::Kernel& kernel) : kernel_(kernel), maps_(kernel) {
+    xbase::Status status = RegisterDefaultHelpers(helpers_, kernel);
+    if (status.ok()) {
+      status = RegisterDefaultKfuncs(kfuncs_, kernel);
+    }
+    if (!status.ok()) {
+      kernel.Panic("helper registration failed: " + status.message());
+    }
+  }
+  Bpf(const Bpf&) = delete;
+  Bpf& operator=(const Bpf&) = delete;
+
+  simkern::Kernel& kernel() { return kernel_; }
+  MapTable& maps() { return maps_; }
+  HelperRegistry& helpers() { return helpers_; }
+  const HelperRegistry& helpers() const { return helpers_; }
+  KfuncRegistry& kfuncs() { return kfuncs_; }
+  const KfuncRegistry& kfuncs() const { return kfuncs_; }
+  FaultRegistry& faults() { return faults_; }
+
+  HelperCtx MakeHelperCtx(RuntimeHooks* hooks = nullptr) {
+    return HelperCtx{kernel_, maps_, faults_, hooks};
+  }
+
+ private:
+  simkern::Kernel& kernel_;
+  MapTable maps_;
+  HelperRegistry helpers_;
+  KfuncRegistry kfuncs_;
+  FaultRegistry faults_;
+};
+
+}  // namespace ebpf

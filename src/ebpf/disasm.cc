@@ -1,0 +1,123 @@
+#include "src/ebpf/disasm.h"
+
+#include "src/xbase/strfmt.h"
+
+namespace ebpf {
+
+using xbase::StrFormat;
+
+namespace {
+
+const char* SizeSuffix(u8 size_code) {
+  switch (size_code) {
+    case BPF_B:
+      return "u8";
+    case BPF_H:
+      return "u16";
+    case BPF_W:
+      return "u32";
+    case BPF_DW:
+      return "u64";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DisasmInsn(const Insn& insn) {
+  const u8 cls = insn.Class();
+  switch (cls) {
+    case BPF_ALU64:
+    case BPF_ALU: {
+      const char* width = cls == BPF_ALU64 ? "" : "w";
+      const u8 op = insn.AluOp();
+      if (op == BPF_NEG) {
+        return StrFormat("r%d%s = -r%d%s", insn.dst, width, insn.dst, width);
+      }
+      if (op == BPF_END) {
+        return StrFormat("r%d = %s%d r%d", insn.dst,
+                         insn.UsesRegSrc() ? "be" : "le", insn.imm, insn.dst);
+      }
+      const std::string lhs = StrFormat("r%d%s", insn.dst, width);
+      std::string rhs = insn.UsesRegSrc()
+                            ? StrFormat("r%d%s", insn.src, width)
+                            : StrFormat("%d", insn.imm);
+      if (op == BPF_MOV) {
+        return lhs + " = " + rhs;
+      }
+      return StrFormat("%s %s= %s", lhs.c_str(), AluOpName(op).data(),
+                       rhs.c_str());
+    }
+    case BPF_LD:
+      if (insn.IsLdImm64()) {
+        if (insn.src == BPF_PSEUDO_MAP_FD) {
+          return StrFormat("r%d = map[fd:%d]", insn.dst, insn.imm);
+        }
+        return StrFormat("r%d = imm64(lo=0x%x)", insn.dst,
+                         static_cast<unsigned>(insn.imm));
+      }
+      return "ld (legacy)";
+    case BPF_LDX:
+      return StrFormat("r%d = *(%s *)(r%d %+d)", insn.dst,
+                       SizeSuffix(insn.Size()), insn.src, insn.off);
+    case BPF_ST:
+      return StrFormat("*(%s *)(r%d %+d) = %d", SizeSuffix(insn.Size()),
+                       insn.dst, insn.off, insn.imm);
+    case BPF_STX:
+      if (insn.Mode() == BPF_ATOMIC) {
+        return StrFormat("lock *(%s *)(r%d %+d) += r%d",
+                         SizeSuffix(insn.Size()), insn.dst, insn.off,
+                         insn.src);
+      }
+      return StrFormat("*(%s *)(r%d %+d) = r%d", SizeSuffix(insn.Size()),
+                       insn.dst, insn.off, insn.src);
+    case BPF_JMP:
+    case BPF_JMP32: {
+      const u8 op = insn.JmpOp();
+      if (op == BPF_EXIT) {
+        return "exit";
+      }
+      if (op == BPF_CALL) {
+        if (insn.src == BPF_PSEUDO_CALL) {
+          return StrFormat("call pc%+d", insn.imm);
+        }
+        return StrFormat("call helper#%d", insn.imm);
+      }
+      if (op == BPF_JA) {
+        return StrFormat("goto %+d", insn.off);
+      }
+      const char* width = cls == BPF_JMP32 ? "w" : "";
+      const std::string rhs = insn.UsesRegSrc()
+                                  ? StrFormat("r%d%s", insn.src, width)
+                                  : StrFormat("%d", insn.imm);
+      return StrFormat("if r%d%s %s %s goto %+d", insn.dst, width,
+                       JmpOpName(op).data(), rhs.c_str(), insn.off);
+    }
+  }
+  return "invalid";
+}
+
+std::string DisasmProgram(const Program& prog) {
+  std::string out;
+  for (u32 pc = 0; pc < prog.len(); ++pc) {
+    const Insn& insn = prog.insns[pc];
+    if (insn.IsLdImm64() && pc + 1 < prog.len()) {
+      const u64 value = (static_cast<u64>(
+                             static_cast<u32>(prog.insns[pc + 1].imm))
+                         << 32) |
+                        static_cast<u32>(insn.imm);
+      if (insn.src == BPF_PSEUDO_MAP_FD) {
+        out += StrFormat("%4u: r%d = map[fd:%d]\n", pc, insn.dst, insn.imm);
+      } else {
+        out += StrFormat("%4u: r%d = 0x%llx\n", pc, insn.dst,
+                         static_cast<unsigned long long>(value));
+      }
+      ++pc;
+      continue;
+    }
+    out += StrFormat("%4u: %s\n", pc, DisasmInsn(insn).c_str());
+  }
+  return out;
+}
+
+}  // namespace ebpf

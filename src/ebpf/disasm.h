@@ -1,0 +1,15 @@
+// Disassembler: renders instructions in the bpftool xlated style. Used by
+// verifier rejection messages and test diagnostics.
+#pragma once
+
+#include <string>
+
+#include "src/ebpf/prog.h"
+
+namespace ebpf {
+
+std::string DisasmInsn(const Insn& insn);
+// Whole-program listing with pc column; ld_imm64 pairs rendered as one line.
+std::string DisasmProgram(const Program& prog);
+
+}  // namespace ebpf

@@ -1,0 +1,71 @@
+#include "src/ebpf/fault.h"
+
+namespace ebpf {
+
+const std::vector<FaultInfo>& FaultRegistry::Catalog() {
+  static const std::vector<FaultInfo> kCatalog = {
+      {std::string(kFaultVerifierScalarBounds), "verifier",
+       "Arbitrary read/write", "CVE-2022-23222",
+       "missing validation of pointer arithmetic lets a program walk a map "
+       "value pointer anywhere in kernel memory"},
+      {std::string(kFaultVerifierPtrLeak), "verifier", "Kernel pointer leak",
+       "CVE-2021-45402 class",
+       "pointer-to-scalar leak check disabled: programs can return or store "
+       "kernel addresses"},
+      {std::string(kFaultVerifierJmp32Bounds), "verifier",
+       "Out-of-bound access", "commit 3844d153a41a",
+       "insufficient bounds propagation from 32-bit compares admits "
+       "out-of-bounds offsets"},
+      {std::string(kFaultVerifierSpinLock), "verifier", "Deadlock/Hang",
+       "bpf_spin_lock tracking",
+       "lock tracking disabled: double-acquire passes verification and "
+       "deadlocks at runtime"},
+      {std::string(kFaultVerifierLoopInlineUaf), "verifier", "Use-after-free",
+       "commit fb4e3b33e3e7",
+       "loop-inlining pass reuses a freed verifier state"},
+      {std::string(kFaultVerifierStateLeak), "verifier", "Memory leak",
+       "verifier state allocation",
+       "explored-state bookkeeping leaks state objects on a rejection path"},
+      {std::string(kFaultVerifierRefTracking), "verifier",
+       "Reference count leak", "release_reference class (commit f1db2081)",
+       "acquired-reference tracking disabled: programs may exit while "
+       "holding socket references"},
+      {std::string(kFaultHelperTaskStackLeak), "helper",
+       "Reference count leak", "commit 06ab134ce8ec",
+       "bpf_get_task_stack takes a task reference and forgets to drop it on "
+       "the error path"},
+      {std::string(kFaultHelperSkLookupLeak), "helper",
+       "Reference count leak", "commit 3046a827316c",
+       "sk lookup helpers leak request_sock references"},
+      {std::string(kFaultHelperArrayOverflow), "helper",
+       "Integer overflow/underflow", "commit 87ac0d600943",
+       "array map element offset computed in 32 bits wraps for large "
+       "index*value_size"},
+      {std::string(kFaultHelperTaskStorageNull), "helper",
+       "Null-pointer dereference", "commit 1a9c72ad4c26",
+       "bpf_task_storage_get dereferences the owner task pointer without a "
+       "NULL check"},
+      {std::string(kFaultJitBranchOffByOne), "jit",
+       "Arbitrary read/write", "CVE-2021-29154",
+       "branch displacement miscomputed during image finalization hijacks "
+       "control flow"},
+  };
+  return kCatalog;
+}
+
+void FaultRegistry::Inject(std::string_view id) {
+  active_.insert(std::string(id));
+}
+
+void FaultRegistry::Clear(std::string_view id) {
+  auto it = active_.find(id);
+  if (it != active_.end()) {
+    active_.erase(it);
+  }
+}
+
+bool FaultRegistry::IsActive(std::string_view id) const {
+  return active_.contains(id);
+}
+
+}  // namespace ebpf

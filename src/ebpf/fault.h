@@ -1,0 +1,69 @@
+// Fault injection: named, individually switchable defects in the verifier,
+// helpers and JIT. Table 1 of the paper is a census of bugs found in
+// shipping kernels during 2021-2022; this registry makes one representative
+// bug per category *executable*, so the benches can demonstrate the causal
+// chain the paper argues: defect present -> verified program passes -> safety
+// property violated at runtime.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/xbase/types.h"
+
+namespace ebpf {
+
+// Known defect identifiers. Components and categories line up with the rows
+// and columns of Table 1.
+inline constexpr std::string_view kFaultVerifierScalarBounds =
+    "verifier.scalar_bounds";  // arbitrary r/w (CVE-2022-23222 class)
+inline constexpr std::string_view kFaultVerifierPtrLeak =
+    "verifier.ptr_leak_check";  // kernel pointer leak
+inline constexpr std::string_view kFaultVerifierJmp32Bounds =
+    "verifier.jmp32_bounds";  // out-of-bounds (commit 3844d153 class)
+inline constexpr std::string_view kFaultVerifierSpinLock =
+    "verifier.spin_lock_tracking";  // deadlock
+inline constexpr std::string_view kFaultVerifierLoopInlineUaf =
+    "verifier.loop_inline_uaf";  // use-after-free in the verifier itself
+inline constexpr std::string_view kFaultVerifierStateLeak =
+    "verifier.state_leak";  // memory leak in the verifier
+inline constexpr std::string_view kFaultVerifierRefTracking =
+    "verifier.ref_tracking";  // reference tracking disabled
+inline constexpr std::string_view kFaultHelperTaskStackLeak =
+    "helper.get_task_stack.refcount_leak";  // commit 06ab134c class
+inline constexpr std::string_view kFaultHelperSkLookupLeak =
+    "helper.sk_lookup.request_sock_leak";  // commit 3046a827 class
+inline constexpr std::string_view kFaultHelperArrayOverflow =
+    "helper.array_index_overflow";  // commit 87ac0d60 class
+inline constexpr std::string_view kFaultHelperTaskStorageNull =
+    "helper.task_storage.null_owner";  // commit 1a9c72ad class
+inline constexpr std::string_view kFaultJitBranchOffByOne =
+    "jit.branch_off_by_one";  // CVE-2021-29154 class
+
+struct FaultInfo {
+  std::string id;
+  std::string component;  // "verifier" | "helper" | "jit"
+  std::string category;   // Table 1 row
+  std::string reference;  // CVE / commit modelled
+  std::string description;
+};
+
+class FaultRegistry {
+ public:
+  // The catalog of implemented defects (static data).
+  static const std::vector<FaultInfo>& Catalog();
+
+  void Inject(std::string_view id);
+  void Clear(std::string_view id);
+  void ClearAll() { active_.clear(); }
+  bool IsActive(std::string_view id) const;
+
+  xbase::usize active_count() const { return active_.size(); }
+
+ private:
+  std::set<std::string, std::less<>> active_;
+};
+
+}  // namespace ebpf

@@ -1,0 +1,62 @@
+#include "src/ebpf/helper.h"
+
+#include "src/ebpf/helpers_internal.h"
+#include "src/xbase/strfmt.h"
+
+namespace ebpf {
+
+xbase::Status HelperRegistry::Register(HelperSpec spec, HelperFn fn) {
+  if (helpers_.contains(spec.id)) {
+    return xbase::AlreadyExists(
+        xbase::StrFormat("helper id %u already registered", spec.id));
+  }
+  const u32 id = spec.id;
+  helpers_.emplace(id, Entry{std::move(spec), std::move(fn)});
+  return xbase::Status::Ok();
+}
+
+xbase::Result<const HelperSpec*> HelperRegistry::FindSpec(u32 id) const {
+  auto it = helpers_.find(id);
+  if (it == helpers_.end()) {
+    return xbase::NotFound(xbase::StrFormat("unknown helper id %u", id));
+  }
+  return &it->second.spec;
+}
+
+xbase::Result<const HelperFn*> HelperRegistry::FindFn(u32 id) const {
+  auto it = helpers_.find(id);
+  if (it == helpers_.end()) {
+    return xbase::NotFound(xbase::StrFormat("unknown helper id %u", id));
+  }
+  return &it->second.fn;
+}
+
+std::vector<const HelperSpec*> HelperRegistry::AllSpecs() const {
+  std::vector<const HelperSpec*> specs;
+  specs.reserve(helpers_.size());
+  for (const auto& [_, entry] : helpers_) {
+    specs.push_back(&entry.spec);
+  }
+  return specs;
+}
+
+xbase::usize HelperRegistry::CountAtVersion(
+    simkern::KernelVersion version) const {
+  xbase::usize count = 0;
+  for (const auto& [_, entry] : helpers_) {
+    if (entry.spec.introduced <= version) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+xbase::Status RegisterDefaultHelpers(HelperRegistry& registry,
+                                     simkern::Kernel& kernel) {
+  HelperWiring wiring{registry, kernel, std::make_shared<HelperState>()};
+  XB_RETURN_IF_ERROR(RegisterCoreHelpers(wiring));
+  XB_RETURN_IF_ERROR(RegisterNetHelpers(wiring));
+  return xbase::Status::Ok();
+}
+
+}  // namespace ebpf

@@ -1,0 +1,73 @@
+#include "src/ebpf/insn.h"
+
+namespace ebpf {
+
+std::string_view AluOpName(u8 op) {
+  switch (op) {
+    case BPF_ADD:
+      return "add";
+    case BPF_SUB:
+      return "sub";
+    case BPF_MUL:
+      return "mul";
+    case BPF_DIV:
+      return "div";
+    case BPF_OR:
+      return "or";
+    case BPF_AND:
+      return "and";
+    case BPF_LSH:
+      return "lsh";
+    case BPF_RSH:
+      return "rsh";
+    case BPF_NEG:
+      return "neg";
+    case BPF_MOD:
+      return "mod";
+    case BPF_XOR:
+      return "xor";
+    case BPF_MOV:
+      return "mov";
+    case BPF_ARSH:
+      return "arsh";
+    case BPF_END:
+      return "end";
+  }
+  return "alu?";
+}
+
+std::string_view JmpOpName(u8 op) {
+  switch (op) {
+    case BPF_JA:
+      return "ja";
+    case BPF_JEQ:
+      return "jeq";
+    case BPF_JGT:
+      return "jgt";
+    case BPF_JGE:
+      return "jge";
+    case BPF_JSET:
+      return "jset";
+    case BPF_JNE:
+      return "jne";
+    case BPF_JSGT:
+      return "jsgt";
+    case BPF_JSGE:
+      return "jsge";
+    case BPF_CALL:
+      return "call";
+    case BPF_EXIT:
+      return "exit";
+    case BPF_JLT:
+      return "jlt";
+    case BPF_JLE:
+      return "jle";
+    case BPF_JSLT:
+      return "jslt";
+    case BPF_JSLE:
+      return "jsle";
+  }
+  return "jmp?";
+}
+
+}  // namespace ebpf

@@ -1,0 +1,159 @@
+// The eBPF instruction set, encoded exactly as Linux defines it
+// (include/uapi/linux/bpf.h): 8-byte instructions with a 3-bit class, 1-bit
+// source and 4-bit operation in the opcode, 4-bit dst/src register fields, a
+// 16-bit signed offset and a 32-bit signed immediate. Using the real
+// encoding keeps the verifier, interpreter and JIT honest: they face the
+// same decode problems the kernel does.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/xbase/types.h"
+
+namespace ebpf {
+
+using xbase::s16;
+using xbase::s32;
+using xbase::s64;
+using xbase::u16;
+using xbase::u32;
+using xbase::u64;
+using xbase::u8;
+
+// ---- instruction classes (opcode & 0x07) ----------------------------------
+inline constexpr u8 BPF_LD = 0x00;
+inline constexpr u8 BPF_LDX = 0x01;
+inline constexpr u8 BPF_ST = 0x02;
+inline constexpr u8 BPF_STX = 0x03;
+inline constexpr u8 BPF_ALU = 0x04;   // 32-bit ALU
+inline constexpr u8 BPF_JMP = 0x05;   // 64-bit compares
+inline constexpr u8 BPF_JMP32 = 0x06; // 32-bit compares (v5.1+)
+inline constexpr u8 BPF_ALU64 = 0x07;
+
+// ---- size modifiers for LD/LDX/ST/STX (opcode & 0x18) ---------------------
+inline constexpr u8 BPF_W = 0x00;   // 4 bytes
+inline constexpr u8 BPF_H = 0x08;   // 2 bytes
+inline constexpr u8 BPF_B = 0x10;   // 1 byte
+inline constexpr u8 BPF_DW = 0x18;  // 8 bytes
+
+// ---- mode modifiers (opcode & 0xe0) ----------------------------------------
+inline constexpr u8 BPF_IMM = 0x00;
+inline constexpr u8 BPF_ABS = 0x20;
+inline constexpr u8 BPF_IND = 0x40;
+inline constexpr u8 BPF_MEM = 0x60;
+inline constexpr u8 BPF_ATOMIC = 0xc0;
+
+// ---- source (opcode & 0x08) -------------------------------------------------
+inline constexpr u8 BPF_K = 0x00;  // immediate operand
+inline constexpr u8 BPF_X = 0x08;  // register operand
+
+// ---- ALU operations (opcode & 0xf0) ----------------------------------------
+inline constexpr u8 BPF_ADD = 0x00;
+inline constexpr u8 BPF_SUB = 0x10;
+inline constexpr u8 BPF_MUL = 0x20;
+inline constexpr u8 BPF_DIV = 0x30;
+inline constexpr u8 BPF_OR = 0x40;
+inline constexpr u8 BPF_AND = 0x50;
+inline constexpr u8 BPF_LSH = 0x60;
+inline constexpr u8 BPF_RSH = 0x70;
+inline constexpr u8 BPF_NEG = 0x80;
+inline constexpr u8 BPF_MOD = 0x90;
+inline constexpr u8 BPF_XOR = 0xa0;
+inline constexpr u8 BPF_MOV = 0xb0;
+inline constexpr u8 BPF_ARSH = 0xc0;
+inline constexpr u8 BPF_END = 0xd0;
+
+// ---- JMP operations (opcode & 0xf0) ----------------------------------------
+inline constexpr u8 BPF_JA = 0x00;
+inline constexpr u8 BPF_JEQ = 0x10;
+inline constexpr u8 BPF_JGT = 0x20;
+inline constexpr u8 BPF_JGE = 0x30;
+inline constexpr u8 BPF_JSET = 0x40;
+inline constexpr u8 BPF_JNE = 0x50;
+inline constexpr u8 BPF_JSGT = 0x60;
+inline constexpr u8 BPF_JSGE = 0x70;
+inline constexpr u8 BPF_CALL = 0x80;
+inline constexpr u8 BPF_EXIT = 0x90;
+inline constexpr u8 BPF_JLT = 0xa0;
+inline constexpr u8 BPF_JLE = 0xb0;
+inline constexpr u8 BPF_JSLT = 0xc0;
+inline constexpr u8 BPF_JSLE = 0xd0;
+
+// ---- registers ---------------------------------------------------------------
+inline constexpr u8 R0 = 0;   // return value
+inline constexpr u8 R1 = 1;   // arg1 / context on entry
+inline constexpr u8 R2 = 2;
+inline constexpr u8 R3 = 3;
+inline constexpr u8 R4 = 4;
+inline constexpr u8 R5 = 5;   // last argument register
+inline constexpr u8 R6 = 6;   // callee-saved from here
+inline constexpr u8 R7 = 7;
+inline constexpr u8 R8 = 8;
+inline constexpr u8 R9 = 9;
+inline constexpr u8 R10 = 10; // frame pointer, read-only
+inline constexpr int kNumRegs = 11;
+
+// ---- pseudo src_reg values on BPF_LD_IMM64 / BPF_CALL ------------------------
+inline constexpr u8 BPF_PSEUDO_MAP_FD = 1;  // ld_imm64 imm = map fd
+inline constexpr u8 BPF_PSEUDO_CALL = 1;    // call imm = relative subprog pc
+inline constexpr u8 BPF_PSEUDO_KFUNC_CALL = 2;
+inline constexpr u8 BPF_PSEUDO_FUNC = 4;    // ld_imm64 imm = callback pc
+
+// ---- limits -------------------------------------------------------------------
+inline constexpr u32 kMaxStackBytes = 512;
+inline constexpr u32 kMaxProgLenUnpriv = 4096;
+inline constexpr u32 kMaxTailCallDepth = 33;
+inline constexpr u32 kMaxCallFrames = 8;
+
+struct Insn {
+  u8 opcode = 0;
+  u8 dst = 0;  // 4-bit in the wire format; kept as u8 for convenience
+  u8 src = 0;
+  s16 off = 0;
+  s32 imm = 0;
+
+  u8 Class() const { return opcode & 0x07; }
+  u8 AluOp() const { return opcode & 0xf0; }
+  u8 JmpOp() const { return opcode & 0xf0; }
+  u8 Size() const { return opcode & 0x18; }
+  u8 Mode() const { return opcode & 0xe0; }
+  bool UsesRegSrc() const { return (opcode & BPF_X) != 0; }
+
+  bool IsLdImm64() const {
+    return opcode == (BPF_LD | BPF_DW | BPF_IMM);
+  }
+  bool IsCall() const {
+    return Class() == BPF_JMP && JmpOp() == BPF_CALL;
+  }
+  bool IsHelperCall() const { return IsCall() && src == 0; }
+  bool IsPseudoCall() const { return IsCall() && src == BPF_PSEUDO_CALL; }
+  bool IsKfuncCall() const {
+    return IsCall() && src == BPF_PSEUDO_KFUNC_CALL;
+  }
+  bool IsExit() const {
+    return Class() == BPF_JMP && JmpOp() == BPF_EXIT;
+  }
+
+  bool operator==(const Insn&) const = default;
+};
+
+// Byte width of a memory access opcode (1, 2, 4 or 8).
+inline u32 SizeBytes(u8 size_code) {
+  switch (size_code) {
+    case BPF_B:
+      return 1;
+    case BPF_H:
+      return 2;
+    case BPF_W:
+      return 4;
+    case BPF_DW:
+      return 8;
+  }
+  return 0;
+}
+
+std::string_view AluOpName(u8 op);
+std::string_view JmpOpName(u8 op);
+
+}  // namespace ebpf

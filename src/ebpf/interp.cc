@@ -1,0 +1,493 @@
+#include "src/ebpf/interp.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/ebpf/disasm.h"
+#include "src/xbase/bytes.h"
+#include "src/xbase/strfmt.h"
+
+namespace ebpf {
+
+using simkern::Addr;
+using xbase::StrFormat;
+
+namespace {
+
+constexpr u32 kFrameBytes = kMaxStackBytes;
+constexpr u32 kMaxRuntimeFrames = 16;  // bpf2bpf frames + loop callbacks
+
+class Execution final : public RuntimeHooks {
+ public:
+  Execution(Bpf& bpf, const LoadedProgram& prog, const ExecOptions& opts,
+            const Loader* loader)
+      : bpf_(bpf), kernel_(bpf.kernel()), opts_(opts), loader_(loader),
+        insns_(&prog.image.insns) {}
+
+  ~Execution() override {
+    if (stack_base_ != 0) {
+      (void)kernel_.mem().Unmap(stack_base_);
+    }
+  }
+
+  xbase::Result<ExecResult> Run(Addr ctx_addr) {
+    ctx_addr_ = ctx_addr;
+    XB_ASSIGN_OR_RETURN(
+        stack_base_,
+        kernel_.mem().Map(kFrameBytes * kMaxRuntimeFrames,
+                          simkern::MemPerm::kReadWrite,
+                          simkern::RegionKind::kExtensionStack, "bpf-stack"));
+    if (opts_.wrap_in_rcu) {
+      kernel_.rcu().ReadLock(kernel_.clock(), "bpf-prog");
+    }
+
+    u64 regs[kNumRegs] = {};
+    regs[R1] = ctx_addr;
+    regs[R10] = stack_base_ + kFrameBytes;  // frame 0 top
+
+    auto result = RunFrom(0, regs, /*depth=*/0);
+
+    if (opts_.wrap_in_rcu) {
+      (void)kernel_.rcu().ReadUnlock();
+    }
+    if (!result.ok()) {
+      return result.status();
+    }
+    stats_.open_refs_at_exit = open_refs_.size();
+    ExecResult out;
+    out.r0 = result.value();
+    out.stats = stats_;
+    return out;
+  }
+
+  // ---- RuntimeHooks ---------------------------------------------------
+  xbase::Result<u64> InvokeCallback(u32 entry_pc, u64 arg1,
+                                    u64 arg2) override {
+    if (callback_depth_ + 1 >= kMaxRuntimeFrames) {
+      return xbase::ResourceExhausted("callback nesting too deep");
+    }
+    ++callback_depth_;
+    u64 regs[kNumRegs] = {};
+    regs[R1] = arg1;
+    regs[R2] = arg2;
+    regs[R10] = stack_base_ + kFrameBytes * (callback_depth_ + 1);
+    auto result = RunFrom(entry_pc, regs, callback_depth_);
+    --callback_depth_;
+    return result;
+  }
+
+  xbase::Status RequestTailCall(u32 prog_id) override {
+    if (loader_ == nullptr) {
+      return xbase::FailedPrecondition("no loader for tail calls");
+    }
+    if (stats_.tail_calls >= kMaxTailCallDepth) {
+      return xbase::ResourceExhausted("tail call limit reached");
+    }
+    pending_tail_call_ = prog_id;
+    return xbase::Status::Ok();
+  }
+
+  void NoteAcquire(simkern::ObjectId id) override {
+    open_refs_.push_back(id);
+  }
+  void NoteRelease(simkern::ObjectId id) override {
+    open_refs_.erase(std::remove(open_refs_.begin(), open_refs_.end(), id),
+                     open_refs_.end());
+  }
+  void Charge(u64 ns) override {
+    const u64 charged = ns * opts_.cost_multiplier;
+    kernel_.clock().Advance(charged);
+    stats_.sim_time_charged_ns += charged;
+  }
+  Addr ctx_addr() const override { return ctx_addr_; }
+
+ private:
+  xbase::Status RuntimeFault(xbase::Status status) {
+    // Route memory faults through the kernel so the oops is recorded.
+    return kernel_.Route(std::move(status));
+  }
+
+  xbase::Result<u64> ReadSized(Addr addr, u32 size) {
+    u8 buf[8] = {};
+    xbase::Status status =
+        kernel_.mem().ReadChecked(addr, {buf, size}, /*access_key=*/0);
+    if (!status.ok()) {
+      return RuntimeFault(std::move(status));
+    }
+    switch (size) {
+      case 1:
+        return static_cast<u64>(buf[0]);
+      case 2:
+        return static_cast<u64>(xbase::LoadLe16(buf));
+      case 4:
+        return static_cast<u64>(xbase::LoadLe32(buf));
+      default:
+        return xbase::LoadLe64(buf);
+    }
+  }
+
+  xbase::Status WriteSized(Addr addr, u32 size, u64 value) {
+    u8 buf[8];
+    xbase::StoreLe64(buf, value);
+    xbase::Status status =
+        kernel_.mem().WriteChecked(addr, {buf, size}, /*access_key=*/0);
+    if (!status.ok()) {
+      return RuntimeFault(std::move(status));
+    }
+    return xbase::Status::Ok();
+  }
+
+  // Interprets from `pc` in the current image until the frame at `depth`
+  // exits; returns r0.
+  xbase::Result<u64> RunFrom(u32 pc, u64* regs, u32 depth);
+
+  Bpf& bpf_;
+  simkern::Kernel& kernel_;
+  ExecOptions opts_;
+  const Loader* loader_;
+  const std::vector<Insn>* insns_;
+
+  Addr ctx_addr_ = 0;
+  Addr stack_base_ = 0;
+  ExecStats stats_;
+  std::vector<simkern::ObjectId> open_refs_;
+  u32 callback_depth_ = 0;
+  std::optional<u32> pending_tail_call_;
+};
+
+xbase::Result<u64> Execution::RunFrom(u32 pc, u64* regs, u32 depth) {
+  stats_.max_frame_depth = std::max(stats_.max_frame_depth, depth);
+
+  // Saved caller contexts for bpf2bpf calls within this RunFrom activation.
+  struct SavedFrame {
+    u64 regs[kNumRegs];
+    u32 return_pc;
+  };
+  std::vector<SavedFrame> call_stack;
+  u32 bpf_frame = depth;
+
+  while (true) {
+    if (pc >= insns_->size()) {
+      return RuntimeFault(xbase::KernelFault(
+          StrFormat("bpf: pc %u out of range (JIT image corruption?)", pc)));
+    }
+    ++stats_.insns;
+    Charge(simkern::kCostPerInsnNs);
+    if ((stats_.insns & 0xfff) == 0) {
+      kernel_.rcu().CheckStall(kernel_.clock());
+    }
+    if (stats_.insns > opts_.max_insns) {
+      return xbase::Terminated(StrFormat(
+          "harness insn cap (%llu) exceeded — the kernel itself would keep "
+          "running",
+          static_cast<unsigned long long>(opts_.max_insns)));
+    }
+
+    const Insn insn = (*insns_)[pc];
+    const u8 cls = insn.Class();
+
+    switch (cls) {
+      case BPF_ALU64:
+      case BPF_ALU: {
+        const bool is64 = cls == BPF_ALU64;
+        const u8 op = insn.AluOp();
+        u64 src = insn.UsesRegSrc()
+                      ? regs[insn.src]
+                      : (is64 ? static_cast<u64>(static_cast<s64>(insn.imm))
+                              : static_cast<u32>(insn.imm));
+        u64& dst = regs[insn.dst];
+        if (!is64) {
+          src = static_cast<u32>(src);
+        }
+        u64 value = is64 ? dst : static_cast<u32>(dst);
+        switch (op) {
+          case BPF_ADD:
+            value += src;
+            break;
+          case BPF_SUB:
+            value -= src;
+            break;
+          case BPF_MUL:
+            value *= src;
+            break;
+          case BPF_DIV:
+            value = src == 0 ? 0 : value / src;
+            break;
+          case BPF_MOD:
+            value = src == 0 ? value : value % src;
+            break;
+          case BPF_OR:
+            value |= src;
+            break;
+          case BPF_AND:
+            value &= src;
+            break;
+          case BPF_XOR:
+            value ^= src;
+            break;
+          case BPF_LSH:
+            value <<= (src & (is64 ? 63 : 31));
+            break;
+          case BPF_RSH:
+            value >>= (src & (is64 ? 63 : 31));
+            break;
+          case BPF_ARSH:
+            if (is64) {
+              value = static_cast<u64>(static_cast<s64>(value) >>
+                                       (src & 63));
+            } else {
+              value = static_cast<u32>(static_cast<s32>(value) >>
+                                       (src & 31));
+            }
+            break;
+          case BPF_NEG:
+            value = ~value + 1;
+            break;
+          case BPF_MOV:
+            value = src;
+            break;
+          case BPF_END: {
+            const u32 bits = static_cast<u32>(insn.imm);
+            u64 v = dst;
+            if (insn.UsesRegSrc()) {  // to big-endian: swap
+              u8 buf[8];
+              xbase::StoreLe64(buf, v);
+              std::reverse(buf, buf + bits / 8);
+              u8 full[8] = {};
+              std::memcpy(full, buf, bits / 8);
+              v = xbase::LoadLe64(full);
+            }
+            if (bits < 64) {
+              v &= (u64{1} << bits) - 1;
+            }
+            value = v;
+            break;
+          }
+          default:
+            return RuntimeFault(
+                xbase::KernelFault("bpf: unknown ALU opcode at runtime"));
+        }
+        dst = is64 ? value : static_cast<u32>(value);
+        ++pc;
+        break;
+      }
+
+      case BPF_LD: {
+        // ld_imm64 (pseudo values resolved here, mirroring load-time fixup).
+        if (!insn.IsLdImm64() || pc + 1 >= insns_->size()) {
+          return RuntimeFault(xbase::KernelFault("bpf: bad ld_imm64"));
+        }
+        if (insn.src == BPF_PSEUDO_MAP_FD) {
+          regs[insn.dst] = MapHandleFromFd(insn.imm);
+        } else if (insn.src == BPF_PSEUDO_FUNC) {
+          regs[insn.dst] = static_cast<u32>(insn.imm);
+        } else {
+          regs[insn.dst] =
+              (static_cast<u64>(static_cast<u32>((*insns_)[pc + 1].imm))
+               << 32) |
+              static_cast<u32>(insn.imm);
+        }
+        pc += 2;
+        break;
+      }
+
+      case BPF_LDX: {
+        const u32 size = SizeBytes(insn.Size());
+        XB_ASSIGN_OR_RETURN(
+            regs[insn.dst],
+            ReadSized(regs[insn.src] + static_cast<s64>(insn.off), size));
+        ++pc;
+        break;
+      }
+      case BPF_STX: {
+        const u32 size = SizeBytes(insn.Size());
+        const Addr addr = regs[insn.dst] + static_cast<s64>(insn.off);
+        if (insn.Mode() == BPF_ATOMIC) {
+          if (insn.imm != BPF_ADD) {
+            return RuntimeFault(
+                xbase::KernelFault("bpf: unsupported atomic op at runtime"));
+          }
+          XB_ASSIGN_OR_RETURN(const u64 old_value, ReadSized(addr, size));
+          XB_RETURN_IF_ERROR(
+              WriteSized(addr, size, old_value + regs[insn.src]));
+          ++pc;
+          break;
+        }
+        XB_RETURN_IF_ERROR(WriteSized(addr, size, regs[insn.src]));
+        ++pc;
+        break;
+      }
+      case BPF_ST: {
+        const u32 size = SizeBytes(insn.Size());
+        XB_RETURN_IF_ERROR(WriteSized(
+            regs[insn.dst] + static_cast<s64>(insn.off), size,
+            static_cast<u64>(static_cast<s64>(insn.imm))));
+        ++pc;
+        break;
+      }
+
+      case BPF_JMP:
+      case BPF_JMP32: {
+        const u8 op = insn.JmpOp();
+        if (op == BPF_EXIT) {
+          if (!call_stack.empty()) {
+            // Return from bpf2bpf call.
+            const u64 r0 = regs[R0];
+            SavedFrame& saved = call_stack.back();
+            std::memcpy(regs, saved.regs, sizeof(saved.regs));
+            regs[R0] = r0;
+            pc = saved.return_pc;
+            call_stack.pop_back();
+            --bpf_frame;
+            break;
+          }
+          return regs[R0];
+        }
+        if (op == BPF_CALL) {
+          if (insn.IsPseudoCall()) {
+            if (bpf_frame + 1 >= kMaxRuntimeFrames) {
+              return RuntimeFault(
+                  xbase::KernelFault("bpf: call stack overflow"));
+            }
+            SavedFrame saved;
+            std::memcpy(saved.regs, regs, sizeof(saved.regs));
+            saved.return_pc = pc + 1;
+            call_stack.push_back(saved);
+            ++bpf_frame;
+            stats_.max_frame_depth =
+                std::max(stats_.max_frame_depth, bpf_frame);
+            regs[R10] = stack_base_ + kFrameBytes * (bpf_frame + 1);
+            pc = static_cast<u32>(static_cast<s64>(pc) + 1 + insn.imm);
+            break;
+          }
+          // Helper or kfunc call.
+          ++stats_.helper_calls;
+          xbase::Result<const HelperFn*> fn = xbase::NotFound("");
+          u64 cost_ns = simkern::kCostHelperCallNs;
+          if (insn.IsKfuncCall()) {
+            auto spec = bpf_.kfuncs().FindSpec(static_cast<u32>(insn.imm));
+            if (!spec.ok()) {
+              return RuntimeFault(xbase::KernelFault(
+                  StrFormat("bpf: call to unknown kfunc #%d", insn.imm)));
+            }
+            cost_ns = spec.value()->cost_ns;
+            fn = bpf_.kfuncs().FindFn(static_cast<u32>(insn.imm));
+          } else {
+            auto spec = bpf_.helpers().FindSpec(static_cast<u32>(insn.imm));
+            if (!spec.ok()) {
+              return RuntimeFault(xbase::KernelFault(
+                  StrFormat("bpf: call to unknown helper #%d", insn.imm)));
+            }
+            cost_ns = spec.value()->cost_ns;
+            fn = bpf_.helpers().FindFn(static_cast<u32>(insn.imm));
+          }
+          Charge(cost_ns);
+          HelperCtx hctx = bpf_.MakeHelperCtx(this);
+          const HelperArgs args = {regs[R1], regs[R2], regs[R3], regs[R4],
+                                   regs[R5]};
+          auto ret = (*fn.value())(hctx, args);
+          if (!ret.ok()) {
+            return ret.status();
+          }
+          regs[R0] = ret.value();
+          // Scratch registers die across calls; poison them so buggy
+          // programs fail loudly rather than silently.
+          for (int r = R1; r <= R5; ++r) {
+            regs[r] = 0xdead2bad00000000ULL + static_cast<u64>(r);
+          }
+          if (pending_tail_call_.has_value()) {
+            const u32 target_id = *pending_tail_call_;
+            pending_tail_call_.reset();
+            auto target = loader_->Find(target_id);
+            if (!target.ok()) {
+              return RuntimeFault(
+                  xbase::KernelFault("bpf: tail call to missing program"));
+            }
+            ++stats_.tail_calls;
+            insns_ = &target.value()->image.insns;
+            regs[R1] = ctx_addr_;
+            pc = 0;
+            break;
+          }
+          ++pc;
+          break;
+        }
+        if (op == BPF_JA) {
+          pc = static_cast<u32>(static_cast<s64>(pc) + 1 + insn.off);
+          break;
+        }
+        // Conditional branches.
+        const bool is32 = cls == BPF_JMP32;
+        u64 dst = regs[insn.dst];
+        u64 src = insn.UsesRegSrc()
+                      ? regs[insn.src]
+                      : static_cast<u64>(static_cast<s64>(insn.imm));
+        if (is32) {
+          dst = static_cast<u32>(dst);
+          src = static_cast<u32>(src);
+        }
+        const s64 sdst = is32 ? static_cast<s32>(dst)
+                              : static_cast<s64>(dst);
+        const s64 ssrc = is32 ? static_cast<s32>(src)
+                              : static_cast<s64>(src);
+        bool taken = false;
+        switch (op) {
+          case BPF_JEQ:
+            taken = dst == src;
+            break;
+          case BPF_JNE:
+            taken = dst != src;
+            break;
+          case BPF_JGT:
+            taken = dst > src;
+            break;
+          case BPF_JGE:
+            taken = dst >= src;
+            break;
+          case BPF_JLT:
+            taken = dst < src;
+            break;
+          case BPF_JLE:
+            taken = dst <= src;
+            break;
+          case BPF_JSGT:
+            taken = sdst > ssrc;
+            break;
+          case BPF_JSGE:
+            taken = sdst >= ssrc;
+            break;
+          case BPF_JSLT:
+            taken = sdst < ssrc;
+            break;
+          case BPF_JSLE:
+            taken = sdst <= ssrc;
+            break;
+          case BPF_JSET:
+            taken = (dst & src) != 0;
+            break;
+          default:
+            return RuntimeFault(
+                xbase::KernelFault("bpf: unknown jump opcode"));
+        }
+        pc = taken ? static_cast<u32>(static_cast<s64>(pc) + 1 + insn.off)
+                   : pc + 1;
+        break;
+      }
+
+      default:
+        return RuntimeFault(
+            xbase::KernelFault("bpf: unknown instruction class at runtime"));
+    }
+  }
+}
+
+}  // namespace
+
+xbase::Result<ExecResult> Execute(Bpf& bpf, const LoadedProgram& prog,
+                                  Addr ctx_addr, const ExecOptions& options,
+                                  const Loader* loader) {
+  Execution execution(bpf, prog, options, loader);
+  return execution.Run(ctx_addr);
+}
+
+}  // namespace ebpf

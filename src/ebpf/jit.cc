@@ -1,0 +1,36 @@
+#include "src/ebpf/jit.h"
+
+namespace ebpf {
+
+xbase::Result<JitImage> JitCompile(const Program& prog,
+                                   const FaultRegistry& faults) {
+  JitImage out;
+  out.image = prog;
+  out.stats.insns_translated = prog.len();
+
+  const bool corrupt_branches = faults.IsActive(kFaultJitBranchOffByOne);
+
+  for (u32 pc = 0; pc < out.image.len(); ++pc) {
+    Insn& insn = out.image.insns[pc];
+    if (insn.IsLdImm64()) {
+      ++pc;
+      continue;
+    }
+    const u8 cls = insn.Class();
+    if ((cls == BPF_JMP || cls == BPF_JMP32) && !insn.IsCall() &&
+        !insn.IsExit()) {
+      ++out.stats.branches_relocated;
+      if (corrupt_branches && insn.off > 15) {
+        // CVE-2021-29154 class: during image finalization the displacement
+        // of a long branch is computed against the wrong base and lands one
+        // instruction short. The verifier's control-flow proof is now
+        // meaningless.
+        insn.off = static_cast<s16>(insn.off - 1);
+        ++out.stats.branches_corrupted;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ebpf

@@ -1,0 +1,31 @@
+// The "JIT": the post-verification translation pass that produces the image
+// the kernel actually executes. In this simulation the image is another
+// instruction vector (pre-validated, so the executor can skip decode
+// checks), which preserves the property the paper leans on: the JIT runs
+// *after* the verifier, so a JIT bug invalidates everything the verifier
+// proved. CVE-2021-29154 — a miscomputed branch displacement — is modelled
+// as an injectable off-by-one on long branches.
+#pragma once
+
+#include "src/ebpf/fault.h"
+#include "src/ebpf/prog.h"
+#include "src/xbase/status.h"
+
+namespace ebpf {
+
+struct JitStats {
+  u32 insns_translated = 0;
+  u32 branches_relocated = 0;
+  u32 branches_corrupted = 0;  // nonzero only under jit.branch_off_by_one
+};
+
+struct JitImage {
+  Program image;
+  JitStats stats;
+};
+
+// Translates a verified program into an executable image.
+xbase::Result<JitImage> JitCompile(const Program& prog,
+                                   const FaultRegistry& faults);
+
+}  // namespace ebpf

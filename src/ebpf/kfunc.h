@@ -1,0 +1,75 @@
+// kfuncs: internal kernel functions exposed to BPF programs (v5.13+,
+// LWN "Calling kernel functions from BPF" — reference [16] of the paper).
+// Unlike helpers, these were *not written with eBPF usage in mind*: their
+// argument specifications are whatever BTF can express, their bodies
+// perform no extension-grade input sanitization, and the paper predicts
+// this interface will widen the attack surface faster than helpers did.
+// The registry mirrors that reality: specs are shallower than helper specs
+// and the example kfuncs below include one that genuinely cannot tolerate
+// a hostile argument.
+#pragma once
+
+#include "src/ebpf/helper.h"
+
+namespace ebpf {
+
+struct KfuncSpec {
+  u32 btf_id = 0;
+  std::string name;
+  simkern::KernelVersion introduced;
+  // Shallow argument classes: kfuncs only distinguish "pointer-ish" from
+  // scalar; sizes and pointee types are BTF's problem, which the verifier
+  // of this simulation (like early kernels) does not model deeply.
+  std::array<ArgType, 5> args = {ArgType::kNone, ArgType::kNone,
+                                 ArgType::kNone, ArgType::kNone,
+                                 ArgType::kNone};
+  bool acquires_ref = false;  // KF_ACQUIRE
+  bool releases_ref = false;  // KF_RELEASE (first argument)
+  std::string entry_func;     // call-graph node
+  u64 cost_ns = simkern::kCostHelperCallNs;
+
+  int arg_count() const {
+    int count = 0;
+    for (ArgType arg : args) {
+      if (arg != ArgType::kNone) {
+        ++count;
+      }
+    }
+    return count;
+  }
+};
+
+using KfuncFn = HelperFn;
+
+class KfuncRegistry {
+ public:
+  xbase::Status Register(KfuncSpec spec, KfuncFn fn);
+  xbase::Result<const KfuncSpec*> FindSpec(u32 btf_id) const;
+  xbase::Result<const KfuncFn*> FindFn(u32 btf_id) const;
+  std::vector<const KfuncSpec*> AllSpecs() const;
+  xbase::usize CountAtVersion(simkern::KernelVersion version) const;
+
+ private:
+  struct Entry {
+    KfuncSpec spec;
+    KfuncFn fn;
+  };
+  std::map<u32, Entry> kfuncs_;
+};
+
+// Registers the default kfunc set and wires its call-graph entries.
+xbase::Status RegisterDefaultKfuncs(KfuncRegistry& registry,
+                                    simkern::Kernel& kernel);
+
+// The btf_ids of the default set (stable for tests/benches).
+enum KfuncId : u32 {
+  kKfuncTaskAcquire = 1001,   // v5.13: take a task reference
+  kKfuncTaskRelease = 1002,   // v5.13
+  kKfuncSkbSummarize = 1101,  // v5.15: fold packet bytes into a cookie
+  kKfuncVmaLookup = 1201,     // v5.17: walk a task's memory map — written
+                              // for in-kernel callers that pass sane
+                              // arguments; a hostile task pointer oopses.
+  kKfuncCgroupAncestor = 1301,  // v6.1
+};
+
+}  // namespace ebpf

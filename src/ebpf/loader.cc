@@ -1,0 +1,55 @@
+#include "src/ebpf/loader.h"
+
+#include "src/xbase/strfmt.h"
+
+namespace ebpf {
+
+xbase::Result<u32> Loader::Load(const Program& prog,
+                                const LoadOptions& options) {
+  simkern::Kernel& kernel = bpf_.kernel();
+  if (!options.privileged && kernel.config().unprivileged_bpf_disabled) {
+    // The v5.15+ default the paper cites [22]: the community no longer
+    // trusts the verifier enough to expose it to unprivileged users.
+    return xbase::PermissionDenied(
+        "unprivileged BPF is disabled (kernel.unprivileged_bpf_disabled=1)");
+  }
+
+  VerifyOptions vopts;
+  vopts.version = options.version_override.value_or(kernel.version());
+  vopts.privileged = options.privileged;
+  vopts.faults = &bpf_.faults();
+  vopts.kfuncs = &bpf_.kfuncs();
+
+  XB_ASSIGN_OR_RETURN(VerifyResult verify,
+                      Verify(prog, bpf_.maps(), bpf_.helpers(), vopts));
+  XB_ASSIGN_OR_RETURN(JitImage jit, JitCompile(prog, bpf_.faults()));
+
+  LoadedProgram loaded;
+  loaded.id = next_id_++;
+  loaded.source = prog;
+  loaded.image = std::move(jit.image);
+  loaded.verify = std::move(verify);
+  loaded.jit = jit.stats;
+
+  kernel.Printk(xbase::StrFormat(
+      "bpf: prog %u (%s) loaded, type %s, %u insns, verifier processed "
+      "%llu insns / %llu states",
+      loaded.id, prog.name.c_str(), ProgTypeName(prog.type).data(),
+      prog.len(),
+      static_cast<unsigned long long>(loaded.verify.stats.insns_processed),
+      static_cast<unsigned long long>(loaded.verify.stats.states_explored)));
+
+  const u32 id = loaded.id;
+  progs_.emplace(id, std::move(loaded));
+  return id;
+}
+
+xbase::Result<const LoadedProgram*> Loader::Find(u32 id) const {
+  auto it = progs_.find(id);
+  if (it == progs_.end()) {
+    return xbase::NotFound(xbase::StrFormat("no loaded program id %u", id));
+  }
+  return &it->second;
+}
+
+}  // namespace ebpf

@@ -1,0 +1,50 @@
+// The load path: what the bpf(2) syscall does with BPF_PROG_LOAD. A program
+// submitted here is verified (per the kernel's version and the caller's
+// privilege), JIT-translated, and stored for attachment/tail calls. This is
+// the half of Figure 1 the paper wants to retire.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "src/ebpf/bpf.h"
+#include "src/ebpf/jit.h"
+#include "src/ebpf/verifier.h"
+
+namespace ebpf {
+
+struct LoadedProgram {
+  u32 id = 0;
+  Program source;     // as submitted
+  Program image;      // as executed (post-JIT)
+  VerifyResult verify;
+  JitStats jit;
+};
+
+struct LoadOptions {
+  bool privileged = true;
+  // Verify as a different kernel version than the host kernel (tests only);
+  // unset means kernel.version().
+  std::optional<simkern::KernelVersion> version_override;
+};
+
+class Loader {
+ public:
+  explicit Loader(Bpf& bpf) : bpf_(bpf) {}
+
+  // Full load path. Returns the program id, or the verifier/permission
+  // failure.
+  xbase::Result<u32> Load(const Program& prog, const LoadOptions& options = {});
+
+  xbase::Result<const LoadedProgram*> Find(u32 id) const;
+
+  xbase::usize size() const { return progs_.size(); }
+
+ private:
+  Bpf& bpf_;
+  std::map<u32, LoadedProgram> progs_;
+  u32 next_id_ = 1;
+};
+
+}  // namespace ebpf

@@ -1,0 +1,25 @@
+#include "src/ebpf/prog.h"
+
+namespace ebpf {
+
+std::string_view ProgTypeName(ProgType type) {
+  switch (type) {
+    case ProgType::kSocketFilter:
+      return "socket_filter";
+    case ProgType::kKprobe:
+      return "kprobe";
+    case ProgType::kTracepoint:
+      return "tracepoint";
+    case ProgType::kXdp:
+      return "xdp";
+    case ProgType::kPerfEvent:
+      return "perf_event";
+    case ProgType::kCgroupSkb:
+      return "cgroup_skb";
+    case ProgType::kSyscall:
+      return "syscall";
+  }
+  return "unknown";
+}
+
+}  // namespace ebpf

@@ -1,0 +1,45 @@
+// Program container and program types. A Program is what userspace submits
+// to the load path: raw instructions plus metadata. Nothing here is trusted;
+// the verifier decides whether it runs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ebpf/insn.h"
+#include "src/xbase/status.h"
+
+namespace ebpf {
+
+enum class ProgType : u8 {
+  kSocketFilter,  // v3.19-era classic attach point
+  kKprobe,        // tracing
+  kTracepoint,
+  kXdp,           // packet processing, ctx = xdp_md-like
+  kPerfEvent,
+  kCgroupSkb,
+  kSyscall,       // bpf_sys_bpf-capable programs (v5.14+)
+};
+
+std::string_view ProgTypeName(ProgType type);
+
+// Verdicts XDP programs return.
+inline constexpr u64 kXdpAborted = 0;
+inline constexpr u64 kXdpDrop = 1;
+inline constexpr u64 kXdpPass = 2;
+inline constexpr u64 kXdpTx = 3;
+
+struct Program {
+  std::string name;
+  ProgType type = ProgType::kSocketFilter;
+  std::vector<Insn> insns;
+  bool gpl_compatible = true;
+  // Subprogram entry points (instruction indices), discovered by the
+  // verifier from pseudo calls; entry 0 is implicit.
+  std::vector<u32> subprog_starts;
+
+  u32 len() const { return static_cast<u32>(insns.size()); }
+};
+
+}  // namespace ebpf

@@ -1,0 +1,51 @@
+// Definitions shared between the verifier, interpreter, JIT and helpers:
+// the runtime encoding of map references and the errno values helpers
+// return (negative, in the kernel convention).
+#pragma once
+
+#include "src/xbase/status.h"
+#include "src/xbase/types.h"
+
+namespace ebpf {
+
+using xbase::s64;
+using xbase::u64;
+
+// A ld_imm64 with BPF_PSEUDO_MAP_FD resolves at load time to a tagged map
+// handle rather than a kernel pointer; helpers decode the fd back out. The
+// tag lives far outside the simulated kernel address range, so a program
+// that tries to dereference a map handle faults instead of aliasing real
+// memory.
+inline constexpr u64 kMapHandleTag = 0xc0ffee00'00000000ULL;
+inline constexpr u64 kMapHandleMask = 0xffffff00'00000000ULL;
+
+inline u64 MapHandleFromFd(int fd) {
+  return kMapHandleTag | static_cast<xbase::u32>(fd);
+}
+
+inline bool IsMapHandle(u64 value) {
+  return (value & kMapHandleMask) == kMapHandleTag;
+}
+
+inline xbase::Result<int> FdFromMapHandle(u64 value) {
+  if (!IsMapHandle(value)) {
+    return xbase::InvalidArgument("value is not a map handle");
+  }
+  return static_cast<int>(value & 0xffffffff);
+}
+
+// Errno values, returned negative from helpers.
+inline constexpr s64 kEPerm = 1;
+inline constexpr s64 kENoEnt = 2;
+inline constexpr s64 kE2Big = 7;
+inline constexpr s64 kEAgain = 11;
+inline constexpr s64 kEFault = 14;
+inline constexpr s64 kEExist = 17;
+inline constexpr s64 kEInval = 22;
+inline constexpr s64 kENoSpc = 28;
+
+inline u64 NegErrno(s64 errno_value) {
+  return static_cast<u64>(-errno_value);
+}
+
+}  // namespace ebpf

@@ -1,0 +1,160 @@
+#include "src/ebpf/tnum.h"
+
+#include "src/xbase/strfmt.h"
+
+namespace ebpf {
+
+using xbase::u64;
+using xbase::u8;
+
+std::string Tnum::ToString() const {
+  if (IsConst()) {
+    return xbase::StrFormat("%llu", static_cast<unsigned long long>(value));
+  }
+  if (IsUnknown()) {
+    return "unknown";
+  }
+  return xbase::StrFormat("(v=0x%llx,m=0x%llx)",
+                          static_cast<unsigned long long>(value),
+                          static_cast<unsigned long long>(mask));
+}
+
+namespace {
+int Fls64(u64 x) {
+  int bits = 0;
+  while (x != 0) {
+    x >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+}  // namespace
+
+Tnum TnumRange(u64 min, u64 max) {
+  const u64 chi = min ^ max;
+  const int bits = Fls64(chi);
+  if (bits > 63) {
+    return TnumUnknown();
+  }
+  const u64 delta = (u64{1} << bits) - 1;
+  return Tnum{min & ~delta, delta};
+}
+
+Tnum TnumAdd(Tnum a, Tnum b) {
+  const u64 sm = a.mask + b.mask;
+  const u64 sv = a.value + b.value;
+  const u64 sigma = sm + sv;
+  const u64 chi = sigma ^ sv;
+  const u64 mu = chi | a.mask | b.mask;
+  return Tnum{sv & ~mu, mu};
+}
+
+Tnum TnumSub(Tnum a, Tnum b) {
+  const u64 dv = a.value - b.value;
+  const u64 alpha = dv + a.mask;
+  const u64 beta = dv - b.mask;
+  const u64 chi = alpha ^ beta;
+  const u64 mu = chi | a.mask | b.mask;
+  return Tnum{dv & ~mu, mu};
+}
+
+Tnum TnumAnd(Tnum a, Tnum b) {
+  const u64 alpha = a.value | a.mask;
+  const u64 beta = b.value | b.mask;
+  const u64 v = a.value & b.value;
+  return Tnum{v, alpha & beta & ~v};
+}
+
+Tnum TnumOr(Tnum a, Tnum b) {
+  const u64 v = a.value | b.value;
+  const u64 mu = a.mask | b.mask;
+  return Tnum{v, mu & ~v};
+}
+
+Tnum TnumXor(Tnum a, Tnum b) {
+  const u64 v = a.value ^ b.value;
+  const u64 mu = a.mask | b.mask;
+  return Tnum{v & ~mu, mu};
+}
+
+Tnum TnumLshift(Tnum a, u8 shift) {
+  return Tnum{a.value << shift, a.mask << shift};
+}
+
+Tnum TnumRshift(Tnum a, u8 shift) {
+  return Tnum{a.value >> shift, a.mask >> shift};
+}
+
+Tnum TnumArshift(Tnum a, u8 shift, u8 insn_bitness) {
+  if (insn_bitness == 32) {
+    const xbase::u32 value =
+        static_cast<xbase::u32>(static_cast<xbase::s32>(a.value) >> shift);
+    const xbase::u32 mask =
+        static_cast<xbase::u32>(static_cast<xbase::s32>(a.mask) >> shift);
+    return Tnum{value, mask};
+  }
+  return Tnum{static_cast<u64>(static_cast<xbase::s64>(a.value) >> shift),
+              static_cast<u64>(static_cast<xbase::s64>(a.mask) >> shift)};
+}
+
+// Half-multiply: accumulate (a << n) iff bit n of b is set/unknown.
+Tnum TnumMul(Tnum a, Tnum b) {
+  const u64 acc_v = a.value * b.value;
+  Tnum acc_m{0, 0};
+  while (a.value != 0 || a.mask != 0) {
+    if ((a.value & 1) != 0) {
+      acc_m = TnumAdd(acc_m, Tnum{0, b.mask});
+    } else if ((a.mask & 1) != 0) {
+      acc_m = TnumAdd(acc_m, Tnum{0, b.value | b.mask});
+    }
+    a = TnumRshift(a, 1);
+    b = TnumLshift(b, 1);
+  }
+  return TnumAdd(Tnum{acc_v, 0}, acc_m);
+}
+
+Tnum TnumIntersect(Tnum a, Tnum b) {
+  const u64 v = a.value | b.value;
+  const u64 mu = a.mask & b.mask;
+  return Tnum{v & ~mu, mu};
+}
+
+Tnum TnumCast(Tnum a, u8 size) {
+  if (size >= 8) {
+    return a;
+  }
+  const u64 keep = (u64{1} << (size * 8)) - 1;
+  return Tnum{a.value & keep, a.mask & keep};
+}
+
+bool TnumIsAligned(Tnum a, u64 size) {
+  if (size == 0) {
+    return true;
+  }
+  return ((a.value | a.mask) & (size - 1)) == 0;
+}
+
+bool TnumIn(Tnum a, Tnum b) {
+  if ((b.mask & ~a.mask) != 0) {
+    return false;
+  }
+  return a.value == (b.value & ~a.mask);
+}
+
+Tnum TnumSubreg(Tnum a) { return TnumCast(a, 4); }
+
+Tnum TnumClearSubreg(Tnum a) {
+  return Tnum{a.value & ~u64{0xffffffff}, a.mask & ~u64{0xffffffff}};
+}
+
+Tnum TnumWithSubreg(Tnum reg, Tnum subreg) {
+  const Tnum hi = TnumClearSubreg(reg);
+  const Tnum lo = TnumSubreg(subreg);
+  return Tnum{hi.value | lo.value, hi.mask | lo.mask};
+}
+
+Tnum TnumConstSubreg(Tnum reg, xbase::u32 value) {
+  return TnumWithSubreg(reg, TnumConst(value));
+}
+
+}  // namespace ebpf

@@ -1,0 +1,64 @@
+// Tristate numbers: the verifier's abstract domain for tracking which bits
+// of a register are known. Each tnum is (value, mask): mask bits are
+// unknown, and for every known bit the corresponding value bit holds its
+// value (value & mask == 0 is the representation invariant). The algebra
+// follows kernel/bpf/tnum.c, whose soundness and precision are analysed in
+// Vishwanathan et al., "Sound, Precise, and Fast Abstract Interpretation
+// with Tristate Numbers" (CGO '22) — reference [50] of the paper.
+#pragma once
+
+#include <string>
+
+#include "src/xbase/types.h"
+
+namespace ebpf {
+
+struct Tnum {
+  xbase::u64 value = 0;
+  xbase::u64 mask = 0;
+
+  bool IsConst() const { return mask == 0; }
+  bool IsUnknown() const { return mask == ~xbase::u64{0}; }
+  // True if this tnum admits the concrete value `v`.
+  bool Contains(xbase::u64 v) const { return ((v ^ value) & ~mask) == 0; }
+
+  bool operator==(const Tnum&) const = default;
+
+  std::string ToString() const;
+};
+
+inline constexpr Tnum TnumConst(xbase::u64 value) { return Tnum{value, 0}; }
+inline constexpr Tnum TnumUnknown() { return Tnum{0, ~xbase::u64{0}}; }
+
+// Smallest tnum containing every value in [min, max].
+Tnum TnumRange(xbase::u64 min, xbase::u64 max);
+
+Tnum TnumAdd(Tnum a, Tnum b);
+Tnum TnumSub(Tnum a, Tnum b);
+Tnum TnumAnd(Tnum a, Tnum b);
+Tnum TnumOr(Tnum a, Tnum b);
+Tnum TnumXor(Tnum a, Tnum b);
+Tnum TnumMul(Tnum a, Tnum b);
+Tnum TnumLshift(Tnum a, xbase::u8 shift);
+Tnum TnumRshift(Tnum a, xbase::u8 shift);
+Tnum TnumArshift(Tnum a, xbase::u8 shift, xbase::u8 insn_bitness);
+
+// Greatest lower bound: the tnum whose concretization is (approximately) the
+// intersection; callers must know a and b are consistent.
+Tnum TnumIntersect(Tnum a, Tnum b);
+
+// Truncate to `size` bytes.
+Tnum TnumCast(Tnum a, xbase::u8 size);
+
+bool TnumIsAligned(Tnum a, xbase::u64 size);
+
+// True if b is a subset of a (every value b admits, a admits).
+bool TnumIn(Tnum a, Tnum b);
+
+// 32-bit subregister views.
+Tnum TnumSubreg(Tnum a);
+Tnum TnumClearSubreg(Tnum a);
+Tnum TnumWithSubreg(Tnum reg, Tnum subreg);
+Tnum TnumConstSubreg(Tnum reg, xbase::u32 value);
+
+}  // namespace ebpf

@@ -1,0 +1,92 @@
+#include "src/ebpf/verifier_features.h"
+
+namespace ebpf {
+
+using simkern::KernelVersion;
+
+const std::vector<VFeatureInfo>& VerifierFeatureTable() {
+  static const std::vector<VFeatureInfo> kTable = {
+      {VFeature::kBase, {3, 18}, 2400, "base",
+       "CFG validation, register typing, stack tracking, helper argument "
+       "checks, alignment, size limits",
+       true},
+      {VFeature::kCtxAccessTables, {4, 3}, 450, "ctx_access",
+       "per-program-type context field access tables", true},
+      {VFeature::kDirectPacketAccess, {4, 9}, 800, "direct_packet",
+       "packet pointers with compare-established ranges", true},
+      {VFeature::kFullRangeTracking, {4, 14}, 1250, "range_tracking",
+       "signed/unsigned min/max bounds + tristate numbers on every scalar",
+       true},
+      {VFeature::kBpf2BpfCalls, {4, 16}, 500, "bpf2bpf",
+       "BPF-to-BPF function calls with per-frame state (the 500-line "
+       "addition of [45])",
+       true},
+      {VFeature::kSpectreSanitation, {4, 17}, 600, "spectre",
+       "speculative-execution sanitation of pointer arithmetic [46,47]",
+       true},
+      {VFeature::kRefTracking, {4, 20}, 450, "ref_tracking",
+       "acquired-reference discipline for sk_lookup-style helpers", true},
+      {VFeature::kInsnBudget1M, {5, 2}, 250, "budget_1m",
+       "1M-instruction budget and pruning rework", true},
+      {VFeature::kBoundedLoops, {5, 3}, 550, "bounded_loops",
+       "back-edges permitted; loops explored iteration by iteration", true},
+      {VFeature::kSpinLockTracking, {5, 4}, 350, "spin_lock",
+       "one-lock-at-a-time and release-before-exit checks for "
+       "bpf_spin_lock [48]",
+       true},
+      {VFeature::k32BitBounds, {5, 10}, 1100, "bounds32",
+       "JMP32 and 32-bit subregister bounds tracking", true},
+      {VFeature::kKfuncCalls, {5, 13}, 400, "kfunc",
+       "calls into exported internal kernel functions [16]", true},
+      {VFeature::kBtfTracking, {5, 15}, 900, "btf_ptr",
+       "BTF-typed pointer tracking (PTR_TO_BTF_ID)", false},
+      {VFeature::kMiscHardening, {5, 15}, 500, "hardening",
+       "ALU sanitation reworks and bounds-propagation fixes", false},
+      {VFeature::kBpfLoopCallbacks, {5, 17}, 300, "loop_callbacks",
+       "callback verification for bpf_loop", true},
+      {VFeature::kDynptr, {6, 1}, 1000, "dynptr",
+       "dynptr and kptr verification logic", false},
+  };
+  return kTable;
+}
+
+bool FeatureEnabled(VFeature feature, KernelVersion version) {
+  for (const VFeatureInfo& info : VerifierFeatureTable()) {
+    if (info.id == feature) {
+      return info.introduced <= version;
+    }
+  }
+  return false;
+}
+
+xbase::u32 VerifierLocAtVersion(KernelVersion version) {
+  xbase::u32 total = 0;
+  for (const VFeatureInfo& info : VerifierFeatureTable()) {
+    if (info.introduced <= version) {
+      total += info.linux_loc;
+    }
+  }
+  return total;
+}
+
+xbase::usize VerifierFeatureCountAtVersion(KernelVersion version) {
+  xbase::usize count = 0;
+  for (const VFeatureInfo& info : VerifierFeatureTable()) {
+    if (info.introduced <= version) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+xbase::u32 InsnBudgetAtVersion(KernelVersion version) {
+  if (FeatureEnabled(VFeature::kInsnBudget1M, version)) {
+    return 1'000'000;
+  }
+  if (FeatureEnabled(VFeature::kFullRangeTracking, version)) {
+    return 131'072;
+  }
+  return 65'536;
+}
+
+}  // namespace ebpf

@@ -1,0 +1,63 @@
+// The verifier's feature timeline. Every check/pass the verifier performs is
+// attributed to the kernel version that introduced it; constructing a
+// verifier "as of vX.Y" genuinely disables the later passes, and Figure 2's
+// LoC-growth series is the cumulative sum over this table.
+//
+// LoC attribution: behavioural features carry the line count of the era
+// that introduced them in Linux's kernel/bpf/verifier.c (derived from the
+// paper's Figure 2 trajectory and, where the paper states a number — e.g.
+// "500 lines of C" for BPF-to-BPF calls — that number). Our implementing
+// passes are smaller by a roughly constant factor; EXPERIMENTS.md records
+// both series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/simkern/version.h"
+#include "src/xbase/types.h"
+
+namespace ebpf {
+
+enum class VFeature : xbase::u8 {
+  kBase,               // v3.18: CFG, reg types, stack, helper arg checks
+  kCtxAccessTables,    // v4.3: per-prog-type context access rules
+  kDirectPacketAccess, // v4.9-era: packet pointers + range tracking
+  kFullRangeTracking,  // v4.14: smin/smax/umin/umax + tnum everywhere
+  kBpf2BpfCalls,       // v4.16: function calls ("500 lines of C", [45])
+  kSpectreSanitation,  // v4.17: speculative-execution masking ([46,47])
+  kRefTracking,        // v4.20: acquire/release reference discipline
+  kInsnBudget1M,       // v5.2: 1M instruction budget + pruning rework
+  kBoundedLoops,       // v5.3: back-edges allowed, iteration exploration
+  kSpinLockTracking,   // v5.1 (plotted v5.4): bpf_spin_lock checks ([48])
+  k32BitBounds,        // v5.7-v5.10: JMP32 + 32-bit subregister bounds
+  kKfuncCalls,         // v5.13: calls into unlisted kernel functions [16]
+  kBtfTracking,        // v5.11-5.15: BTF-typed pointer tracking
+  kMiscHardening,      // v5.15: ALU sanitation reworks, bounds fixes
+  kBpfLoopCallbacks,   // v5.17: bpf_loop callback verification
+  kDynptr,             // v6.1: dynptr/kptr logic
+};
+
+struct VFeatureInfo {
+  VFeature id;
+  simkern::KernelVersion introduced;
+  xbase::u32 linux_loc;  // LoC attributed in Linux's verifier.c
+  std::string name;
+  std::string description;
+  bool behavioural;  // true if this repo's verifier changes behaviour on it
+};
+
+const std::vector<VFeatureInfo>& VerifierFeatureTable();
+
+bool FeatureEnabled(VFeature feature, simkern::KernelVersion version);
+
+// Cumulative Linux-attributed verifier LoC at `version` (Figure 2 series).
+xbase::u32 VerifierLocAtVersion(simkern::KernelVersion version);
+
+// Number of distinct checks/passes active at `version`.
+xbase::usize VerifierFeatureCountAtVersion(simkern::KernelVersion version);
+
+// The instruction-exploration budget at `version`.
+xbase::u32 InsnBudgetAtVersion(simkern::KernelVersion version);
+
+}  // namespace ebpf

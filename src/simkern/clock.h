@@ -1,0 +1,35 @@
+// Simulated monotonic clock. All timing in the reproduction — RCU stall
+// detection, watchdog budgets, the §2.2 "800 seconds" run — is measured in
+// simulated nanoseconds so experiments are deterministic and fast: executing
+// one BPF instruction advances the clock by a fixed cost instead of waiting.
+#pragma once
+
+#include "src/xbase/types.h"
+
+namespace simkern {
+
+class SimClock {
+ public:
+  xbase::u64 now_ns() const { return now_ns_; }
+
+  void Advance(xbase::u64 delta_ns) { now_ns_ += delta_ns; }
+
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  xbase::u64 now_ns_ = 0;
+};
+
+// Default instruction/operation costs, loosely calibrated to a ~1 GHz
+// machine so "seconds" in the paper map to simulated seconds here.
+inline constexpr xbase::u64 kCostPerInsnNs = 1;
+inline constexpr xbase::u64 kCostHelperCallNs = 20;
+inline constexpr xbase::u64 kCostMapOpNs = 50;
+
+inline constexpr xbase::u64 kNsPerMs = 1'000'000ULL;
+inline constexpr xbase::u64 kNsPerSec = 1'000'000'000ULL;
+
+// Simulated SMP width; extensions execute on cpu 0.
+inline constexpr xbase::u32 kNumCpus = 4;
+
+}  // namespace simkern

@@ -1,0 +1,76 @@
+#include "src/simkern/kernel.h"
+
+#include "src/xbase/log.h"
+#include "src/xbase/strfmt.h"
+
+namespace simkern {
+
+namespace {
+constexpr xbase::usize kDmesgCapacity = 1024;
+}  // namespace
+
+Kernel::Kernel(const KernelConfig& config) : config_(config) {
+  if (config_.build_subsystem_graph) {
+    BuildSubsystems(callgraph_, DefaultSubsystems(), config_.subsystem_seed);
+  }
+  Printk(xbase::StrFormat("Linux-sim %s booting (unprivileged_bpf_disabled=%d)",
+                          config_.version.ToString().c_str(),
+                          config_.unprivileged_bpf_disabled ? 1 : 0));
+}
+
+void Kernel::Oops(const std::string& message) {
+  oopses_.push_back(OopsRecord{clock_.now_ns(), message});
+  Printk("------------[ cut here ]------------");
+  Printk(message);
+  Printk("---[ end trace ]---");
+  if (state_ == KernelState::kRunning) {
+    state_ = KernelState::kOopsed;
+  }
+}
+
+void Kernel::Panic(const std::string& message) {
+  Printk("Kernel panic - not syncing: " + message);
+  state_ = KernelState::kPanicked;
+}
+
+xbase::Status Kernel::Route(xbase::Status status) {
+  if (status.code() == xbase::Code::kKernelFault) {
+    Oops(status.message());
+  }
+  return status;
+}
+
+void Kernel::Printk(const std::string& line) {
+  dmesg_.push_back(xbase::StrFormat("[%8.6f] %s",
+                                    static_cast<double>(clock_.now_ns()) / 1e9,
+                                    line.c_str()));
+  if (dmesg_.size() > kDmesgCapacity) {
+    dmesg_.pop_front();
+  }
+  XB_DEBUG << dmesg_.back();
+}
+
+xbase::Status Kernel::BootstrapWorkload() {
+  // A few tasks; pid 1234 is "current" for tracing helpers.
+  XB_RETURN_IF_ERROR(tasks_.Create(mem_, objects_, 1, 1, "init").status());
+  XB_RETURN_IF_ERROR(
+      tasks_.Create(mem_, objects_, 1234, 1200, "memcached").status());
+  XB_RETURN_IF_ERROR(
+      tasks_.Create(mem_, objects_, 4321, 4321, "nginx").status());
+  XB_RETURN_IF_ERROR(tasks_.SetCurrent(1234));
+
+  // Established TCP flows for the sk_lookup helpers.
+  XB_RETURN_IF_ERROR(net_.CreateSock(mem_, objects_,
+                                     SockTuple{0x0a000001, 0x0a000002, 8080,
+                                               40000},
+                                     6)
+                         .status());
+  XB_RETURN_IF_ERROR(net_.CreateSock(mem_, objects_,
+                                     SockTuple{0x0a000001, 0x0a000003, 443,
+                                               40001},
+                                     6)
+                         .status());
+  return xbase::Status::Ok();
+}
+
+}  // namespace simkern

@@ -1,0 +1,102 @@
+// The Kernel façade: owns every subsystem, the simulated clock, the dmesg
+// ring and the crash state. Both extension frameworks (ebpf and safex) run
+// against a Kernel instance; experiment harnesses construct one per trial so
+// crashes are isolated and observable.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/simkern/callgraph.h"
+#include "src/simkern/clock.h"
+#include "src/simkern/lock.h"
+#include "src/simkern/mem.h"
+#include "src/simkern/net.h"
+#include "src/simkern/object.h"
+#include "src/simkern/rcu.h"
+#include "src/simkern/subsys.h"
+#include "src/simkern/task.h"
+#include "src/simkern/version.h"
+#include "src/xbase/status.h"
+
+namespace simkern {
+
+enum class KernelState : xbase::u8 {
+  kRunning,
+  kOopsed,    // a BUG/oops was hit; the kernel keeps limping (like a real
+              // oops with panic_on_oops=0) but the incident is recorded
+  kPanicked,  // unrecoverable
+};
+
+struct KernelConfig {
+  KernelVersion version = kV5_18;
+  bool unprivileged_bpf_disabled = true;  // the v5.15+ default the paper cites
+  bool build_subsystem_graph = true;
+  xbase::u64 subsystem_seed = 0x5eed;
+};
+
+struct OopsRecord {
+  xbase::u64 at_ns;
+  std::string message;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config = {});
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- components -----------------------------------------------------
+  SimMemory& mem() { return mem_; }
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  ObjectTable& objects() { return objects_; }
+  RcuState& rcu() { return rcu_; }
+  LockTable& locks() { return locks_; }
+  TaskTable& tasks() { return tasks_; }
+  NetState& net() { return net_; }
+  CallGraph& callgraph() { return callgraph_; }
+  const KernelConfig& config() const { return config_; }
+  KernelVersion version() const { return config_.version; }
+
+  // --- crash machinery --------------------------------------------------
+  // Records an oops. Every KERNEL_FAULT status produced by a subsystem
+  // should be routed through here so the incident lands in dmesg.
+  void Oops(const std::string& message);
+  void Panic(const std::string& message);
+  // Routes a non-OK status: KERNEL_FAULT becomes an oops; other codes pass
+  // through untouched. Returns the status for chaining.
+  xbase::Status Route(xbase::Status status);
+
+  KernelState state() const { return state_; }
+  bool crashed() const { return state_ != KernelState::kRunning; }
+  const std::vector<OopsRecord>& oopses() const { return oopses_; }
+
+  // --- dmesg -------------------------------------------------------------
+  void Printk(const std::string& line);
+  const std::deque<std::string>& dmesg() const { return dmesg_; }
+
+  // --- convenience bootstrap ---------------------------------------------
+  // Populates a believable runtime environment: a handful of tasks (one
+  // current), established sockets, and an sk_buff to attach programs to.
+  xbase::Status BootstrapWorkload();
+
+ private:
+  KernelConfig config_;
+  SimMemory mem_;
+  SimClock clock_;
+  ObjectTable objects_;
+  RcuState rcu_;
+  LockTable locks_;
+  TaskTable tasks_;
+  NetState net_;
+  CallGraph callgraph_;
+  KernelState state_ = KernelState::kRunning;
+  std::vector<OopsRecord> oopses_;
+  std::deque<std::string> dmesg_;
+};
+
+}  // namespace simkern

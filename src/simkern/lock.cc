@@ -1,0 +1,70 @@
+#include "src/simkern/lock.h"
+
+namespace simkern {
+
+LockId LockTable::Create(std::string name) {
+  const LockId id = next_id_++;
+  locks_.emplace(id, SpinLock{id, std::move(name), false, {}});
+  return id;
+}
+
+xbase::Status LockTable::Acquire(LockId id, std::string holder) {
+  auto it = locks_.find(id);
+  if (it == locks_.end()) {
+    return xbase::KernelFault("spin_lock on nonexistent lock");
+  }
+  if (it->second.held) {
+    // Preemption is off while extensions run: re-acquiring a held spinlock
+    // never unblocks. This is the deadlock class of Table 1.
+    return xbase::KernelFault("deadlock: spin_lock on held lock " +
+                              it->second.name + " (holder " +
+                              it->second.holder + ")");
+  }
+  it->second.held = true;
+  it->second.holder = std::move(holder);
+  return xbase::Status::Ok();
+}
+
+xbase::Status LockTable::Release(LockId id) {
+  auto it = locks_.find(id);
+  if (it == locks_.end()) {
+    return xbase::KernelFault("spin_unlock on nonexistent lock");
+  }
+  if (!it->second.held) {
+    return xbase::KernelFault("spin_unlock of lock not held: " +
+                              it->second.name);
+  }
+  it->second.held = false;
+  it->second.holder.clear();
+  return xbase::Status::Ok();
+}
+
+bool LockTable::IsHeld(LockId id) const {
+  auto it = locks_.find(id);
+  return it != locks_.end() && it->second.held;
+}
+
+std::vector<LockId> LockTable::HeldLocks() const {
+  std::vector<LockId> held;
+  for (const auto& [id, lock] : locks_) {
+    if (lock.held) {
+      held.push_back(id);
+    }
+  }
+  return held;
+}
+
+const SpinLock* LockTable::Find(LockId id) const {
+  auto it = locks_.find(id);
+  return it == locks_.end() ? nullptr : &it->second;
+}
+
+void LockTable::ForceRelease(LockId id) {
+  auto it = locks_.find(id);
+  if (it != locks_.end()) {
+    it->second.held = false;
+    it->second.holder = "forced";
+  }
+}
+
+}  // namespace simkern

@@ -1,0 +1,153 @@
+// The simulated kernel address space. Extensions and helpers read and write
+// through this layer; any access outside a mapped region, against region
+// permissions, or through the NULL page is an *oops* — the simulation's
+// equivalent of a kernel crash — recorded for the experiment harnesses
+// instead of taking the process down.
+//
+// Layout mirrors x86-64 Linux: kernel addresses live high (0xffff8800...),
+// the first page is never mapped so NULL dereferences are always caught.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/xbase/status.h"
+#include "src/xbase/types.h"
+
+namespace simkern {
+
+using Addr = xbase::u64;
+
+inline constexpr Addr kKernelBase = 0xffff'8800'0000'0000ULL;
+inline constexpr Addr kNullGuardSize = 4096;  // first page never mapped
+
+enum class MemPerm : xbase::u8 {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+  kExec = 4,
+  kReadExec = 5,
+};
+
+inline bool PermAllowsRead(MemPerm perm) {
+  return (static_cast<xbase::u8>(perm) & 1) != 0;
+}
+inline bool PermAllowsWrite(MemPerm perm) {
+  return (static_cast<xbase::u8>(perm) & 2) != 0;
+}
+
+// What kind of memory a region backs; the protection-domain experiments and
+// the verifier's pointer-type rules both key off this.
+enum class RegionKind : xbase::u8 {
+  kKernelText,
+  kKernelData,
+  kTaskStruct,
+  kSockStruct,
+  kSkBuff,
+  kMapData,
+  kExtensionStack,
+  kExtensionPool,
+  kPerCpu,
+};
+
+std::string_view RegionKindName(RegionKind kind);
+
+struct Region {
+  Addr base = 0;
+  xbase::usize size = 0;
+  MemPerm perm = MemPerm::kReadWrite;
+  RegionKind kind = RegionKind::kKernelData;
+  std::string name;
+  // Protection-domain key (0 = kernel default). Used by the §4 PKS/MPK
+  // simulation: accesses must present a matching key unless key is 0.
+  xbase::u32 protection_key = 0;
+  std::vector<xbase::u8> bytes;
+
+  Addr end() const { return base + size; }
+};
+
+enum class FaultKind : xbase::u8 {
+  kNullDeref,
+  kUnmapped,
+  kPermission,
+  kProtectionKey,
+  kOutOfBounds,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+struct MemFault {
+  FaultKind kind;
+  Addr addr = 0;
+  bool is_write = false;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+class SimMemory {
+ public:
+  SimMemory() = default;
+  SimMemory(const SimMemory&) = delete;
+  SimMemory& operator=(const SimMemory&) = delete;
+
+  // Maps a fresh zero-filled region at the next free kernel address (or at
+  // `fixed_base` if nonzero). Returns its base address.
+  xbase::Result<Addr> Map(xbase::usize size, MemPerm perm, RegionKind kind,
+                          std::string name, Addr fixed_base = 0);
+
+  xbase::Status Unmap(Addr base);
+
+  // Raw accessors used by trusted kernel code (helpers, map internals):
+  // still bounds-checked, but exempt from protection keys.
+  xbase::Status Read(Addr addr, std::span<xbase::u8> out) const;
+  xbase::Status Write(Addr addr, std::span<const xbase::u8> data);
+
+  // Checked accessors used on behalf of an extension, carrying its
+  // protection key. Key 0 is the supervisor: kernel code (and eBPF
+  // programs, which have no domain of their own) bypass protection keys;
+  // nonzero keys must match the region's key. A failure produces a
+  // MemFault (fetch with TakeFault).
+  xbase::Status ReadChecked(Addr addr, std::span<xbase::u8> out,
+                            xbase::u32 access_key);
+  xbase::Status WriteChecked(Addr addr, std::span<const xbase::u8> data,
+                             xbase::u32 access_key);
+
+  // Typed convenience (little-endian, as BPF defines).
+  xbase::Result<xbase::u64> ReadU64(Addr addr) const;
+  xbase::Result<xbase::u32> ReadU32(Addr addr) const;
+  xbase::Status WriteU64(Addr addr, xbase::u64 value);
+  xbase::Status WriteU32(Addr addr, xbase::u32 value);
+
+  // Direct byte access to a whole region for trusted code that already
+  // resolved it (map storage, stacks). Null if not mapped at exactly `base`.
+  Region* FindRegion(Addr base);
+  const Region* FindRegionContaining(Addr addr) const;
+
+  void SetRegionKey(Addr base, xbase::u32 key);
+
+  // Last fault, if any; cleared on read. The kernel turns pending faults
+  // into an oops.
+  std::optional<MemFault> TakeFault();
+  bool has_fault() const { return fault_.has_value(); }
+
+  xbase::usize region_count() const { return regions_.size(); }
+  xbase::u64 total_mapped_bytes() const { return total_mapped_; }
+
+ private:
+  const Region* Locate(Addr addr, xbase::usize size) const;
+  xbase::Status Fault(FaultKind kind, Addr addr, bool is_write,
+                      std::string detail);
+
+  // Keyed by base address.
+  std::map<Addr, Region> regions_;
+  Addr next_base_ = kKernelBase + 0x10000;
+  xbase::u64 total_mapped_ = 0;
+  mutable std::optional<MemFault> fault_;
+};
+
+}  // namespace simkern

@@ -1,0 +1,99 @@
+#include "src/simkern/net.h"
+
+#include "src/xbase/bytes.h"
+#include "src/xbase/strfmt.h"
+
+namespace simkern {
+
+using xbase::u32;
+using xbase::u8;
+
+xbase::Result<ObjectId> NetState::CreateSock(SimMemory& mem,
+                                             ObjectTable& objects,
+                                             const SockTuple& tuple,
+                                             u32 protocol) {
+  if (socks_.contains(tuple)) {
+    return xbase::AlreadyExists("socket already bound to that tuple");
+  }
+  XB_ASSIGN_OR_RETURN(
+      const Addr struct_addr,
+      mem.Map(SockLayout::kSize, MemPerm::kRead, RegionKind::kSockStruct,
+              xbase::StrFormat("sock:%u.%u.%u.%u:%u", tuple.src_ip >> 24,
+                               (tuple.src_ip >> 16) & 0xff,
+                               (tuple.src_ip >> 8) & 0xff,
+                               tuple.src_ip & 0xff, tuple.src_port)));
+
+  u8 buf[SockLayout::kSize] = {};
+  xbase::StoreLe32(buf + SockLayout::kFamily, 2 /* AF_INET */);
+  xbase::StoreLe32(buf + SockLayout::kProtocol, protocol);
+  xbase::StoreLe32(buf + SockLayout::kSrcIp, tuple.src_ip);
+  xbase::StoreLe32(buf + SockLayout::kDstIp, tuple.dst_ip);
+  xbase::StoreLe16(buf + SockLayout::kSrcPort, tuple.src_port);
+  xbase::StoreLe16(buf + SockLayout::kDstPort, tuple.dst_port);
+  xbase::StoreLe32(buf + SockLayout::kState, 1 /* ESTABLISHED */);
+  XB_RETURN_IF_ERROR(mem.Write(struct_addr, buf));
+
+  Sock sock;
+  sock.tuple = tuple;
+  sock.protocol = protocol;
+  sock.struct_addr = struct_addr;
+  sock.object_id =
+      objects.Create(ObjectType::kSock,
+                     xbase::StrFormat("sock:%u->%u", tuple.src_port,
+                                      tuple.dst_port),
+                     struct_addr);
+  const ObjectId id = sock.object_id;
+  socks_.emplace(tuple, std::move(sock));
+  return id;
+}
+
+std::optional<Sock> NetState::Lookup(const SockTuple& tuple) const {
+  auto it = socks_.find(tuple);
+  if (it == socks_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+xbase::Result<Sock> NetState::FindByAddr(Addr struct_addr) const {
+  for (const auto& [_, sock] : socks_) {
+    if (sock.struct_addr == struct_addr) {
+      return sock;
+    }
+  }
+  return xbase::NotFound("no sock at that address");
+}
+
+xbase::Result<SkBuff> NetState::CreateSkBuff(SimMemory& mem,
+                                             std::span<const u8> payload) {
+  XB_ASSIGN_OR_RETURN(
+      const Addr data_addr,
+      mem.Map(payload.empty() ? 1 : payload.size(), MemPerm::kReadWrite,
+              RegionKind::kSkBuff,
+              xbase::StrFormat("skb-data:%zu", skbs_.size())));
+  if (!payload.empty()) {
+    XB_RETURN_IF_ERROR(mem.Write(data_addr, payload));
+  }
+  XB_ASSIGN_OR_RETURN(
+      const Addr meta_addr,
+      mem.Map(SkBuffLayout::kSize, MemPerm::kReadWrite, RegionKind::kSkBuff,
+              xbase::StrFormat("skb-meta:%zu", skbs_.size())));
+
+  u8 buf[SkBuffLayout::kSize] = {};
+  xbase::StoreLe32(buf + SkBuffLayout::kLen,
+                   static_cast<u32>(payload.size()));
+  xbase::StoreLe32(buf + SkBuffLayout::kProtocol, 0x0800 /* IPv4 */);
+  xbase::StoreLe64(buf + SkBuffLayout::kDataPtr, data_addr);
+  xbase::StoreLe64(buf + SkBuffLayout::kDataEndPtr,
+                   data_addr + payload.size());
+  XB_RETURN_IF_ERROR(mem.Write(meta_addr, buf));
+
+  SkBuff skb;
+  skb.meta_addr = meta_addr;
+  skb.data_addr = data_addr;
+  skb.len = static_cast<u32>(payload.size());
+  skbs_.push_back(skb);
+  return skb;
+}
+
+}  // namespace simkern

@@ -1,0 +1,48 @@
+#include "src/simkern/rcu.h"
+
+namespace simkern {
+
+void RcuState::ReadLock(const SimClock& clock, std::string holder) {
+  if (depth_ == 0) {
+    locked_at_ns_ = clock.now_ns();
+    stall_reported_ = false;
+    holder_ = std::move(holder);
+  }
+  ++depth_;
+}
+
+xbase::Status RcuState::ReadUnlock() {
+  if (depth_ == 0) {
+    return xbase::KernelFault("rcu_read_unlock without matching lock");
+  }
+  --depth_;
+  return xbase::Status::Ok();
+}
+
+xbase::u64 RcuState::HeldForNs(const SimClock& clock) const {
+  if (depth_ == 0) {
+    return 0;
+  }
+  return clock.now_ns() - locked_at_ns_;
+}
+
+void RcuState::CheckStall(const SimClock& clock) {
+  if (depth_ == 0 || stall_reported_) {
+    return;
+  }
+  const xbase::u64 held = HeldForNs(clock);
+  if (held >= kRcuStallTimeoutNs) {
+    stalls_.push_back(RcuStall{clock.now_ns(), held, holder_});
+    stall_reported_ = true;
+  }
+}
+
+xbase::Status RcuState::SynchronizeRcu() const {
+  if (depth_ > 0) {
+    return xbase::KernelFault(
+        "synchronize_rcu inside read-side critical section (deadlock)");
+  }
+  return xbase::Status::Ok();
+}
+
+}  // namespace simkern

@@ -1,0 +1,55 @@
+// Read-copy-update simulation with the stall detector that the §2.2
+// termination experiment trips. eBPF programs run inside an RCU read-side
+// critical section; holding it for more than the kernel's 21-second stall
+// timeout (CONFIG_RCU_CPU_STALL_TIMEOUT) is the failure the paper
+// demonstrates with nested bpf_loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/simkern/clock.h"
+#include "src/xbase/status.h"
+#include "src/xbase/types.h"
+
+namespace simkern {
+
+inline constexpr xbase::u64 kRcuStallTimeoutNs = 21 * kNsPerSec;
+
+struct RcuStall {
+  xbase::u64 detected_at_ns;
+  xbase::u64 held_for_ns;
+  std::string holder;
+};
+
+class RcuState {
+ public:
+  // Enter/exit a read-side critical section. Nesting is allowed, like the
+  // kernel's; the stall clock starts at the outermost lock.
+  void ReadLock(const SimClock& clock, std::string holder);
+  xbase::Status ReadUnlock();
+
+  bool InCriticalSection() const { return depth_ > 0; }
+  int depth() const { return depth_; }
+  xbase::u64 HeldForNs(const SimClock& clock) const;
+
+  // Polled by the simulated tick (the interpreter calls this periodically,
+  // mirroring the scheduler-tick origin of real stall warnings). Records a
+  // stall at most once per critical section.
+  void CheckStall(const SimClock& clock);
+
+  const std::vector<RcuStall>& stalls() const { return stalls_; }
+  void ClearStalls() { stalls_.clear(); }
+
+  // Grace period: illegal while any reader is inside (would deadlock).
+  xbase::Status SynchronizeRcu() const;
+
+ private:
+  int depth_ = 0;
+  xbase::u64 locked_at_ns_ = 0;
+  bool stall_reported_ = false;
+  std::string holder_;
+  std::vector<RcuStall> stalls_;
+};
+
+}  // namespace simkern

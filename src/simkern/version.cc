@@ -1,0 +1,37 @@
+#include "src/simkern/version.h"
+
+namespace simkern {
+
+int ReleaseYear(KernelVersion version) {
+  // Historical release dates of the mainline kernels we model.
+  if (version < KernelVersion{4, 0}) {
+    return 2014;  // v3.18: December 2014
+  }
+  if (version <= KernelVersion{4, 4}) {
+    return 2015;
+  }
+  if (version <= KernelVersion{4, 9}) {
+    return 2016;
+  }
+  if (version <= KernelVersion{4, 14}) {
+    return 2017;
+  }
+  if (version <= KernelVersion{4, 20}) {
+    return 2018;
+  }
+  if (version <= KernelVersion{5, 4}) {
+    return 2019;
+  }
+  if (version <= KernelVersion{5, 10}) {
+    return 2020;
+  }
+  if (version <= KernelVersion{5, 15}) {
+    return 2021;
+  }
+  if (version <= KernelVersion{6, 1}) {
+    return 2022;
+  }
+  return 2023;
+}
+
+}  // namespace simkern

@@ -1,0 +1,51 @@
+// Kernel version timeline. Every verifier feature, helper function and
+// internal kfunc in this repo is tagged with the version that introduced it;
+// Figures 2 and 4 are computed from these tags. The timeline mirrors the
+// versions the paper plots (v3.18 .. v6.1) plus the intermediate releases
+// whose verifier behaviour the tests pin (v4.16 BPF-to-BPF calls, v5.3
+// bounded loops, v5.17 bpf_loop, ...).
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "src/xbase/types.h"
+
+namespace simkern {
+
+struct KernelVersion {
+  xbase::u16 major = 0;
+  xbase::u16 minor = 0;
+
+  auto operator<=>(const KernelVersion&) const = default;
+
+  std::string ToString() const {
+    return "v" + std::to_string(major) + "." + std::to_string(minor);
+  }
+};
+
+inline constexpr KernelVersion kV3_18{3, 18};  // 2014: eBPF syscall lands
+inline constexpr KernelVersion kV4_3{4, 3};    // 2015
+inline constexpr KernelVersion kV4_9{4, 9};    // 2016
+inline constexpr KernelVersion kV4_14{4, 14};  // 2017
+inline constexpr KernelVersion kV4_16{4, 16};  // 2018: BPF-to-BPF calls
+inline constexpr KernelVersion kV4_17{4, 17};  // 2018: Spectre sanitation
+inline constexpr KernelVersion kV4_20{4, 20};  // 2018
+inline constexpr KernelVersion kV5_2{5, 2};    // 2019: 1M insn budget
+inline constexpr KernelVersion kV5_3{5, 3};    // 2019: bounded loops
+inline constexpr KernelVersion kV5_4{5, 4};    // 2019
+inline constexpr KernelVersion kV5_10{5, 10};  // 2020
+inline constexpr KernelVersion kV5_13{5, 13};  // 2021: kfunc calls
+inline constexpr KernelVersion kV5_15{5, 15};  // 2021
+inline constexpr KernelVersion kV5_17{5, 17};  // 2022: bpf_loop
+inline constexpr KernelVersion kV5_18{5, 18};  // 2022: the paper's study tree
+inline constexpr KernelVersion kV6_1{6, 1};    // 2022
+
+// Release year for the growth plots (Figures 2 and 4).
+int ReleaseYear(KernelVersion version);
+
+// The versions plotted on the x-axis of Figures 2 and 4, in order.
+inline constexpr KernelVersion kPlottedVersions[] = {
+    kV3_18, kV4_3, kV4_9, kV4_14, kV4_20, kV5_4, kV5_10, kV5_15, kV6_1};
+
+}  // namespace simkern

@@ -1,0 +1,16 @@
+#include "src/xbase/bytes.h"
+
+namespace xbase {
+
+std::string ToHex(std::span<const u8> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (u8 byte : data) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace xbase

@@ -1,0 +1,76 @@
+// Byte-level utilities: explicit little-endian loads/stores (the simulated
+// kernel memory and the BPF ISA are little-endian regardless of host), hex
+// rendering, and a simple FNV-1a hash used by the map substrate.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/xbase/types.h"
+
+namespace xbase {
+
+inline u16 LoadLe16(const u8* p) {
+  return static_cast<u16>(p[0]) | static_cast<u16>(p[1]) << 8;
+}
+inline u32 LoadLe32(const u8* p) {
+  return static_cast<u32>(p[0]) | static_cast<u32>(p[1]) << 8 |
+         static_cast<u32>(p[2]) << 16 | static_cast<u32>(p[3]) << 24;
+}
+inline u64 LoadLe64(const u8* p) {
+  return static_cast<u64>(LoadLe32(p)) |
+         static_cast<u64>(LoadLe32(p + 4)) << 32;
+}
+
+inline void StoreLe16(u8* p, u16 v) {
+  p[0] = static_cast<u8>(v);
+  p[1] = static_cast<u8>(v >> 8);
+}
+inline void StoreLe32(u8* p, u32 v) {
+  p[0] = static_cast<u8>(v);
+  p[1] = static_cast<u8>(v >> 8);
+  p[2] = static_cast<u8>(v >> 16);
+  p[3] = static_cast<u8>(v >> 24);
+}
+inline void StoreLe64(u8* p, u64 v) {
+  StoreLe32(p, static_cast<u32>(v));
+  StoreLe32(p + 4, static_cast<u32>(v >> 32));
+}
+
+inline u32 LoadBe32(const u8* p) {
+  return static_cast<u32>(p[0]) << 24 | static_cast<u32>(p[1]) << 16 |
+         static_cast<u32>(p[2]) << 8 | static_cast<u32>(p[3]);
+}
+inline void StoreBe32(u8* p, u32 v) {
+  p[0] = static_cast<u8>(v >> 24);
+  p[1] = static_cast<u8>(v >> 16);
+  p[2] = static_cast<u8>(v >> 8);
+  p[3] = static_cast<u8>(v);
+}
+inline void StoreBe64(u8* p, u64 v) {
+  StoreBe32(p, static_cast<u32>(v >> 32));
+  StoreBe32(p + 4, static_cast<u32>(v));
+}
+
+// Lowercase hex, no separators.
+std::string ToHex(std::span<const u8> data);
+
+// FNV-1a 64-bit over arbitrary bytes; stable across platforms.
+inline u64 Fnv1a(std::span<const u8> data) {
+  u64 hash = 0xcbf29ce484222325ULL;
+  for (u8 byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// Byte-vector view of any trivially copyable value.
+template <typename T>
+std::span<const u8> AsBytes(const T& value) {
+  return std::span<const u8>(reinterpret_cast<const u8*>(&value), sizeof(T));
+}
+
+}  // namespace xbase

@@ -1,0 +1,38 @@
+#include "src/xbase/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace xbase {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::string_view LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogLine(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) {
+    return;
+  }
+  std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(LevelTag(level).size()),
+               LevelTag(level).data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace xbase

@@ -1,0 +1,47 @@
+// Minimal leveled logger. The simulated kernel keeps its own dmesg ring; this
+// logger is for host-side diagnostics (tests, benches, tools). Quiet by
+// default so bench output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace xbase {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emit one line to stderr, prefixed with the level tag.
+void LogLine(LogLevel level, std::string_view message);
+
+namespace logdetail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logdetail
+
+}  // namespace xbase
+
+#define XB_LOG(level) ::xbase::logdetail::LogMessage(::xbase::LogLevel::level)
+#define XB_DEBUG XB_LOG(kDebug)
+#define XB_INFO XB_LOG(kInfo)
+#define XB_WARN XB_LOG(kWarn)
+#define XB_ERROR XB_LOG(kError)

@@ -1,0 +1,70 @@
+// Deterministic PRNGs for workload generation and property tests.
+// SplitMix64 seeds Xoshiro256**; both are tiny, fast and reproducible, which
+// matters because every experiment in this repo must replay bit-identically.
+#pragma once
+
+#include "src/xbase/types.h"
+
+namespace xbase {
+
+// One-shot mixer, also usable as a hash finalizer.
+constexpr u64 SplitMix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) {
+    u64 sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  u64 NextU64() {
+    const u64 result = Rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  u32 NextU32() { return static_cast<u32>(NextU64() >> 32); }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  u64 NextBelow(u64 bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    return NextU64() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  s64 NextInRange(s64 lo, s64 hi) {
+    const u64 span = static_cast<u64>(hi - lo) + 1;
+    return lo + static_cast<s64>(NextBelow(span));
+  }
+
+  bool NextBool() { return (NextU64() & 1) != 0; }
+
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr u64 Rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 state_[4];
+};
+
+}  // namespace xbase

@@ -1,0 +1,83 @@
+#include "src/xbase/status.h"
+
+namespace xbase {
+
+std::string_view CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Code::kNotFound:
+      return "NOT_FOUND";
+    case Code::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Code::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Code::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case Code::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case Code::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case Code::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case Code::kRejected:
+      return "REJECTED";
+    case Code::kTerminated:
+      return "TERMINATED";
+    case Code::kKernelFault:
+      return "KERNEL_FAULT";
+    case Code::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(CodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(Code::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(Code::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(Code::kAlreadyExists, std::move(message));
+}
+Status OutOfRange(std::string message) {
+  return Status(Code::kOutOfRange, std::move(message));
+}
+Status PermissionDenied(std::string message) {
+  return Status(Code::kPermissionDenied, std::move(message));
+}
+Status ResourceExhausted(std::string message) {
+  return Status(Code::kResourceExhausted, std::move(message));
+}
+Status FailedPrecondition(std::string message) {
+  return Status(Code::kFailedPrecondition, std::move(message));
+}
+Status Unimplemented(std::string message) {
+  return Status(Code::kUnimplemented, std::move(message));
+}
+Status Rejected(std::string message) {
+  return Status(Code::kRejected, std::move(message));
+}
+Status Terminated(std::string message) {
+  return Status(Code::kTerminated, std::move(message));
+}
+Status KernelFault(std::string message) {
+  return Status(Code::kKernelFault, std::move(message));
+}
+Status Internal(std::string message) {
+  return Status(Code::kInternal, std::move(message));
+}
+
+}  // namespace xbase

@@ -1,0 +1,119 @@
+// Error handling primitives. Library code in this project does not throw:
+// every fallible operation returns Status or Result<T>. The codes mirror the
+// failure classes that matter to the extension frameworks (verifier
+// rejection, signature rejection, runtime termination, simulated kernel
+// faults) so call sites can dispatch on *why* something failed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xbase {
+
+enum class Code {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // lookup miss
+  kAlreadyExists,     // duplicate registration
+  kOutOfRange,        // index/offset outside a valid region
+  kPermissionDenied,  // capability or privilege check failed
+  kResourceExhausted, // pool/map/budget exhausted
+  kFailedPrecondition,// object in the wrong state
+  kUnimplemented,     // feature not available (e.g. before its kernel version)
+  kRejected,          // static check rejected the program (verifier/toolchain)
+  kTerminated,        // runtime mechanism killed the extension
+  kKernelFault,       // the simulated kernel oopsed
+  kInternal,          // invariant violation inside this library
+};
+
+std::string_view CodeName(Code code);
+
+// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+// Result<T> carries either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value)                                      // NOLINT: implicit by design
+      : value_(std::move(value)), status_(Status::Ok()) {}
+  Result(Status status) : status_(std::move(status)) { // NOLINT: implicit by design
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_{Code::kInternal, "Result engaged without value or status"};
+};
+
+// Convenience constructors, kernel-log style.
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status OutOfRange(std::string message);
+Status PermissionDenied(std::string message);
+Status ResourceExhausted(std::string message);
+Status FailedPrecondition(std::string message);
+Status Unimplemented(std::string message);
+Status Rejected(std::string message);
+Status Terminated(std::string message);
+Status KernelFault(std::string message);
+Status Internal(std::string message);
+
+}  // namespace xbase
+
+// Propagate a non-OK Status from an expression that yields Status.
+#define XB_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::xbase::Status xb_status_ = (expr);      \
+    if (!xb_status_.ok()) {                   \
+      return xb_status_;                      \
+    }                                         \
+  } while (0)
+
+// Evaluate a Result<T> expression; on error return its Status, otherwise
+// bind the value to `lhs`.
+#define XB_CONCAT_INNER(a, b) a##b
+#define XB_CONCAT(a, b) XB_CONCAT_INNER(a, b)
+#define XB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) {                               \
+    return tmp.status();                         \
+  }                                              \
+  lhs = std::move(tmp).value()
+#define XB_ASSIGN_OR_RETURN(lhs, expr) \
+  XB_ASSIGN_OR_RETURN_IMPL(XB_CONCAT(xb_result_, __LINE__), lhs, expr)

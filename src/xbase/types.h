@@ -1,0 +1,20 @@
+// Fixed-width integer aliases used throughout the project. The kernel-style
+// short names keep instruction-encoding and memory-model code readable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xbase {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+using usize = std::size_t;
+
+}  // namespace xbase

@@ -1,0 +1,196 @@
+// Analysis-layer tests: the figure/table generators must reproduce the
+// paper's published numbers (exactly for Table 1, within tolerance for the
+// Figure 3 distribution, in shape for the growth curves).
+#include <gtest/gtest.h>
+
+#include "src/analysis/bugdb.h"
+#include "src/analysis/callgraph.h"
+#include "src/analysis/growth.h"
+#include "src/analysis/matrix.h"
+#include "src/analysis/workloads.h"
+#include "src/ebpf/bpf.h"
+#include "src/ebpf/verifier.h"
+
+namespace analysis {
+namespace {
+
+TEST(BugDbTest, CensusMatchesPaperTable1Exactly) {
+  const auto census = BugCensus();
+  const auto row = [&](const char* category) {
+    return census.at(category);
+  };
+  EXPECT_EQ(row("Arbitrary read/write").total, 3);
+  EXPECT_EQ(row("Arbitrary read/write").helper, 1);
+  EXPECT_EQ(row("Arbitrary read/write").verifier, 2);
+  EXPECT_EQ(row("Deadlock/Hang").total, 2);
+  EXPECT_EQ(row("Integer overflow/underflow").total, 2);
+  EXPECT_EQ(row("Integer overflow/underflow").helper, 2);
+  EXPECT_EQ(row("Kernel pointer leak").total, 5);
+  EXPECT_EQ(row("Kernel pointer leak").verifier, 5);
+  EXPECT_EQ(row("Memory leak").total, 2);
+  EXPECT_EQ(row("Null-pointer dereference").total, 7);
+  EXPECT_EQ(row("Null-pointer dereference").helper, 6);
+  EXPECT_EQ(row("Out-of-bound access").total, 7);
+  EXPECT_EQ(row("Out-of-bound access").verifier, 6);
+  EXPECT_EQ(row("Reference count leak").total, 1);
+  EXPECT_EQ(row("Use-after-free").total, 2);
+  EXPECT_EQ(row("Misc").total, 9);
+  EXPECT_EQ(row("Total").total, 40);
+  EXPECT_EQ(row("Total").helper, 18);
+  EXPECT_EQ(row("Total").verifier, 22);
+}
+
+TEST(BugDbTest, EveryBugYearInStudyWindow) {
+  for (const BugEntry& bug : BugDatabase()) {
+    EXPECT_GE(bug.year, 2021) << bug.reference;
+    EXPECT_LE(bug.year, 2022) << bug.reference;
+  }
+}
+
+TEST(BugDbTest, ModeledBugsReferenceRealFaultIds) {
+  const auto modeled = ModeledBugs();
+  EXPECT_GE(modeled.size(), 10u);
+  for (const BugEntry& bug : modeled) {
+    bool found = false;
+    for (const ebpf::FaultInfo& info : ebpf::FaultRegistry::Catalog()) {
+      if (info.id == bug.fault_id) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << bug.fault_id;
+  }
+}
+
+TEST(GrowthTest, VerifierLocSeriesMatchesFig2Shape) {
+  const auto series = VerifierLocSeries();
+  ASSERT_EQ(series.size(), 9u);
+  // Monotone.
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].value, series[i - 1].value);
+  }
+  // Endpoint magnitudes (paper: ~2k in 2014, ~12k in 2022).
+  EXPECT_NEAR(static_cast<double>(series.front().value), 2400, 600);
+  EXPECT_NEAR(static_cast<double>(series.back().value), 12000, 1500);
+  EXPECT_EQ(series.front().year, 2014);
+  EXPECT_EQ(series.back().year, 2022);
+}
+
+TEST(GrowthTest, HelperSeriesGrowsSteadily) {
+  simkern::Kernel kernel;
+  ebpf::Bpf bpf(kernel);
+  const auto series = HelperCountSeries(bpf.helpers());
+  ASSERT_EQ(series.size(), 9u);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].value, series[i - 1].value);
+  }
+  // Paper: ~50 per two years at 1:1; our registry is ~1:3 scale.
+  const double rate = HelpersPerTwoYears(series);
+  EXPECT_GT(rate, 10.0);
+  EXPECT_LT(rate, 30.0);
+}
+
+TEST(CallgraphTest, DistributionMatchesFig3) {
+  simkern::Kernel kernel;
+  ebpf::Bpf bpf(kernel);
+  const ComplexitySummary summary =
+      AnalyzeHelperComplexity(bpf.helpers(), kernel);
+  ASSERT_GE(summary.total_helpers, 75u);
+  // Paper: 52.2 % of helpers reach >= 30 functions; 34.5 % reach >= 500.
+  EXPECT_NEAR(summary.fraction_ge_30, 0.522, 0.06);
+  EXPECT_NEAR(summary.fraction_ge_500, 0.345, 0.04);
+  // bpf_sys_bpf is the heaviest (paper: 4845 nodes; ours 4801).
+  EXPECT_EQ(summary.helpers.front().name, "bpf_sys_bpf");
+  EXPECT_NEAR(static_cast<double>(summary.max_nodes), 4845, 100);
+  // Trivial helpers exist (bpf_get_current_pid_tgid calls nothing).
+  EXPECT_EQ(summary.min_nodes, 1u);
+}
+
+TEST(MatrixTest, SixPropertiesSplitLanguageVsRuntime) {
+  const auto& matrix = SafetyMatrix();
+  ASSERT_EQ(matrix.size(), 6u);
+  int language = 0, runtime = 0;
+  for (const SafetyProperty& row : matrix) {
+    if (row.enforcement == "Language safety") {
+      ++language;
+    } else if (row.enforcement == "Runtime protection") {
+      ++runtime;
+    }
+    EXPECT_FALSE(row.probe.empty());
+  }
+  EXPECT_EQ(language, 3);  // exactly the paper's split
+  EXPECT_EQ(runtime, 3);
+}
+
+TEST(WorkloadsTest, AllBuildersProduceVerifiableOrIntentionallyBadProgs) {
+  simkern::Kernel kernel;
+  ebpf::Bpf bpf(kernel);
+  ASSERT_TRUE(kernel.BootstrapWorkload().ok());
+  ebpf::MapSpec spec;
+  spec.type = ebpf::MapType::kArray;
+  spec.key_size = 4;
+  spec.value_size = 8;
+  spec.max_entries = 4;
+  spec.name = "w";
+  const int fd = bpf.maps().Create(spec).value();
+
+  // These must all at least *build*.
+  EXPECT_TRUE(BuildSysBpfNullCrash().ok());
+  EXPECT_TRUE(BuildNestedLoopStall(fd, 3, 16).ok());
+  EXPECT_TRUE(BuildArbitraryReadExploit(fd, 64).ok());
+  EXPECT_TRUE(BuildJmp32BoundsExploit(fd).ok());
+  EXPECT_TRUE(BuildPtrLeakExploit(fd).ok());
+  EXPECT_TRUE(BuildDoubleSpinLock(fd).ok());
+  EXPECT_TRUE(BuildSkLookupNoRelease().ok());
+  EXPECT_TRUE(BuildSkLookupWithRelease().ok());
+  EXPECT_TRUE(BuildGetTaskStackErrorPath().ok());
+  EXPECT_TRUE(BuildTaskStorageNullOwner(fd).ok());
+  EXPECT_TRUE(BuildArrayOverflowExploit(fd, 3).ok());
+  EXPECT_TRUE(BuildJitHijackVictim().ok());
+  EXPECT_TRUE(BuildStraightLine(100).ok());
+  EXPECT_TRUE(BuildBranchDiamonds(4).ok());
+  EXPECT_TRUE(BuildCountedLoop(10).ok());
+  EXPECT_TRUE(BuildPacketCounter(fd).ok());
+
+  // And the well-formed ones must verify on a default kernel.
+  ebpf::VerifyOptions opts;
+  opts.version = kernel.version();
+  opts.faults = &bpf.faults();
+  for (const auto& prog :
+       {BuildSysBpfNullCrash(), BuildNestedLoopStall(fd, 2, 8),
+        BuildGetTaskStackErrorPath(), BuildTaskStorageNullOwner(fd),
+        BuildArrayOverflowExploit(fd, 3), BuildJitHijackVictim(),
+        BuildStraightLine(64), BuildBranchDiamonds(6),
+        BuildCountedLoop(32), BuildPacketCounter(fd),
+        BuildSkLookupWithRelease()}) {
+    ASSERT_TRUE(prog.ok());
+    auto result = ebpf::Verify(prog.value(), bpf.maps(), bpf.helpers(),
+                               opts);
+    EXPECT_TRUE(result.ok())
+        << prog.value().name << ": " << result.status().ToString();
+  }
+}
+
+TEST(VerifierFeatureTest, TablePropertiesHold) {
+  const auto& table = ebpf::VerifierFeatureTable();
+  EXPECT_EQ(table.size(), 16u);
+  // Versions are sorted.
+  for (size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LE(table[i - 1].introduced, table[i].introduced);
+  }
+  // The bpf2bpf pass carries the "500 lines" the paper quotes [45].
+  bool found = false;
+  for (const auto& info : table) {
+    if (info.name == "bpf2bpf") {
+      EXPECT_EQ(info.linux_loc, 500u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Budget steps at the documented versions.
+  EXPECT_EQ(ebpf::InsnBudgetAtVersion(simkern::kV3_18), 65'536u);
+  EXPECT_EQ(ebpf::InsnBudgetAtVersion(simkern::kV4_14), 131'072u);
+  EXPECT_EQ(ebpf::InsnBudgetAtVersion(simkern::kV5_2), 1'000'000u);
+}
+
+}  // namespace
+}  // namespace analysis

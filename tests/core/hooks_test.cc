@@ -1,0 +1,141 @@
+// Hook registry tests: attach/detach, per-hook verdict aggregation, and
+// mixed eBPF/safex dispatch over one event stream.
+#include <gtest/gtest.h>
+
+#include "src/core/hooks.h"
+#include "src/core/toolchain.h"
+#include "src/ebpf/asm.h"
+
+namespace safex {
+namespace {
+
+class ConstExt : public Extension {
+ public:
+  explicit ConstExt(xbase::u64 verdict) : verdict_(verdict) {}
+  xbase::Result<xbase::u64> Run(Ctx&) override { return verdict_; }
+
+ private:
+  xbase::u64 verdict_;
+};
+
+class HooksTest : public ::testing::Test {
+ protected:
+  HooksTest() : bpf_(kernel_), bpf_loader_(bpf_) {
+    EXPECT_TRUE(kernel_.BootstrapWorkload().ok());
+    runtime_ = Runtime::Create(kernel_, bpf_).value();
+    key_ = std::make_unique<crypto::SigningKey>(
+        crypto::SigningKey::FromPassphrase("hooks", "pw"));
+    (void)runtime_->keyring().Enroll(*key_);
+    ext_loader_ = std::make_unique<ExtLoader>(*runtime_);
+    hooks_ = std::make_unique<HookRegistry>(bpf_, bpf_loader_, *ext_loader_);
+    ctx_ = kernel_.mem()
+               .Map(64, simkern::MemPerm::kReadWrite,
+                    simkern::RegionKind::kKernelData, "hookctx")
+               .value();
+  }
+
+  xbase::u32 LoadConstProg(xbase::u64 verdict) {
+    ebpf::ProgramBuilder b("const", ebpf::ProgType::kSyscall);
+    b.Ins(ebpf::Mov64Imm(ebpf::R0, static_cast<xbase::s32>(verdict)))
+        .Ins(ebpf::Exit());
+    return bpf_loader_.Load(b.Build().value()).value();
+  }
+
+  xbase::u32 LoadConstExt(xbase::u64 verdict) {
+    Toolchain toolchain(*key_);
+    ExtensionManifest manifest;
+    manifest.name = "const-ext";
+    manifest.version = std::to_string(verdict);
+    auto artifact = toolchain.Build(
+        manifest,
+        [verdict]() { return std::make_unique<ConstExt>(verdict); },
+        std::span<const xbase::u8>());
+    return ext_loader_->Load(artifact.value()).value();
+  }
+
+  simkern::Kernel kernel_;
+  ebpf::Bpf bpf_;
+  ebpf::Loader bpf_loader_;
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<crypto::SigningKey> key_;
+  std::unique_ptr<ExtLoader> ext_loader_;
+  std::unique_ptr<HookRegistry> hooks_;
+  simkern::Addr ctx_ = 0;
+};
+
+TEST_F(HooksTest, AttachRequiresLoadedTargets) {
+  EXPECT_FALSE(hooks_->AttachProgram(HookPoint::kSyscallEnter, 99).ok());
+  EXPECT_FALSE(hooks_->AttachExtension(HookPoint::kSyscallEnter, 99).ok());
+}
+
+TEST_F(HooksTest, FireRunsAttachmentsInOrder) {
+  (void)hooks_->AttachProgram(HookPoint::kSyscallEnter, LoadConstProg(0));
+  (void)hooks_->AttachExtension(HookPoint::kSyscallEnter, LoadConstExt(0));
+  auto report = hooks_->Fire(HookPoint::kSyscallEnter, ctx_);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().verdicts.size(), 2u);
+  EXPECT_FALSE(report.value().verdicts[0].from_safex);
+  EXPECT_TRUE(report.value().verdicts[1].from_safex);
+  EXPECT_FALSE(report.value().denied);
+}
+
+TEST_F(HooksTest, SyscallDenyAggregation) {
+  (void)hooks_->AttachProgram(HookPoint::kSyscallEnter, LoadConstProg(0));
+  (void)hooks_->AttachExtension(HookPoint::kSyscallEnter, LoadConstExt(13));
+  auto report = hooks_->Fire(HookPoint::kSyscallEnter, ctx_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().denied);
+  EXPECT_EQ(report.value().verdict, 13u);
+}
+
+TEST_F(HooksTest, XdpDropWins) {
+  (void)hooks_->AttachExtension(HookPoint::kXdpIngress, LoadConstExt(2));
+  (void)hooks_->AttachExtension(HookPoint::kXdpIngress, LoadConstExt(1));
+  xbase::u8 payload[32] = {};
+  auto skb = kernel_.net().CreateSkBuff(kernel_.mem(), payload).value();
+  auto report = hooks_->Fire(HookPoint::kXdpIngress, skb.meta_addr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().verdict, 1u) << "any DROP wins";
+}
+
+TEST_F(HooksTest, DetachStopsDispatch) {
+  auto id = hooks_->AttachProgram(HookPoint::kSyscallEnter,
+                                  LoadConstProg(7));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(hooks_->AttachedCount(HookPoint::kSyscallEnter), 1u);
+  ASSERT_TRUE(hooks_->Detach(id.value()).ok());
+  EXPECT_EQ(hooks_->AttachedCount(HookPoint::kSyscallEnter), 0u);
+  EXPECT_FALSE(hooks_->Detach(id.value()).ok());
+  auto report = hooks_->Fire(HookPoint::kSyscallEnter, ctx_);
+  EXPECT_TRUE(report.value().verdicts.empty());
+}
+
+TEST_F(HooksTest, FailedAttachmentFailsOpenWithStatus) {
+  // An extension that panics contributes no verdict but its status shows.
+  Toolchain toolchain(*key_);
+  ExtensionManifest manifest;
+  manifest.name = "panicker";
+  manifest.version = "1";
+  class Panicker : public Extension {
+   public:
+    xbase::Result<xbase::u64> Run(Ctx& ctx) override {
+      ctx.Panic("boom");
+      return xbase::u64{1};
+    }
+  };
+  auto artifact = toolchain.Build(
+      manifest, []() { return std::make_unique<Panicker>(); },
+      std::span<const xbase::u8>());
+  const auto ext_id = ext_loader_->Load(artifact.value()).value();
+  (void)hooks_->AttachExtension(HookPoint::kSyscallEnter, ext_id);
+
+  auto report = hooks_->Fire(HookPoint::kSyscallEnter, ctx_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().denied) << "a dead policy cannot deny";
+  ASSERT_EQ(report.value().verdicts.size(), 1u);
+  EXPECT_FALSE(report.value().verdicts[0].status.ok());
+  EXPECT_FALSE(kernel_.crashed());
+}
+
+}  // namespace
+}  // namespace safex

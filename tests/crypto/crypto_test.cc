@@ -1,0 +1,191 @@
+// Crypto validation: SHA-256 against the FIPS 180-4 / NIST example vectors,
+// HMAC-SHA256 against RFC 4231 test cases, and the keyring's trust
+// decisions.
+#include <gtest/gtest.h>
+
+#include "src/crypto/hmac.h"
+#include "src/crypto/keyring.h"
+#include "src/crypto/sha256.h"
+#include "src/xbase/bytes.h"
+
+namespace crypto {
+namespace {
+
+using xbase::u8;
+
+std::string HexDigest(const Digest256& digest) {
+  return xbase::ToHex(std::span<const u8>(digest.data(), digest.size()));
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexDigest(Sha256::HashString("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexDigest(Sha256::HashString("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexDigest(Sha256::HashString(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.Update(std::span<const u8>(
+        reinterpret_cast<const u8*>(chunk.data()), chunk.size()));
+  }
+  EXPECT_EQ(HexDigest(hasher.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= text.size(); split += 7) {
+    Sha256 hasher;
+    hasher.Update(std::span<const u8>(
+        reinterpret_cast<const u8*>(text.data()), split));
+    hasher.Update(std::span<const u8>(
+        reinterpret_cast<const u8*>(text.data()) + split,
+        text.size() - split));
+    EXPECT_EQ(hasher.Finalize(), Sha256::HashString(text));
+  }
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // 55/56/63/64/65 bytes cross the padding boundaries.
+  for (const size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    const std::string text(len, 'x');
+    Sha256 hasher;
+    hasher.Update(std::span<const u8>(
+        reinterpret_cast<const u8*>(text.data()), text.size()));
+    EXPECT_EQ(hasher.Finalize(), Sha256::HashString(text)) << len;
+  }
+}
+
+TEST(Sha256Test, ConstantTimeCompare) {
+  const Digest256 a = Sha256::HashString("a");
+  Digest256 b = a;
+  EXPECT_TRUE(DigestEqualConstantTime(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(DigestEqualConstantTime(a, b));
+}
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  std::vector<u8> key(20, 0x0b);
+  const std::string data = "Hi There";
+  const Digest256 mac = HmacSha256(
+      key, std::span<const u8>(reinterpret_cast<const u8*>(data.data()),
+                               data.size()));
+  EXPECT_EQ(HexDigest(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacTest, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string data = "what do ya want for nothing?";
+  const Digest256 mac = HmacSha256(
+      key, std::span<const u8>(reinterpret_cast<const u8*>(data.data()),
+                               data.size()));
+  EXPECT_EQ(HexDigest(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3 (0xaa key, 0xdd data).
+TEST(HmacTest, Rfc4231Case3) {
+  std::vector<u8> key(20, 0xaa);
+  std::vector<u8> data(50, 0xdd);
+  EXPECT_EQ(HexDigest(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size.
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  std::vector<u8> key(131, 0xaa);
+  const std::string data =
+      "Test Using Larger Than Block-Size Key - Hash Key First";
+  EXPECT_EQ(HexDigest(HmacSha256(
+                key, std::span<const u8>(
+                         reinterpret_cast<const u8*>(data.data()),
+                         data.size()))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDifferentMacs) {
+  const std::string msg = "message";
+  const auto span = std::span<const u8>(
+      reinterpret_cast<const u8*>(msg.data()), msg.size());
+  EXPECT_NE(HmacSha256(std::string("k1"), span),
+            HmacSha256(std::string("k2"), span));
+}
+
+TEST(KeyringTest, EnrollVerifyRoundTrip) {
+  const SigningKey key = SigningKey::FromPassphrase("vendor", "pw");
+  Keyring keyring;
+  ASSERT_TRUE(keyring.Enroll(key).ok());
+  const u8 msg[] = {1, 2, 3};
+  const Signature sig = key.Sign(msg);
+  EXPECT_TRUE(keyring.Verify(msg, sig).ok());
+}
+
+TEST(KeyringTest, RejectsTamperedMessage) {
+  const SigningKey key = SigningKey::FromPassphrase("vendor", "pw");
+  Keyring keyring;
+  ASSERT_TRUE(keyring.Enroll(key).ok());
+  const u8 msg[] = {1, 2, 3};
+  Signature sig = key.Sign(msg);
+  const u8 other[] = {1, 2, 4};
+  EXPECT_EQ(keyring.Verify(other, sig).code(),
+            xbase::Code::kPermissionDenied);
+}
+
+TEST(KeyringTest, RejectsUnknownKeyId) {
+  const SigningKey trusted = SigningKey::FromPassphrase("vendor", "pw");
+  const SigningKey rogue = SigningKey::FromPassphrase("rogue", "pw2");
+  Keyring keyring;
+  ASSERT_TRUE(keyring.Enroll(trusted).ok());
+  const u8 msg[] = {9};
+  EXPECT_EQ(keyring.Verify(msg, rogue.Sign(msg)).code(),
+            xbase::Code::kPermissionDenied);
+}
+
+TEST(KeyringTest, RejectsForgedKeyIdWithWrongSecret) {
+  // A rogue key claiming the trusted id still fails: the MAC won't match.
+  const SigningKey trusted = SigningKey::FromPassphrase("vendor", "pw");
+  const SigningKey rogue = SigningKey::FromPassphrase("vendor", "guess");
+  Keyring keyring;
+  ASSERT_TRUE(keyring.Enroll(trusted).ok());
+  const u8 msg[] = {9};
+  EXPECT_FALSE(keyring.Verify(msg, rogue.Sign(msg)).ok());
+}
+
+TEST(KeyringTest, SealBlocksEnrollment) {
+  Keyring keyring;
+  keyring.Seal();
+  const SigningKey key = SigningKey::FromPassphrase("late", "pw");
+  EXPECT_EQ(keyring.Enroll(key).code(), xbase::Code::kPermissionDenied);
+}
+
+TEST(KeyringTest, DuplicateEnrollmentRefused) {
+  Keyring keyring;
+  const SigningKey key = SigningKey::FromPassphrase("vendor", "pw");
+  ASSERT_TRUE(keyring.Enroll(key).ok());
+  EXPECT_EQ(keyring.Enroll(key).code(), xbase::Code::kAlreadyExists);
+}
+
+TEST(KeyringTest, PassphraseDerivationIsDeterministic) {
+  const SigningKey a = SigningKey::FromPassphrase("k", "same");
+  const SigningKey b = SigningKey::FromPassphrase("k", "same");
+  const u8 msg[] = {42};
+  EXPECT_EQ(a.Sign(msg).mac, b.Sign(msg).mac);
+}
+
+}  // namespace
+}  // namespace crypto

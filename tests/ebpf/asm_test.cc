@@ -1,0 +1,189 @@
+// Assembler/builder and disassembler tests: encoding invariants, label
+// fixup arithmetic, and the rendering used in verifier diagnostics. Also
+// covers the atomic fetch-add instruction end to end.
+#include <gtest/gtest.h>
+
+#include "src/ebpf/asm.h"
+#include "src/ebpf/bpf.h"
+#include "src/ebpf/disasm.h"
+#include "src/ebpf/interp.h"
+#include "src/ebpf/loader.h"
+
+namespace ebpf {
+namespace {
+
+TEST(EncodingTest, FieldExtractionRoundTrips) {
+  const Insn insn = Alu64Imm(BPF_ADD, R3, -7);
+  EXPECT_EQ(insn.Class(), BPF_ALU64);
+  EXPECT_EQ(insn.AluOp(), BPF_ADD);
+  EXPECT_FALSE(insn.UsesRegSrc());
+  EXPECT_EQ(insn.dst, R3);
+  EXPECT_EQ(insn.imm, -7);
+
+  const Insn load = LdxMem(BPF_H, R2, R4, -12);
+  EXPECT_EQ(load.Class(), BPF_LDX);
+  EXPECT_EQ(SizeBytes(load.Size()), 2u);
+  EXPECT_EQ(load.Mode(), BPF_MEM);
+  EXPECT_EQ(load.off, -12);
+
+  const Insn call = CallHelper(25);
+  EXPECT_TRUE(call.IsHelperCall());
+  EXPECT_FALSE(call.IsPseudoCall());
+  EXPECT_FALSE(call.IsKfuncCall());
+  EXPECT_TRUE(CallKfunc(1001).IsKfuncCall());
+  EXPECT_TRUE(CallPseudo(3).IsPseudoCall());
+  EXPECT_TRUE(Exit().IsExit());
+
+  const auto pair = LdImm64(R1, 0x1122334455667788ULL);
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_TRUE(pair[0].IsLdImm64());
+  EXPECT_EQ(static_cast<u32>(pair[0].imm), 0x55667788u);
+  EXPECT_EQ(static_cast<u32>(pair[1].imm), 0x11223344u);
+
+  const Insn atomic = AtomicAdd(BPF_DW, R1, R2, 8);
+  EXPECT_EQ(atomic.Class(), BPF_STX);
+  EXPECT_EQ(atomic.Mode(), BPF_ATOMIC);
+  EXPECT_EQ(atomic.imm, BPF_ADD);
+}
+
+TEST(BuilderTest, ForwardAndBackwardLabels) {
+  ProgramBuilder b("labels", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R0, 0))
+      .Bind("back")
+      .Ins(Alu64Imm(BPF_ADD, R0, 1))
+      .JmpTo(BPF_JGE, R0, 3, "fwd")
+      .JaTo("back")
+      .Bind("fwd")
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  // The JA at index 3 jumps back to index 1: off = 1 - 3 - 1 = -3.
+  EXPECT_EQ(prog.value().insns[3].off, -3);
+  // The conditional at index 2 jumps to index 4: off = 4 - 2 - 1 = 1.
+  EXPECT_EQ(prog.value().insns[2].off, 1);
+}
+
+TEST(BuilderTest, UnboundLabelFails) {
+  ProgramBuilder b("bad", ProgType::kKprobe);
+  b.JaTo("nowhere").Ins(Exit());
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, LdFuncEncodesAbsolutePc) {
+  ProgramBuilder b("func", ProgType::kKprobe);
+  b.LdFuncTo(R2, "cb").Ins(Mov64Imm(R0, 0)).Ins(Exit()).Bind("cb").Ins(
+      Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog.value().insns[0].src, BPF_PSEUDO_FUNC);
+  EXPECT_EQ(prog.value().insns[0].imm, 4);  // absolute index of "cb"
+}
+
+TEST(DisasmTest, RendersCommonForms) {
+  EXPECT_EQ(DisasmInsn(Mov64Imm(R1, 5)), "r1 = 5");
+  EXPECT_EQ(DisasmInsn(Alu64Reg(BPF_ADD, R1, R2)), "r1 add= r2");
+  EXPECT_EQ(DisasmInsn(LdxMem(BPF_W, R0, R1, 8)), "r0 = *(u32 *)(r1 +8)");
+  EXPECT_EQ(DisasmInsn(StMemImm(BPF_DW, R10, -8, 3)),
+            "*(u64 *)(r10 -8) = 3");
+  EXPECT_EQ(DisasmInsn(CallHelper(1)), "call helper#1");
+  EXPECT_EQ(DisasmInsn(Exit()), "exit");
+  EXPECT_EQ(DisasmInsn(JmpImm(BPF_JEQ, R3, 0, 5)), "if r3 jeq 0 goto +5");
+  EXPECT_EQ(DisasmInsn(AtomicAdd(BPF_W, R0, R1, 4)),
+            "lock *(u32 *)(r0 +4) += r1");
+}
+
+TEST(DisasmTest, ProgramListingMergesLdImm64) {
+  ProgramBuilder b("listing", ProgType::kKprobe);
+  b.Ins(LdImm64(R1, 0xabcdef)).Ins(Mov64Imm(R0, 0)).Ins(Exit());
+  const std::string text = DisasmProgram(b.Build().value());
+  EXPECT_NE(text.find("r1 = 0xabcdef"), std::string::npos);
+  EXPECT_NE(text.find("exit"), std::string::npos);
+}
+
+TEST(AtomicTest, XaddThroughTheFullPipeline) {
+  simkern::Kernel kernel;
+  Bpf bpf(kernel);
+  Loader loader(bpf);
+  ASSERT_TRUE(kernel.BootstrapWorkload().ok());
+
+  MapSpec spec;
+  spec.type = MapType::kArray;
+  spec.key_size = 4;
+  spec.value_size = 8;
+  spec.max_entries = 1;
+  spec.name = "xadd";
+  const int fd = bpf.maps().Create(spec).value();
+
+  ProgramBuilder b("xadd", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Imm(R1, 5))
+      .Ins(AtomicAdd(BPF_DW, R0, R1, 0))
+      .Ins(AtomicAdd(BPF_DW, R0, R1, 0))
+      .Ins(LdxMem(BPF_DW, R0, R0, 0))
+      .Ins(Exit())
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto id = loader.Load(b.Build().value());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto loaded = loader.Find(id.value());
+  auto ctx = kernel.mem().Map(64, simkern::MemPerm::kReadWrite,
+                              simkern::RegionKind::kKernelData, "c");
+  auto result = Execute(bpf, *loaded.value(), ctx.value(), {}, &loader);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().r0, 10u);
+}
+
+TEST(AtomicTest, VerifierRejectsBadAtomics) {
+  simkern::Kernel kernel;
+  Bpf bpf(kernel);
+  VerifyOptions opts;
+  opts.version = kernel.version();
+  opts.faults = &bpf.faults();
+
+  // Unsupported atomic operation.
+  {
+    Program prog;
+    prog.name = "badop";
+    prog.type = ProgType::kKprobe;
+    prog.insns.push_back(Mov64Imm(R1, 0));
+    Insn bad = AtomicAdd(BPF_DW, R10, R1, -8);
+    bad.imm = BPF_XOR;
+    prog.insns.push_back(StMemImm(BPF_DW, R10, -8, 0));
+    prog.insns.push_back(bad);
+    prog.insns.push_back(Mov64Imm(R0, 0));
+    prog.insns.push_back(Exit());
+    EXPECT_FALSE(Verify(prog, bpf.maps(), bpf.helpers(), opts).ok());
+  }
+  // Byte-sized atomic.
+  {
+    Program prog;
+    prog.name = "badsize";
+    prog.type = ProgType::kKprobe;
+    prog.insns.push_back(Mov64Imm(R1, 0));
+    prog.insns.push_back(StMemImm(BPF_DW, R10, -8, 0));
+    prog.insns.push_back(AtomicAdd(BPF_B, R10, R1, -8));
+    prog.insns.push_back(Mov64Imm(R0, 0));
+    prog.insns.push_back(Exit());
+    EXPECT_FALSE(Verify(prog, bpf.maps(), bpf.helpers(), opts).ok());
+  }
+  // Atomic on an uninitialized stack slot (read half fails).
+  {
+    Program prog;
+    prog.name = "coldxadd";
+    prog.type = ProgType::kKprobe;
+    prog.insns.push_back(Mov64Imm(R1, 1));
+    prog.insns.push_back(AtomicAdd(BPF_DW, R10, R1, -8));
+    prog.insns.push_back(Mov64Imm(R0, 0));
+    prog.insns.push_back(Exit());
+    EXPECT_FALSE(Verify(prog, bpf.maps(), bpf.helpers(), opts).ok());
+  }
+}
+
+}  // namespace
+}  // namespace ebpf

@@ -1,0 +1,174 @@
+// kfunc tests: version gating, the shallow argument checking that makes
+// kfuncs a wider escape hatch than helpers (§2.2's closing observation),
+// reference discipline, and the verified-program-crashes-anyway
+// demonstration with find_vma.
+#include <gtest/gtest.h>
+
+#include "src/ebpf/asm.h"
+#include "src/ebpf/bpf.h"
+#include "src/ebpf/interp.h"
+#include "src/ebpf/loader.h"
+
+namespace ebpf {
+namespace {
+
+class KfuncTest : public ::testing::Test {
+ protected:
+  KfuncTest() : bpf_(kernel_), loader_(bpf_) {
+    EXPECT_TRUE(kernel_.BootstrapWorkload().ok());
+  }
+
+  xbase::Result<ExecResult> LoadAndRun(
+      const Program& prog,
+      std::optional<simkern::KernelVersion> version = std::nullopt) {
+    LoadOptions opts;
+    opts.version_override = version;
+    auto id = loader_.Load(prog, opts);
+    if (!id.ok()) {
+      return id.status();
+    }
+    auto loaded = loader_.Find(id.value());
+    auto ctx = kernel_.mem().Map(64, simkern::MemPerm::kReadWrite,
+                                 simkern::RegionKind::kKernelData, "ctx");
+    return Execute(bpf_, *loaded.value(), ctx.value(), {}, &loader_);
+  }
+
+  simkern::Kernel kernel_;
+  Bpf bpf_;
+  Loader loader_;
+};
+
+Program AcquireReleaseProg() {
+  ProgramBuilder b("kf_balanced", ProgType::kKprobe);
+  b.Ins(CallHelper(kHelperGetCurrentTask))  // raw task addr (scalar)
+      .Ins(Mov64Reg(R1, R0))
+      .Ins(CallKfunc(kKfuncTaskAcquire))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R1, R0))
+      .Ins(CallKfunc(kKfuncTaskRelease))
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build().value();
+}
+
+TEST_F(KfuncTest, RegistryCensus) {
+  EXPECT_EQ(bpf_.kfuncs().CountAtVersion(simkern::kV5_10), 0u);
+  EXPECT_EQ(bpf_.kfuncs().CountAtVersion(simkern::kV5_13), 2u);
+  EXPECT_EQ(bpf_.kfuncs().CountAtVersion(simkern::kV6_1), 5u);
+  for (const KfuncSpec* spec : bpf_.kfuncs().AllSpecs()) {
+    EXPECT_TRUE(kernel_.callgraph().Contains(spec->entry_func))
+        << spec->name;
+  }
+}
+
+TEST_F(KfuncTest, RejectedBeforeV5_13) {
+  auto result = LoadAndRun(AcquireReleaseProg(), simkern::kV5_10);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("v5.13"), std::string::npos);
+}
+
+TEST_F(KfuncTest, BalancedAcquireReleaseRuns) {
+  const auto before = kernel_.objects().Snapshot();
+  auto result = LoadAndRun(AcquireReleaseProg());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(kernel_.objects().DiffSince(before).empty());
+}
+
+TEST_F(KfuncTest, UnreleasedKfuncRefRejected) {
+  ProgramBuilder b("kf_leak", ProgType::kKprobe);
+  b.Ins(CallHelper(kHelperGetCurrentTask))
+      .Ins(Mov64Reg(R1, R0))
+      .Ins(CallKfunc(kKfuncTaskAcquire))
+      .Ins(Mov64Imm(R0, 0))  // never released
+      .Ins(Exit());
+  auto result = LoadAndRun(b.Build().value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("Unreleased"), std::string::npos);
+}
+
+TEST_F(KfuncTest, ReleaseWithoutAcquireRejected) {
+  ProgramBuilder b("kf_underflow", ProgType::kKprobe);
+  b.Ins(CallHelper(kHelperGetCurrentTask))
+      .Ins(Mov64Reg(R1, R0))
+      .Ins(CallKfunc(kKfuncTaskRelease))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto result = LoadAndRun(b.Build().value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unowned"), std::string::npos);
+}
+
+TEST_F(KfuncTest, UnknownBtfIdRejected) {
+  ProgramBuilder b("kf_unknown", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R1, 0))
+      .Ins(CallKfunc(424242))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto result = LoadAndRun(b.Build().value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("invalid kernel function"),
+            std::string::npos);
+}
+
+// The §2.2 punchline for kfuncs: the spec accepts *any* initialized value
+// where the internal function expects a valid task_struct. A verified
+// program passes garbage; the kernel function, written for trusted
+// callers, dereferences it; oops.
+TEST_F(KfuncTest, VerifiedProgramCrashesThroughUnsanitizedKfunc) {
+  ProgramBuilder b("kf_crash", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R1, 0x1000))  // "task pointer": arbitrary scalar
+      .Ins(Mov64Imm(R2, 0))
+      .Ins(CallKfunc(kKfuncVmaLookup))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto result = LoadAndRun(b.Build().value());
+  ASSERT_FALSE(result.ok()) << "runtime must fault";
+  EXPECT_EQ(result.status().code(), xbase::Code::kKernelFault);
+  EXPECT_TRUE(kernel_.crashed())
+      << "the verifier accepted it; the kfunc was never written to cope";
+}
+
+TEST_F(KfuncTest, WellFormedKfuncCallWorks) {
+  ProgramBuilder b("kf_ok", ProgType::kKprobe);
+  b.Ins(CallHelper(kHelperGetCurrentTask))
+      .Ins(Mov64Reg(R1, R0))
+      .Ins(Mov64Imm(R2, 0))
+      .Ins(CallKfunc(kKfuncVmaLookup))
+      .Ins(Exit());
+  auto result = LoadAndRun(b.Build().value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().r0, 0u);  // addr 0 not in the task's stack vma
+  EXPECT_FALSE(kernel_.crashed());
+}
+
+TEST_F(KfuncTest, SkbSummarizeRequiresCtx) {
+  ProgramBuilder b("kf_ctx", ProgType::kXdp);
+  b.Ins(Mov64Imm(R1, 7))  // scalar where ctx is required
+      .Ins(CallKfunc(kKfuncSkbSummarize))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto result = LoadAndRun(b.Build().value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("expected=ctx"),
+            std::string::npos);
+}
+
+TEST_F(KfuncTest, SkbSummarizeComputesCookie) {
+  ProgramBuilder b("kf_sum", ProgType::kXdp);
+  b.Ins(CallKfunc(kKfuncSkbSummarize)).Ins(Exit());
+  auto prog = b.Build().value();
+  LoadOptions opts;
+  auto id = loader_.Load(prog, opts);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto loaded = loader_.Find(id.value());
+  xbase::u8 payload[32] = {1, 2, 3};
+  auto skb = kernel_.net().CreateSkBuff(kernel_.mem(), payload);
+  auto result =
+      Execute(bpf_, *loaded.value(), skb.value().meta_addr, {}, &loader_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result.value().r0, 0u);
+}
+
+}  // namespace
+}  // namespace ebpf

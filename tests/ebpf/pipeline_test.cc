@@ -1,0 +1,389 @@
+// End-to-end smoke tests for the eBPF substrate: build → verify → load →
+// execute against the simulated kernel.
+#include <gtest/gtest.h>
+
+#include "src/ebpf/asm.h"
+#include "src/ebpf/bpf.h"
+#include "src/ebpf/interp.h"
+#include "src/ebpf/loader.h"
+#include "src/xbase/bytes.h"
+
+namespace ebpf {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : bpf_(kernel_), loader_(bpf_) {
+    EXPECT_TRUE(kernel_.BootstrapWorkload().ok());
+  }
+
+  // Loads and runs with a zeroed 64-byte context buffer.
+  xbase::Result<ExecResult> LoadAndRun(const Program& prog,
+                                       ExecOptions opts = {}) {
+    auto id = loader_.Load(prog);
+    if (!id.ok()) {
+      return id.status();
+    }
+    auto loaded = loader_.Find(id.value());
+    auto ctx = kernel_.mem().Map(64, simkern::MemPerm::kReadWrite,
+                                 simkern::RegionKind::kKernelData,
+                                 "test-ctx");
+    EXPECT_TRUE(ctx.ok());
+    return Execute(bpf_, *loaded.value(), ctx.value(), opts, &loader_);
+  }
+
+  simkern::Kernel kernel_;
+  Bpf bpf_;
+  Loader loader_;
+};
+
+TEST_F(PipelineTest, ReturnsConstant) {
+  ProgramBuilder b("ret42", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R0, 42)).Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().r0, 42u);
+}
+
+TEST_F(PipelineTest, ArithmeticChain) {
+  ProgramBuilder b("arith", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R0, 10))
+      .Ins(Alu64Imm(BPF_MUL, R0, 7))
+      .Ins(Alu64Imm(BPF_ADD, R0, 2))
+      .Ins(Alu64Imm(BPF_RSH, R0, 1))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().r0, 36u);  // (10*7+2)>>1
+}
+
+TEST_F(PipelineTest, StackSpillAndFill) {
+  ProgramBuilder b("stack", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R6, 1234))
+      .Ins(StxMem(BPF_DW, R10, R6, -8))
+      .Ins(LdxMem(BPF_DW, R0, R10, -8))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().r0, 1234u);
+}
+
+TEST_F(PipelineTest, RejectsUninitializedRegister) {
+  ProgramBuilder b("uninit", ProgType::kKprobe);
+  b.Ins(Mov64Reg(R0, R3)).Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), xbase::Code::kRejected);
+}
+
+TEST_F(PipelineTest, RejectsStackOutOfBounds) {
+  ProgramBuilder b("oob", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R0, 0))
+      .Ins(StxMem(BPF_DW, R10, R0, -520))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), xbase::Code::kRejected);
+}
+
+TEST_F(PipelineTest, RejectsInfiniteLoopBeforeV5_3) {
+  simkern::KernelConfig config;
+  config.version = simkern::kV4_20;
+  simkern::Kernel old_kernel(config);
+  Bpf old_bpf(old_kernel);
+  Loader old_loader(old_bpf);
+
+  ProgramBuilder b("loop", ProgType::kKprobe);
+  b.Bind("top")
+      .Ins(Mov64Imm(R0, 0))
+      .JaTo("top");
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto id = old_loader.Load(prog.value());
+  ASSERT_FALSE(id.ok());
+  EXPECT_NE(id.status().message().find("back-edge"), std::string::npos)
+      << id.status().ToString();
+}
+
+TEST_F(PipelineTest, AcceptsBoundedLoopAtV5_18) {
+  // for (i = 0; i < 10; i++) sum += i;  — legal since v5.3.
+  ProgramBuilder b("bounded", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R6, 0))
+      .Ins(Mov64Imm(R0, 0))
+      .Bind("top")
+      .JmpTo(BPF_JGE, R6, 10, "done")
+      .Ins(Alu64Reg(BPF_ADD, R0, R6))
+      .Ins(Alu64Imm(BPF_ADD, R6, 1))
+      .JaTo("top")
+      .Bind("done")
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().r0, 45u);
+}
+
+TEST_F(PipelineTest, MapRoundTripThroughHelpers) {
+  MapSpec spec;
+  spec.type = MapType::kArray;
+  spec.key_size = 4;
+  spec.value_size = 8;
+  spec.max_entries = 4;
+  spec.name = "counters";
+  auto fd = bpf_.maps().Create(spec);
+  ASSERT_TRUE(fd.ok());
+
+  // key=1 on the stack; value=777 on the stack; update then lookup.
+  ProgramBuilder b("maprt", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 1))            // key
+      .Ins(StMemImm(BPF_DW, R10, -16, 777))     // value
+      .Ins(LdMapFd(R1, fd.value()))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(Mov64Reg(R3, R10))
+      .Ins(Alu64Imm(BPF_ADD, R3, -16))
+      .Ins(Mov64Imm(R4, 0))
+      .Ins(CallHelper(kHelperMapUpdateElem))
+      .Ins(LdMapFd(R1, fd.value()))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "miss")
+      .Ins(LdxMem(BPF_DW, R0, R0, 0))
+      .Ins(Exit())
+      .Bind("miss")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().r0, 777u);
+}
+
+TEST_F(PipelineTest, RejectsMapValueDerefWithoutNullCheck) {
+  MapSpec spec;
+  spec.type = MapType::kArray;
+  spec.key_size = 4;
+  spec.value_size = 8;
+  spec.max_entries = 1;
+  spec.name = "m";
+  auto fd = bpf_.maps().Create(spec);
+  ASSERT_TRUE(fd.ok());
+
+  ProgramBuilder b("nonull", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, fd.value()))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .Ins(LdxMem(BPF_DW, R0, R0, 0))  // no NULL check!
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("NULL"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(PipelineTest, RejectsMapValueOutOfBounds) {
+  MapSpec spec;
+  spec.type = MapType::kArray;
+  spec.key_size = 4;
+  spec.value_size = 8;
+  spec.max_entries = 1;
+  spec.name = "m";
+  auto fd = bpf_.maps().Create(spec);
+  ASSERT_TRUE(fd.ok());
+
+  ProgramBuilder b("oobmap", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, fd.value()))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(LdxMem(BPF_DW, R3, R0, 8))  // off 8 in an 8-byte value: OOB
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), xbase::Code::kRejected);
+}
+
+TEST_F(PipelineTest, HelperVersionGating) {
+  // bpf_loop does not exist on a v5.10 kernel.
+  simkern::KernelConfig config;
+  config.version = simkern::kV5_10;
+  simkern::Kernel old_kernel(config);
+  Bpf old_bpf(old_kernel);
+  Loader old_loader(old_bpf);
+
+  ProgramBuilder b("newhelper", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R1, 1))
+      .LdFuncTo(R2, "cb")
+      .Ins(Mov64Imm(R3, 0))
+      .Ins(Mov64Imm(R4, 0))
+      .Ins(CallHelper(kHelperLoop))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit())
+      .Bind("cb")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto id = old_loader.Load(prog.value());
+  ASSERT_FALSE(id.ok());
+  EXPECT_NE(id.status().message().find("introduced"), std::string::npos)
+      << id.status().ToString();
+}
+
+TEST_F(PipelineTest, BpfLoopRunsCallback) {
+  ProgramBuilder b("looped", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R1, 5))
+      .LdFuncTo(R2, "cb")
+      .Ins(Mov64Imm(R3, 0))
+      .Ins(Mov64Imm(R4, 0))
+      .Ins(CallHelper(kHelperLoop))
+      .Ins(Exit())  // r0 = number of iterations
+      .Bind("cb")
+      .Ins(Mov64Imm(R0, 0))  // keep looping
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().r0, 5u);
+}
+
+TEST_F(PipelineTest, UnprivilegedLoadRefusedByDefault) {
+  ProgramBuilder b("unpriv", ProgType::kSocketFilter);
+  b.Ins(Mov64Imm(R0, 0)).Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  LoadOptions opts;
+  opts.privileged = false;
+  auto id = loader_.Load(prog.value(), opts);
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), xbase::Code::kPermissionDenied);
+}
+
+TEST_F(PipelineTest, TracePrintkWritesDmesg) {
+  ProgramBuilder b("printk", ProgType::kKprobe);
+  // "hi" on the stack.
+  b.Ins(StMemImm(BPF_W, R10, -4, 0x6968))  // "hi\0\0"
+      .Ins(Mov64Reg(R1, R10))
+      .Ins(Alu64Imm(BPF_ADD, R1, -4))
+      .Ins(Mov64Imm(R2, 3))
+      .Ins(CallHelper(kHelperTracePrintk))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool found = false;
+  for (const auto& line : kernel_.dmesg()) {
+    if (line.find("bpf_trace_printk: hi") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PipelineTest, TailCallSwitchesProgram) {
+  MapSpec spec;
+  spec.type = MapType::kProgArray;
+  spec.key_size = 4;
+  spec.value_size = 4;
+  spec.max_entries = 2;
+  spec.name = "jmp_table";
+  auto fd = bpf_.maps().Create(spec);
+  ASSERT_TRUE(fd.ok());
+
+  // Target program returns 99.
+  ProgramBuilder target_b("target", ProgType::kKprobe);
+  target_b.Ins(Mov64Imm(R0, 99)).Ins(Exit());
+  auto target = target_b.Build();
+  ASSERT_TRUE(target.ok());
+  auto target_id = loader_.Load(target.value());
+  ASSERT_TRUE(target_id.ok()) << target_id.status().ToString();
+
+  // Install it at index 0.
+  auto map = bpf_.maps().Find(fd.value());
+  ASSERT_TRUE(map.ok());
+  xbase::u8 key[4] = {0, 0, 0, 0};
+  xbase::u8 value[4];
+  xbase::StoreLe32(value, target_id.value());
+  ASSERT_TRUE(map.value()->Update(kernel_, key, value, kBpfAny).ok());
+
+  // Caller tail-calls into it; the fallthrough value 7 must NOT appear.
+  ProgramBuilder caller_b("caller", ProgType::kKprobe);
+  caller_b.Ins(Mov64Imm(R0, 7))
+      .Ins(Mov64Reg(R1, R1))  // keep ctx
+      .Ins(LdMapFd(R2, fd.value()))
+      .Ins(Mov64Imm(R3, 0))
+      .Ins(CallHelper(kHelperTailCall))
+      .Ins(Exit());
+  auto caller = caller_b.Build();
+  ASSERT_TRUE(caller.ok());
+  auto result = LoadAndRun(caller.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().r0, 99u);
+}
+
+TEST_F(PipelineTest, Bpf2BpfCallAndReturn) {
+  ProgramBuilder b("calls", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R1, 20))
+      .CallTo("double_it")
+      .Ins(Alu64Imm(BPF_ADD, R0, 2))
+      .Ins(Exit())
+      .Bind("double_it")
+      .Ins(Mov64Reg(R0, R1))
+      .Ins(Alu64Imm(BPF_MUL, R0, 2))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto result = LoadAndRun(prog.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().r0, 42u);
+}
+
+TEST_F(PipelineTest, Bpf2BpfRejectedBeforeV4_16) {
+  simkern::KernelConfig config;
+  config.version = simkern::kV4_14;
+  simkern::Kernel old_kernel(config);
+  Bpf old_bpf(old_kernel);
+  Loader old_loader(old_bpf);
+
+  ProgramBuilder b("calls", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R1, 20))
+      .CallTo("sub")
+      .Ins(Exit())
+      .Bind("sub")
+      .Ins(Mov64Imm(R0, 1))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  auto id = old_loader.Load(prog.value());
+  ASSERT_FALSE(id.ok());
+  EXPECT_NE(id.status().message().find("v4.16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ebpf

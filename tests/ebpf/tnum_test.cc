@@ -1,0 +1,204 @@
+// Tristate-number tests: algebraic unit cases plus property-based soundness
+// sweeps. The soundness property for every abstract operator OP:
+//
+//     a.Contains(x) && b.Contains(y)  =>  OP#(a,b).Contains(x OP y)
+//
+// checked over randomized tnums and random members. This is the property
+// Vishwanathan et al. [50] prove for the kernel's implementation; here it
+// doubles as a differential test of our port.
+#include <gtest/gtest.h>
+
+#include "src/ebpf/tnum.h"
+#include "src/xbase/rand.h"
+
+namespace ebpf {
+namespace {
+
+using xbase::u64;
+using xbase::u8;
+
+// Generates a random tnum together with a random concrete member of it.
+struct Sample {
+  Tnum abstract;
+  u64 concrete;
+};
+
+Sample RandomSample(xbase::Rng& rng) {
+  const u64 mask = rng.NextU64() & rng.NextU64();  // biased toward sparse
+  const u64 value = rng.NextU64() & ~mask;
+  const u64 member = value | (rng.NextU64() & mask);
+  return Sample{Tnum{value, mask}, member};
+}
+
+TEST(TnumTest, ConstAndUnknownBasics) {
+  EXPECT_TRUE(TnumConst(7).IsConst());
+  EXPECT_TRUE(TnumConst(7).Contains(7));
+  EXPECT_FALSE(TnumConst(7).Contains(8));
+  EXPECT_TRUE(TnumUnknown().IsUnknown());
+  EXPECT_TRUE(TnumUnknown().Contains(0xdeadbeef));
+}
+
+TEST(TnumTest, RangeContainsEndpoints) {
+  const Tnum range = TnumRange(16, 31);
+  EXPECT_TRUE(range.Contains(16));
+  EXPECT_TRUE(range.Contains(31));
+  EXPECT_TRUE(range.Contains(20));
+  EXPECT_FALSE(range.Contains(32));
+  EXPECT_FALSE(range.Contains(15));
+}
+
+TEST(TnumTest, RangeOfSingletonIsConst) {
+  EXPECT_TRUE(TnumRange(5, 5).IsConst());
+  EXPECT_EQ(TnumRange(5, 5).value, 5u);
+}
+
+TEST(TnumTest, AddConstants) {
+  EXPECT_EQ(TnumAdd(TnumConst(3), TnumConst(4)), TnumConst(7));
+}
+
+TEST(TnumTest, CastTruncates) {
+  const Tnum t = TnumCast(TnumConst(0x1234567890ULL), 4);
+  EXPECT_EQ(t.value, 0x34567890u);
+  EXPECT_EQ(TnumCast(TnumUnknown(), 1).mask, 0xffu);
+}
+
+TEST(TnumTest, Alignment) {
+  EXPECT_TRUE(TnumIsAligned(TnumConst(8), 8));
+  EXPECT_FALSE(TnumIsAligned(TnumConst(9), 8));
+  // Unknown low bits break alignment.
+  EXPECT_FALSE(TnumIsAligned(Tnum{0, 7}, 8));
+  EXPECT_TRUE(TnumIsAligned(Tnum{0, ~u64{7}}, 8));
+}
+
+TEST(TnumTest, InIsSubsetRelation) {
+  EXPECT_TRUE(TnumIn(TnumUnknown(), TnumConst(3)));
+  EXPECT_TRUE(TnumIn(TnumConst(3), TnumConst(3)));
+  EXPECT_FALSE(TnumIn(TnumConst(3), TnumConst(4)));
+  EXPECT_FALSE(TnumIn(TnumConst(3), TnumUnknown()));
+}
+
+TEST(TnumTest, SubregComposition) {
+  const Tnum reg = TnumConst(0x1111222233334444ULL);
+  const Tnum lowered = TnumConstSubreg(reg, 0xaabbccdd);
+  EXPECT_EQ(lowered.value, 0x11112222aabbccddULL);
+  EXPECT_EQ(TnumSubreg(lowered).value, 0xaabbccddu);
+  EXPECT_EQ(TnumClearSubreg(lowered).value, 0x1111222200000000ULL);
+}
+
+// ---- property-based soundness ------------------------------------------------
+
+class TnumPropertyTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TnumPropertyTest, AddSound) {
+  xbase::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const Sample a = RandomSample(rng);
+    const Sample b = RandomSample(rng);
+    EXPECT_TRUE(TnumAdd(a.abstract, b.abstract)
+                    .Contains(a.concrete + b.concrete));
+  }
+}
+
+TEST_P(TnumPropertyTest, SubSound) {
+  xbase::Rng rng(GetParam() ^ 0x5u);
+  for (int i = 0; i < 2000; ++i) {
+    const Sample a = RandomSample(rng);
+    const Sample b = RandomSample(rng);
+    EXPECT_TRUE(TnumSub(a.abstract, b.abstract)
+                    .Contains(a.concrete - b.concrete));
+  }
+}
+
+TEST_P(TnumPropertyTest, BitwiseSound) {
+  xbase::Rng rng(GetParam() ^ 0x77u);
+  for (int i = 0; i < 2000; ++i) {
+    const Sample a = RandomSample(rng);
+    const Sample b = RandomSample(rng);
+    EXPECT_TRUE(TnumAnd(a.abstract, b.abstract)
+                    .Contains(a.concrete & b.concrete));
+    EXPECT_TRUE(TnumOr(a.abstract, b.abstract)
+                    .Contains(a.concrete | b.concrete));
+    EXPECT_TRUE(TnumXor(a.abstract, b.abstract)
+                    .Contains(a.concrete ^ b.concrete));
+  }
+}
+
+TEST_P(TnumPropertyTest, MulSound) {
+  xbase::Rng rng(GetParam() ^ 0xabcu);
+  for (int i = 0; i < 500; ++i) {
+    const Sample a = RandomSample(rng);
+    const Sample b = RandomSample(rng);
+    EXPECT_TRUE(TnumMul(a.abstract, b.abstract)
+                    .Contains(a.concrete * b.concrete));
+  }
+}
+
+TEST_P(TnumPropertyTest, ShiftsSound) {
+  xbase::Rng rng(GetParam() ^ 0xddu);
+  for (int i = 0; i < 2000; ++i) {
+    const Sample a = RandomSample(rng);
+    const u8 shift = static_cast<u8>(rng.NextBelow(64));
+    EXPECT_TRUE(TnumLshift(a.abstract, shift).Contains(a.concrete << shift));
+    EXPECT_TRUE(TnumRshift(a.abstract, shift).Contains(a.concrete >> shift));
+    EXPECT_TRUE(TnumArshift(a.abstract, shift, 64)
+                    .Contains(static_cast<u64>(
+                        static_cast<xbase::s64>(a.concrete) >> shift)));
+  }
+}
+
+TEST_P(TnumPropertyTest, RangeContainsAllMembers) {
+  xbase::Rng rng(GetParam() ^ 0x31u);
+  for (int i = 0; i < 2000; ++i) {
+    u64 lo = rng.NextU64();
+    u64 hi = rng.NextU64();
+    if (lo > hi) {
+      std::swap(lo, hi);
+    }
+    const Tnum range = TnumRange(lo, hi);
+    const u64 member = lo + rng.NextBelow(hi - lo + 1);
+    EXPECT_TRUE(range.Contains(member));
+  }
+}
+
+TEST_P(TnumPropertyTest, IntersectKeepsCommonMembers) {
+  xbase::Rng rng(GetParam() ^ 0x90u);
+  for (int i = 0; i < 2000; ++i) {
+    const Sample a = RandomSample(rng);
+    // b generated around the same concrete member so intersection is
+    // consistent by construction.
+    const u64 mask_b = rng.NextU64() & rng.NextU64();
+    const Tnum b{a.concrete & ~mask_b, mask_b};
+    ASSERT_TRUE(b.Contains(a.concrete));
+    EXPECT_TRUE(TnumIntersect(a.abstract, b).Contains(a.concrete));
+  }
+}
+
+TEST_P(TnumPropertyTest, CastSound) {
+  xbase::Rng rng(GetParam() ^ 0xc4u);
+  for (int i = 0; i < 2000; ++i) {
+    const Sample a = RandomSample(rng);
+    for (const u8 size : {1, 2, 4, 8}) {
+      const u64 keep = size >= 8 ? ~u64{0} : ((u64{1} << (size * 8)) - 1);
+      EXPECT_TRUE(TnumCast(a.abstract, size).Contains(a.concrete & keep));
+    }
+  }
+}
+
+TEST_P(TnumPropertyTest, InReflectsMembership) {
+  xbase::Rng rng(GetParam() ^ 0x1eu);
+  for (int i = 0; i < 2000; ++i) {
+    const Sample a = RandomSample(rng);
+    // TnumIn(a, const(x)) must be true exactly when a.Contains(x).
+    EXPECT_EQ(TnumIn(a.abstract, TnumConst(a.concrete)), true);
+    const u64 non_member = a.concrete ^ (~a.abstract.mask | 1);
+    if (!a.abstract.Contains(non_member)) {
+      EXPECT_FALSE(TnumIn(a.abstract, TnumConst(non_member)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TnumPropertyTest,
+                         ::testing::Values(1, 42, 0xdead, 0xbeef, 2026));
+
+}  // namespace
+}  // namespace ebpf

@@ -1,0 +1,363 @@
+// Unit tests for the simulated kernel substrate: memory model, objects,
+// RCU, locks, tasks, networking, call graph and the kernel façade.
+#include <gtest/gtest.h>
+
+#include "src/simkern/kernel.h"
+
+namespace simkern {
+namespace {
+
+using xbase::u8;
+
+// ---- memory ------------------------------------------------------------------
+
+TEST(SimMemoryTest, MapReadWriteRoundTrip) {
+  SimMemory mem;
+  auto base = mem.Map(64, MemPerm::kReadWrite, RegionKind::kKernelData, "r");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(mem.WriteU64(base.value(), 0xabcdef).ok());
+  EXPECT_EQ(mem.ReadU64(base.value()).value(), 0xabcdefu);
+}
+
+TEST(SimMemoryTest, RegionsGetGuardGaps) {
+  SimMemory mem;
+  const Addr a =
+      mem.Map(64, MemPerm::kReadWrite, RegionKind::kKernelData, "a").value();
+  const Addr b =
+      mem.Map(64, MemPerm::kReadWrite, RegionKind::kKernelData, "b").value();
+  EXPECT_GE(b - a, 64u + 0x1000u);
+  // The gap faults.
+  u8 buf[1];
+  EXPECT_EQ(mem.ReadChecked(a + 64, buf, 0).code(),
+            xbase::Code::kKernelFault);
+}
+
+TEST(SimMemoryTest, NullGuardPage) {
+  SimMemory mem;
+  u8 buf[4];
+  const xbase::Status status = mem.ReadChecked(0, buf, 0);
+  EXPECT_EQ(status.code(), xbase::Code::kKernelFault);
+  const auto fault = mem.TakeFault();
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultKind::kNullDeref);
+  EXPECT_FALSE(mem.TakeFault().has_value()) << "fault is consumed";
+}
+
+TEST(SimMemoryTest, ReadOnlyRegionRejectsWrites) {
+  SimMemory mem;
+  const Addr base =
+      mem.Map(32, MemPerm::kRead, RegionKind::kTaskStruct, "ro").value();
+  const u8 data[] = {1};
+  EXPECT_EQ(mem.WriteChecked(base, data, 0).code(),
+            xbase::Code::kKernelFault);
+  EXPECT_EQ(mem.TakeFault()->kind, FaultKind::kPermission);
+  // Trusted kernel writes bypass the permission model.
+  EXPECT_TRUE(mem.Write(base, data).ok());
+}
+
+TEST(SimMemoryTest, CrossRegionAccessFaults) {
+  SimMemory mem;
+  const Addr base =
+      mem.Map(16, MemPerm::kReadWrite, RegionKind::kKernelData, "r").value();
+  u8 buf[8];
+  // 8-byte read starting at the 12th byte crosses the region end.
+  EXPECT_EQ(mem.ReadChecked(base + 12, buf, 0).code(),
+            xbase::Code::kKernelFault);
+}
+
+TEST(SimMemoryTest, ProtectionKeys) {
+  SimMemory mem;
+  const Addr base =
+      mem.Map(16, MemPerm::kReadWrite, RegionKind::kExtensionPool, "p")
+          .value();
+  mem.SetRegionKey(base, 7);
+  u8 buf[4];
+  EXPECT_TRUE(mem.ReadChecked(base, buf, 7).ok());   // matching key
+  EXPECT_TRUE(mem.ReadChecked(base, buf, 0).ok());   // supervisor
+  EXPECT_EQ(mem.ReadChecked(base, buf, 3).code(),    // foreign domain
+            xbase::Code::kKernelFault);
+  EXPECT_EQ(mem.TakeFault()->kind, FaultKind::kProtectionKey);
+}
+
+TEST(SimMemoryTest, UnmapInvalidatesAddresses) {
+  SimMemory mem;
+  const Addr base =
+      mem.Map(16, MemPerm::kReadWrite, RegionKind::kMapData, "m").value();
+  ASSERT_TRUE(mem.Unmap(base).ok());
+  u8 buf[4];
+  EXPECT_EQ(mem.ReadChecked(base, buf, 0).code(),
+            xbase::Code::kKernelFault);
+  EXPECT_EQ(mem.Unmap(base).code(), xbase::Code::kNotFound);
+}
+
+TEST(SimMemoryTest, OverlapRejected) {
+  SimMemory mem;
+  const Addr base =
+      mem.Map(64, MemPerm::kReadWrite, RegionKind::kKernelData, "a").value();
+  EXPECT_EQ(mem.Map(64, MemPerm::kReadWrite, RegionKind::kKernelData, "b",
+                    base + 8)
+                .status()
+                .code(),
+            xbase::Code::kAlreadyExists);
+}
+
+// ---- objects -------------------------------------------------------------------
+
+TEST(ObjectTableTest, AcquireReleaseLifecycle) {
+  ObjectTable objects;
+  const ObjectId id = objects.Create(ObjectType::kSock, "s");
+  EXPECT_EQ(objects.RefcountOf(id), 1);
+  EXPECT_TRUE(objects.Acquire(id).ok());
+  EXPECT_EQ(objects.RefcountOf(id), 2);
+  EXPECT_TRUE(objects.Release(id).ok());
+  EXPECT_TRUE(objects.Release(id).ok());
+  EXPECT_FALSE(objects.IsLive(id));  // refcount hit zero -> freed
+}
+
+TEST(ObjectTableTest, UseAfterFreeDetected) {
+  ObjectTable objects;
+  const ObjectId id = objects.Create(ObjectType::kSock, "s");
+  ASSERT_TRUE(objects.Release(id).ok());
+  EXPECT_EQ(objects.Acquire(id).code(), xbase::Code::kKernelFault);
+  EXPECT_EQ(objects.Release(id).code(), xbase::Code::kKernelFault);
+}
+
+TEST(ObjectTableTest, SnapshotDiffFindsLeaks) {
+  ObjectTable objects;
+  const ObjectId id = objects.Create(ObjectType::kTask, "t");
+  const RefcountSnapshot before = objects.Snapshot();
+  ASSERT_TRUE(objects.Acquire(id).ok());
+  const auto leaks = objects.DiffSince(before);
+  ASSERT_EQ(leaks.size(), 1u);
+  EXPECT_EQ(leaks[0].id, id);
+  EXPECT_EQ(leaks[0].before, 1);
+  EXPECT_EQ(leaks[0].after, 2);
+  ASSERT_TRUE(objects.Release(id).ok());
+  EXPECT_TRUE(objects.DiffSince(before).empty());
+}
+
+TEST(ObjectTableTest, NewObjectsSinceSnapshotCount) {
+  ObjectTable objects;
+  const RefcountSnapshot before = objects.Snapshot();
+  objects.Create(ObjectType::kRequestSock, "leaked");
+  EXPECT_EQ(objects.DiffSince(before).size(), 1u);
+}
+
+// ---- RCU -----------------------------------------------------------------------
+
+TEST(RcuTest, StallDetectedAfterTimeout) {
+  SimClock clock;
+  RcuState rcu;
+  rcu.ReadLock(clock, "test");
+  clock.Advance(kRcuStallTimeoutNs - 1);
+  rcu.CheckStall(clock);
+  EXPECT_TRUE(rcu.stalls().empty());
+  clock.Advance(2);
+  rcu.CheckStall(clock);
+  ASSERT_EQ(rcu.stalls().size(), 1u);
+  EXPECT_GE(rcu.stalls()[0].held_for_ns, kRcuStallTimeoutNs);
+  // Reported once per critical section.
+  clock.Advance(kRcuStallTimeoutNs);
+  rcu.CheckStall(clock);
+  EXPECT_EQ(rcu.stalls().size(), 1u);
+  EXPECT_TRUE(rcu.ReadUnlock().ok());
+}
+
+TEST(RcuTest, NestingTracksOutermost) {
+  SimClock clock;
+  RcuState rcu;
+  rcu.ReadLock(clock, "outer");
+  clock.Advance(100);
+  rcu.ReadLock(clock, "inner");
+  EXPECT_EQ(rcu.depth(), 2);
+  clock.Advance(100);
+  EXPECT_EQ(rcu.HeldForNs(clock), 200u);
+  EXPECT_TRUE(rcu.ReadUnlock().ok());
+  EXPECT_TRUE(rcu.ReadUnlock().ok());
+  EXPECT_FALSE(rcu.InCriticalSection());
+}
+
+TEST(RcuTest, UnbalancedUnlockFaults) {
+  RcuState rcu;
+  EXPECT_EQ(rcu.ReadUnlock().code(), xbase::Code::kKernelFault);
+}
+
+TEST(RcuTest, SynchronizeInsideReaderDeadlocks) {
+  SimClock clock;
+  RcuState rcu;
+  rcu.ReadLock(clock, "r");
+  EXPECT_EQ(rcu.SynchronizeRcu().code(), xbase::Code::kKernelFault);
+  ASSERT_TRUE(rcu.ReadUnlock().ok());
+  EXPECT_TRUE(rcu.SynchronizeRcu().ok());
+}
+
+// ---- locks ---------------------------------------------------------------------
+
+TEST(LockTest, AcquireReleaseAndDeadlock) {
+  LockTable locks;
+  const LockId id = locks.Create("l");
+  EXPECT_TRUE(locks.Acquire(id, "a").ok());
+  EXPECT_TRUE(locks.IsHeld(id));
+  EXPECT_EQ(locks.Acquire(id, "b").code(), xbase::Code::kKernelFault);
+  EXPECT_TRUE(locks.Release(id).ok());
+  EXPECT_EQ(locks.Release(id).code(), xbase::Code::kKernelFault);
+}
+
+TEST(LockTest, HeldLocksEnumerates) {
+  LockTable locks;
+  const LockId a = locks.Create("a");
+  const LockId b = locks.Create("b");
+  ASSERT_TRUE(locks.Acquire(a, "x").ok());
+  ASSERT_TRUE(locks.Acquire(b, "x").ok());
+  EXPECT_EQ(locks.HeldLocks().size(), 2u);
+  locks.ForceRelease(a);
+  EXPECT_EQ(locks.HeldLocks().size(), 1u);
+}
+
+// ---- tasks & net -----------------------------------------------------------------
+
+TEST(TaskTest, CreateAndReadBack) {
+  Kernel kernel;
+  const auto pid =
+      kernel.tasks().Create(kernel.mem(), kernel.objects(), 42, 40, "demo");
+  ASSERT_TRUE(pid.ok());
+  const auto task = kernel.tasks().FindByPid(42);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task.value()->tgid, 40u);
+  // The struct bytes are live in simulated memory.
+  const auto stored_pid =
+      kernel.mem().ReadU32(task.value()->struct_addr + TaskLayout::kPid);
+  EXPECT_EQ(stored_pid.value(), 42u);
+  EXPECT_TRUE(kernel.tasks().FindByAddr(task.value()->struct_addr).ok());
+  EXPECT_EQ(kernel.tasks().Create(kernel.mem(), kernel.objects(), 42, 1,
+                                  "dup")
+                .status()
+                .code(),
+            xbase::Code::kAlreadyExists);
+}
+
+TEST(TaskTest, CurrentTaskSwitches) {
+  Kernel kernel;
+  ASSERT_TRUE(kernel.BootstrapWorkload().ok());
+  ASSERT_TRUE(kernel.tasks().SetCurrent(4321).ok());
+  EXPECT_EQ(kernel.tasks().current()->comm, "nginx");
+  EXPECT_EQ(kernel.tasks().SetCurrent(99999).code(), xbase::Code::kNotFound);
+}
+
+TEST(NetTest, SockLookupByTuple) {
+  Kernel kernel;
+  ASSERT_TRUE(kernel.BootstrapWorkload().ok());
+  const SockTuple tuple{0x0a000001, 0x0a000002, 8080, 40000};
+  const auto sock = kernel.net().Lookup(tuple);
+  ASSERT_TRUE(sock.has_value());
+  EXPECT_EQ(sock->protocol, 6u);
+  EXPECT_FALSE(kernel.net().Lookup(SockTuple{1, 2, 3, 4}).has_value());
+}
+
+TEST(NetTest, SkBuffLayout) {
+  Kernel kernel;
+  const u8 payload[] = {0xaa, 0xbb, 0xcc};
+  const auto skb = kernel.net().CreateSkBuff(kernel.mem(), payload);
+  ASSERT_TRUE(skb.ok());
+  EXPECT_EQ(skb.value().len, 3u);
+  const auto len = kernel.mem().ReadU32(skb.value().meta_addr +
+                                        SkBuffLayout::kLen);
+  EXPECT_EQ(len.value(), 3u);
+  const auto data_ptr = kernel.mem().ReadU64(skb.value().meta_addr +
+                                             SkBuffLayout::kDataPtr);
+  EXPECT_EQ(data_ptr.value(), skb.value().data_addr);
+  u8 byte;
+  ASSERT_TRUE(kernel.mem().Read(skb.value().data_addr, {&byte, 1}).ok());
+  EXPECT_EQ(byte, 0xaa);
+}
+
+// ---- call graph ---------------------------------------------------------------------
+
+TEST(CallGraphTest, ReachabilityCountsUniqueNodes) {
+  CallGraph graph;
+  graph.AddEdge("a", "b");
+  graph.AddEdge("a", "c");
+  graph.AddEdge("b", "c");
+  graph.AddEdge("c", "d");
+  EXPECT_EQ(graph.ReachableCount("a").value(), 4u);
+  EXPECT_EQ(graph.ReachableCount("c").value(), 2u);
+  EXPECT_EQ(graph.ReachableCount("missing").status().code(),
+            xbase::Code::kNotFound);
+}
+
+TEST(CallGraphTest, DuplicateEdgesIgnored) {
+  CallGraph graph;
+  graph.AddEdge("a", "b");
+  graph.AddEdge("a", "b");
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+TEST(SubsysTest, SpineGuaranteesExactReach) {
+  CallGraph graph;
+  BuildSubsystems(graph, {{"test", 100, 2}}, 1);
+  EXPECT_EQ(graph.ReachableCount("test.f0").value(), 100u);
+  EXPECT_EQ(graph.ReachableCount("test.f50").value(), 50u);
+  EXPECT_EQ(graph.ReachableCount("test.f99").value(), 1u);
+  EXPECT_EQ(SubsystemEntry("test", 100, 30), "test.f70");
+}
+
+TEST(SubsysTest, DefaultSubsystemsBuildDeterministically) {
+  CallGraph a, b;
+  BuildSubsystems(a, DefaultSubsystems(), 7);
+  BuildSubsystems(b, DefaultSubsystems(), 7);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_GT(a.node_count(), 9000u);  // the scale model is nontrivial
+}
+
+// ---- kernel façade --------------------------------------------------------------------
+
+TEST(KernelTest, OopsTransitionsState) {
+  Kernel kernel;
+  EXPECT_FALSE(kernel.crashed());
+  kernel.Oops("BUG: test oops");
+  EXPECT_EQ(kernel.state(), KernelState::kOopsed);
+  EXPECT_TRUE(kernel.crashed());
+  ASSERT_EQ(kernel.oopses().size(), 1u);
+  kernel.Panic("fatal");
+  EXPECT_EQ(kernel.state(), KernelState::kPanicked);
+}
+
+TEST(KernelTest, RouteConvertsKernelFaults) {
+  Kernel kernel;
+  const xbase::Status passthrough = kernel.Route(xbase::NotFound("x"));
+  EXPECT_EQ(passthrough.code(), xbase::Code::kNotFound);
+  EXPECT_FALSE(kernel.crashed());
+  (void)kernel.Route(xbase::KernelFault("BUG: routed"));
+  EXPECT_TRUE(kernel.crashed());
+}
+
+TEST(KernelTest, DmesgRingIsBounded) {
+  Kernel kernel;
+  for (int i = 0; i < 2000; ++i) {
+    kernel.Printk("spam");
+  }
+  EXPECT_LE(kernel.dmesg().size(), 1024u);
+}
+
+TEST(KernelTest, VersionedConfig) {
+  KernelConfig config;
+  config.version = kV4_9;
+  config.unprivileged_bpf_disabled = false;
+  Kernel kernel(config);
+  EXPECT_EQ(kernel.version(), kV4_9);
+  EXPECT_FALSE(kernel.config().unprivileged_bpf_disabled);
+}
+
+TEST(VersionTest, OrderingAndYears) {
+  EXPECT_LT(kV3_18, kV4_3);
+  EXPECT_LT(kV4_20, kV5_2);
+  EXPECT_LT(kV5_18, kV6_1);
+  EXPECT_EQ(ReleaseYear(kV3_18), 2014);
+  EXPECT_EQ(ReleaseYear(kV5_10), 2020);
+  EXPECT_EQ(ReleaseYear(kV6_1), 2022);
+  EXPECT_EQ(kV5_18.ToString(), "v5.18");
+}
+
+}  // namespace
+}  // namespace simkern

@@ -1,0 +1,165 @@
+// Unit tests for the foundation library: Status/Result plumbing, the
+// deterministic PRNG, byte encoding and formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/xbase/bytes.h"
+#include "src/xbase/log.h"
+#include "src/xbase/rand.h"
+#include "src/xbase/status.h"
+#include "src/xbase/strfmt.h"
+
+namespace xbase {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), Code::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(InvalidArgument("x").code(), Code::kInvalidArgument);
+  EXPECT_EQ(NotFound("x").code(), Code::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), Code::kAlreadyExists);
+  EXPECT_EQ(OutOfRange("x").code(), Code::kOutOfRange);
+  EXPECT_EQ(PermissionDenied("x").code(), Code::kPermissionDenied);
+  EXPECT_EQ(ResourceExhausted("x").code(), Code::kResourceExhausted);
+  EXPECT_EQ(FailedPrecondition("x").code(), Code::kFailedPrecondition);
+  EXPECT_EQ(Unimplemented("x").code(), Code::kUnimplemented);
+  EXPECT_EQ(Rejected("x").code(), Code::kRejected);
+  EXPECT_EQ(Terminated("x").code(), Code::kTerminated);
+  EXPECT_EQ(KernelFault("x").code(), Code::kKernelFault);
+  EXPECT_EQ(Internal("x").code(), Code::kInternal);
+  EXPECT_EQ(Rejected("why").ToString(), "REJECTED: why");
+}
+
+TEST(ResultTest, ValueCarriesOkStatus) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, ErrorCarriesStatus) {
+  Result<int> result(NotFound("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Code::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailsThrough() {
+  XB_RETURN_IF_ERROR(OutOfRange("inner"));
+  return Status::Ok();
+}
+
+TEST(MacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThrough().code(), Code::kOutOfRange);
+}
+
+Result<int> Doubles(Result<int> input) {
+  XB_ASSIGN_OR_RETURN(const int value, std::move(input));
+  return value * 2;
+}
+
+TEST(MacroTest, AssignOrReturnBindsAndPropagates) {
+  EXPECT_EQ(Doubles(21).value(), 42);
+  EXPECT_EQ(Doubles(Internal("bad")).status().code(), Code::kInternal);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysBelow) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  std::set<s64> seen;
+  for (int i = 0; i < 200; ++i) {
+    const s64 value = rng.NextInRange(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(BytesTest, LittleEndianRoundTrip) {
+  u8 buf[8];
+  StoreLe64(buf, 0x1122334455667788ULL);
+  EXPECT_EQ(buf[0], 0x88);
+  EXPECT_EQ(buf[7], 0x11);
+  EXPECT_EQ(LoadLe64(buf), 0x1122334455667788ULL);
+  StoreLe32(buf, 0xdeadbeef);
+  EXPECT_EQ(LoadLe32(buf), 0xdeadbeefu);
+  StoreLe16(buf, 0xcafe);
+  EXPECT_EQ(LoadLe16(buf), 0xcafe);
+}
+
+TEST(BytesTest, BigEndianRoundTrip) {
+  u8 buf[8];
+  StoreBe32(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(LoadBe32(buf), 0x01020304u);
+  StoreBe64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[7], 8);
+}
+
+TEST(BytesTest, HexEncoding) {
+  const u8 data[] = {0x00, 0xff, 0x0a, 0xb1};
+  EXPECT_EQ(ToHex(data), "00ff0ab1");
+  EXPECT_EQ(ToHex(std::span<const u8>()), "");
+}
+
+TEST(BytesTest, Fnv1aMatchesKnownValues) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(Fnv1a(std::span<const u8>()), 0xcbf29ce484222325ULL);
+  const u8 a[] = {'a'};
+  EXPECT_EQ(Fnv1a(a), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%04x", 0xab), "00ab");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(LogTest, LevelFiltering) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  XB_DEBUG << "should be dropped silently";
+  SetLogLevel(LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace xbase
