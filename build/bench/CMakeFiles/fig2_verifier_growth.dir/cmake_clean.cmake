@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_verifier_growth.dir/fig2_verifier_growth.cc.o"
+  "CMakeFiles/fig2_verifier_growth.dir/fig2_verifier_growth.cc.o.d"
+  "fig2_verifier_growth"
+  "fig2_verifier_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_verifier_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

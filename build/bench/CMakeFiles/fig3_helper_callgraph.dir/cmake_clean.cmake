@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_helper_callgraph.dir/fig3_helper_callgraph.cc.o"
+  "CMakeFiles/fig3_helper_callgraph.dir/fig3_helper_callgraph.cc.o.d"
+  "fig3_helper_callgraph"
+  "fig3_helper_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_helper_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

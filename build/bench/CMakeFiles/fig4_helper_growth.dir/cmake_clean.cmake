@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_helper_growth.dir/fig4_helper_growth.cc.o"
+  "CMakeFiles/fig4_helper_growth.dir/fig4_helper_growth.cc.o.d"
+  "fig4_helper_growth"
+  "fig4_helper_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_helper_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

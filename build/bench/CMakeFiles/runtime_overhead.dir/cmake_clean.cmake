@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_overhead.dir/runtime_overhead.cc.o"
+  "CMakeFiles/runtime_overhead.dir/runtime_overhead.cc.o.d"
+  "runtime_overhead"
+  "runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_safety_crash.dir/sec22_safety_crash.cc.o"
+  "CMakeFiles/sec22_safety_crash.dir/sec22_safety_crash.cc.o.d"
+  "sec22_safety_crash"
+  "sec22_safety_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_safety_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

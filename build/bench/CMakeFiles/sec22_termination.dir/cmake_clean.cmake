@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_termination.dir/sec22_termination.cc.o"
+  "CMakeFiles/sec22_termination.dir/sec22_termination.cc.o.d"
+  "sec22_termination"
+  "sec22_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

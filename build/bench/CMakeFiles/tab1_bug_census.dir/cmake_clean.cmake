@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_bug_census.dir/tab1_bug_census.cc.o"
+  "CMakeFiles/tab1_bug_census.dir/tab1_bug_census.cc.o.d"
+  "tab1_bug_census"
+  "tab1_bug_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_bug_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab1_bug_census.
+# This may be replaced when dependencies are built.

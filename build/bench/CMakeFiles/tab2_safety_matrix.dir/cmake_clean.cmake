@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_safety_matrix.dir/tab2_safety_matrix.cc.o"
+  "CMakeFiles/tab2_safety_matrix.dir/tab2_safety_matrix.cc.o.d"
+  "tab2_safety_matrix"
+  "tab2_safety_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_safety_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verification_cost.dir/verification_cost.cc.o"
+  "CMakeFiles/verification_cost.dir/verification_cost.cc.o.d"
+  "verification_cost"
+  "verification_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verification_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcache.dir/kvcache.cpp.o"
+  "CMakeFiles/kvcache.dir/kvcache.cpp.o.d"
+  "kvcache"
+  "kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

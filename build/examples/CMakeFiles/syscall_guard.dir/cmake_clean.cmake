@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_guard.dir/syscall_guard.cpp.o"
+  "CMakeFiles/syscall_guard.dir/syscall_guard.cpp.o.d"
+  "syscall_guard"
+  "syscall_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_tracer.dir/syscall_tracer.cpp.o"
+  "CMakeFiles/syscall_tracer.dir/syscall_tracer.cpp.o.d"
+  "syscall_tracer"
+  "syscall_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bugdb.cc" "src/analysis/CMakeFiles/analysis.dir/bugdb.cc.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/bugdb.cc.o.d"
+  "/root/repo/src/analysis/callgraph.cc" "src/analysis/CMakeFiles/analysis.dir/callgraph.cc.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/callgraph.cc.o.d"
+  "/root/repo/src/analysis/growth.cc" "src/analysis/CMakeFiles/analysis.dir/growth.cc.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/growth.cc.o.d"
+  "/root/repo/src/analysis/matrix.cc" "src/analysis/CMakeFiles/analysis.dir/matrix.cc.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/matrix.cc.o.d"
+  "/root/repo/src/analysis/workloads.cc" "src/analysis/CMakeFiles/analysis.dir/workloads.cc.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ebpf/CMakeFiles/ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkern/CMakeFiles/simkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbase/CMakeFiles/xbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

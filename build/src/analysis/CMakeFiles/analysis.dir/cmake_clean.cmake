@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis.dir/bugdb.cc.o"
+  "CMakeFiles/analysis.dir/bugdb.cc.o.d"
+  "CMakeFiles/analysis.dir/callgraph.cc.o"
+  "CMakeFiles/analysis.dir/callgraph.cc.o.d"
+  "CMakeFiles/analysis.dir/growth.cc.o"
+  "CMakeFiles/analysis.dir/growth.cc.o.d"
+  "CMakeFiles/analysis.dir/matrix.cc.o"
+  "CMakeFiles/analysis.dir/matrix.cc.o.d"
+  "CMakeFiles/analysis.dir/workloads.cc.o"
+  "CMakeFiles/analysis.dir/workloads.cc.o.d"
+  "libanalysis.a"
+  "libanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cc" "src/core/CMakeFiles/safex.dir/api.cc.o" "gcc" "src/core/CMakeFiles/safex.dir/api.cc.o.d"
+  "/root/repo/src/core/artifact.cc" "src/core/CMakeFiles/safex.dir/artifact.cc.o" "gcc" "src/core/CMakeFiles/safex.dir/artifact.cc.o.d"
+  "/root/repo/src/core/caps.cc" "src/core/CMakeFiles/safex.dir/caps.cc.o" "gcc" "src/core/CMakeFiles/safex.dir/caps.cc.o.d"
+  "/root/repo/src/core/cleanup.cc" "src/core/CMakeFiles/safex.dir/cleanup.cc.o" "gcc" "src/core/CMakeFiles/safex.dir/cleanup.cc.o.d"
+  "/root/repo/src/core/ext.cc" "src/core/CMakeFiles/safex.dir/ext.cc.o" "gcc" "src/core/CMakeFiles/safex.dir/ext.cc.o.d"
+  "/root/repo/src/core/hooks.cc" "src/core/CMakeFiles/safex.dir/hooks.cc.o" "gcc" "src/core/CMakeFiles/safex.dir/hooks.cc.o.d"
+  "/root/repo/src/core/loader.cc" "src/core/CMakeFiles/safex.dir/loader.cc.o" "gcc" "src/core/CMakeFiles/safex.dir/loader.cc.o.d"
+  "/root/repo/src/core/pool.cc" "src/core/CMakeFiles/safex.dir/pool.cc.o" "gcc" "src/core/CMakeFiles/safex.dir/pool.cc.o.d"
+  "/root/repo/src/core/toolchain.cc" "src/core/CMakeFiles/safex.dir/toolchain.cc.o" "gcc" "src/core/CMakeFiles/safex.dir/toolchain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ebpf/CMakeFiles/ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkern/CMakeFiles/simkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbase/CMakeFiles/xbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safex.dir/api.cc.o"
+  "CMakeFiles/safex.dir/api.cc.o.d"
+  "CMakeFiles/safex.dir/artifact.cc.o"
+  "CMakeFiles/safex.dir/artifact.cc.o.d"
+  "CMakeFiles/safex.dir/caps.cc.o"
+  "CMakeFiles/safex.dir/caps.cc.o.d"
+  "CMakeFiles/safex.dir/cleanup.cc.o"
+  "CMakeFiles/safex.dir/cleanup.cc.o.d"
+  "CMakeFiles/safex.dir/ext.cc.o"
+  "CMakeFiles/safex.dir/ext.cc.o.d"
+  "CMakeFiles/safex.dir/hooks.cc.o"
+  "CMakeFiles/safex.dir/hooks.cc.o.d"
+  "CMakeFiles/safex.dir/loader.cc.o"
+  "CMakeFiles/safex.dir/loader.cc.o.d"
+  "CMakeFiles/safex.dir/pool.cc.o"
+  "CMakeFiles/safex.dir/pool.cc.o.d"
+  "CMakeFiles/safex.dir/toolchain.cc.o"
+  "CMakeFiles/safex.dir/toolchain.cc.o.d"
+  "libsafex.a"
+  "libsafex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/asm.cc" "src/ebpf/CMakeFiles/ebpf.dir/asm.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/asm.cc.o.d"
+  "/root/repo/src/ebpf/disasm.cc" "src/ebpf/CMakeFiles/ebpf.dir/disasm.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/disasm.cc.o.d"
+  "/root/repo/src/ebpf/fault.cc" "src/ebpf/CMakeFiles/ebpf.dir/fault.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/fault.cc.o.d"
+  "/root/repo/src/ebpf/helper.cc" "src/ebpf/CMakeFiles/ebpf.dir/helper.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/helper.cc.o.d"
+  "/root/repo/src/ebpf/helpers_core.cc" "src/ebpf/CMakeFiles/ebpf.dir/helpers_core.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/helpers_core.cc.o.d"
+  "/root/repo/src/ebpf/helpers_net.cc" "src/ebpf/CMakeFiles/ebpf.dir/helpers_net.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/helpers_net.cc.o.d"
+  "/root/repo/src/ebpf/insn.cc" "src/ebpf/CMakeFiles/ebpf.dir/insn.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/insn.cc.o.d"
+  "/root/repo/src/ebpf/interp.cc" "src/ebpf/CMakeFiles/ebpf.dir/interp.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/interp.cc.o.d"
+  "/root/repo/src/ebpf/jit.cc" "src/ebpf/CMakeFiles/ebpf.dir/jit.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/jit.cc.o.d"
+  "/root/repo/src/ebpf/kfunc.cc" "src/ebpf/CMakeFiles/ebpf.dir/kfunc.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/kfunc.cc.o.d"
+  "/root/repo/src/ebpf/loader.cc" "src/ebpf/CMakeFiles/ebpf.dir/loader.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/loader.cc.o.d"
+  "/root/repo/src/ebpf/map.cc" "src/ebpf/CMakeFiles/ebpf.dir/map.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/map.cc.o.d"
+  "/root/repo/src/ebpf/prog.cc" "src/ebpf/CMakeFiles/ebpf.dir/prog.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/prog.cc.o.d"
+  "/root/repo/src/ebpf/tnum.cc" "src/ebpf/CMakeFiles/ebpf.dir/tnum.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/tnum.cc.o.d"
+  "/root/repo/src/ebpf/verifier.cc" "src/ebpf/CMakeFiles/ebpf.dir/verifier.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/verifier.cc.o.d"
+  "/root/repo/src/ebpf/verifier_features.cc" "src/ebpf/CMakeFiles/ebpf.dir/verifier_features.cc.o" "gcc" "src/ebpf/CMakeFiles/ebpf.dir/verifier_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkern/CMakeFiles/simkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbase/CMakeFiles/xbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

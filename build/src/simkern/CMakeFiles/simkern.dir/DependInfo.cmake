@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkern/callgraph.cc" "src/simkern/CMakeFiles/simkern.dir/callgraph.cc.o" "gcc" "src/simkern/CMakeFiles/simkern.dir/callgraph.cc.o.d"
+  "/root/repo/src/simkern/kernel.cc" "src/simkern/CMakeFiles/simkern.dir/kernel.cc.o" "gcc" "src/simkern/CMakeFiles/simkern.dir/kernel.cc.o.d"
+  "/root/repo/src/simkern/lock.cc" "src/simkern/CMakeFiles/simkern.dir/lock.cc.o" "gcc" "src/simkern/CMakeFiles/simkern.dir/lock.cc.o.d"
+  "/root/repo/src/simkern/mem.cc" "src/simkern/CMakeFiles/simkern.dir/mem.cc.o" "gcc" "src/simkern/CMakeFiles/simkern.dir/mem.cc.o.d"
+  "/root/repo/src/simkern/net.cc" "src/simkern/CMakeFiles/simkern.dir/net.cc.o" "gcc" "src/simkern/CMakeFiles/simkern.dir/net.cc.o.d"
+  "/root/repo/src/simkern/object.cc" "src/simkern/CMakeFiles/simkern.dir/object.cc.o" "gcc" "src/simkern/CMakeFiles/simkern.dir/object.cc.o.d"
+  "/root/repo/src/simkern/rcu.cc" "src/simkern/CMakeFiles/simkern.dir/rcu.cc.o" "gcc" "src/simkern/CMakeFiles/simkern.dir/rcu.cc.o.d"
+  "/root/repo/src/simkern/subsys.cc" "src/simkern/CMakeFiles/simkern.dir/subsys.cc.o" "gcc" "src/simkern/CMakeFiles/simkern.dir/subsys.cc.o.d"
+  "/root/repo/src/simkern/task.cc" "src/simkern/CMakeFiles/simkern.dir/task.cc.o" "gcc" "src/simkern/CMakeFiles/simkern.dir/task.cc.o.d"
+  "/root/repo/src/simkern/version.cc" "src/simkern/CMakeFiles/simkern.dir/version.cc.o" "gcc" "src/simkern/CMakeFiles/simkern.dir/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xbase/CMakeFiles/xbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

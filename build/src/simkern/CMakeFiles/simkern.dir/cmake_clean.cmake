@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simkern.dir/callgraph.cc.o"
+  "CMakeFiles/simkern.dir/callgraph.cc.o.d"
+  "CMakeFiles/simkern.dir/kernel.cc.o"
+  "CMakeFiles/simkern.dir/kernel.cc.o.d"
+  "CMakeFiles/simkern.dir/lock.cc.o"
+  "CMakeFiles/simkern.dir/lock.cc.o.d"
+  "CMakeFiles/simkern.dir/mem.cc.o"
+  "CMakeFiles/simkern.dir/mem.cc.o.d"
+  "CMakeFiles/simkern.dir/net.cc.o"
+  "CMakeFiles/simkern.dir/net.cc.o.d"
+  "CMakeFiles/simkern.dir/object.cc.o"
+  "CMakeFiles/simkern.dir/object.cc.o.d"
+  "CMakeFiles/simkern.dir/rcu.cc.o"
+  "CMakeFiles/simkern.dir/rcu.cc.o.d"
+  "CMakeFiles/simkern.dir/subsys.cc.o"
+  "CMakeFiles/simkern.dir/subsys.cc.o.d"
+  "CMakeFiles/simkern.dir/task.cc.o"
+  "CMakeFiles/simkern.dir/task.cc.o.d"
+  "CMakeFiles/simkern.dir/version.cc.o"
+  "CMakeFiles/simkern.dir/version.cc.o.d"
+  "libsimkern.a"
+  "libsimkern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simkern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbase.dir/bytes.cc.o"
+  "CMakeFiles/xbase.dir/bytes.cc.o.d"
+  "CMakeFiles/xbase.dir/log.cc.o"
+  "CMakeFiles/xbase.dir/log.cc.o.d"
+  "CMakeFiles/xbase.dir/status.cc.o"
+  "CMakeFiles/xbase.dir/status.cc.o.d"
+  "libxbase.a"
+  "libxbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

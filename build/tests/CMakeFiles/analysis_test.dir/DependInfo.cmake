@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/analysis_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/analysis_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/analysis_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/safex.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkern/CMakeFiles/simkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbase/CMakeFiles/xbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

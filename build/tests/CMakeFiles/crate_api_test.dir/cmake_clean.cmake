@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crate_api_test.dir/core/crate_api_test.cc.o"
+  "CMakeFiles/crate_api_test.dir/core/crate_api_test.cc.o.d"
+  "crate_api_test"
+  "crate_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crate_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

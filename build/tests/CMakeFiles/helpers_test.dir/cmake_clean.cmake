@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helpers_test.dir/ebpf/helpers_test.cc.o"
+  "CMakeFiles/helpers_test.dir/ebpf/helpers_test.cc.o.d"
+  "helpers_test"
+  "helpers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helpers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

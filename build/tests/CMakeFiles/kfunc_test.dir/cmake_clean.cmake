@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfunc_test.dir/ebpf/kfunc_test.cc.o"
+  "CMakeFiles/kfunc_test.dir/ebpf/kfunc_test.cc.o.d"
+  "kfunc_test"
+  "kfunc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfunc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_mechanisms_test.dir/core/runtime_mechanisms_test.cc.o"
+  "CMakeFiles/runtime_mechanisms_test.dir/core/runtime_mechanisms_test.cc.o.d"
+  "runtime_mechanisms_test"
+  "runtime_mechanisms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_mechanisms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safex_test.dir/core/safex_test.cc.o"
+  "CMakeFiles/safex_test.dir/core/safex_test.cc.o.d"
+  "safex_test"
+  "safex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_test.dir/integration/sec22_test.cc.o"
+  "CMakeFiles/sec22_test.dir/integration/sec22_test.cc.o.d"
+  "sec22_test"
+  "sec22_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simkern_test.dir/simkern/simkern_test.cc.o"
+  "CMakeFiles/simkern_test.dir/simkern/simkern_test.cc.o.d"
+  "simkern_test"
+  "simkern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simkern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbase_test.dir/xbase/xbase_test.cc.o"
+  "CMakeFiles/xbase_test.dir/xbase/xbase_test.cc.o.d"
+  "xbase_test"
+  "xbase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
