@@ -1,0 +1,96 @@
+// STATICCHECK-COST — what a second, independent analysis costs: verifier
+// time vs staticcheck time per program, over the same corpus the other
+// benches use. The point of comparison: staticcheck is path-INsensitive
+// (merges at joins), so its cost stays flat where the verifier's path
+// enumeration grows with branch count.
+#include <benchmark/benchmark.h>
+
+#include "bench/benchutil.h"
+#include "src/analysis/workloads.h"
+#include "src/ebpf/verifier.h"
+#include "src/staticcheck/check.h"
+
+namespace {
+
+using benchutil::Rig;
+
+struct Corpus {
+  std::string name;
+  ebpf::Program prog;
+};
+
+// Builds one rig + corpus pair per benchmark process; the rig owns the
+// maps the programs reference.
+Rig& SharedRig() {
+  static Rig rig;
+  return rig;
+}
+
+std::vector<Corpus>& SharedCorpus() {
+  static std::vector<Corpus> corpus = [] {
+    Rig& rig = SharedRig();
+    std::vector<Corpus> built;
+    const int counter_fd =
+        benchutil::MustCreateArrayMap(rig, "cnt", 8, 4);
+    const auto add = [&](const char* name,
+                         xbase::Result<ebpf::Program> prog) {
+      if (prog.ok()) {
+        built.push_back({name, std::move(prog).value()});
+      }
+    };
+    add("straight-256", analysis::BuildStraightLine(256));
+    add("diamonds-16", analysis::BuildBranchDiamonds(16));
+    add("counted-loop-64", analysis::BuildCountedLoop(64));
+    add("packet-counter", analysis::BuildPacketCounter(counter_fd));
+    add("sk-lookup-ok", analysis::BuildSkLookupWithRelease());
+    return built;
+  }();
+  return corpus;
+}
+
+void BM_Verify(benchmark::State& state) {
+  Rig& rig = SharedRig();
+  const Corpus& entry = SharedCorpus()[state.range(0)];
+  ebpf::VerifyOptions opts;
+  opts.version = rig.kernel.version();
+  opts.faults = &rig.bpf.faults();
+  opts.kfuncs = &rig.bpf.kfuncs();
+  for (auto _ : state) {
+    auto result =
+        ebpf::Verify(entry.prog, rig.bpf.maps(), rig.bpf.helpers(), opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(entry.name);
+}
+
+void BM_StaticCheck(benchmark::State& state) {
+  Rig& rig = SharedRig();
+  const Corpus& entry = SharedCorpus()[state.range(0)];
+  staticcheck::CheckOptions opts;
+  opts.maps = &rig.bpf.maps();
+  opts.helpers = &rig.bpf.helpers();
+  opts.callgraph = &rig.kernel.callgraph();
+  for (auto _ : state) {
+    auto report = staticcheck::RunChecks(entry.prog, opts);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel(entry.name);
+}
+
+void RegisterAll() {
+  const auto count = static_cast<int>(SharedCorpus().size());
+  for (int i = 0; i < count; ++i) {
+    benchmark::RegisterBenchmark("BM_Verify", BM_Verify)->Arg(i);
+    benchmark::RegisterBenchmark("BM_StaticCheck", BM_StaticCheck)->Arg(i);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

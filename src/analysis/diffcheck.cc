@@ -1,0 +1,233 @@
+#include "src/analysis/diffcheck.h"
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "src/analysis/workloads.h"
+#include "src/ebpf/loader.h"
+#include "src/staticcheck/check.h"
+#include "src/xbase/strfmt.h"
+
+namespace analysis {
+
+namespace {
+
+using xbase::StrFormat;
+using xbase::u32;
+
+// A minimal stack for one differential cell: kernel + BPF + loader. Fresh
+// per cell so injected faults and created maps cannot bleed across rows.
+struct Cell {
+  Cell() : kernel(Config()), bpf(kernel), loader(bpf) {
+    (void)kernel.BootstrapWorkload();
+  }
+
+  static simkern::KernelConfig Config() {
+    simkern::KernelConfig config;
+    config.unprivileged_bpf_disabled = false;  // let the exploits try
+    return config;
+  }
+
+  xbase::Result<int> CreateArrayMap(const std::string& name, u32 value_size,
+                                    u32 entries) {
+    ebpf::MapSpec spec;
+    spec.type = ebpf::MapType::kArray;
+    spec.key_size = 4;
+    spec.value_size = value_size;
+    spec.max_entries = entries;
+    spec.name = name;
+    return bpf.maps().Create(spec);
+  }
+
+  xbase::Result<int> CreateTaskStorageMap(const std::string& name,
+                                          u32 value_size) {
+    ebpf::MapSpec spec;
+    spec.type = ebpf::MapType::kTaskStorage;
+    spec.key_size = 4;
+    spec.value_size = value_size;
+    spec.max_entries = 64;
+    spec.name = name;
+    return bpf.maps().Create(spec);
+  }
+
+  simkern::Kernel kernel;
+  ebpf::Bpf bpf;
+  ebpf::Loader loader;
+};
+
+// One differential case: a fault id plus a builder that sets up maps on
+// the cell and returns the exploit bytecode.
+struct DiffCase {
+  std::string_view fault_id;  // empty = no injectable defect (interface bug)
+  std::string_view exploit;
+  std::string_view bug_class;
+  bool privileged = true;
+  std::function<xbase::Result<ebpf::Program>(Cell&)> build;
+};
+
+std::vector<DiffCase> Cases() {
+  std::vector<DiffCase> cases;
+  cases.push_back(
+      {ebpf::kFaultVerifierScalarBounds, "arbitrary-read",
+       "Arbitrary read/write", true, [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("vic", 8, 4));
+         return BuildArbitraryReadExploit(fd, 4096);
+       }});
+  cases.push_back(
+      {ebpf::kFaultVerifierPtrLeak, "ptr-leak", "Kernel pointer leak",
+       /*privileged=*/false, [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("vic", 8, 4));
+         return BuildPtrLeakExploit(fd);
+       }});
+  cases.push_back(
+      {ebpf::kFaultVerifierJmp32Bounds, "jmp32-oob", "Out-of-bound access",
+       true, [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("vic", 64, 4));
+         return BuildJmp32BoundsExploit(fd);
+       }});
+  cases.push_back(
+      {ebpf::kFaultVerifierSpinLock, "double-spin-lock", "Deadlock/Hang",
+       true, [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("locked", 16, 1));
+         return BuildDoubleSpinLock(fd);
+       }});
+  cases.push_back({ebpf::kFaultVerifierRefTracking, "sk-lookup-no-release",
+                   "Reference count leak", true, [](Cell&) {
+                     return BuildSkLookupNoRelease();
+                   }});
+  cases.push_back(
+      {ebpf::kFaultVerifierLoopInlineUaf, "nested-loop-stall",
+       "Use-after-free", true, [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("m", 8, 4));
+         return BuildNestedLoopStall(fd, 1, 4);
+       }});
+  cases.push_back(
+      {ebpf::kFaultVerifierStateLeak, "branch-diamonds", "Memory leak",
+       true, [](Cell&) { return BuildBranchDiamonds(12); }});
+  cases.push_back(
+      {ebpf::kFaultHelperTaskStorageNull, "task-storage-null-owner",
+       "Null-pointer dereference", true, [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd,
+                             cell.CreateTaskStorageMap("storage", 8));
+         return BuildTaskStorageNullOwner(fd);
+       }});
+  cases.push_back({ebpf::kFaultJitBranchOffByOne, "jit-hijack-victim",
+                   "Use-after-free", true,
+                   [](Cell&) { return BuildJitHijackVictim(); }});
+  cases.push_back({ebpf::kFaultHelperSkLookupLeak, "sk-lookup-correct",
+                   "Memory leak", true,
+                   [](Cell&) { return BuildSkLookupWithRelease(); }});
+  cases.push_back({ebpf::kFaultHelperTaskStackLeak, "task-stack-err-path",
+                   "Reference count leak", true,
+                   [](Cell&) { return BuildGetTaskStackErrorPath(); }});
+  cases.push_back(
+      {ebpf::kFaultHelperArrayOverflow, "array-index-overflow",
+       "Integer overflow/underflow", true, [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("arr", 8, 4));
+         return BuildArrayOverflowExploit(fd, 0x40000000u);
+       }});
+  // The paper's §2.2 limitation: no defect injected anywhere — the NULL
+  // pointer rides inside the bpf_attr union where neither the verifier
+  // nor any bytecode analysis can see it.
+  cases.push_back({std::string_view{}, "sys-bpf-null-crash", "Interface",
+                   true, [](Cell&) { return BuildSysBpfNullCrash(); }});
+  return cases;
+}
+
+bool LoadAccepts(const DiffCase& diff_case, bool inject) {
+  Cell cell;
+  if (inject && !diff_case.fault_id.empty()) {
+    cell.bpf.faults().Inject(diff_case.fault_id);
+  }
+  auto prog = diff_case.build(cell);
+  if (!prog.ok()) {
+    return false;
+  }
+  ebpf::LoadOptions opts;
+  opts.privileged = diff_case.privileged;
+  return cell.loader.Load(prog.value(), opts).ok();
+}
+
+}  // namespace
+
+xbase::Result<DiffReport> RunDiffCheck() {
+  DiffReport report;
+  for (const DiffCase& diff_case : Cases()) {
+    DiffRow row;
+    row.fault_id = diff_case.fault_id.empty()
+                       ? "-"
+                       : std::string(diff_case.fault_id);
+    row.exploit = std::string(diff_case.exploit);
+    row.bug_class = std::string(diff_case.bug_class);
+
+    row.clean_verifier_rejects = !LoadAccepts(diff_case, /*inject=*/false);
+    row.buggy_verifier_accepts = LoadAccepts(diff_case, /*inject=*/true);
+
+    // The independent analysis, on the same bytecode the verifier saw.
+    Cell cell;
+    XB_ASSIGN_OR_RETURN(ebpf::Program prog, diff_case.build(cell));
+    staticcheck::CheckOptions copts;
+    copts.maps = &cell.bpf.maps();
+    copts.helpers = &cell.bpf.helpers();
+    copts.callgraph = &cell.kernel.callgraph();
+    XB_ASSIGN_OR_RETURN(staticcheck::Report analysis,
+                        staticcheck::RunChecks(prog, copts));
+    for (const staticcheck::Finding& finding : analysis.findings) {
+      if (finding.severity == staticcheck::Severity::kError) {
+        ++row.staticcheck_errors;
+        if (row.first_rule.empty()) {
+          row.first_rule = finding.rule;
+        }
+      } else {
+        ++row.staticcheck_warnings;
+      }
+    }
+    row.caught = row.staticcheck_errors > 0;
+    if (row.divergence_caught()) {
+      ++report.caught;
+    } else if (row.buggy_verifier_accepts && !row.caught) {
+      ++report.missed;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string FormatDiffTable(const DiffReport& report,
+                            bool machine_readable) {
+  std::string out = StrFormat(
+      "%-34s %-24s %7s %7s %7s  %s\n", "injected defect", "exploit",
+      "cleanV", "buggyV", "caught", "first staticcheck rule");
+  out += std::string(106, '-') + "\n";
+  for (const DiffRow& row : report.rows) {
+    out += StrFormat(
+        "%-34s %-24s %7s %7s %7s  %s\n", row.fault_id.c_str(),
+        row.exploit.c_str(),
+        row.clean_verifier_rejects ? "reject" : "accept",
+        row.buggy_verifier_accepts ? "accept" : "reject",
+        row.caught ? "YES" : "no",
+        row.first_rule.empty() ? "-" : row.first_rule.c_str());
+  }
+  out += std::string(106, '-') + "\n";
+  out += StrFormat(
+      "mis-verifications caught by the independent analysis: %zu; "
+      "admitted and missed: %zu\n",
+      report.caught, report.missed);
+  if (machine_readable) {
+    for (const DiffRow& row : report.rows) {
+      out += StrFormat(
+          "DIFFCHECK-TSV\t%s\t%s\t%s\t%d\t%d\t%zu\t%zu\t%s\t%d\n",
+          row.fault_id.c_str(), row.exploit.c_str(),
+          row.bug_class.c_str(), row.clean_verifier_rejects ? 1 : 0,
+          row.buggy_verifier_accepts ? 1 : 0, row.staticcheck_errors,
+          row.staticcheck_warnings,
+          row.first_rule.empty() ? "-" : row.first_rule.c_str(),
+          row.divergence_caught() ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace analysis

@@ -1,0 +1,51 @@
+// The differential oracle: for every injectable defect in ebpf/fault.h,
+// load the paired exploit under (a) the clean verifier and (b) the broken
+// one, then run the verifier-independent staticcheck analysis on the same
+// bytecode. A row where the buggy verifier says "safe" but staticcheck
+// flags the program is a mis-verification caught by cross-checking — the
+// "Table 1, caught by independent analysis" artifact. Rows staticcheck
+// cannot catch (helper-internal bugs, verifier-process bugs, the sys_bpf
+// union) quantify the paper's point that program analysis alone cannot
+// carry the safety argument.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/xbase/status.h"
+#include "src/xbase/types.h"
+
+namespace analysis {
+
+struct DiffRow {
+  std::string fault_id;       // injected defect ("-" for the sys_bpf row)
+  std::string exploit;        // workload name
+  std::string bug_class;      // Table 1 category
+  bool clean_verifier_rejects = false;
+  bool buggy_verifier_accepts = false;
+  xbase::usize staticcheck_errors = 0;
+  xbase::usize staticcheck_warnings = 0;
+  std::string first_rule;     // first error-severity rule, if any
+  bool caught = false;        // staticcheck reports >= 1 error finding
+  // True when this row demonstrates the oracle working: the broken
+  // verifier admitted the exploit and staticcheck flagged it anyway.
+  bool divergence_caught() const {
+    return buggy_verifier_accepts && caught;
+  }
+};
+
+struct DiffReport {
+  std::vector<DiffRow> rows;
+  xbase::usize caught = 0;      // rows with divergence_caught()
+  xbase::usize missed = 0;      // buggy verifier accepts, staticcheck silent
+};
+
+// Runs the whole matrix. Builds a fresh kernel + BPF stack per cell so
+// injected faults cannot bleed across rows.
+xbase::Result<DiffReport> RunDiffCheck();
+
+// Human-readable table; when `machine_readable` also appends one
+// "DIFFCHECK-TSV" line per row for scripts to scrape.
+std::string FormatDiffTable(const DiffReport& report, bool machine_readable);
+
+}  // namespace analysis

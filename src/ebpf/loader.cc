@@ -1,5 +1,6 @@
 #include "src/ebpf/loader.h"
 
+#include "src/staticcheck/check.h"
 #include "src/xbase/strfmt.h"
 
 namespace ebpf {
@@ -12,6 +13,23 @@ xbase::Result<u32> Loader::Load(const Program& prog,
     // trusts the verifier enough to expose it to unprivileged users.
     return xbase::PermissionDenied(
         "unprivileged BPF is disabled (kernel.unprivileged_bpf_disabled=1)");
+  }
+
+  if (options.staticcheck_prepass) {
+    staticcheck::CheckOptions copts;
+    copts.maps = &bpf_.maps();
+    copts.helpers = &bpf_.helpers();
+    XB_ASSIGN_OR_RETURN(staticcheck::Report prepass,
+                        staticcheck::RunChecks(prog, copts));
+    if (prepass.errors() > 0) {
+      for (const staticcheck::Finding& finding : prepass.findings) {
+        if (finding.severity == staticcheck::Severity::kError) {
+          return xbase::Rejected(xbase::StrFormat(
+              "staticcheck prepass: pc %u: %s: %s", finding.pc,
+              finding.rule.c_str(), finding.message.c_str()));
+        }
+      }
+    }
   }
 
   VerifyOptions vopts;

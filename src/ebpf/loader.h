@@ -27,6 +27,11 @@ struct LoadOptions {
   // Verify as a different kernel version than the host kernel (tests only);
   // unset means kernel.version().
   std::optional<simkern::KernelVersion> version_override;
+  // Also run the verifier-independent staticcheck analysis before the
+  // verifier and reject programs with error-severity findings. Off by
+  // default (the kernel trusts only its verifier); the in-tree tests and
+  // tools/xcheck turn it on.
+  bool staticcheck_prepass = false;
 };
 
 class Loader {

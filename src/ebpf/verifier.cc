@@ -365,6 +365,9 @@ xbase::Status Verifier::CheckCfg() {
       }
       const u32 next = targets[edge];
       ++edge;
+      // `pc`/`edge` reference into `stack`; the push_back below may
+      // reallocate it, so keep a copy for use past that point.
+      const u32 cur_pc = pc;
       if (next >= len) {
         return Reject(pc, "control flow runs past the last instruction");
       }
@@ -381,7 +384,7 @@ xbase::Status Verifier::CheckCfg() {
         stack.push_back({next, 0});
       }
       // Record jump targets as pruning points.
-      if (targets.size() > 1 || next != pc + 1) {
+      if (targets.size() > 1 || next != cur_pc + 1) {
         jump_targets_.insert(next);
       }
     }

@@ -1,0 +1,317 @@
+#include "src/staticcheck/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/xbase/strfmt.h"
+
+namespace staticcheck {
+
+namespace {
+
+using ebpf::Insn;
+using xbase::StrFormat;
+
+void AddFinding(std::vector<Finding>& findings, Severity severity, u32 pc,
+                std::string rule, std::string message) {
+  Finding finding;
+  finding.pass = Pass::kCfg;
+  finding.severity = severity;
+  finding.pc = pc;
+  finding.rule = std::move(rule);
+  finding.message = std::move(message);
+  findings.push_back(std::move(finding));
+}
+
+bool IsCondJmp(const Insn& insn) {
+  const u8 cls = insn.Class();
+  if (cls != ebpf::BPF_JMP && cls != ebpf::BPF_JMP32) {
+    return false;
+  }
+  const u8 op = insn.JmpOp();
+  return op != ebpf::BPF_JA && op != ebpf::BPF_CALL && op != ebpf::BPF_EXIT;
+}
+
+bool IsUncondJa(const Insn& insn) {
+  return insn.Class() == ebpf::BPF_JMP && insn.JmpOp() == ebpf::BPF_JA;
+}
+
+}  // namespace
+
+bool Cfg::Dominates(u32 a, u32 b) const {
+  while (b != kNoBlock) {
+    if (a == b) {
+      return true;
+    }
+    b = blocks[b].idom;
+  }
+  return false;
+}
+
+xbase::Result<Cfg> BuildCfg(const ebpf::Program& prog,
+                            std::vector<Finding>& findings) {
+  const u32 len = prog.len();
+  if (len == 0) {
+    return xbase::InvalidArgument("cannot analyze an empty program");
+  }
+
+  // Slot map: mark the second half of every ld_imm64 so jumps into it are
+  // detectable and pc iteration can skip it.
+  std::vector<bool> is_second_slot(len, false);
+  for (u32 pc = 0; pc < len; ++pc) {
+    if (is_second_slot[pc]) {
+      continue;
+    }
+    if (prog.insns[pc].IsLdImm64()) {
+      if (pc + 1 >= len) {
+        return xbase::InvalidArgument(
+            StrFormat("ld_imm64 at pc %u is truncated", pc));
+      }
+      is_second_slot[pc + 1] = true;
+    }
+  }
+
+  const auto valid_target = [&](u32 from, s64 target) -> bool {
+    if (target < 0 || target >= static_cast<s64>(len)) {
+      AddFinding(findings, Severity::kError, from, "jump-out-of-range",
+                 StrFormat("jump target %lld is outside the program",
+                           static_cast<long long>(target)));
+      return false;
+    }
+    if (is_second_slot[static_cast<u32>(target)]) {
+      AddFinding(findings, Severity::kError, from, "jump-into-ld-imm64",
+                 StrFormat("jump lands in the middle of the ld_imm64 at "
+                           "pc %lld",
+                           static_cast<long long>(target - 1)));
+      return false;
+    }
+    return true;
+  };
+
+  // Leaders: entry 0, jump targets, instructions after a terminator, and
+  // subprogram / callback entry points.
+  std::set<u32> leaders{0};
+  std::set<u32> entry_pcs{0};
+  for (u32 pc = 0; pc < len; ++pc) {
+    if (is_second_slot[pc]) {
+      continue;
+    }
+    const Insn& insn = prog.insns[pc];
+    const u32 width = insn.IsLdImm64() ? 2 : 1;
+    if (insn.IsPseudoCall()) {
+      const s64 target = static_cast<s64>(pc) + 1 + insn.imm;
+      if (valid_target(pc, target)) {
+        leaders.insert(static_cast<u32>(target));
+        entry_pcs.insert(static_cast<u32>(target));
+      }
+      continue;
+    }
+    if (insn.IsLdImm64() && insn.src == ebpf::BPF_PSEUDO_FUNC) {
+      const s64 target = insn.imm;
+      if (valid_target(pc, target)) {
+        leaders.insert(static_cast<u32>(target));
+        entry_pcs.insert(static_cast<u32>(target));
+      }
+    }
+    if (IsUncondJa(insn) || IsCondJmp(insn)) {
+      const s64 target = static_cast<s64>(pc) + 1 + insn.off;
+      if (valid_target(pc, target)) {
+        leaders.insert(static_cast<u32>(target));
+      }
+    }
+    if (IsUncondJa(insn) || IsCondJmp(insn) || insn.IsExit()) {
+      if (pc + width < len) {
+        leaders.insert(pc + width);
+      }
+    }
+  }
+
+  Cfg cfg;
+  cfg.block_of.assign(len, kNoBlock);
+
+  // Carve blocks between leaders; a block also ends at its terminator.
+  std::vector<u32> sorted_leaders(leaders.begin(), leaders.end());
+  for (u32 i = 0; i < sorted_leaders.size(); ++i) {
+    const u32 start = sorted_leaders[i];
+    const u32 limit =
+        i + 1 < sorted_leaders.size() ? sorted_leaders[i + 1] : len;
+    BasicBlock block;
+    block.start = start;
+    u32 pc = start;
+    while (pc < limit) {
+      cfg.block_of[pc] = static_cast<u32>(cfg.blocks.size());
+      const Insn& insn = prog.insns[pc];
+      const u32 width = insn.IsLdImm64() ? 2 : 1;
+      pc += width;
+      if (IsUncondJa(insn) || IsCondJmp(insn) || insn.IsExit()) {
+        break;
+      }
+    }
+    block.end = pc;
+    cfg.blocks.push_back(std::move(block));
+  }
+
+  // Successor edges.
+  for (u32 b = 0; b < cfg.blocks.size(); ++b) {
+    BasicBlock& block = cfg.blocks[b];
+    // The terminator is the last instruction slot in the block.
+    u32 last = block.start;
+    for (u32 pc = block.start; pc < block.end;) {
+      last = pc;
+      pc += prog.insns[pc].IsLdImm64() ? 2 : 1;
+    }
+    const Insn& term = prog.insns[last];
+    const auto link = [&](s64 target) {
+      if (target < 0 || target >= static_cast<s64>(len) ||
+          is_second_slot[static_cast<u32>(target)]) {
+        return;  // already reported by valid_target above
+      }
+      const u32 succ = cfg.block_of[static_cast<u32>(target)];
+      block.succs.push_back(succ);
+      cfg.blocks[succ].preds.push_back(b);
+    };
+    if (term.IsExit()) {
+      continue;
+    }
+    if (IsUncondJa(term)) {
+      link(static_cast<s64>(last) + 1 + term.off);
+      continue;
+    }
+    const u32 fall = block.end;
+    if (IsCondJmp(term)) {
+      link(static_cast<s64>(last) + 1 + term.off);
+    }
+    if (fall >= len) {
+      AddFinding(findings, Severity::kError, last, "fallthrough-off-end",
+                 "control flow can run past the last instruction");
+      continue;
+    }
+    link(fall);
+  }
+
+  // Entries and reachability.
+  for (const u32 pc : entry_pcs) {
+    cfg.entries.push_back(cfg.block_of[pc]);
+  }
+  std::vector<u32> worklist = cfg.entries;
+  while (!worklist.empty()) {
+    const u32 b = worklist.back();
+    worklist.pop_back();
+    if (cfg.blocks[b].reachable) {
+      continue;
+    }
+    cfg.blocks[b].reachable = true;
+    for (const u32 succ : cfg.blocks[b].succs) {
+      worklist.push_back(succ);
+    }
+  }
+  for (const BasicBlock& block : cfg.blocks) {
+    if (!block.reachable) {
+      AddFinding(findings, Severity::kWarning, block.start, "dead-code",
+                 StrFormat("instructions %u..%u are unreachable from any "
+                           "entry point",
+                           block.start, block.end - 1));
+    }
+  }
+
+  // Immediate dominators (iterative Cooper-Harvey-Kennedy). A synthetic
+  // root block fronts every entry so subprograms and callbacks — separate
+  // roots in the same instruction stream — share one dominator forest.
+  const u32 root = static_cast<u32>(cfg.blocks.size());
+  {
+    BasicBlock root_block;
+    root_block.reachable = true;
+    root_block.succs = cfg.entries;
+    cfg.blocks.push_back(std::move(root_block));
+    for (const u32 entry : cfg.entries) {
+      cfg.blocks[entry].preds.push_back(root);
+    }
+  }
+  std::vector<u32> rpo;
+  {
+    std::vector<u8> mark(cfg.blocks.size(), 0);  // 0 new, 1 open, 2 done
+    std::vector<std::pair<u32, u32>> stack{{root, 0}};
+    while (!stack.empty()) {
+      auto& [b, next] = stack.back();
+      if (mark[b] == 0) {
+        mark[b] = 1;
+      }
+      if (next < cfg.blocks[b].succs.size()) {
+        const u32 succ = cfg.blocks[b].succs[next++];
+        if (mark[succ] == 0) {
+          stack.push_back({succ, 0});
+        }
+      } else {
+        mark[b] = 2;
+        rpo.push_back(b);
+        stack.pop_back();
+      }
+    }
+    std::reverse(rpo.begin(), rpo.end());
+  }
+  std::vector<u32> rpo_index(cfg.blocks.size(), 0);
+  for (u32 i = 0; i < rpo.size(); ++i) {
+    rpo_index[rpo[i]] = i;
+  }
+  cfg.blocks[root].idom = root;
+  const auto intersect = [&](u32 a, u32 b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) {
+        a = cfg.blocks[a].idom;
+      }
+      while (rpo_index[b] > rpo_index[a]) {
+        b = cfg.blocks[b].idom;
+      }
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const u32 b : rpo) {
+      if (b == root) {
+        continue;
+      }
+      u32 new_idom = kNoBlock;
+      for (const u32 pred : cfg.blocks[b].preds) {
+        if (!cfg.blocks[pred].reachable ||
+            cfg.blocks[pred].idom == kNoBlock) {
+          continue;  // unreachable or not yet processed
+        }
+        new_idom = new_idom == kNoBlock ? pred : intersect(new_idom, pred);
+      }
+      if (new_idom != kNoBlock && cfg.blocks[b].idom != new_idom) {
+        cfg.blocks[b].idom = new_idom;
+        changed = true;
+      }
+    }
+  }
+  // Strip the synthetic root again.
+  for (BasicBlock& block : cfg.blocks) {
+    if (block.idom == root) {
+      block.idom = kNoBlock;
+    }
+    while (!block.preds.empty() && block.preds.back() == root) {
+      block.preds.pop_back();
+    }
+  }
+  cfg.blocks.pop_back();
+
+  // Back edges: target dominates source (natural loops), plus any
+  // DFS-detected cycle edge for irreducible flow.
+  std::set<std::pair<u32, u32>> seen;
+  for (u32 b = 0; b < cfg.blocks.size(); ++b) {
+    if (!cfg.blocks[b].reachable) {
+      continue;
+    }
+    for (const u32 succ : cfg.blocks[b].succs) {
+      if (cfg.Dominates(succ, b) && seen.insert({b, succ}).second) {
+        cfg.back_edges.push_back(BackEdge{b, succ});
+      }
+    }
+  }
+
+  return cfg;
+}
+
+}  // namespace staticcheck

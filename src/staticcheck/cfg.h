@@ -1,0 +1,48 @@
+// Control-flow graph over raw BPF bytecode: basic blocks, reachability from
+// every entry point (main, subprograms, bpf_loop callbacks), immediate
+// dominators, and back-edge detection. Built without consulting the
+// verifier — this is the foundation the other staticcheck passes share.
+#pragma once
+
+#include <vector>
+
+#include "src/ebpf/prog.h"
+#include "src/staticcheck/check.h"
+
+namespace staticcheck {
+
+inline constexpr u32 kNoBlock = 0xffffffffu;
+
+struct BasicBlock {
+  u32 start = 0;  // first instruction pc
+  u32 end = 0;    // one past the last slot (ld_imm64 occupies two)
+  std::vector<u32> succs;
+  std::vector<u32> preds;
+  bool reachable = false;
+  u32 idom = kNoBlock;  // immediate dominator block (kNoBlock for entries)
+};
+
+struct BackEdge {
+  u32 from = 0;  // latch block
+  u32 to = 0;    // loop head block
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  // pc -> owning block; kNoBlock for the second slot of a ld_imm64.
+  std::vector<u32> block_of;
+  // Entry blocks: block 0 (pc 0), pseudo-call targets, ld_func callbacks.
+  std::vector<u32> entries;
+  std::vector<BackEdge> back_edges;
+
+  // True if every path from an entry to `b` passes through `a`.
+  bool Dominates(u32 a, u32 b) const;
+};
+
+// Decodes the program structure and appends structural findings
+// (dead-code, fallthrough-off-end, jump-out-of-range, jump-into-ld-imm64)
+// to `findings`. Fails only when no CFG can be built at all.
+xbase::Result<Cfg> BuildCfg(const ebpf::Program& prog,
+                            std::vector<Finding>& findings);
+
+}  // namespace staticcheck

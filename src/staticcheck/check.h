@@ -1,0 +1,80 @@
+// staticcheck: a second, verifier-independent static analysis over BPF
+// bytecode. The in-kernel verifier is a single trust anchor (Table 1: 22
+// verifier bugs in two years); this subsystem re-derives a subset of its
+// safety judgments from scratch — CFG + dominators, forward dataflow over
+// registers and stack, termination heuristics, lock-order projection — so a
+// mis-verification can be caught by cross-checking two independent
+// analyses (the differential oracle in analysis/diffcheck).
+//
+// Independence is load-bearing: nothing under src/staticcheck/ may include
+// src/ebpf/verifier.h or reuse its state machinery. CI greps for it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ebpf/helper.h"
+#include "src/ebpf/map.h"
+#include "src/ebpf/prog.h"
+#include "src/simkern/callgraph.h"
+#include "src/xbase/status.h"
+
+namespace staticcheck {
+
+using xbase::s64;
+using xbase::u32;
+using xbase::u64;
+using xbase::u8;
+
+enum class Severity : u8 { kWarning, kError };
+enum class Pass : u8 { kCfg, kDataflow, kTermination, kLocks };
+
+std::string_view SeverityName(Severity severity);
+std::string_view PassName(Pass pass);
+
+struct Finding {
+  Pass pass = Pass::kCfg;
+  Severity severity = Severity::kWarning;
+  u32 pc = 0;
+  std::string rule;     // stable machine-readable id, e.g. "map-value-oob"
+  std::string message;  // human explanation
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  u32 block_count = 0;
+  u32 back_edge_count = 0;
+  // False when the dataflow pass hit its iteration budget and bailed; the
+  // findings gathered so far are still valid, just not exhaustive.
+  bool analysis_complete = true;
+
+  bool clean() const { return findings.empty(); }
+  xbase::usize errors() const;
+  bool HasRule(std::string_view rule) const;
+};
+
+struct CheckOptions {
+  // All optional: passes degrade gracefully (e.g. no map table means map
+  // value bounds cannot be checked, so those lints stay silent).
+  const ebpf::MapTable* maps = nullptr;
+  const ebpf::HelperRegistry* helpers = nullptr;
+  const simkern::CallGraph* callgraph = nullptr;
+  // Statically-derived total loop iteration count above which the
+  // termination pass reports a runtime-budget finding.
+  u64 runtime_budget_iters = 1u << 20;
+  // Helpers whose kernel call graph reaches at least this many functions
+  // are treated as deadlock-capable when invoked under a held spin lock.
+  xbase::usize lock_reach_threshold = 30;
+};
+
+// Runs every pass. Fails (InvalidArgument) only on programs too malformed
+// to build a CFG for (empty, or truncated ld_imm64); everything else —
+// including structurally broken control flow — is reported as findings.
+xbase::Result<Report> RunChecks(const ebpf::Program& prog,
+                                const CheckOptions& opts = {});
+
+// Renders findings with disassembly context, one line per finding.
+std::string FormatReport(const ebpf::Program& prog, const Report& report);
+
+}  // namespace staticcheck

@@ -1,0 +1,906 @@
+#include "src/staticcheck/dataflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "src/xbase/strfmt.h"
+
+namespace staticcheck {
+
+namespace {
+
+using ebpf::Insn;
+using xbase::s32;
+using xbase::StrFormat;
+
+constexpr s64 kWideMin = std::numeric_limits<s64>::min() / 4;
+constexpr s64 kWideMax = std::numeric_limits<s64>::max() / 4;
+constexpr u32 kMergeWidenThreshold = 16;
+constexpr s64 kStackBytes = static_cast<s64>(ebpf::kMaxStackBytes);
+
+AbsVal TopVal() {
+  AbsVal val;
+  val.kind = VK::kTop;
+  return val;
+}
+
+AbsVal ConstVal(u64 value) {
+  AbsVal val;
+  val.kind = VK::kConst;
+  val.cval = value;
+  return val;
+}
+
+// Join of two abstract values (least upper bound, approximately).
+AbsVal MergeVal(const AbsVal& a, const AbsVal& b) {
+  if (a == b) {
+    return a;
+  }
+  if (a.kind == VK::kUninit || b.kind == VK::kUninit) {
+    // "maybe uninitialized" degrades to kTop: only *definitely*
+    // uninitialized reads are reported, which keeps the lint quiet on
+    // programs the verifier accepts path-sensitively.
+    return TopVal();
+  }
+  // NULL-refined branches rejoining their pointer: keep the pointer, set
+  // the maybe-NULL bit again.
+  const auto null_merge = [](const AbsVal& ptr) -> AbsVal {
+    AbsVal out = ptr;
+    out.or_null = true;
+    return out;
+  };
+  if (IsPointerKind(a.kind) && b.kind == VK::kConst && b.cval == 0) {
+    return null_merge(a);
+  }
+  if (IsPointerKind(b.kind) && a.kind == VK::kConst && a.cval == 0) {
+    return null_merge(b);
+  }
+  if (a.kind != b.kind) {
+    return TopVal();
+  }
+  AbsVal out = a;
+  out.or_null = a.or_null || b.or_null;
+  out.var_off = a.var_off || b.var_off;
+  out.off_min = std::min(a.off_min, b.off_min);
+  out.off_max = std::max(a.off_max, b.off_max);
+  if (a.kind == VK::kConst && a.cval != b.cval) {
+    return TopVal();
+  }
+  if (a.map_fd != b.map_fd) {
+    // Pointer into one of several maps: bounds can no longer be checked.
+    out.map_fd = -1;
+    out.var_off = true;
+  }
+  if (a.mem_size != b.mem_size) {
+    out.mem_size = 0;
+  }
+  if (a.id != b.id) {
+    out.id = 0;
+  }
+  return out;
+}
+
+// Join of two whole states; `widen` forces offset ranges open so loops
+// converge.
+DfState MergeState(const DfState& a, const DfState& b, bool widen) {
+  DfState out;
+  out.valid = true;
+  for (int i = 0; i < ebpf::kNumRegs; ++i) {
+    out.regs[i] = MergeVal(a.regs[i], b.regs[i]);
+    if (widen && IsPointerKind(out.regs[i].kind) &&
+        (out.regs[i].off_min != a.regs[i].off_min ||
+         out.regs[i].off_max != a.regs[i].off_max)) {
+      out.regs[i].off_min = kWideMin;
+      out.regs[i].off_max = kWideMax;
+      out.regs[i].var_off = true;
+    }
+    if (widen && out.regs[i].kind == VK::kConst &&
+        out.regs[i] != a.regs[i]) {
+      out.regs[i] = TopVal();
+    }
+  }
+  for (xbase::usize i = 0; i < out.stack_init.size(); ++i) {
+    out.stack_init[i] =
+        static_cast<u8>(a.stack_init[i] != 0 && b.stack_init[i] != 0);
+  }
+  // Union of obligations: a reference open on *some* path must still be
+  // released on every path that reaches exit.
+  out.refs = a.refs;
+  for (const RefObligation& ref : b.refs) {
+    const auto same_id = [&ref](const RefObligation& other) {
+      return other.id == ref.id;
+    };
+    if (std::find_if(out.refs.begin(), out.refs.end(), same_id) ==
+        out.refs.end()) {
+      out.refs.push_back(ref);
+    }
+  }
+  std::sort(out.refs.begin(), out.refs.end(),
+            [](const RefObligation& x, const RefObligation& y) {
+              return x.id < y.id;
+            });
+  return out;
+}
+
+// The pass engine: per-block input states + a deduplicating finding sink.
+class Dataflow {
+ public:
+  Dataflow(const ebpf::Program& prog, const Cfg& cfg,
+           const CheckOptions& opts, std::vector<Finding>& findings)
+      : prog_(prog), cfg_(cfg), opts_(opts), findings_(findings) {}
+
+  DataflowResult Run();
+
+ private:
+  void Report(Severity severity, u32 pc, std::string_view rule,
+              std::string message) {
+    if (!reported_.insert({std::string(rule), pc}).second) {
+      return;
+    }
+    Finding finding;
+    finding.pass = Pass::kDataflow;
+    finding.severity = severity;
+    finding.pc = pc;
+    finding.rule = std::string(rule);
+    finding.message = std::move(message);
+    findings_.push_back(std::move(finding));
+  }
+
+  // Marks a register as consumed; reports a definite use-before-init.
+  void Use(DfState& state, u8 regno, u32 pc) {
+    AbsVal& reg = state.regs[regno];
+    if (reg.kind == VK::kUninit) {
+      Report(Severity::kError, pc, "use-before-init",
+             StrFormat("R%d is read but never written on any path", regno));
+      reg = TopVal();  // stop the cascade
+    }
+  }
+
+  void WriteReg(DfState& state, u8 regno, AbsVal value, u32 pc) {
+    if (regno == ebpf::R10) {
+      Report(Severity::kError, pc, "r10-write",
+             "the frame pointer R10 is read-only");
+      return;
+    }
+    state.regs[regno] = std::move(value);
+  }
+
+  u32 MapValueSize(int map_fd) const {
+    if (opts_.maps == nullptr || map_fd < 0) {
+      return 0;
+    }
+    auto map = opts_.maps->Find(map_fd);
+    return map.ok() ? map.value()->spec().value_size : 0;
+  }
+
+  u32 MapKeySize(int map_fd) const {
+    if (opts_.maps == nullptr || map_fd < 0) {
+      return 0;
+    }
+    auto map = opts_.maps->Find(map_fd);
+    return map.ok() ? map.value()->spec().key_size : 0;
+  }
+
+  void CheckMemAccess(DfState& state, const AbsVal& base, s64 insn_off,
+                      u32 size, bool is_write, u32 pc);
+  void MarkStackBytes(DfState& state, const AbsVal& base, s64 insn_off,
+                      u32 size);
+  void CheckStackInit(const DfState& state, const AbsVal& base, u32 size,
+                      u32 pc, std::string_view what);
+  void CheckNullArg(const AbsVal& reg, int argno,
+                    const ebpf::HelperSpec& spec, u32 pc);
+  void HelperCall(DfState& state, u32 pc, s32 helper_id);
+  void TransferAlu(DfState& state, const Insn& insn, u32 pc);
+  void Transfer(DfState& state, u32 pc);
+  void CheckExit(const DfState& state, u32 pc);
+  void Propagate(u32 block, DfState&& out);
+  // Applies NULL refinement for `id`: on the null side the pointer becomes
+  // the constant 0 and its acquire obligation disappears.
+  static void RefineNull(DfState& state, u32 id, bool is_null);
+
+  const ebpf::Program& prog_;
+  const Cfg& cfg_;
+  const CheckOptions& opts_;
+  std::vector<Finding>& findings_;
+  std::set<std::pair<std::string, u32>> reported_;
+  std::vector<DfState> in_;
+  std::vector<u32> merge_count_;
+  std::deque<u32> worklist_;
+};
+
+void Dataflow::RefineNull(DfState& state, u32 id, bool is_null) {
+  if (id == 0) {
+    return;
+  }
+  for (AbsVal& reg : state.regs) {
+    if (IsPointerKind(reg.kind) && reg.id == id) {
+      if (is_null) {
+        reg = ConstVal(0);
+      } else {
+        reg.or_null = false;
+      }
+    }
+  }
+  if (is_null) {
+    std::erase_if(state.refs, [id](const RefObligation& ref) {
+      return ref.id == id;
+    });
+  }
+}
+
+void Dataflow::MarkStackBytes(DfState& state, const AbsVal& base,
+                              s64 insn_off, u32 size) {
+  if (base.var_off || base.off_min != base.off_max) {
+    return;  // imprecise writes mark nothing (under-approximation)
+  }
+  const s64 start = base.off_min + insn_off + kStackBytes;
+  for (u32 i = 0; i < size; ++i) {
+    const s64 byte = start + i;
+    if (byte >= 0 && byte < kStackBytes) {
+      state.stack_init[static_cast<xbase::usize>(byte)] = 1;
+    }
+  }
+}
+
+void Dataflow::CheckStackInit(const DfState& state, const AbsVal& base,
+                              u32 size, u32 pc, std::string_view what) {
+  if (base.var_off || base.off_min != base.off_max) {
+    return;
+  }
+  const s64 start = base.off_min + kStackBytes;
+  for (u32 i = 0; i < size; ++i) {
+    const s64 byte = start + i;
+    if (byte < 0 || byte >= kStackBytes) {
+      return;  // bounds reported separately
+    }
+    if (state.stack_init[static_cast<xbase::usize>(byte)] == 0) {
+      Report(Severity::kWarning, pc, "stack-uninit-read",
+             StrFormat("%.*s reads stack byte fp%lld which may be "
+                       "uninitialized",
+                       static_cast<int>(what.size()), what.data(),
+                       static_cast<long long>(base.off_min + i)));
+      return;
+    }
+  }
+}
+
+void Dataflow::CheckMemAccess(DfState& state, const AbsVal& base,
+                              s64 insn_off, u32 size, bool is_write,
+                              u32 pc) {
+  switch (base.kind) {
+    case VK::kUninit:
+    case VK::kTop:
+    case VK::kFunc:
+      return;  // uninit reported by Use(); kTop is unknowable
+    case VK::kConst:
+      Report(Severity::kError, pc,
+             base.cval == 0 ? "null-deref" : "const-deref",
+             StrFormat("memory access through constant address 0x%llx",
+                       static_cast<unsigned long long>(base.cval)));
+      return;
+    case VK::kStack: {
+      if (base.var_off) {
+        Report(Severity::kWarning, pc, "stack-var-off",
+               "stack access at a variable offset");
+        return;
+      }
+      const s64 lo = base.off_min + insn_off;
+      const s64 hi = base.off_max + insn_off + size;
+      if (lo < -kStackBytes || hi > 0) {
+        Report(Severity::kError, pc, "stack-oob",
+               StrFormat("stack access at fp%lld size %u is outside the "
+                         "%lld-byte frame",
+                         static_cast<long long>(lo), size,
+                         static_cast<long long>(kStackBytes)));
+        return;
+      }
+      if (is_write) {
+        MarkStackBytes(state, base, insn_off, size);
+      } else {
+        AbsVal shifted = base;
+        shifted.off_min += insn_off;
+        shifted.off_max += insn_off;
+        CheckStackInit(state, shifted, size, pc, "load");
+      }
+      return;
+    }
+    case VK::kMapVal: {
+      if (base.or_null) {
+        Report(Severity::kError, pc, "null-deref",
+               "map value pointer may be NULL (no null check on this "
+               "path)");
+        return;
+      }
+      const u32 value_size = MapValueSize(base.map_fd);
+      if (value_size == 0) {
+        return;  // no map table available
+      }
+      if (base.var_off) {
+        Report(Severity::kWarning, pc, "map-value-var-off",
+               "map value accessed at a statically unbounded offset");
+        return;
+      }
+      const s64 lo = base.off_min + insn_off;
+      const s64 hi = base.off_max + insn_off + size;
+      if (lo < 0 || hi > static_cast<s64>(value_size)) {
+        Report(Severity::kError, pc, "map-value-oob",
+               StrFormat("access at offset [%lld,%lld) escapes the %u-byte "
+                         "map value",
+                         static_cast<long long>(lo),
+                         static_cast<long long>(hi), value_size));
+      }
+      return;
+    }
+    case VK::kMem: {
+      if (base.or_null) {
+        Report(Severity::kError, pc, "null-deref",
+               "helper-provided memory may be NULL (no null check on this "
+               "path)");
+        return;
+      }
+      if (base.mem_size == 0 || base.var_off) {
+        return;
+      }
+      const s64 lo = base.off_min + insn_off;
+      const s64 hi = base.off_max + insn_off + size;
+      if (lo < 0 || hi > static_cast<s64>(base.mem_size)) {
+        Report(Severity::kError, pc, "mem-oob",
+               StrFormat("access at offset [%lld,%lld) escapes the %u-byte "
+                         "memory region",
+                         static_cast<long long>(lo),
+                         static_cast<long long>(hi), base.mem_size));
+      }
+      return;
+    }
+    case VK::kCtx:
+      if (base.off_min + insn_off < 0) {
+        Report(Severity::kWarning, pc, "ctx-oob",
+               "context accessed at a negative offset");
+      }
+      return;
+    case VK::kMapPtr:
+      Report(Severity::kWarning, pc, "map-ptr-deref",
+             "direct dereference of a map object pointer");
+      return;
+    case VK::kSock:
+    case VK::kTask:
+      if (base.or_null) {
+        Report(Severity::kError, pc, "null-deref",
+               "object pointer may be NULL (no null check on this path)");
+      }
+      return;
+  }
+}
+
+void Dataflow::CheckNullArg(const AbsVal& reg, int argno,
+                            const ebpf::HelperSpec& spec, u32 pc) {
+  if (reg.kind == VK::kConst && reg.cval == 0) {
+    Report(Severity::kError, pc, "null-arg",
+           StrFormat("NULL passed as pointer argument %d of %s", argno,
+                     spec.name.c_str()));
+    return;
+  }
+  if (IsPointerKind(reg.kind) && reg.or_null) {
+    Report(Severity::kWarning, pc, "maybe-null-arg",
+           StrFormat("argument %d of %s may be NULL (no null check)",
+                     argno, spec.name.c_str()));
+  }
+}
+
+void Dataflow::HelperCall(DfState& state, u32 pc, s32 helper_id) {
+  const ebpf::HelperSpec* spec = nullptr;
+  if (opts_.helpers != nullptr) {
+    auto found = opts_.helpers->FindSpec(static_cast<u32>(helper_id));
+    if (found.ok()) {
+      spec = found.value();
+    } else {
+      Report(Severity::kError, pc, "unknown-helper",
+             StrFormat("call to unregistered helper id %d", helper_id));
+    }
+  }
+
+  int map_arg_fd = -1;
+  if (spec != nullptr) {
+    for (int i = 0; i < 5; ++i) {
+      const ebpf::ArgType arg = spec->args[static_cast<xbase::usize>(i)];
+      if (arg == ebpf::ArgType::kNone) {
+        break;
+      }
+      const u8 regno = static_cast<u8>(ebpf::R1 + i);
+      AbsVal& reg = state.regs[regno];
+      if (reg.kind == VK::kUninit) {
+        Report(Severity::kError, pc, "helper-arg-uninit",
+               StrFormat("R%d (argument %d of %s) is uninitialized", regno,
+                         i + 1, spec->name.c_str()));
+        reg = TopVal();
+        continue;
+      }
+      // The size a kPtrToMem/kPtrToUninitMem argument covers, when the
+      // paired kMemSize argument is a known constant.
+      u32 mem_span = 0;
+      if (i + 1 < 5 &&
+          spec->args[static_cast<xbase::usize>(i + 1)] ==
+              ebpf::ArgType::kMemSize &&
+          state.regs[regno + 1].kind == VK::kConst) {
+        mem_span = static_cast<u32>(state.regs[regno + 1].cval);
+      }
+      switch (arg) {
+        case ebpf::ArgType::kNone:
+        case ebpf::ArgType::kAnything:
+        case ebpf::ArgType::kMemSize:
+          break;
+        case ebpf::ArgType::kConstMapPtr:
+          if (reg.kind == VK::kMapPtr) {
+            map_arg_fd = reg.map_fd;
+          } else if (reg.kind != VK::kTop) {
+            Report(Severity::kError, pc, "helper-arg-type",
+                   StrFormat("argument %d of %s must be a map reference",
+                             i + 1, spec->name.c_str()));
+          }
+          break;
+        case ebpf::ArgType::kMapKey:
+          CheckNullArg(reg, i + 1, *spec, pc);
+          if (reg.kind == VK::kStack) {
+            CheckStackInit(state, reg, MapKeySize(map_arg_fd), pc,
+                           spec->name);
+          }
+          break;
+        case ebpf::ArgType::kMapValue:
+          CheckNullArg(reg, i + 1, *spec, pc);
+          if (reg.kind == VK::kStack) {
+            CheckStackInit(state, reg, MapValueSize(map_arg_fd), pc,
+                           spec->name);
+          }
+          break;
+        case ebpf::ArgType::kPtrToMem:
+          CheckNullArg(reg, i + 1, *spec, pc);
+          if (reg.kind == VK::kStack && mem_span > 0) {
+            CheckStackInit(state, reg, mem_span, pc, spec->name);
+          }
+          break;
+        case ebpf::ArgType::kPtrToUninitMem:
+          CheckNullArg(reg, i + 1, *spec, pc);
+          if (reg.kind == VK::kStack && mem_span > 0) {
+            MarkStackBytes(state, reg, 0, mem_span);  // the helper fills it
+          }
+          break;
+        case ebpf::ArgType::kCtx:
+          if (reg.kind != VK::kCtx && reg.kind != VK::kTop) {
+            Report(Severity::kWarning, pc, "helper-arg-type",
+                   StrFormat("argument %d of %s should be the context "
+                             "pointer",
+                             i + 1, spec->name.c_str()));
+          }
+          break;
+        case ebpf::ArgType::kScalar:
+          if (IsPointerKind(reg.kind)) {
+            Report(Severity::kWarning, pc, "ptr-as-scalar-arg",
+                   StrFormat("pointer passed as scalar argument %d of %s "
+                             "(potential address leak)",
+                             i + 1, spec->name.c_str()));
+          }
+          break;
+        case ebpf::ArgType::kSock:
+          CheckNullArg(reg, i + 1, *spec, pc);
+          if (reg.kind != VK::kSock && reg.kind != VK::kTop &&
+              !(reg.kind == VK::kConst && reg.cval == 0)) {
+            Report(Severity::kError, pc, "helper-arg-type",
+                   StrFormat("argument %d of %s must be a socket", i + 1,
+                             spec->name.c_str()));
+          }
+          break;
+        case ebpf::ArgType::kTask:
+          CheckNullArg(reg, i + 1, *spec, pc);
+          break;
+        case ebpf::ArgType::kSpinLock:
+          CheckNullArg(reg, i + 1, *spec, pc);
+          if (reg.kind != VK::kMapVal && reg.kind != VK::kTop) {
+            Report(Severity::kError, pc, "helper-arg-type",
+                   StrFormat("argument %d of %s must point into a map "
+                             "value",
+                             i + 1, spec->name.c_str()));
+          }
+          break;
+        case ebpf::ArgType::kFunc:
+          if (reg.kind != VK::kFunc && reg.kind != VK::kTop) {
+            Report(Severity::kError, pc, "helper-arg-type",
+                   StrFormat("argument %d of %s must be a callback "
+                             "reference",
+                             i + 1, spec->name.c_str()));
+          }
+          break;
+      }
+    }
+    if (spec->releases_ref_arg != 0) {
+      const u8 regno =
+          static_cast<u8>(ebpf::R1 + spec->releases_ref_arg - 1);
+      const u32 id = state.regs[regno].id;
+      const auto matches = [id](const RefObligation& ref) {
+        return ref.id == id;
+      };
+      if (id != 0 && std::find_if(state.refs.begin(), state.refs.end(),
+                                  matches) != state.refs.end()) {
+        std::erase_if(state.refs, matches);
+      } else {
+        Report(Severity::kWarning, pc, "release-unacquired",
+               StrFormat("%s releases an object this program did not "
+                         "acquire",
+                         spec->name.c_str()));
+      }
+    }
+  }
+
+  // Caller-saved registers are clobbered; R0 carries the abstract return.
+  for (u8 regno = ebpf::R1; regno <= ebpf::R5; ++regno) {
+    state.regs[regno] = AbsVal{};
+  }
+  AbsVal ret = TopVal();
+  if (spec != nullptr) {
+    const u32 id = pc + 1;
+    switch (spec->ret) {
+      case ebpf::RetType::kInteger:
+        break;
+      case ebpf::RetType::kVoid:
+        ret = AbsVal{};  // reading R0 after a void helper is a bug
+        break;
+      case ebpf::RetType::kMapValueOrNull:
+        ret.kind = VK::kMapVal;
+        ret.or_null = true;
+        ret.map_fd = map_arg_fd;
+        ret.id = id;
+        break;
+      case ebpf::RetType::kSockOrNull:
+        ret.kind = VK::kSock;
+        ret.or_null = true;
+        ret.id = id;
+        break;
+      case ebpf::RetType::kTaskOrNull:
+        ret.kind = VK::kTask;
+        ret.or_null = true;
+        ret.id = id;
+        break;
+      case ebpf::RetType::kMemOrNull:
+        ret.kind = VK::kMem;
+        ret.or_null = true;
+        ret.id = id;
+        break;
+    }
+    if (spec->acquires_ref) {
+      RefObligation ref;
+      ref.id = id;
+      ref.acquire_pc = pc;
+      ref.helper_id = spec->id;
+      state.refs.push_back(ref);
+    }
+  }
+  state.regs[ebpf::R0] = ret;
+}
+
+void Dataflow::TransferAlu(DfState& state, const Insn& insn, u32 pc) {
+  const bool is64 = insn.Class() == ebpf::BPF_ALU64;
+  const u8 op = insn.AluOp();
+  const u8 dst = insn.dst;
+
+  if (op == ebpf::BPF_END) {
+    Use(state, dst, pc);
+    WriteReg(state, dst, TopVal(), pc);
+    return;
+  }
+  if (op == ebpf::BPF_NEG) {
+    Use(state, dst, pc);
+    AbsVal& reg = state.regs[dst];
+    AbsVal out = TopVal();
+    if (reg.kind == VK::kConst) {
+      const u64 value = ~reg.cval + 1;
+      out = ConstVal(is64 ? value : (value & 0xffffffffu));
+    }
+    WriteReg(state, dst, out, pc);
+    return;
+  }
+
+  // Resolve the source operand.
+  AbsVal src;
+  if (insn.UsesRegSrc()) {
+    Use(state, insn.src, pc);
+    src = state.regs[insn.src];
+  } else {
+    src = ConstVal(is64 ? static_cast<u64>(static_cast<s64>(insn.imm))
+                        : static_cast<u64>(static_cast<u32>(insn.imm)));
+  }
+
+  if (op == ebpf::BPF_MOV) {
+    AbsVal out = src;
+    if (!is64) {
+      // A 32-bit move truncates: pointers degrade to scalars.
+      if (out.kind == VK::kConst) {
+        out.cval &= 0xffffffffu;
+      } else {
+        out = TopVal();
+      }
+    }
+    WriteReg(state, dst, std::move(out), pc);
+    return;
+  }
+
+  Use(state, dst, pc);
+  AbsVal& lhs = state.regs[dst];
+
+  // Pointer +- constant adjusts the tracked offset range.
+  if ((op == ebpf::BPF_ADD || op == ebpf::BPF_SUB) && is64 &&
+      IsPointerKind(lhs.kind)) {
+    AbsVal out = lhs;
+    if (src.kind == VK::kConst) {
+      const s64 delta = static_cast<s64>(src.cval);
+      out.off_min += op == ebpf::BPF_ADD ? delta : -delta;
+      out.off_max += op == ebpf::BPF_ADD ? delta : -delta;
+    } else if (IsPointerKind(src.kind)) {
+      out = TopVal();  // ptr - ptr is a scalar distance
+    } else {
+      out.var_off = true;  // unknown scalar folded into the offset
+    }
+    WriteReg(state, dst, std::move(out), pc);
+    return;
+  }
+
+  // Constant folding for scalar-scalar arithmetic.
+  if (lhs.kind == VK::kConst && src.kind == VK::kConst) {
+    u64 a = lhs.cval;
+    u64 b = src.cval;
+    if (!is64) {
+      a &= 0xffffffffu;
+      b &= 0xffffffffu;
+    }
+    u64 result = 0;
+    bool folded = true;
+    const u64 shift_mask = is64 ? 63 : 31;
+    switch (op) {
+      case ebpf::BPF_ADD: result = a + b; break;
+      case ebpf::BPF_SUB: result = a - b; break;
+      case ebpf::BPF_MUL: result = a * b; break;
+      case ebpf::BPF_DIV: result = b == 0 ? 0 : a / b; break;
+      case ebpf::BPF_MOD: result = b == 0 ? a : a % b; break;
+      case ebpf::BPF_OR:  result = a | b; break;
+      case ebpf::BPF_AND: result = a & b; break;
+      case ebpf::BPF_XOR: result = a ^ b; break;
+      case ebpf::BPF_LSH: result = a << (b & shift_mask); break;
+      case ebpf::BPF_RSH: result = a >> (b & shift_mask); break;
+      case ebpf::BPF_ARSH:
+        result = is64 ? static_cast<u64>(static_cast<s64>(a) >>
+                                         (b & shift_mask))
+                      : static_cast<u64>(static_cast<u32>(
+                            static_cast<s32>(static_cast<u32>(a)) >>
+                            (b & shift_mask)));
+        break;
+      default: folded = false; break;
+    }
+    if (folded) {
+      WriteReg(state, dst, ConstVal(is64 ? result : result & 0xffffffffu),
+               pc);
+      return;
+    }
+  }
+  WriteReg(state, dst, TopVal(), pc);
+}
+
+void Dataflow::Transfer(DfState& state, u32 pc) {
+  const Insn& insn = prog_.insns[pc];
+  switch (insn.Class()) {
+    case ebpf::BPF_ALU:
+    case ebpf::BPF_ALU64:
+      TransferAlu(state, insn, pc);
+      return;
+    case ebpf::BPF_LD: {
+      if (!insn.IsLdImm64()) {
+        // Legacy LD_ABS/LD_IND packet loads land in R0.
+        WriteReg(state, ebpf::R0, TopVal(), pc);
+        return;
+      }
+      AbsVal out;
+      if (insn.src == ebpf::BPF_PSEUDO_MAP_FD) {
+        out.kind = VK::kMapPtr;
+        out.map_fd = insn.imm;
+      } else if (insn.src == ebpf::BPF_PSEUDO_FUNC) {
+        out.kind = VK::kFunc;
+        out.cval = static_cast<u64>(static_cast<s64>(insn.imm));
+      } else {
+        const u64 lo = static_cast<u32>(insn.imm);
+        const u64 hi =
+            static_cast<u32>(prog_.insns[pc + 1].imm);
+        out = ConstVal(lo | (hi << 32));
+      }
+      WriteReg(state, insn.dst, std::move(out), pc);
+      return;
+    }
+    case ebpf::BPF_LDX: {
+      Use(state, insn.src, pc);
+      CheckMemAccess(state, state.regs[insn.src], insn.off,
+                     ebpf::SizeBytes(insn.Size()), /*is_write=*/false, pc);
+      WriteReg(state, insn.dst, TopVal(), pc);
+      return;
+    }
+    case ebpf::BPF_ST: {
+      Use(state, insn.dst, pc);
+      CheckMemAccess(state, state.regs[insn.dst], insn.off,
+                     ebpf::SizeBytes(insn.Size()), /*is_write=*/true, pc);
+      return;
+    }
+    case ebpf::BPF_STX: {
+      Use(state, insn.dst, pc);
+      Use(state, insn.src, pc);
+      CheckMemAccess(state, state.regs[insn.dst], insn.off,
+                     ebpf::SizeBytes(insn.Size()), /*is_write=*/true, pc);
+      return;
+    }
+    case ebpf::BPF_JMP:
+    case ebpf::BPF_JMP32: {
+      if (insn.IsHelperCall()) {
+        HelperCall(state, pc, insn.imm);
+        return;
+      }
+      if (insn.IsPseudoCall() || insn.IsKfuncCall()) {
+        // The callee is analyzed as its own entry; model the call's
+        // register effects only.
+        for (u8 regno = ebpf::R1; regno <= ebpf::R5; ++regno) {
+          state.regs[regno] = AbsVal{};
+        }
+        state.regs[ebpf::R0] = TopVal();
+        return;
+      }
+      const u8 op = insn.JmpOp();
+      if (op != ebpf::BPF_JA && op != ebpf::BPF_EXIT) {
+        Use(state, insn.dst, pc);
+        if (insn.UsesRegSrc()) {
+          Use(state, insn.src, pc);
+        }
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void Dataflow::CheckExit(const DfState& state, u32 pc) {
+  const AbsVal& r0 = state.regs[ebpf::R0];
+  if (r0.kind == VK::kUninit) {
+    Report(Severity::kError, pc, "exit-uninit-r0",
+           "the program exits without setting R0 on some path");
+  } else if (IsPointerKind(r0.kind)) {
+    Report(Severity::kError, pc, "ptr-return-leak",
+           "the program returns a kernel pointer in R0 (address leak)");
+  }
+  for (const RefObligation& ref : state.refs) {
+    Report(Severity::kError, pc, "ref-leak",
+           StrFormat("the reference acquired at pc %u (helper %u) is "
+                     "never released on this path",
+                     ref.acquire_pc, ref.helper_id));
+  }
+}
+
+void Dataflow::Propagate(u32 block, DfState&& out) {
+  DfState& dest = in_[block];
+  if (!dest.valid) {
+    dest = std::move(out);
+    worklist_.push_back(block);
+    return;
+  }
+  const bool widen = ++merge_count_[block] > kMergeWidenThreshold;
+  DfState merged = MergeState(dest, out, widen);
+  if (!(merged == dest)) {
+    dest = std::move(merged);
+    worklist_.push_back(block);
+  }
+}
+
+DataflowResult Dataflow::Run() {
+  in_.assign(cfg_.blocks.size(), DfState{});
+  merge_count_.assign(cfg_.blocks.size(), 0);
+
+  for (const u32 entry : cfg_.entries) {
+    DfState init;
+    init.valid = true;
+    AbsVal fp;
+    fp.kind = VK::kStack;
+    init.regs[ebpf::R10] = fp;
+    if (cfg_.blocks[entry].start == 0) {
+      init.regs[ebpf::R1].kind = VK::kCtx;
+    } else {
+      // Subprogram / callback: arguments and callee-saved registers are
+      // whatever the caller provided — unknown but initialized.
+      for (u8 regno = ebpf::R1; regno <= ebpf::R9; ++regno) {
+        init.regs[regno] = TopVal();
+      }
+    }
+    Propagate(entry, std::move(init));
+  }
+
+  u64 budget = static_cast<u64>(cfg_.blocks.size()) * 64 + 256;
+  DataflowResult result;
+  while (!worklist_.empty()) {
+    if (budget-- == 0) {
+      result.complete = false;
+      Finding finding;
+      finding.pass = Pass::kDataflow;
+      finding.severity = Severity::kWarning;
+      finding.pc = 0;
+      finding.rule = "analysis-budget";
+      finding.message =
+          "dataflow iteration budget exhausted; findings may be "
+          "incomplete";
+      findings_.push_back(std::move(finding));
+      break;
+    }
+    const u32 b = worklist_.front();
+    worklist_.pop_front();
+    DfState state = in_[b];
+    const BasicBlock& block = cfg_.blocks[b];
+
+    u32 last = block.start;
+    for (u32 pc = block.start; pc < block.end;) {
+      last = pc;
+      Transfer(state, pc);
+      pc += prog_.insns[pc].IsLdImm64() ? 2 : 1;
+    }
+
+    const Insn& term = prog_.insns[last];
+    if (term.IsExit()) {
+      CheckExit(state, last);
+      continue;
+    }
+    const u8 cls = term.Class();
+    const u8 op = term.JmpOp();
+    const bool is_cond = (cls == ebpf::BPF_JMP || cls == ebpf::BPF_JMP32) &&
+                         op != ebpf::BPF_JA && op != ebpf::BPF_CALL &&
+                         op != ebpf::BPF_EXIT;
+    if (!is_cond) {
+      for (const u32 succ : block.succs) {
+        DfState out = state;
+        Propagate(succ, std::move(out));
+      }
+      continue;
+    }
+
+    // Conditional terminator: split with NULL refinement where possible.
+    const s64 target = static_cast<s64>(last) + 1 + term.off;
+    const u32 taken_block =
+        target >= 0 && target < static_cast<s64>(prog_.len())
+            ? cfg_.block_of[static_cast<u32>(target)]
+            : kNoBlock;
+    const u32 fall_block =
+        block.end < prog_.len() ? cfg_.block_of[block.end] : kNoBlock;
+
+    DfState taken = state;
+    DfState fall = state;
+    const AbsVal& dst = state.regs[term.dst];
+    const bool cmp_zero =
+        (!term.UsesRegSrc() && term.imm == 0) ||
+        (term.UsesRegSrc() && state.regs[term.src].kind == VK::kConst &&
+         state.regs[term.src].cval == 0);
+    if ((op == ebpf::BPF_JEQ || op == ebpf::BPF_JNE) && cmp_zero &&
+        IsPointerKind(dst.kind) && dst.or_null && dst.id != 0) {
+      RefineNull(taken, dst.id, op == ebpf::BPF_JEQ);
+      RefineNull(fall, dst.id, op == ebpf::BPF_JNE);
+    }
+    if (taken_block != kNoBlock) {
+      Propagate(taken_block, std::move(taken));
+    }
+    if (fall_block != kNoBlock) {
+      Propagate(fall_block, std::move(fall));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+DataflowResult RunDataflow(const ebpf::Program& prog, const Cfg& cfg,
+                           const CheckOptions& opts,
+                           std::vector<Finding>& findings) {
+  Dataflow pass(prog, cfg, opts, findings);
+  return pass.Run();
+}
+
+}  // namespace staticcheck

@@ -1,0 +1,81 @@
+// Forward dataflow over registers and stack slots: a join-lattice abstract
+// interpretation that is deliberately simpler (and independently
+// implemented) from the verifier's path enumeration. Path-INsensitive by
+// design: states merge at join points instead of forking per path, so the
+// analysis terminates in O(blocks) regardless of branch count — and sees
+// code the path-sensitive verifier prunes away (constant-folded branches).
+//
+// Checks: use-before-init (registers and stack bytes), map-value pointer
+// arithmetic escaping the value bounds, dereference of unchecked
+// maybe-NULL pointers, helper argument arity/type/NULL against
+// HelperRegistry specs, acquired-reference leaks at exit, and pointer
+// values leaking through R0 at exit.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/staticcheck/cfg.h"
+
+namespace staticcheck {
+
+// Abstract value kinds. kTop is "initialized, nothing else known".
+enum class VK : u8 {
+  kUninit = 0,
+  kTop,
+  kConst,    // fully-known 64-bit scalar
+  kCtx,      // the context pointer (R1 at entry)
+  kStack,    // frame pointer with a fixed byte offset
+  kMapPtr,   // ld_imm64 map reference
+  kMapVal,   // pointer into a map value
+  kMem,      // helper-provided memory (ringbuf record)
+  kSock,     // socket object pointer
+  kTask,     // task_struct pointer
+  kFunc,     // callback reference
+};
+
+inline bool IsPointerKind(VK kind) {
+  return kind >= VK::kCtx && kind <= VK::kTask;
+}
+
+struct AbsVal {
+  VK kind = VK::kUninit;
+  bool or_null = false;  // pointer kinds: may still be NULL
+  bool var_off = false;  // pointer offset includes an unknown scalar
+  s64 off_min = 0;       // pointer offset range (kStack/kMapVal/kMem)
+  s64 off_max = 0;
+  u64 cval = 0;          // kConst
+  int map_fd = -1;       // kMapPtr/kMapVal
+  u32 mem_size = 0;      // kMem
+  u32 id = 0;            // null-refinement / reference join key
+  bool operator==(const AbsVal&) const = default;
+};
+
+// An open acquire obligation (socket reference etc.).
+struct RefObligation {
+  u32 id = 0;          // matches AbsVal::id of the holding value
+  u32 acquire_pc = 0;
+  u32 helper_id = 0;
+  bool operator==(const RefObligation&) const = default;
+};
+
+struct DfState {
+  bool valid = false;  // false = unreached (bottom)
+  std::array<AbsVal, ebpf::kNumRegs> regs;
+  // Per-byte init tracking of the 512-byte stack frame; index 0 is the
+  // deepest byte (R10-512), index 511 is R10-1.
+  std::array<u8, ebpf::kMaxStackBytes> stack_init = {};
+  std::vector<RefObligation> refs;  // sorted by id
+  bool operator==(const DfState&) const = default;
+};
+
+struct DataflowResult {
+  bool complete = true;  // false if the iteration budget was exhausted
+};
+
+// Runs the pass over every reachable block, appending findings.
+DataflowResult RunDataflow(const ebpf::Program& prog, const Cfg& cfg,
+                           const CheckOptions& opts,
+                           std::vector<Finding>& findings);
+
+}  // namespace staticcheck

@@ -1,0 +1,18 @@
+// Lock-order analysis: projects bpf_spin_lock acquisition depth across
+// every CFG path as a [min,max] interval per block, flagging double
+// acquisition, unbalanced release, lock-held-at-exit, and helper calls
+// made under a held lock — escalated to errors when the helper's kernel
+// call graph (analysis/callgraph) is wide enough to plausibly re-enter
+// the locked region or sleep.
+#pragma once
+
+#include <vector>
+
+#include "src/staticcheck/cfg.h"
+
+namespace staticcheck {
+
+void RunLocks(const ebpf::Program& prog, const Cfg& cfg,
+              const CheckOptions& opts, std::vector<Finding>& findings);
+
+}  // namespace staticcheck

@@ -1,0 +1,413 @@
+// Tests for the verifier-independent staticcheck subsystem: clean programs
+// stay clean, every program-visible injected-fault exploit is flagged, the
+// loader prepass rejects what the path-sensitive verifier waves through,
+// and the CFG/termination/lock passes report what they claim to.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/analysis/diffcheck.h"
+#include "src/analysis/workloads.h"
+#include "src/ebpf/asm.h"
+#include "src/ebpf/loader.h"
+#include "src/staticcheck/check.h"
+
+namespace {
+
+using namespace ebpf;  // NOLINT: register/opcode constants read like asm
+
+struct TestRig {
+  TestRig() : kernel(Config()), bpf(kernel), loader(bpf) {
+    (void)kernel.BootstrapWorkload();
+  }
+
+  static simkern::KernelConfig Config() {
+    simkern::KernelConfig config;
+    config.unprivileged_bpf_disabled = false;
+    return config;
+  }
+
+  int ArrayMap(const std::string& name, u32 value_size, u32 entries) {
+    MapSpec spec;
+    spec.type = MapType::kArray;
+    spec.key_size = 4;
+    spec.value_size = value_size;
+    spec.max_entries = entries;
+    spec.name = name;
+    auto fd = bpf.maps().Create(spec);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return fd.ok() ? fd.value() : -1;
+  }
+
+  staticcheck::Report Check(const Program& prog) {
+    staticcheck::CheckOptions opts;
+    opts.maps = &bpf.maps();
+    opts.helpers = &bpf.helpers();
+    opts.callgraph = &kernel.callgraph();
+    auto report = staticcheck::RunChecks(prog, opts);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? std::move(report).value() : staticcheck::Report{};
+  }
+
+  simkern::Kernel kernel;
+  Bpf bpf;
+  Loader loader;
+};
+
+std::string Rules(const staticcheck::Report& report) {
+  std::string all;
+  for (const auto& finding : report.findings) {
+    all += finding.rule + " ";
+  }
+  return all;
+}
+
+// --- (a) clean programs produce zero findings ----------------------------
+
+TEST(StaticCheckClean, WellFormedCorpusHasNoFindings) {
+  TestRig rig;
+  const int counter_fd = rig.ArrayMap("cnt", 8, 4);
+  const int loop_fd = rig.ArrayMap("m", 8, 4);
+
+  struct Case {
+    const char* name;
+    xbase::Result<Program> prog;
+  } cases[] = {
+      {"straight-line", analysis::BuildStraightLine(64)},
+      {"branch-diamonds", analysis::BuildBranchDiamonds(8)},
+      {"counted-loop", analysis::BuildCountedLoop(16)},
+      {"packet-counter", analysis::BuildPacketCounter(counter_fd)},
+      {"sk-lookup-ok", analysis::BuildSkLookupWithRelease()},
+      {"nested-loop-small", analysis::BuildNestedLoopStall(loop_fd, 1, 4)},
+      {"task-stack-err", analysis::BuildGetTaskStackErrorPath()},
+  };
+  for (auto& c : cases) {
+    ASSERT_TRUE(c.prog.ok()) << c.name;
+    const auto report = rig.Check(c.prog.value());
+    EXPECT_TRUE(report.clean())
+        << c.name << " produced findings: " << Rules(report);
+    EXPECT_TRUE(report.analysis_complete) << c.name;
+  }
+}
+
+// --- (b) exploit programs behind injected verifier faults are flagged ----
+
+TEST(StaticCheckExploits, EachExploitIsFlaggedByAtLeastOnePass) {
+  TestRig rig;
+  const int small_fd = rig.ArrayMap("vic8", 8, 4);
+  const int mid_fd = rig.ArrayMap("vic64", 64, 4);
+  const int lock_fd = rig.ArrayMap("locked", 16, 1);
+
+  struct Case {
+    const char* name;
+    xbase::Result<Program> prog;
+    const char* expected_rule;
+  } cases[] = {
+      {"arbitrary-read", analysis::BuildArbitraryReadExploit(small_fd, 4096),
+       "map-value-oob"},
+      {"jmp32-oob", analysis::BuildJmp32BoundsExploit(mid_fd),
+       "map-value-oob"},
+      {"ptr-leak", analysis::BuildPtrLeakExploit(small_fd),
+       "ptr-return-leak"},
+      {"double-spin-lock", analysis::BuildDoubleSpinLock(lock_fd),
+       "double-lock"},
+      {"sk-lookup-no-release", analysis::BuildSkLookupNoRelease(),
+       "ref-leak"},
+      {"jit-hijack-victim", analysis::BuildJitHijackVictim(),
+       "use-before-init"},
+  };
+  for (auto& c : cases) {
+    ASSERT_TRUE(c.prog.ok()) << c.name;
+    const auto report = rig.Check(c.prog.value());
+    EXPECT_GT(report.errors(), 0u) << c.name;
+    EXPECT_TRUE(report.HasRule(c.expected_rule))
+        << c.name << " rules: " << Rules(report);
+  }
+}
+
+TEST(StaticCheckExploits, DifferentialOracleCatchesInjectedVerifierFaults) {
+  auto report = analysis::RunDiffCheck();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Acceptance bar: at least 4 distinct injected *verifier* faults whose
+  // exploits the broken verifier admits but staticcheck flags.
+  std::set<std::string> caught_verifier_faults;
+  for (const auto& row : report.value().rows) {
+    if (row.divergence_caught() &&
+        row.fault_id.rfind("verifier.", 0) == 0) {
+      caught_verifier_faults.insert(row.fault_id);
+    }
+  }
+  EXPECT_GE(caught_verifier_faults.size(), 4u);
+
+  // The interface bug must stay uncaught — that is the paper's point.
+  for (const auto& row : report.value().rows) {
+    if (row.exploit == "sys-bpf-null-crash") {
+      EXPECT_FALSE(row.caught);
+    }
+  }
+}
+
+// --- (c) loader prepass rejects what the verifier accepts ----------------
+
+TEST(StaticCheckLoader, PrepassRejectsUseBeforeInitTheVerifierAccepts) {
+  // The uninitialized read sits on a branch the verifier constant-folds
+  // away (R6 is provably 0), so path-sensitive verification never visits
+  // it — at v4.9 or any other version. The path-insensitive CFG walk does.
+  ProgramBuilder b("uninit_dead_path", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R6, 0))
+      .JmpTo(BPF_JEQ, R6, 0, "skip")
+      .Ins(LdxMem(BPF_DW, R0, R8, 0))  // R8 never written anywhere
+      .Ins(Exit())
+      .Bind("skip")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+
+  LoadOptions opts;
+  opts.version_override = simkern::kV4_9;
+
+  {
+    TestRig rig;
+    auto id = rig.loader.Load(prog.value(), opts);
+    EXPECT_TRUE(id.ok()) << "verifier should accept: "
+                         << id.status().ToString();
+  }
+  {
+    TestRig rig;
+    opts.staticcheck_prepass = true;
+    auto id = rig.loader.Load(prog.value(), opts);
+    ASSERT_FALSE(id.ok());
+    EXPECT_EQ(id.status().code(), xbase::Code::kRejected);
+    EXPECT_NE(id.status().message().find("use-before-init"),
+              std::string::npos)
+        << id.status().ToString();
+  }
+}
+
+TEST(StaticCheckLoader, PrepassStillLoadsCleanPrograms) {
+  TestRig rig;
+  const int fd = rig.ArrayMap("cnt", 8, 4);
+  auto prog = analysis::BuildPacketCounter(fd);
+  ASSERT_TRUE(prog.ok());
+  LoadOptions opts;
+  opts.staticcheck_prepass = true;
+  auto id = rig.loader.Load(prog.value(), opts);
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+}
+
+// --- CFG pass ------------------------------------------------------------
+
+TEST(StaticCheckCfg, DeadCodeIsAWarningNotAnError) {
+  ProgramBuilder b("dead_code", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R0, 0))
+      .JaTo("end")
+      .Ins(Mov64Imm(R1, 1))  // unreachable
+      .Bind("end")
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  TestRig rig;
+  const auto report = rig.Check(prog.value());
+  EXPECT_TRUE(report.HasRule("dead-code")) << Rules(report);
+  EXPECT_EQ(report.errors(), 0u) << Rules(report);
+}
+
+TEST(StaticCheckCfg, FallthroughOffEndIsAnError) {
+  Program prog;
+  prog.name = "falls_off";
+  prog.insns = {Mov64Imm(R0, 0)};  // no exit
+  TestRig rig;
+  const auto report = rig.Check(prog);
+  EXPECT_TRUE(report.HasRule("fallthrough-off-end")) << Rules(report);
+  EXPECT_GT(report.errors(), 0u);
+}
+
+TEST(StaticCheckCfg, JumpOutOfRangeIsAnError) {
+  Program prog;
+  prog.name = "wild_jump";
+  prog.insns = {Mov64Imm(R0, 0), Ja(5), Exit()};
+  TestRig rig;
+  const auto report = rig.Check(prog);
+  EXPECT_TRUE(report.HasRule("jump-out-of-range")) << Rules(report);
+}
+
+TEST(StaticCheckCfg, CountsBlocksAndBackEdges) {
+  TestRig rig;
+  auto straight = analysis::BuildStraightLine(16);
+  ASSERT_TRUE(straight.ok());
+  const auto flat = rig.Check(straight.value());
+  EXPECT_EQ(flat.block_count, 1u);
+  EXPECT_EQ(flat.back_edge_count, 0u);
+
+  auto loop = analysis::BuildCountedLoop(8);
+  ASSERT_TRUE(loop.ok());
+  const auto looped = rig.Check(loop.value());
+  EXPECT_EQ(looped.back_edge_count, 1u);
+}
+
+// --- dataflow pass -------------------------------------------------------
+
+TEST(StaticCheckDataflow, ExitWithoutSettingR0IsAnError) {
+  Program prog;
+  prog.name = "no_r0";
+  prog.insns = {Exit()};
+  TestRig rig;
+  const auto report = rig.Check(prog);
+  EXPECT_TRUE(report.HasRule("exit-uninit-r0")) << Rules(report);
+}
+
+TEST(StaticCheckDataflow, HelperArgArityCheckedAgainstRegistry) {
+  ProgramBuilder b("bad_arity", ProgType::kKprobe);
+  b.Ins(CallHelper(kHelperMapLookupElem))  // R1/R2 never set
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  TestRig rig;
+  const auto report = rig.Check(prog.value());
+  EXPECT_TRUE(report.HasRule("helper-arg-uninit")) << Rules(report);
+}
+
+TEST(StaticCheckDataflow, UninitializedStackReadIsAWarning) {
+  ProgramBuilder b("stack_uninit", ProgType::kKprobe);
+  b.Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -8))
+      .Ins(LdxMem(BPF_DW, R3, R2, 0))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  TestRig rig;
+  const auto report = rig.Check(prog.value());
+  EXPECT_TRUE(report.HasRule("stack-uninit-read")) << Rules(report);
+  EXPECT_EQ(report.errors(), 0u) << Rules(report);
+}
+
+TEST(StaticCheckDataflow, UncheckedMapValueDerefIsAnError) {
+  TestRig rig;
+  const int fd = rig.ArrayMap("vic", 8, 4);
+  ProgramBuilder b("no_null_check", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .Ins(LdxMem(BPF_DW, R1, R0, 0))  // no null check on R0
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  const auto report = rig.Check(prog.value());
+  EXPECT_TRUE(report.HasRule("null-deref")) << Rules(report);
+}
+
+// --- termination pass ----------------------------------------------------
+
+TEST(StaticCheckTermination, LoopWithInvariantExitConditionIsFlagged) {
+  ProgramBuilder b("unbounded", ProgType::kKprobe);
+  b.Ins(LdxMem(BPF_W, R6, R1, 0))  // unknown ctx value
+      .Ins(Mov64Imm(R7, 0))
+      .Bind("top")
+      .JmpTo(BPF_JGE, R6, 10, "done")
+      .Ins(Alu64Imm(BPF_ADD, R7, 1))  // R6 never changes
+      .JaTo("top")
+      .Bind("done")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  TestRig rig;
+  const auto report = rig.Check(prog.value());
+  EXPECT_TRUE(report.HasRule("unbounded-loop")) << Rules(report);
+}
+
+TEST(StaticCheckTermination, LoopWithNoExitEdgeIsAnError) {
+  ProgramBuilder b("spin_forever", ProgType::kKprobe);
+  b.Ins(Mov64Imm(R0, 0)).Bind("top").JaTo("top").Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  TestRig rig;
+  const auto report = rig.Check(prog.value());
+  EXPECT_TRUE(report.HasRule("infinite-loop")) << Rules(report);
+  EXPECT_GT(report.errors(), 0u);
+}
+
+TEST(StaticCheckTermination, NestedBpfLoopBudgetIsEstimated) {
+  TestRig rig;
+  const int fd = rig.ArrayMap("m", 8, 4);
+  auto deep = analysis::BuildNestedLoopStall(fd, 3, 256);  // 256^3 iters
+  ASSERT_TRUE(deep.ok());
+  const auto report = rig.Check(deep.value());
+  EXPECT_TRUE(report.HasRule("loop-budget")) << Rules(report);
+
+  auto shallow = analysis::BuildNestedLoopStall(fd, 1, 4);
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_FALSE(rig.Check(shallow.value()).HasRule("loop-budget"));
+}
+
+// --- lock pass -----------------------------------------------------------
+
+TEST(StaticCheckLocks, HelperCallUnderHeldLockIsReported) {
+  TestRig rig;
+  const int fd = rig.ArrayMap("locked", 16, 1);
+  ProgramBuilder b("helper_under_lock", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R6, R0))
+      .Ins(Mov64Reg(R1, R6))
+      .Ins(CallHelper(kHelperSpinLock))
+      .Ins(CallHelper(kHelperKtimeGetNs))  // under the lock
+      .Ins(Mov64Reg(R1, R6))
+      .Ins(CallHelper(kHelperSpinUnlock))
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  const auto report = rig.Check(prog.value());
+  EXPECT_TRUE(report.HasRule("helper-call-under-lock") ||
+              report.HasRule("helper-under-lock"))
+      << Rules(report);
+  EXPECT_FALSE(report.HasRule("double-lock"));
+  EXPECT_FALSE(report.HasRule("lock-held-at-exit"));
+}
+
+TEST(StaticCheckLocks, UnlockWithoutLockIsAWarning) {
+  TestRig rig;
+  const int fd = rig.ArrayMap("locked", 16, 1);
+  ProgramBuilder b("unlock_unheld", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R1, R0))
+      .Ins(CallHelper(kHelperSpinUnlock))  // never locked
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  const auto report = rig.Check(prog.value());
+  EXPECT_TRUE(report.HasRule("unlock-unheld")) << Rules(report);
+}
+
+TEST(StaticCheckLocks, DoubleLockAndHeldAtExitAreErrors) {
+  TestRig rig;
+  const int fd = rig.ArrayMap("locked", 16, 1);
+  auto prog = analysis::BuildDoubleSpinLock(fd);
+  ASSERT_TRUE(prog.ok());
+  const auto report = rig.Check(prog.value());
+  EXPECT_TRUE(report.HasRule("double-lock")) << Rules(report);
+  EXPECT_TRUE(report.HasRule("lock-held-at-exit")) << Rules(report);
+}
+
+}  // namespace

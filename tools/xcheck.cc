@@ -1,0 +1,192 @@
+// xcheck: run the verifier-independent staticcheck analysis from the
+// command line.
+//
+//   xcheck --list              list built-in demo programs
+//   xcheck --demo NAME         analyze a built-in demo (disasm + findings)
+//   xcheck --diff              run the differential oracle table
+//   xcheck FILE.bin            analyze raw bytecode (8-byte LE insns)
+//
+// Exit status: 0 clean, 1 error-severity findings, 2 usage/load problems.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diffcheck.h"
+#include "src/analysis/workloads.h"
+#include "src/ebpf/bpf.h"
+#include "src/ebpf/disasm.h"
+#include "src/staticcheck/check.h"
+
+namespace {
+
+struct Demo {
+  const char* name;
+  const char* blurb;
+  std::function<xbase::Result<ebpf::Program>(ebpf::Bpf&)> build;
+};
+
+xbase::Result<int> MakeArrayMap(ebpf::Bpf& bpf, const char* name,
+                                xbase::u32 value_size, xbase::u32 entries) {
+  ebpf::MapSpec spec;
+  spec.type = ebpf::MapType::kArray;
+  spec.key_size = 4;
+  spec.value_size = value_size;
+  spec.max_entries = entries;
+  spec.name = name;
+  return bpf.maps().Create(spec);
+}
+
+std::vector<Demo> Demos() {
+  return {
+      {"packet-counter", "clean XDP-style filter (expected: no findings)",
+       [](ebpf::Bpf& bpf) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, MakeArrayMap(bpf, "cnt", 8, 4));
+         return analysis::BuildPacketCounter(fd);
+       }},
+      {"sk-lookup-ok", "correct socket lookup + release (expected: clean)",
+       [](ebpf::Bpf&) { return analysis::BuildSkLookupWithRelease(); }},
+      {"arbitrary-read", "map-value pointer walked 4096 bytes out",
+       [](ebpf::Bpf& bpf) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, MakeArrayMap(bpf, "vic", 8, 4));
+         return analysis::BuildArbitraryReadExploit(fd, 4096);
+       }},
+      {"jmp32-oob", "64-bit index hidden behind a 32-bit bounds check",
+       [](ebpf::Bpf& bpf) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, MakeArrayMap(bpf, "vic", 64, 4));
+         return analysis::BuildJmp32BoundsExploit(fd);
+       }},
+      {"ptr-leak", "returns a map-value kernel address in R0",
+       [](ebpf::Bpf& bpf) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, MakeArrayMap(bpf, "vic", 8, 4));
+         return analysis::BuildPtrLeakExploit(fd);
+       }},
+      {"double-spin-lock", "acquires the same bpf_spin_lock twice",
+       [](ebpf::Bpf& bpf) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, MakeArrayMap(bpf, "locked", 16, 1));
+         return analysis::BuildDoubleSpinLock(fd);
+       }},
+      {"sk-leak", "socket lookup without release",
+       [](ebpf::Bpf&) { return analysis::BuildSkLookupNoRelease(); }},
+      {"jit-victim", "reads an uninitialized register on a cold path",
+       [](ebpf::Bpf&) { return analysis::BuildJitHijackVictim(); }},
+  };
+}
+
+int Analyze(const ebpf::Program& prog, ebpf::Bpf* bpf) {
+  staticcheck::CheckOptions opts;
+  if (bpf != nullptr) {
+    opts.maps = &bpf->maps();
+    opts.helpers = &bpf->helpers();
+  }
+  auto report = staticcheck::RunChecks(prog, opts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "xcheck: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(ebpf::DisasmProgram(prog).c_str(), stdout);
+  std::fputs(staticcheck::FormatReport(prog, report.value()).c_str(),
+             stdout);
+  return report.value().errors() > 0 ? 1 : 0;
+}
+
+int RunDemo(const char* name) {
+  for (const Demo& demo : Demos()) {
+    if (std::strcmp(demo.name, name) != 0) {
+      continue;
+    }
+    simkern::Kernel kernel{simkern::KernelConfig{}};
+    ebpf::Bpf bpf(kernel);
+    auto prog = demo.build(bpf);
+    if (!prog.ok()) {
+      std::fprintf(stderr, "xcheck: build failed: %s\n",
+                   prog.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("demo %s: %s\n", demo.name, demo.blurb);
+    return Analyze(prog.value(), &bpf);
+  }
+  std::fprintf(stderr, "xcheck: unknown demo '%s' (try --list)\n", name);
+  return 2;
+}
+
+int RunFile(const char* path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "xcheck: cannot open %s\n", path);
+    return 2;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(file)),
+                          std::istreambuf_iterator<char>());
+  // Files carry the kernel's packed 8-byte wire format, which is NOT the
+  // in-memory ebpf::Insn layout (that struct widens dst/src to bytes and
+  // pads to 12): decode each record field by field, little-endian.
+  constexpr xbase::usize kWireInsnSize = 8;
+  if (bytes.empty() || bytes.size() % kWireInsnSize != 0) {
+    std::fprintf(stderr,
+                 "xcheck: %s is not a whole number of 8-byte "
+                 "instructions\n",
+                 path);
+    return 2;
+  }
+  ebpf::Program prog;
+  prog.name = path;
+  prog.insns.resize(bytes.size() / kWireInsnSize);
+  for (xbase::usize i = 0; i < prog.insns.size(); ++i) {
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes.data()) +
+                    i * kWireInsnSize;
+    ebpf::Insn& in = prog.insns[i];
+    in.opcode = p[0];
+    in.dst = p[1] & 0x0f;
+    in.src = p[1] >> 4;
+    in.off = static_cast<xbase::s16>(
+        static_cast<xbase::u16>(p[2]) | static_cast<xbase::u16>(p[3]) << 8);
+    in.imm = static_cast<xbase::s32>(
+        static_cast<xbase::u32>(p[4]) | static_cast<xbase::u32>(p[5]) << 8 |
+        static_cast<xbase::u32>(p[6]) << 16 |
+        static_cast<xbase::u32>(p[7]) << 24);
+  }
+  // Analyze against the standard helper registry so helper-arg checking
+  // works on raw files too; the map table is empty (a raw file has no fds
+  // to resolve anyway).
+  simkern::Kernel kernel{simkern::KernelConfig{}};
+  ebpf::Bpf bpf(kernel);
+  return Analyze(prog, &bpf);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--list") == 0) {
+    for (const Demo& demo : Demos()) {
+      std::printf("%-18s %s\n", demo.name, demo.blurb);
+    }
+    return 0;
+  }
+  if (argc == 3 && std::strcmp(argv[1], "--demo") == 0) {
+    return RunDemo(argv[2]);
+  }
+  if (argc == 2 && std::strcmp(argv[1], "--diff") == 0) {
+    auto report = analysis::RunDiffCheck();
+    if (!report.ok()) {
+      std::fprintf(stderr, "xcheck: %s\n",
+                   report.status().ToString().c_str());
+      return 2;
+    }
+    std::fputs(
+        analysis::FormatDiffTable(report.value(), /*machine_readable=*/
+                                  true)
+            .c_str(),
+        stdout);
+    return 0;
+  }
+  if (argc == 2 && argv[1][0] != '-') {
+    return RunFile(argv[1]);
+  }
+  std::fprintf(stderr,
+               "usage: xcheck --list | --demo NAME | --diff | FILE.bin\n");
+  return 2;
+}
