@@ -6,6 +6,7 @@
 // — is checked by the probes themselves being ordinary unbounded C++.
 #include "bench/benchutil.h"
 #include "src/analysis/matrix.h"
+#include "src/core/hooks.h"
 #include "src/xbase/strfmt.h"
 
 namespace {
@@ -51,6 +52,70 @@ ProbeResult RunProbe(const std::string& property, LambdaExt::Body body,
   } else {
     result.mechanism_fired = "no violation possible through the API";
   }
+  return result;
+}
+
+// The "Fault containment / availability" row needs a hook, not a single
+// invocation: a supervised registry carries a persistent panicker next to a
+// healthy policy, and the row reports whether the breaker quarantined the
+// offender while the healthy attachment kept serving.
+ProbeResult RunContainmentProbe() {
+  benchutil::Rig rig;
+  rig.safex_runtime->keyring().Seal();
+  safex::Supervisor supervisor;
+  safex::HookRegistryConfig hook_config;
+  hook_config.supervisor = &supervisor;
+  safex::HookRegistry hooks(rig.bpf, rig.loader, *rig.ext_loader,
+                            hook_config);
+  safex::Toolchain toolchain(*rig.signing_key);
+  auto build = [&toolchain](const char* name, LambdaExt::Body body) {
+    safex::ExtensionManifest manifest;
+    manifest.name = name;
+    manifest.version = "1";
+    return toolchain.Build(
+        manifest,
+        [body]() { return std::make_unique<LambdaExt>(body); },
+        std::span<const xbase::u8>());
+  };
+  auto crasher = build("crasher", [](Ctx& ctx) -> xbase::Result<xbase::u64> {
+    ctx.Panic("always down");
+    return xbase::u64{0};
+  });
+  auto healthy = build("healthy", [](Ctx&) -> xbase::Result<xbase::u64> {
+    return xbase::u64{0};
+  });
+  const auto crasher_id = rig.ext_loader->Load(crasher.value()).value();
+  const auto healthy_id = rig.ext_loader->Load(healthy.value()).value();
+  const auto crasher_attachment =
+      hooks.AttachExtension(safex::HookPoint::kSyscallEnter, crasher_id)
+          .value();
+  (void)hooks.AttachExtension(safex::HookPoint::kSyscallEnter, healthy_id);
+  const simkern::Addr ctx = rig.kernel.mem()
+                                .Map(64, simkern::MemPerm::kReadWrite,
+                                     simkern::RegionKind::kKernelData,
+                                     "tab2ctx")
+                                .value();
+  xbase::u32 healthy_served = 0;
+  const int fires = 20;
+  for (int i = 0; i < fires; ++i) {
+    auto report = hooks.Fire(safex::HookPoint::kSyscallEnter, ctx);
+    if (report.ok() && report.value().served > 0) {
+      ++healthy_served;
+    }
+  }
+  ProbeResult result;
+  result.property = "Fault containment / availability";
+  result.contained =
+      !rig.kernel.crashed() &&
+      supervisor.HealthOf(crasher_attachment) == safex::ExtHealth::kQuarantined &&
+      healthy_served == fires;
+  result.mechanism_fired = xbase::StrFormat(
+      "breaker tripped after %llu failure(s): crasher %s, healthy policy "
+      "served %u/%d fires",
+      static_cast<unsigned long long>(supervisor.failures()),
+      std::string(ExtHealthName(supervisor.HealthOf(crasher_attachment)))
+          .c_str(),
+      healthy_served, fires);
   return result;
 }
 
@@ -140,6 +205,8 @@ int main() {
         return xbase::u64{0};
       },
       {}));
+
+  probes.push_back(RunContainmentProbe());
 
   std::printf("%-36s | %-9s | %s\n", "property probed", "kernel",
               "what stopped the violation");

@@ -24,6 +24,11 @@ const std::vector<SafetyProperty>& SafetyMatrix() {
       {"Stack protection", "Runtime protection",
        "frame-depth guard terminates runaway recursion "
        "(SafexTest.StackGuardTerminatesRunawayRecursion)"},
+      {"Fault containment / availability", "Supervision",
+       "per-attachment circuit breaker attributes every failure, "
+       "quarantines repeat crashers with exponential backoff and keeps "
+       "the hook serving healthy attachments "
+       "(bench/resilience_availability, supervisor_test, tools/chaos)"},
   };
   return kMatrix;
 }

@@ -1,5 +1,7 @@
 #include "src/core/ext.h"
 
+#include <exception>
+
 #include "src/core/panic.h"
 #include "src/xbase/strfmt.h"
 
@@ -58,6 +60,22 @@ InvokeOutcome Runtime::Invoke(Extension& ext, const CapSet& caps,
     if (outcome.panic_reason.rfind("watchdog", 0) == 0) {
       ++watchdog_fires_;
     }
+  } catch (const std::exception& e) {
+    // A foreign exception escaping the extension body is a buggy extension,
+    // not a kernel bug: contain it like a panic so the cleanup registry and
+    // the RCU unlock below still run and the caller's dispatch loop keeps
+    // going (the catch_unwind-at-the-FFI-boundary analogue).
+    outcome.panicked = true;
+    outcome.panic_reason = std::string("foreign exception: ") + e.what();
+    outcome.status = xbase::Terminated(outcome.panic_reason);
+    ++panics_;
+    ++foreign_exceptions_;
+  } catch (...) {
+    outcome.panicked = true;
+    outcome.panic_reason = "foreign exception: non-standard type";
+    outcome.status = xbase::Terminated(outcome.panic_reason);
+    ++panics_;
+    ++foreign_exceptions_;
   }
 
   // Safe termination: release whatever is still recorded, normal exit or

@@ -77,6 +77,7 @@ class Runtime {
   u64 invocations() const { return invocations_; }
   u64 watchdog_fires() const { return watchdog_fires_; }
   u64 panics() const { return panics_; }
+  u64 foreign_exceptions() const { return foreign_exceptions_; }
 
  private:
   Runtime(simkern::Kernel& kernel, ebpf::Bpf& bpf,
@@ -92,6 +93,7 @@ class Runtime {
   u64 invocations_ = 0;
   u64 watchdog_fires_ = 0;
   u64 panics_ = 0;
+  u64 foreign_exceptions_ = 0;
 };
 
 }  // namespace safex

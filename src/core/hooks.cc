@@ -18,9 +18,35 @@ std::string_view HookPointName(HookPoint hook) {
   return "unknown";
 }
 
+namespace {
+
+// Maps an invocation outcome to the failure class the supervisor charges.
+FailureKind ClassifyTermination(const std::string& reason) {
+  if (reason.rfind("watchdog", 0) == 0) {
+    return FailureKind::kWatchdog;
+  }
+  if (reason.rfind("stack guard", 0) == 0) {
+    return FailureKind::kStackOverflow;
+  }
+  if (reason.rfind("foreign exception", 0) == 0) {
+    return FailureKind::kRuntimeError;
+  }
+  return FailureKind::kPanic;
+}
+
+}  // namespace
+
 xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
                                                       xbase::u32 prog_id) {
   XB_RETURN_IF_ERROR(bpf_loader_.Find(prog_id).status());
+  for (const Attachment& attachment : attachments_) {
+    if (attachment.hook == hook && !attachment.is_safex &&
+        attachment.target_id == prog_id) {
+      return xbase::AlreadyExists(xbase::StrFormat(
+          "bpf prog %u already attached to %s", prog_id,
+          HookPointName(hook).data()));
+    }
+  }
   const xbase::u32 id = next_id_++;
   attachments_.push_back(Attachment{id, hook, false, prog_id});
   bpf_.kernel().Printk(xbase::StrFormat("hook %s: bpf prog %u attached",
@@ -32,6 +58,14 @@ xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
 xbase::Result<xbase::u32> HookRegistry::AttachExtension(HookPoint hook,
                                                         xbase::u32 ext_id) {
   XB_RETURN_IF_ERROR(ext_loader_.Find(ext_id).status());
+  for (const Attachment& attachment : attachments_) {
+    if (attachment.hook == hook && attachment.is_safex &&
+        attachment.target_id == ext_id) {
+      return xbase::AlreadyExists(xbase::StrFormat(
+          "safex ext %u already attached to %s", ext_id,
+          HookPointName(hook).data()));
+    }
+  }
   const xbase::u32 id = next_id_++;
   attachments_.push_back(Attachment{id, hook, true, ext_id});
   bpf_.kernel().Printk(xbase::StrFormat("hook %s: safex ext %u attached",
@@ -50,24 +84,53 @@ xbase::Status HookRegistry::Detach(xbase::u32 attachment_id) {
   if (attachments_.size() == before) {
     return xbase::NotFound("no such attachment");
   }
+  if (config_.supervisor != nullptr) {
+    // Detaching while quarantined/evicted is always legal and drops the
+    // health record with the attachment.
+    config_.supervisor->Forget(attachment_id);
+  }
   return xbase::Status::Ok();
 }
 
-xbase::Result<HookFireReport> HookRegistry::Fire(HookPoint hook,
-                                                 simkern::Addr ctx_addr) {
-  HookFireReport report;
-  report.verdict = hook == HookPoint::kXdpIngress ? 2 /* XDP_PASS */ : 0;
+HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
+                                        simkern::Addr ctx_addr) {
+  simkern::Kernel& kernel = bpf_.kernel();
+  HookVerdict verdict;
+  verdict.from_safex = attachment.is_safex;
+  verdict.attachment_id = attachment.id;
 
-  for (const Attachment& attachment : attachments_) {
-    if (attachment.hook != hook) {
-      continue;
+  Supervisor* supervisor = config_.supervisor;
+  const xbase::u64 now = kernel.clock().now_ns();
+  if (supervisor != nullptr) {
+    const AdmitDecision decision = supervisor->Admit(attachment.id, now);
+    verdict.health = decision.health;
+    if (!decision.allow) {
+      verdict.skipped = true;
+      verdict.status = xbase::FailedPrecondition(xbase::StrFormat(
+          "attachment %u %s", attachment.id,
+          std::string(ExtHealthName(decision.health)).c_str()));
+      return verdict;
     }
-    HookVerdict verdict;
-    verdict.from_safex = attachment.is_safex;
-    verdict.attachment_id = attachment.id;
+  }
+
+  // Pre-invocation kernel-state baseline, so anything the attachment leaks
+  // can be attributed, repaired and charged to it afterwards.
+  simkern::RefcountSnapshot refs_before;
+  std::vector<simkern::LockId> locks_before;
+  const int rcu_depth_before = kernel.rcu().depth();
+  if (supervisor != nullptr) {
+    refs_before = kernel.objects().Snapshot();
+    locks_before = kernel.locks().HeldLocks();
+    kernel.BeginExtensionScope(xbase::StrFormat(
+        "%s:%u(%s)", attachment.is_safex ? "ext" : "bpf",
+        attachment.target_id, HookPointName(attachment.hook).data()));
+  }
+
+  try {
     if (attachment.is_safex) {
       InvokeOptions options;
-      options.skb_meta = hook == HookPoint::kXdpIngress ? ctx_addr : 0;
+      options.skb_meta =
+          attachment.hook == HookPoint::kXdpIngress ? ctx_addr : 0;
       auto outcome = ext_loader_.Invoke(attachment.target_id, options);
       if (outcome.ok()) {
         verdict.value = outcome.value().ret;
@@ -89,11 +152,120 @@ xbase::Result<HookFireReport> HookRegistry::Fire(HookPoint hook,
         verdict.status = loaded.status();
       }
     }
+  } catch (...) {
+    // Runtime::Invoke already contains foreign exceptions; this is the
+    // dispatch loop's own belt-and-braces so no conceivable throw can
+    // abort the remaining attachments on the hook.
+    verdict.status =
+        xbase::Terminated("foreign exception escaped attachment dispatch");
+  }
 
-    // Aggregate per hook semantics. A failed attachment contributes no
-    // verdict (fail open for tracing, fail open for XDP like a crashed
-    // program, deny-less for syscalls — the report carries the status).
-    if (verdict.status.ok()) {
+  if (supervisor == nullptr) {
+    return verdict;
+  }
+
+  const xbase::u32 oopses = kernel.EndExtensionScope();
+
+  // Repair what the attachment leaked: balance the RCU read-side section,
+  // force-release locks it still holds, drop references it never put.
+  int rcu_excess = kernel.rcu().depth() - rcu_depth_before;
+  while (rcu_excess-- > 0) {
+    (void)kernel.rcu().ReadUnlock();
+  }
+  xbase::u32 locks_repaired = 0;
+  for (const simkern::LockId lock : kernel.locks().HeldLocks()) {
+    if (std::find(locks_before.begin(), locks_before.end(), lock) ==
+        locks_before.end()) {
+      kernel.locks().ForceRelease(lock);
+      ++locks_repaired;
+    }
+  }
+  xbase::u32 refs_repaired = 0;
+  for (const simkern::RefLeak& leak :
+       kernel.objects().DiffSince(refs_before)) {
+    for (xbase::s64 i = leak.before; i < leak.after; ++i) {
+      if (kernel.objects().Release(leak.id).ok()) {
+        ++refs_repaired;
+      }
+    }
+  }
+
+  // Attribute the outcome. Priority: an on-CPU oops outranks the normal
+  // termination reason, which outranks a repaired leak.
+  const xbase::u64 after = kernel.clock().now_ns();
+  if (oopses > 0 || verdict.status.code() == xbase::Code::kKernelFault) {
+    supervisor->RecordFailure(
+        attachment.id, FailureKind::kOops,
+        verdict.status.ok() ? "oops on extension CPU time"
+                            : verdict.status.message(),
+        after);
+  } else if (verdict.status.code() == xbase::Code::kTerminated) {
+    supervisor->RecordFailure(attachment.id,
+                              ClassifyTermination(verdict.status.message()),
+                              verdict.status.message(), after);
+  } else if (locks_repaired > 0 || refs_repaired > 0) {
+    supervisor->RecordFailure(
+        attachment.id, FailureKind::kResourceLeak,
+        xbase::StrFormat("leaked %u ref(s), %u lock(s); repaired",
+                         refs_repaired, locks_repaired),
+        after);
+    kernel.Printk(xbase::StrFormat(
+        "supervisor: attachment %u leaked %u ref(s) %u lock(s); repaired",
+        attachment.id, refs_repaired, locks_repaired));
+  } else {
+    supervisor->RecordSuccess(attachment.id, after);
+  }
+  verdict.health = supervisor->HealthOf(attachment.id);
+  if (verdict.health == ExtHealth::kQuarantined ||
+      verdict.health == ExtHealth::kEvicted) {
+    kernel.Printk(xbase::StrFormat(
+        "supervisor: attachment %u -> %s (%s)", attachment.id,
+        std::string(ExtHealthName(verdict.health)).c_str(),
+        verdict.status.ok() ? "resource leak" :
+                              verdict.status.message().c_str()));
+  }
+  return verdict;
+}
+
+void HookRegistry::ApplyFallback(HookPoint hook,
+                                 HookFireReport& report) const {
+  if (hook == HookPoint::kXdpIngress &&
+      config_.xdp_fallback_verdict == 1) {
+    report.verdict = 1;  // fail closed: drop the packet
+  }
+  if (hook == HookPoint::kSyscallEnter && config_.syscall_fail_closed &&
+      !report.denied) {
+    report.denied = true;
+    report.verdict = config_.syscall_fallback_errno;
+  }
+}
+
+xbase::Result<HookFireReport> HookRegistry::Fire(HookPoint hook,
+                                                 simkern::Addr ctx_addr) {
+  HookFireReport report;
+  report.verdict = hook == HookPoint::kXdpIngress ? 2 /* XDP_PASS */ : 0;
+
+  // Iterate over a snapshot of ids so nothing an attachment does (and no
+  // repair the supervisor performs) can invalidate the walk.
+  std::vector<xbase::usize> indices;
+  indices.reserve(attachments_.size());
+  for (xbase::usize i = 0; i < attachments_.size(); ++i) {
+    if (attachments_[i].hook == hook) {
+      indices.push_back(i);
+    }
+  }
+  for (const xbase::usize index : indices) {
+    const Attachment attachment = attachments_[index];
+    HookVerdict verdict = RunAttachment(attachment, ctx_addr);
+
+    // Aggregate per hook semantics. A failed attachment contributes the
+    // configured fallback (default: fail open for tracing and XDP,
+    // deny-less for syscalls — the report carries the status).
+    if (verdict.skipped) {
+      ++report.skipped;
+      ApplyFallback(hook, report);
+    } else if (verdict.status.ok()) {
+      ++report.served;
       if (hook == HookPoint::kXdpIngress && verdict.value == 1) {
         report.verdict = 1;  // any DROP wins
       }
@@ -102,6 +274,9 @@ xbase::Result<HookFireReport> HookRegistry::Fire(HookPoint hook,
         report.denied = true;
         report.verdict = verdict.value;
       }
+    } else {
+      ++report.failed;
+      ApplyFallback(hook, report);
     }
     report.verdicts.push_back(std::move(verdict));
   }

@@ -2,11 +2,19 @@
 // Both frameworks attach here — verified eBPF programs and signed safex
 // extensions side by side — so experiments can drive identical event
 // streams through both and compare verdicts, cost and failure modes.
+//
+// Fire isolates attachments from each other: one failing attachment cannot
+// abort or skip the remaining attachments on its hook, and with a
+// Supervisor configured every abnormal outcome (panic, watchdog, stack
+// overflow, attributed oops, resource leak) is charged to the offending
+// attachment, quarantined attachments are skipped, and a configurable
+// fallback verdict stands in for what they would have said.
 #pragma once
 
 #include <vector>
 
 #include "src/core/loader.h"
+#include "src/core/supervisor.h"
 #include "src/ebpf/interp.h"
 #include "src/ebpf/loader.h"
 
@@ -25,6 +33,8 @@ struct HookVerdict {
   xbase::u32 attachment_id = 0;
   xbase::u64 value = 0;
   xbase::Status status;  // non-OK if the program/extension failed
+  bool skipped = false;  // the breaker refused the invocation
+  ExtHealth health = ExtHealth::kHealthy;  // after this fire
 };
 
 struct HookFireReport {
@@ -33,16 +43,37 @@ struct HookFireReport {
   // denied with the first nonzero errno.
   xbase::u64 verdict = 0;
   bool denied = false;
+  // Per-fire accounting (availability measurements key off these).
+  xbase::u32 served = 0;   // ran to completion with an OK status
+  xbase::u32 failed = 0;   // ran but ended with a non-OK status
+  xbase::u32 skipped = 0;  // refused by quarantine/eviction
+};
+
+struct HookRegistryConfig {
+  // Health/containment layer; null runs the unsupervised baseline (one bad
+  // attachment can poison its hook or the kernel, as before).
+  Supervisor* supervisor = nullptr;
+  // Verdict substituted for a failed or skipped XDP attachment:
+  // 2 = XDP_PASS (fail open, the default), 1 = XDP_DROP (fail closed).
+  xbase::u64 xdp_fallback_verdict = 2;
+  // If true, a failed or skipped syscall policy denies with
+  // syscall_fallback_errno instead of failing open.
+  bool syscall_fail_closed = false;
+  xbase::u64 syscall_fallback_errno = 1;  // EPERM
 };
 
 class HookRegistry {
  public:
   HookRegistry(ebpf::Bpf& bpf, ebpf::Loader& bpf_loader,
-               ExtLoader& ext_loader)
-      : bpf_(bpf), bpf_loader_(bpf_loader), ext_loader_(ext_loader) {}
+               ExtLoader& ext_loader, const HookRegistryConfig& config = {})
+      : bpf_(bpf),
+        bpf_loader_(bpf_loader),
+        ext_loader_(ext_loader),
+        config_(config) {}
 
   // Attach a loaded eBPF program / safex extension to a hook. Returns an
-  // attachment id.
+  // attachment id; attaching the same target to the same hook twice is
+  // AlreadyExists.
   xbase::Result<xbase::u32> AttachProgram(HookPoint hook, xbase::u32 prog_id);
   xbase::Result<xbase::u32> AttachExtension(HookPoint hook,
                                             xbase::u32 ext_id);
@@ -53,6 +84,10 @@ class HookRegistry {
   xbase::Result<HookFireReport> Fire(HookPoint hook, simkern::Addr ctx_addr);
 
   xbase::usize AttachedCount(HookPoint hook) const;
+  xbase::usize AttachedCountTotal() const { return attachments_.size(); }
+
+  HookRegistryConfig& config() { return config_; }
+  Supervisor* supervisor() { return config_.supervisor; }
 
  private:
   struct Attachment {
@@ -62,9 +97,17 @@ class HookRegistry {
     xbase::u32 target_id;
   };
 
+  // Runs one attachment, fully contained: never throws, never returns
+  // early, and under supervision repairs any kernel state (refcounts,
+  // locks, RCU depth) the attachment leaked before reporting the failure.
+  HookVerdict RunAttachment(const Attachment& attachment,
+                            simkern::Addr ctx_addr);
+  void ApplyFallback(HookPoint hook, HookFireReport& report) const;
+
   ebpf::Bpf& bpf_;
   ebpf::Loader& bpf_loader_;
   ExtLoader& ext_loader_;
+  HookRegistryConfig config_;
   std::vector<Attachment> attachments_;
   xbase::u32 next_id_ = 1;
 };

@@ -70,6 +70,15 @@ xbase::Result<const LoadedExtension*> ExtLoader::Find(xbase::u32 id) const {
   return &it->second;
 }
 
+xbase::Status ExtLoader::Unload(xbase::u32 id) {
+  if (extensions_.erase(id) == 0) {
+    return xbase::NotFound(xbase::StrFormat("no extension id %u", id));
+  }
+  runtime_.kernel().Printk(
+      xbase::StrFormat("safex: extension %u unloaded", id));
+  return xbase::Status::Ok();
+}
+
 xbase::Result<InvokeOutcome> ExtLoader::Invoke(xbase::u32 id,
                                                const InvokeOptions& options) {
   auto it = extensions_.find(id);

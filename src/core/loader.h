@@ -29,6 +29,10 @@ class ExtLoader {
 
   xbase::Result<const LoadedExtension*> Find(xbase::u32 id) const;
 
+  // Removes a loaded extension. Attachments referring to it must be
+  // detached first (by the caller); later Invoke calls fail with NotFound.
+  xbase::Status Unload(xbase::u32 id);
+
   // Invokes a loaded extension with its manifest's capabilities.
   xbase::Result<InvokeOutcome> Invoke(xbase::u32 id,
                                       const InvokeOptions& options = {});

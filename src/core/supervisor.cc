@@ -1,0 +1,229 @@
+#include "src/core/supervisor.h"
+
+#include "src/xbase/strfmt.h"
+
+namespace safex {
+
+std::string_view FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kPanic:
+      return "panic";
+    case FailureKind::kWatchdog:
+      return "watchdog";
+    case FailureKind::kStackOverflow:
+      return "stack_overflow";
+    case FailureKind::kOops:
+      return "oops";
+    case FailureKind::kResourceLeak:
+      return "resource_leak";
+    case FailureKind::kRuntimeError:
+      return "runtime_error";
+  }
+  return "unknown";
+}
+
+std::string_view ExtHealthName(ExtHealth health) {
+  switch (health) {
+    case ExtHealth::kHealthy:
+      return "healthy";
+    case ExtHealth::kQuarantined:
+      return "quarantined";
+    case ExtHealth::kProbation:
+      return "probation";
+    case ExtHealth::kEvicted:
+      return "evicted";
+  }
+  return "unknown";
+}
+
+AdmitDecision Supervisor::Admit(xbase::u32 attachment_id, xbase::u64 now_ns) {
+  AdmitDecision decision;
+  auto it = records_.find(attachment_id);
+  if (it == records_.end()) {
+    records_[attachment_id].invocations = 1;
+    return decision;
+  }
+  ExtRecord& record = it->second;
+  switch (record.health) {
+    case ExtHealth::kHealthy:
+      break;
+    case ExtHealth::kQuarantined:
+      if (now_ns >= record.quarantined_until_ns) {
+        // Backoff served: half-open the breaker for trial invocations.
+        record.health = ExtHealth::kProbation;
+        record.probation_left = config_.probation_successes;
+        record.quarantined_until_ns = 0;
+        decision.probation_trial = true;
+      } else {
+        decision.allow = false;
+        ++record.skips;
+        ++skips_;
+      }
+      break;
+    case ExtHealth::kProbation:
+      decision.probation_trial = true;
+      break;
+    case ExtHealth::kEvicted:
+      decision.allow = false;
+      ++record.skips;
+      ++skips_;
+      break;
+  }
+  if (decision.allow) {
+    ++record.invocations;
+  }
+  decision.health = record.health;
+  return decision;
+}
+
+void Supervisor::RecordSuccess(xbase::u32 attachment_id, xbase::u64 now_ns) {
+  auto it = records_.find(attachment_id);
+  if (it == records_.end()) {
+    return;
+  }
+  ExtRecord& record = it->second;
+  PruneWindow(record, now_ns);
+  if (record.health == ExtHealth::kProbation && record.probation_left > 0 &&
+      --record.probation_left == 0) {
+    record.health = ExtHealth::kHealthy;
+    record.window.clear();
+    ++readmissions_;
+  }
+}
+
+void Supervisor::RecordFailure(xbase::u32 attachment_id, FailureKind kind,
+                               std::string detail, xbase::u64 now_ns) {
+  ExtRecord& record = records_[attachment_id];
+  if (record.health == ExtHealth::kEvicted) {
+    return;  // nothing left to contain
+  }
+  FailureEvent event{now_ns, kind, std::move(detail)};
+  record.last_failure = event;
+  record.window.push_back(std::move(event));
+  ++record.failures_total;
+  ++record.failures_by_kind[static_cast<xbase::usize>(kind)];
+  ++failures_;
+  PruneWindow(record, now_ns);
+  // A failure during a half-open trial re-trips immediately: the extension
+  // has not earned its way back. Otherwise the sliding-window budget rules.
+  if (record.health == ExtHealth::kProbation ||
+      record.window.size() >= config_.crash_budget) {
+    Trip(attachment_id, record, now_ns);
+  }
+}
+
+void Supervisor::Trip(xbase::u32 /*attachment_id*/, ExtRecord& record,
+                      xbase::u64 now_ns) {
+  ++record.trips;
+  ++trips_;
+  record.window.clear();
+  record.probation_left = 0;
+  if (record.trips >= config_.max_trips) {
+    record.health = ExtHealth::kEvicted;
+    record.quarantined_until_ns = 0;
+    ++evictions_;
+  } else {
+    record.health = ExtHealth::kQuarantined;
+    record.quarantined_until_ns = now_ns + BackoffFor(record.trips);
+  }
+}
+
+void Supervisor::PruneWindow(ExtRecord& record, xbase::u64 now_ns) {
+  const xbase::u64 horizon =
+      now_ns > config_.window_ns ? now_ns - config_.window_ns : 0;
+  while (!record.window.empty() && record.window.front().at_ns < horizon) {
+    record.window.pop_front();
+  }
+}
+
+xbase::u64 Supervisor::BackoffFor(xbase::u32 trips) const {
+  xbase::u64 backoff = config_.base_backoff_ns;
+  for (xbase::u32 i = 1; i < trips; ++i) {
+    if (backoff > config_.max_backoff_ns / config_.backoff_multiplier) {
+      return config_.max_backoff_ns;
+    }
+    backoff *= config_.backoff_multiplier;
+  }
+  return backoff < config_.max_backoff_ns ? backoff : config_.max_backoff_ns;
+}
+
+void Supervisor::Forget(xbase::u32 attachment_id) {
+  auto it = records_.find(attachment_id);
+  if (it == records_.end()) {
+    return;
+  }
+  forgotten_failures_ += it->second.failures_total;
+  forgotten_skips_ += it->second.skips;
+  records_.erase(it);
+}
+
+ExtHealth Supervisor::HealthOf(xbase::u32 attachment_id) const {
+  auto it = records_.find(attachment_id);
+  return it == records_.end() ? ExtHealth::kHealthy : it->second.health;
+}
+
+const ExtRecord* Supervisor::Find(xbase::u32 attachment_id) const {
+  auto it = records_.find(attachment_id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+xbase::Status Supervisor::CheckConsistent(xbase::u64 now_ns) const {
+  xbase::u64 failures = 0;
+  xbase::u64 skips = 0;
+  for (const auto& [id, record] : records_) {
+    failures += record.failures_total;
+    skips += record.skips;
+    switch (record.health) {
+      case ExtHealth::kHealthy:
+        if (record.probation_left != 0) {
+          return xbase::Internal(xbase::StrFormat(
+              "supervisor: healthy attachment %u has probation_left", id));
+        }
+        break;
+      case ExtHealth::kQuarantined:
+        if (record.quarantined_until_ns == 0 || record.trips == 0) {
+          return xbase::Internal(xbase::StrFormat(
+              "supervisor: quarantined attachment %u lacks deadline/trip",
+              id));
+        }
+        break;
+      case ExtHealth::kProbation:
+        if (record.probation_left == 0 ||
+            record.probation_left > config_.probation_successes) {
+          return xbase::Internal(xbase::StrFormat(
+              "supervisor: probation attachment %u counter out of range",
+              id));
+        }
+        break;
+      case ExtHealth::kEvicted:
+        if (record.trips < config_.max_trips) {
+          return xbase::Internal(xbase::StrFormat(
+              "supervisor: attachment %u evicted below max_trips", id));
+        }
+        break;
+    }
+    if (record.trips > config_.max_trips) {
+      return xbase::Internal(xbase::StrFormat(
+          "supervisor: attachment %u tripped past max_trips", id));
+    }
+    xbase::u64 prev = 0;
+    for (const FailureEvent& event : record.window) {
+      if (event.at_ns < prev || event.at_ns > now_ns) {
+        return xbase::Internal(xbase::StrFormat(
+            "supervisor: attachment %u window out of order", id));
+      }
+      prev = event.at_ns;
+    }
+    if (record.window.size() > config_.crash_budget) {
+      return xbase::Internal(xbase::StrFormat(
+          "supervisor: attachment %u window exceeds crash budget", id));
+    }
+  }
+  if (failures + forgotten_failures_ != failures_ ||
+      skips + forgotten_skips_ != skips_) {
+    return xbase::Internal("supervisor: aggregate counters drifted");
+  }
+  return xbase::Status::Ok();
+}
+
+}  // namespace safex

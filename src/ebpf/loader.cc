@@ -70,4 +70,12 @@ xbase::Result<const LoadedProgram*> Loader::Find(u32 id) const {
   return &it->second;
 }
 
+xbase::Status Loader::Unload(u32 id) {
+  if (progs_.erase(id) == 0) {
+    return xbase::NotFound(xbase::StrFormat("no loaded program id %u", id));
+  }
+  bpf_.kernel().Printk(xbase::StrFormat("bpf: prog %u unloaded", id));
+  return xbase::Status::Ok();
+}
+
 }  // namespace ebpf

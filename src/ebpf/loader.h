@@ -44,6 +44,11 @@ class Loader {
 
   xbase::Result<const LoadedProgram*> Find(u32 id) const;
 
+  // Removes a loaded program (prog fd closed, no attachments left). Later
+  // lookups — including tail calls through a stale prog-array slot — fail
+  // with NotFound, matching the kernel's dead-prog behaviour.
+  xbase::Status Unload(u32 id);
+
   xbase::usize size() const { return progs_.size(); }
 
  private:

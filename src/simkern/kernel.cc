@@ -19,13 +19,38 @@ Kernel::Kernel(const KernelConfig& config) : config_(config) {
 }
 
 void Kernel::Oops(const std::string& message) {
-  oopses_.push_back(OopsRecord{clock_.now_ns(), message});
+  OopsRecord record{clock_.now_ns(), message, scope_label_, false};
   Printk("------------[ cut here ]------------");
   Printk(message);
+  if (in_scope_) {
+    Printk("CPU: 0 PID: ext Comm: " + scope_label_);
+  }
   Printk("---[ end trace ]---");
-  if (state_ == KernelState::kRunning) {
+  if (oops_recovery_ && in_scope_ && state_ == KernelState::kRunning) {
+    // Containment path: the incident is on an attributed extension's CPU
+    // time; record it, charge it to the scope, keep the kernel running.
+    record.recovered = true;
+    ++scope_oopses_;
+    Printk("oops contained: attributed to " + scope_label_ +
+           ", kernel keeps running");
+  } else if (state_ == KernelState::kRunning) {
     state_ = KernelState::kOopsed;
   }
+  oopses_.push_back(std::move(record));
+}
+
+void Kernel::BeginExtensionScope(std::string label) {
+  in_scope_ = true;
+  scope_label_ = std::move(label);
+  scope_oopses_ = 0;
+}
+
+xbase::u32 Kernel::EndExtensionScope() {
+  const xbase::u32 raised = scope_oopses_;
+  in_scope_ = false;
+  scope_label_.clear();
+  scope_oopses_ = 0;
+  return raised;
 }
 
 void Kernel::Panic(const std::string& message) {

@@ -41,6 +41,11 @@ struct KernelConfig {
 struct OopsRecord {
   xbase::u64 at_ns;
   std::string message;
+  // Who was on-CPU when the oops was raised ("" = kernel proper). Set from
+  // the extension scope, so a supervisor can attribute the incident to the
+  // offending attachment instead of blaming the hook or the kernel.
+  std::string attribution;
+  bool recovered = false;
 };
 
 class Kernel {
@@ -75,6 +80,24 @@ class Kernel {
   bool crashed() const { return state_ != KernelState::kRunning; }
   const std::vector<OopsRecord>& oopses() const { return oopses_; }
 
+  // --- recoverable-oops plumbing -----------------------------------------
+  // While an extension scope is open *and* oops recovery is enabled, an
+  // oops raised on-CPU is recorded and attributed to the scope's label but
+  // does not transition the kernel out of kRunning: the faulting extension
+  // is killed by its caller (the supervisor), not the whole machine. This
+  // models the containment half of the paper's §3 proposal; a panic is
+  // always fatal regardless.
+  void set_oops_recovery(bool enabled) { oops_recovery_ = enabled; }
+  bool oops_recovery() const { return oops_recovery_; }
+
+  // Opens/closes the attribution scope (one level: extensions do not nest
+  // across hooks). EndExtensionScope returns how many oopses were raised
+  // while the scope was open.
+  void BeginExtensionScope(std::string label);
+  xbase::u32 EndExtensionScope();
+  bool InExtensionScope() const { return in_scope_; }
+  const std::string& extension_scope() const { return scope_label_; }
+
   // --- dmesg -------------------------------------------------------------
   void Printk(const std::string& line);
   const std::deque<std::string>& dmesg() const { return dmesg_; }
@@ -97,6 +120,10 @@ class Kernel {
   KernelState state_ = KernelState::kRunning;
   std::vector<OopsRecord> oopses_;
   std::deque<std::string> dmesg_;
+  bool oops_recovery_ = false;
+  bool in_scope_ = false;
+  std::string scope_label_;
+  xbase::u32 scope_oopses_ = 0;
 };
 
 }  // namespace simkern

@@ -18,12 +18,16 @@ constexpr u64 SplitMix64(u64& state) {
 
 class Rng {
  public:
-  explicit Rng(u64 seed) {
+  explicit Rng(u64 seed) : seed_(seed) {
     u64 sm = seed;
     for (auto& word : state_) {
       word = SplitMix64(sm);
     }
   }
+
+  // The construction seed, kept so tests and harnesses can print it on
+  // failure — replaying that seed reproduces the exact sequence.
+  u64 seed() const { return seed_; }
 
   u64 NextU64() {
     const u64 result = Rotl(state_[1] * 5, 7) * 9;
@@ -64,6 +68,7 @@ class Rng {
     return (x << k) | (x >> (64 - k));
   }
 
+  u64 seed_;
   u64 state_[4];
 };
 

@@ -105,20 +105,23 @@ TEST(CallgraphTest, DistributionMatchesFig3) {
   EXPECT_EQ(summary.min_nodes, 1u);
 }
 
-TEST(MatrixTest, SixPropertiesSplitLanguageVsRuntime) {
+TEST(MatrixTest, PropertiesSplitLanguageRuntimeSupervision) {
   const auto& matrix = SafetyMatrix();
-  ASSERT_EQ(matrix.size(), 6u);
-  int language = 0, runtime = 0;
+  ASSERT_EQ(matrix.size(), 7u);
+  int language = 0, runtime = 0, supervision = 0;
   for (const SafetyProperty& row : matrix) {
     if (row.enforcement == "Language safety") {
       ++language;
     } else if (row.enforcement == "Runtime protection") {
       ++runtime;
+    } else if (row.enforcement == "Supervision") {
+      ++supervision;
     }
     EXPECT_FALSE(row.probe.empty());
   }
-  EXPECT_EQ(language, 3);  // exactly the paper's split
+  EXPECT_EQ(language, 3);  // exactly the paper's split...
   EXPECT_EQ(runtime, 3);
+  EXPECT_EQ(supervision, 1);  // ...plus the availability row beyond it
 }
 
 TEST(WorkloadsTest, AllBuildersProduceVerifiableOrIntentionallyBadProgs) {

@@ -264,6 +264,7 @@ TEST_P(RetirementParityTest, ParseIntMatchesStrtolHelper) {
   auto strtol_fn = bpf.helpers().FindFn(ebpf::kHelperStrtol).value();
 
   xbase::Rng rng(GetParam());
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int trial = 0; trial < 300; ++trial) {
     // Random decimal string with optional sign.
     std::string text;
@@ -326,6 +327,7 @@ TEST_P(RetirementParityTest, StrCmpMatchesStrncmpHelper) {
   auto strncmp_fn = bpf.helpers().FindFn(ebpf::kHelperStrncmp).value();
 
   xbase::Rng rng(GetParam() ^ 0xf00);
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int trial = 0; trial < 300; ++trial) {
     const u32 len = 1 + static_cast<u32>(rng.NextBelow(8));
     std::string s1, s2;

@@ -2,6 +2,8 @@
 // mixed eBPF/safex dispatch over one event stream.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "src/core/hooks.h"
 #include "src/core/toolchain.h"
 #include "src/ebpf/asm.h"
@@ -135,6 +137,51 @@ TEST_F(HooksTest, FailedAttachmentFailsOpenWithStatus) {
   ASSERT_EQ(report.value().verdicts.size(), 1u);
   EXPECT_FALSE(report.value().verdicts[0].status.ok());
   EXPECT_FALSE(kernel_.crashed());
+}
+
+TEST_F(HooksTest, ForeignExceptionCannotAbortRemainingAttachments) {
+  // Regression: an extension body throwing a non-TerminationSignal
+  // exception used to unwind through Runtime::Invoke — skipping the
+  // cleanup registry and the RCU read-side unlock — and abort the hook
+  // walk, so attachments after it were silently never fired.
+  class Thrower : public Extension {
+   public:
+    xbase::Result<xbase::u64> Run(Ctx&) override {
+      throw std::runtime_error("rogue exception");
+    }
+  };
+  Toolchain toolchain(*key_);
+  ExtensionManifest manifest;
+  manifest.name = "thrower";
+  manifest.version = "1";
+  auto artifact = toolchain.Build(
+      manifest, []() { return std::make_unique<Thrower>(); },
+      std::span<const xbase::u8>());
+  const auto thrower_id = ext_loader_->Load(artifact.value()).value();
+  (void)hooks_->AttachExtension(HookPoint::kSyscallEnter, thrower_id);
+  (void)hooks_->AttachExtension(HookPoint::kSyscallEnter, LoadConstExt(13));
+
+  auto report = hooks_->Fire(HookPoint::kSyscallEnter, ctx_);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().verdicts.size(), 2u)
+      << "the attachment after the thrower must still fire";
+  EXPECT_FALSE(report.value().verdicts[0].status.ok());
+  EXPECT_TRUE(report.value().verdicts[1].status.ok());
+  EXPECT_TRUE(report.value().denied) << "the healthy policy still denies";
+  EXPECT_EQ(report.value().verdict, 13u);
+  EXPECT_EQ(runtime_->foreign_exceptions(), 1u);
+  EXPECT_EQ(kernel_.rcu().depth(), 0)
+      << "the contained exception must not leak the RCU read lock";
+  EXPECT_FALSE(kernel_.crashed());
+}
+
+TEST_F(HooksTest, DuplicateAttachmentRejected) {
+  const xbase::u32 prog = LoadConstProg(0);
+  ASSERT_TRUE(hooks_->AttachProgram(HookPoint::kSyscallEnter, prog).ok());
+  auto again = hooks_->AttachProgram(HookPoint::kSyscallEnter, prog);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), xbase::Code::kAlreadyExists);
+  EXPECT_TRUE(hooks_->AttachProgram(HookPoint::kXdpIngress, prog).ok());
 }
 
 }  // namespace

@@ -1,0 +1,342 @@
+// Supervisor tests: circuit-breaker state machine unit tests plus the
+// lifecycle edges through the hook registry — double attach, detach while
+// quarantined, invoke after eviction, re-admission after backoff expiry,
+// and a leak audit across a thousand quarantine/re-admit cycles.
+#include <gtest/gtest.h>
+
+#include "src/core/hooks.h"
+#include "src/core/toolchain.h"
+
+namespace safex {
+namespace {
+
+constexpr xbase::u64 kMs = 1'000'000ULL;
+
+SupervisorConfig TestConfig() {
+  SupervisorConfig config;
+  config.window_ns = 100 * kMs;
+  config.crash_budget = 3;
+  config.base_backoff_ns = 10 * kMs;
+  config.backoff_multiplier = 2;
+  config.max_backoff_ns = 10'000 * kMs;
+  config.probation_successes = 2;
+  config.max_trips = 3;
+  return config;
+}
+
+TEST(SupervisorUnit, TripsWhenCrashBudgetExhaustedInWindow) {
+  Supervisor supervisor(TestConfig());
+  EXPECT_TRUE(supervisor.Admit(1, 0).allow);
+  supervisor.RecordFailure(1, FailureKind::kPanic, "a", 1 * kMs);
+  supervisor.RecordFailure(1, FailureKind::kPanic, "b", 2 * kMs);
+  EXPECT_EQ(supervisor.HealthOf(1), ExtHealth::kHealthy);
+  supervisor.RecordFailure(1, FailureKind::kPanic, "c", 3 * kMs);
+  EXPECT_EQ(supervisor.HealthOf(1), ExtHealth::kQuarantined);
+  EXPECT_EQ(supervisor.trips(), 1u);
+  EXPECT_FALSE(supervisor.Admit(1, 4 * kMs).allow);
+  EXPECT_EQ(supervisor.skips(), 1u);
+  EXPECT_TRUE(supervisor.CheckConsistent(4 * kMs).ok());
+}
+
+TEST(SupervisorUnit, SlidingWindowForgivesOldFailures) {
+  Supervisor supervisor(TestConfig());
+  EXPECT_TRUE(supervisor.Admit(1, 0).allow);
+  supervisor.RecordFailure(1, FailureKind::kPanic, "a", 0);
+  supervisor.RecordFailure(1, FailureKind::kPanic, "b", 1 * kMs);
+  // 200ms later both events have aged out of the 100ms window; two more
+  // failures should not trip.
+  supervisor.RecordFailure(1, FailureKind::kPanic, "c", 200 * kMs);
+  supervisor.RecordFailure(1, FailureKind::kPanic, "d", 201 * kMs);
+  EXPECT_EQ(supervisor.HealthOf(1), ExtHealth::kHealthy);
+  EXPECT_EQ(supervisor.trips(), 0u);
+}
+
+TEST(SupervisorUnit, BackoffDoublesPerTripAndIsCapped) {
+  SupervisorConfig config = TestConfig();
+  config.max_trips = 100;  // keep tripping without eviction
+  config.max_backoff_ns = 35 * kMs;
+  Supervisor supervisor(config);
+  xbase::u64 now = 0;
+  xbase::u64 expected[] = {10 * kMs, 20 * kMs, 35 * kMs, 35 * kMs};
+  for (const xbase::u64 backoff : expected) {
+    (void)supervisor.Admit(1, now);
+    for (xbase::u32 i = 0; i < config.crash_budget; ++i) {
+      supervisor.RecordFailure(1, FailureKind::kPanic, "x", now);
+    }
+    const ExtRecord* record = supervisor.Find(1);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->health, ExtHealth::kQuarantined);
+    EXPECT_EQ(record->quarantined_until_ns - now, backoff);
+    // Serve the backoff, then fail through probation to trip again.
+    now = record->quarantined_until_ns + 1;
+    EXPECT_TRUE(supervisor.Admit(1, now).probation_trial);
+  }
+}
+
+TEST(SupervisorUnit, ProbationSuccessesCloseTheBreaker) {
+  Supervisor supervisor(TestConfig());
+  (void)supervisor.Admit(1, 0);
+  for (xbase::u32 i = 0; i < 3; ++i) {
+    supervisor.RecordFailure(1, FailureKind::kWatchdog, "hog", 1 * kMs);
+  }
+  ASSERT_EQ(supervisor.HealthOf(1), ExtHealth::kQuarantined);
+  // Backoff (10ms) served: half-open trials begin.
+  const xbase::u64 after = 12 * kMs;
+  AdmitDecision trial = supervisor.Admit(1, after);
+  EXPECT_TRUE(trial.allow);
+  EXPECT_TRUE(trial.probation_trial);
+  supervisor.RecordSuccess(1, after);
+  EXPECT_EQ(supervisor.HealthOf(1), ExtHealth::kProbation);
+  supervisor.RecordSuccess(1, after + 1);
+  EXPECT_EQ(supervisor.HealthOf(1), ExtHealth::kHealthy);
+  EXPECT_EQ(supervisor.readmissions(), 1u);
+  EXPECT_TRUE(supervisor.CheckConsistent(after + 2).ok());
+}
+
+TEST(SupervisorUnit, FailureDuringProbationRetripsImmediately) {
+  Supervisor supervisor(TestConfig());
+  (void)supervisor.Admit(1, 0);
+  for (xbase::u32 i = 0; i < 3; ++i) {
+    supervisor.RecordFailure(1, FailureKind::kPanic, "x", 0);
+  }
+  (void)supervisor.Admit(1, 11 * kMs);  // enters probation
+  supervisor.RecordFailure(1, FailureKind::kPanic, "again", 11 * kMs);
+  EXPECT_EQ(supervisor.HealthOf(1), ExtHealth::kQuarantined);
+  EXPECT_EQ(supervisor.trips(), 2u);
+}
+
+TEST(SupervisorUnit, EvictionAfterMaxTripsIsPermanent) {
+  Supervisor supervisor(TestConfig());
+  xbase::u64 now = 0;
+  for (xbase::u32 trip = 0; trip < 3; ++trip) {
+    (void)supervisor.Admit(1, now);
+    for (xbase::u32 i = 0; i < 3; ++i) {
+      supervisor.RecordFailure(1, FailureKind::kPanic, "x", now);
+    }
+    now = supervisor.Find(1)->health == ExtHealth::kEvicted
+              ? now
+              : supervisor.Find(1)->quarantined_until_ns + 1;
+  }
+  EXPECT_EQ(supervisor.HealthOf(1), ExtHealth::kEvicted);
+  EXPECT_EQ(supervisor.evictions(), 1u);
+  // No amount of time re-admits an evicted extension.
+  EXPECT_FALSE(supervisor.Admit(1, now + 1'000'000 * kMs).allow);
+  EXPECT_TRUE(supervisor.CheckConsistent(now + 1'000'000 * kMs).ok());
+}
+
+TEST(SupervisorUnit, PerKindFailureAccounting) {
+  Supervisor supervisor(TestConfig());
+  (void)supervisor.Admit(1, 0);
+  supervisor.RecordFailure(1, FailureKind::kWatchdog, "w", 0);
+  supervisor.RecordFailure(1, FailureKind::kOops, "o", 1);
+  const ExtRecord* record = supervisor.Find(1);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(
+      record->failures_by_kind[static_cast<xbase::usize>(
+          FailureKind::kWatchdog)],
+      1u);
+  EXPECT_EQ(
+      record->failures_by_kind[static_cast<xbase::usize>(FailureKind::kOops)],
+      1u);
+  EXPECT_EQ(record->failures_total, 2u);
+}
+
+// ---- lifecycle edges through the hook registry ---------------------------
+
+// Panics whenever *panic points at true; healthy otherwise.
+class TogglePanicExt : public Extension {
+ public:
+  explicit TogglePanicExt(const bool* panic) : panic_(panic) {}
+  xbase::Result<xbase::u64> Run(Ctx& ctx) override {
+    if (*panic_) {
+      ctx.Panic("toggled failure");
+    }
+    return xbase::u64{0};
+  }
+
+ private:
+  const bool* panic_;
+};
+
+class SupervisedHooksTest : public ::testing::Test {
+ protected:
+  SupervisedHooksTest() : bpf_(kernel_), bpf_loader_(bpf_) {
+    EXPECT_TRUE(kernel_.BootstrapWorkload().ok());
+    kernel_.set_oops_recovery(true);
+    runtime_ = Runtime::Create(kernel_, bpf_).value();
+    key_ = std::make_unique<crypto::SigningKey>(
+        crypto::SigningKey::FromPassphrase("sup", "pw"));
+    (void)runtime_->keyring().Enroll(*key_);
+    ext_loader_ = std::make_unique<ExtLoader>(*runtime_);
+    supervisor_ = std::make_unique<Supervisor>(TestConfig());
+    HookRegistryConfig config;
+    config.supervisor = supervisor_.get();
+    hooks_ = std::make_unique<HookRegistry>(bpf_, bpf_loader_, *ext_loader_,
+                                            config);
+    ctx_ = kernel_.mem()
+               .Map(64, simkern::MemPerm::kReadWrite,
+                    simkern::RegionKind::kKernelData, "supctx")
+               .value();
+  }
+
+  // Swaps in a supervisor with a different config (records are dropped).
+  void Reconfigure(const SupervisorConfig& config) {
+    supervisor_ = std::make_unique<Supervisor>(config);
+    HookRegistryConfig hook_config;
+    hook_config.supervisor = supervisor_.get();
+    hooks_ = std::make_unique<HookRegistry>(bpf_, bpf_loader_, *ext_loader_,
+                                            hook_config);
+  }
+
+  xbase::u32 LoadToggleExt(const bool* panic) {
+    Toolchain toolchain(*key_);
+    ExtensionManifest manifest;
+    manifest.name = "toggle";
+    manifest.version = "1";
+    auto artifact = toolchain.Build(
+        manifest,
+        [panic]() { return std::make_unique<TogglePanicExt>(panic); },
+        std::span<const xbase::u8>());
+    return ext_loader_->Load(artifact.value()).value();
+  }
+
+  // Fires the syscall hook once and returns its report.
+  HookFireReport FireOnce() {
+    return hooks_->Fire(HookPoint::kSyscallEnter, ctx_).value();
+  }
+
+  simkern::Kernel kernel_;
+  ebpf::Bpf bpf_;
+  ebpf::Loader bpf_loader_;
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<crypto::SigningKey> key_;
+  std::unique_ptr<ExtLoader> ext_loader_;
+  std::unique_ptr<Supervisor> supervisor_;
+  std::unique_ptr<HookRegistry> hooks_;
+  simkern::Addr ctx_ = 0;
+  bool panic_flag_ = false;
+};
+
+TEST_F(SupervisedHooksTest, DoubleAttachIsRejected) {
+  const xbase::u32 ext = LoadToggleExt(&panic_flag_);
+  ASSERT_TRUE(hooks_->AttachExtension(HookPoint::kSyscallEnter, ext).ok());
+  auto again = hooks_->AttachExtension(HookPoint::kSyscallEnter, ext);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), xbase::Code::kAlreadyExists);
+  // The same target on a different hook is fine.
+  EXPECT_TRUE(hooks_->AttachExtension(HookPoint::kSchedSwitch, ext).ok());
+}
+
+TEST_F(SupervisedHooksTest, CrashBudgetQuarantinesAndSkips) {
+  panic_flag_ = true;
+  (void)hooks_->AttachExtension(HookPoint::kSyscallEnter,
+                                LoadToggleExt(&panic_flag_));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(FireOnce().failed, 1u);
+  }
+  EXPECT_EQ(supervisor_->trips(), 1u);
+  const HookFireReport report = FireOnce();
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.failed, 0u) << "quarantined: never invoked";
+}
+
+TEST_F(SupervisedHooksTest, DetachWhileQuarantinedDropsTheRecord) {
+  panic_flag_ = true;
+  auto id = hooks_->AttachExtension(HookPoint::kSyscallEnter,
+                                    LoadToggleExt(&panic_flag_));
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 3; ++i) {
+    (void)FireOnce();
+  }
+  const xbase::u32 attachment = id.value();
+  ASSERT_EQ(supervisor_->HealthOf(attachment), ExtHealth::kQuarantined);
+  EXPECT_TRUE(hooks_->Detach(attachment).ok());
+  EXPECT_EQ(supervisor_->Find(attachment), nullptr);
+  EXPECT_TRUE(
+      supervisor_->CheckConsistent(kernel_.clock().now_ns()).ok());
+}
+
+TEST_F(SupervisedHooksTest, InvokeAfterEvictionIsAlwaysSkipped) {
+  panic_flag_ = true;
+  (void)hooks_->AttachExtension(HookPoint::kSyscallEnter,
+                                LoadToggleExt(&panic_flag_));
+  // Fail through every trip: a burst of failures inside one window trips
+  // the breaker, then the advance serves the backoff so the next burst
+  // lands during probation (where one failure re-trips immediately).
+  while (supervisor_->evictions() == 0) {
+    for (int i = 0; i < 3; ++i) {
+      (void)FireOnce();
+    }
+    kernel_.clock().Advance(500 * kMs);
+  }
+  panic_flag_ = false;  // even a now-healthy body stays out
+  for (int i = 0; i < 5; ++i) {
+    kernel_.clock().Advance(10'000 * kMs);
+    const HookFireReport report = FireOnce();
+    EXPECT_EQ(report.skipped, 1u);
+    EXPECT_EQ(report.served, 0u);
+  }
+}
+
+TEST_F(SupervisedHooksTest, ReadmissionAfterBackoffExpiry) {
+  panic_flag_ = true;
+  auto id = hooks_->AttachExtension(HookPoint::kSyscallEnter,
+                                    LoadToggleExt(&panic_flag_));
+  for (int i = 0; i < 3; ++i) {
+    (void)FireOnce();
+  }
+  ASSERT_EQ(supervisor_->HealthOf(id.value()), ExtHealth::kQuarantined);
+  // Still inside the backoff: skipped.
+  EXPECT_EQ(FireOnce().skipped, 1u);
+  // Serve the 10ms backoff; the extension behaves now.
+  panic_flag_ = false;
+  kernel_.clock().Advance(11 * kMs);
+  EXPECT_EQ(FireOnce().served, 1u);  // probation trial 1
+  EXPECT_EQ(supervisor_->HealthOf(id.value()), ExtHealth::kProbation);
+  EXPECT_EQ(FireOnce().served, 1u);  // probation trial 2 closes the breaker
+  EXPECT_EQ(supervisor_->HealthOf(id.value()), ExtHealth::kHealthy);
+  EXPECT_EQ(supervisor_->readmissions(), 1u);
+}
+
+TEST_F(SupervisedHooksTest, LeakAuditAcrossThousandQuarantineCycles) {
+  // Lifetime trips normally evict; raise the ceiling so the breaker can
+  // cycle quarantine -> probation -> healthy a thousand times.
+  SupervisorConfig config = TestConfig();
+  config.max_trips = 2000;
+  Reconfigure(config);
+  panic_flag_ = true;
+  const xbase::u32 ext = LoadToggleExt(&panic_flag_);
+  auto id = hooks_->AttachExtension(HookPoint::kSyscallEnter, ext);
+  ASSERT_TRUE(id.ok());
+  const simkern::RefcountSnapshot baseline = kernel_.objects().Snapshot();
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    // Trip the breaker...
+    panic_flag_ = true;
+    for (int i = 0; i < 3; ++i) {
+      (void)FireOnce();
+    }
+    // ...serve the backoff (exponential, capped at max_backoff_ns),
+    // behave, earn re-admission.
+    panic_flag_ = false;
+    kernel_.clock().Advance(20'000 * kMs);
+    (void)FireOnce();
+    (void)FireOnce();
+    ASSERT_EQ(supervisor_->HealthOf(id.value()), ExtHealth::kHealthy)
+        << "cycle " << cycle;
+    // Old failures must age out rather than accumulate.
+    const ExtRecord* record = supervisor_->Find(id.value());
+    ASSERT_NE(record, nullptr);
+    ASSERT_LE(record->window.size(), 3u);
+  }
+  EXPECT_EQ(supervisor_->readmissions(), 1000u);
+  EXPECT_TRUE(kernel_.objects().DiffSince(baseline).empty())
+      << "quarantine cycling must not leak kernel object references";
+  EXPECT_TRUE(kernel_.locks().HeldLocks().empty());
+  EXPECT_EQ(kernel_.rcu().depth(), 0);
+  EXPECT_TRUE(supervisor_->CheckConsistent(kernel_.clock().now_ns()).ok());
+  EXPECT_EQ(supervisor_->tracked(), 1u)
+      << "one attachment must map to exactly one health record";
+}
+
+}  // namespace
+}  // namespace safex

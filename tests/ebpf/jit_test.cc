@@ -43,6 +43,7 @@ class JitDifferentialTest : public ::testing::TestWithParam<xbase::u64> {};
 
 TEST_P(JitDifferentialTest, ImageMatchesSourceSemantics) {
   xbase::Rng rng(GetParam());
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   int compared = 0;
   for (int trial = 0; trial < 150; ++trial) {
     simkern::Kernel kernel;

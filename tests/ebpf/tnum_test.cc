@@ -91,6 +91,7 @@ class TnumPropertyTest : public ::testing::TestWithParam<u64> {};
 
 TEST_P(TnumPropertyTest, AddSound) {
   xbase::Rng rng(GetParam());
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int i = 0; i < 2000; ++i) {
     const Sample a = RandomSample(rng);
     const Sample b = RandomSample(rng);
@@ -101,6 +102,7 @@ TEST_P(TnumPropertyTest, AddSound) {
 
 TEST_P(TnumPropertyTest, SubSound) {
   xbase::Rng rng(GetParam() ^ 0x5u);
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int i = 0; i < 2000; ++i) {
     const Sample a = RandomSample(rng);
     const Sample b = RandomSample(rng);
@@ -111,6 +113,7 @@ TEST_P(TnumPropertyTest, SubSound) {
 
 TEST_P(TnumPropertyTest, BitwiseSound) {
   xbase::Rng rng(GetParam() ^ 0x77u);
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int i = 0; i < 2000; ++i) {
     const Sample a = RandomSample(rng);
     const Sample b = RandomSample(rng);
@@ -125,6 +128,7 @@ TEST_P(TnumPropertyTest, BitwiseSound) {
 
 TEST_P(TnumPropertyTest, MulSound) {
   xbase::Rng rng(GetParam() ^ 0xabcu);
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int i = 0; i < 500; ++i) {
     const Sample a = RandomSample(rng);
     const Sample b = RandomSample(rng);
@@ -135,6 +139,7 @@ TEST_P(TnumPropertyTest, MulSound) {
 
 TEST_P(TnumPropertyTest, ShiftsSound) {
   xbase::Rng rng(GetParam() ^ 0xddu);
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int i = 0; i < 2000; ++i) {
     const Sample a = RandomSample(rng);
     const u8 shift = static_cast<u8>(rng.NextBelow(64));
@@ -148,6 +153,7 @@ TEST_P(TnumPropertyTest, ShiftsSound) {
 
 TEST_P(TnumPropertyTest, RangeContainsAllMembers) {
   xbase::Rng rng(GetParam() ^ 0x31u);
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int i = 0; i < 2000; ++i) {
     u64 lo = rng.NextU64();
     u64 hi = rng.NextU64();
@@ -162,6 +168,7 @@ TEST_P(TnumPropertyTest, RangeContainsAllMembers) {
 
 TEST_P(TnumPropertyTest, IntersectKeepsCommonMembers) {
   xbase::Rng rng(GetParam() ^ 0x90u);
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int i = 0; i < 2000; ++i) {
     const Sample a = RandomSample(rng);
     // b generated around the same concrete member so intersection is
@@ -175,6 +182,7 @@ TEST_P(TnumPropertyTest, IntersectKeepsCommonMembers) {
 
 TEST_P(TnumPropertyTest, CastSound) {
   xbase::Rng rng(GetParam() ^ 0xc4u);
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int i = 0; i < 2000; ++i) {
     const Sample a = RandomSample(rng);
     for (const u8 size : {1, 2, 4, 8}) {
@@ -186,6 +194,7 @@ TEST_P(TnumPropertyTest, CastSound) {
 
 TEST_P(TnumPropertyTest, InReflectsMembership) {
   xbase::Rng rng(GetParam() ^ 0x1eu);
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   for (int i = 0; i < 2000; ++i) {
     const Sample a = RandomSample(rng);
     // TnumIn(a, const(x)) must be true exactly when a.Contains(x).

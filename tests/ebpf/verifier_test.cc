@@ -634,6 +634,7 @@ Insn RandomInsn(xbase::Rng& rng) {
 
 TEST_P(VerifierSoundnessTest, AcceptedProgramsNeverCrashTheKernel) {
   xbase::Rng rng(GetParam());
+  SCOPED_TRACE(::testing::Message() << "rng seed " << rng.seed());
   int accepted = 0;
   for (int trial = 0; trial < 400; ++trial) {
     simkern::Kernel kernel;
