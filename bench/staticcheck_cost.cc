@@ -3,7 +3,14 @@
 // benches use. The point of comparison: staticcheck is path-INsensitive
 // (merges at joins), so its cost stays flat where the verifier's path
 // enumeration grows with branch count.
+//
+// Default: google-benchmark timing. With `--json PATH` it instead runs a
+// fixed-iteration measurement pass and writes a machine-readable summary
+// (the BENCH_staticcheck.json CI artifact).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
 
 #include "bench/benchutil.h"
 #include "src/analysis/workloads.h"
@@ -85,9 +92,82 @@ void RegisterAll() {
   }
 }
 
+// Fixed-iteration pass writing one JSON object per corpus program: mean
+// verifier and staticcheck wall time, instruction count, finding totals.
+int RunJson(const char* path) {
+  constexpr int kIters = 30;
+  Rig& rig = SharedRig();
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "staticcheck_cost: cannot write %s\n", path);
+    return 2;
+  }
+  const auto mean_ns = [](auto&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      fn();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+               .count() /
+           kIters;
+  };
+
+  std::fprintf(out, "{\n  \"bench\": \"staticcheck_cost\",\n");
+  std::fprintf(out, "  \"iterations\": %d,\n  \"programs\": [\n", kIters);
+  xbase::u64 total_findings = 0;
+  const std::vector<Corpus>& corpus = SharedCorpus();
+  for (xbase::usize i = 0; i < corpus.size(); ++i) {
+    const Corpus& entry = corpus[i];
+    ebpf::VerifyOptions vopts;
+    vopts.version = rig.kernel.version();
+    vopts.faults = &rig.bpf.faults();
+    vopts.kfuncs = &rig.bpf.kfuncs();
+    const long long verify_ns = mean_ns([&] {
+      auto result =
+          ebpf::Verify(entry.prog, rig.bpf.maps(), rig.bpf.helpers(), vopts);
+      benchmark::DoNotOptimize(result);
+    });
+
+    staticcheck::CheckOptions copts;
+    copts.maps = &rig.bpf.maps();
+    copts.helpers = &rig.bpf.helpers();
+    copts.callgraph = &rig.kernel.callgraph();
+    xbase::usize findings = 0;
+    const long long static_ns = mean_ns([&] {
+      auto report = staticcheck::RunChecks(entry.prog, copts);
+      if (report.ok()) {
+        findings = report.value().findings.size();
+      }
+      benchmark::DoNotOptimize(report);
+    });
+    total_findings += findings;
+
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"insns\": %u, "
+                 "\"verify_ns\": %lld, \"staticcheck_ns\": %lld, "
+                 "\"findings\": %zu}%s\n",
+                 entry.name.c_str(), entry.prog.len(), verify_ns, static_ns,
+                 findings, i + 1 < corpus.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"programs_analyzed\": %zu,\n",
+               corpus.size());
+  std::fprintf(out, "  \"total_findings\": %llu\n}\n",
+               static_cast<unsigned long long>(total_findings));
+  std::fclose(out);
+  std::printf("staticcheck_cost: wrote %s (%zu programs)\n", path,
+              corpus.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return RunJson(argv[i + 1]);
+    }
+  }
   RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

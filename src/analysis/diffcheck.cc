@@ -1,5 +1,6 @@
 #include "src/analysis/diffcheck.h"
 
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <string_view>
@@ -86,6 +87,34 @@ std::vector<DiffCase> Cases() {
        true, [](Cell& cell) -> xbase::Result<ebpf::Program> {
          XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("vic", 64, 4));
          return BuildJmp32BoundsExploit(fd);
+       }});
+  cases.push_back(
+      {ebpf::kFaultVerifierAlu32BoundsTrunc, "alu32-trunc-oob",
+       "Out-of-bound access", true,
+       [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("vic", 16, 1));
+         return BuildAlu32TruncExploit(fd);
+       }});
+  cases.push_back(
+      {ebpf::kFaultVerifierSignExtConfusion, "sign-ext-oob",
+       "Out-of-bound access", true,
+       [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("vic", 16, 1));
+         return BuildSignExtExploit(fd);
+       }});
+  cases.push_back(
+      {ebpf::kFaultVerifierJgtOffByOne, "jgt-off-by-one",
+       "Out-of-bound access", true,
+       [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("vic", 16, 1));
+         return BuildJgtOffByOneExploit(fd);
+       }});
+  cases.push_back(
+      {ebpf::kFaultVerifierTnumMulPrecision, "tnum-mul-oob",
+       "Out-of-bound access", true,
+       [](Cell& cell) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, cell.CreateArrayMap("vic", 16, 1));
+         return BuildTnumMulExploit(fd);
        }});
   cases.push_back(
       {ebpf::kFaultVerifierSpinLock, "double-spin-lock", "Deadlock/Hang",
@@ -228,6 +257,45 @@ std::string FormatDiffTable(const DiffReport& report,
     }
   }
   return out;
+}
+
+RangeCompareResult CompareRangeTraces(
+    const ebpf::RangeTrace& staticcheck_trace,
+    const ebpf::RangeTrace& verifier_trace,
+    const std::vector<bool>* executed_pcs) {
+  RangeCompareResult result;
+  const xbase::usize len = staticcheck_trace.per_pc.size() <
+                                   verifier_trace.per_pc.size()
+                               ? staticcheck_trace.per_pc.size()
+                               : verifier_trace.per_pc.size();
+  for (xbase::usize pc = 0; pc < len; ++pc) {
+    if (executed_pcs != nullptr &&
+        (pc >= executed_pcs->size() || !(*executed_pcs)[pc])) {
+      continue;
+    }
+    for (u32 reg = 0; reg < ebpf::kNumRegs; ++reg) {
+      const ebpf::RegClaim& sc = staticcheck_trace.per_pc[pc][reg];
+      const ebpf::RegClaim& ver = verifier_trace.per_pc[pc][reg];
+      if (sc.kind != ebpf::RegClaim::Kind::kScalar ||
+          ver.kind != ebpf::RegClaim::Kind::kScalar) {
+        continue;
+      }
+      ++result.points;
+      // Widths saturate at u64 max; +1 in double space keeps the log
+      // finite and maps equal intervals to exactly log-ratio 0.
+      result.width_ratio_sum +=
+          std::log2(static_cast<double>(sc.Width()) + 1.0) -
+          std::log2(static_cast<double>(ver.Width()) + 1.0);
+      if (ebpf::ClaimsDisjoint(sc, ver)) {
+        ++result.disjoint;
+        if (result.disagreements.size() < 32) {
+          result.disagreements.push_back(
+              {static_cast<u32>(pc), static_cast<xbase::u8>(reg), sc, ver});
+        }
+      }
+    }
+  }
+  return result;
 }
 
 }  // namespace analysis

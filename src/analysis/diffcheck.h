@@ -9,9 +9,11 @@
 // carry the safety argument.
 #pragma once
 
+#include <cmath>
 #include <string>
 #include <vector>
 
+#include "src/ebpf/rangetrace.h"
 #include "src/xbase/status.h"
 #include "src/xbase/types.h"
 
@@ -47,5 +49,48 @@ xbase::Result<DiffReport> RunDiffCheck();
 // Human-readable table; when `machine_readable` also appends one
 // "DIFFCHECK-TSV" line per row for scripts to scrape.
 std::string FormatDiffTable(const DiffReport& report, bool machine_readable);
+
+// ---- instruction-by-instruction range comparison ---------------------------
+
+// One (pc, reg) where the two analyses' scalar claims share no value: a
+// proof that at least one of them is wrong about this program.
+struct RangeDisagreement {
+  xbase::u32 pc = 0;
+  xbase::u8 reg = 0;
+  ebpf::RegClaim staticcheck;
+  ebpf::RegClaim verifier;
+};
+
+struct RangeCompareResult {
+  xbase::u64 points = 0;    // (pc, reg) pairs where both claims are scalar
+  xbase::u64 disjoint = 0;  // of those, provably contradictory pairs
+  // Precision metric: sum over compared points of
+  // log2((staticcheck width + 1) / (verifier width + 1)). Kept in log
+  // space so the mean is geometric — one unknown-vs-constant pair (ratio
+  // 2^64) must not drown every exact match.
+  double width_ratio_sum = 0;
+  std::vector<RangeDisagreement> disagreements;  // first 32, for reports
+
+  // Geometric mean ratio: 1.0 means the path-insensitive intervals match
+  // the verifier's exactly; 2.0 means twice as wide on a typical point.
+  double MeanWidthRatio() const {
+    return points == 0
+               ? 1.0
+               : std::exp2(width_ratio_sum / static_cast<double>(points));
+  }
+};
+
+// Compares staticcheck's range trace against the verifier's, per
+// instruction and register. Claims only count where both analyses visited
+// the pc and agree the register holds a scalar; everything else (pointer,
+// dead code one analysis pruned, ld_imm64 second slots) is skipped.
+// `executed_pcs`, when non-null, restricts comparison to pcs some concrete
+// execution actually reached: claims over never-executed code are vacuous
+// (both analyses may soundly describe the empty set of states in disjoint
+// ways), so only disagreements at reached pcs are real contradictions.
+RangeCompareResult CompareRangeTraces(const ebpf::RangeTrace& staticcheck_trace,
+                                      const ebpf::RangeTrace& verifier_trace,
+                                      const std::vector<bool>* executed_pcs =
+                                          nullptr);
 
 }  // namespace analysis

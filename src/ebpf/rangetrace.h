@@ -1,0 +1,145 @@
+// Per-instruction register range claims, exported by both the verifier
+// (path-sensitive, joined over every explored path) and staticcheck's
+// range dataflow (path-insensitive fixpoint). This header is plain data —
+// no analysis logic — so that staticcheck may include it without touching
+// the verifier it cross-checks (the independence invariant greps only for
+// verifier includes, but keeping this dependency-free keeps the boundary
+// honest).
+//
+// A claim is a *may* statement: "every concrete value this register can
+// hold when execution reaches this pc is admitted". The three consumers:
+//   - analysis/diffcheck compares the two analyses' claims per (pc, reg)
+//     and flags disjoint intervals (at least one analysis must be wrong);
+//   - analysis/rangefuzz checks concrete interpreter register values
+//     against the claims (a value outside a claim is an unsoundness
+//     witness — the CVE-2020-8835 shape);
+//   - tools/xcheck --ranges renders the side-by-side table for humans.
+#pragma once
+
+#include <array>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/ebpf/insn.h"
+#include "src/xbase/strfmt.h"
+#include "src/xbase/types.h"
+
+namespace ebpf {
+
+struct RegClaim {
+  enum class Kind : u8 {
+    kNone,    // pc never reached with this register live
+    kScalar,  // every path reaching here holds a scalar: ranges apply
+    kOther,   // pointer / uninitialized / mixed: ranges unchecked
+  };
+
+  Kind kind = Kind::kNone;
+  u64 umin = 0;
+  u64 umax = ~u64{0};
+  s64 smin = std::numeric_limits<s64>::min();
+  s64 smax = std::numeric_limits<s64>::max();
+  // Known-bits claim (tnum shape): bit i of `bits_mask` set means bit i is
+  // unknown; where clear, bit i equals bit i of `bits_value`.
+  u64 bits_value = 0;
+  u64 bits_mask = ~u64{0};
+
+  // Whether a concrete 64-bit register value satisfies the claim. Only
+  // meaningful for kScalar; other kinds admit everything (unchecked).
+  bool Admits(u64 v) const {
+    if (kind != Kind::kScalar) {
+      return true;
+    }
+    return v >= umin && v <= umax && static_cast<s64>(v) >= smin &&
+           static_cast<s64>(v) <= smax &&
+           ((v ^ bits_value) & ~bits_mask) == 0;
+  }
+
+  // Joins a scalar observation into the claim (union).
+  void JoinScalar(u64 new_umin, u64 new_umax, s64 new_smin, s64 new_smax,
+                  u64 value, u64 mask) {
+    if (kind == Kind::kOther) {
+      return;
+    }
+    if (kind == Kind::kNone) {
+      kind = Kind::kScalar;
+      umin = new_umin;
+      umax = new_umax;
+      smin = new_smin;
+      smax = new_smax;
+      bits_value = value;
+      bits_mask = mask;
+      return;
+    }
+    umin = umin < new_umin ? umin : new_umin;
+    umax = umax > new_umax ? umax : new_umax;
+    smin = smin < new_smin ? smin : new_smin;
+    smax = smax > new_smax ? smax : new_smax;
+    // Tnum union: a bit stays known only where both claims know it and
+    // agree on it.
+    const u64 unknown = bits_mask | mask | (bits_value ^ value);
+    bits_value = bits_value & value & ~unknown;
+    bits_mask = unknown;
+  }
+
+  // Any non-scalar observation (pointer, not-init) poisons the claim:
+  // concrete values can no longer be checked against it.
+  void JoinOther() { kind = Kind::kOther; }
+
+  // Unsigned interval width, saturating at u64 max; the precision metric.
+  u64 Width() const { return umax - umin; }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kNone:
+        return "-";
+      case Kind::kOther:
+        return "nonscalar";
+      case Kind::kScalar:
+        break;
+    }
+    if (umin == umax) {
+      return xbase::StrFormat("{%llu}",
+                              static_cast<unsigned long long>(umin));
+    }
+    return xbase::StrFormat(
+        "u[%llu,%llu] s[%lld,%lld] tnum(%llx/%llx)",
+        static_cast<unsigned long long>(umin),
+        static_cast<unsigned long long>(umax),
+        static_cast<long long>(smin), static_cast<long long>(smax),
+        static_cast<unsigned long long>(bits_value),
+        static_cast<unsigned long long>(bits_mask));
+  }
+};
+
+// Two scalar claims with no common value: at least one analysis is wrong
+// about this register — unless the pc is unreachable, where any claim is
+// vacuously sound (rangefuzz therefore only treats disjointness at
+// concretely-executed pcs as a finding).
+inline bool ClaimsDisjoint(const RegClaim& a, const RegClaim& b) {
+  if (a.kind != RegClaim::Kind::kScalar ||
+      b.kind != RegClaim::Kind::kScalar) {
+    return false;
+  }
+  const u64 lo = a.umin > b.umin ? a.umin : b.umin;
+  const u64 hi = a.umax < b.umax ? a.umax : b.umax;
+  if (lo > hi) {
+    return true;
+  }
+  const s64 slo = a.smin > b.smin ? a.smin : b.smin;
+  const s64 shi = a.smax < b.smax ? a.smax : b.smax;
+  if (slo > shi) {
+    return true;
+  }
+  // Known bits that contradict: both claim to know a bit, differently.
+  return ((a.bits_value ^ b.bits_value) & ~a.bits_mask & ~b.bits_mask) != 0;
+}
+
+struct RangeTrace {
+  std::vector<std::array<RegClaim, kNumRegs>> per_pc;
+
+  void Reset(xbase::usize prog_len) { per_pc.assign(prog_len, {}); }
+  bool empty() const { return per_pc.empty(); }
+};
+
+}  // namespace ebpf

@@ -73,6 +73,23 @@ void RegState::MarkUnknownScalar() {
   type = RegType::kScalar;
 }
 
+// A load of `size` bytes zero-extends into the register, so sub-8-byte
+// loads are bounded by the load width (the kernel's coerce_reg_to_size).
+// Dropping this on the floor is not just imprecision: a W-loaded value
+// the verifier thinks might be negative makes signed-compare edges look
+// feasible that concretely never execute.
+void RegState::MarkScalarLoad(u32 size) {
+  MarkUnknownScalar();
+  if (size < 8) {
+    const u64 max = (u64{1} << (size * 8)) - 1;
+    umin = 0;
+    umax = max;
+    smin = 0;
+    smax = static_cast<s64>(max);
+    var_off = Tnum{0, max};
+  }
+}
+
 void RegState::MarkConst(u64 value) {
   *this = RegState{};
   type = RegType::kScalar;
@@ -219,6 +236,7 @@ class Verifier {
                     bool is32);
   void MarkPtrOrNull(VerifierState& state, u32 id, bool is_null);
   void FindGoodPktPointers(FuncState& frame, u32 pkt_id, u32 range);
+  void RecordRangeTrace(const VerifierState& state, u32 pc);
 
   bool StatesEqual(const VerifierState& old_state,
                    const VerifierState& new_state) const;
@@ -413,6 +431,11 @@ xbase::Status Verifier::ApplyScalarAlu(RegState& dst, const RegState& src,
                                        u8 op, bool is64, u32 pc) {
   Tnum a = dst.var_off;
   Tnum b = src.var_off;
+  // Pre-op operand bounds: the 32-bit truncation epilogue below needs to
+  // know whether the operands already fit in 32 bits (dst is overwritten
+  // by then, and src may alias dst).
+  const u64 dst_umax_in = dst.umax;
+  const u64 src_umax_in = src.umax;
   if (!is64) {
     a = TnumCast(a, 4);
     b = TnumCast(b, 4);
@@ -452,7 +475,14 @@ xbase::Status Verifier::ApplyScalarAlu(RegState& dst, const RegState& src,
       break;
     }
     case BPF_MUL:
-      dst.var_off = TnumMul(a, b);
+      if (FaultOn(kFaultVerifierTnumMulPrecision)) {
+        // Buggy: multiplies the known values and only ORs the uncertainty
+        // masks, dropping the cross terms — bits the product can flip are
+        // recorded as known (tnum_mul rewrite class).
+        dst.var_off = Tnum{a.value * b.value, a.mask | b.mask};
+      } else {
+        dst.var_off = TnumMul(a, b);
+      }
       if (dst.umax <= 0xffffffff && src.umax <= 0xffffffff) {
         new_umin = dst.umin * src.umin;
         new_umax = dst.umax * src.umax;
@@ -527,8 +557,12 @@ xbase::Status Verifier::ApplyScalarAlu(RegState& dst, const RegState& src,
       dst.var_off = TnumRshift(a, shift);
       new_umin = dst.umin >> shift;
       new_umax = dst.umax >> shift;
-      new_smin = 0;
-      new_smax = static_cast<s64>(new_umax);
+      // A shift of zero leaves bit 63 in place, so the result is only
+      // provably non-negative for shift >= 1 (where umax <= s64 max).
+      if (shift > 0) {
+        new_smin = 0;
+        new_smax = static_cast<s64>(new_umax);
+      }
       break;
     }
     case BPF_ARSH: {
@@ -551,10 +585,63 @@ xbase::Status Verifier::ApplyScalarAlu(RegState& dst, const RegState& src,
   dst.umax = new_umax;
   if (!is64) {
     dst.var_off = TnumCast(dst.var_off, 4);
-    dst.umin = 0;
-    dst.umax = std::min<u64>(dst.umax, 0xffffffff);
-    dst.smin = 0;
-    dst.smax = std::min<s64>(std::max<s64>(dst.smax, 0), 0xffffffff);
+    if (FaultOn(kFaultVerifierAlu32BoundsTrunc)) {
+      // Buggy (CVE-2020-8835 shape): the 64-bit bounds are truncated
+      // modulo 2^32 instead of being widened to the full 32-bit range, so
+      // a wrapped 32-bit result keeps a deceptively narrow interval.
+      dst.umin &= 0xffffffff;
+      dst.umax &= 0xffffffff;
+      if (dst.umin > dst.umax) {
+        dst.umin = 0;
+      }
+      dst.smin = static_cast<s64>(dst.umin);
+      dst.smax = static_cast<s64>(dst.umax);
+    } else {
+      // Sound zero-extension: the result is the low 32 bits of the
+      // value. The interval computed above bounds the *64-bit* op
+      // result; it transfers to the truncated result only when the
+      // interval already sits inside [0, 2^32) (so truncation is the
+      // identity on every admitted value) AND the 32-bit op agrees with
+      // the 64-bit op on the operands actually seen.
+      bool keep = new_umin <= new_umax && new_umax <= 0xffffffff;
+      switch (op) {
+        case BPF_ADD:
+        case BPF_SUB:
+        case BPF_MUL:
+        case BPF_AND:
+        case BPF_OR:
+        case BPF_XOR:
+        case BPF_LSH:
+          // low32(op64(x, y)) == op32(low32(x), low32(y)) for these, so
+          // a 64-bit result interval inside [0, 2^32) pins the result.
+          break;
+        case BPF_RSH:
+        case BPF_DIV:
+        case BPF_MOD:
+          // Not truncation-compatible: high operand bits change the low
+          // result bits. Agreement only when both operands fit in u32.
+          keep = keep && dst_umax_in <= 0xffffffff &&
+                 src_umax_in <= 0xffffffff;
+          break;
+        default:
+          // ARSH and anything else: the 32-bit sign bit is bit 31, not
+          // bit 63, so the 64-bit signed bounds say nothing about the
+          // 32-bit result (ARSH above set only smin/smax anyway, which
+          // leaves `keep` false via new_umax == kU64Max).
+          keep = false;
+          break;
+      }
+      if (keep) {
+        dst.umin = new_umin;
+        dst.umax = new_umax;
+      } else {
+        dst.umin = 0;
+        dst.umax = 0xffffffff;
+      }
+      // A zero-extended value is non-negative: signed view == unsigned.
+      dst.smin = static_cast<s64>(dst.umin);
+      dst.smax = static_cast<s64>(dst.umax);
+    }
   }
   dst.SyncBounds();
   return xbase::Status::Ok();
@@ -652,8 +739,12 @@ xbase::Status Verifier::CheckAlu(VerifierState& state, const Insn& insn,
     if (dst.type == RegType::kNotInit) {
       return Reject(pc, StrFormat("R%d !read_ok", insn.dst));
     }
-    dst.MarkUnknownScalar();
-    return xbase::Status::Ok();
+    // -x == 0 - x: reuse the subtraction transfer so constants stay
+    // constants (dropping to unknown here loses the equality facts later
+    // conditional jumps need to kill infeasible edges).
+    RegState val = dst;
+    dst.MarkConst(0);
+    return ApplyScalarAlu(dst, val, BPF_SUB, is64, pc);
   }
 
   // Operand.
@@ -689,6 +780,10 @@ xbase::Status Verifier::CheckAlu(VerifierState& state, const Insn& insn,
         dst.smax = 0xffffffff;
         dst.SyncBounds();
       }
+    } else if (!is64 && FaultOn(kFaultVerifierSignExtConfusion)) {
+      // Buggy (CVE-2017-16995 shape): records the sign-extended 64-bit
+      // constant for a 32-bit move although the runtime zero-extends.
+      dst.MarkConst(static_cast<u64>(static_cast<s64>(insn.imm)));
     } else {
       dst.MarkConst(is64 ? static_cast<u64>(static_cast<s64>(insn.imm))
                          : static_cast<u32>(insn.imm));
@@ -792,7 +887,7 @@ xbase::Status Verifier::CheckStackAccess(FuncState& frame,
     }
   }
   if (load_dest != nullptr) {
-    load_dest->MarkUnknownScalar();
+    load_dest->MarkScalarLoad(size);
   }
   return xbase::Status::Ok();
 }
@@ -855,7 +950,7 @@ xbase::Status Verifier::CheckMemAccess(VerifierState& state, u8 regno,
             return xbase::Status::Ok();
           }
         }
-        load_dest->MarkUnknownScalar();
+        load_dest->MarkScalarLoad(size);
         if (off == simkern::SkBuffLayout::kLen && size == 4) {
           load_dest->umin = 0;
           load_dest->umax = 0xffff;
@@ -895,7 +990,7 @@ xbase::Status Verifier::CheckMemAccess(VerifierState& state, u8 regno,
                                     static_cast<long long>(max_off), size));
       }
       if (!is_write && load_dest != nullptr) {
-        load_dest->MarkUnknownScalar();
+        load_dest->MarkScalarLoad(size);
       }
       return xbase::Status::Ok();
     }
@@ -907,7 +1002,7 @@ xbase::Status Verifier::CheckMemAccess(VerifierState& state, u8 regno,
                                     base.mem_size));
       }
       if (!is_write && load_dest != nullptr) {
-        load_dest->MarkUnknownScalar();
+        load_dest->MarkScalarLoad(size);
       }
       return xbase::Status::Ok();
     }
@@ -923,7 +1018,7 @@ xbase::Status Verifier::CheckMemAccess(VerifierState& state, u8 regno,
                                     regno, base.pkt_range));
       }
       if (!is_write && load_dest != nullptr) {
-        load_dest->MarkUnknownScalar();
+        load_dest->MarkScalarLoad(size);
       }
       return xbase::Status::Ok();
     }
@@ -941,7 +1036,7 @@ xbase::Status Verifier::CheckMemAccess(VerifierState& state, u8 regno,
         return Reject(pc, "out-of-bounds access to kernel structure");
       }
       if (load_dest != nullptr) {
-        load_dest->MarkUnknownScalar();
+        load_dest->MarkScalarLoad(size);
       }
       return xbase::Status::Ok();
     }
@@ -1491,28 +1586,47 @@ void Verifier::RefineScalar(RegState& reg, u8 jmp_op, u64 imm,
   // 32-bit compares refine 64-bit state only when the upper bits are known
   // zero — unless the jmp32-bounds defect is injected, which applies the
   // (unsound) 64-bit refinement unconditionally: the commit 3844d153 bug.
-  if (is32) {
+  if (is32 && !FaultOn(kFaultVerifierJmp32Bounds)) {
     const bool upper_known_zero =
         (reg.var_off.mask >> 32) == 0 && (reg.var_off.value >> 32) == 0;
-    if (!upper_known_zero && !FaultOn(kFaultVerifierJmp32Bounds)) {
+    if (!upper_known_zero) {
       return;  // sound: nothing to conclude about the 64-bit value
     }
+    // Signed 32-bit compares additionally need bit 31 known zero (and a
+    // non-negative immediate): otherwise the s32 view the branch tested
+    // disagrees with the s64 bounds tracked here, and refining them
+    // manufactures bounds the runtime value escapes.
+    if (jmp_op == BPF_JSGT || jmp_op == BPF_JSGE || jmp_op == BPF_JSLT ||
+        jmp_op == BPF_JSLE) {
+      const bool bit31_known_zero =
+          ((reg.var_off.mask | reg.var_off.value) & 0x80000000u) == 0;
+      if (!bit31_known_zero || static_cast<s32>(imm) < 0) {
+        return;
+      }
+    }
   }
-  const s64 simm = is32 ? static_cast<s64>(static_cast<s32>(imm))
+  // Equality against a 32-bit immediate pins the *zero-extended* 64-bit
+  // value (the upper-known-zero guard above already ran); sign-extending
+  // here would claim a negative s64 for a value that is provably positive.
+  const s64 simm = is32 ? ((jmp_op == BPF_JEQ || jmp_op == BPF_JNE)
+                               ? static_cast<s64>(imm)
+                               : static_cast<s64>(static_cast<s32>(imm)))
                         : static_cast<s64>(imm);
 
   switch (jmp_op) {
     case BPF_JEQ:
-      if (branch_taken) {
-        reg.var_off = TnumIntersect(reg.var_off, TnumConst(imm));
-        reg.umin = std::max(reg.umin, imm);
-        reg.umax = std::min(reg.umax, imm);
-        reg.smin = std::max(reg.smin, simm);
-        reg.smax = std::min(reg.smax, simm);
-      }
-      break;
     case BPF_JNE:
-      if (!branch_taken) {
+      // JEQ-taken and JNE-fallthrough both pin the register to `imm`.
+      if (branch_taken == (jmp_op == BPF_JEQ)) {
+        if (((reg.var_off.value ^ imm) & ~reg.var_off.mask) != 0) {
+          // The pinned value contradicts a known bit: this edge is
+          // infeasible. TnumIntersect would silently produce garbage
+          // here, so express the contradiction as an empty interval for
+          // the caller's feasibility check instead.
+          reg.umin = 1;
+          reg.umax = 0;
+          return;
+        }
         reg.var_off = TnumIntersect(reg.var_off, TnumConst(imm));
         reg.umin = std::max(reg.umin, imm);
         reg.umax = std::min(reg.umax, imm);
@@ -1523,6 +1637,10 @@ void Verifier::RefineScalar(RegState& reg, u8 jmp_op, u64 imm,
     case BPF_JGT:
       if (branch_taken) {
         reg.umin = std::max(reg.umin, imm + 1);
+      } else if (FaultOn(kFaultVerifierJgtOffByOne) && imm > 0) {
+        // Buggy: the fall-through edge proves dst <= imm, but this claims
+        // dst <= imm - 1 — one admitted value short (Table-1 bounds class).
+        reg.umax = std::min(reg.umax, imm - 1);
       } else {
         reg.umax = std::min(reg.umax, imm);
       }
@@ -1987,6 +2105,7 @@ xbase::Status Verifier::ExplorePaths() {
             insn_budget_, opts_.version.ToString().c_str()));
       }
 
+      RecordRangeTrace(state, pc);
       u32 next_pc = pc;
       XB_RETURN_IF_ERROR(Step(state, pc, path_done, next_pc));
       pc = next_pc;
@@ -1995,10 +2114,35 @@ xbase::Status Verifier::ExplorePaths() {
   return xbase::Status::Ok();
 }
 
+// Joins the current frame's registers into the per-pc claims. Recording
+// the *active* frame matches the concrete interpreter, whose tracer also
+// reports the executing frame's registers at each global pc.
+void Verifier::RecordRangeTrace(const VerifierState& state, u32 pc) {
+  if (opts_.range_trace == nullptr ||
+      pc >= opts_.range_trace->per_pc.size()) {
+    return;
+  }
+  std::array<RegClaim, kNumRegs>& claims = opts_.range_trace->per_pc[pc];
+  const FuncState& frame = state.frames.back();
+  for (int r = 0; r < kNumRegs; ++r) {
+    const RegState& reg = frame.regs[r];
+    if (reg.type == RegType::kScalar) {
+      claims[static_cast<xbase::usize>(r)].JoinScalar(
+          reg.umin, reg.umax, reg.smin, reg.smax, reg.var_off.value,
+          reg.var_off.mask);
+    } else {
+      claims[static_cast<xbase::usize>(r)].JoinOther();
+    }
+  }
+}
+
 xbase::Result<VerifyResult> Verifier::Run() {
   const auto start = std::chrono::steady_clock::now();
   insn_budget_ = InsnBudgetAtVersion(opts_.version);
   stats_.prog_len = prog_.len();
+  if (opts_.range_trace != nullptr) {
+    opts_.range_trace->Reset(prog_.len());
+  }
 
   XB_RETURN_IF_ERROR(CheckCfg());
 

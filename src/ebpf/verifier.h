@@ -20,6 +20,7 @@
 #include "src/ebpf/kfunc.h"
 #include "src/ebpf/map.h"
 #include "src/ebpf/prog.h"
+#include "src/ebpf/rangetrace.h"
 #include "src/ebpf/tnum.h"
 #include "src/ebpf/verifier_features.h"
 #include "src/simkern/version.h"
@@ -79,6 +80,8 @@ struct RegState {
   bool operator==(const RegState&) const = default;
 
   void MarkUnknownScalar();
+  // Unknown scalar bounded by a zero-extending load of `size` bytes.
+  void MarkScalarLoad(u32 size);
   void MarkConst(u64 value);
   bool IsConst() const { return type == RegType::kScalar && var_off.IsConst(); }
 
@@ -137,6 +140,11 @@ struct VerifyOptions {
   // but never prune against completed paths. Exposes what states_equal
   // pruning buys (bench/ablation_pruning).
   bool disable_pruning = false;
+  // When set, every explored (pc, register) pair joins its scalar claim
+  // here: the verifier's side of the range differential oracle. Reset to
+  // the program length by Verify itself. Pruning keeps the trace sound:
+  // pruned states are subsumed by a stored state that was walked.
+  RangeTrace* range_trace = nullptr;
 };
 
 struct VerifyStats {

@@ -17,6 +17,7 @@
 #include "src/ebpf/helper.h"
 #include "src/ebpf/map.h"
 #include "src/ebpf/prog.h"
+#include "src/ebpf/rangetrace.h"
 #include "src/simkern/callgraph.h"
 #include "src/xbase/status.h"
 
@@ -66,6 +67,10 @@ struct CheckOptions {
   // Helpers whose kernel call graph reaches at least this many functions
   // are treated as deadlock-capable when invoked under a held spin lock.
   xbase::usize lock_reach_threshold = 30;
+  // When set, the dataflow pass records its per-instruction register range
+  // claims here (for diffcheck/rangefuzz cross-checking against the
+  // verifier's trace).
+  ebpf::RangeTrace* range_trace = nullptr;
 };
 
 // Runs every pass. Fails (InvalidArgument) only on programs too malformed

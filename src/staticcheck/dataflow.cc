@@ -31,7 +31,37 @@ AbsVal ConstVal(u64 value) {
   AbsVal val;
   val.kind = VK::kConst;
   val.cval = value;
+  val.rng = RangeVal::Const(value);
   return val;
+}
+
+bool IsScalarKind(VK kind) { return kind == VK::kTop || kind == VK::kConst; }
+
+// The range claim of a scalar abstract value (Unknown for anything else,
+// so callers stay sound without checking kinds twice).
+RangeVal RngOf(const AbsVal& v) {
+  if (v.kind == VK::kConst) {
+    return RangeVal::Const(v.cval);
+  }
+  if (v.kind == VK::kTop) {
+    return v.rng;
+  }
+  return RangeVal::Unknown();
+}
+
+// Installs a (refined) range into a scalar value, upgrading to kConst when
+// the range pins a single value.
+void SetScalarRng(AbsVal& reg, const RangeVal& rng) {
+  if (reg.kind == VK::kConst) {
+    return;  // already width zero; refinement cannot narrow further
+  }
+  if (rng.IsConst()) {
+    reg = ConstVal(rng.umin);
+    return;
+  }
+  if (reg.kind == VK::kTop) {
+    reg.rng = rng;
+  }
 }
 
 // Join of two abstract values (least upper bound, approximately).
@@ -58,6 +88,16 @@ AbsVal MergeVal(const AbsVal& a, const AbsVal& b) {
   if (IsPointerKind(b.kind) && a.kind == VK::kConst && a.cval == 0) {
     return null_merge(b);
   }
+  // Scalars (known-constant or not) keep a joined numeric range instead of
+  // degrading to a bare kTop.
+  if (IsScalarKind(a.kind) && IsScalarKind(b.kind)) {
+    AbsVal out = TopVal();
+    out.rng = RangeJoin(RngOf(a), RngOf(b));
+    if (out.rng.IsConst()) {
+      out = ConstVal(out.rng.umin);
+    }
+    return out;
+  }
   if (a.kind != b.kind) {
     return TopVal();
   }
@@ -66,9 +106,6 @@ AbsVal MergeVal(const AbsVal& a, const AbsVal& b) {
   out.var_off = a.var_off || b.var_off;
   out.off_min = std::min(a.off_min, b.off_min);
   out.off_max = std::max(a.off_max, b.off_max);
-  if (a.kind == VK::kConst && a.cval != b.cval) {
-    return TopVal();
-  }
   if (a.map_fd != b.map_fd) {
     // Pointer into one of several maps: bounds can no longer be checked.
     out.map_fd = -1;
@@ -88,6 +125,8 @@ AbsVal MergeVal(const AbsVal& a, const AbsVal& b) {
 DfState MergeState(const DfState& a, const DfState& b, bool widen) {
   DfState out;
   out.valid = true;
+  // Dead only while *every* incoming edge is range-infeasible.
+  out.range_dead = a.range_dead && b.range_dead;
   for (int i = 0; i < ebpf::kNumRegs; ++i) {
     out.regs[i] = MergeVal(a.regs[i], b.regs[i]);
     if (widen && IsPointerKind(out.regs[i].kind) &&
@@ -100,6 +139,12 @@ DfState MergeState(const DfState& a, const DfState& b, bool widen) {
     if (widen && out.regs[i].kind == VK::kConst &&
         out.regs[i] != a.regs[i]) {
       out.regs[i] = TopVal();
+    }
+    // Ranges form infinite ascending chains; a still-growing range at a
+    // widening point jumps straight to Unknown so loops converge.
+    if (widen && out.regs[i].kind == VK::kTop &&
+        !(RngOf(out.regs[i]) == RngOf(a.regs[i]))) {
+      out.regs[i].rng = RangeVal::Unknown();
     }
   }
   for (xbase::usize i = 0; i < out.stack_init.size(); ++i) {
@@ -197,6 +242,7 @@ class Dataflow {
   void Transfer(DfState& state, u32 pc);
   void CheckExit(const DfState& state, u32 pc);
   void Propagate(u32 block, DfState&& out);
+  void RecordTrace();
   // Applies NULL refinement for `id`: on the null side the pointer becomes
   // the constant 0 and its acquire obligation disappears.
   static void RefineNull(DfState& state, u32 id, bool is_null);
@@ -586,18 +632,28 @@ void Dataflow::TransferAlu(DfState& state, const Insn& insn, u32 pc) {
 
   if (op == ebpf::BPF_END) {
     Use(state, dst, pc);
-    WriteReg(state, dst, TopVal(), pc);
+    AbsVal out = TopVal();
+    // Whatever the byte order, the result fits the swap width.
+    if (insn.imm == 16) {
+      out.rng = RangeVal::FromU(0, 0xffff);
+    } else if (insn.imm == 32) {
+      out.rng = RangeVal::FromU(0, 0xffffffffu);
+    }
+    WriteReg(state, dst, std::move(out), pc);
     return;
   }
   if (op == ebpf::BPF_NEG) {
     Use(state, dst, pc);
     AbsVal& reg = state.regs[dst];
     AbsVal out = TopVal();
-    if (reg.kind == VK::kConst) {
-      const u64 value = ~reg.cval + 1;
-      out = ConstVal(is64 ? value : (value & 0xffffffffu));
+    if (IsScalarKind(reg.kind)) {
+      out.rng =
+          RangeAlu(ebpf::BPF_SUB, RangeVal::Const(0), RngOf(reg), is64);
+      if (out.rng.IsConst()) {
+        out = ConstVal(out.rng.umin);
+      }
     }
-    WriteReg(state, dst, out, pc);
+    WriteReg(state, dst, std::move(out), pc);
     return;
   }
 
@@ -616,9 +672,10 @@ void Dataflow::TransferAlu(DfState& state, const Insn& insn, u32 pc) {
     if (!is64) {
       // A 32-bit move truncates: pointers degrade to scalars.
       if (out.kind == VK::kConst) {
-        out.cval &= 0xffffffffu;
+        out = ConstVal(src.cval & 0xffffffffu);
       } else {
         out = TopVal();
+        out.rng = RangeCast32(RngOf(src));
       }
     }
     WriteReg(state, dst, std::move(out), pc);
@@ -639,7 +696,21 @@ void Dataflow::TransferAlu(DfState& state, const Insn& insn, u32 pc) {
     } else if (IsPointerKind(src.kind)) {
       out = TopVal();  // ptr - ptr is a scalar distance
     } else {
-      out.var_off = true;  // unknown scalar folded into the offset
+      // A *bounded* unknown scalar folds into the offset interval, so the
+      // downstream map-value / kMem bounds checks see the refined range
+      // instead of a kind-only var_off giveup.
+      const RangeVal sr = RngOf(src);
+      // Wide enough to keep a full u32-range index foldable (the
+      // CVE-2020-8835 witness needs [0, 2^32-1] to stay an interval, not
+      // a var_off giveup); accumulated offsets stay far below s64 range.
+      constexpr s64 kFoldLimit = s64{1} << 33;
+      if (src.kind == VK::kTop && sr.smin >= -kFoldLimit &&
+          sr.smax <= kFoldLimit) {
+        out.off_min += op == ebpf::BPF_ADD ? sr.smin : -sr.smax;
+        out.off_max += op == ebpf::BPF_ADD ? sr.smax : -sr.smin;
+      } else {
+        out.var_off = true;  // unbounded scalar poisons the offset
+      }
     }
     WriteReg(state, dst, std::move(out), pc);
     return;
@@ -682,6 +753,17 @@ void Dataflow::TransferAlu(DfState& state, const Insn& insn, u32 pc) {
       return;
     }
   }
+  // Scalar-scalar arithmetic flows through the range domain (const-const
+  // was folded exactly above).
+  if (IsScalarKind(lhs.kind) && IsScalarKind(src.kind)) {
+    AbsVal out = TopVal();
+    out.rng = RangeAlu(op, RngOf(lhs), RngOf(src), is64);
+    if (out.rng.IsConst()) {
+      out = ConstVal(out.rng.umin);
+    }
+    WriteReg(state, dst, std::move(out), pc);
+    return;
+  }
   WriteReg(state, dst, TopVal(), pc);
 }
 
@@ -716,9 +798,15 @@ void Dataflow::Transfer(DfState& state, u32 pc) {
     }
     case ebpf::BPF_LDX: {
       Use(state, insn.src, pc);
-      CheckMemAccess(state, state.regs[insn.src], insn.off,
-                     ebpf::SizeBytes(insn.Size()), /*is_write=*/false, pc);
-      WriteReg(state, insn.dst, TopVal(), pc);
+      const u32 bytes = ebpf::SizeBytes(insn.Size());
+      CheckMemAccess(state, state.regs[insn.src], insn.off, bytes,
+                     /*is_write=*/false, pc);
+      AbsVal out = TopVal();
+      if (bytes < 8) {
+        // Sub-word loads zero-extend: the result fits the load width.
+        out.rng = RangeVal::FromU(0, (u64{1} << (bytes * 8)) - 1);
+      }
+      WriteReg(state, insn.dst, std::move(out), pc);
       return;
     }
     case ebpf::BPF_ST: {
@@ -884,6 +972,36 @@ DataflowResult Dataflow::Run() {
       RefineNull(taken, dst.id, op == ebpf::BPF_JEQ);
       RefineNull(fall, dst.id, op == ebpf::BPF_JNE);
     }
+    // Range refinement on scalar comparands along both edges. An edge the
+    // refinement proves infeasible still receives the UNREFINED state —
+    // staticcheck deliberately analyzes code a path-sensitive verifier
+    // would prune, so kind-level findings there must survive — but the
+    // state is marked range-dead so RecordTrace withholds its (vacuous)
+    // claims instead of producing false divergences on dead code.
+    if (IsScalarKind(dst.kind) &&
+        (!term.UsesRegSrc() ||
+         IsScalarKind(state.regs[term.src].kind))) {
+      const bool is32 = cls == ebpf::BPF_JMP32;
+      const bool src_is_reg = term.UsesRegSrc();
+      for (const bool branch_taken : {true, false}) {
+        DfState& st = branch_taken ? taken : fall;
+        RangeVal d = RngOf(st.regs[term.dst]);
+        RangeVal s =
+            src_is_reg
+                ? RngOf(st.regs[term.src])
+                : RangeVal::Const(
+                      is32 ? static_cast<u64>(static_cast<u32>(term.imm))
+                           : static_cast<u64>(static_cast<s64>(term.imm)));
+        if (RangeRefine(op, is32, branch_taken, d, s)) {
+          SetScalarRng(st.regs[term.dst], d);
+          if (src_is_reg) {
+            SetScalarRng(st.regs[term.src], s);
+          }
+        } else {
+          st.range_dead = true;
+        }
+      }
+    }
     if (taken_block != kNoBlock) {
       Propagate(taken_block, std::move(taken));
     }
@@ -891,7 +1009,47 @@ DataflowResult Dataflow::Run() {
       Propagate(fall_block, std::move(fall));
     }
   }
+  if (opts_.range_trace != nullptr && result.complete) {
+    RecordTrace();
+  }
   return result;
+}
+
+// Re-walks every reached block from its fixpoint in-state, recording the
+// per-pc register claims. The fixpoint state at a block head *is* the
+// path-insensitive invariant, so a single pass per block suffices (every
+// pc belongs to exactly one block). Finding deduplication makes the
+// re-execution of Transfer side-effect free.
+void Dataflow::RecordTrace() {
+  ebpf::RangeTrace& trace = *opts_.range_trace;
+  trace.Reset(prog_.len());
+  for (xbase::usize b = 0; b < cfg_.blocks.size(); ++b) {
+    // Skip unreached blocks and blocks only reachable across edges the
+    // refinement proved infeasible: their claims would be vacuous, and a
+    // vacuous claim can falsely contradict the verifier's.
+    if (!in_[b].valid || in_[b].range_dead) {
+      continue;
+    }
+    DfState state = in_[b];
+    const BasicBlock& block = cfg_.blocks[b];
+    for (u32 pc = block.start; pc < block.end;) {
+      std::array<ebpf::RegClaim, ebpf::kNumRegs>& claims =
+          trace.per_pc[pc];
+      for (int r = 0; r < ebpf::kNumRegs; ++r) {
+        const AbsVal& reg = state.regs[static_cast<xbase::usize>(r)];
+        if (IsScalarKind(reg.kind)) {
+          const RangeVal rng = RngOf(reg);
+          claims[static_cast<xbase::usize>(r)].JoinScalar(
+              rng.umin, rng.umax, rng.smin, rng.smax, rng.bits.value,
+              rng.bits.mask);
+        } else {
+          claims[static_cast<xbase::usize>(r)].JoinOther();
+        }
+      }
+      Transfer(state, pc);
+      pc += prog_.insns[pc].IsLdImm64() ? 2 : 1;
+    }
+  }
 }
 
 }  // namespace

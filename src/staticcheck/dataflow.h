@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/staticcheck/cfg.h"
+#include "src/staticcheck/range.h"
 
 namespace staticcheck {
 
@@ -48,6 +49,9 @@ struct AbsVal {
   int map_fd = -1;       // kMapPtr/kMapVal
   u32 mem_size = 0;      // kMem
   u32 id = 0;            // null-refinement / reference join key
+  // Numeric range claim; meaningful for kTop/kConst scalars only (kConst
+  // keeps rng == RangeVal::Const(cval) as an invariant).
+  RangeVal rng;
   bool operator==(const AbsVal&) const = default;
 };
 
@@ -61,6 +65,12 @@ struct RefObligation {
 
 struct DfState {
   bool valid = false;  // false = unreached (bottom)
+  // True when every path reaching this state crosses a branch edge the
+  // range refinement proved infeasible. Checks still run (staticcheck
+  // deliberately analyzes code a path-sensitive verifier would prune),
+  // but range-trace claims are withheld: a claim about an unreachable pc
+  // is vacuous and would produce false range divergences.
+  bool range_dead = false;
   std::array<AbsVal, ebpf::kNumRegs> regs;
   // Per-byte init tracking of the 512-byte stack frame; index 0 is the
   // deepest byte (R10-512), index 511 is R10-1.

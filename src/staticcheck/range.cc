@@ -1,0 +1,554 @@
+#include "src/staticcheck/range.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/ebpf/insn.h"
+#include "src/xbase/strfmt.h"
+
+namespace staticcheck {
+
+using xbase::s32;
+
+namespace {
+
+constexpr s64 kS64Min = std::numeric_limits<s64>::min();
+constexpr s64 kS64Max = std::numeric_limits<s64>::max();
+constexpr u64 kU64Max = ~u64{0};
+constexpr u64 kU32Max = 0xffffffffull;
+
+int Fls64(u64 v) { return v == 0 ? 0 : 64 - __builtin_clzll(v); }
+
+// Two known-bits values abstracting the *same* concrete value cannot
+// disagree on a bit both know.
+bool BitsConflict(KnownBits a, KnownBits b) {
+  return ((a.value ^ b.value) & ~a.mask & ~b.mask) != 0;
+}
+
+}  // namespace
+
+KnownBits BitsConst(u64 value) { return {value, 0}; }
+
+KnownBits BitsUnknown() { return {0, kU64Max}; }
+
+KnownBits BitsRange(u64 min, u64 max) {
+  const int bits = Fls64(min ^ max);
+  if (bits == 64) {
+    return BitsUnknown();
+  }
+  const u64 delta = (u64{1} << bits) - 1;
+  return {min & ~delta, delta};
+}
+
+KnownBits BitsAdd(KnownBits a, KnownBits b) {
+  // Carry propagation: a known carry chain stays known until the first
+  // unknown bit; past it, every bit the carries could reach is unknown.
+  const u64 sm = a.mask + b.mask;
+  const u64 sv = a.value + b.value;
+  const u64 sigma = sm + sv;
+  const u64 chi = sigma ^ sv;
+  const u64 mu = chi | a.mask | b.mask;
+  return {sv & ~mu, mu};
+}
+
+KnownBits BitsSub(KnownBits a, KnownBits b) {
+  const u64 dv = a.value - b.value;
+  const u64 alpha = dv + a.mask;
+  const u64 beta = dv - b.mask;
+  const u64 chi = alpha ^ beta;
+  const u64 mu = chi | a.mask | b.mask;
+  return {dv & ~mu, mu};
+}
+
+KnownBits BitsAnd(KnownBits a, KnownBits b) {
+  const u64 alpha = a.value | a.mask;  // "could be 1"
+  const u64 beta = b.value | b.mask;
+  const u64 v = a.value & b.value;     // known 1 in both
+  return {v, alpha & beta & ~v};
+}
+
+KnownBits BitsOr(KnownBits a, KnownBits b) {
+  const u64 v = a.value | b.value;
+  const u64 mu = a.mask | b.mask;
+  return {v, mu & ~v};
+}
+
+KnownBits BitsXor(KnownBits a, KnownBits b) {
+  const u64 v = a.value ^ b.value;
+  const u64 mu = a.mask | b.mask;
+  return {v & ~mu, mu};
+}
+
+KnownBits BitsShl(KnownBits a, u8 shift) {
+  return {a.value << shift, a.mask << shift};
+}
+
+KnownBits BitsLshr(KnownBits a, u8 shift) {
+  return {a.value >> shift, a.mask >> shift};
+}
+
+KnownBits BitsAshr(KnownBits a, u8 shift, bool is64) {
+  // The shifted-in bits copy the sign bit: known only if the sign bit is
+  // known; an unknown sign bit spreads "unknown" through an arithmetic
+  // shift of the mask.
+  if (is64) {
+    return {static_cast<u64>(static_cast<s64>(a.value) >> shift),
+            static_cast<u64>(static_cast<s64>(a.mask) >> shift)};
+  }
+  const u32 v32 = static_cast<u32>(
+      static_cast<s32>(static_cast<u32>(a.value)) >> shift);
+  const u32 m32 = static_cast<u32>(
+      static_cast<s32>(static_cast<u32>(a.mask)) >> shift);
+  return {v32, m32};
+}
+
+KnownBits BitsMul(KnownBits a, KnownBits b) {
+  // Decompose a into bit contributions: a known 1 at bit i adds b<<i with
+  // b's uncertainty; an unknown bit adds an uncertain 0-or-(b<<i).
+  const u64 acc_v = a.value * b.value;
+  KnownBits acc_m{0, 0};
+  while (a.value != 0 || a.mask != 0) {
+    if ((a.value & 1) != 0) {
+      acc_m = BitsAdd(acc_m, KnownBits{0, b.mask});
+    } else if ((a.mask & 1) != 0) {
+      acc_m = BitsAdd(acc_m, KnownBits{0, b.value | b.mask});
+    }
+    a = BitsLshr(a, 1);
+    b = BitsShl(b, 1);
+  }
+  return BitsAdd(KnownBits{acc_v, 0}, acc_m);
+}
+
+KnownBits BitsCast32(KnownBits a) {
+  return {a.value & kU32Max, a.mask & kU32Max};
+}
+
+KnownBits BitsIntersect(KnownBits a, KnownBits b) {
+  const u64 mu = a.mask & b.mask;
+  return {(a.value | b.value) & ~mu, mu};
+}
+
+KnownBits BitsUnion(KnownBits a, KnownBits b) {
+  const u64 mu = a.mask | b.mask | (a.value ^ b.value);
+  return {a.value & b.value & ~mu, mu};
+}
+
+RangeVal RangeVal::Const(u64 v) {
+  RangeVal r;
+  r.umin = r.umax = v;
+  r.smin = r.smax = static_cast<s64>(v);
+  r.bits = BitsConst(v);
+  return r;
+}
+
+RangeVal RangeVal::FromU(u64 lo, u64 hi) {
+  RangeVal r;
+  r.umin = lo;
+  r.umax = hi;
+  r.bits = BitsRange(lo, hi);
+  r.Reduce();
+  return r;
+}
+
+void RangeVal::Reduce() {
+  for (int round = 0; round < 2; ++round) {
+    // bits -> unsigned: every admitted value has the known bits.
+    umin = std::max(umin, bits.value);
+    umax = std::min(umax, bits.value | bits.mask);
+    if (IsEmpty()) {
+      return;
+    }
+    // unsigned -> signed: valid when the unsigned interval stays on one
+    // side of the sign boundary.
+    if (static_cast<s64>(umin) <= static_cast<s64>(umax)) {
+      smin = std::max(smin, static_cast<s64>(umin));
+      smax = std::min(smax, static_cast<s64>(umax));
+    }
+    // signed -> unsigned: same argument, mirrored.
+    if (smin >= 0 || smax < 0) {
+      umin = std::max(umin, static_cast<u64>(smin));
+      umax = std::min(umax, static_cast<u64>(smax));
+    }
+    if (IsEmpty()) {
+      return;
+    }
+    // unsigned -> bits: the shared leading bits of the interval endpoints
+    // are known.
+    const KnownBits rb = BitsRange(umin, umax);
+    if (BitsConflict(bits, rb)) {
+      umin = 1;
+      umax = 0;  // mark empty: components contradict
+      return;
+    }
+    bits = BitsIntersect(bits, rb);
+  }
+}
+
+std::string RangeVal::ToString() const {
+  if (IsEmpty()) {
+    return "(empty)";
+  }
+  if (IsConst()) {
+    return xbase::StrFormat("{%llu}",
+                            static_cast<unsigned long long>(umin));
+  }
+  return xbase::StrFormat(
+      "u[%llu,%llu] s[%lld,%lld] bits(%llx/%llx)",
+      static_cast<unsigned long long>(umin),
+      static_cast<unsigned long long>(umax),
+      static_cast<long long>(smin), static_cast<long long>(smax),
+      static_cast<unsigned long long>(bits.value),
+      static_cast<unsigned long long>(bits.mask));
+}
+
+RangeVal RangeCast32(const RangeVal& a) {
+  RangeVal r;
+  r.bits = BitsCast32(a.bits);
+  if ((a.umin >> 32) == (a.umax >> 32)) {
+    // The interval lies in one 2^32-aligned window: truncation preserves
+    // order, so the truncated endpoints still bound it.
+    r.umin = a.umin & kU32Max;
+    r.umax = a.umax & kU32Max;
+  } else {
+    r.umin = 0;
+    r.umax = kU32Max;
+  }
+  // A zero-extended 32-bit value is non-negative as a 64-bit signed int.
+  r.smin = 0;
+  r.smax = static_cast<s64>(kU32Max);
+  r.Reduce();
+  return r;
+}
+
+RangeVal RangeJoin(const RangeVal& a, const RangeVal& b) {
+  RangeVal r;
+  r.umin = std::min(a.umin, b.umin);
+  r.umax = std::max(a.umax, b.umax);
+  r.smin = std::min(a.smin, b.smin);
+  r.smax = std::max(a.smax, b.smax);
+  r.bits = BitsUnion(a.bits, b.bits);
+  r.Reduce();
+  return r;
+}
+
+RangeVal RangeAlu(u8 op, const RangeVal& a0, const RangeVal& b0,
+                  bool is64) {
+  const RangeVal a = is64 ? a0 : RangeCast32(a0);
+  const RangeVal b = is64 ? b0 : RangeCast32(b0);
+  const u32 shift_limit = is64 ? 64 : 32;
+  RangeVal r;  // starts fully unknown
+
+  switch (op) {
+    case ebpf::BPF_ADD: {
+      r.bits = BitsAdd(a.bits, b.bits);
+      if (a.umax + b.umax >= a.umax) {  // no unsigned wrap at the top
+        r.umin = a.umin + b.umin;
+        r.umax = a.umax + b.umax;
+      }
+      s64 lo = 0, hi = 0;
+      if (!__builtin_add_overflow(a.smin, b.smin, &lo) &&
+          !__builtin_add_overflow(a.smax, b.smax, &hi)) {
+        r.smin = lo;
+        r.smax = hi;
+      }
+      break;
+    }
+    case ebpf::BPF_SUB: {
+      r.bits = BitsSub(a.bits, b.bits);
+      if (a.umin >= b.umax) {  // no unsigned underflow
+        r.umin = a.umin - b.umax;
+        r.umax = a.umax - b.umin;
+      }
+      s64 lo = 0, hi = 0;
+      if (!__builtin_sub_overflow(a.smin, b.smax, &lo) &&
+          !__builtin_sub_overflow(a.smax, b.smin, &hi)) {
+        r.smin = lo;
+        r.smax = hi;
+      }
+      break;
+    }
+    case ebpf::BPF_MUL:
+      r.bits = BitsMul(a.bits, b.bits);
+      if (a.umax <= kU32Max && b.umax <= kU32Max) {
+        // Both operands fit 32 bits: the 64-bit product cannot wrap and
+        // is monotone in both.
+        r.umin = a.umin * b.umin;
+        r.umax = a.umax * b.umax;
+      }
+      break;
+    case ebpf::BPF_DIV:
+      // Runtime semantics: x / 0 == 0 (the kernel's patched check).
+      if (b.IsConst() && b.umin != 0) {
+        r.umin = a.umin / b.umin;
+        r.umax = a.umax / b.umin;
+      } else {
+        r.umin = 0;
+        r.umax = a.umax;  // unsigned quotient never exceeds the dividend
+      }
+      break;
+    case ebpf::BPF_MOD:
+      // Runtime semantics: x % 0 == x.
+      r.umin = 0;
+      r.umax = a.umax;  // x % y <= x for unsigned x
+      if (b.umin >= 1) {
+        r.umax = std::min(r.umax, b.umax - 1);
+      }
+      break;
+    case ebpf::BPF_AND:
+      r.bits = BitsAnd(a.bits, b.bits);
+      r.umin = 0;
+      r.umax = std::min(a.umax, b.umax);
+      break;
+    case ebpf::BPF_OR:
+      r.bits = BitsOr(a.bits, b.bits);
+      r.umin = std::max(a.umin, b.umin);
+      break;
+    case ebpf::BPF_XOR:
+      r.bits = BitsXor(a.bits, b.bits);
+      break;
+    case ebpf::BPF_LSH:
+      if (b.IsConst() && b.umin < shift_limit) {
+        const u8 shift = static_cast<u8>(b.umin);
+        r.bits = BitsShl(a.bits, shift);
+        if (a.umax <= (kU64Max >> shift)) {
+          r.umin = a.umin << shift;
+          r.umax = a.umax << shift;
+        }
+      }
+      break;
+    case ebpf::BPF_RSH:
+      if (b.IsConst() && b.umin < shift_limit) {
+        const u8 shift = static_cast<u8>(b.umin);
+        r.bits = BitsLshr(a.bits, shift);
+        r.umin = a.umin >> shift;
+        r.umax = a.umax >> shift;
+      } else {
+        r.umin = 0;
+        r.umax = a.umax;  // logical right shift never increases
+      }
+      break;
+    case ebpf::BPF_ARSH:
+      if (b.IsConst() && b.umin < shift_limit) {
+        const u8 shift = static_cast<u8>(b.umin);
+        r.bits = BitsAshr(a.bits, shift, is64);
+        if (is64) {
+          r.smin = a.smin >> shift;
+          r.smax = a.smax >> shift;
+          r.umin = 0;
+          r.umax = kU64Max;
+        } else if (a.umax <= 0x7fffffffull) {
+          // Low word is non-negative as s32: arithmetic == logical.
+          r.umin = a.umin >> shift;
+          r.umax = a.umax >> shift;
+        } else if (a.umin >= 0x80000000ull) {
+          // Low word is negative as s32 throughout.
+          const u32 lo = static_cast<u32>(
+              static_cast<s32>(static_cast<u32>(a.umin)) >> shift);
+          const u32 hi = static_cast<u32>(
+              static_cast<s32>(static_cast<u32>(a.umax)) >> shift);
+          r.umin = lo;
+          r.umax = hi;
+        }
+      }
+      break;
+    default:
+      return RangeVal::Unknown();
+  }
+
+  if (!is64) {
+    return RangeCast32(r);
+  }
+  r.Reduce();
+  return r;
+}
+
+namespace {
+
+// In-place intersection for equality refinement; false when the two
+// cannot describe the same value.
+bool IntersectInto(RangeVal& dst, const RangeVal& other) {
+  if (BitsConflict(dst.bits, other.bits)) {
+    return false;
+  }
+  dst.umin = std::max(dst.umin, other.umin);
+  dst.umax = std::min(dst.umax, other.umax);
+  dst.smin = std::max(dst.smin, other.smin);
+  dst.smax = std::min(dst.smax, other.smax);
+  dst.bits = BitsIntersect(dst.bits, other.bits);
+  dst.Reduce();
+  return !dst.IsEmpty();
+}
+
+// Excludes a single known value from an interval by trimming matching
+// endpoints (the only exclusion an interval can express).
+void TrimNotEqual(RangeVal& r, u64 c) {
+  if (r.umin == c && r.umin < r.umax) {
+    ++r.umin;
+  }
+  if (r.umax == c && r.umax > r.umin) {
+    --r.umax;
+  }
+  const s64 sc = static_cast<s64>(c);
+  if (r.smin == sc && r.smin < r.smax) {
+    ++r.smin;
+  }
+  if (r.smax == sc && r.smax > r.smin) {
+    --r.smax;
+  }
+}
+
+}  // namespace
+
+bool RangeRefine(u8 jmp_op, bool is32, bool taken, RangeVal& dst,
+                 RangeVal& src) {
+  using namespace ebpf;  // NOLINT: opcode constants
+
+  // JMP32 compares read the low 32 bits. The 64-bit intervals tracked
+  // here can only be refined when the 64-bit value provably equals its
+  // low word (upper bits zero) — otherwise a small low word can hide a
+  // huge 64-bit value (kernel commit 3844d153; the jmp32_bounds defect
+  // class). Signed 32-bit compares additionally need bit 31 clear so the
+  // s32 view agrees with the s64 view.
+  if (is32) {
+    const bool signed_op = jmp_op == BPF_JSGT || jmp_op == BPF_JSGE ||
+                           jmp_op == BPF_JSLT || jmp_op == BPF_JSLE;
+    const u64 limit = signed_op ? 0x7fffffffull : kU32Max;
+    if (dst.umax > limit || src.umax > limit) {
+      return true;  // sound: conclude nothing about the 64-bit value
+    }
+  }
+
+  bool feasible = true;
+  switch (jmp_op) {
+    case BPF_JEQ:
+    case BPF_JNE: {
+      const bool equal_edge = (jmp_op == BPF_JEQ) == taken;
+      if (equal_edge) {
+        const RangeVal dst_copy = dst;
+        feasible = IntersectInto(dst, src) && IntersectInto(src, dst_copy);
+      } else {
+        if (dst.IsConst() && src.IsConst() && dst.umin == src.umin) {
+          feasible = false;
+        } else {
+          if (src.IsConst()) {
+            TrimNotEqual(dst, src.umin);
+          }
+          if (dst.IsConst()) {
+            TrimNotEqual(src, dst.umin);
+          }
+        }
+      }
+      break;
+    }
+    case BPF_JGT:  // dst > src (unsigned)
+      if (taken) {
+        if (src.umin == kU64Max) {
+          feasible = false;
+          break;
+        }
+        dst.umin = std::max(dst.umin, src.umin + 1);
+        if (dst.umax == 0) {
+          feasible = false;
+          break;
+        }
+        src.umax = std::min(src.umax, dst.umax - 1);
+      } else {  // dst <= src
+        dst.umax = std::min(dst.umax, src.umax);
+        src.umin = std::max(src.umin, dst.umin);
+      }
+      break;
+    case BPF_JGE:  // dst >= src
+      if (taken) {
+        dst.umin = std::max(dst.umin, src.umin);
+        src.umax = std::min(src.umax, dst.umax);
+      } else {  // dst < src
+        if (src.umax == 0) {
+          feasible = false;
+          break;
+        }
+        dst.umax = std::min(dst.umax, src.umax - 1);
+        if (dst.umin == kU64Max) {
+          feasible = false;
+          break;
+        }
+        src.umin = std::max(src.umin, dst.umin + 1);
+      }
+      break;
+    case BPF_JLT:  // dst < src
+      return RangeRefine(BPF_JGE, is32, !taken, dst, src);
+    case BPF_JLE:  // dst <= src
+      return RangeRefine(BPF_JGT, is32, !taken, dst, src);
+    case BPF_JSGT:  // dst > src (signed)
+      if (taken) {
+        if (src.smin == kS64Max) {
+          feasible = false;
+          break;
+        }
+        dst.smin = std::max(dst.smin, src.smin + 1);
+        if (dst.smax == kS64Min) {
+          feasible = false;
+          break;
+        }
+        src.smax = std::min(src.smax, dst.smax - 1);
+      } else {  // dst <= src
+        dst.smax = std::min(dst.smax, src.smax);
+        src.smin = std::max(src.smin, dst.smin);
+      }
+      break;
+    case BPF_JSGE:  // dst >= src (signed)
+      if (taken) {
+        dst.smin = std::max(dst.smin, src.smin);
+        src.smax = std::min(src.smax, dst.smax);
+      } else {  // dst < src
+        if (src.smax == kS64Min) {
+          feasible = false;
+          break;
+        }
+        dst.smax = std::min(dst.smax, src.smax - 1);
+        if (dst.smin == kS64Max) {
+          feasible = false;
+          break;
+        }
+        src.smin = std::max(src.smin, dst.smin + 1);
+      }
+      break;
+    case BPF_JSLT:  // dst < src (signed)
+      return RangeRefine(BPF_JSGE, is32, !taken, dst, src);
+    case BPF_JSLE:  // dst <= src (signed)
+      return RangeRefine(BPF_JSGT, is32, !taken, dst, src);
+    case BPF_JSET:  // (dst & src) != 0 on the taken edge
+      if (src.IsConst() && src.umin != 0) {
+        const u64 c = src.umin;
+        if (taken) {
+          // At least one tested bit is set, so the value is at least the
+          // lowest tested bit.
+          dst.umin = std::max(dst.umin, c & (~c + 1));
+          if ((c & (c - 1)) == 0) {
+            // Exactly one tested bit: it is known 1.
+            dst.bits.value |= c;
+            dst.bits.mask &= ~c;
+          }
+        } else {
+          // Every tested bit is zero.
+          if ((dst.bits.value & c) != 0) {
+            feasible = false;  // a tested bit was known 1
+            break;
+          }
+          dst.bits.value &= ~c;
+          dst.bits.mask &= ~c;
+        }
+      }
+      break;
+    default:
+      return true;
+  }
+
+  if (!feasible) {
+    return false;
+  }
+  dst.Reduce();
+  src.Reduce();
+  return !dst.IsEmpty() && !src.IsEmpty();
+}
+
+}  // namespace staticcheck

@@ -1,0 +1,115 @@
+// The staticcheck numeric abstract domain: a reduced product of three
+// components tracked per scalar register —
+//
+//   bits   known-bits (tnum shape: value/mask),
+//   u      unsigned 64-bit interval [umin, umax],
+//   s      signed 64-bit interval [smin, smax],
+//
+// with mutual reduction between the three (Reduce) and explicit widening
+// for loop heads (Widen). This is an independent reimplementation of the
+// same abstraction family the kernel verifier uses (tnums descend from
+// Vishwanathan et al.; the interval trio from the verifier's reg bounds):
+// independence is the point — a bug in the verifier's arithmetic and a bug
+// here would have to coincide to escape the differential oracle, so
+// nothing in this file may include verifier headers or src/ebpf/tnum.h.
+//
+// Soundness contract (what rangefuzz checks against concrete execution):
+// if a register abstractly evaluates to RangeVal r at pc, then every
+// concrete value v the register can hold at pc satisfies r.Contains(v).
+#pragma once
+
+#include <string>
+
+#include "src/xbase/types.h"
+
+namespace staticcheck {
+
+using xbase::s64;
+using xbase::u32;
+using xbase::u64;
+using xbase::u8;
+
+// Known-bits component. Invariant: (value & mask) == 0 — a bit is either
+// known (mask 0, given by value) or unknown (mask 1, value 0).
+struct KnownBits {
+  u64 value = 0;
+  u64 mask = ~u64{0};
+
+  bool IsConst() const { return mask == 0; }
+  bool Contains(u64 v) const { return ((v ^ value) & ~mask) == 0; }
+  bool operator==(const KnownBits&) const = default;
+};
+
+KnownBits BitsConst(u64 value);
+KnownBits BitsUnknown();
+// The minimal known-bits value admitting every integer in [min, max].
+KnownBits BitsRange(u64 min, u64 max);
+KnownBits BitsAdd(KnownBits a, KnownBits b);
+KnownBits BitsSub(KnownBits a, KnownBits b);
+KnownBits BitsAnd(KnownBits a, KnownBits b);
+KnownBits BitsOr(KnownBits a, KnownBits b);
+KnownBits BitsXor(KnownBits a, KnownBits b);
+KnownBits BitsMul(KnownBits a, KnownBits b);
+KnownBits BitsShl(KnownBits a, u8 shift);
+KnownBits BitsLshr(KnownBits a, u8 shift);
+// Arithmetic shift right at the given bitness (64 or 32): the shifted-in
+// bits copy the sign bit, which is known only if the sign bit is known.
+KnownBits BitsAshr(KnownBits a, u8 shift, bool is64);
+// Truncation to the low 32 bits (the high 32 become known-zero).
+KnownBits BitsCast32(KnownBits a);
+// Assumes the operands agree on commonly-known bits (both abstract the
+// same concrete value); keeps every bit either side knows.
+KnownBits BitsIntersect(KnownBits a, KnownBits b);
+// Union: keeps only bits both sides know and agree on.
+KnownBits BitsUnion(KnownBits a, KnownBits b);
+
+struct RangeVal {
+  u64 umin = 0;
+  u64 umax = ~u64{0};
+  s64 smin = s64{-1} - s64{0x7fffffffffffffff};  // kS64Min
+  s64 smax = s64{0x7fffffffffffffff};
+  KnownBits bits;
+
+  static RangeVal Unknown() { return RangeVal{}; }
+  static RangeVal Const(u64 v);
+  static RangeVal FromU(u64 lo, u64 hi);
+
+  bool IsConst() const { return umin == umax && bits.IsConst(); }
+  // Contradictory component intervals: no concrete value satisfies the
+  // claim. Only refinement along an infeasible branch edge produces this.
+  bool IsEmpty() const { return umin > umax || smin > smax; }
+  bool Contains(u64 v) const {
+    return v >= umin && v <= umax && static_cast<s64>(v) >= smin &&
+           static_cast<s64>(v) <= smax && bits.Contains(v);
+  }
+  // Mutual reduction: each component tightens the others (bits -> u,
+  // u <-> s, u -> bits). Idempotent after two rounds; called by every
+  // transfer function before returning.
+  void Reduce();
+
+  std::string ToString() const;
+  bool operator==(const RangeVal&) const = default;
+};
+
+// Transfer function for one ALU op (BPF_ADD..BPF_ARSH, BPF_NEG handled by
+// the caller as 0-b). For !is64 both operands are truncated first and the
+// result is truncated after, matching the interpreter's 32-bit semantics.
+RangeVal RangeAlu(u8 op, const RangeVal& a, const RangeVal& b, bool is64);
+
+// Truncation to 32 bits (MOV32 and every ALU32 result).
+RangeVal RangeCast32(const RangeVal& a);
+
+// Join (least upper bound) for the dataflow merge.
+RangeVal RangeJoin(const RangeVal& a, const RangeVal& b);
+
+// Refines `dst` (and, for register comparands, `src`) along one edge of a
+// conditional branch: `taken` selects the branch direction, `is32`
+// selects JMP32 semantics (the comparison reads the low 32 bits only — a
+// 32-bit compare refines the 64-bit state only when the upper 32 bits are
+// provably zero, the soundness subtlety behind kernel commit 3844d153).
+// Returns false when the refined ranges are contradictory, i.e. the edge
+// is infeasible.
+bool RangeRefine(u8 jmp_op, bool is32, bool taken, RangeVal& dst,
+                 RangeVal& src);
+
+}  // namespace staticcheck

@@ -1,0 +1,227 @@
+// Exhaustive soundness properties for the tnum algebra (tnum.cc), the
+// domain both the verifier and (independently re-derived) staticcheck lean
+// on for every bounds claim. For small bit-widths the whole abstract and
+// concrete spaces are enumerable: every valid tnum of width W (value/mask
+// pairs with value & mask == 0), and for each tnum its full concretization
+// via the subset-enumeration identity sub = (sub - mask) & mask.
+//
+// The property checked everywhere is the soundness contract from
+// Vishwanathan et al. (CGO '22): for all va in gamma(a), vb in gamma(b),
+// gamma(op#(a, b)) contains op(va, vb) — over genuine 64-bit concrete
+// arithmetic, since the small-width values are just 64-bit values that
+// happen to be small (carries past bit W must still be covered).
+//
+// Binary ops run at width 6 by default (729^2 tnum pairs) and at width 8
+// (43M pairs, a few minutes) when TNUM_EXHAUSTIVE_8BIT is set in the
+// environment; unary ops and TnumRange minimality always run at width 8.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/ebpf/tnum.h"
+
+namespace ebpf {
+namespace {
+
+using xbase::s32;
+using xbase::s64;
+using xbase::u32;
+using xbase::u64;
+using xbase::u8;
+
+// All valid tnums of the given bit width.
+std::vector<Tnum> AllTnums(u32 width) {
+  const u64 limit = u64{1} << width;
+  std::vector<Tnum> out;
+  for (u64 mask = 0; mask < limit; ++mask) {
+    for (u64 value = 0; value < limit; ++value) {
+      if ((value & mask) == 0) {
+        out.push_back(Tnum{value, mask});
+      }
+    }
+  }
+  return out;
+}
+
+// Every concrete value a tnum admits (2^popcount(mask) members).
+std::vector<u64> Concretize(const Tnum& t) {
+  std::vector<u64> out;
+  u64 sub = 0;
+  do {
+    out.push_back(t.value | sub);
+    sub = (sub - t.mask) & t.mask;
+  } while (sub != 0);
+  return out;
+}
+
+u32 BinaryOpWidth() {
+  return std::getenv("TNUM_EXHAUSTIVE_8BIT") != nullptr ? 8 : 6;
+}
+
+// Checks gamma(op#(a,b)) ⊇ op(gamma(a), gamma(b)) for one binary op over
+// every tnum pair of the width. Reports the first counterexample.
+template <typename AbstractOp, typename ConcreteOp>
+void CheckBinaryOp(const char* name, AbstractOp abs_op, ConcreteOp conc_op) {
+  const std::vector<Tnum> tnums = AllTnums(BinaryOpWidth());
+  for (const Tnum& a : tnums) {
+    const std::vector<u64> as = Concretize(a);
+    for (const Tnum& b : tnums) {
+      const Tnum r = abs_op(a, b);
+      for (const u64 va : as) {
+        for (const u64 vb : Concretize(b)) {
+          const u64 cv = conc_op(va, vb);
+          if (!r.Contains(cv)) {
+            FAIL() << name << "(" << a.ToString() << ", " << b.ToString()
+                   << ") = " << r.ToString() << " misses " << name << "("
+                   << va << ", " << vb << ") = " << cv;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TnumPropertyTest, AddSound) {
+  CheckBinaryOp("add", TnumAdd, [](u64 x, u64 y) { return x + y; });
+}
+
+TEST(TnumPropertyTest, SubSound) {
+  CheckBinaryOp("sub", TnumSub, [](u64 x, u64 y) { return x - y; });
+}
+
+TEST(TnumPropertyTest, AndSound) {
+  CheckBinaryOp("and", TnumAnd, [](u64 x, u64 y) { return x & y; });
+}
+
+TEST(TnumPropertyTest, OrSound) {
+  CheckBinaryOp("or", TnumOr, [](u64 x, u64 y) { return x | y; });
+}
+
+TEST(TnumPropertyTest, XorSound) {
+  CheckBinaryOp("xor", TnumXor, [](u64 x, u64 y) { return x ^ y; });
+}
+
+TEST(TnumPropertyTest, MulSound) {
+  CheckBinaryOp("mul", TnumMul, [](u64 x, u64 y) { return x * y; });
+}
+
+TEST(TnumPropertyTest, ShiftsSound) {
+  const std::vector<Tnum> tnums = AllTnums(8);
+  for (const Tnum& a : tnums) {
+    const std::vector<u64> as = Concretize(a);
+    for (const u8 shift : {0, 1, 2, 3, 7, 8, 31, 63}) {
+      const Tnum shl = TnumLshift(a, shift);
+      const Tnum shr = TnumRshift(a, shift);
+      for (const u64 va : as) {
+        EXPECT_TRUE(shl.Contains(va << shift))
+            << "lsh " << a.ToString() << " << " << int{shift} << " at " << va;
+        EXPECT_TRUE(shr.Contains(va >> shift))
+            << "rsh " << a.ToString() << " >> " << int{shift} << " at " << va;
+      }
+    }
+  }
+}
+
+TEST(TnumPropertyTest, ArshiftSound) {
+  // Left-align the 8-bit patterns so bit 7 becomes the real sign bit —
+  // otherwise an exhaustive small-width sweep never exercises the
+  // sign-extension path the CVE-2017-16995 class lives in.
+  const std::vector<Tnum> tnums = AllTnums(8);
+  for (const Tnum& a : tnums) {
+    const Tnum hi64 = TnumLshift(a, 56);
+    const Tnum hi32 = TnumLshift(a, 24);
+    for (const u8 shift : {0, 1, 7, 8, 31}) {
+      const Tnum r64 = TnumArshift(hi64, shift, 64);
+      const Tnum r32 = TnumArshift(hi32, shift, 32);
+      for (const u64 va : Concretize(a)) {
+        const u64 c64 = static_cast<u64>(static_cast<s64>(va << 56) >> shift);
+        const u64 c32 = static_cast<u32>(
+            static_cast<s32>(static_cast<u32>(va << 24)) >> shift);
+        EXPECT_TRUE(r64.Contains(c64))
+            << "arsh64 " << hi64.ToString() << " >> " << int{shift};
+        EXPECT_TRUE(r32.Contains(c32))
+            << "arsh32 " << hi32.ToString() << " >> " << int{shift};
+      }
+    }
+  }
+}
+
+TEST(TnumPropertyTest, CastSound) {
+  const std::vector<Tnum> tnums = AllTnums(8);
+  for (const Tnum& a : tnums) {
+    // Lift the 8-bit pattern across a byte boundary so casts truncate.
+    const Tnum wide = TnumLshift(a, 4);
+    for (const u8 size : {1, 2, 4}) {
+      const Tnum r = TnumCast(wide, size);
+      const u64 keep = (u64{1} << (size * 8)) - 1;
+      for (const u64 va : Concretize(a)) {
+        EXPECT_TRUE(r.Contains((va << 4) & keep))
+            << "cast" << int{size} << " " << wide.ToString();
+      }
+    }
+  }
+}
+
+TEST(TnumPropertyTest, IntersectSoundOnConsistentPairs) {
+  // Whenever a value is in both concretizations, it must survive the
+  // intersection (TnumIntersect's contract only covers consistent pairs).
+  const std::vector<Tnum> tnums = AllTnums(6);
+  for (const Tnum& a : tnums) {
+    for (const Tnum& b : tnums) {
+      const Tnum r = TnumIntersect(a, b);
+      for (const u64 v : Concretize(a)) {
+        if (b.Contains(v)) {
+          EXPECT_TRUE(r.Contains(v))
+              << "intersect(" << a.ToString() << ", " << b.ToString()
+              << ") dropped " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(TnumPropertyTest, TnumInMatchesSubsetRelation) {
+  const std::vector<Tnum> tnums = AllTnums(6);
+  for (const Tnum& a : tnums) {
+    for (const Tnum& b : tnums) {
+      bool subset = true;
+      for (const u64 v : Concretize(b)) {
+        if (!a.Contains(v)) {
+          subset = false;
+          break;
+        }
+      }
+      EXPECT_EQ(TnumIn(a, b), subset)
+          << "TnumIn(" << a.ToString() << ", " << b.ToString() << ")";
+    }
+  }
+}
+
+TEST(TnumPropertyTest, RangeSoundAndMinimal) {
+  // TnumRange(min, max) must admit every value in [min, max], and must be
+  // the *smallest* such tnum: high bits above the first min/max divergence
+  // are known, everything below is unknown (any tighter tnum would exclude
+  // some value in the interval).
+  for (u64 min = 0; min < 256; ++min) {
+    for (u64 max = min; max < 256; ++max) {
+      const Tnum r = TnumRange(min, max);
+      for (u64 v = min; v <= max; ++v) {
+        ASSERT_TRUE(r.Contains(v))
+            << "range[" << min << "," << max << "] misses " << v;
+      }
+      u64 expect_mask = 0;
+      u64 diff = min ^ max;
+      while (diff != 0) {
+        expect_mask = (expect_mask << 1) | 1;
+        diff >>= 1;
+      }
+      EXPECT_EQ(r.mask, expect_mask) << "range[" << min << "," << max << "]";
+      EXPECT_EQ(r.value, min & ~expect_mask)
+          << "range[" << min << "," << max << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ebpf

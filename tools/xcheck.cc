@@ -4,9 +4,12 @@
 //   xcheck --list              list built-in demo programs
 //   xcheck --demo NAME         analyze a built-in demo (disasm + findings)
 //   xcheck --diff              run the differential oracle table
+//   xcheck --ranges NAME       per-instruction staticcheck vs verifier
+//                              range table for a demo ('!' = disjoint)
 //   xcheck FILE.bin            analyze raw bytecode (8-byte LE insns)
 //
-// Exit status: 0 clean, 1 error-severity findings, 2 usage/load problems.
+// Exit status: 0 clean, 1 error-severity findings (--ranges: disjoint
+// claims), 2 usage/load problems.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +21,8 @@
 #include "src/analysis/workloads.h"
 #include "src/ebpf/bpf.h"
 #include "src/ebpf/disasm.h"
+#include "src/ebpf/rangetrace.h"
+#include "src/ebpf/verifier.h"
 #include "src/staticcheck/check.h"
 
 namespace {
@@ -113,6 +118,92 @@ int RunDemo(const char* name) {
   return 2;
 }
 
+// Side-by-side range table: both analyses' per-(pc, reg) scalar claims for
+// a demo program, disagreement rows marked. The human-readable face of the
+// differential pair rangefuzz checks mechanically.
+int RunRanges(const char* name) {
+  for (const Demo& demo : Demos()) {
+    if (std::strcmp(demo.name, name) != 0) {
+      continue;
+    }
+    simkern::Kernel kernel{simkern::KernelConfig{}};
+    ebpf::Bpf bpf(kernel);
+    auto prog = demo.build(bpf);
+    if (!prog.ok()) {
+      std::fprintf(stderr, "xcheck: build failed: %s\n",
+                   prog.status().ToString().c_str());
+      return 2;
+    }
+
+    ebpf::RangeTrace verifier_trace;
+    ebpf::VerifyOptions vopts;
+    vopts.version = kernel.version();
+    vopts.faults = &bpf.faults();
+    vopts.kfuncs = &bpf.kfuncs();
+    vopts.range_trace = &verifier_trace;
+    auto verdict =
+        ebpf::Verify(prog.value(), bpf.maps(), bpf.helpers(), vopts);
+
+    ebpf::RangeTrace static_trace;
+    staticcheck::CheckOptions copts;
+    copts.maps = &bpf.maps();
+    copts.helpers = &bpf.helpers();
+    copts.callgraph = &kernel.callgraph();
+    copts.range_trace = &static_trace;
+    auto report = staticcheck::RunChecks(prog.value(), copts);
+    if (!report.ok()) {
+      std::fprintf(stderr, "xcheck: %s\n",
+                   report.status().ToString().c_str());
+      return 2;
+    }
+
+    std::printf("demo %s: %s\n", demo.name, demo.blurb);
+    std::printf("verifier: %s\n\n",
+                verdict.ok() ? "accepts" : verdict.status().message().c_str());
+    std::printf("%-4s %-28s %-3s  %-44s %s\n", "pc", "insn", "reg",
+                "staticcheck", "verifier");
+    xbase::u64 disjoint_rows = 0;
+    const xbase::usize len =
+        std::min(static_trace.per_pc.size(), verifier_trace.per_pc.size());
+    for (xbase::usize pc = 0; pc < len; ++pc) {
+      bool first = true;
+      for (xbase::u32 reg = 0; reg < ebpf::kNumRegs; ++reg) {
+        const ebpf::RegClaim& sc = static_trace.per_pc[pc][reg];
+        const ebpf::RegClaim& ver = verifier_trace.per_pc[pc][reg];
+        if (sc.kind != ebpf::RegClaim::Kind::kScalar &&
+            ver.kind != ebpf::RegClaim::Kind::kScalar) {
+          continue;
+        }
+        const bool disjoint = ebpf::ClaimsDisjoint(sc, ver);
+        disjoint_rows += disjoint ? 1 : 0;
+        const auto render = [](const ebpf::RegClaim& c) -> std::string {
+          if (c.kind == ebpf::RegClaim::Kind::kScalar && c.umin == 0 &&
+              c.umax == ~xbase::u64{0} && c.bits_mask == ~xbase::u64{0}) {
+            return "unknown";
+          }
+          return c.ToString();
+        };
+        std::printf("%-4zu %-28s r%-2u  %-44s %s%s\n", pc,
+                    first
+                        ? ebpf::DisasmInsn(prog.value().insns[pc]).c_str()
+                        : "",
+                    reg, render(sc).c_str(), render(ver).c_str(),
+                    disjoint ? "   !DISJOINT" : "");
+        first = false;
+      }
+    }
+    const analysis::RangeCompareResult cmp =
+        analysis::CompareRangeTraces(static_trace, verifier_trace);
+    std::printf(
+        "\n%llu points compared, %llu disjoint, mean width ratio %.3f\n",
+        static_cast<unsigned long long>(cmp.points),
+        static_cast<unsigned long long>(cmp.disjoint), cmp.MeanWidthRatio());
+    return disjoint_rows > 0 ? 1 : 0;
+  }
+  std::fprintf(stderr, "xcheck: unknown demo '%s' (try --list)\n", name);
+  return 2;
+}
+
 int RunFile(const char* path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
@@ -169,6 +260,9 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--demo") == 0) {
     return RunDemo(argv[2]);
   }
+  if (argc == 3 && std::strcmp(argv[1], "--ranges") == 0) {
+    return RunRanges(argv[2]);
+  }
   if (argc == 2 && std::strcmp(argv[1], "--diff") == 0) {
     auto report = analysis::RunDiffCheck();
     if (!report.ok()) {
@@ -187,6 +281,7 @@ int main(int argc, char** argv) {
     return RunFile(argv[1]);
   }
   std::fprintf(stderr,
-               "usage: xcheck --list | --demo NAME | --diff | FILE.bin\n");
+               "usage: xcheck --list | --demo NAME | --diff | "
+               "--ranges NAME | FILE.bin\n");
   return 2;
 }
