@@ -38,7 +38,6 @@ FailureKind ClassifyTermination(const std::string& reason) {
 
 xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
                                                       xbase::u32 prog_id) {
-  XB_RETURN_IF_ERROR(bpf_loader_.Find(prog_id).status());
   for (const Attachment& attachment : attachments_) {
     if (attachment.hook == hook && !attachment.is_safex &&
         attachment.target_id == prog_id) {
@@ -47,6 +46,10 @@ xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
           HookPointName(hook).data()));
     }
   }
+  // Pin the program for the attachment's lifetime: Unload refuses while the
+  // pin is held, so a fire can never chase an unloaded id. (Pin also
+  // subsumes the existence check.)
+  XB_RETURN_IF_ERROR(bpf_loader_.Pin(prog_id));
   const xbase::u32 id = next_id_++;
   attachments_.push_back(Attachment{id, hook, false, prog_id});
   bpf_.kernel().Printk(xbase::StrFormat("hook %s: bpf prog %u attached",
@@ -57,7 +60,6 @@ xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
 
 xbase::Result<xbase::u32> HookRegistry::AttachExtension(HookPoint hook,
                                                         xbase::u32 ext_id) {
-  XB_RETURN_IF_ERROR(ext_loader_.Find(ext_id).status());
   for (const Attachment& attachment : attachments_) {
     if (attachment.hook == hook && attachment.is_safex &&
         attachment.target_id == ext_id) {
@@ -66,6 +68,7 @@ xbase::Result<xbase::u32> HookRegistry::AttachExtension(HookPoint hook,
           HookPointName(hook).data()));
     }
   }
+  XB_RETURN_IF_ERROR(ext_loader_.Pin(ext_id));
   const xbase::u32 id = next_id_++;
   attachments_.push_back(Attachment{id, hook, true, ext_id});
   bpf_.kernel().Printk(xbase::StrFormat("hook %s: safex ext %u attached",
@@ -74,16 +77,20 @@ xbase::Result<xbase::u32> HookRegistry::AttachExtension(HookPoint hook,
 }
 
 xbase::Status HookRegistry::Detach(xbase::u32 attachment_id) {
-  const auto before = attachments_.size();
-  attachments_.erase(
-      std::remove_if(attachments_.begin(), attachments_.end(),
-                     [attachment_id](const Attachment& attachment) {
-                       return attachment.id == attachment_id;
-                     }),
-      attachments_.end());
-  if (attachments_.size() == before) {
+  auto it = std::find_if(attachments_.begin(), attachments_.end(),
+                         [attachment_id](const Attachment& attachment) {
+                           return attachment.id == attachment_id;
+                         });
+  if (it == attachments_.end()) {
     return xbase::NotFound("no such attachment");
   }
+  // Drop the unload pin taken at attach time.
+  if (it->is_safex) {
+    ext_loader_.Unpin(it->target_id);
+  } else {
+    bpf_loader_.Unpin(it->target_id);
+  }
+  attachments_.erase(it);
   if (config_.supervisor != nullptr) {
     // Detaching while quarantined/evicted is always legal and drops the
     // health record with the attachment.

@@ -1,14 +1,15 @@
 #include "src/core/loader.h"
 
 #include <chrono>
+#include <limits>
 
 #include "src/xbase/strfmt.h"
 
 namespace safex {
 
-xbase::Result<xbase::u32> ExtLoader::Load(const SignedArtifact& artifact) {
+xbase::Result<PreparedExtension> ExtLoader::Prepare(
+    const SignedArtifact& artifact) const {
   const auto start = std::chrono::steady_clock::now();
-  simkern::Kernel& kernel = runtime_.kernel();
 
   // 1. Signature validation against the sealed boot keyring.
   const std::vector<xbase::u8> message =
@@ -37,32 +38,71 @@ xbase::Result<xbase::u32> ExtLoader::Load(const SignedArtifact& artifact) {
   if (artifact.factory == nullptr) {
     return xbase::InvalidArgument("artifact has no body");
   }
-  LoadedExtension loaded;
-  loaded.id = next_id_++;
-  loaded.manifest = artifact.manifest;
-  loaded.instance = artifact.factory();
-  loaded.relocations = relocations;
-  loaded.load_wall_ns = static_cast<xbase::u64>(
+  PreparedExtension prepared;
+  prepared.manifest = artifact.manifest;
+  prepared.instance = artifact.factory();
+  prepared.relocations = relocations;
+  if (prepared.instance == nullptr) {
+    return xbase::Internal("artifact factory produced no extension");
+  }
+  prepared.load_wall_ns = static_cast<xbase::u64>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  if (loaded.instance == nullptr) {
-    return xbase::Internal("artifact factory produced no extension");
+  return prepared;
+}
+
+xbase::Result<xbase::u32> ExtLoader::Install(PreparedExtension prepared) {
+  LoadedExtension loaded;
+  loaded.manifest = std::move(prepared.manifest);
+  loaded.instance = std::move(prepared.instance);
+  loaded.relocations = prepared.relocations;
+  loaded.load_wall_ns = prepared.load_wall_ns;
+
+  const std::string name = loaded.manifest.name;
+  const std::string version = loaded.manifest.version;
+  const xbase::u32 relocations = loaded.relocations;
+
+  xbase::u32 id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (extensions_.size() >= std::numeric_limits<xbase::u32>::max() - 1) {
+      return xbase::ResourceExhausted("extension id space exhausted");
+    }
+    xbase::u32 candidate = next_id_;
+    for (;;) {
+      if (candidate == 0) {
+        candidate = 1;
+      }
+      if (!extensions_.contains(candidate)) {
+        break;
+      }
+      ++candidate;
+    }
+    id = candidate;
+    next_id_ = candidate + 1;
+    loaded.id = id;
+    extensions_.emplace(id, std::move(loaded));
   }
 
-  kernel.Printk(xbase::StrFormat(
-      "safex: extension %u (%s %s) loaded: signature ok (key '%s'), "
+  runtime_.kernel().Printk(xbase::StrFormat(
+      "safex: extension %u (%s %s) loaded: signature ok, "
       "%u imports bound, no verifier involved",
-      loaded.id, loaded.manifest.name.c_str(),
-      loaded.manifest.version.c_str(), artifact.signature.key_id.c_str(),
-      relocations));
-
-  const xbase::u32 id = loaded.id;
-  extensions_.emplace(id, std::move(loaded));
+      id, name.c_str(), version.c_str(), relocations));
   return id;
 }
 
+xbase::Result<xbase::u32> ExtLoader::Load(const SignedArtifact& artifact) {
+  XB_ASSIGN_OR_RETURN(PreparedExtension prepared, Prepare(artifact));
+  // Keep the pre-split dmesg detail: which key signed the artifact.
+  runtime_.kernel().Printk(xbase::StrFormat(
+      "safex: artifact '%s' signature validated (key '%s')",
+      artifact.manifest.name.c_str(), artifact.signature.key_id.c_str()));
+  return Install(std::move(prepared));
+}
+
 xbase::Result<const LoadedExtension*> ExtLoader::Find(xbase::u32 id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = extensions_.find(id);
   if (it == extensions_.end()) {
     return xbase::NotFound(xbase::StrFormat("no extension id %u", id));
@@ -71,22 +111,63 @@ xbase::Result<const LoadedExtension*> ExtLoader::Find(xbase::u32 id) const {
 }
 
 xbase::Status ExtLoader::Unload(xbase::u32 id) {
-  if (extensions_.erase(id) == 0) {
-    return xbase::NotFound(xbase::StrFormat("no extension id %u", id));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = extensions_.find(id);
+    if (it == extensions_.end()) {
+      return xbase::NotFound(xbase::StrFormat("no extension id %u", id));
+    }
+    if (it->second.attach_count > 0) {
+      return xbase::FailedPrecondition(xbase::StrFormat(
+          "extension %u has %u live attachment(s); detach before unload", id,
+          it->second.attach_count));
+    }
+    extensions_.erase(it);
   }
   runtime_.kernel().Printk(
       xbase::StrFormat("safex: extension %u unloaded", id));
   return xbase::Status::Ok();
 }
 
-xbase::Result<InvokeOutcome> ExtLoader::Invoke(xbase::u32 id,
-                                               const InvokeOptions& options) {
+xbase::Status ExtLoader::Pin(xbase::u32 id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = extensions_.find(id);
   if (it == extensions_.end()) {
     return xbase::NotFound(xbase::StrFormat("no extension id %u", id));
   }
-  return runtime_.Invoke(*it->second.instance, it->second.manifest.caps,
-                         options);
+  ++it->second.attach_count;
+  return xbase::Status::Ok();
+}
+
+void ExtLoader::Unpin(xbase::u32 id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = extensions_.find(id);
+  if (it != extensions_.end() && it->second.attach_count > 0) {
+    --it->second.attach_count;
+  }
+}
+
+xbase::usize ExtLoader::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return extensions_.size();
+}
+
+xbase::Result<InvokeOutcome> ExtLoader::Invoke(xbase::u32 id,
+                                               const InvokeOptions& options) {
+  Extension* instance = nullptr;
+  CapSet caps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = extensions_.find(id);
+    if (it == extensions_.end()) {
+      return xbase::NotFound(xbase::StrFormat("no extension id %u", id));
+    }
+    // Map nodes are stable and Unload refuses while the extension is
+    // attached, so the instance pointer outlives this invocation.
+    instance = it->second.instance.get();
+    caps = it->second.manifest.caps;
+  }
+  return runtime_.Invoke(*instance, caps, options);
 }
 
 }  // namespace safex

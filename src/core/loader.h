@@ -4,9 +4,15 @@
 // points), and register the extension. No safety checking happens here —
 // that moved to the toolchain — which is exactly the paper's claim about
 // where the complexity goes.
+//
+// Like ebpf::Loader, the path is split into a thread-safe Prepare
+// (signature + policy + fixup + instantiation) and a locked Install
+// (id allocation + registration) so the admission pipeline can run
+// signature validation on worker threads.
 #pragma once
 
 #include <map>
+#include <mutex>
 
 #include "src/core/artifact.h"
 #include "src/core/ext.h"
@@ -19,6 +25,17 @@ struct LoadedExtension {
   std::unique_ptr<Extension> instance;
   xbase::u32 relocations = 0;  // imports bound during fixup
   xbase::u64 load_wall_ns = 0; // host time spent in the load path
+  // Live hook attachments referencing this id; Unload refuses while > 0.
+  xbase::u32 attach_count = 0;
+};
+
+// Outcome of the fallible load stages, ready to register. Move-only (owns
+// the instantiated extension).
+struct PreparedExtension {
+  ExtensionManifest manifest;
+  std::unique_ptr<Extension> instance;
+  xbase::u32 relocations = 0;
+  xbase::u64 load_wall_ns = 0;
 };
 
 class ExtLoader {
@@ -27,20 +44,33 @@ class ExtLoader {
 
   xbase::Result<xbase::u32> Load(const SignedArtifact& artifact);
 
+  // Signature validation, policy audit, fixup and instantiation — no
+  // registration. Safe to call concurrently from admission workers.
+  xbase::Result<PreparedExtension> Prepare(const SignedArtifact& artifact) const;
+
+  // Registers a prepared extension under a fresh id (never 0, never a live
+  // id; the counter wraps safely).
+  xbase::Result<xbase::u32> Install(PreparedExtension prepared);
+
   xbase::Result<const LoadedExtension*> Find(xbase::u32 id) const;
 
-  // Removes a loaded extension. Attachments referring to it must be
-  // detached first (by the caller); later Invoke calls fail with NotFound.
+  // Removes a loaded extension. Refuses with FailedPrecondition while hook
+  // attachments still reference the id; later Invoke calls fail NotFound.
   xbase::Status Unload(xbase::u32 id);
+
+  // Attachment refcount (see ebpf::Loader::Pin).
+  xbase::Status Pin(xbase::u32 id);
+  void Unpin(xbase::u32 id);
 
   // Invokes a loaded extension with its manifest's capabilities.
   xbase::Result<InvokeOutcome> Invoke(xbase::u32 id,
                                       const InvokeOptions& options = {});
 
-  xbase::usize size() const { return extensions_.size(); }
+  xbase::usize size() const;
 
  private:
   Runtime& runtime_;
+  mutable std::mutex mu_;  // guards extensions_ and next_id_
   std::map<xbase::u32, LoadedExtension> extensions_;
   xbase::u32 next_id_ = 1;
 };

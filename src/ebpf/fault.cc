@@ -1,5 +1,7 @@
 #include "src/ebpf/fault.h"
 
+#include <map>
+
 namespace ebpf {
 
 const std::vector<FaultInfo>& FaultRegistry::Catalog() {
@@ -70,19 +72,77 @@ const std::vector<FaultInfo>& FaultRegistry::Catalog() {
   return kCatalog;
 }
 
+FaultRegistry::FaultRegistry() : flags_(Catalog().size()) {}
+
+xbase::usize FaultRegistry::IndexOf(std::string_view id) {
+  static const std::map<std::string_view, xbase::usize>* kIndex = [] {
+    auto* index = new std::map<std::string_view, xbase::usize>();
+    const auto& catalog = Catalog();
+    for (xbase::usize i = 0; i < catalog.size(); ++i) {
+      (*index)[catalog[i].id] = i;  // keys view Catalog()'s static strings
+    }
+    return index;
+  }();
+  const auto it = kIndex->find(id);
+  return it == kIndex->end() ? static_cast<xbase::usize>(-1) : it->second;
+}
+
 void FaultRegistry::Inject(std::string_view id) {
-  active_.insert(std::string(id));
+  const xbase::usize index = IndexOf(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index != static_cast<xbase::usize>(-1)) {
+    if (!flags_[index].exchange(true, std::memory_order_release)) {
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+  } else if (other_active_.insert(std::string(id)).second) {
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
 }
 
 void FaultRegistry::Clear(std::string_view id) {
-  auto it = active_.find(id);
-  if (it != active_.end()) {
-    active_.erase(it);
+  const xbase::usize index = IndexOf(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index != static_cast<xbase::usize>(-1)) {
+    if (flags_[index].exchange(false, std::memory_order_release)) {
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+  } else if (other_active_.erase(std::string(id)) > 0) {
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void FaultRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool changed = false;
+  for (std::atomic<bool>& flag : flags_) {
+    changed |= flag.exchange(false, std::memory_order_release);
+  }
+  if (!other_active_.empty()) {
+    other_active_.clear();
+    changed = true;
+  }
+  if (changed) {
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 }
 
 bool FaultRegistry::IsActive(std::string_view id) const {
-  return active_.contains(id);
+  const xbase::usize index = IndexOf(id);
+  if (index != static_cast<xbase::usize>(-1)) {
+    // The hot path: one atomic load, no lock shared with other readers.
+    return flags_[index].load(std::memory_order_acquire);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return other_active_.contains(id);
+}
+
+xbase::usize FaultRegistry::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  xbase::usize count = other_active_.size();
+  for (const std::atomic<bool>& flag : flags_) {
+    count += flag.load(std::memory_order_acquire) ? 1 : 0;
+  }
+  return count;
 }
 
 }  // namespace ebpf

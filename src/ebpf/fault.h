@@ -6,6 +6,8 @@
 // property violated at runtime.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
@@ -58,20 +60,44 @@ struct FaultInfo {
   std::string description;
 };
 
+// Thread-safe: the admission pipeline consults IsActive from worker threads
+// while tests and chaos/storm drivers toggle defects concurrently. Every
+// membership change bumps a monotonic epoch, so anything that caches a
+// judgment derived from the fault set (the admission verdict cache) can key
+// on the epoch and never serve a verdict computed under a different set of
+// active defects.
+//
+// The verifier asks IsActive several times per instruction, so the read
+// path for catalog defects is a single atomic flag load — no lock shared
+// with other verifying workers. Mutations and non-catalog ids take mu_.
 class FaultRegistry {
  public:
+  FaultRegistry();
+
   // The catalog of implemented defects (static data).
   static const std::vector<FaultInfo>& Catalog();
 
   void Inject(std::string_view id);
   void Clear(std::string_view id);
-  void ClearAll() { active_.clear(); }
+  void ClearAll();
   bool IsActive(std::string_view id) const;
 
-  xbase::usize active_count() const { return active_.size(); }
+  xbase::usize active_count() const;
+
+  // Monotonic generation counter, bumped whenever the set of active defects
+  // changes. Two equal epochs imply an identical fault set in between.
+  xbase::u64 epoch() const { return epoch_.load(std::memory_order_acquire); }
 
  private:
-  std::set<std::string, std::less<>> active_;
+  // Catalog index for a known defect id, or npos.
+  static xbase::usize IndexOf(std::string_view id);
+
+  // Guards other_active_ and writer-writer races on flags_/epoch_ (so a
+  // toggle and its epoch bump are atomic with respect to other togglers).
+  mutable std::mutex mu_;
+  std::set<std::string, std::less<>> other_active_;  // non-catalog ids
+  std::vector<std::atomic<bool>> flags_;             // indexed like Catalog()
+  std::atomic<xbase::u64> epoch_{0};
 };
 
 }  // namespace ebpf

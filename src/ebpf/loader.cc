@@ -1,12 +1,48 @@
 #include "src/ebpf/loader.h"
 
-#include "src/staticcheck/check.h"
+#include <chrono>
+#include <limits>
+#include <string>
+
 #include "src/xbase/strfmt.h"
 
 namespace ebpf {
 
-xbase::Result<u32> Loader::Load(const Program& prog,
-                                const LoadOptions& options) {
+namespace {
+
+u64 ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - since)
+                              .count());
+}
+
+}  // namespace
+
+xbase::Status StaticcheckGate(
+    xbase::usize error_count,
+    const std::vector<staticcheck::Finding>& findings) {
+  if (error_count == 0) {
+    return xbase::Status::Ok();
+  }
+  for (const staticcheck::Finding& finding : findings) {
+    if (finding.severity == staticcheck::Severity::kError) {
+      return xbase::Rejected(xbase::StrFormat(
+          "staticcheck prepass: pc %u: %s: %s", finding.pc,
+          finding.rule.c_str(), finding.message.c_str()));
+    }
+  }
+  // The report claims errors but lists none with error severity. The old
+  // load path fell through here and admitted the program — a failing
+  // prepass silently ignored. Fail closed instead.
+  return xbase::Rejected(xbase::StrFormat(
+      "staticcheck prepass: report counts %zu error(s) but lists no "
+      "error-severity finding; rejecting (inconsistent report)",
+      error_count));
+}
+
+xbase::Result<PreparedLoad> Loader::Prepare(const Program& prog,
+                                            const LoadOptions& options,
+                                            PrepareTimes* times) const {
   simkern::Kernel& kernel = bpf_.kernel();
   if (!options.privileged && kernel.config().unprivileged_bpf_disabled) {
     // The v5.15+ default the paper cites [22]: the community no longer
@@ -16,20 +52,17 @@ xbase::Result<u32> Loader::Load(const Program& prog,
   }
 
   if (options.staticcheck_prepass) {
+    const auto prepass_start = std::chrono::steady_clock::now();
     staticcheck::CheckOptions copts;
     copts.maps = &bpf_.maps();
     copts.helpers = &bpf_.helpers();
     XB_ASSIGN_OR_RETURN(staticcheck::Report prepass,
                         staticcheck::RunChecks(prog, copts));
-    if (prepass.errors() > 0) {
-      for (const staticcheck::Finding& finding : prepass.findings) {
-        if (finding.severity == staticcheck::Severity::kError) {
-          return xbase::Rejected(xbase::StrFormat(
-              "staticcheck prepass: pc %u: %s: %s", finding.pc,
-              finding.rule.c_str(), finding.message.c_str()));
-        }
-      }
+    if (times != nullptr) {
+      times->prepass_ran = true;
+      times->prepass_ns = ElapsedNs(prepass_start);
     }
+    XB_RETURN_IF_ERROR(StaticcheckGate(prepass.errors(), prepass.findings));
   }
 
   VerifyOptions vopts;
@@ -38,31 +71,84 @@ xbase::Result<u32> Loader::Load(const Program& prog,
   vopts.faults = &bpf_.faults();
   vopts.kfuncs = &bpf_.kfuncs();
 
+  const auto verify_start = std::chrono::steady_clock::now();
   XB_ASSIGN_OR_RETURN(VerifyResult verify,
                       Verify(prog, bpf_.maps(), bpf_.helpers(), vopts));
+  if (times != nullptr) {
+    times->verify_ns = ElapsedNs(verify_start);
+  }
+
+  const auto jit_start = std::chrono::steady_clock::now();
   XB_ASSIGN_OR_RETURN(JitImage jit, JitCompile(prog, bpf_.faults()));
+  if (times != nullptr) {
+    times->jit_ns = ElapsedNs(jit_start);
+  }
 
+  PreparedLoad prepared;
+  prepared.source = prog;
+  prepared.image = std::move(jit.image);
+  prepared.verify = std::move(verify);
+  prepared.jit = jit.stats;
+  return prepared;
+}
+
+xbase::Result<u32> Loader::Install(PreparedLoad prepared) {
   LoadedProgram loaded;
-  loaded.id = next_id_++;
-  loaded.source = prog;
-  loaded.image = std::move(jit.image);
-  loaded.verify = std::move(verify);
-  loaded.jit = jit.stats;
+  loaded.source = std::move(prepared.source);
+  loaded.image = std::move(prepared.image);
+  loaded.verify = std::move(prepared.verify);
+  loaded.jit = prepared.jit;
 
-  kernel.Printk(xbase::StrFormat(
+  const std::string name = loaded.source.name;
+  const ProgType type = loaded.source.type;
+  const u32 len = loaded.source.len();
+  const u64 insns_processed = loaded.verify.stats.insns_processed;
+  const u64 states_explored = loaded.verify.stats.states_explored;
+
+  u32 id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The id space is 32-bit minus the reserved 0. Guard against genuine
+    // exhaustion, then scan past still-loaded ids: after 2^32 loads the
+    // counter wraps and must not hand out an id that is still in use (the
+    // old code blindly assigned next_id_++, so a wrapped counter could
+    // alias a live program and corrupt the table).
+    if (progs_.size() >= std::numeric_limits<u32>::max() - 1) {
+      return xbase::ResourceExhausted("program id space exhausted");
+    }
+    u32 candidate = next_id_;
+    for (;;) {
+      if (candidate == 0) {
+        candidate = 1;  // id 0 is never valid (matches the kernel's idr)
+      }
+      if (!progs_.contains(candidate)) {
+        break;
+      }
+      ++candidate;
+    }
+    id = candidate;
+    next_id_ = candidate + 1;
+    loaded.id = id;
+    progs_.emplace(id, std::move(loaded));
+  }
+
+  bpf_.kernel().Printk(xbase::StrFormat(
       "bpf: prog %u (%s) loaded, type %s, %u insns, verifier processed "
       "%llu insns / %llu states",
-      loaded.id, prog.name.c_str(), ProgTypeName(prog.type).data(),
-      prog.len(),
-      static_cast<unsigned long long>(loaded.verify.stats.insns_processed),
-      static_cast<unsigned long long>(loaded.verify.stats.states_explored)));
-
-  const u32 id = loaded.id;
-  progs_.emplace(id, std::move(loaded));
+      id, name.c_str(), ProgTypeName(type).data(), len,
+      static_cast<unsigned long long>(insns_processed),
+      static_cast<unsigned long long>(states_explored)));
   return id;
 }
 
+xbase::Result<u32> Loader::Load(const Program& prog,
+                                const LoadOptions& options) {
+  XB_ASSIGN_OR_RETURN(PreparedLoad prepared, Prepare(prog, options));
+  return Install(std::move(prepared));
+}
+
 xbase::Result<const LoadedProgram*> Loader::Find(u32 id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = progs_.find(id);
   if (it == progs_.end()) {
     return xbase::NotFound(xbase::StrFormat("no loaded program id %u", id));
@@ -71,11 +157,52 @@ xbase::Result<const LoadedProgram*> Loader::Find(u32 id) const {
 }
 
 xbase::Status Loader::Unload(u32 id) {
-  if (progs_.erase(id) == 0) {
-    return xbase::NotFound(xbase::StrFormat("no loaded program id %u", id));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = progs_.find(id);
+    if (it == progs_.end()) {
+      return xbase::NotFound(xbase::StrFormat("no loaded program id %u", id));
+    }
+    if (it->second.attach_count > 0) {
+      // Live attachments still reference this program; erasing it would
+      // leave the hook firing a dangling id. Mirror the kernel: the prog
+      // stays until the last reference (attachment) is dropped.
+      return xbase::FailedPrecondition(xbase::StrFormat(
+          "prog %u has %u live attachment(s); detach before unload", id,
+          it->second.attach_count));
+    }
+    progs_.erase(it);
   }
   bpf_.kernel().Printk(xbase::StrFormat("bpf: prog %u unloaded", id));
   return xbase::Status::Ok();
+}
+
+xbase::Status Loader::Pin(u32 id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = progs_.find(id);
+  if (it == progs_.end()) {
+    return xbase::NotFound(xbase::StrFormat("no loaded program id %u", id));
+  }
+  ++it->second.attach_count;
+  return xbase::Status::Ok();
+}
+
+void Loader::Unpin(u32 id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = progs_.find(id);
+  if (it != progs_.end() && it->second.attach_count > 0) {
+    --it->second.attach_count;
+  }
+}
+
+xbase::usize Loader::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return progs_.size();
+}
+
+void Loader::SetNextIdForTest(u32 next_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_id_ = next_id;
 }
 
 }  // namespace ebpf

@@ -2,15 +2,29 @@
 // submitted here is verified (per the kernel's version and the caller's
 // privilege), JIT-translated, and stored for attachment/tail calls. This is
 // the half of Figure 1 the paper wants to retire.
+//
+// The path is split in two so the concurrent admission pipeline
+// (src/service) can run the expensive half off-thread:
+//
+//   Prepare  — privilege gate, optional staticcheck prepass, verifier, JIT.
+//              Const: touches only the Bpf registries, safe to run from many
+//              threads at once (the fault registry is internally locked).
+//   Install  — allocates an id and registers the prepared program. Cheap,
+//              internally locked.
+//
+// Load() is Prepare + Install and keeps the original synchronous contract.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <vector>
 
 #include "src/ebpf/bpf.h"
 #include "src/ebpf/jit.h"
 #include "src/ebpf/verifier.h"
+#include "src/staticcheck/check.h"
 
 namespace ebpf {
 
@@ -20,6 +34,10 @@ struct LoadedProgram {
   Program image;      // as executed (post-JIT)
   VerifyResult verify;
   JitStats jit;
+  // Live hook attachments referencing this id (see Pin/Unpin). A program
+  // cannot be unloaded while attached: the kernel holds a prog refcount per
+  // attachment for exactly this reason.
+  u32 attach_count = 0;
 };
 
 struct LoadOptions {
@@ -32,7 +50,36 @@ struct LoadOptions {
   // default (the kernel trusts only its verifier); the in-tree tests and
   // tools/xcheck turn it on.
   bool staticcheck_prepass = false;
+  // Consumed by service::AdmissionService::Load — true returns an
+  // unresolved ticket immediately, false blocks for the verdict. The
+  // synchronous Loader::Load path ignores it.
+  bool async = false;
 };
+
+// The outcome of the fallible admission stages, ready to register.
+struct PreparedLoad {
+  Program source;
+  Program image;
+  VerifyResult verify;
+  JitStats jit;
+};
+
+// Per-stage wall-clock breakdown of Prepare (filled when requested by the
+// admission pipeline's metrics).
+struct PrepareTimes {
+  u64 prepass_ns = 0;
+  u64 verify_ns = 0;
+  u64 jit_ns = 0;
+  bool prepass_ran = false;
+};
+
+// Admission decision for a staticcheck prepass report. Rejects whenever the
+// report counts any error — even if no finding in the list carries
+// Severity::kError (an inconsistent Report must fail closed, not slip past
+// the gate). Exposed as a free function so tests can feed it exactly that
+// inconsistent shape.
+xbase::Status StaticcheckGate(xbase::usize error_count,
+                              const std::vector<staticcheck::Finding>& findings);
 
 class Loader {
  public:
@@ -42,17 +89,44 @@ class Loader {
   // failure.
   xbase::Result<u32> Load(const Program& prog, const LoadOptions& options = {});
 
+  // The fallible, expensive stages only (no registration, no id). Safe to
+  // call concurrently from admission workers.
+  xbase::Result<PreparedLoad> Prepare(const Program& prog,
+                                      const LoadOptions& options = {},
+                                      PrepareTimes* times = nullptr) const;
+
+  // Registers a prepared program: allocates a fresh id (never 0, never an
+  // id still in use — the counter wraps safely) and stores it. Fails with
+  // ResourceExhausted when the id space is genuinely full.
+  xbase::Result<u32> Install(PreparedLoad prepared);
+
   xbase::Result<const LoadedProgram*> Find(u32 id) const;
 
-  // Removes a loaded program (prog fd closed, no attachments left). Later
-  // lookups — including tail calls through a stale prog-array slot — fail
-  // with NotFound, matching the kernel's dead-prog behaviour.
+  // Removes a loaded program (prog fd closed). Refuses with
+  // FailedPrecondition while hook attachments still reference the id —
+  // detach first — so a later hook fire can never dangle. Later lookups —
+  // including tail calls through a stale prog-array slot — fail with
+  // NotFound, matching the kernel's dead-prog behaviour.
   xbase::Status Unload(u32 id);
 
-  xbase::usize size() const { return progs_.size(); }
+  // Attachment refcount: HookRegistry pins a program while it is attached
+  // and unpins on detach. Pin fails with NotFound for unknown ids.
+  xbase::Status Pin(u32 id);
+  void Unpin(u32 id);
+
+  xbase::usize size() const;
+
+  // Test hook for the id-wraparound regression tests: positions the
+  // allocation cursor (e.g. just below the wrap point).
+  void SetNextIdForTest(u32 next_id);
 
  private:
   Bpf& bpf_;
+  // Guards progs_ and next_id_. Install/Unload/Pin/Unpin from admission
+  // workers interleave with Find from the caller thread; std::map nodes are
+  // stable, so a Find'ed pointer stays valid until that id is unloaded
+  // (which Pin prevents while attached).
+  mutable std::mutex mu_;
   std::map<u32, LoadedProgram> progs_;
   u32 next_id_ = 1;
 };

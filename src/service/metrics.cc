@@ -1,0 +1,50 @@
+#include "src/service/metrics.h"
+
+#include <algorithm>
+
+namespace service {
+
+void MetricsCollector::RecordLatency(Stage stage, xbase::u64 ns) {
+  std::lock_guard<std::mutex> lock(samples_mu_);
+  samples_[static_cast<xbase::usize>(stage)].push_back(ns);
+}
+
+StageStats MetricsCollector::Summarize(const std::vector<xbase::u64>& samples) {
+  StageStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) {
+    return stats;
+  }
+  std::vector<xbase::u64> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (xbase::u64 sample : sorted) {
+    stats.total_ns += sample;
+  }
+  stats.p50_ns = sorted[(sorted.size() - 1) / 2];
+  stats.p99_ns = sorted[(sorted.size() - 1) * 99 / 100];
+  stats.max_ns = sorted.back();
+  return stats;
+}
+
+AdmissionMetrics MetricsCollector::Snapshot() const {
+  AdmissionMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.completed = completed_.load(std::memory_order_relaxed);
+  m.admitted = admitted_.load(std::memory_order_relaxed);
+  m.rejected = rejected_.load(std::memory_order_relaxed);
+  m.prepass_runs = prepass_runs_.load(std::memory_order_relaxed);
+  m.verify_runs = verify_runs_.load(std::memory_order_relaxed);
+  m.jit_runs = jit_runs_.load(std::memory_order_relaxed);
+  m.signature_checks = signature_checks_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(samples_mu_);
+    m.prepass = Summarize(samples_[static_cast<xbase::usize>(Stage::kPrepass)]);
+    m.verify = Summarize(samples_[static_cast<xbase::usize>(Stage::kVerify)]);
+    m.jit = Summarize(samples_[static_cast<xbase::usize>(Stage::kJit)]);
+    m.install = Summarize(samples_[static_cast<xbase::usize>(Stage::kInstall)]);
+    m.total = Summarize(samples_[static_cast<xbase::usize>(Stage::kTotal)]);
+  }
+  return m;
+}
+
+}  // namespace service

@@ -66,6 +66,7 @@ xbase::Status Kernel::Route(xbase::Status status) {
 }
 
 void Kernel::Printk(const std::string& line) {
+  std::lock_guard<std::mutex> lock(dmesg_mu_);
   dmesg_.push_back(xbase::StrFormat("[%8.6f] %s",
                                     static_cast<double>(clock_.now_ns()) / 1e9,
                                     line.c_str()));

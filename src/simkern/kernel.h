@@ -6,6 +6,7 @@
 
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -99,6 +100,9 @@ class Kernel {
   const std::string& extension_scope() const { return scope_label_; }
 
   // --- dmesg -------------------------------------------------------------
+  // Printk is internally locked: admission workers log loads concurrently
+  // with the caller thread. Reading dmesg() still requires the writers to
+  // be quiescent (tests read it after draining the pipeline).
   void Printk(const std::string& line);
   const std::deque<std::string>& dmesg() const { return dmesg_; }
 
@@ -119,6 +123,7 @@ class Kernel {
   CallGraph callgraph_;
   KernelState state_ = KernelState::kRunning;
   std::vector<OopsRecord> oopses_;
+  std::mutex dmesg_mu_;
   std::deque<std::string> dmesg_;
   bool oops_recovery_ = false;
   bool in_scope_ = false;

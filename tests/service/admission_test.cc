@@ -1,0 +1,250 @@
+// Admission pipeline unit tests: verdict-cache identity (a hit is
+// observationally the original verification), key separation across
+// privilege/version/epoch, bounded-queue backpressure (blocking, never
+// dropping), and thundering-herd coalescing (N duplicate submissions, one
+// verification).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/ebpf/asm.h"
+#include "src/service/admission.h"
+
+namespace service {
+namespace {
+
+using ebpf::ProgramBuilder;
+
+ebpf::Program BusyProg(xbase::u32 iters) {
+  // A counted loop: verification cost scales with iters, so concurrent
+  // duplicate submissions genuinely overlap in the verifier. Distinct trip
+  // counts give distinct content hashes.
+  ProgramBuilder b("busy", ebpf::ProgType::kSyscall);
+  b.Ins(ebpf::Mov64Imm(ebpf::R6, 0))
+      .Ins(ebpf::Mov64Imm(ebpf::R0, 0))
+      .Bind("top")
+      .JmpTo(ebpf::BPF_JGE, ebpf::R6, static_cast<xbase::s32>(iters), "done")
+      .Ins(ebpf::Alu64Reg(ebpf::BPF_ADD, ebpf::R0, ebpf::R6))
+      .Ins(ebpf::Alu64Imm(ebpf::BPF_ADD, ebpf::R6, 1))
+      .JaTo("top")
+      .Bind("done")
+      .Ins(ebpf::Exit());
+  return b.Build().value();
+}
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  AdmissionTest()
+      : kernel_(UnprivFriendlyConfig()), bpf_(kernel_), loader_(bpf_) {
+    EXPECT_TRUE(kernel_.BootstrapWorkload().ok());
+  }
+
+  static simkern::KernelConfig UnprivFriendlyConfig() {
+    simkern::KernelConfig config;
+    config.unprivileged_bpf_disabled = false;
+    return config;
+  }
+
+  AdmissionConfig SmallConfig(xbase::usize workers,
+                              xbase::usize queue = 128) {
+    AdmissionConfig config;
+    config.workers = workers;
+    config.queue_capacity = queue;
+    return config;
+  }
+
+  simkern::Kernel kernel_;
+  ebpf::Bpf bpf_;
+  ebpf::Loader loader_;
+};
+
+void ExpectSameVerifyStats(const ebpf::VerifyStats& a,
+                           const ebpf::VerifyStats& b) {
+  // Memberwise, not just the headline counters: a cache hit must return
+  // the stored VerifyResult byte-identically, wall time included.
+  EXPECT_EQ(a.insns_processed, b.insns_processed);
+  EXPECT_EQ(a.states_explored, b.states_explored);
+  EXPECT_EQ(a.states_pruned, b.states_pruned);
+  EXPECT_EQ(a.peak_states, b.peak_states);
+  EXPECT_EQ(a.states_leaked, b.states_leaked);
+  EXPECT_EQ(a.verification_wall_ns, b.verification_wall_ns);
+  EXPECT_EQ(a.prog_len, b.prog_len);
+  EXPECT_EQ(a.subprog_count, b.subprog_count);
+  EXPECT_EQ(a.max_stack_depth, b.max_stack_depth);
+}
+
+TEST_F(AdmissionTest, CacheHitReturnsIdenticalVerifyResult) {
+  AdmissionService svc(SmallConfig(1), bpf_, loader_);
+  const ebpf::Program prog = BusyProg(64);
+
+  const auto first = svc.Wait(svc.Load(prog));
+  const auto second = svc.Wait(svc.Load(prog));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(first.value(), second.value());  // distinct registrations
+
+  const auto* a = loader_.Find(first.value()).value();
+  const auto* b = loader_.Find(second.value()).value();
+  ExpectSameVerifyStats(a->verify.stats, b->verify.stats);
+  EXPECT_EQ(a->verify.subprog_starts, b->verify.subprog_starts);
+
+  const AdmissionMetrics m = svc.Metrics();
+  EXPECT_EQ(m.verify_runs, 1u);  // the second load never touched the verifier
+  EXPECT_EQ(m.jit_runs, 1u);
+  EXPECT_EQ(m.cache.hits, 1u);
+  EXPECT_EQ(m.cache.misses, 1u);
+  EXPECT_EQ(m.admitted, 2u);
+}
+
+TEST_F(AdmissionTest, PrivilegeAndVersionKeysDoNotCollide) {
+  AdmissionService svc(SmallConfig(1), bpf_, loader_);
+  const ebpf::Program prog = BusyProg(32);
+
+  ebpf::LoadOptions privileged;
+  ebpf::LoadOptions unprivileged;
+  unprivileged.privileged = false;
+  ebpf::LoadOptions old_kernel;
+  old_kernel.version_override = simkern::KernelVersion{4, 19};
+
+  (void)svc.Wait(svc.Load(prog, privileged));
+  (void)svc.Wait(svc.Load(prog, unprivileged));
+  (void)svc.Wait(svc.Load(prog, old_kernel));
+  AdmissionMetrics m = svc.Metrics();
+  // Three distinct keys: no cross-privilege or cross-version hits.
+  EXPECT_EQ(m.cache.misses, 3u);
+  EXPECT_EQ(m.cache.hits, 0u);
+
+  // Re-submitting each variant hits its own entry.
+  (void)svc.Wait(svc.Load(prog, privileged));
+  (void)svc.Wait(svc.Load(prog, unprivileged));
+  (void)svc.Wait(svc.Load(prog, old_kernel));
+  m = svc.Metrics();
+  EXPECT_EQ(m.cache.misses, 3u);
+  EXPECT_EQ(m.cache.hits, 3u);
+}
+
+TEST_F(AdmissionTest, PrepassFlagIsPartOfTheKey) {
+  AdmissionService svc(SmallConfig(1), bpf_, loader_);
+  const ebpf::Program prog = BusyProg(16);
+
+  ebpf::LoadOptions plain;
+  ebpf::LoadOptions with_prepass;
+  with_prepass.staticcheck_prepass = true;
+
+  (void)svc.Wait(svc.Load(prog, plain));
+  (void)svc.Wait(svc.Load(prog, with_prepass));
+  const AdmissionMetrics m = svc.Metrics();
+  EXPECT_EQ(m.cache.misses, 2u);
+  EXPECT_EQ(m.prepass_runs, 1u);
+}
+
+// The bounded queue applies backpressure by blocking the submitter — no
+// request is ever dropped. 64 submissions through a 2-deep queue must all
+// resolve.
+TEST_F(AdmissionTest, TinyQueueBlocksButNeverDrops) {
+  AdmissionConfig config = SmallConfig(1, /*queue=*/2);
+  AdmissionService svc(config, bpf_, loader_);
+  const ebpf::Program prog = BusyProg(128);
+
+  ebpf::LoadOptions async;
+  async.async = true;
+  std::vector<AdmissionService::Ticket> tickets;
+  for (int i = 0; i < 64; ++i) {
+    tickets.push_back(svc.Load(prog, async));
+  }
+  xbase::u64 resolved = 0;
+  for (const auto& ticket : tickets) {
+    resolved += svc.Wait(ticket).ok() ? 1 : 0;
+  }
+  EXPECT_EQ(resolved, 64u);
+
+  const AdmissionMetrics m = svc.Metrics();
+  EXPECT_EQ(m.submitted, 64u);
+  EXPECT_EQ(m.completed, 64u);
+  EXPECT_LE(m.queue_depth_peak, 2u);
+}
+
+// Thundering herd: many concurrent submissions of the same program must
+// verify exactly once — the first arrival owns the computation, everyone
+// else coalesces on the in-flight entry or hits the published verdict.
+TEST_F(AdmissionTest, DuplicateHerdVerifiesExactlyOnce) {
+  AdmissionService svc(SmallConfig(4), bpf_, loader_);
+  const ebpf::Program prog = BusyProg(20000);  // heavy enough to overlap
+  constexpr int kHerd = 32;
+
+  ebpf::LoadOptions async;
+  async.async = true;
+  std::vector<AdmissionService::Ticket> tickets;
+  tickets.reserve(kHerd);
+  for (int i = 0; i < kHerd; ++i) {
+    tickets.push_back(svc.Load(prog, async));
+  }
+  for (const auto& ticket : tickets) {
+    EXPECT_TRUE(svc.Wait(ticket).ok());
+  }
+
+  const AdmissionMetrics m = svc.Metrics();
+  EXPECT_EQ(m.verify_runs, 1u);
+  EXPECT_EQ(m.jit_runs, 1u);
+  EXPECT_EQ(m.cache.misses, 1u);
+  EXPECT_EQ(m.cache.hits, static_cast<xbase::u64>(kHerd - 1));
+  EXPECT_EQ(m.admitted, static_cast<xbase::u64>(kHerd));
+  EXPECT_EQ(loader_.size(), static_cast<xbase::usize>(kHerd));
+}
+
+// The epoch regression at the service level: with the cache keyed only on
+// content (no fault epoch), toggling a verifier defect between two
+// identical loads served the stale pre-toggle verdict. The toggle must
+// force a fresh verification even though the fault set ends up identical.
+TEST_F(AdmissionTest, FaultToggleBetweenIdenticalLoadsForcesReverify) {
+  AdmissionService svc(SmallConfig(1), bpf_, loader_);
+  const ebpf::Program prog = BusyProg(64);
+
+  ASSERT_TRUE(svc.Wait(svc.Load(prog)).ok());
+  EXPECT_EQ(svc.Metrics().verify_runs, 1u);
+
+  // Toggle on and straight back off: the active set is identical again,
+  // but the epoch moved — the cached verdict is unreachable by design.
+  bpf_.faults().Inject(ebpf::kFaultVerifierScalarBounds);
+  bpf_.faults().Clear(ebpf::kFaultVerifierScalarBounds);
+
+  ASSERT_TRUE(svc.Wait(svc.Load(prog)).ok());
+  const AdmissionMetrics m = svc.Metrics();
+  EXPECT_EQ(m.verify_runs, 2u) << "stale verdict served across fault toggle";
+  EXPECT_EQ(m.cache.misses, 2u);
+  EXPECT_EQ(m.cache.hits, 0u);
+}
+
+TEST_F(AdmissionTest, BatchPreservesSubmissionOrder) {
+  AdmissionService svc(SmallConfig(4), bpf_, loader_);
+
+  // Index 1 is rejected (load through an uninitialized register).
+  ProgramBuilder bad("bad", ebpf::ProgType::kSyscall);
+  bad.Ins(ebpf::LdxMem(ebpf::BPF_DW, ebpf::R0, ebpf::R5, 0)).Ins(ebpf::Exit());
+
+  std::vector<ebpf::Program> batch;
+  batch.push_back(BusyProg(8));
+  batch.push_back(bad.Build().value());
+  batch.push_back(BusyProg(24));
+
+  const auto results = svc.LoadBatch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST_F(AdmissionTest, ShutdownResolvesLateSubmissions) {
+  AdmissionService svc(SmallConfig(2), bpf_, loader_);
+  const ebpf::Program prog = BusyProg(8);
+  ASSERT_TRUE(svc.Wait(svc.Load(prog)).ok());
+  svc.Shutdown();
+
+  const auto late = svc.Wait(svc.Load(prog));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), xbase::Code::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace service
