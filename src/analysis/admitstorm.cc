@@ -96,6 +96,14 @@ AdmitStormReport RunAdmitStorm(const AdmitStormConfig& config) {
     report.failure = "map setup failed";
     return report;
   }
+  // Zeroed ctx block for the post-drain execution probes.
+  auto probe_ctx = rig.kernel.mem().Map(64, simkern::MemPerm::kReadWrite,
+                                        simkern::RegionKind::kKernelData,
+                                        "storm-ctx");
+  if (!probe_ctx.ok()) {
+    report.failure = "probe ctx setup failed";
+    return report;
+  }
 
   // Corpus. `accepted` programs pass the clean verifier; `rejected` ones are
   // turned away by it (though an injected defect may let one through
@@ -114,6 +122,10 @@ AdmitStormReport RunAdmitStorm(const AdmitStormConfig& config) {
   add("diamonds-4", BuildBranchDiamonds(4));
   add("diamonds-8", BuildBranchDiamonds(8));
   add("loop-32", BuildCountedLoop(32));
+  // Everything above at most reads scalar fields out of the ctx block —
+  // the post-drain execution probes draw from this prefix so a plain
+  // zeroed kernel-data region serves as ctx (no packet or socket state).
+  const usize probe_safe_count = corpus.size();
   add("packet-counter", BuildPacketCounter(arr_fd));
   add("sk-lookup-ok", BuildSkLookupWithRelease());
   const usize accepted_count = corpus.size();
@@ -302,6 +314,75 @@ AdmitStormReport RunAdmitStorm(const AdmitStormConfig& config) {
           return report;
         }
         ++report.stats.unloads;
+      }
+    }
+
+    // Invariant: post-drain execution probe. A freshly admitted ctx-free
+    // corpus program must run to completion on the configured engine, and —
+    // when that engine is the threaded one — agree with the legacy
+    // interpreter on r0 and retired-insn count. Active fault-registry
+    // defects are suspended for the probe (an injected JIT defect that
+    // corrupts the lowered image is *supposed* to diverge the engines) and
+    // restored afterwards so the storm's fault schedule is undisturbed.
+    {
+      std::vector<std::string> suspended;
+      for (const ebpf::FaultInfo& fault : catalog) {
+        if (rig.bpf.faults().IsActive(fault.id)) {
+          suspended.push_back(fault.id);
+          rig.bpf.faults().Clear(fault.id);
+        }
+      }
+      const CorpusEntry& entry = corpus[rng.NextBelow(probe_safe_count)];
+      auto probe_id = rig.loader.Load(entry.prog);
+      if (!probe_id.ok()) {
+        fail(xbase::StrFormat("exec probe load of %s refused: %s",
+                              entry.name.c_str(),
+                              probe_id.status().ToString().c_str()));
+        return report;
+      }
+      auto loaded = rig.loader.Find(probe_id.value());
+      ebpf::ExecOptions exec_opts;
+      exec_opts.engine = config.engine;
+      auto primary = ebpf::Execute(rig.bpf, *loaded.value(), probe_ctx.value(),
+                                   exec_opts, &rig.loader);
+      ++report.stats.exec_probes;
+      if (!primary.ok()) {
+        fail(xbase::StrFormat("exec probe of %s failed: %s",
+                              entry.name.c_str(),
+                              primary.status().ToString().c_str()));
+        return report;
+      }
+      if (config.engine == ebpf::ExecEngine::kThreaded) {
+        exec_opts.engine = ebpf::ExecEngine::kLegacy;
+        auto cross = ebpf::Execute(rig.bpf, *loaded.value(), probe_ctx.value(),
+                                   exec_opts, &rig.loader);
+        if (!cross.ok() || cross.value().r0 != primary.value().r0 ||
+            cross.value().stats.insns != primary.value().stats.insns) {
+          fail(xbase::StrFormat(
+              "engine divergence on %s: threaded r0=%llu insns=%llu, "
+              "legacy %s",
+              entry.name.c_str(),
+              static_cast<unsigned long long>(primary.value().r0),
+              static_cast<unsigned long long>(primary.value().stats.insns),
+              cross.ok()
+                  ? xbase::StrFormat(
+                        "r0=%llu insns=%llu",
+                        static_cast<unsigned long long>(cross.value().r0),
+                        static_cast<unsigned long long>(
+                            cross.value().stats.insns))
+                        .c_str()
+                  : cross.status().ToString().c_str()));
+          return report;
+        }
+      }
+      if (!rig.loader.Unload(probe_id.value()).ok()) {
+        fail(xbase::StrFormat("exec probe unload of %u refused",
+                              probe_id.value()));
+        return report;
+      }
+      ++report.stats.unloads;
+      for (const std::string& fault_id : suspended) {
+        rig.bpf.faults().Inject(fault_id);
       }
     }
 

@@ -22,6 +22,7 @@
 
 #include <string>
 
+#include "src/ebpf/interp.h"
 #include "src/xbase/types.h"
 
 namespace analysis {
@@ -36,6 +37,10 @@ struct AdmitStormConfig {
   xbase::usize queue_capacity = 32;
   bool cache_enabled = true;
   bool toggle_faults = true;
+  // Engine for the post-drain execution probes. kThreaded additionally
+  // cross-checks every probe against the legacy interpreter (r0 and insn
+  // counts must agree).
+  ebpf::ExecEngine engine = ebpf::ExecEngine::kThreaded;
 };
 
 struct AdmitStormStats {
@@ -48,6 +53,7 @@ struct AdmitStormStats {
   xbase::u64 unloads = 0;
   xbase::u64 fault_toggles = 0;
   xbase::u64 consistency_probes = 0;
+  xbase::u64 exec_probes = 0;
   // Final pipeline metrics (from AdmissionService::Metrics()).
   xbase::u64 cache_hits = 0;
   xbase::u64 cache_misses = 0;

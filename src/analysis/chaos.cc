@@ -117,6 +117,7 @@ struct ChaosRig {
     supervisor = std::make_unique<safex::Supervisor>(config.supervisor);
     safex::HookRegistryConfig hook_config;
     hook_config.supervisor = supervisor.get();
+    hook_config.exec_options.engine = config.engine;
     hooks = std::make_unique<safex::HookRegistry>(bpf, bpf_loader,
                                                   *ext_loader, hook_config);
   }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/supervisor.h"
+#include "src/ebpf/interp.h"
 #include "src/xbase/types.h"
 
 namespace analysis {
@@ -30,6 +31,9 @@ struct ChaosConfig {
   // at some point once enough toggle ops have fired).
   bool toggle_faults = true;
   bool verbose = false;
+  // Execution engine every hook fire runs attached programs on — the storm
+  // is engine-agnostic by construction, so both must survive it.
+  ebpf::ExecEngine engine = ebpf::ExecEngine::kThreaded;
   safex::SupervisorConfig supervisor;
 };
 

@@ -402,6 +402,25 @@ bool RangeFuzzReport::VerifierUnsound() const {
   return false;
 }
 
+std::vector<u64> FuzzProgramSeeds(u64 master_seed, u32 count) {
+  Rng scheduler(master_seed);
+  std::vector<u64> seeds(count);
+  for (u64& seed : seeds) {
+    seed = scheduler.Next();
+  }
+  return seeds;
+}
+
+xbase::Result<Program> BuildFuzzProgram(u64 program_seed, int map_fd,
+                                        u32 body_len,
+                                        const std::string& name) {
+  Rng rng(program_seed);
+  return GenProgram(rng, map_fd, body_len, name);
+}
+
+static_assert(kRangeFuzzValueSize == kFuzzValueSize,
+              "exported value size must match the generator's");
+
 xbase::Result<RangeFuzzReport> RunRangeFuzz(const RangeFuzzOptions& opts) {
   RangeFuzzReport report;
   Rng scheduler(opts.seed);

@@ -16,10 +16,32 @@
 #include <string>
 #include <vector>
 
+#include "src/ebpf/prog.h"
 #include "src/xbase/status.h"
 #include "src/xbase/types.h"
 
 namespace analysis {
+
+// ---- fuzz-program generator --------------------------------------------
+
+// The generator is exposed so other harnesses (the execution-engine
+// equivalence test) can replay the exact corpus RunRangeFuzz would fuzz.
+
+// Array-map value size every fuzz program is generated against.
+inline constexpr xbase::u32 kRangeFuzzValueSize = 64;
+
+// The per-program seeds RunRangeFuzz derives from `master_seed`, in
+// schedule order.
+std::vector<xbase::u64> FuzzProgramSeeds(xbase::u64 master_seed,
+                                         xbase::u32 count);
+
+// The deterministic seeded random program for `program_seed`: map-lookup
+// prologue seeding unknown scalars from an array map at `map_fd`
+// (kRangeFuzzValueSize-byte values), then `body_len` random ALU / forward
+// branch / stack / map-access instructions. Memory-safe by construction.
+xbase::Result<ebpf::Program> BuildFuzzProgram(xbase::u64 program_seed,
+                                              int map_fd, xbase::u32 body_len,
+                                              const std::string& name);
 
 struct RangeFuzzOptions {
   xbase::u64 seed = 1;

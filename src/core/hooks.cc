@@ -51,7 +51,10 @@ xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
   // subsumes the existence check.)
   XB_RETURN_IF_ERROR(bpf_loader_.Pin(prog_id));
   const xbase::u32 id = next_id_++;
-  attachments_.push_back(Attachment{id, hook, false, prog_id});
+  attachments_.push_back(Attachment{
+      id, hook, false, prog_id,
+      xbase::StrFormat("bpf:%u(%s)", prog_id, HookPointName(hook).data())});
+  PublishSnapshot();
   bpf_.kernel().Printk(xbase::StrFormat("hook %s: bpf prog %u attached",
                                         HookPointName(hook).data(),
                                         prog_id));
@@ -70,7 +73,10 @@ xbase::Result<xbase::u32> HookRegistry::AttachExtension(HookPoint hook,
   }
   XB_RETURN_IF_ERROR(ext_loader_.Pin(ext_id));
   const xbase::u32 id = next_id_++;
-  attachments_.push_back(Attachment{id, hook, true, ext_id});
+  attachments_.push_back(Attachment{
+      id, hook, true, ext_id,
+      xbase::StrFormat("ext:%u(%s)", ext_id, HookPointName(hook).data())});
+  PublishSnapshot();
   bpf_.kernel().Printk(xbase::StrFormat("hook %s: safex ext %u attached",
                                         HookPointName(hook).data(), ext_id));
   return id;
@@ -91,12 +97,23 @@ xbase::Status HookRegistry::Detach(xbase::u32 attachment_id) {
     bpf_loader_.Unpin(it->target_id);
   }
   attachments_.erase(it);
+  PublishSnapshot();
   if (config_.supervisor != nullptr) {
     // Detaching while quarantined/evicted is always legal and drops the
     // health record with the attachment.
     config_.supervisor->Forget(attachment_id);
   }
   return xbase::Status::Ok();
+}
+
+void HookRegistry::PublishSnapshot() {
+  auto snapshot = std::make_shared<Snapshot>();
+  for (const Attachment& attachment : attachments_) {
+    snapshot->by_hook[static_cast<xbase::usize>(attachment.hook)].push_back(
+        attachment);
+  }
+  snapshot_.store(std::shared_ptr<const Snapshot>(std::move(snapshot)),
+                  std::memory_order_release);
 }
 
 HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
@@ -121,16 +138,19 @@ HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
   }
 
   // Pre-invocation kernel-state baseline, so anything the attachment leaks
-  // can be attributed, repaired and charged to it afterwards.
-  simkern::RefcountSnapshot refs_before;
-  std::vector<simkern::LockId> locks_before;
+  // can be attributed, repaired and charged to it afterwards. The baseline
+  // is count/journal based: instead of copying the whole object table and
+  // walking the lock table before every run, arm the (reused) refcount
+  // journal and record the O(1) held-lock count; the expensive walks only
+  // happen when those say something actually changed.
   const int rcu_depth_before = kernel.rcu().depth();
   if (supervisor != nullptr) {
-    refs_before = kernel.objects().Snapshot();
-    locks_before = kernel.locks().HeldLocks();
-    kernel.BeginExtensionScope(xbase::StrFormat(
-        "%s:%u(%s)", attachment.is_safex ? "ext" : "bpf",
-        attachment.target_id, HookPointName(attachment.hook).data()));
+    kernel.objects().BeginRefJournal();
+    locks_before_scratch_.clear();
+    if (kernel.locks().held_count() != 0) {
+      kernel.locks().HeldLocksInto(&locks_before_scratch_);
+    }
+    kernel.BeginExtensionScope(attachment.scope_label);
   }
 
   try {
@@ -148,8 +168,8 @@ HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
     } else {
       auto loaded = bpf_loader_.Find(attachment.target_id);
       if (loaded.ok()) {
-        auto result = ebpf::Execute(bpf_, *loaded.value(), ctx_addr, {},
-                                    &bpf_loader_);
+        auto result = ebpf::Execute(bpf_, *loaded.value(), ctx_addr,
+                                    config_.exec_options, &bpf_loader_);
         if (result.ok()) {
           verdict.value = result.value().r0;
         } else {
@@ -180,19 +200,48 @@ HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
     (void)kernel.rcu().ReadUnlock();
   }
   xbase::u32 locks_repaired = 0;
-  for (const simkern::LockId lock : kernel.locks().HeldLocks()) {
-    if (std::find(locks_before.begin(), locks_before.end(), lock) ==
-        locks_before.end()) {
-      kernel.locks().ForceRelease(lock);
-      ++locks_repaired;
+  if (kernel.locks().held_count() != 0) {
+    locks_after_scratch_.clear();
+    kernel.locks().HeldLocksInto(&locks_after_scratch_);
+    for (const simkern::LockId lock : locks_after_scratch_) {
+      if (std::find(locks_before_scratch_.begin(),
+                    locks_before_scratch_.end(),
+                    lock) == locks_before_scratch_.end()) {
+        kernel.locks().ForceRelease(lock);
+        ++locks_repaired;
+      }
     }
   }
   xbase::u32 refs_repaired = 0;
-  for (const simkern::RefLeak& leak :
-       kernel.objects().DiffSince(refs_before)) {
-    for (xbase::s64 i = leak.before; i < leak.after; ++i) {
-      if (kernel.objects().Release(leak.id).ok()) {
-        ++refs_repaired;
+  const std::vector<simkern::RefJournalEvent>& journal =
+      kernel.objects().EndRefJournal();
+  if (!journal.empty()) {
+    // Net the journal per object; a positive net on a still-live object is
+    // exactly what Snapshot/DiffSince used to report (freed-in-scope
+    // objects net out or fail the IsLive check, matching the old skip of
+    // freed entries).
+    ref_net_scratch_.clear();
+    for (const simkern::RefJournalEvent& event : journal) {
+      bool merged = false;
+      for (auto& [id, net] : ref_net_scratch_) {
+        if (id == event.id) {
+          net += event.delta;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        ref_net_scratch_.emplace_back(event.id, event.delta);
+      }
+    }
+    for (const auto& [id, net] : ref_net_scratch_) {
+      if (net <= 0 || !kernel.objects().IsLive(id)) {
+        continue;
+      }
+      for (xbase::s64 i = 0; i < net; ++i) {
+        if (kernel.objects().Release(id).ok()) {
+          ++refs_repaired;
+        }
       }
     }
   }
@@ -250,19 +299,26 @@ void HookRegistry::ApplyFallback(HookPoint hook,
 xbase::Result<HookFireReport> HookRegistry::Fire(HookPoint hook,
                                                  simkern::Addr ctx_addr) {
   HookFireReport report;
-  report.verdict = hook == HookPoint::kXdpIngress ? 2 /* XDP_PASS */ : 0;
+  FireInto(hook, ctx_addr, report);
+  return report;
+}
 
-  // Iterate over a snapshot of ids so nothing an attachment does (and no
-  // repair the supervisor performs) can invalidate the walk.
-  std::vector<xbase::usize> indices;
-  indices.reserve(attachments_.size());
-  for (xbase::usize i = 0; i < attachments_.size(); ++i) {
-    if (attachments_[i].hook == hook) {
-      indices.push_back(i);
-    }
-  }
-  for (const xbase::usize index : indices) {
-    const Attachment attachment = attachments_[index];
+void HookRegistry::FireInto(HookPoint hook, simkern::Addr ctx_addr,
+                            HookFireReport& report) {
+  report.verdicts.clear();  // keeps capacity for the steady state
+  report.verdict = hook == HookPoint::kXdpIngress ? 2 /* XDP_PASS */ : 0;
+  report.denied = false;
+  report.served = 0;
+  report.failed = 0;
+  report.skipped = 0;
+
+  // Walk the published snapshot: immutable, so nothing an attachment does
+  // (and no repair the supervisor performs) can invalidate the walk, and
+  // the hot path pays one atomic load instead of building an index vector.
+  const std::shared_ptr<const Snapshot> snapshot =
+      snapshot_.load(std::memory_order_acquire);
+  for (const Attachment& attachment :
+       snapshot->by_hook[static_cast<xbase::usize>(hook)]) {
     HookVerdict verdict = RunAttachment(attachment, ctx_addr);
 
     // Aggregate per hook semantics. A failed attachment contributes the
@@ -287,7 +343,6 @@ xbase::Result<HookFireReport> HookRegistry::Fire(HookPoint hook,
     }
     report.verdicts.push_back(std::move(verdict));
   }
-  return report;
 }
 
 xbase::usize HookRegistry::AttachedCount(HookPoint hook) const {

@@ -11,6 +11,11 @@
 // fallback verdict stands in for what they would have said.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/loader.h"
@@ -60,6 +65,9 @@ struct HookRegistryConfig {
   // syscall_fallback_errno instead of failing open.
   bool syscall_fail_closed = false;
   xbase::u64 syscall_fallback_errno = 1;  // EPERM
+  // Execution options handed to every eBPF attachment run (engine
+  // selection, executing CPU, tracing). Defaults to the threaded engine.
+  ebpf::ExecOptions exec_options;
 };
 
 class HookRegistry {
@@ -83,6 +91,13 @@ class HookRegistry {
   // (skb meta for XDP; a per-event ctx block otherwise).
   xbase::Result<HookFireReport> Fire(HookPoint hook, simkern::Addr ctx_addr);
 
+  // Allocation-free steady-state variant: clears and refills a
+  // caller-owned report (vector capacity survives across fires). The fire
+  // path walks the immutable published snapshot — one atomic load, no
+  // per-fire index vector, no per-attachment copies.
+  void FireInto(HookPoint hook, simkern::Addr ctx_addr,
+                HookFireReport& report);
+
   xbase::usize AttachedCount(HookPoint hook) const;
   xbase::usize AttachedCountTotal() const { return attachments_.size(); }
 
@@ -91,11 +106,24 @@ class HookRegistry {
 
  private:
   struct Attachment {
-    xbase::u32 id;
-    HookPoint hook;
-    bool is_safex;
-    xbase::u32 target_id;
+    xbase::u32 id = 0;
+    HookPoint hook = HookPoint::kXdpIngress;
+    bool is_safex = false;
+    xbase::u32 target_id = 0;
+    // Precomputed extension-scope label ("bpf:3(xdp_ingress)"), so the
+    // fire path never runs StrFormat.
+    std::string scope_label;
   };
+
+  // RCU-style publication: attach/detach (rare, control plane) rebuild an
+  // immutable per-hook attachment table and publish it with one atomic
+  // store; Fire (hot path) takes one atomic shared_ptr load and walks a
+  // table no concurrent detach can mutate under it.
+  struct Snapshot {
+    std::array<std::vector<Attachment>, 3> by_hook;
+  };
+
+  void PublishSnapshot();
 
   // Runs one attachment, fully contained: never throws, never returns
   // early, and under supervision repairs any kernel state (refcounts,
@@ -109,7 +137,14 @@ class HookRegistry {
   ExtLoader& ext_loader_;
   HookRegistryConfig config_;
   std::vector<Attachment> attachments_;
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_{
+      std::make_shared<const Snapshot>()};
   xbase::u32 next_id_ = 1;
+  // Reusable repair scratch (leak detection is count/journal-gated, so
+  // these stay empty — and allocation-free — on the happy path).
+  std::vector<simkern::LockId> locks_before_scratch_;
+  std::vector<simkern::LockId> locks_after_scratch_;
+  std::vector<std::pair<simkern::ObjectId, xbase::s64>> ref_net_scratch_;
 };
 
 }  // namespace safex

@@ -3,6 +3,9 @@
 // through it.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+
 #include "src/ebpf/fault.h"
 #include "src/ebpf/helper.h"
 #include "src/ebpf/kfunc.h"
@@ -37,12 +40,51 @@ class Bpf {
     return HelperCtx{kernel_, maps_, faults_, hooks};
   }
 
+  // --- reusable execution stack -------------------------------------------
+  // Steady-state executions lease one cached stack mapping instead of
+  // mapping/unmapping a fresh region per run (the per-fire allocation the
+  // dispatch hot path must not pay). Returns 0 when the cache is busy (a
+  // nested or concurrent execution holds it) or `bytes` differs from the
+  // cached size — the caller then maps its own region, preserving the old
+  // behaviour exactly. The leased region is re-zeroed so programs see the
+  // same fresh-map contents either way.
+  simkern::Addr AcquireExecStack(xbase::usize bytes) {
+    if (exec_stack_busy_.exchange(true, std::memory_order_acquire)) {
+      return 0;
+    }
+    if (exec_stack_base_ == 0) {
+      auto mapped = kernel_.mem().Map(
+          bytes, simkern::MemPerm::kReadWrite,
+          simkern::RegionKind::kExtensionStack, "bpf-stack");
+      if (!mapped.ok()) {
+        exec_stack_busy_.store(false, std::memory_order_release);
+        return 0;
+      }
+      exec_stack_base_ = mapped.value();
+      exec_stack_size_ = bytes;
+      return exec_stack_base_;  // freshly mapped: already zero-filled
+    }
+    simkern::Region* region = kernel_.mem().FindRegion(exec_stack_base_);
+    if (bytes != exec_stack_size_ || region == nullptr) {
+      exec_stack_busy_.store(false, std::memory_order_release);
+      return 0;
+    }
+    std::fill(region->bytes.begin(), region->bytes.end(), xbase::u8{0});
+    return exec_stack_base_;
+  }
+  void ReleaseExecStack() {
+    exec_stack_busy_.store(false, std::memory_order_release);
+  }
+
  private:
   simkern::Kernel& kernel_;
   MapTable maps_;
   HelperRegistry helpers_;
   KfuncRegistry kfuncs_;
   FaultRegistry faults_;
+  simkern::Addr exec_stack_base_ = 0;
+  xbase::usize exec_stack_size_ = 0;
+  std::atomic<bool> exec_stack_busy_{false};
 };
 
 }  // namespace ebpf

@@ -1,0 +1,92 @@
+// The lowered execution form the threaded engine dispatches over. The JIT
+// (src/ebpf/jit.cc) translates a verified image into one MicroOp per
+// instruction slot: the opcode is resolved to a dense handler id, operands
+// are pre-extracted and pre-sign-extended for their width, branch targets
+// are pre-relocated to absolute pcs, ld_imm64 pseudo values (map handles,
+// callback pcs) are resolved once, and helper/kfunc call sites carry a
+// pre-looked-up function pointer and cost. Everything the legacy
+// interpreter re-derives on every step is derived here exactly once, after
+// verification — which is also why the CVE-2021-29154 branch fault
+// propagates into this form: the lowering runs over the already-finalized
+// (possibly corrupted) image, so a miscomputed displacement becomes a
+// miscomputed pre-relocated target the verifier never saw.
+#pragma once
+
+#include <vector>
+
+#include "src/ebpf/helper.h"
+#include "src/ebpf/insn.h"
+
+namespace ebpf {
+
+// Every micro-op handler. The X-macro keeps the enum, the computed-goto
+// label table and the switch fallback in lockstep: adding a handler here
+// adds it everywhere or the build breaks.
+#define EBPF_UOP_ALU4(X, Name)                                       \
+  X(Alu64##Name##Imm) X(Alu64##Name##Reg)                            \
+  X(Alu32##Name##Imm) X(Alu32##Name##Reg)
+#define EBPF_UOP_JMP4(X, Name)                                       \
+  X(Jmp64##Name##Imm) X(Jmp64##Name##Reg)                            \
+  X(Jmp32##Name##Imm) X(Jmp32##Name##Reg)
+
+#define EBPF_UOP_LIST(X)                                             \
+  X(LdImm64) X(BadLdImm64)                                           \
+  X(LdxB) X(LdxH) X(LdxW) X(LdxDw)                                   \
+  X(StxB) X(StxH) X(StxW) X(StxDw)                                   \
+  X(StB) X(StH) X(StW) X(StDw)                                       \
+  X(AtomicAddB) X(AtomicAddH) X(AtomicAddW) X(AtomicAddDw)           \
+  X(AtomicBad)                                                       \
+  X(Ja) X(Exit) X(CallBpf) X(CallHelper) X(CallKfunc)                \
+  X(Neg64) X(Neg32) X(EndSwap) X(EndMask)                            \
+  X(UnknownAlu) X(UnknownJmp) X(UnknownClass)                        \
+  EBPF_UOP_ALU4(X, Add) EBPF_UOP_ALU4(X, Sub) EBPF_UOP_ALU4(X, Mul)  \
+  EBPF_UOP_ALU4(X, Div) EBPF_UOP_ALU4(X, Mod) EBPF_UOP_ALU4(X, Or)   \
+  EBPF_UOP_ALU4(X, And) EBPF_UOP_ALU4(X, Xor) EBPF_UOP_ALU4(X, Lsh)  \
+  EBPF_UOP_ALU4(X, Rsh) EBPF_UOP_ALU4(X, Arsh) EBPF_UOP_ALU4(X, Mov) \
+  EBPF_UOP_JMP4(X, Jeq) EBPF_UOP_JMP4(X, Jne) EBPF_UOP_JMP4(X, Jgt)  \
+  EBPF_UOP_JMP4(X, Jge) EBPF_UOP_JMP4(X, Jlt) EBPF_UOP_JMP4(X, Jle)  \
+  EBPF_UOP_JMP4(X, Jsgt) EBPF_UOP_JMP4(X, Jsge)                      \
+  EBPF_UOP_JMP4(X, Jslt) EBPF_UOP_JMP4(X, Jsle) EBPF_UOP_JMP4(X, Jset)
+
+enum class UOp : u16 {
+#define EBPF_UOP_ENUM(Name) k##Name,
+  EBPF_UOP_LIST(EBPF_UOP_ENUM)
+#undef EBPF_UOP_ENUM
+      kCount,
+};
+
+// One pre-decoded instruction slot, 16 bytes, semantics per handler:
+//   jump — pre-relocated branch target / pc after ld_imm64 / call-site
+//          index / memory offset bit pattern ((u32)(s32)off);
+//   imm  — pre-extracted, pre-sign-extended operand (full 64-bit value for
+//          ld_imm64, final mask for END, store value for ST).
+struct MicroOp {
+  u16 handler = 0;  // a UOp value
+  u8 dst = 0;
+  u8 src = 0;
+  u32 jump = 0;
+  u64 imm = 0;
+};
+static_assert(sizeof(MicroOp) == 16, "micro-op layout is load-bearing");
+
+// A pre-resolved helper/kfunc call site. `fn` is a pointer into the
+// registry (stable for the Bpf instance's lifetime); null means the
+// registry was unavailable or the id unknown at lowering time, and the
+// engine falls back to the legacy lookup — preserving the exact
+// "call to unknown helper" fault behaviour.
+struct CallSite {
+  const HelperFn* fn = nullptr;
+  u64 cost_ns = simkern::kCostHelperCallNs;
+  u32 id = 0;
+  s32 imm = 0;  // raw imm, for fault-message fidelity
+  bool is_kfunc = false;
+};
+
+struct DecodedImage {
+  std::vector<MicroOp> ops;     // 1:1 with image instruction slots
+  std::vector<CallSite> calls;  // indexed by MicroOp::jump of Call* ops
+
+  bool empty() const { return ops.empty(); }
+};
+
+}  // namespace ebpf

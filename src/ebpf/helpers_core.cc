@@ -308,8 +308,8 @@ xbase::Status RegisterCoreHelpers(HelperWiring& wiring) {
       MakeSpec(kHelperGetSmpProcessorId, "bpf_get_smp_processor_id", {4, 1},
                {}, RetType::kInteger),
       {},
-      [](HelperCtx&, const HelperArgs&) -> xbase::Result<u64> {
-        return 0;  // extensions run on cpu0 in the simulation
+      [](HelperCtx& ctx, const HelperArgs&) -> xbase::Result<u64> {
+        return ctx.kernel.current_cpu();
       }));
   XB_RETURN_IF_ERROR(def(
       MakeSpec(kHelperGetNumaNodeId, "bpf_get_numa_node_id", {4, 10}, {},

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/ebpf/disasm.h"
+#include "src/ebpf/interp_internal.h"
 #include "src/xbase/bytes.h"
 #include "src/xbase/strfmt.h"
 
@@ -12,148 +13,51 @@ namespace ebpf {
 using simkern::Addr;
 using xbase::StrFormat;
 
-namespace {
+namespace internal {
 
-constexpr u32 kFrameBytes = kMaxStackBytes;
-constexpr u32 kMaxRuntimeFrames = 16;  // bpf2bpf frames + loop callbacks
-
-class Execution final : public RuntimeHooks {
- public:
-  Execution(Bpf& bpf, const LoadedProgram& prog, const ExecOptions& opts,
-            const Loader* loader)
-      : bpf_(bpf), kernel_(bpf.kernel()), opts_(opts), loader_(loader),
-        insns_(&prog.image.insns) {}
-
-  ~Execution() override {
-    if (stack_base_ != 0) {
-      (void)kernel_.mem().Unmap(stack_base_);
-    }
-  }
-
-  xbase::Result<ExecResult> Run(Addr ctx_addr) {
-    ctx_addr_ = ctx_addr;
+xbase::Result<ExecResult> Execution::Run(Addr ctx_addr) {
+  ctx_addr_ = ctx_addr;
+  constexpr xbase::usize kStackBytes =
+      static_cast<xbase::usize>(kFrameBytes) * kMaxRuntimeFrames;
+  // Steady state reuses the Bpf-cached stack mapping (re-zeroed on lease);
+  // a fresh region is mapped only when the cache is held by a concurrent
+  // execution.
+  stack_base_ = bpf_.AcquireExecStack(kStackBytes);
+  if (stack_base_ != 0) {
+    leased_stack_ = true;
+  } else {
     XB_ASSIGN_OR_RETURN(
         stack_base_,
-        kernel_.mem().Map(kFrameBytes * kMaxRuntimeFrames,
-                          simkern::MemPerm::kReadWrite,
+        kernel_.mem().Map(kStackBytes, simkern::MemPerm::kReadWrite,
                           simkern::RegionKind::kExtensionStack, "bpf-stack"));
-    if (opts_.wrap_in_rcu) {
-      kernel_.rcu().ReadLock(kernel_.clock(), "bpf-prog");
-    }
-
-    u64 regs[kNumRegs] = {};
-    regs[R1] = ctx_addr;
-    regs[R10] = stack_base_ + kFrameBytes;  // frame 0 top
-
-    auto result = RunFrom(0, regs, /*depth=*/0);
-
-    if (opts_.wrap_in_rcu) {
-      (void)kernel_.rcu().ReadUnlock();
-    }
-    if (!result.ok()) {
-      return result.status();
-    }
-    stats_.open_refs_at_exit = open_refs_.size();
-    ExecResult out;
-    out.r0 = result.value();
-    out.stats = stats_;
-    return out;
+  }
+  const u32 prev_cpu = kernel_.current_cpu();
+  kernel_.set_current_cpu(opts_.cpu);
+  if (opts_.wrap_in_rcu) {
+    kernel_.rcu().ReadLock(kernel_.clock(), "bpf-prog");
   }
 
-  // ---- RuntimeHooks ---------------------------------------------------
-  xbase::Result<u64> InvokeCallback(u32 entry_pc, u64 arg1,
-                                    u64 arg2) override {
-    if (callback_depth_ + 1 >= kMaxRuntimeFrames) {
-      return xbase::ResourceExhausted("callback nesting too deep");
-    }
-    ++callback_depth_;
-    u64 regs[kNumRegs] = {};
-    regs[R1] = arg1;
-    regs[R2] = arg2;
-    regs[R10] = stack_base_ + kFrameBytes * (callback_depth_ + 1);
-    auto result = RunFrom(entry_pc, regs, callback_depth_);
-    --callback_depth_;
-    return result;
-  }
+  u64 regs[kNumRegs] = {};
+  regs[R1] = ctx_addr;
+  regs[R10] = stack_base_ + kFrameBytes;  // frame 0 top
 
-  xbase::Status RequestTailCall(u32 prog_id) override {
-    if (loader_ == nullptr) {
-      return xbase::FailedPrecondition("no loader for tail calls");
-    }
-    if (stats_.tail_calls >= kMaxTailCallDepth) {
-      return xbase::ResourceExhausted("tail call limit reached");
-    }
-    pending_tail_call_ = prog_id;
-    return xbase::Status::Ok();
-  }
+  auto result = opts_.engine == ExecEngine::kLegacy
+                    ? RunFrom(0, regs, /*depth=*/0)
+                    : RunThreaded(0, regs, /*depth=*/0);
 
-  void NoteAcquire(simkern::ObjectId id) override {
-    open_refs_.push_back(id);
+  if (opts_.wrap_in_rcu) {
+    (void)kernel_.rcu().ReadUnlock();
   }
-  void NoteRelease(simkern::ObjectId id) override {
-    open_refs_.erase(std::remove(open_refs_.begin(), open_refs_.end(), id),
-                     open_refs_.end());
+  kernel_.set_current_cpu(prev_cpu);
+  if (!result.ok()) {
+    return result.status();
   }
-  void Charge(u64 ns) override {
-    const u64 charged = ns * opts_.cost_multiplier;
-    kernel_.clock().Advance(charged);
-    stats_.sim_time_charged_ns += charged;
-  }
-  Addr ctx_addr() const override { return ctx_addr_; }
-
- private:
-  xbase::Status RuntimeFault(xbase::Status status) {
-    // Route memory faults through the kernel so the oops is recorded.
-    return kernel_.Route(std::move(status));
-  }
-
-  xbase::Result<u64> ReadSized(Addr addr, u32 size) {
-    u8 buf[8] = {};
-    xbase::Status status =
-        kernel_.mem().ReadChecked(addr, {buf, size}, /*access_key=*/0);
-    if (!status.ok()) {
-      return RuntimeFault(std::move(status));
-    }
-    switch (size) {
-      case 1:
-        return static_cast<u64>(buf[0]);
-      case 2:
-        return static_cast<u64>(xbase::LoadLe16(buf));
-      case 4:
-        return static_cast<u64>(xbase::LoadLe32(buf));
-      default:
-        return xbase::LoadLe64(buf);
-    }
-  }
-
-  xbase::Status WriteSized(Addr addr, u32 size, u64 value) {
-    u8 buf[8];
-    xbase::StoreLe64(buf, value);
-    xbase::Status status =
-        kernel_.mem().WriteChecked(addr, {buf, size}, /*access_key=*/0);
-    if (!status.ok()) {
-      return RuntimeFault(std::move(status));
-    }
-    return xbase::Status::Ok();
-  }
-
-  // Interprets from `pc` in the current image until the frame at `depth`
-  // exits; returns r0.
-  xbase::Result<u64> RunFrom(u32 pc, u64* regs, u32 depth);
-
-  Bpf& bpf_;
-  simkern::Kernel& kernel_;
-  ExecOptions opts_;
-  const Loader* loader_;
-  const std::vector<Insn>* insns_;
-
-  Addr ctx_addr_ = 0;
-  Addr stack_base_ = 0;
-  ExecStats stats_;
-  std::vector<simkern::ObjectId> open_refs_;
-  u32 callback_depth_ = 0;
-  std::optional<u32> pending_tail_call_;
-};
+  stats_.open_refs_at_exit = open_refs_.size();
+  ExecResult out;
+  out.r0 = result.value();
+  out.stats = stats_;
+  return out;
+}
 
 xbase::Result<u64> Execution::RunFrom(u32 pc, u64* regs, u32 depth) {
   stats_.max_frame_depth = std::max(stats_.max_frame_depth, depth);
@@ -401,13 +305,10 @@ xbase::Result<u64> Execution::RunFrom(u32 pc, u64* regs, u32 depth) {
           if (pending_tail_call_.has_value()) {
             const u32 target_id = *pending_tail_call_;
             pending_tail_call_.reset();
-            auto target = loader_->Find(target_id);
-            if (!target.ok()) {
+            if (!SwitchToTailTarget(target_id)) {
               return RuntimeFault(
                   xbase::KernelFault("bpf: tail call to missing program"));
             }
-            ++stats_.tail_calls;
-            insns_ = &target.value()->image.insns;
             regs[R1] = ctx_addr_;
             pc = 0;
             break;
@@ -484,12 +385,12 @@ xbase::Result<u64> Execution::RunFrom(u32 pc, u64* regs, u32 depth) {
   }
 }
 
-}  // namespace
+}  // namespace internal
 
 xbase::Result<ExecResult> Execute(Bpf& bpf, const LoadedProgram& prog,
                                   Addr ctx_addr, const ExecOptions& options,
                                   const Loader* loader) {
-  Execution execution(bpf, prog, options, loader);
+  internal::Execution execution(bpf, prog, options, loader);
   return execution.Run(ctx_addr);
 }
 

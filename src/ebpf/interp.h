@@ -24,6 +24,18 @@ class InsnTracer {
   virtual void OnInsn(u32 pc, const u64* regs) = 0;
 };
 
+// Which executor runs the image. kThreaded is the production engine:
+// threaded dispatch over the pre-decoded micro-ops the JIT lowered
+// (computed-goto where available, dense switch behind
+// UNTENABLE_SWITCH_DISPATCH). kLegacy is the original decode-per-step
+// interpreter, kept selectable so the differential tests and
+// bench/dispatch_hotpath can prove the engines observationally identical
+// and measure the gap.
+enum class ExecEngine {
+  kThreaded,
+  kLegacy,
+};
+
 struct ExecOptions {
   // Harness safety net (NOT a kernel mechanism): abort after this many
   // interpreted instructions. Defaults high enough that every legitimate
@@ -37,6 +49,12 @@ struct ExecOptions {
   bool wrap_in_rcu = true;
   // Optional per-instruction observer (not owned; may be null).
   InsnTracer* tracer = nullptr;
+  // Executor selection (see ExecEngine).
+  ExecEngine engine = ExecEngine::kThreaded;
+  // Simulated CPU this execution runs on; visible to helpers
+  // (bpf_get_smp_processor_id) and to per-CPU map addressing. Must be
+  // < simkern::kNumCpus.
+  u32 cpu = 0;
 };
 
 struct ExecStats {

@@ -1,0 +1,177 @@
+// Shared execution state for the two BPF executors. The Execution object
+// owns everything one run needs — register frames, the stack mapping, the
+// RuntimeHooks implementation helpers call back into — while the actual
+// instruction loops live in two sibling translation units:
+//
+//   interp.cc          — RunFrom: the legacy decode-per-step interpreter
+//                        (giant switch over raw instruction words).
+//   interp_threaded.cc — RunThreaded: threaded dispatch over the JIT's
+//                        pre-decoded micro-ops (computed-goto, or a dense
+//                        switch under UNTENABLE_SWITCH_DISPATCH).
+//
+// Both loops share this state so ExecOptions::engine can switch between
+// them and the differential tests can prove them observationally identical.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/ebpf/interp.h"
+#include "src/ebpf/jit.h"
+#include "src/xbase/bytes.h"
+
+namespace ebpf {
+namespace internal {
+
+inline constexpr u32 kFrameBytes = kMaxStackBytes;
+inline constexpr u32 kMaxRuntimeFrames = 16;  // bpf2bpf frames + callbacks
+
+class Execution final : public RuntimeHooks {
+ public:
+  Execution(Bpf& bpf, const LoadedProgram& prog, const ExecOptions& opts,
+            const Loader* loader)
+      : bpf_(bpf), kernel_(bpf.kernel()), opts_(opts), loader_(loader),
+        insns_(&prog.image.insns), decoded_(EnsureDecoded(prog)) {}
+
+  ~Execution() override {
+    if (leased_stack_) {
+      bpf_.ReleaseExecStack();
+    } else if (stack_base_ != 0) {
+      (void)kernel_.mem().Unmap(stack_base_);
+    }
+  }
+
+  xbase::Result<ExecResult> Run(simkern::Addr ctx_addr);
+
+  // ---- RuntimeHooks ---------------------------------------------------
+  xbase::Result<u64> InvokeCallback(u32 entry_pc, u64 arg1,
+                                    u64 arg2) override {
+    if (callback_depth_ + 1 >= kMaxRuntimeFrames) {
+      return xbase::ResourceExhausted("callback nesting too deep");
+    }
+    ++callback_depth_;
+    u64 regs[kNumRegs] = {};
+    regs[R1] = arg1;
+    regs[R2] = arg2;
+    regs[R10] = stack_base_ + kFrameBytes * (callback_depth_ + 1);
+    auto result = opts_.engine == ExecEngine::kLegacy
+                      ? RunFrom(entry_pc, regs, callback_depth_)
+                      : RunThreaded(entry_pc, regs, callback_depth_);
+    --callback_depth_;
+    return result;
+  }
+
+  xbase::Status RequestTailCall(u32 prog_id) override {
+    if (loader_ == nullptr) {
+      return xbase::FailedPrecondition("no loader for tail calls");
+    }
+    if (stats_.tail_calls >= kMaxTailCallDepth) {
+      return xbase::ResourceExhausted("tail call limit reached");
+    }
+    pending_tail_call_ = prog_id;
+    return xbase::Status::Ok();
+  }
+
+  void NoteAcquire(simkern::ObjectId id) override {
+    open_refs_.push_back(id);
+  }
+  void NoteRelease(simkern::ObjectId id) override {
+    open_refs_.erase(std::remove(open_refs_.begin(), open_refs_.end(), id),
+                     open_refs_.end());
+  }
+  void Charge(u64 ns) override {
+    const u64 charged = ns * opts_.cost_multiplier;
+    kernel_.clock().Advance(charged);
+    stats_.sim_time_charged_ns += charged;
+  }
+  simkern::Addr ctx_addr() const override { return ctx_addr_; }
+
+ private:
+  xbase::Status RuntimeFault(xbase::Status status) {
+    // Route memory faults through the kernel so the oops is recorded.
+    return kernel_.Route(std::move(status));
+  }
+
+  xbase::Result<u64> ReadSized(simkern::Addr addr, u32 size) {
+    u8 buf[8] = {};
+    xbase::Status status =
+        kernel_.mem().ReadChecked(addr, {buf, size}, /*access_key=*/0);
+    if (!status.ok()) {
+      return RuntimeFault(std::move(status));
+    }
+    switch (size) {
+      case 1:
+        return static_cast<u64>(buf[0]);
+      case 2:
+        return static_cast<u64>(xbase::LoadLe16(buf));
+      case 4:
+        return static_cast<u64>(xbase::LoadLe32(buf));
+      default:
+        return xbase::LoadLe64(buf);
+    }
+  }
+
+  xbase::Status WriteSized(simkern::Addr addr, u32 size, u64 value) {
+    u8 buf[8];
+    xbase::StoreLe64(buf, value);
+    xbase::Status status =
+        kernel_.mem().WriteChecked(addr, {buf, size}, /*access_key=*/0);
+    if (!status.ok()) {
+      return RuntimeFault(std::move(status));
+    }
+    return xbase::Status::Ok();
+  }
+
+  // Returns the program's lowered form, decoding on the spot for programs
+  // that never went through JitCompile (hand-built test fixtures). The
+  // lazily-decoded images are kept alive for the run in owned_decodes_.
+  const DecodedImage* EnsureDecoded(const LoadedProgram& prog) {
+    if (!prog.decoded.empty() || prog.image.insns.empty()) {
+      return &prog.decoded;
+    }
+    owned_decodes_.push_back(std::make_unique<DecodedImage>(
+        DecodeProgram(prog.image, &bpf_.helpers(), &bpf_.kfuncs())));
+    return owned_decodes_.back().get();
+  }
+
+  // Switches the running image to a pending tail-call target. Returns false
+  // (after recording the oops) when the target id is gone.
+  bool SwitchToTailTarget(u32 target_id) {
+    auto target = loader_->Find(target_id);
+    if (!target.ok()) {
+      return false;
+    }
+    ++stats_.tail_calls;
+    insns_ = &target.value()->image.insns;
+    decoded_ = EnsureDecoded(*target.value());
+    return true;
+  }
+
+  // Interprets from `pc` in the current image until the frame at `depth`
+  // exits; returns r0. One definition per engine (see the file comment).
+  xbase::Result<u64> RunFrom(u32 pc, u64* regs, u32 depth);
+  xbase::Result<u64> RunThreaded(u32 pc, u64* regs, u32 depth);
+
+  Bpf& bpf_;
+  simkern::Kernel& kernel_;
+  ExecOptions opts_;
+  const Loader* loader_;
+  const std::vector<Insn>* insns_;
+  // Declared before decoded_: the constructor's EnsureDecoded call may push
+  // into it, so it must already be constructed.
+  std::vector<std::unique_ptr<DecodedImage>> owned_decodes_;
+  const DecodedImage* decoded_;
+
+  simkern::Addr ctx_addr_ = 0;
+  simkern::Addr stack_base_ = 0;
+  bool leased_stack_ = false;
+  ExecStats stats_;
+  std::vector<simkern::ObjectId> open_refs_;
+  u32 callback_depth_ = 0;
+  std::optional<u32> pending_tail_call_;
+};
+
+}  // namespace internal
+}  // namespace ebpf

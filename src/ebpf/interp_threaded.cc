@@ -1,0 +1,588 @@
+// The threaded execution engine: dispatches over the JIT's pre-decoded
+// micro-ops (decoded.h) instead of re-decoding raw instruction words per
+// step. Dispatch is a computed goto through a label table generated from
+// the same X-macro as the UOp enum; defining UNTENABLE_SWITCH_DISPATCH (or
+// building with a compiler without the GNU labels-as-values extension)
+// selects a dense switch over the same handler bodies instead.
+//
+// Observational equivalence with the legacy interpreter (interp.cc) is the
+// contract — tests/ebpf/engine_equiv_test.cc enforces it over the fuzz
+// corpus. The per-instruction bookkeeping the legacy loop does eagerly
+// (stats_.insns, 1ns time charge) is batched in locals here and flushed —
+// EBPF_SYNC — at every point where the difference could be observed: before
+// helper/kfunc invokes, memory accesses (a fault records an oops with a
+// clock timestamp), RCU stall checks, and every return.
+#include <cstring>
+
+#include "src/ebpf/interp_internal.h"
+#include "src/ebpf/runtime.h"
+#include "src/xbase/bytes.h"
+#include "src/xbase/strfmt.h"
+
+namespace ebpf {
+namespace internal {
+
+using simkern::Addr;
+using xbase::StrFormat;
+
+namespace {
+constexpr u64 kScratchPoison = 0xdead2bad00000000ULL;
+}  // namespace
+
+#if defined(UNTENABLE_SWITCH_DISPATCH) || \
+    !(defined(__GNUC__) || defined(__clang__))
+#define EBPF_COMPUTED_GOTO 0
+#else
+#define EBPF_COMPUTED_GOTO 1
+#endif
+
+#if EBPF_COMPUTED_GOTO
+#define EBPF_CASE(Name) lbl_##Name:
+// True threaded dispatch: every handler ends with its own copy of the
+// fetch/dispatch sequence, so each indirect jump site gets its own branch
+// predictor state (the classic ~2x win over a single shared dispatch
+// point). The rare events — pc escaping the image, the 4096-insn RCU
+// stall probe, the harness insn cap — branch out to shared slow-path
+// labels so the replicated fast path stays small.
+#define EBPF_NEXT()                                                  \
+  do {                                                               \
+    if (__builtin_expect(pc >= num_ops, 0)) goto bad_pc;             \
+    ++insns;                                                         \
+    if (__builtin_expect((insns & 0xfff) == 0, 0)) goto periodic;    \
+    if (__builtin_expect(insns > max_insns, 0)) goto insn_cap;       \
+    op = ops[pc];                                                    \
+    if (__builtin_expect(tracer != nullptr, 0)) {                    \
+      tracer->OnInsn(pc, regs);                                      \
+    }                                                                \
+    goto* kDispatch[op.handler];                                     \
+  } while (0)
+#else
+#define EBPF_CASE(Name) case UOp::k##Name:
+#define EBPF_NEXT() goto dispatch_top
+#endif
+
+// Flush the batched per-insn bookkeeping into the shared state the rest of
+// the simulation observes. The simulated-time charge is derived from the
+// insn delta since the last flush (1ns per insn, exactly what the legacy
+// loop charges eagerly), so the hot path only maintains `insns`.
+#define EBPF_SYNC()                                                  \
+  do {                                                               \
+    stats_.insns = insns;                                            \
+    if (insns != synced_insns) {                                     \
+      Charge((insns - synced_insns) * simkern::kCostPerInsnNs);      \
+      synced_insns = insns;                                          \
+    }                                                                \
+  } while (0)
+
+// The byte offset of a memory micro-op ((u32)(s32)insn.off at decode time),
+// widened back so address arithmetic wraps exactly like the legacy
+// `regs[x] + static_cast<s64>(insn.off)`.
+#define EBPF_MEM_OFF() \
+  static_cast<u64>(static_cast<s64>(static_cast<s32>(op.jump)))
+
+// ---- handler body generators ----------------------------------------------
+// EXPR64 sees u64 v (current dst value) and u64 s (operand); EXPR32 sees
+// both as u32 with the result truncated — the same width discipline the
+// legacy switch applies via its value/src locals.
+#define EBPF_ALU_CASES(Name, EXPR64, EXPR32)        \
+  EBPF_CASE(Alu64##Name##Imm) {                     \
+    const u64 v = regs[op.dst];                     \
+    const u64 s = op.imm;                           \
+    (void)v;                                        \
+    (void)s;                                        \
+    regs[op.dst] = (EXPR64);                        \
+    ++pc;                                           \
+    EBPF_NEXT();                                    \
+  }                                                 \
+  EBPF_CASE(Alu64##Name##Reg) {                     \
+    const u64 v = regs[op.dst];                     \
+    const u64 s = regs[op.src];                     \
+    (void)v;                                        \
+    (void)s;                                        \
+    regs[op.dst] = (EXPR64);                        \
+    ++pc;                                           \
+    EBPF_NEXT();                                    \
+  }                                                 \
+  EBPF_CASE(Alu32##Name##Imm) {                     \
+    const u32 v = static_cast<u32>(regs[op.dst]);   \
+    const u32 s = static_cast<u32>(op.imm);         \
+    (void)v;                                        \
+    (void)s;                                        \
+    regs[op.dst] = static_cast<u32>(EXPR32);        \
+    ++pc;                                           \
+    EBPF_NEXT();                                    \
+  }                                                 \
+  EBPF_CASE(Alu32##Name##Reg) {                     \
+    const u32 v = static_cast<u32>(regs[op.dst]);   \
+    const u32 s = static_cast<u32>(regs[op.src]);   \
+    (void)v;                                        \
+    (void)s;                                        \
+    regs[op.dst] = static_cast<u32>(EXPR32);        \
+    ++pc;                                           \
+    EBPF_NEXT();                                    \
+  }
+
+// COND64 compares u64 d/s, COND32 compares u32 d/s; op.jump is the
+// pre-relocated taken target.
+#define EBPF_JMP_CASES(Name, COND64, COND32)        \
+  EBPF_CASE(Jmp64##Name##Imm) {                     \
+    const u64 d = regs[op.dst];                     \
+    const u64 s = op.imm;                           \
+    pc = (COND64) ? op.jump : pc + 1;               \
+    EBPF_NEXT();                                    \
+  }                                                 \
+  EBPF_CASE(Jmp64##Name##Reg) {                     \
+    const u64 d = regs[op.dst];                     \
+    const u64 s = regs[op.src];                     \
+    pc = (COND64) ? op.jump : pc + 1;               \
+    EBPF_NEXT();                                    \
+  }                                                 \
+  EBPF_CASE(Jmp32##Name##Imm) {                     \
+    const u32 d = static_cast<u32>(regs[op.dst]);   \
+    const u32 s = static_cast<u32>(op.imm);         \
+    pc = (COND32) ? op.jump : pc + 1;               \
+    EBPF_NEXT();                                    \
+  }                                                 \
+  EBPF_CASE(Jmp32##Name##Reg) {                     \
+    const u32 d = static_cast<u32>(regs[op.dst]);   \
+    const u32 s = static_cast<u32>(regs[op.src]);   \
+    pc = (COND32) ? op.jump : pc + 1;               \
+    EBPF_NEXT();                                    \
+  }
+
+#define EBPF_LDX_CASE(Sz, Bytes)                                      \
+  EBPF_CASE(Ldx##Sz) {                                                \
+    EBPF_SYNC();                                                      \
+    auto loaded = ReadSized(regs[op.src] + EBPF_MEM_OFF(), Bytes);    \
+    if (!loaded.ok()) {                                               \
+      return loaded.status();                                         \
+    }                                                                 \
+    regs[op.dst] = loaded.value();                                    \
+    ++pc;                                                             \
+    EBPF_NEXT();                                                      \
+  }
+
+#define EBPF_STX_CASE(Sz, Bytes)                                      \
+  EBPF_CASE(Stx##Sz) {                                                \
+    EBPF_SYNC();                                                      \
+    xbase::Status stored =                                            \
+        WriteSized(regs[op.dst] + EBPF_MEM_OFF(), Bytes, regs[op.src]); \
+    if (!stored.ok()) {                                               \
+      return stored;                                                  \
+    }                                                                 \
+    ++pc;                                                             \
+    EBPF_NEXT();                                                      \
+  }
+
+#define EBPF_ST_CASE(Sz, Bytes)                                       \
+  EBPF_CASE(St##Sz) {                                                 \
+    EBPF_SYNC();                                                      \
+    xbase::Status stored =                                            \
+        WriteSized(regs[op.dst] + EBPF_MEM_OFF(), Bytes, op.imm);     \
+    if (!stored.ok()) {                                               \
+      return stored;                                                  \
+    }                                                                 \
+    ++pc;                                                             \
+    EBPF_NEXT();                                                      \
+  }
+
+#define EBPF_ATOMIC_CASE(Sz, Bytes)                                   \
+  EBPF_CASE(AtomicAdd##Sz) {                                          \
+    EBPF_SYNC();                                                      \
+    const Addr addr = regs[op.dst] + EBPF_MEM_OFF();                  \
+    auto old_value = ReadSized(addr, Bytes);                          \
+    if (!old_value.ok()) {                                            \
+      return old_value.status();                                      \
+    }                                                                 \
+    xbase::Status stored =                                            \
+        WriteSized(addr, Bytes, old_value.value() + regs[op.src]);    \
+    if (!stored.ok()) {                                               \
+      return stored;                                                  \
+    }                                                                 \
+    ++pc;                                                             \
+    EBPF_NEXT();                                                      \
+  }
+
+xbase::Result<u64> Execution::RunThreaded(u32 pc, u64* regs, u32 depth) {
+  stats_.max_frame_depth = std::max(stats_.max_frame_depth, depth);
+
+  // Saved caller contexts for bpf2bpf calls within this activation. Fixed
+  // array, not a vector: no heap traffic in steady state (the frame-count
+  // guard below keeps call_depth in range).
+  struct SavedFrame {
+    u64 regs[kNumRegs];
+    u32 return_pc;
+  };
+  SavedFrame call_stack[kMaxRuntimeFrames];
+  u32 call_depth = 0;
+  u32 bpf_frame = depth;
+
+  const MicroOp* ops = decoded_->ops.data();
+  u32 num_ops = static_cast<u32>(decoded_->ops.size());
+  const CallSite* calls = decoded_->calls.data();
+
+  InsnTracer* const tracer = opts_.tracer;
+  const u64 max_insns = opts_.max_insns;
+
+  // Batched bookkeeping; EBPF_SYNC() flushes into stats_/the sim clock.
+  u64 insns = stats_.insns;
+  u64 synced_insns = insns;
+  MicroOp op;
+
+#if EBPF_COMPUTED_GOTO
+  // Label table in UOp order — generated from the same X-macro as the enum,
+  // so the indices can't drift.
+  static const void* const kDispatch[] = {
+#define EBPF_UOP_LABEL(Name) &&lbl_##Name,
+      EBPF_UOP_LIST(EBPF_UOP_LABEL)
+#undef EBPF_UOP_LABEL
+  };
+#endif
+
+// Shared (non-replicated) dispatch preamble: the initial entry, the
+// switch-mode loop head, and the resume point after slow-path events. The
+// order of checks matches the legacy interpreter exactly: pc bounds →
+// count → RCU stall probe every 4096 insns → harness cap → fetch → trace.
+#if !EBPF_COMPUTED_GOTO
+dispatch_top:
+#endif
+  if (pc >= num_ops) {
+    goto bad_pc;
+  }
+  ++insns;
+  if ((insns & 0xfff) == 0) {
+    goto periodic;
+  }
+  if (insns > max_insns) {
+    goto insn_cap;
+  }
+dispatch_fetch:
+  op = ops[pc];
+  if (tracer != nullptr) {
+    tracer->OnInsn(pc, regs);
+  }
+
+#if EBPF_COMPUTED_GOTO
+  goto* kDispatch[op.handler];
+#else
+  switch (static_cast<UOp>(op.handler)) {
+#endif
+
+  EBPF_CASE(LdImm64) {
+    regs[op.dst] = op.imm;
+    pc = op.jump;
+    EBPF_NEXT();
+  }
+  EBPF_CASE(BadLdImm64) {
+    EBPF_SYNC();
+    return RuntimeFault(xbase::KernelFault("bpf: bad ld_imm64"));
+  }
+
+  EBPF_LDX_CASE(B, 1)
+  EBPF_LDX_CASE(H, 2)
+  EBPF_LDX_CASE(W, 4)
+  EBPF_LDX_CASE(Dw, 8)
+
+  EBPF_STX_CASE(B, 1)
+  EBPF_STX_CASE(H, 2)
+  EBPF_STX_CASE(W, 4)
+  EBPF_STX_CASE(Dw, 8)
+
+  EBPF_ST_CASE(B, 1)
+  EBPF_ST_CASE(H, 2)
+  EBPF_ST_CASE(W, 4)
+  EBPF_ST_CASE(Dw, 8)
+
+  EBPF_ATOMIC_CASE(B, 1)
+  EBPF_ATOMIC_CASE(H, 2)
+  EBPF_ATOMIC_CASE(W, 4)
+  EBPF_ATOMIC_CASE(Dw, 8)
+
+  EBPF_CASE(AtomicBad) {
+    EBPF_SYNC();
+    return RuntimeFault(
+        xbase::KernelFault("bpf: unsupported atomic op at runtime"));
+  }
+
+  EBPF_CASE(Ja) {
+    pc = op.jump;
+    EBPF_NEXT();
+  }
+
+  EBPF_CASE(Exit) {
+    if (call_depth != 0) {
+      // Return from bpf2bpf call.
+      const u64 r0 = regs[R0];
+      SavedFrame& saved = call_stack[--call_depth];
+      std::memcpy(regs, saved.regs, sizeof(saved.regs));
+      regs[R0] = r0;
+      pc = saved.return_pc;
+      --bpf_frame;
+      EBPF_NEXT();
+    }
+    EBPF_SYNC();
+    return regs[R0];
+  }
+
+  EBPF_CASE(CallBpf) {
+    if (bpf_frame + 1 >= kMaxRuntimeFrames) {
+      EBPF_SYNC();
+      return RuntimeFault(xbase::KernelFault("bpf: call stack overflow"));
+    }
+    SavedFrame& saved = call_stack[call_depth++];
+    std::memcpy(saved.regs, regs, sizeof(saved.regs));
+    saved.return_pc = pc + 1;
+    ++bpf_frame;
+    stats_.max_frame_depth = std::max(stats_.max_frame_depth, bpf_frame);
+    regs[R10] = stack_base_ + kFrameBytes * (bpf_frame + 1);
+    pc = op.jump;
+    EBPF_NEXT();
+  }
+
+  EBPF_CASE(CallHelper) {
+    const CallSite& site = calls[op.jump];
+    ++stats_.helper_calls;
+    const HelperFn* fn = site.fn;
+    u64 cost_ns = site.cost_ns;
+    if (fn == nullptr) {
+      // Lazily-decoded image or id unknown at lowering time: resolve at
+      // runtime exactly like the legacy interpreter, fault included.
+      EBPF_SYNC();
+      auto spec = bpf_.helpers().FindSpec(site.id);
+      if (!spec.ok()) {
+        return RuntimeFault(xbase::KernelFault(
+            StrFormat("bpf: call to unknown helper #%d", site.imm)));
+      }
+      cost_ns = spec.value()->cost_ns;
+      fn = bpf_.helpers().FindFn(site.id).value();
+    }
+    EBPF_SYNC();
+    Charge(cost_ns);
+    if (site.fn != nullptr && site.id == kHelperMapLookupElem) {
+      // Inline fast path for bpf_map_lookup_elem: observationally identical
+      // to the registered helper (helpers_core.cc), minus the Result<> and
+      // key-vector plumbing. Falls through to the generic invoke when the
+      // key doesn't fit the scratch buffer.
+      auto fd = FdFromMapHandle(regs[R1]);
+      if (!fd.ok()) {
+        return fd.status();
+      }
+      auto map = bpf_.maps().Find(fd.value());
+      if (!map.ok()) {
+        return map.status();
+      }
+      const u32 key_size = map.value()->spec().key_size;
+      u8 key_buf[64];
+      if (key_size <= sizeof(key_buf)) {
+        xbase::Status read = kernel_.mem().ReadChecked(
+            regs[R2], {key_buf, key_size}, /*access_key=*/0);
+        if (!read.ok()) {
+          return kernel_.Route(std::move(read));
+        }
+        auto addr = map.value()->LookupAddr(kernel_, {key_buf, key_size});
+        regs[R0] = addr.ok() ? addr.value() : 0;  // NULL on miss
+        for (int r = R1; r <= R5; ++r) {
+          regs[r] = kScratchPoison + static_cast<u64>(r);
+        }
+        ++pc;
+        EBPF_NEXT();
+      }
+    }
+    HelperCtx hctx = bpf_.MakeHelperCtx(this);
+    const HelperArgs args = {regs[R1], regs[R2], regs[R3], regs[R4],
+                             regs[R5]};
+    auto ret = (*fn)(hctx, args);
+    // Nested callbacks advanced the shared counter and may have
+    // tail-called; re-sync the locals with the world.
+    insns = stats_.insns;
+    synced_insns = insns;
+    ops = decoded_->ops.data();
+    num_ops = static_cast<u32>(decoded_->ops.size());
+    calls = decoded_->calls.data();
+    if (!ret.ok()) {
+      return ret.status();
+    }
+    regs[R0] = ret.value();
+    // Scratch registers die across calls; poison them so buggy programs
+    // fail loudly rather than silently.
+    for (int r = R1; r <= R5; ++r) {
+      regs[r] = kScratchPoison + static_cast<u64>(r);
+    }
+    if (pending_tail_call_.has_value()) {
+      const u32 target_id = *pending_tail_call_;
+      pending_tail_call_.reset();
+      if (!SwitchToTailTarget(target_id)) {
+        return RuntimeFault(
+            xbase::KernelFault("bpf: tail call to missing program"));
+      }
+      ops = decoded_->ops.data();
+      num_ops = static_cast<u32>(decoded_->ops.size());
+      calls = decoded_->calls.data();
+      regs[R1] = ctx_addr_;
+      pc = 0;
+      EBPF_NEXT();
+    }
+    ++pc;
+    EBPF_NEXT();
+  }
+
+  EBPF_CASE(CallKfunc) {
+    const CallSite& site = calls[op.jump];
+    ++stats_.helper_calls;
+    const HelperFn* fn = site.fn;
+    u64 cost_ns = site.cost_ns;
+    if (fn == nullptr) {
+      EBPF_SYNC();
+      auto spec = bpf_.kfuncs().FindSpec(site.id);
+      if (!spec.ok()) {
+        return RuntimeFault(xbase::KernelFault(
+            StrFormat("bpf: call to unknown kfunc #%d", site.imm)));
+      }
+      cost_ns = spec.value()->cost_ns;
+      fn = bpf_.kfuncs().FindFn(site.id).value();
+    }
+    EBPF_SYNC();
+    Charge(cost_ns);
+    HelperCtx hctx = bpf_.MakeHelperCtx(this);
+    const HelperArgs args = {regs[R1], regs[R2], regs[R3], regs[R4],
+                             regs[R5]};
+    auto ret = (*fn)(hctx, args);
+    insns = stats_.insns;
+    synced_insns = insns;
+    ops = decoded_->ops.data();
+    num_ops = static_cast<u32>(decoded_->ops.size());
+    calls = decoded_->calls.data();
+    if (!ret.ok()) {
+      return ret.status();
+    }
+    regs[R0] = ret.value();
+    for (int r = R1; r <= R5; ++r) {
+      regs[r] = kScratchPoison + static_cast<u64>(r);
+    }
+    if (pending_tail_call_.has_value()) {
+      const u32 target_id = *pending_tail_call_;
+      pending_tail_call_.reset();
+      if (!SwitchToTailTarget(target_id)) {
+        return RuntimeFault(
+            xbase::KernelFault("bpf: tail call to missing program"));
+      }
+      ops = decoded_->ops.data();
+      num_ops = static_cast<u32>(decoded_->ops.size());
+      calls = decoded_->calls.data();
+      regs[R1] = ctx_addr_;
+      pc = 0;
+      EBPF_NEXT();
+    }
+    ++pc;
+    EBPF_NEXT();
+  }
+
+  EBPF_CASE(Neg64) {
+    regs[op.dst] = ~regs[op.dst] + 1;
+    ++pc;
+    EBPF_NEXT();
+  }
+  EBPF_CASE(Neg32) {
+    regs[op.dst] = static_cast<u32>(~static_cast<u32>(regs[op.dst]) + 1);
+    ++pc;
+    EBPF_NEXT();
+  }
+
+  EBPF_CASE(EndSwap) {
+    // op.src holds the pre-clamped byte count, op.imm the final mask with
+    // the ALU-class truncation folded in.
+    u8 buf[8];
+    xbase::StoreLe64(buf, regs[op.dst]);
+    std::reverse(buf, buf + op.src);
+    u8 full[8] = {};
+    std::memcpy(full, buf, op.src);
+    regs[op.dst] = xbase::LoadLe64(full) & op.imm;
+    ++pc;
+    EBPF_NEXT();
+  }
+  EBPF_CASE(EndMask) {
+    regs[op.dst] &= op.imm;
+    ++pc;
+    EBPF_NEXT();
+  }
+
+  EBPF_CASE(UnknownAlu) {
+    EBPF_SYNC();
+    return RuntimeFault(
+        xbase::KernelFault("bpf: unknown ALU opcode at runtime"));
+  }
+  EBPF_CASE(UnknownJmp) {
+    EBPF_SYNC();
+    return RuntimeFault(xbase::KernelFault("bpf: unknown jump opcode"));
+  }
+  EBPF_CASE(UnknownClass) {
+    EBPF_SYNC();
+    return RuntimeFault(
+        xbase::KernelFault("bpf: unknown instruction class at runtime"));
+  }
+
+  EBPF_ALU_CASES(Add, v + s, v + s)
+  EBPF_ALU_CASES(Sub, v - s, v - s)
+  EBPF_ALU_CASES(Mul, v * s, v * s)
+  EBPF_ALU_CASES(Div, s == 0 ? 0 : v / s, s == 0 ? 0 : v / s)
+  EBPF_ALU_CASES(Mod, s == 0 ? v : v % s, s == 0 ? v : v % s)
+  EBPF_ALU_CASES(Or, v | s, v | s)
+  EBPF_ALU_CASES(And, v & s, v & s)
+  EBPF_ALU_CASES(Xor, v ^ s, v ^ s)
+  EBPF_ALU_CASES(Lsh, v << (s & 63), v << (s & 31))
+  EBPF_ALU_CASES(Rsh, v >> (s & 63), v >> (s & 31))
+  EBPF_ALU_CASES(Arsh, static_cast<u64>(static_cast<s64>(v) >> (s & 63)),
+                 static_cast<u32>(static_cast<s32>(v) >> (s & 31)))
+  EBPF_ALU_CASES(Mov, s, s)
+
+  EBPF_JMP_CASES(Jeq, d == s, d == s)
+  EBPF_JMP_CASES(Jne, d != s, d != s)
+  EBPF_JMP_CASES(Jgt, d > s, d > s)
+  EBPF_JMP_CASES(Jge, d >= s, d >= s)
+  EBPF_JMP_CASES(Jlt, d < s, d < s)
+  EBPF_JMP_CASES(Jle, d <= s, d <= s)
+  EBPF_JMP_CASES(Jsgt, static_cast<s64>(d) > static_cast<s64>(s),
+                 static_cast<s32>(d) > static_cast<s32>(s))
+  EBPF_JMP_CASES(Jsge, static_cast<s64>(d) >= static_cast<s64>(s),
+                 static_cast<s32>(d) >= static_cast<s32>(s))
+  EBPF_JMP_CASES(Jslt, static_cast<s64>(d) < static_cast<s64>(s),
+                 static_cast<s32>(d) < static_cast<s32>(s))
+  EBPF_JMP_CASES(Jsle, static_cast<s64>(d) <= static_cast<s64>(s),
+                 static_cast<s32>(d) <= static_cast<s32>(s))
+  EBPF_JMP_CASES(Jset, (d & s) != 0, (d & s) != 0)
+
+#if !EBPF_COMPUTED_GOTO
+    case UOp::kCount:
+      break;
+  }
+#endif
+  // Unreachable: the decoder emits a handler for every slot and the label
+  // table / switch covers every handler.
+  EBPF_SYNC();
+  return RuntimeFault(xbase::KernelFault("bpf: unhandled micro-op"));
+
+  // ---- shared slow paths (reached only via goto from the dispatch
+  // preambles above; never by fallthrough) -------------------------------
+periodic:
+  EBPF_SYNC();
+  kernel_.rcu().CheckStall(kernel_.clock());
+  if (insns > max_insns) {
+    goto insn_cap;
+  }
+  goto dispatch_fetch;
+
+bad_pc:
+  EBPF_SYNC();
+  return RuntimeFault(xbase::KernelFault(
+      StrFormat("bpf: pc %u out of range (JIT image corruption?)", pc)));
+
+insn_cap:
+  EBPF_SYNC();
+  return xbase::Terminated(StrFormat(
+      "harness insn cap (%llu) exceeded — the kernel itself would keep "
+      "running",
+      static_cast<unsigned long long>(max_insns)));
+}
+
+}  // namespace internal
+}  // namespace ebpf

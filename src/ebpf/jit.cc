@@ -1,9 +1,281 @@
 #include "src/ebpf/jit.h"
 
+#include <algorithm>
+
+#include "src/ebpf/runtime.h"
+
 namespace ebpf {
 
+namespace {
+
+// Per-op handler selection for the four ALU/JMP width-and-form variants.
+// `base` is the kAlu64<Name>Imm / kJmp64<Name>Imm enumerator; the variants
+// are laid out Imm64, Reg64, Imm32, Reg32 by EBPF_UOP_ALU4/JMP4.
+u16 Variant(UOp base, bool is64, bool reg_src) {
+  return static_cast<u16>(static_cast<u16>(base) + (is64 ? 0 : 2) +
+                          (reg_src ? 1 : 0));
+}
+
+UOp AluBase(u8 op) {
+  switch (op) {
+    case BPF_ADD:
+      return UOp::kAlu64AddImm;
+    case BPF_SUB:
+      return UOp::kAlu64SubImm;
+    case BPF_MUL:
+      return UOp::kAlu64MulImm;
+    case BPF_DIV:
+      return UOp::kAlu64DivImm;
+    case BPF_MOD:
+      return UOp::kAlu64ModImm;
+    case BPF_OR:
+      return UOp::kAlu64OrImm;
+    case BPF_AND:
+      return UOp::kAlu64AndImm;
+    case BPF_XOR:
+      return UOp::kAlu64XorImm;
+    case BPF_LSH:
+      return UOp::kAlu64LshImm;
+    case BPF_RSH:
+      return UOp::kAlu64RshImm;
+    case BPF_ARSH:
+      return UOp::kAlu64ArshImm;
+    case BPF_MOV:
+      return UOp::kAlu64MovImm;
+  }
+  return UOp::kUnknownAlu;
+}
+
+UOp JmpBase(u8 op) {
+  switch (op) {
+    case BPF_JEQ:
+      return UOp::kJmp64JeqImm;
+    case BPF_JNE:
+      return UOp::kJmp64JneImm;
+    case BPF_JGT:
+      return UOp::kJmp64JgtImm;
+    case BPF_JGE:
+      return UOp::kJmp64JgeImm;
+    case BPF_JLT:
+      return UOp::kJmp64JltImm;
+    case BPF_JLE:
+      return UOp::kJmp64JleImm;
+    case BPF_JSGT:
+      return UOp::kJmp64JsgtImm;
+    case BPF_JSGE:
+      return UOp::kJmp64JsgeImm;
+    case BPF_JSLT:
+      return UOp::kJmp64JsltImm;
+    case BPF_JSLE:
+      return UOp::kJmp64JsleImm;
+    case BPF_JSET:
+      return UOp::kJmp64JsetImm;
+  }
+  return UOp::kUnknownJmp;
+}
+
+UOp SizedOp(UOp byte_variant, u8 size_code) {
+  const u16 base = static_cast<u16>(byte_variant);
+  switch (size_code) {
+    case BPF_B:
+      return static_cast<UOp>(base);
+    case BPF_H:
+      return static_cast<UOp>(base + 1);
+    case BPF_W:
+      return static_cast<UOp>(base + 2);
+    default:  // BPF_DW
+      return static_cast<UOp>(base + 3);
+  }
+}
+
+// Binds a helper/kfunc call site, resolving the function pointer and cost
+// now if the registry is available (it is on every Loader path; a null
+// registry defers to the legacy runtime lookup with identical faults).
+u32 AddCallSite(DecodedImage& out, const Insn& insn, bool is_kfunc,
+                const HelperRegistry* helpers, const KfuncRegistry* kfuncs,
+                JitStats* stats) {
+  CallSite site;
+  site.id = static_cast<u32>(insn.imm);
+  site.imm = insn.imm;
+  site.is_kfunc = is_kfunc;
+  if (is_kfunc && kfuncs != nullptr) {
+    auto spec = kfuncs->FindSpec(site.id);
+    if (spec.ok()) {
+      site.cost_ns = spec.value()->cost_ns;
+      auto fn = kfuncs->FindFn(site.id);
+      site.fn = fn.ok() ? fn.value() : nullptr;
+    }
+  } else if (!is_kfunc && helpers != nullptr) {
+    auto spec = helpers->FindSpec(site.id);
+    if (spec.ok()) {
+      site.cost_ns = spec.value()->cost_ns;
+      auto fn = helpers->FindFn(site.id);
+      site.fn = fn.ok() ? fn.value() : nullptr;
+    }
+  }
+  if (site.fn != nullptr && stats != nullptr) {
+    ++stats->call_sites_resolved;
+  }
+  out.calls.push_back(site);
+  return static_cast<u32>(out.calls.size() - 1);
+}
+
+}  // namespace
+
+DecodedImage DecodeProgram(const Program& image,
+                           const HelperRegistry* helpers,
+                           const KfuncRegistry* kfuncs, JitStats* stats) {
+  DecodedImage out;
+  const u32 n = image.len();
+  out.ops.resize(n);
+
+  for (u32 pc = 0; pc < n; ++pc) {
+    const Insn& insn = image.insns[pc];
+    MicroOp& op = out.ops[pc];
+    op.dst = insn.dst;
+    op.src = insn.src;
+    const u8 cls = insn.Class();
+
+    switch (cls) {
+      case BPF_ALU64:
+      case BPF_ALU: {
+        const bool is64 = cls == BPF_ALU64;
+        const u8 alu_op = insn.AluOp();
+        if (alu_op == BPF_NEG) {
+          op.handler = static_cast<u16>(is64 ? UOp::kNeg64 : UOp::kNeg32);
+          break;
+        }
+        if (alu_op == BPF_END) {
+          const u32 bits = static_cast<u32>(insn.imm);
+          u64 mask = bits < 64 ? (u64{1} << bits) - 1 : ~u64{0};
+          if (!is64) {
+            mask &= 0xffffffffULL;  // the ALU-class width truncation
+          }
+          op.imm = mask;
+          if (insn.UsesRegSrc()) {  // to big-endian: swap
+            op.handler = static_cast<u16>(UOp::kEndSwap);
+            op.src = static_cast<u8>(std::min<u32>(bits / 8, 8));
+          } else {
+            op.handler = static_cast<u16>(UOp::kEndMask);
+          }
+          break;
+        }
+        const UOp base = AluBase(alu_op);
+        if (base == UOp::kUnknownAlu) {
+          op.handler = static_cast<u16>(UOp::kUnknownAlu);
+          break;
+        }
+        op.handler = Variant(base, is64, insn.UsesRegSrc());
+        if (!insn.UsesRegSrc()) {
+          op.imm = is64 ? static_cast<u64>(static_cast<s64>(insn.imm))
+                        : static_cast<u64>(static_cast<u32>(insn.imm));
+        }
+        break;
+      }
+
+      case BPF_LD: {
+        if (!insn.IsLdImm64() || pc + 1 >= n) {
+          op.handler = static_cast<u16>(UOp::kBadLdImm64);
+          break;
+        }
+        op.handler = static_cast<u16>(UOp::kLdImm64);
+        op.jump = pc + 2;
+        // Pseudo values resolved once, mirroring load-time fixup: a map
+        // reference becomes the tagged runtime handle, a callback ref its
+        // entry pc.
+        if (insn.src == BPF_PSEUDO_MAP_FD) {
+          op.imm = MapHandleFromFd(insn.imm);
+        } else if (insn.src == BPF_PSEUDO_FUNC) {
+          op.imm = static_cast<u32>(insn.imm);
+        } else {
+          op.imm = (static_cast<u64>(
+                        static_cast<u32>(image.insns[pc + 1].imm))
+                    << 32) |
+                   static_cast<u32>(insn.imm);
+        }
+        break;
+      }
+
+      case BPF_LDX:
+        op.handler = static_cast<u16>(SizedOp(UOp::kLdxB, insn.Size()));
+        op.jump = static_cast<u32>(static_cast<s32>(insn.off));
+        break;
+
+      case BPF_STX:
+        if (insn.Mode() == BPF_ATOMIC) {
+          op.handler = static_cast<u16>(
+              insn.imm == BPF_ADD ? SizedOp(UOp::kAtomicAddB, insn.Size())
+                                  : UOp::kAtomicBad);
+        } else {
+          op.handler = static_cast<u16>(SizedOp(UOp::kStxB, insn.Size()));
+        }
+        op.jump = static_cast<u32>(static_cast<s32>(insn.off));
+        break;
+
+      case BPF_ST:
+        op.handler = static_cast<u16>(SizedOp(UOp::kStB, insn.Size()));
+        op.jump = static_cast<u32>(static_cast<s32>(insn.off));
+        op.imm = static_cast<u64>(static_cast<s64>(insn.imm));
+        break;
+
+      case BPF_JMP:
+      case BPF_JMP32: {
+        const u8 jmp_op = insn.JmpOp();
+        if (jmp_op == BPF_EXIT) {
+          op.handler = static_cast<u16>(UOp::kExit);
+          break;
+        }
+        if (jmp_op == BPF_CALL) {
+          if (insn.IsPseudoCall()) {
+            op.handler = static_cast<u16>(UOp::kCallBpf);
+            op.jump = static_cast<u32>(static_cast<s64>(pc) + 1 + insn.imm);
+          } else if (insn.IsKfuncCall()) {
+            op.handler = static_cast<u16>(UOp::kCallKfunc);
+            op.jump = AddCallSite(out, insn, /*is_kfunc=*/true, helpers,
+                                  kfuncs, stats);
+          } else {
+            op.handler = static_cast<u16>(UOp::kCallHelper);
+            op.jump = AddCallSite(out, insn, /*is_kfunc=*/false, helpers,
+                                  kfuncs, stats);
+          }
+          break;
+        }
+        if (jmp_op == BPF_JA) {
+          op.handler = static_cast<u16>(UOp::kJa);
+          op.jump = static_cast<u32>(static_cast<s64>(pc) + 1 + insn.off);
+          break;
+        }
+        const UOp base = JmpBase(jmp_op);
+        if (base == UOp::kUnknownJmp) {
+          op.handler = static_cast<u16>(UOp::kUnknownJmp);
+          break;
+        }
+        op.handler = Variant(base, cls == BPF_JMP, insn.UsesRegSrc());
+        op.jump = static_cast<u32>(static_cast<s64>(pc) + 1 + insn.off);
+        if (!insn.UsesRegSrc()) {
+          // Sign-extended for the 64-bit compare; the 32-bit handlers
+          // truncate at dispatch, exactly like the legacy operand path.
+          op.imm = static_cast<u64>(static_cast<s64>(insn.imm));
+        }
+        break;
+      }
+
+      default:
+        op.handler = static_cast<u16>(UOp::kUnknownClass);
+        break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->micro_ops = n;
+  }
+  return out;
+}
+
 xbase::Result<JitImage> JitCompile(const Program& prog,
-                                   const FaultRegistry& faults) {
+                                   const FaultRegistry& faults,
+                                   const HelperRegistry* helpers,
+                                   const KfuncRegistry* kfuncs) {
   JitImage out;
   out.image = prog;
   out.stats.insns_translated = prog.len();
@@ -30,6 +302,11 @@ xbase::Result<JitImage> JitCompile(const Program& prog,
       }
     }
   }
+
+  // Lower the finalized (possibly corrupted) image: the off-by-one above
+  // becomes an off-by-one in the pre-relocated micro-op targets, so the
+  // fault reaches the threaded engine too.
+  out.decoded = DecodeProgram(out.image, helpers, kfuncs, &out.stats);
   return out;
 }
 

@@ -1,13 +1,17 @@
 // The "JIT": the post-verification translation pass that produces the image
 // the kernel actually executes. In this simulation the image is another
-// instruction vector (pre-validated, so the executor can skip decode
-// checks), which preserves the property the paper leans on: the JIT runs
-// *after* the verifier, so a JIT bug invalidates everything the verifier
-// proved. CVE-2021-29154 — a miscomputed branch displacement — is modelled
-// as an injectable off-by-one on long branches.
+// instruction vector plus its lowered DecodedImage form (dense micro-ops
+// with pre-resolved operands, targets and call sites — see decoded.h),
+// which preserves the property the paper leans on: the JIT runs *after*
+// the verifier, so a JIT bug invalidates everything the verifier proved.
+// CVE-2021-29154 — a miscomputed branch displacement — is modelled as an
+// injectable off-by-one on long branches, applied before lowering so the
+// corrupted displacement becomes a corrupted pre-relocated target.
 #pragma once
 
+#include "src/ebpf/decoded.h"
 #include "src/ebpf/fault.h"
+#include "src/ebpf/kfunc.h"
 #include "src/ebpf/prog.h"
 #include "src/xbase/status.h"
 
@@ -17,15 +21,32 @@ struct JitStats {
   u32 insns_translated = 0;
   u32 branches_relocated = 0;
   u32 branches_corrupted = 0;  // nonzero only under jit.branch_off_by_one
+  u32 micro_ops = 0;           // lowered slots (1:1 with image insns)
+  u32 call_sites_resolved = 0; // helper/kfunc fns bound at lowering time
 };
 
 struct JitImage {
   Program image;
+  DecodedImage decoded;
   JitStats stats;
 };
 
-// Translates a verified program into an executable image.
+// Lowers a finalized image into the micro-op form the threaded engine
+// executes. Purely per-slot: each MicroOp encodes exactly what the legacy
+// interpreter's decode would do if pc landed on that slot, so the two
+// engines stay observationally identical even on corrupted control flow.
+// The registries are optional; without them call sites resolve lazily at
+// run time.
+DecodedImage DecodeProgram(const Program& image,
+                           const HelperRegistry* helpers,
+                           const KfuncRegistry* kfuncs,
+                           JitStats* stats = nullptr);
+
+// Translates a verified program into an executable image (branch
+// relocation/corruption, then lowering).
 xbase::Result<JitImage> JitCompile(const Program& prog,
-                                   const FaultRegistry& faults);
+                                   const FaultRegistry& faults,
+                                   const HelperRegistry* helpers = nullptr,
+                                   const KfuncRegistry* kfuncs = nullptr);
 
 }  // namespace ebpf

@@ -79,7 +79,9 @@ xbase::Result<PreparedLoad> Loader::Prepare(const Program& prog,
   }
 
   const auto jit_start = std::chrono::steady_clock::now();
-  XB_ASSIGN_OR_RETURN(JitImage jit, JitCompile(prog, bpf_.faults()));
+  XB_ASSIGN_OR_RETURN(
+      JitImage jit,
+      JitCompile(prog, bpf_.faults(), &bpf_.helpers(), &bpf_.kfuncs()));
   if (times != nullptr) {
     times->jit_ns = ElapsedNs(jit_start);
   }
@@ -87,6 +89,7 @@ xbase::Result<PreparedLoad> Loader::Prepare(const Program& prog,
   PreparedLoad prepared;
   prepared.source = prog;
   prepared.image = std::move(jit.image);
+  prepared.decoded = std::move(jit.decoded);
   prepared.verify = std::move(verify);
   prepared.jit = jit.stats;
   return prepared;
@@ -96,6 +99,7 @@ xbase::Result<u32> Loader::Install(PreparedLoad prepared) {
   LoadedProgram loaded;
   loaded.source = std::move(prepared.source);
   loaded.image = std::move(prepared.image);
+  loaded.decoded = std::move(prepared.decoded);
   loaded.verify = std::move(prepared.verify);
   loaded.jit = prepared.jit;
 

@@ -32,6 +32,7 @@ struct LoadedProgram {
   u32 id = 0;
   Program source;     // as submitted
   Program image;      // as executed (post-JIT)
+  DecodedImage decoded;  // lowered micro-op form of `image` (threaded engine)
   VerifyResult verify;
   JitStats jit;
   // Live hook attachments referencing this id (see Pin/Unpin). A program
@@ -60,6 +61,7 @@ struct LoadOptions {
 struct PreparedLoad {
   Program source;
   Program image;
+  DecodedImage decoded;
   VerifyResult verify;
   JitStats jit;
 };

@@ -209,8 +209,10 @@ xbase::Result<Addr> PercpuArrayMap::LookupAddrForCpu(std::span<const u8> key,
 
 xbase::Result<Addr> PercpuArrayMap::LookupAddr(simkern::Kernel& kernel,
                                                std::span<const u8> key) {
-  (void)kernel;
-  return LookupAddrForCpu(key, 0);  // the simulation runs extensions on cpu0
+  // Resolve against the CPU the extension is executing on. The old code
+  // hardcoded cpu0, so every CPU's lookups aliased one slot and per-CPU
+  // counters silently merged.
+  return LookupAddrForCpu(key, kernel.current_cpu());
 }
 
 xbase::Status PercpuArrayMap::Update(simkern::Kernel& kernel,

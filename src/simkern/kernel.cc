@@ -39,9 +39,9 @@ void Kernel::Oops(const std::string& message) {
   oopses_.push_back(std::move(record));
 }
 
-void Kernel::BeginExtensionScope(std::string label) {
+void Kernel::BeginExtensionScope(const std::string& label) {
   in_scope_ = true;
-  scope_label_ = std::move(label);
+  scope_label_ = label;  // copy-assign: reuses scope_label_'s capacity
   scope_oopses_ = 0;
 }
 

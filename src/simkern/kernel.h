@@ -93,11 +93,21 @@ class Kernel {
 
   // Opens/closes the attribution scope (one level: extensions do not nest
   // across hooks). EndExtensionScope returns how many oopses were raised
-  // while the scope was open.
-  void BeginExtensionScope(std::string label);
+  // while the scope was open. Takes the label by const reference and copies
+  // into the retained string so the steady-state dispatch path reuses its
+  // capacity instead of allocating per fire.
+  void BeginExtensionScope(const std::string& label);
   xbase::u32 EndExtensionScope();
   bool InExtensionScope() const { return in_scope_; }
   const std::string& extension_scope() const { return scope_label_; }
+
+  // --- CPU affinity -------------------------------------------------------
+  // Which simulated CPU the currently-executing extension runs on. Helpers
+  // (bpf_get_smp_processor_id) and per-CPU map addressing read this instead
+  // of assuming cpu0. The executor sets it from ExecOptions::cpu for the
+  // duration of a run and restores the previous value after.
+  xbase::u32 current_cpu() const { return current_cpu_; }
+  void set_current_cpu(xbase::u32 cpu) { current_cpu_ = cpu; }
 
   // --- dmesg -------------------------------------------------------------
   // Printk is internally locked: admission workers log loads concurrently
@@ -129,6 +139,7 @@ class Kernel {
   bool in_scope_ = false;
   std::string scope_label_;
   xbase::u32 scope_oopses_ = 0;
+  xbase::u32 current_cpu_ = 0;
 };
 
 }  // namespace simkern

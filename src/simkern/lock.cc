@@ -22,6 +22,7 @@ xbase::Status LockTable::Acquire(LockId id, std::string holder) {
   }
   it->second.held = true;
   it->second.holder = std::move(holder);
+  ++held_count_;
   return xbase::Status::Ok();
 }
 
@@ -36,6 +37,7 @@ xbase::Status LockTable::Release(LockId id) {
   }
   it->second.held = false;
   it->second.holder.clear();
+  --held_count_;
   return xbase::Status::Ok();
 }
 
@@ -46,12 +48,16 @@ bool LockTable::IsHeld(LockId id) const {
 
 std::vector<LockId> LockTable::HeldLocks() const {
   std::vector<LockId> held;
+  HeldLocksInto(&held);
+  return held;
+}
+
+void LockTable::HeldLocksInto(std::vector<LockId>* out) const {
   for (const auto& [id, lock] : locks_) {
     if (lock.held) {
-      held.push_back(id);
+      out->push_back(id);
     }
   }
-  return held;
 }
 
 const SpinLock* LockTable::Find(LockId id) const {
@@ -62,6 +68,9 @@ const SpinLock* LockTable::Find(LockId id) const {
 void LockTable::ForceRelease(LockId id) {
   auto it = locks_.find(id);
   if (it != locks_.end()) {
+    if (it->second.held) {
+      --held_count_;
+    }
     it->second.held = false;
     it->second.holder = "forced";
   }

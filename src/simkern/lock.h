@@ -34,6 +34,12 @@ class LockTable {
   bool IsHeld(LockId id) const;
   // All locks currently held — nonempty at extension exit is a bug.
   std::vector<LockId> HeldLocks() const;
+  // Same, but appends into a caller-owned vector so the steady-state
+  // dispatch path (hooks.cc) never allocates when nothing is held.
+  void HeldLocksInto(std::vector<LockId>* out) const;
+  // Number of locks currently held; O(1). Dispatch checks this before
+  // paying for the full table walk.
+  int held_count() const { return held_count_; }
   const SpinLock* Find(LockId id) const;
 
   // Forced release during safe termination (trusted cleanup path).
@@ -42,6 +48,7 @@ class LockTable {
  private:
   std::map<LockId, SpinLock> locks_;
   LockId next_id_ = 1;
+  int held_count_ = 0;
 };
 
 }  // namespace simkern

@@ -34,6 +34,9 @@ ObjectId ObjectTable::Create(ObjectType type, std::string name,
   object.name = std::move(name);
   object.struct_addr = struct_addr;
   objects_.emplace(id, std::move(object));
+  if (journal_active_) {
+    journal_.push_back(RefJournalEvent{id, +1});
+  }
   return id;
 }
 
@@ -49,6 +52,9 @@ xbase::Status ObjectTable::Acquire(ObjectId id) {
                               it->second.name);
   }
   ++it->second.refcount;
+  if (journal_active_) {
+    journal_.push_back(RefJournalEvent{id, +1});
+  }
   return xbase::Status::Ok();
 }
 
@@ -70,6 +76,9 @@ xbase::Status ObjectTable::Release(ObjectId id) {
   --object.refcount;
   if (object.refcount == 0) {
     object.freed = true;
+  }
+  if (journal_active_) {
+    journal_.push_back(RefJournalEvent{id, -1});
   }
   return xbase::Status::Ok();
 }
@@ -129,6 +138,16 @@ std::vector<RefLeak> ObjectTable::DiffSince(
     }
   }
   return leaks;
+}
+
+void ObjectTable::BeginRefJournal() {
+  journal_.clear();  // keeps capacity — steady-state scopes do not allocate
+  journal_active_ = true;
+}
+
+const std::vector<RefJournalEvent>& ObjectTable::EndRefJournal() {
+  journal_active_ = false;
+  return journal_;
 }
 
 usize ObjectTable::live_count() const {

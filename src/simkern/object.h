@@ -48,6 +48,14 @@ struct RefLeak {
   xbase::s64 after;
 };
 
+// One successful refcount mutation, recorded while a journal is active.
+// Create and Acquire are +1, Release is -1. Failed operations (faults) do
+// not mutate the count and are not journaled.
+struct RefJournalEvent {
+  ObjectId id;
+  xbase::s32 delta;
+};
+
 class ObjectTable {
  public:
   ObjectId Create(ObjectType type, std::string name, Addr struct_addr = 0);
@@ -70,11 +78,23 @@ class ObjectTable {
   // objects created since that are still referenced.
   std::vector<RefLeak> DiffSince(const RefcountSnapshot& snapshot) const;
 
+  // Journal-based alternative to Snapshot/DiffSince for the dispatch hot
+  // path: instead of copying the whole table before every extension run,
+  // record the (usually zero) mutations made during the run. The journal
+  // buffer is owned by the table and reused across scopes, so a run that
+  // touches no refcounts costs two flag writes and no allocation.
+  void BeginRefJournal();
+  // Stops recording and returns the events since BeginRefJournal. The
+  // reference stays valid until the next BeginRefJournal.
+  const std::vector<RefJournalEvent>& EndRefJournal();
+
   xbase::usize live_count() const;
 
  private:
   std::map<ObjectId, KObject> objects_;
   ObjectId next_id_ = 1;
+  std::vector<RefJournalEvent> journal_;
+  bool journal_active_ = false;
 };
 
 }  // namespace simkern

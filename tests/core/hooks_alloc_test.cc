@@ -1,0 +1,156 @@
+// Zero-allocation dispatch: after warm-up, the HookRegistry::FireInto
+// happy path (admission check, extension scope, eBPF execution with a map
+// lookup, leak audit, supervisor success accounting, verdict aggregation)
+// must not touch the heap. The check is a counting global operator
+// new/delete — any steady-state allocation anywhere under a fire fails the
+// test, which is the property that makes per-packet dispatch viable.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "src/analysis/workloads.h"
+#include "src/core/hooks.h"
+#include "src/ebpf/asm.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<xbase::u64> g_allocations{0};
+
+}  // namespace
+
+// Counting overloads. Deallocation stays uncounted (frees are fine; it is
+// *acquiring* heap on the hot path that the design forbids — and a happy
+// path that never allocates has nothing of its own to free either).
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+// GCC's -Wmismatched-new-delete heuristic can't see that the replaced
+// operator new above is malloc-backed, so the free() here trips it at
+// inlined call sites; the pairing is correct by construction.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+#pragma GCC diagnostic pop
+
+namespace safex {
+namespace {
+
+class HooksAllocTest : public ::testing::Test {
+ protected:
+  HooksAllocTest() : bpf_(kernel_), bpf_loader_(bpf_) {
+    EXPECT_TRUE(kernel_.BootstrapWorkload().ok());
+    runtime_ = Runtime::Create(kernel_, bpf_).value();
+    ext_loader_ = std::make_unique<ExtLoader>(*runtime_);
+    ctx_ = kernel_.mem()
+               .Map(64, simkern::MemPerm::kReadWrite,
+                    simkern::RegionKind::kKernelData, "hookctx")
+               .value();
+    // A 64-byte frame behind the xdp_md-style ctx (data / data_end at
+    // offsets 8 / 16), protocol byte zeroed: the counter takes its
+    // map-increment PASS path instead of the runt-frame drop.
+    const simkern::Addr pkt =
+        kernel_.mem()
+            .Map(64, simkern::MemPerm::kReadWrite,
+                 simkern::RegionKind::kKernelData, "pkt")
+            .value();
+    EXPECT_TRUE(kernel_.mem().WriteU64(ctx_ + 8, pkt).ok());
+    EXPECT_TRUE(kernel_.mem().WriteU64(ctx_ + 16, pkt + 64).ok());
+  }
+
+  // An XDP-ish counter: array-map lookup (the engine's inline fast path)
+  // plus a read-modify-write on the value — the realistic per-packet
+  // steady state, not a bare `return 2`.
+  xbase::u32 LoadCounterProg() {
+    ebpf::MapSpec spec;
+    spec.type = ebpf::MapType::kArray;
+    spec.key_size = 4;
+    spec.value_size = 8;
+    spec.max_entries = 4;
+    spec.name = "counter";
+    const int fd = bpf_.maps().Create(spec).value();
+    return bpf_loader_.Load(analysis::BuildPacketCounter(fd).value()).value();
+  }
+
+  void RunSteadyStateCheck(HookRegistry& hooks) {
+    ASSERT_TRUE(
+        hooks.AttachProgram(HookPoint::kXdpIngress, LoadCounterProg()).ok());
+
+    HookFireReport report;
+    // Warm-up: establishes every reusable capacity (report verdict vector,
+    // scope-label string, exec-stack lease, supervisor record).
+    for (int i = 0; i < 8; ++i) {
+      hooks.FireInto(HookPoint::kXdpIngress, ctx_, report);
+      ASSERT_EQ(report.served, 1u);
+      ASSERT_EQ(report.failed, 0u);
+    }
+
+    g_allocations.store(0);
+    g_counting.store(true);
+    for (int i = 0; i < 64; ++i) {
+      hooks.FireInto(HookPoint::kXdpIngress, ctx_, report);
+    }
+    g_counting.store(false);
+    EXPECT_EQ(report.served, 1u);
+    EXPECT_EQ(report.verdict, 2u);
+    EXPECT_EQ(g_allocations.load(), 0u)
+        << "steady-state FireInto must not touch the heap";
+  }
+
+  simkern::Kernel kernel_;
+  ebpf::Bpf bpf_;
+  ebpf::Loader bpf_loader_;
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<ExtLoader> ext_loader_;
+  simkern::Addr ctx_ = 0;
+};
+
+TEST_F(HooksAllocTest, SteadyStateFireIsAllocationFreeUnsupervised) {
+  HookRegistry hooks(bpf_, bpf_loader_, *ext_loader_);
+  RunSteadyStateCheck(hooks);
+}
+
+TEST_F(HooksAllocTest, SteadyStateFireIsAllocationFreeSupervised) {
+  Supervisor supervisor;
+  HookRegistryConfig config;
+  config.supervisor = &supervisor;
+  HookRegistry hooks(bpf_, bpf_loader_, *ext_loader_, config);
+  RunSteadyStateCheck(hooks);
+  // The supervisor saw every fire and counted them as successes.
+  EXPECT_EQ(supervisor.failures(), 0u);
+  EXPECT_EQ(supervisor.tracked(), 1u);
+}
+
+TEST_F(HooksAllocTest, EngineSelectionFlowsThroughConfig) {
+  // config.exec_options reaches Execute: the legacy engine runs the same
+  // attachment to the same verdict (no zero-alloc claim for it — the
+  // legacy interpreter's own call stack is heap-backed by design).
+  HookRegistryConfig config;
+  config.exec_options.engine = ebpf::ExecEngine::kLegacy;
+  HookRegistry hooks(bpf_, bpf_loader_, *ext_loader_, config);
+  ASSERT_TRUE(
+      hooks.AttachProgram(HookPoint::kXdpIngress, LoadCounterProg()).ok());
+  HookFireReport report;
+  hooks.FireInto(HookPoint::kXdpIngress, ctx_, report);
+  EXPECT_EQ(report.served, 1u);
+  EXPECT_EQ(report.verdict, 2u);
+}
+
+}  // namespace
+}  // namespace safex

@@ -1,0 +1,252 @@
+// Differential test for the two execution engines: the pre-decoded
+// threaded engine must be observationally identical to the legacy
+// decode-per-step interpreter. Identical means *everything* the harness
+// can observe: load verdict, execution status, r0, the full ExecStats
+// block (instruction count, helper calls, simulated time, frame depth),
+// map end-state bytes, and the per-instruction tracer stream (pc plus all
+// eleven registers before each instruction executes).
+//
+// The corpus is the rangefuzz generator's — boundary-biased ALU, forward
+// branches, stack spills and map accesses — so the spine the threaded
+// engine optimizes is exactly what gets cross-checked.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "src/analysis/rangefuzz.h"
+#include "src/analysis/workloads.h"
+#include "src/ebpf/asm.h"
+#include "src/ebpf/bpf.h"
+#include "src/ebpf/interp.h"
+#include "src/ebpf/jit.h"
+#include "src/ebpf/loader.h"
+#include "src/xbase/strfmt.h"
+
+namespace ebpf {
+namespace {
+
+using xbase::u32;
+using xbase::u64;
+using xbase::u8;
+
+constexpr u64 kMasterSeeds[] = {1, 42, 1337};
+constexpr u32 kProgramsPerSeed = 200;  // 600 generated; >= 500 must execute
+constexpr u32 kBodyLen = 24;
+
+u64 Mix(u64 x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  return x ^ (x >> 33);
+}
+
+struct TraceEntry {
+  u32 pc = 0;
+  std::array<u64, kNumRegs> regs{};
+
+  bool operator==(const TraceEntry& other) const = default;
+};
+
+class RecordingTracer : public InsnTracer {
+ public:
+  void OnInsn(u32 pc, const u64* regs) override {
+    TraceEntry entry;
+    entry.pc = pc;
+    std::copy(regs, regs + kNumRegs, entry.regs.begin());
+    trace.push_back(entry);
+  }
+
+  std::vector<TraceEntry> trace;
+};
+
+// Everything one engine run exposes to the harness.
+struct EngineRun {
+  bool load_ok = false;
+  std::string load_status;
+  bool exec_ok = false;
+  std::string exec_status;
+  u64 r0 = 0;
+  ExecStats stats;
+  std::array<u8, analysis::kRangeFuzzValueSize> map_end{};
+  std::vector<TraceEntry> trace;
+};
+
+EngineRun RunOn(u64 program_seed, ExecEngine engine) {
+  EngineRun run;
+  simkern::Kernel kernel;
+  Bpf bpf(kernel);
+  Loader loader(bpf);
+  EXPECT_TRUE(kernel.BootstrapWorkload().ok());
+
+  MapSpec spec;
+  spec.type = MapType::kArray;
+  spec.key_size = 4;
+  spec.value_size = analysis::kRangeFuzzValueSize;
+  spec.max_entries = 1;
+  spec.name = "equiv";
+  const int fd = bpf.maps().Create(spec).value();
+
+  // Deterministic per-program initial map value: both engines start from
+  // the same unknown-scalar world.
+  std::array<u8, analysis::kRangeFuzzValueSize> value{};
+  for (xbase::usize i = 0; i < value.size(); i += 8) {
+    const u64 word = Mix(program_seed + i);
+    std::memcpy(value.data() + i, &word, 8);
+  }
+  Map* map = bpf.maps().Find(fd).value();
+  const u32 key = 0;
+  EXPECT_TRUE(map->Update(kernel,
+                          std::span<const u8>(
+                              reinterpret_cast<const u8*>(&key), sizeof(key)),
+                          value, kBpfAny)
+                  .ok());
+
+  auto prog = analysis::BuildFuzzProgram(program_seed, fd, kBodyLen, "equiv");
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  auto id = loader.Load(prog.value());
+  run.load_ok = id.ok();
+  run.load_status = id.ok() ? "" : id.status().ToString();
+  if (!id.ok()) {
+    return run;
+  }
+
+  auto ctx = kernel.mem().Map(64, simkern::MemPerm::kReadWrite,
+                              simkern::RegionKind::kKernelData, "ctx");
+  RecordingTracer tracer;
+  ExecOptions opts;
+  opts.engine = engine;
+  opts.tracer = &tracer;
+  auto loaded = loader.Find(id.value());
+  auto result = Execute(bpf, *loaded.value(), ctx.value(), opts, &loader);
+  run.exec_ok = result.ok();
+  run.exec_status = result.ok() ? "" : result.status().ToString();
+  if (result.ok()) {
+    run.r0 = result.value().r0;
+    run.stats = result.value().stats;
+  }
+  run.trace = std::move(tracer.trace);
+
+  auto addr = map->LookupAddr(
+      kernel,
+      std::span<const u8>(reinterpret_cast<const u8*>(&key), sizeof(key)));
+  EXPECT_TRUE(addr.ok());
+  EXPECT_TRUE(kernel.mem().Read(addr.value(), run.map_end).ok());
+  return run;
+}
+
+// The full corpus: every observable of the threaded run must equal the
+// legacy run, byte for byte.
+TEST(EngineEquivalence, RangefuzzCorpusIsObservationallyIdentical) {
+  u32 generated = 0;
+  u32 executed = 0;
+  for (const u64 master_seed : kMasterSeeds) {
+    for (const u64 program_seed :
+         analysis::FuzzProgramSeeds(master_seed, kProgramsPerSeed)) {
+      ++generated;
+      const EngineRun threaded = RunOn(program_seed, ExecEngine::kThreaded);
+      const EngineRun legacy = RunOn(program_seed, ExecEngine::kLegacy);
+      const std::string label = xbase::StrFormat(
+          "program_seed=%llu", static_cast<unsigned long long>(program_seed));
+
+      ASSERT_EQ(threaded.load_ok, legacy.load_ok) << label;
+      ASSERT_EQ(threaded.load_status, legacy.load_status) << label;
+      if (!threaded.load_ok) {
+        continue;  // same rejection on both sides: equivalent
+      }
+      ++executed;
+      ASSERT_EQ(threaded.exec_ok, legacy.exec_ok) << label;
+      ASSERT_EQ(threaded.exec_status, legacy.exec_status) << label;
+      ASSERT_EQ(threaded.r0, legacy.r0) << label;
+      ASSERT_EQ(threaded.stats.insns, legacy.stats.insns) << label;
+      ASSERT_EQ(threaded.stats.helper_calls, legacy.stats.helper_calls)
+          << label;
+      ASSERT_EQ(threaded.stats.sim_time_charged_ns,
+                legacy.stats.sim_time_charged_ns)
+          << label;
+      ASSERT_EQ(threaded.stats.tail_calls, legacy.stats.tail_calls) << label;
+      ASSERT_EQ(threaded.stats.max_frame_depth, legacy.stats.max_frame_depth)
+          << label;
+      ASSERT_EQ(threaded.stats.open_refs_at_exit,
+                legacy.stats.open_refs_at_exit)
+          << label;
+      ASSERT_EQ(threaded.map_end, legacy.map_end) << label;
+      ASSERT_EQ(threaded.trace.size(), legacy.trace.size()) << label;
+      for (xbase::usize i = 0; i < threaded.trace.size(); ++i) {
+        ASSERT_EQ(threaded.trace[i], legacy.trace[i])
+            << label << " trace index " << i;
+      }
+    }
+  }
+  EXPECT_EQ(generated, kProgramsPerSeed * 3);
+  EXPECT_GE(executed, 500u) << "corpus too small to claim equivalence";
+}
+
+// The CVE-2021-29154 branch-displacement fault operates on the lowered
+// form: the pre-relocated target in the decoded image is the corrupted
+// one, and the threaded engine produces the same documented witness
+// (verified program, hijacked control flow, kernel crash) as the legacy
+// engine does.
+TEST(EngineEquivalence, JitBranchFaultWitnessOnBothEngines) {
+  const Program victim = analysis::BuildJitHijackVictim().value();
+  for (const ExecEngine engine :
+       {ExecEngine::kThreaded, ExecEngine::kLegacy}) {
+    for (const bool inject : {false, true}) {
+      simkern::Kernel kernel;
+      Bpf bpf(kernel);
+      Loader loader(bpf);
+      ASSERT_TRUE(kernel.BootstrapWorkload().ok());
+      if (inject) {
+        bpf.faults().Inject(kFaultJitBranchOffByOne);
+      }
+      auto id = loader.Load(victim);
+      ASSERT_TRUE(id.ok()) << "verifier passed it; the JIT broke it";
+      auto loaded = loader.Find(id.value());
+      auto ctx = kernel.mem().Map(64, simkern::MemPerm::kReadWrite,
+                                  simkern::RegionKind::kKernelData, "ctx");
+      ExecOptions opts;
+      opts.engine = engine;
+      auto result = Execute(bpf, *loaded.value(), ctx.value(), opts, &loader);
+      if (!inject) {
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        EXPECT_EQ(result.value().r0, 42u);
+        EXPECT_FALSE(kernel.crashed());
+      } else {
+        EXPECT_TRUE(kernel.crashed())
+            << "corrupted displacement must hijack verified control flow";
+      }
+    }
+  }
+}
+
+// The corrupted displacement is visible in the lowered form itself: under
+// the fault the decoded image's pre-relocated target differs from the
+// clean lowering of the same program.
+TEST(EngineEquivalence, BranchFaultCorruptsPreRelocatedTargets) {
+  const Program victim = analysis::BuildJitHijackVictim().value();
+  FaultRegistry clean_faults;
+  FaultRegistry buggy_faults;
+  buggy_faults.Inject(kFaultJitBranchOffByOne);
+  auto clean = JitCompile(victim, clean_faults);
+  auto buggy = JitCompile(victim, buggy_faults);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(buggy.ok());
+  EXPECT_EQ(clean.value().stats.branches_corrupted, 0u);
+  EXPECT_GT(buggy.value().stats.branches_corrupted, 0u);
+  ASSERT_EQ(clean.value().decoded.ops.size(), buggy.value().decoded.ops.size());
+  u32 diverging_targets = 0;
+  for (xbase::usize pc = 0; pc < clean.value().decoded.ops.size(); ++pc) {
+    const MicroOp& a = clean.value().decoded.ops[pc];
+    const MicroOp& b = buggy.value().decoded.ops[pc];
+    EXPECT_EQ(a.handler, b.handler) << "fault must only move targets";
+    if (a.jump != b.jump) {
+      ++diverging_targets;
+    }
+  }
+  EXPECT_GT(diverging_targets, 0u);
+}
+
+}  // namespace
+}  // namespace ebpf

@@ -286,5 +286,60 @@ TEST_F(InterpTest, ExecStatsAreAccurate) {
   EXPECT_EQ(result.value().stats.helper_calls, 2u);
 }
 
+TEST_F(InterpTest, PercpuSlotsDoNotAliasAcrossExecutingCpus) {
+  // Regression for the LookupAddr cpu-0 hardcode: an execution pinned to
+  // cpu N must read and write cpu N's slot, on both engines.
+  MapSpec spec;
+  spec.type = MapType::kPercpuArray;
+  spec.key_size = 4;
+  spec.value_size = 8;
+  spec.max_entries = 1;
+  spec.name = "percpu";
+  const int fd = bpf_.maps().Create(spec).value();
+
+  // Writes (smp_processor_id + 1) into this CPU's slot; returns the same.
+  ProgramBuilder b("percpu", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R6, R0))
+      .Ins(CallHelper(kHelperGetSmpProcessorId))
+      .Ins(Alu64Imm(BPF_ADD, R0, 1))
+      .Ins(StxMem(BPF_DW, R6, R0, 0))
+      .Bind("out")
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  auto id = loader_.Load(prog.value());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto loaded = loader_.Find(id.value());
+
+  for (const ExecEngine engine : {ExecEngine::kThreaded, ExecEngine::kLegacy}) {
+    for (u32 cpu = 0; cpu < kNumSimCpus; ++cpu) {
+      ExecOptions opts;
+      opts.engine = engine;
+      opts.cpu = cpu;
+      auto result = Execute(bpf_, *loaded.value(), ctx_, opts, &loader_);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result.value().r0, cpu + 1u);
+    }
+    auto* map = dynamic_cast<PercpuArrayMap*>(bpf_.maps().Find(fd).value());
+    ASSERT_NE(map, nullptr);
+    xbase::u8 key[4] = {};
+    for (u32 cpu = 0; cpu < kNumSimCpus; ++cpu) {
+      const auto addr = map->LookupAddrForCpu(key, cpu);
+      ASSERT_TRUE(addr.ok());
+      const auto value = kernel_.mem().ReadU64(addr.value());
+      ASSERT_TRUE(value.ok());
+      EXPECT_EQ(value.value(), cpu + 1u)
+          << "cpu " << cpu << " slot aliased under engine "
+          << static_cast<int>(engine);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ebpf

@@ -164,6 +164,22 @@ TEST_F(MapsTest, PercpuSlotsAreIndependent) {
   EXPECT_FALSE(map->LookupAddrForCpu(Key32(0), 99).ok());
 }
 
+TEST_F(MapsTest, PercpuLookupAddrRoutesToExecutingCpu) {
+  // Regression: LookupAddr used to hardcode cpu 0, so every executing
+  // CPU aliased onto the same slot.
+  const int fd = Create(MapType::kPercpuArray, 4, 8, 2);
+  auto* map = dynamic_cast<PercpuArrayMap*>(Find(fd));
+  ASSERT_NE(map, nullptr);
+  kernel_.set_current_cpu(0);
+  const simkern::Addr cpu0_addr = map->LookupAddr(kernel_, Key32(1)).value();
+  kernel_.set_current_cpu(1);
+  const simkern::Addr cpu1_addr = map->LookupAddr(kernel_, Key32(1)).value();
+  kernel_.set_current_cpu(0);
+  EXPECT_NE(cpu0_addr, cpu1_addr);
+  EXPECT_EQ(cpu0_addr, map->LookupAddrForCpu(Key32(1), 0).value());
+  EXPECT_EQ(cpu1_addr, map->LookupAddrForCpu(Key32(1), 1).value());
+}
+
 // ---- prog array ---------------------------------------------------------------------
 
 TEST_F(MapsTest, ProgArrayStoresIds) {

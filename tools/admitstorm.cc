@@ -8,6 +8,9 @@
 //   admitstorm --queue Q           bounded queue capacity (default 32)
 //   admitstorm --no-cache          run with the verdict cache disabled
 //   admitstorm --no-faults         leave the fault registry alone
+//   admitstorm --engine E          engine for post-drain exec probes:
+//                                  threaded (default, cross-checked against
+//                                  legacy) or legacy
 //   admitstorm --quiet             print only the verdict line
 //
 // The submission schedule is a pure function of the flags; the pipeline
@@ -40,6 +43,8 @@ void PrintStats(const analysis::AdmitStormStats& stats) {
               static_cast<unsigned long long>(stats.unloads));
   std::printf("  fault toggles         %llu (racing the workers)\n",
               static_cast<unsigned long long>(stats.fault_toggles));
+  std::printf("  exec probes           %llu\n",
+              static_cast<unsigned long long>(stats.exec_probes));
   std::printf("  verdict cache         %llu hits (%llu coalesced), "
               "%llu misses, %llu uncacheable\n",
               static_cast<unsigned long long>(stats.cache_hits),
@@ -57,7 +62,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: admitstorm [--seed N] [--rounds R] [--ops M] "
                "[--workers W] [--queue Q] [--no-cache] [--no-faults] "
-               "[--quiet]\n");
+               "[--engine threaded|legacy] [--quiet]\n");
   return 2;
 }
 
@@ -82,6 +87,15 @@ int main(int argc, char** argv) {
       config.cache_enabled = false;
     } else if (arg == "--no-faults") {
       config.toggle_faults = false;
+    } else if (arg == "--engine" && i + 1 < argc) {
+      const std::string engine = argv[++i];
+      if (engine == "threaded") {
+        config.engine = ebpf::ExecEngine::kThreaded;
+      } else if (engine == "legacy") {
+        config.engine = ebpf::ExecEngine::kLegacy;
+      } else {
+        return Usage();
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -90,13 +104,15 @@ int main(int argc, char** argv) {
   }
 
   std::printf("admitstorm: seed=%llu rounds=%llu ops=%llu workers=%zu "
-              "queue=%zu cache=%s faults=%s\n",
+              "queue=%zu cache=%s faults=%s engine=%s\n",
               static_cast<unsigned long long>(config.seed),
               static_cast<unsigned long long>(config.rounds),
               static_cast<unsigned long long>(config.ops_per_round),
               config.workers, config.queue_capacity,
               config.cache_enabled ? "on" : "off",
-              config.toggle_faults ? "on" : "off");
+              config.toggle_faults ? "on" : "off",
+              config.engine == ebpf::ExecEngine::kLegacy ? "legacy"
+                                                         : "threaded");
   const analysis::AdmitStormReport report = analysis::RunAdmitStorm(config);
   if (!quiet) {
     PrintStats(report.stats);

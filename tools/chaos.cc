@@ -4,6 +4,8 @@
 //   chaos --seed N             replay a specific seed
 //   chaos --ops M              number of randomized operations (default 10000)
 //   chaos --no-faults          leave the fault registry alone (calm mode)
+//   chaos --engine E           execution engine for hook fires:
+//                              threaded (default) or legacy
 //   chaos --quiet              print only the verdict line
 //
 // Every run is a pure function of --seed/--ops/--faults, so any failure
@@ -53,7 +55,8 @@ void PrintStats(const analysis::ChaosStats& stats) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: chaos [--seed N] [--ops M] [--no-faults] [--quiet]\n");
+               "usage: chaos [--seed N] [--ops M] [--no-faults] "
+               "[--engine threaded|legacy] [--quiet]\n");
   return 2;
 }
 
@@ -72,6 +75,15 @@ int main(int argc, char** argv) {
       config.toggle_faults = false;
     } else if (arg == "--faults") {
       config.toggle_faults = true;
+    } else if (arg == "--engine" && i + 1 < argc) {
+      const std::string engine = argv[++i];
+      if (engine == "threaded") {
+        config.engine = ebpf::ExecEngine::kThreaded;
+      } else if (engine == "legacy") {
+        config.engine = ebpf::ExecEngine::kLegacy;
+      } else {
+        return Usage();
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -79,10 +91,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("chaos: seed=%llu ops=%llu faults=%s\n",
+  std::printf("chaos: seed=%llu ops=%llu faults=%s engine=%s\n",
               static_cast<unsigned long long>(config.seed),
               static_cast<unsigned long long>(config.ops),
-              config.toggle_faults ? "on" : "off");
+              config.toggle_faults ? "on" : "off",
+              config.engine == ebpf::ExecEngine::kLegacy ? "legacy"
+                                                         : "threaded");
   const analysis::ChaosReport report = analysis::RunChaos(config);
   if (!quiet) {
     PrintStats(report.stats);
