@@ -298,4 +298,47 @@ RangeCompareResult CompareRangeTraces(
   return result;
 }
 
+RelCompareResult CompareRelTraces(const ebpf::RangeTrace& staticcheck_trace,
+                                  const ebpf::RangeTrace& verifier_trace,
+                                  const std::vector<bool>* executed_pcs) {
+  RelCompareResult result;
+  const xbase::usize len =
+      std::min(staticcheck_trace.rel_per_pc.size(),
+               verifier_trace.rel_per_pc.size());
+  for (xbase::usize pc = 0; pc < len; ++pc) {
+    if (executed_pcs != nullptr &&
+        (pc >= executed_pcs->size() || !(*executed_pcs)[pc])) {
+      continue;
+    }
+    const ebpf::RelClaims& sc = staticcheck_trace.rel_per_pc[pc];
+    const ebpf::RelClaims& ver = verifier_trace.rel_per_pc[pc];
+    if (!sc.seen || !ver.seen) {
+      continue;
+    }
+    for (int i = 0; i < ebpf::kRelRegs; ++i) {
+      for (int j = 0; j < ebpf::kRelRegs; ++j) {
+        if (i == j) {
+          continue;
+        }
+        const xbase::s64 fwd = sc.At(i, j);   // ri - rj <= fwd
+        const xbase::s64 rev = ver.At(j, i);  // rj - ri <= rev
+        if (fwd == ebpf::kRelInf || rev == ebpf::kRelInf) {
+          continue;
+        }
+        ++result.points;
+        if (ebpf::RelBoundsContradict(fwd, rev)) {
+          ++result.contradictions;
+          if (result.disagreements.size() < 32) {
+            result.disagreements.push_back({static_cast<u32>(pc),
+                                            static_cast<xbase::u8>(i),
+                                            static_cast<xbase::u8>(j), fwd,
+                                            rev});
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace analysis

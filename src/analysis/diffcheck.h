@@ -93,4 +93,34 @@ RangeCompareResult CompareRangeTraces(const ebpf::RangeTrace& staticcheck_trace,
                                       const std::vector<bool>* executed_pcs =
                                           nullptr);
 
+// ---- relational (difference-bound) claim comparison ------------------------
+
+// One (pc, i, j) where staticcheck claims ri - rj <= static_bound while the
+// verifier claims rj - ri <= verifier_rev_bound with static_bound +
+// verifier_rev_bound < 0: no register valuation satisfies both, so at
+// least one relational analysis is wrong about this program.
+struct RelDisagreement {
+  xbase::u32 pc = 0;
+  xbase::u8 i = 0;
+  xbase::u8 j = 0;
+  xbase::s64 static_bound = 0;        // staticcheck: ri - rj <= this
+  xbase::s64 verifier_rev_bound = 0;  // verifier: rj - ri <= this
+};
+
+struct RelCompareResult {
+  xbase::u64 points = 0;          // ordered pairs with both sides finite
+  xbase::u64 contradictions = 0;  // of those, provably contradictory
+  std::vector<RelDisagreement> disagreements;  // first 32, for reports
+};
+
+// Compares per-pc difference-bound claims the same way CompareRangeTraces
+// compares intervals: only at pcs both analyses visited (and, when
+// `executed_pcs` is given, some concrete execution reached), pairing each
+// staticcheck bound on ri - rj with the verifier's reverse bound on
+// rj - ri and flagging pairs whose sum is negative.
+RelCompareResult CompareRelTraces(const ebpf::RangeTrace& staticcheck_trace,
+                                  const ebpf::RangeTrace& verifier_trace,
+                                  const std::vector<bool>* executed_pcs =
+                                      nullptr);
+
 }  // namespace analysis

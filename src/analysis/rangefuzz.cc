@@ -139,15 +139,18 @@ xbase::Result<Program> GenProgram(Rng& rng, int map_fd, u32 body_len,
       const u8 op = rng.Pick(kJmpOps);
       const s16 off =
           static_cast<s16>(1 + rng.Below(std::min<u32>(4, remaining)));
-      switch (rng.Below(3)) {
+      switch (rng.Below(4)) {
         case 0:
           b.Ins(JmpImm(op, dst, BiasedImm(rng), off));
           break;
         case 1:
           b.Ins(JmpReg(op, dst, src, off));
           break;
-        default:
+        case 2:
           b.Ins(Jmp32Imm(op, dst, BiasedImm(rng), off));
+          break;
+        default:
+          b.Ins(Jmp32Reg(op, dst, src, off));
           break;
       }
     } else if (pick < 45) {
@@ -177,6 +180,10 @@ xbase::Result<Program> GenProgram(Rng& rng, int map_fd, u32 body_len,
       if (!spilled[slot] || rng.Chance(50)) {
         b.Ins(StxMem(BPF_DW, R10, dst, off));
         spilled[slot] = true;
+      } else if (rng.Chance(30)) {
+        // Narrow scribble over a live spill slot: both analyses must
+        // demote the slot (the spill-width invariant under fuzz).
+        b.Ins(StxMem(rng.Chance(50) ? BPF_B : BPF_W, R10, dst, off));
       } else {
         b.Ins(LdxMem(BPF_DW, dst, R10, off));
       }
@@ -289,6 +296,17 @@ class ClaimChecker : public InsnTracer {
     RegClaim claim;
   };
 
+  // A concrete register-pair difference outside a claimed bound: the
+  // relational analog of Escape.
+  struct RelEscape {
+    u32 pc = 0;
+    u8 i = 0;
+    u8 j = 0;
+    u64 vi = 0;
+    u64 vj = 0;
+    s64 bound = 0;  // violated claim: ri - rj <= bound
+  };
+
   ClaimChecker(const RangeTrace& static_trace,
                const RangeTrace& verifier_trace, RangeFuzzStats* stats)
       : static_(static_trace), verifier_(verifier_trace), stats_(stats) {}
@@ -300,6 +318,8 @@ class ClaimChecker : public InsnTracer {
     executed_pcs_[pc] = true;
     Check(static_, pc, regs, static_escapes_, seen_static_);
     Check(verifier_, pc, regs, verifier_escapes_, seen_verifier_);
+    CheckRel(static_, pc, regs, static_rel_escapes_, seen_static_rel_);
+    CheckRel(verifier_, pc, regs, verifier_rel_escapes_, seen_verifier_rel_);
   }
 
   // Pcs at least one concrete execution reached; claims elsewhere are
@@ -311,6 +331,12 @@ class ClaimChecker : public InsnTracer {
   }
   const std::vector<Escape>& verifier_escapes() const {
     return verifier_escapes_;
+  }
+  const std::vector<RelEscape>& static_rel_escapes() const {
+    return static_rel_escapes_;
+  }
+  const std::vector<RelEscape>& verifier_rel_escapes() const {
+    return verifier_rel_escapes_;
   }
 
  private:
@@ -336,14 +362,59 @@ class ClaimChecker : public InsnTracer {
     }
   }
 
+  // Relational claims speak about the mathematical s64 views of the
+  // registers; a difference outside a finite bound is an unsoundness
+  // witness exactly like a scalar escape.
+  void CheckRel(const RangeTrace& trace, u32 pc, const u64* regs,
+                std::vector<RelEscape>& out, std::set<u32>& seen) {
+    if (pc >= trace.rel_per_pc.size()) {
+      return;
+    }
+    const RelClaims& claims = trace.rel_per_pc[pc];
+    if (!claims.seen) {
+      return;
+    }
+    for (int i = 0; i < kRelRegs; ++i) {
+      for (int j = 0; j < kRelRegs; ++j) {
+        if (i == j) {
+          continue;
+        }
+        const s64 bound = claims.At(i, j);
+        if (bound == kRelInf) {
+          continue;
+        }
+        ++stats_->rel_points_checked;
+        const __int128 diff =
+            static_cast<__int128>(static_cast<s64>(regs[i])) -
+            static_cast<__int128>(static_cast<s64>(regs[j]));
+        if (diff <= static_cast<__int128>(bound)) {
+          continue;
+        }
+        const u32 key =
+            (pc * static_cast<u32>(kRelRegs) + static_cast<u32>(i)) *
+                static_cast<u32>(kRelRegs) +
+            static_cast<u32>(j);
+        if (!seen.insert(key).second || out.size() >= 4) {
+          continue;
+        }
+        out.push_back({pc, static_cast<u8>(i), static_cast<u8>(j), regs[i],
+                       regs[j], bound});
+      }
+    }
+  }
+
   const RangeTrace& static_;
   const RangeTrace& verifier_;
   RangeFuzzStats* stats_;
   std::vector<bool> executed_pcs_;
   std::vector<Escape> static_escapes_;
   std::vector<Escape> verifier_escapes_;
+  std::vector<RelEscape> static_rel_escapes_;
+  std::vector<RelEscape> verifier_rel_escapes_;
   std::set<u32> seen_static_;
   std::set<u32> seen_verifier_;
+  std::set<u32> seen_static_rel_;
+  std::set<u32> seen_verifier_rel_;
 };
 
 u64 ExecuteWithChecker(FuzzCell& cell, const Program& prog,
@@ -370,6 +441,18 @@ std::string EscapeDetail(const ClaimChecker::Escape& esc,
                    esc.claim.ToString().c_str());
 }
 
+std::string RelEscapeDetail(const ClaimChecker::RelEscape& esc,
+                            std::string_view analysis) {
+  const s64 vi = static_cast<s64>(esc.vi);
+  const s64 vj = static_cast<s64>(esc.vj);
+  return StrFormat(
+      "r%u - r%u = %lld - %lld escapes %s bound r%u-r%u<=%lld",
+      static_cast<unsigned>(esc.i), static_cast<unsigned>(esc.j),
+      static_cast<long long>(vi), static_cast<long long>(vj),
+      std::string(analysis).c_str(), static_cast<unsigned>(esc.i),
+      static_cast<unsigned>(esc.j), static_cast<long long>(esc.bound));
+}
+
 }  // namespace
 
 std::string_view RangeFindingKindName(RangeFinding::Kind kind) {
@@ -380,13 +463,20 @@ std::string_view RangeFindingKindName(RangeFinding::Kind kind) {
       return "VERIFIER-UNSOUND";
     case RangeFinding::Kind::kDivergence:
       return "DIVERGENCE";
+    case RangeFinding::Kind::kStaticRelUnsound:
+      return "STATICCHECK-REL-UNSOUND";
+    case RangeFinding::Kind::kVerifierRelUnsound:
+      return "VERIFIER-REL-UNSOUND";
+    case RangeFinding::Kind::kRelDivergence:
+      return "REL-DIVERGENCE";
   }
   return "?";
 }
 
 bool RangeFuzzReport::StaticUnsound() const {
   for (const RangeFinding& f : findings) {
-    if (f.kind == RangeFinding::Kind::kStaticUnsound) {
+    if (f.kind == RangeFinding::Kind::kStaticUnsound ||
+        f.kind == RangeFinding::Kind::kStaticRelUnsound) {
       return true;
     }
   }
@@ -395,7 +485,8 @@ bool RangeFuzzReport::StaticUnsound() const {
 
 bool RangeFuzzReport::VerifierUnsound() const {
   for (const RangeFinding& f : findings) {
-    if (f.kind == RangeFinding::Kind::kVerifierUnsound) {
+    if (f.kind == RangeFinding::Kind::kVerifierUnsound ||
+        f.kind == RangeFinding::Kind::kVerifierRelUnsound) {
       return true;
     }
   }
@@ -494,6 +585,14 @@ xbase::Result<RangeFuzzReport> RunRangeFuzz(const RangeFuzzOptions& opts) {
       add_finding(RangeFinding::Kind::kVerifierUnsound, esc.pc, esc.reg,
                   EscapeDetail(esc, "verifier"));
     }
+    for (const auto& esc : checker.static_rel_escapes()) {
+      add_finding(RangeFinding::Kind::kStaticRelUnsound, esc.pc, esc.i,
+                  RelEscapeDetail(esc, "staticcheck"));
+    }
+    for (const auto& esc : checker.verifier_rel_escapes()) {
+      add_finding(RangeFinding::Kind::kVerifierRelUnsound, esc.pc, esc.i,
+                  RelEscapeDetail(esc, "verifier"));
+    }
 
     if (run.verifier_accepted && run.static_complete) {
       const RangeCompareResult cmp = CompareRangeTraces(
@@ -507,6 +606,19 @@ xbase::Result<RangeFuzzReport> RunRangeFuzz(const RangeFuzzOptions& opts) {
                               d.staticcheck.ToString().c_str(),
                               d.verifier.ToString().c_str()));
       }
+      const RelCompareResult relcmp = CompareRelTraces(
+          run.static_trace, run.verifier_trace, &checker.executed_pcs());
+      report.stats.rel_points_compared += relcmp.points;
+      report.stats.rel_contradictions += relcmp.contradictions;
+      for (const RelDisagreement& d : relcmp.disagreements) {
+        add_finding(
+            RangeFinding::Kind::kRelDivergence, d.pc, d.i,
+            StrFormat("staticcheck r%u-r%u<=%lld vs verifier r%u-r%u<=%lld",
+                      static_cast<unsigned>(d.i), static_cast<unsigned>(d.j),
+                      static_cast<long long>(d.static_bound),
+                      static_cast<unsigned>(d.j), static_cast<unsigned>(d.i),
+                      static_cast<long long>(d.verifier_rev_bound)));
+      }
     }
   }
   return report;
@@ -519,6 +631,8 @@ std::string FormatRangeFuzzReport(const RangeFuzzReport& report) {
       "complete), %llu executions, %llu insns interpreted\n"
       "  concrete claim checks: %llu   static claim pairs compared: %llu "
       "(%llu disjoint)\n"
+      "  relational bound checks: %llu   bound pairs cross-checked: %llu "
+      "(%llu contradictory)\n"
       "  mean interval width ratio staticcheck/verifier: %.3f\n",
       st.programs, st.verifier_accepted, st.staticcheck_complete,
       static_cast<unsigned long long>(st.executions),
@@ -526,6 +640,9 @@ std::string FormatRangeFuzzReport(const RangeFuzzReport& report) {
       static_cast<unsigned long long>(st.points_checked),
       static_cast<unsigned long long>(st.points_compared),
       static_cast<unsigned long long>(st.disjoint_points),
+      static_cast<unsigned long long>(st.rel_points_checked),
+      static_cast<unsigned long long>(st.rel_points_compared),
+      static_cast<unsigned long long>(st.rel_contradictions),
       st.MeanWidthRatio());
   if (report.findings.empty()) {
     out += "  no unsoundness, no divergence\n";
@@ -659,6 +776,152 @@ std::string FormatRangeFaultTable(const std::vector<RangeFaultResult>& rows) {
                    rows.size());
   for (const RangeFaultResult& row : rows) {
     out += StrFormat("RANGEFAULT-TSV\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+                     row.fault_id.c_str(), row.witness.c_str(),
+                     row.clean_verifier_rejects ? 1 : 0,
+                     row.faulted_verifier_accepts ? 1 : 0,
+                     row.witness_unsound ? 1 : 0,
+                     row.witness_divergence ? 1 : 0,
+                     row.detected() ? 1 : 0,
+                     row.staticcheck_rejects ? 1 : 0);
+  }
+  return out;
+}
+
+namespace {
+
+// BuildPktRangeStaleExploit takes no map; adapter for the witness table.
+xbase::Result<Program> BuildPktStaleAdapter(int) {
+  return BuildPktRangeStaleExploit();
+}
+
+}  // namespace
+
+xbase::Result<std::vector<RelFaultResult>> CheckRelationalFaults(u32 execs) {
+  struct Witness {
+    std::string_view fault_id;
+    const char* name;
+    xbase::Result<Program> (*build)(int);
+    bool needs_map;
+    u64 value_word0;  // bytes 0-7 of the 64-byte map value (LE)
+    u64 value_word1;  // bytes 8-15
+  };
+  // Triggering inputs: reg-reg needs r8 == 8 (u32 at offset 8) and the
+  // one-excluded value r7 == 7; spill-width needs a small spilled value
+  // whose low byte the narrow store replaces with 0x7f; the packet witness
+  // triggers statically (the stale dereference is in the bytecode).
+  static const Witness kWitnesses[] = {
+      {kFaultVerifierRegRegOffByOne, "reg-reg-off-by-one",
+       BuildRegRegOffByOneExploit, true, 7, 8},
+      {kFaultVerifierSpillWidth, "spill-width", BuildSpillWidthExploit, true,
+       1, 0},
+      {kFaultVerifierPktRangeStale, "pkt-range-stale", BuildPktStaleAdapter,
+       false, 0, 0},
+  };
+
+  std::vector<RelFaultResult> rows;
+  for (const Witness& witness : kWitnesses) {
+    RelFaultResult row;
+    row.fault_id = std::string(witness.fault_id);
+    row.witness = witness.name;
+
+    FuzzCell cell;
+    if (!cell.boot_ok) {
+      return xbase::Internal("rangefuzz: cell bootstrap failed");
+    }
+    int fd = -1;
+    if (witness.needs_map) {
+      XB_ASSIGN_OR_RETURN(fd, cell.CreateMap(kFuzzValueSize));
+    }
+    XB_ASSIGN_OR_RETURN(Program prog, witness.build(fd));
+
+    {
+      VerifyOptions vopts;
+      vopts.version = cell.kernel.version();
+      vopts.kfuncs = &cell.bpf.kfuncs();
+      row.clean_verifier_rejects =
+          !Verify(prog, cell.bpf.maps(), cell.bpf.helpers(), vopts).ok();
+    }
+
+    FaultRegistry faults;
+    faults.Inject(witness.fault_id);
+    RangeTrace verifier_trace;
+    {
+      VerifyOptions vopts;
+      vopts.version = cell.kernel.version();
+      vopts.kfuncs = &cell.bpf.kfuncs();
+      vopts.faults = &faults;
+      vopts.range_trace = &verifier_trace;
+      row.faulted_verifier_accepts =
+          Verify(prog, cell.bpf.maps(), cell.bpf.helpers(), vopts).ok();
+      if (!row.faulted_verifier_accepts) {
+        verifier_trace.Reset(0);
+      }
+    }
+
+    RangeTrace static_trace;
+    {
+      staticcheck::CheckOptions copts;
+      copts.maps = &cell.bpf.maps();
+      copts.helpers = &cell.bpf.helpers();
+      copts.callgraph = &cell.kernel.callgraph();
+      copts.range_trace = &static_trace;
+      auto report = staticcheck::RunChecks(prog, copts);
+      if (report.ok()) {
+        row.staticcheck_rejects = report.value().errors() > 0;
+        if (!report.value().analysis_complete) {
+          static_trace.Reset(0);
+        }
+      }
+    }
+
+    row.witness_divergence =
+        CompareRangeTraces(static_trace, verifier_trace).disjoint > 0 ||
+        CompareRelTraces(static_trace, verifier_trace).contradictions > 0;
+
+    RangeFuzzStats scratch;
+    ClaimChecker checker(static_trace, verifier_trace, &scratch);
+    if (witness.needs_map) {
+      std::array<u8, kFuzzValueSize> value{};
+      std::memcpy(value.data(), &witness.value_word0,
+                  sizeof(witness.value_word0));
+      std::memcpy(value.data() + 8, &witness.value_word1,
+                  sizeof(witness.value_word1));
+      XB_RETURN_IF_ERROR(cell.SetValue(fd, value));
+    }
+    for (u32 e = 0; e < std::max<u32>(execs, 1); ++e) {
+      ExecuteWithChecker(cell, prog, checker);
+    }
+    row.witness_unsound = !checker.verifier_escapes().empty() ||
+                          !checker.verifier_rel_escapes().empty();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string FormatRelationalFaultTable(
+    const std::vector<RelFaultResult>& rows) {
+  std::string out = StrFormat("%-38s %-20s %7s %7s %8s %8s %8s  %s\n",
+                              "injected relational fault", "witness",
+                              "cleanV", "faultV", "unsound", "diverge",
+                              "detected", "staticcheck");
+  out += std::string(114, '-') + "\n";
+  usize detected = 0;
+  for (const RelFaultResult& row : rows) {
+    detected += row.detected() ? 1 : 0;
+    out += StrFormat("%-38s %-20s %7s %7s %8s %8s %8s  %s\n",
+                     row.fault_id.c_str(), row.witness.c_str(),
+                     row.clean_verifier_rejects ? "reject" : "accept",
+                     row.faulted_verifier_accepts ? "accept" : "reject",
+                     row.witness_unsound ? "YES" : "no",
+                     row.witness_divergence ? "YES" : "no",
+                     row.detected() ? "YES" : "NO",
+                     row.staticcheck_rejects ? "reject" : "accept");
+  }
+  out += std::string(114, '-') + "\n";
+  out += StrFormat("injected relational faults detected: %zu/%zu\n",
+                   detected, rows.size());
+  for (const RelFaultResult& row : rows) {
+    out += StrFormat("RELFAULT-TSV\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
                      row.fault_id.c_str(), row.witness.c_str(),
                      row.clean_verifier_rejects ? 1 : 0,
                      row.faulted_verifier_accepts ? 1 : 0,

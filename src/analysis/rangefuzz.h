@@ -63,6 +63,10 @@ struct RangeFinding {
     kStaticUnsound,    // concrete value escaped a staticcheck claim
     kVerifierUnsound,  // concrete value escaped a verifier claim
     kDivergence,       // the two analyses' claims share no value
+    // Relational (difference-bound) variants of the same three oracles:
+    kStaticRelUnsound,    // concrete ri - rj escaped a staticcheck bound
+    kVerifierRelUnsound,  // concrete ri - rj escaped a verifier bound
+    kRelDivergence,       // the two analyses' bounds on a pair contradict
   };
   Kind kind = Kind::kDivergence;
   xbase::u64 program_seed = 0;  // regenerate with --replay
@@ -84,6 +88,10 @@ struct RangeFuzzStats {
   xbase::u64 points_checked = 0;   // concrete (pc, reg) claim checks
   xbase::u64 points_compared = 0;  // scalar-vs-scalar static claim pairs
   xbase::u64 disjoint_points = 0;
+  // Relational-claim counterparts.
+  xbase::u64 rel_points_checked = 0;   // concrete (pc, i, j) bound checks
+  xbase::u64 rel_points_compared = 0;  // finite bound pairs cross-checked
+  xbase::u64 rel_contradictions = 0;
   // Imprecision gap, accumulated in log2 space (see
   // RangeCompareResult::width_ratio_sum): the geometric mean of
   // (staticcheck width + 1) / (verifier width + 1) over compared points.
@@ -132,5 +140,32 @@ xbase::Result<std::vector<RangeFaultResult>> CheckRangeFaults(
     xbase::u32 execs = 8);
 
 std::string FormatRangeFaultTable(const std::vector<RangeFaultResult>& rows);
+
+// ---- deterministic relational fault witnesses ------------------------------
+
+// Same shape for the relational fault classes (reg-reg refinement,
+// spill-width confusion, stale packet ranges). Because these witnesses
+// exercise *memory* and *pointer* state the interval traces cannot always
+// see, the acceptance bar gains a third channel: the faulted verifier
+// admitting a program staticcheck rejects is itself the differential
+// detection (the diffcheck shape, specialized to relational faults).
+struct RelFaultResult {
+  std::string fault_id;
+  std::string witness;
+  bool clean_verifier_rejects = false;
+  bool faulted_verifier_accepts = false;
+  bool witness_unsound = false;     // concrete escape of a faulted claim
+  bool witness_divergence = false;  // interval or relational contradiction
+  bool staticcheck_rejects = false;
+  bool detected() const {
+    return witness_unsound || witness_divergence ||
+           (faulted_verifier_accepts && staticcheck_rejects);
+  }
+};
+
+xbase::Result<std::vector<RelFaultResult>> CheckRelationalFaults(
+    xbase::u32 execs = 8);
+
+std::string FormatRelationalFaultTable(const std::vector<RelFaultResult>& rows);
 
 }  // namespace analysis

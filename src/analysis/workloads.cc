@@ -360,6 +360,155 @@ xbase::Result<Program> BuildJitHijackVictim() {
   return b.Build();
 }
 
+xbase::Result<Program> BuildRegRegOffByOneExploit(int map_fd) {
+  ProgramBuilder b("reg_reg_off_by_one", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R9, R0))
+      .Ins(LdxMem(BPF_W, R8, R9, 8))
+      .JmpTo(BPF_JGT, R8, 8, "out")  // r8 <= 8
+      .Ins(LdxMem(BPF_W, R7, R9, 0))
+      // Fall-through proves r7 < r8, hence r7 <= 7; the buggy refinement
+      // claims r7 <= 6, so the 8-byte read at value + r7 + 50 (needs
+      // r7 + 58 <= 64) slips through and r7 == 7 reads past the value.
+      .JmpRegTo(BPF_JGE, R7, R8, "out")
+      .Ins(Alu64Reg(BPF_ADD, R9, R7))
+      .Ins(LdxMem(BPF_DW, R0, R9, 50))
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildSpillWidthExploit(int map_fd) {
+  ProgramBuilder b("spill_width", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R9, R0))
+      .Ins(LdxMem(BPF_DW, R6, R9, 0))
+      .JmpTo(BPF_JGT, R6, 7, "out")       // r6 in [0, 7]
+      .Ins(StxMem(BPF_DW, R10, R6, -8))   // full spill: slot tracks [0, 7]
+      .Ins(StMemImm(BPF_B, R10, -8, 0x7f))  // narrow overwrite
+      // A sound analysis demotes the slot and rejects the indexed access;
+      // under the defect the fill restores [0, 7] although the runtime
+      // value is now (r6 & ~0xff) | 0x7f.
+      .Ins(LdxMem(BPF_DW, R7, R10, -8))
+      .Ins(Alu64Reg(BPF_ADD, R9, R7))
+      .Ins(LdxMem(BPF_B, R0, R9, 56))  // needs r7 <= 7 in a 64-byte value
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildPktRangeStaleExploit() {
+  ProgramBuilder b("pkt_range_stale", ProgType::kSocketFilter);
+  b.Ins(Mov64Reg(R6, R1))
+      .Ins(LdxMem(BPF_DW, R7, R1, 8))   // data
+      .Ins(LdxMem(BPF_DW, R3, R1, 16))  // data_end
+      .Ins(Mov64Reg(R4, R7))
+      .Ins(Alu64Imm(BPF_ADD, R4, 14))
+      .JmpRegTo(BPF_JGT, R4, R3, "out")  // fall-through proves 14 bytes
+      .Ins(LdxMem(BPF_B, R5, R7, 13))    // fine: inside the proven range
+      .Ins(Mov64Reg(R1, R6))
+      .Ins(Mov64Imm(R2, 0x8100))  // vlan proto
+      .Ins(Mov64Imm(R3, 2))       // vlan tci
+      .Ins(CallHelper(kHelperSkbVlanPush))  // reallocates packet data
+      .Ins(LdxMem(BPF_B, R5, R7, 13))       // stale pointer: must reject
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildRelGuard(int map_fd) {
+  ProgramBuilder b("rel_guard", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R9, R0))
+      .Ins(LdxMem(BPF_W, R7, R9, 0))
+      .Ins(LdxMem(BPF_W, R8, R9, 8))
+      // The compare order is the point: r7 < r8 is learned while r8 is
+      // still unbounded, and only afterwards does r8 <= 32 arrive. An
+      // interval domain refines r7 against r8's endpoints *now* (useless:
+      // r7 <= 2^32 - 2) and cannot revisit; the zone keeps r7 - r8 <= -1
+      // and closes it with r8 <= 32 into r7 <= 31.
+      .JmpRegTo(BPF_JGE, R7, R8, "out")
+      .JmpTo(BPF_JGT, R8, 32, "out")
+      .Ins(Alu64Reg(BPF_ADD, R9, R7))
+      .Ins(LdxMem(BPF_B, R0, R9, 0))  // 1 byte at value + r7, r7 <= 31 < 64
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildSpillHeavy(u32 rounds, int map_fd) {
+  ProgramBuilder b("spill_heavy", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R9, R0))
+      .Ins(LdxMem(BPF_DW, R6, R9, 0))
+      .JmpTo(BPF_JGT, R6, 7, "out");  // r6 in [0, 7]
+  for (u32 i = 0; i < rounds; ++i) {
+    const s16 off = static_cast<s16>(-8 * static_cast<s32>(i % 4 + 1));
+    b.Ins(StxMem(BPF_DW, R10, R6, off))
+        .Ins(LdxMem(BPF_DW, R7, R10, off))
+        .Ins(Mov64Reg(R6, R7));  // the bound must survive every round trip
+  }
+  b.Ins(Alu64Reg(BPF_ADD, R9, R6))
+      .Ins(LdxMem(BPF_B, R0, R9, 56))  // needs r6 <= 7 in a 64-byte value
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildRegRegDiamonds(u32 branches, int map_fd) {
+  ProgramBuilder b("reg_reg_diamonds", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, map_fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R9, R0))
+      .Ins(LdxMem(BPF_DW, R6, R9, 0))
+      .Ins(LdxMem(BPF_DW, R7, R9, 8))
+      .Ins(Mov64Imm(R0, 0));
+  // Each diamond refines r6/r7 against each other differently per edge, so
+  // the joined-at-diamond-exit states rarely prune: verifier state count
+  // grows with 2^branches while the dataflow fixpoint stays linear.
+  for (u32 i = 0; i < branches; ++i) {
+    const std::string lt = StrFormat("lt%u", i);
+    const std::string join = StrFormat("join%u", i);
+    b.JmpRegTo(BPF_JLT, R6, R7, lt)
+        .Ins(Alu64Imm(BPF_ADD, R0, 1))
+        .JaTo(join)
+        .Bind(lt)
+        .Ins(Alu64Imm(BPF_ADD, R0, 2))
+        .Bind(join);
+  }
+  b.Bind("out").Ins(Mov64Imm(R0, 0)).Ins(Exit());
+  return b.Build();
+}
+
 xbase::Result<Program> BuildStraightLine(u32 len) {
   if (len < 2) {
     return xbase::InvalidArgument("need room for mov+exit");

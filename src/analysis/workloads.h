@@ -99,6 +99,45 @@ xbase::Result<ebpf::Program> BuildJgtOffByOneExploit(int map_fd);
 // cross terms claims known bits {0,1}. Needs value_size >= 16.
 xbase::Result<ebpf::Program> BuildTnumMulExploit(int map_fd);
 
+// Table 1 relational bounds class (verifier.reg_reg_refine_off_by_one
+// injected): r8 <= 8 by an immediate compare, then `if r7 >= r8 goto out`
+// proves r7 <= 7 on the fall-through — the buggy refinement claims
+// r7 <= 6, admitting an 8-byte read at value + r7 + 50 into a 64-byte
+// value (needs r7 <= 6; r7 == 7 lands out of bounds). Needs value_size 64.
+xbase::Result<ebpf::Program> BuildRegRegOffByOneExploit(int map_fd);
+
+// Table 1 spill-width class (verifier.spill_width_confusion injected): a
+// bounded scalar is spilled as 8 bytes, a 1-byte store scribbles over the
+// slot, and the following fill under the defect restores the stale [0,7]
+// bounds although the low byte is now 0x7f. Needs value_size 64.
+xbase::Result<ebpf::Program> BuildSpillWidthExploit(int map_fd);
+
+// Table 1 packet-invalidation class (verifier.pkt_range_stale_helper
+// injected): proves 14 packet bytes, calls bpf_skb_vlan_push (which
+// reallocates packet data), then rereads through the pre-call packet
+// pointer. The clean verifier and staticcheck both reject the stale
+// dereference; the faulted verifier admits it.
+xbase::Result<ebpf::Program> BuildPktRangeStaleExploit();
+
+// Relational-precision flagship: `if r7 >= r8 goto out; if r8 > 32 goto
+// out` then a 1-byte read at value + r7. Safe because r7 < r8 <= 32, but
+// proving it needs the *relation* carried across the second branch — the
+// zone domain accepts, intervals (either analysis, even with endpoint
+// reg-reg refinement) cannot. Needs value_size 64.
+xbase::Result<ebpf::Program> BuildRelGuard(int map_fd);
+
+// Verification-cost probe, spill-heavy family: `rounds` spill/fill round
+// trips of a bounded scalar through rotating stack slots, ending in a
+// 1-byte access indexed by the surviving bound. Needs value_size 64.
+xbase::Result<ebpf::Program> BuildSpillHeavy(xbase::u32 rounds, int map_fd);
+
+// Verification-cost probe, reg-reg branch-diamond family: `branches`
+// if/else diamonds over two unknown scalars compared against each other,
+// so every diamond forks verifier state with differently-refined bounds.
+// Needs value_size 64.
+xbase::Result<ebpf::Program> BuildRegRegDiamonds(xbase::u32 branches,
+                                                 int map_fd);
+
 // Expressiveness corpus (§2.1 / B-EXP): a straight-line program of `len`
 // ALU instructions (size-limit probe).
 xbase::Result<ebpf::Program> BuildStraightLine(xbase::u32 len);

@@ -87,6 +87,9 @@ inline Insn JmpReg(u8 op, u8 dst, u8 src, s16 off) {
 inline Insn Jmp32Imm(u8 op, u8 dst, s32 imm, s16 off) {
   return Insn{static_cast<u8>(BPF_JMP32 | op | BPF_K), dst, 0, off, imm};
 }
+inline Insn Jmp32Reg(u8 op, u8 dst, u8 src, s16 off) {
+  return Insn{static_cast<u8>(BPF_JMP32 | op | BPF_X), dst, src, off, 0};
+}
 inline Insn Ja(s16 off) {
   return Insn{static_cast<u8>(BPF_JMP | BPF_JA), 0, 0, off, 0};
 }

@@ -31,6 +31,23 @@ const std::vector<FaultInfo>& FaultRegistry::Catalog() {
        "class)",
        "the JGT fall-through edge refines umax to bound-1 instead of "
        "bound, claiming one value too few"},
+      {std::string(kFaultVerifierRegRegOffByOne), "verifier",
+       "Out-of-bound access", "LT/LE range markings class (commit "
+       "fb2a311a31d3)",
+       "register-register branch refinement tightens the bounded side one "
+       "value too far, so a runtime value the refinement excluded still "
+       "reaches the guarded access"},
+      {std::string(kFaultVerifierSpillWidth), "verifier",
+       "Out-of-bound access", "STACK_SPILL partial overwrite (commit "
+       "27113c59b6d0)",
+       "a narrow store into a spilled-register slot fails to demote the "
+       "slot, so a later fill restores the stale pre-overwrite bounds"},
+      {std::string(kFaultVerifierPktRangeStale), "verifier",
+       "Out-of-bound access", "skb_change_proto invalidation class (commit "
+       "36bbef52c7eb)",
+       "packet pointers are not invalidated after a helper that reallocates "
+       "packet data, so stale data/data_end ranges authorize reads into "
+       "freed or moved memory"},
       {std::string(kFaultVerifierTnumMulPrecision), "verifier",
        "Out-of-bound access", "tnum_mul rewrite class (commit 05924717ac70)",
        "multiplication propagates only the operands' known bits and drops "

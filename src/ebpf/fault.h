@@ -31,6 +31,12 @@ inline constexpr std::string_view kFaultVerifierSignExtConfusion =
     "verifier.sign_ext_confusion";  // mov32 sext (CVE-2017-16995 class)
 inline constexpr std::string_view kFaultVerifierJgtOffByOne =
     "verifier.jgt_refine_off_by_one";  // JGT fall-through over-refinement
+inline constexpr std::string_view kFaultVerifierRegRegOffByOne =
+    "verifier.reg_reg_refine_off_by_one";  // relational refine too tight
+inline constexpr std::string_view kFaultVerifierSpillWidth =
+    "verifier.spill_width_confusion";  // narrow overwrite keeps stale spill
+inline constexpr std::string_view kFaultVerifierPktRangeStale =
+    "verifier.pkt_range_stale_helper";  // pkt range survives mutating helper
 inline constexpr std::string_view kFaultVerifierTnumMulPrecision =
     "verifier.tnum_mul_precision";  // tnum mul drops uncertainty
 inline constexpr std::string_view kFaultVerifierSpinLock =

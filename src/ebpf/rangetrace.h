@@ -135,11 +135,96 @@ inline bool ClaimsDisjoint(const RegClaim& a, const RegClaim& b) {
   return ((a.bits_value ^ b.bits_value) & ~a.bits_mask & ~b.bits_mask) != 0;
 }
 
+// ---------------------------------------------------------------------------
+// Relational claims: per-pc upper bounds on pairwise register differences,
+// `(s64)R[i] - (s64)R[j] <= bound[i][j]`, where the subtraction is
+// mathematical (evaluated in 128 bits, no wraparound). Exported by the
+// verifier as path-joined facts (per-path smax_i - smin_j, max over
+// paths — tighter than what the joined intervals imply whenever paths
+// correlate registers) and by staticcheck's zone domain. Like RegClaim, a
+// relational claim is a *may* statement and bounds only pairs that are
+// scalars on every contributing path.
+// ---------------------------------------------------------------------------
+
+inline constexpr int kRelRegs = 10;  // R0..R9; R10 is never a scalar
+inline constexpr s64 kRelInf = std::numeric_limits<s64>::max();
+
+struct RelClaims {
+  bool seen = false;  // pc reached by at least one contributing path/state
+  std::array<s64, kRelRegs * kRelRegs> bound;
+
+  RelClaims() { bound.fill(kRelInf); }
+
+  s64 At(int i, int j) const {
+    return bound[static_cast<xbase::usize>(i * kRelRegs + j)];
+  }
+  void Set(int i, int j, s64 c) {
+    bound[static_cast<xbase::usize>(i * kRelRegs + j)] = c;
+  }
+
+  // Joins one path's (or the fixpoint's) bounds: first contribution copies,
+  // later ones take the elementwise max (union of admitted states).
+  void JoinPath(const std::array<s64, kRelRegs * kRelRegs>& path) {
+    if (!seen) {
+      seen = true;
+      bound = path;
+      return;
+    }
+    for (xbase::usize k = 0; k < bound.size(); ++k) {
+      if (path[k] > bound[k]) bound[k] = path[k];
+    }
+  }
+
+  // Whether concrete register values satisfy every finite bound.
+  bool Admits(const std::array<u64, kRelRegs>& regs) const {
+    if (!seen) return true;
+    for (int i = 0; i < kRelRegs; ++i) {
+      for (int j = 0; j < kRelRegs; ++j) {
+        const s64 c = At(i, j);
+        if (i == j || c == kRelInf) continue;
+        const __int128 diff =
+            static_cast<__int128>(static_cast<s64>(regs[static_cast<xbase::usize>(i)])) -
+            static_cast<__int128>(static_cast<s64>(regs[static_cast<xbase::usize>(j)]));
+        if (diff > static_cast<__int128>(c)) return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Two finite bounds a: (ri - rj <= x) and b: (rj - ri <= y) contradict when
+// x + y < 0 — no concrete pair satisfies both, so at least one analysis is
+// wrong (modulo unreachable pcs, same caveat as ClaimsDisjoint).
+inline bool RelBoundsContradict(s64 a_ij, s64 b_ji) {
+  if (a_ij == kRelInf || b_ji == kRelInf) return false;
+  return static_cast<__int128>(a_ij) + static_cast<__int128>(b_ji) < 0;
+}
+
 struct RangeTrace {
   std::vector<std::array<RegClaim, kNumRegs>> per_pc;
+  std::vector<RelClaims> rel_per_pc;
 
-  void Reset(xbase::usize prog_len) { per_pc.assign(prog_len, {}); }
+  void Reset(xbase::usize prog_len) {
+    per_pc.assign(prog_len, {});
+    rel_per_pc.assign(prog_len, {});
+  }
   bool empty() const { return per_pc.empty(); }
 };
+
+// Renders the finite difference bounds at one pc, e.g.
+// "r1-r2<=-1 r2-r1<=32"; "-" when nothing is bounded.
+inline std::string FormatRelClaims(const RelClaims& rc) {
+  if (!rc.seen) return "-";
+  std::string out;
+  for (int i = 0; i < kRelRegs; ++i) {
+    for (int j = 0; j < kRelRegs; ++j) {
+      if (i == j || rc.At(i, j) == kRelInf) continue;
+      if (!out.empty()) out += " ";
+      out += xbase::StrFormat("r%d-r%d<=%lld", i, j,
+                              static_cast<long long>(rc.At(i, j)));
+    }
+  }
+  return out.empty() ? "(top)" : out;
+}
 
 }  // namespace ebpf

@@ -234,6 +234,8 @@ class Verifier {
                        bool& taken_possible, bool& fall_possible);
   void RefineScalar(RegState& reg, u8 jmp_op, u64 imm, bool branch_taken,
                     bool is32);
+  void RefineRegReg(RegState& dst, RegState& src, u8 jmp_op,
+                    bool branch_taken);
   void MarkPtrOrNull(VerifierState& state, u32 id, bool is_null);
   void FindGoodPktPointers(FuncState& frame, u32 pkt_id, u32 range);
   void RecordRangeTrace(const VerifierState& state, u32 pc);
@@ -864,6 +866,12 @@ xbase::Status Verifier::CheckStackAccess(FuncState& frame,
       if (full_spill) {
         stack_slot.kind = SlotKind::kSpill;
         stack_slot.spilled = *store_src;
+      } else if (FaultOn(kFaultVerifierSpillWidth) &&
+                 stack_slot.kind == SlotKind::kSpill) {
+        // Buggy: a narrow store into a spilled slot leaves the old spill
+        // record intact, so a later 8-byte fill restores pre-overwrite
+        // bounds the runtime bytes no longer satisfy (commit 27113c59b6d0
+        // class).
       } else {
         stack_slot.kind = SlotKind::kMisc;
         stack_slot.spilled = RegState{};
@@ -1399,13 +1407,23 @@ xbase::Status Verifier::CheckHelperCall(VerifierState& state,
     frame.regs[regno] = RegState{};
   }
 
-  // Packet pointers are invalidated by helpers that may reallocate data.
-  if (spec.changes_packet_data) {
+  // Packet pointers are invalidated by helpers that may reallocate data —
+  // registers and spilled stack slots alike. The injectable defect skips
+  // the whole sweep (commit 36bbef52c7eb class): stale data/data_end ranges
+  // then keep authorizing reads into reallocated memory.
+  if (spec.changes_packet_data && !FaultOn(kFaultVerifierPktRangeStale)) {
     for (FuncState& f : state.frames) {
       for (RegState& reg : f.regs) {
         if (reg.type == RegType::kPtrToPacket ||
             reg.type == RegType::kPtrToPacketEnd) {
           reg.MarkUnknownScalar();
+        }
+      }
+      for (StackSlot& slot : f.stack) {
+        if (slot.kind == SlotKind::kSpill &&
+            (slot.spilled.type == RegType::kPtrToPacket ||
+             slot.spilled.type == RegType::kPtrToPacketEnd)) {
+          slot.spilled.MarkUnknownScalar();
         }
       }
     }
@@ -1707,6 +1725,104 @@ void Verifier::RefineScalar(RegState& reg, u8 jmp_op, u64 imm,
   reg.SyncBounds();
 }
 
+// Mutual endpoint refinement for a 64-bit reg-reg compare: each side's
+// interval endpoints bound the other (the reg_set_min_max two-register
+// path). Only intervals move — tnums are left alone, and missed
+// infeasibility is harmless (the edge is explored with sound bounds).
+// Strict compares shift by one; the shift is skipped at the domain edge
+// where +1/-1 would wrap, which merely keeps the weaker sound bound.
+void Verifier::RefineRegReg(RegState& dst, RegState& src, u8 jmp_op,
+                            bool branch_taken) {
+  if (dst.type != RegType::kScalar || src.type != RegType::kScalar) {
+    return;
+  }
+  // Normalize to the relation the edge proves: JGT/fall == JLE/taken etc.
+  u8 op = jmp_op;
+  if (!branch_taken) {
+    switch (jmp_op) {
+      case BPF_JEQ:  op = BPF_JNE;  break;
+      case BPF_JNE:  op = BPF_JEQ;  break;
+      case BPF_JGT:  op = BPF_JLE;  break;
+      case BPF_JGE:  op = BPF_JLT;  break;
+      case BPF_JLT:  op = BPF_JGE;  break;
+      case BPF_JLE:  op = BPF_JGT;  break;
+      case BPF_JSGT: op = BPF_JSLE; break;
+      case BPF_JSGE: op = BPF_JSLT; break;
+      case BPF_JSLT: op = BPF_JSGE; break;
+      case BPF_JSLE: op = BPF_JSGT; break;
+      default:
+        return;  // JSET and friends: nothing relational to conclude
+    }
+  }
+  // Injected defect: the bounded side of a strict less-than tightens one
+  // value too far (dst < src claims dst <= src.umax - 2), the LT/LE range
+  // markings class — a runtime value the refinement excluded still reaches
+  // the guarded access.
+  const u64 lt_slack = FaultOn(kFaultVerifierRegRegOffByOne) ? 2 : 1;
+  switch (op) {
+    case BPF_JEQ:
+      dst.umin = src.umin = std::max(dst.umin, src.umin);
+      dst.umax = src.umax = std::min(dst.umax, src.umax);
+      dst.smin = src.smin = std::max(dst.smin, src.smin);
+      dst.smax = src.smax = std::min(dst.smax, src.smax);
+      break;
+    case BPF_JNE:
+      return;  // disequality refines nothing interval-wise
+    case BPF_JGT:  // dst > src
+      if (src.umin < kU64Max) {
+        dst.umin = std::max(dst.umin, src.umin + 1);
+      }
+      if (dst.umax > 0) {
+        src.umax = std::min(src.umax, dst.umax - lt_slack);
+      }
+      break;
+    case BPF_JGE:  // dst >= src
+      dst.umin = std::max(dst.umin, src.umin);
+      src.umax = std::min(src.umax, dst.umax);
+      break;
+    case BPF_JLT:  // dst < src
+      if (src.umax > 0) {
+        dst.umax = std::min(dst.umax, src.umax - lt_slack);
+      }
+      if (dst.umin < kU64Max) {
+        src.umin = std::max(src.umin, dst.umin + 1);
+      }
+      break;
+    case BPF_JLE:  // dst <= src
+      dst.umax = std::min(dst.umax, src.umax);
+      src.umin = std::max(src.umin, dst.umin);
+      break;
+    case BPF_JSGT:  // dst >s src
+      if (src.smin < kS64Max) {
+        dst.smin = std::max(dst.smin, src.smin + 1);
+      }
+      if (dst.smax > kS64Min) {
+        src.smax = std::min(src.smax, dst.smax - 1);
+      }
+      break;
+    case BPF_JSGE:  // dst >=s src
+      dst.smin = std::max(dst.smin, src.smin);
+      src.smax = std::min(src.smax, dst.smax);
+      break;
+    case BPF_JSLT:  // dst <s src
+      if (src.smax > kS64Min) {
+        dst.smax = std::min(dst.smax, src.smax - 1);
+      }
+      if (dst.smin < kS64Max) {
+        src.smin = std::max(src.smin, dst.smin + 1);
+      }
+      break;
+    case BPF_JSLE:  // dst <=s src
+      dst.smax = std::min(dst.smax, src.smax);
+      src.smin = std::max(src.smin, dst.smin);
+      break;
+    default:
+      return;
+  }
+  dst.SyncBounds();
+  src.SyncBounds();
+}
+
 void Verifier::MarkPtrOrNull(VerifierState& state, u32 id, bool is_null) {
   for (FuncState& frame : state.frames) {
     for (RegState& reg : frame.regs) {
@@ -1852,9 +1968,17 @@ void Verifier::ApplyCondBranch(const VerifierState& state, const Insn& insn,
     return;
   }
 
-  // Register comparand: refine only when the other side is constant.
+  // Register comparand. A constant src keeps the full RefineScalar path
+  // (tnum intersection on JEQ, JSET bit knowledge); a genuinely unknown
+  // scalar src gets mutual endpoint refinement on both edges — `if r7 < r8`
+  // with r8 <= 8 proves r7 <= 7 on the taken edge, and bounds r8 from r7
+  // symmetrically. 32-bit reg-reg compares stay conservative: the u32
+  // views compared at runtime say nothing about the tracked 64-bit bounds.
   const RegState& src = state.cur().regs[insn.src];
-  if (src.type == RegType::kScalar && src.IsConst() && !is32) {
+  if (src.type != RegType::kScalar || is32) {
+    return;
+  }
+  if (src.IsConst()) {
     RegState& t = taken.cur().regs[insn.dst];
     RegState& f = fallthrough.cur().regs[insn.dst];
     RefineScalar(t, op, src.var_off.value, true, false);
@@ -1865,6 +1989,22 @@ void Verifier::ApplyCondBranch(const VerifierState& state, const Insn& insn,
     if (f.umin > f.umax || f.smin > f.smax) {
       fall_possible = false;
     }
+    return;
+  }
+  RefineRegReg(taken.cur().regs[insn.dst], taken.cur().regs[insn.src], op,
+               true);
+  RefineRegReg(fallthrough.cur().regs[insn.dst],
+               fallthrough.cur().regs[insn.src], op, false);
+  const auto infeasible = [](const RegState& r) {
+    return r.umin > r.umax || r.smin > r.smax;
+  };
+  if (infeasible(taken.cur().regs[insn.dst]) ||
+      infeasible(taken.cur().regs[insn.src])) {
+    taken_possible = false;
+  }
+  if (infeasible(fallthrough.cur().regs[insn.dst]) ||
+      infeasible(fallthrough.cur().regs[insn.src])) {
+    fall_possible = false;
   }
 }
 
@@ -2133,6 +2273,35 @@ void Verifier::RecordRangeTrace(const VerifierState& state, u32 pc) {
     } else {
       claims[static_cast<xbase::usize>(r)].JoinOther();
     }
+  }
+  // Relational claims: the interval-implied difference bound smax_i -
+  // smin_j for every ordered scalar pair, path-joined so the per-pc claim
+  // over-approximates every path through this instruction.
+  if (pc < opts_.range_trace->rel_per_pc.size()) {
+    std::array<s64, kRelRegs * kRelRegs> path;
+    path.fill(kRelInf);
+    for (int i = 0; i < kRelRegs; ++i) {
+      const RegState& ri = frame.regs[i];
+      if (ri.type != RegType::kScalar) {
+        continue;
+      }
+      for (int j = 0; j < kRelRegs; ++j) {
+        if (i == j) {
+          continue;
+        }
+        const RegState& rj = frame.regs[j];
+        if (rj.type != RegType::kScalar) {
+          continue;
+        }
+        const __int128 bound =
+            static_cast<__int128>(ri.smax) - static_cast<__int128>(rj.smin);
+        if (bound < static_cast<__int128>(kRelInf)) {
+          path[static_cast<xbase::usize>(i * kRelRegs + j)] =
+              static_cast<s64>(bound);
+        }
+      }
+    }
+    opts_.range_trace->rel_per_pc[pc].JoinPath(path);
   }
 }
 

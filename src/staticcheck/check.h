@@ -49,6 +49,9 @@ struct Report {
   // False when the dataflow pass hit its iteration budget and bailed; the
   // findings gathered so far are still valid, just not exhaustive.
   bool analysis_complete = true;
+  // Worklist pops until the dataflow fixpoint — the cost metric paired
+  // against the verifier's explored-state count in bench/verification_cost.
+  u32 dataflow_iterations = 0;
 
   bool clean() const { return findings.empty(); }
   xbase::usize errors() const;
@@ -71,6 +74,10 @@ struct CheckOptions {
   // claims here (for diffcheck/rangefuzz cross-checking against the
   // verifier's trace).
   ebpf::RangeTrace* range_trace = nullptr;
+  // Gates the zone (relational) domain and spill-value restore through the
+  // stack domain. Off = the PR-3 interval product, kept switchable so the
+  // precision delta stays measurable (bench/verification_cost A/B).
+  bool enable_relational = true;
 };
 
 // Runs every pass. Fails (InvalidArgument) only on programs too malformed

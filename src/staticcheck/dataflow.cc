@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "src/simkern/net.h"
 #include "src/xbase/strfmt.h"
 
 namespace staticcheck {
@@ -20,6 +21,14 @@ constexpr s64 kWideMin = std::numeric_limits<s64>::min() / 4;
 constexpr s64 kWideMax = std::numeric_limits<s64>::max() / 4;
 constexpr u32 kMergeWidenThreshold = 16;
 constexpr s64 kStackBytes = static_cast<s64>(ebpf::kMaxStackBytes);
+
+// Lineage tag of live packet pointers. A single flag (rather than per-load
+// ids) suffices: simkern exposes one packet per invocation, so every load
+// of data/data_end between two packet-mutating helper calls sees the same
+// base. Helpers with changes_packet_data clear the tag (id = 0), after
+// which the pointer's proven range never grows again and any dereference
+// is flagged. Far outside the pc+1 id space used for null refinement.
+constexpr u32 kPacketLiveId = 0xffffffffu;
 
 AbsVal TopVal() {
   AbsVal val;
@@ -112,12 +121,35 @@ AbsVal MergeVal(const AbsVal& a, const AbsVal& b) {
     out.var_off = true;
   }
   if (a.mem_size != b.mem_size) {
-    out.mem_size = 0;
+    // For packet pointers mem_size is the *proven* readable range, so the
+    // join is the smaller proof, not a giveup.
+    out.mem_size =
+        a.kind == VK::kPacket ? std::min(a.mem_size, b.mem_size) : 0;
   }
   if (a.id != b.id) {
     out.id = 0;
   }
   return out;
+}
+
+// Widening of one merged value against its previous fixpoint candidate:
+// anything still changing jumps to the lattice top of its component so
+// loops converge. Shared between registers and spilled slot values.
+void WidenVal(AbsVal& out, const AbsVal& prev) {
+  if (IsPointerKind(out.kind) &&
+      (out.off_min != prev.off_min || out.off_max != prev.off_max)) {
+    out.off_min = kWideMin;
+    out.off_max = kWideMax;
+    out.var_off = true;
+  }
+  if (out.kind == VK::kConst && !(out == prev)) {
+    out = TopVal();
+  }
+  // Ranges form infinite ascending chains; a still-growing range at a
+  // widening point jumps straight to Unknown.
+  if (out.kind == VK::kTop && !(RngOf(out) == RngOf(prev))) {
+    out.rng = RangeVal::Unknown();
+  }
 }
 
 // Join of two whole states; `widen` forces offset ranges open so loops
@@ -129,27 +161,35 @@ DfState MergeState(const DfState& a, const DfState& b, bool widen) {
   out.range_dead = a.range_dead && b.range_dead;
   for (int i = 0; i < ebpf::kNumRegs; ++i) {
     out.regs[i] = MergeVal(a.regs[i], b.regs[i]);
-    if (widen && IsPointerKind(out.regs[i].kind) &&
-        (out.regs[i].off_min != a.regs[i].off_min ||
-         out.regs[i].off_max != a.regs[i].off_max)) {
-      out.regs[i].off_min = kWideMin;
-      out.regs[i].off_max = kWideMax;
-      out.regs[i].var_off = true;
-    }
-    if (widen && out.regs[i].kind == VK::kConst &&
-        out.regs[i] != a.regs[i]) {
-      out.regs[i] = TopVal();
-    }
-    // Ranges form infinite ascending chains; a still-growing range at a
-    // widening point jumps straight to Unknown so loops converge.
-    if (widen && out.regs[i].kind == VK::kTop &&
-        !(RngOf(out.regs[i]) == RngOf(a.regs[i]))) {
-      out.regs[i].rng = RangeVal::Unknown();
+    if (widen) {
+      WidenVal(out.regs[i], a.regs[i]);
     }
   }
   for (xbase::usize i = 0; i < out.stack_init.size(); ++i) {
     out.stack_init[i] =
         static_cast<u8>(a.stack_init[i] != 0 && b.stack_init[i] != 0);
+  }
+  for (int i = 0; i < kStackSlots; ++i) {
+    const StackSlot& sa = a.stack.slots[static_cast<xbase::usize>(i)];
+    const StackSlot& sb = b.stack.slots[static_cast<xbase::usize>(i)];
+    StackSlot& so = out.stack.slots[static_cast<xbase::usize>(i)];
+    if (sa.kind == SlotKind::kEmpty && sb.kind == SlotKind::kEmpty) {
+      so = StackSlot{};
+    } else if (sa.kind == SlotKind::kSpill && sb.kind == SlotKind::kSpill) {
+      so.kind = SlotKind::kSpill;
+      so.val = MergeVal(sa.val, sb.val);
+      if (widen) {
+        WidenVal(so.val, sa.val);
+      }
+    } else {
+      // A slot spilled on only one incoming path (or scribbled on) holds
+      // no trackable value.
+      so = StackSlot{SlotKind::kMisc, AbsVal{}};
+    }
+  }
+  out.zone = Zone::Join(a.zone, b.zone);
+  if (widen) {
+    out.zone = Zone::Widen(a.zone, out.zone);
   }
   // Union of obligations: a reference open on *some* path must still be
   // released on every path that reaches exit.
@@ -240,6 +280,20 @@ class Dataflow {
   void HelperCall(DfState& state, u32 pc, s32 helper_id);
   void TransferAlu(DfState& state, const Insn& insn, u32 pc);
   void Transfer(DfState& state, u32 pc);
+  // Slot bookkeeping for a store through `base`; `spilled` is the stored
+  // abstract value when the store could be a tracked full-slot spill
+  // (register store, or an immediate store modeled as a constant).
+  void StackStore(DfState& state, const AbsVal& base, s64 insn_off,
+                  u32 size, const AbsVal* spilled);
+  // Mirrors the instruction's effect into the zone domain. Reads the
+  // pre-instruction state, so it must run before the value transfer.
+  void ZoneTransfer(DfState& state, u32 pc);
+  // Raises the proven readable range of every live packet pointer
+  // (registers and spilled slots) to at least `range`.
+  static void BumpPacketRange(DfState& state, u32 range);
+  // Marks every packet pointer stale (helper rewrote the packet): the
+  // proven range drops to zero and never grows again.
+  static void InvalidatePackets(DfState& state);
   void CheckExit(const DfState& state, u32 pc);
   void Propagate(u32 block, DfState&& out);
   void RecordTrace();
@@ -261,19 +315,63 @@ void Dataflow::RefineNull(DfState& state, u32 id, bool is_null) {
   if (id == 0) {
     return;
   }
-  for (AbsVal& reg : state.regs) {
-    if (IsPointerKind(reg.kind) && reg.id == id) {
+  const auto refine = [id, is_null](AbsVal& val) {
+    if (IsPointerKind(val.kind) && val.id == id) {
       if (is_null) {
-        reg = ConstVal(0);
+        val = ConstVal(0);
       } else {
-        reg.or_null = false;
+        val.or_null = false;
       }
+    }
+  };
+  for (AbsVal& reg : state.regs) {
+    refine(reg);
+  }
+  // The same pointer may sit spilled on the stack; a later fill must see
+  // the refinement or the null check would be lost across the spill.
+  for (StackSlot& slot : state.stack.slots) {
+    if (slot.kind == SlotKind::kSpill) {
+      refine(slot.val);
     }
   }
   if (is_null) {
     std::erase_if(state.refs, [id](const RefObligation& ref) {
       return ref.id == id;
     });
+  }
+}
+
+void Dataflow::BumpPacketRange(DfState& state, u32 range) {
+  const auto bump = [range](AbsVal& val) {
+    if (val.kind == VK::kPacket && val.id == kPacketLiveId &&
+        val.mem_size < range) {
+      val.mem_size = range;
+    }
+  };
+  for (AbsVal& reg : state.regs) {
+    bump(reg);
+  }
+  for (StackSlot& slot : state.stack.slots) {
+    if (slot.kind == SlotKind::kSpill) {
+      bump(slot.val);
+    }
+  }
+}
+
+void Dataflow::InvalidatePackets(DfState& state) {
+  const auto invalidate = [](AbsVal& val) {
+    if (val.kind == VK::kPacket || val.kind == VK::kPacketEnd) {
+      val.id = 0;
+      val.mem_size = 0;
+    }
+  };
+  for (AbsVal& reg : state.regs) {
+    invalidate(reg);
+  }
+  for (StackSlot& slot : state.stack.slots) {
+    if (slot.kind == SlotKind::kSpill) {
+      invalidate(slot.val);
+    }
   }
 }
 
@@ -401,6 +499,34 @@ void Dataflow::CheckMemAccess(DfState& state, const AbsVal& base,
       }
       return;
     }
+    case VK::kPacket: {
+      if (base.var_off) {
+        Report(Severity::kWarning, pc, "pkt-var-off",
+               "packet access at a statically unbounded offset");
+        return;
+      }
+      const s64 lo = base.off_min + insn_off;
+      const s64 hi = base.off_max + insn_off + size;
+      // mem_size is the range *proven* by a compare against data_end (and
+      // reset by packet-mutating helpers), so an unproven or stale access
+      // lands here with mem_size == 0 and is always flagged.
+      if (lo < 0 || hi > static_cast<s64>(base.mem_size)) {
+        Report(Severity::kError, pc, "pkt-oob",
+               StrFormat("packet access at offset [%lld,%lld) but only %u "
+                         "bytes are proven against data_end%s",
+                         static_cast<long long>(lo),
+                         static_cast<long long>(hi), base.mem_size,
+                         base.id == kPacketLiveId
+                             ? ""
+                             : " (pointer is stale after a packet-mutating "
+                               "helper)"));
+      }
+      return;
+    }
+    case VK::kPacketEnd:
+      Report(Severity::kError, pc, "pkt-end-deref",
+             "data_end is a bound for comparisons, not a loadable pointer");
+      return;
     case VK::kCtx:
       if (base.off_min + insn_off < 0) {
         Report(Severity::kWarning, pc, "ctx-oob",
@@ -577,6 +703,14 @@ void Dataflow::HelperCall(DfState& state, u32 pc, s32 helper_id) {
                          spec->name.c_str()));
       }
     }
+  }
+
+  // A helper that rewrites the packet (pull/push headers, adjust room)
+  // moves data/data_end: every packet pointer anywhere in the state is
+  // stale afterwards — including ones parked in callee-saved registers or
+  // spilled to the stack, the shape CVE-class invalidation bugs miss.
+  if (spec != nullptr && spec->changes_packet_data) {
+    InvalidatePackets(state);
   }
 
   // Caller-saved registers are clobbered; R0 carries the abstract return.
@@ -767,7 +901,194 @@ void Dataflow::TransferAlu(DfState& state, const Insn& insn, u32 pc) {
   WriteReg(state, dst, TopVal(), pc);
 }
 
+void Dataflow::StackStore(DfState& state, const AbsVal& base, s64 insn_off,
+                          u32 size, const AbsVal* spilled) {
+  if (base.kind != VK::kStack) {
+    return;  // no other pointer kind can alias the frame
+  }
+  if (base.var_off || base.off_min != base.off_max) {
+    // A write somewhere unknown in the frame: every tracked value may be
+    // overwritten.
+    for (StackSlot& slot : state.stack.slots) {
+      if (slot.kind == SlotKind::kSpill) {
+        slot = StackSlot{SlotKind::kMisc, AbsVal{}};
+      }
+    }
+    return;
+  }
+  const s64 off = base.off_min + insn_off;
+  if (off < -kStackBytes || off + static_cast<s64>(size) > 0) {
+    return;  // out of frame; reported by CheckMemAccess
+  }
+  if (IsFullSlotAccess(off, size) && spilled != nullptr &&
+      spilled->kind != VK::kUninit) {
+    state.stack.slots[static_cast<xbase::usize>(StackSlotIndex(off))] =
+        StackSlot{SlotKind::kSpill, *spilled};
+    return;
+  }
+  // Narrow, unaligned or value-less write: the 8-byte spill (if any) under
+  // each touched byte is no longer intact. Restoring it anyway is exactly
+  // the spill-width-confusion defect class (kernel commit 27113c59b6d0).
+  for (s64 byte = off; byte < off + static_cast<s64>(size); ++byte) {
+    const int idx = StackSlotIndex(byte);
+    if (idx >= 0) {
+      state.stack.slots[static_cast<xbase::usize>(idx)] =
+          StackSlot{SlotKind::kMisc, AbsVal{}};
+    }
+  }
+}
+
+void Dataflow::ZoneTransfer(DfState& state, u32 pc) {
+  if (!opts_.enable_relational) {
+    return;
+  }
+  Zone& z = state.zone;
+  const Insn& insn = prog_.insns[pc];
+  const auto zreg = [](u8 r) -> int {
+    return r < kZoneRegs ? static_cast<int>(r) : -1;
+  };
+  const auto forget = [&z](int v) {
+    if (v >= 0) {
+      z.Forget(v);
+    }
+  };
+  const int dst = zreg(insn.dst);
+  switch (insn.Class()) {
+    case ebpf::BPF_ALU64: {
+      const u8 op = insn.AluOp();
+      if (op == ebpf::BPF_MOV && insn.UsesRegSrc()) {
+        const int src = zreg(insn.src);
+        if (dst >= 0 && src >= 0) {
+          z.AssignCopy(dst, src);  // exact value copy, any kind
+        } else {
+          forget(dst);
+        }
+        return;
+      }
+      if (op == ebpf::BPF_MOV) {
+        if (dst >= 0) {
+          z.AssignConst(dst, static_cast<s64>(insn.imm));
+        }
+        return;
+      }
+      if ((op == ebpf::BPF_ADD || op == ebpf::BPF_SUB) && dst >= 0 &&
+          IsScalarKind(state.regs[insn.dst].kind)) {
+        const RangeVal dr = RngOf(state.regs[insn.dst]);
+        s64 lo = 0;
+        s64 hi = 0;
+        bool delta_known = false;
+        if (!insn.UsesRegSrc()) {
+          lo = hi = static_cast<s64>(insn.imm);
+          delta_known = true;
+        } else if (IsScalarKind(state.regs[insn.src].kind)) {
+          const RangeVal sr = RngOf(state.regs[insn.src]);
+          lo = sr.smin;
+          hi = sr.smax;
+          delta_known = true;
+        }
+        // Shifting the constraints is only sound when the concrete
+        // addition provably cannot wrap; both operands staying within
+        // +-kZoneSafe (2^60) keeps the sum far inside s64.
+        if (delta_known && dr.smin >= -kZoneSafe && dr.smax <= kZoneSafe &&
+            lo >= -kZoneSafe && hi <= kZoneSafe) {
+          if (op == ebpf::BPF_SUB) {
+            const s64 t = lo;
+            lo = -hi;
+            hi = -t;
+          }
+          z.AssignShift(dst, lo, hi);
+          return;
+        }
+      }
+      forget(dst);
+      return;
+    }
+    case ebpf::BPF_ALU:
+      // 32-bit results truncate; no difference constraint survives.
+      forget(dst);
+      return;
+    case ebpf::BPF_LD:
+      if (insn.IsLdImm64()) {
+        if (insn.src == 0 && dst >= 0 && pc + 1 < prog_.len()) {
+          const u64 lo32 = static_cast<u32>(insn.imm);
+          const u64 hi32 = static_cast<u32>(prog_.insns[pc + 1].imm);
+          z.AssignConst(dst, static_cast<s64>(lo32 | (hi32 << 32)));
+        } else {
+          forget(dst);
+        }
+      } else {
+        forget(ebpf::R0);  // legacy packet loads land in R0
+      }
+      return;
+    case ebpf::BPF_LDX: {
+      const AbsVal& base = state.regs[insn.src];
+      if (base.kind == VK::kStack && !base.var_off &&
+          base.off_min == base.off_max) {
+        const s64 off = base.off_min + insn.off;
+        const int slot_var = ZoneSlotVar(off);
+        if (slot_var >= 0 && dst >= 0 &&
+            IsFullSlotAccess(off, ebpf::SizeBytes(insn.Size())) &&
+            state.stack.slots[static_cast<xbase::usize>(StackSlotIndex(off))]
+                    .kind == SlotKind::kSpill) {
+          z.AssignCopy(dst, slot_var);  // fill restores the relation
+          return;
+        }
+      }
+      forget(dst);
+      return;
+    }
+    case ebpf::BPF_ST:
+    case ebpf::BPF_STX: {
+      const AbsVal& base = state.regs[insn.dst];
+      if (base.kind != VK::kStack) {
+        return;  // stores elsewhere change no tracked value
+      }
+      if (base.var_off || base.off_min != base.off_max) {
+        for (int s = 0; s < kZoneSlots; ++s) {
+          z.Forget(kZoneSlot0 + s);
+        }
+        return;
+      }
+      const s64 off = base.off_min + insn.off;
+      const u32 size = ebpf::SizeBytes(insn.Size());
+      const int slot_var = ZoneSlotVar(off);
+      if (IsFullSlotAccess(off, size) && slot_var >= 0 &&
+          insn.Mode() == ebpf::BPF_MEM) {
+        if (insn.Class() == ebpf::BPF_STX) {
+          const int src = zreg(insn.src);
+          if (src >= 0) {
+            z.AssignCopy(slot_var, src);
+          } else {
+            z.Forget(slot_var);
+          }
+        } else {
+          z.AssignConst(slot_var, static_cast<s64>(insn.imm));
+        }
+        return;
+      }
+      for (s64 byte = off; byte < off + static_cast<s64>(size); ++byte) {
+        const int idx = StackSlotIndex(byte);
+        if (idx >= 0 && idx < kZoneSlots) {
+          z.Forget(kZoneSlot0 + idx);
+        }
+      }
+      return;
+    }
+    case ebpf::BPF_JMP:
+    case ebpf::BPF_JMP32:
+      if (insn.IsCall()) {
+        for (int r = ebpf::R0; r <= ebpf::R5; ++r) {
+          z.Forget(r);
+        }
+      }
+      return;
+    default:
+      return;
+  }
+}
+
 void Dataflow::Transfer(DfState& state, u32 pc) {
+  ZoneTransfer(state, pc);
   const Insn& insn = prog_.insns[pc];
   switch (insn.Class()) {
     case ebpf::BPF_ALU:
@@ -799,8 +1120,55 @@ void Dataflow::Transfer(DfState& state, u32 pc) {
     case ebpf::BPF_LDX: {
       Use(state, insn.src, pc);
       const u32 bytes = ebpf::SizeBytes(insn.Size());
-      CheckMemAccess(state, state.regs[insn.src], insn.off, bytes,
+      const AbsVal& base = state.regs[insn.src];
+      CheckMemAccess(state, base, insn.off, bytes,
                      /*is_write=*/false, pc);
+      if (base.kind == VK::kStack && !base.var_off &&
+          base.off_min == base.off_max) {
+        // Fill of an intact full-slot spill restores the whole abstract
+        // value — pointers survive a round trip through the stack.
+        const s64 off = base.off_min + insn.off;
+        if (opts_.enable_relational && IsFullSlotAccess(off, bytes)) {
+          const StackSlot& slot =
+              state.stack.slots[static_cast<xbase::usize>(
+                  StackSlotIndex(off))];
+          if (slot.kind == SlotKind::kSpill) {
+            AbsVal restored = slot.val;
+            WriteReg(state, insn.dst, std::move(restored), pc);
+            return;
+          }
+        }
+      }
+      if (base.kind == VK::kCtx && !base.var_off &&
+          base.off_min == base.off_max && HasPacketPtrs(prog_.type)) {
+        // Direct packet access: the sk_buff-style context exposes
+        // data/data_end; loads of those fields yield packet pointers whose
+        // usable range starts at zero until proven by a data_end compare.
+        const s64 off = base.off_min + insn.off;
+        if (bytes == 8 &&
+            off == static_cast<s64>(simkern::SkBuffLayout::kDataPtr)) {
+          AbsVal out;
+          out.kind = VK::kPacket;
+          out.id = kPacketLiveId;
+          WriteReg(state, insn.dst, std::move(out), pc);
+          return;
+        }
+        if (bytes == 8 &&
+            off == static_cast<s64>(simkern::SkBuffLayout::kDataEndPtr)) {
+          AbsVal out;
+          out.kind = VK::kPacketEnd;
+          out.id = kPacketLiveId;
+          WriteReg(state, insn.dst, std::move(out), pc);
+          return;
+        }
+        if (bytes == 4 &&
+            off == static_cast<s64>(simkern::SkBuffLayout::kLen)) {
+          AbsVal out = TopVal();
+          out.rng = RangeVal::FromU(0, 0xffff);
+          WriteReg(state, insn.dst, std::move(out), pc);
+          return;
+        }
+      }
       AbsVal out = TopVal();
       if (bytes < 8) {
         // Sub-word loads zero-extend: the result fits the load width.
@@ -811,15 +1179,25 @@ void Dataflow::Transfer(DfState& state, u32 pc) {
     }
     case ebpf::BPF_ST: {
       Use(state, insn.dst, pc);
-      CheckMemAccess(state, state.regs[insn.dst], insn.off,
-                     ebpf::SizeBytes(insn.Size()), /*is_write=*/true, pc);
+      const u32 bytes = ebpf::SizeBytes(insn.Size());
+      CheckMemAccess(state, state.regs[insn.dst], insn.off, bytes,
+                     /*is_write=*/true, pc);
+      const AbsVal imm_val =
+          ConstVal(static_cast<u64>(static_cast<s64>(insn.imm)));
+      StackStore(state, state.regs[insn.dst], insn.off, bytes, &imm_val);
       return;
     }
     case ebpf::BPF_STX: {
       Use(state, insn.dst, pc);
       Use(state, insn.src, pc);
-      CheckMemAccess(state, state.regs[insn.dst], insn.off,
-                     ebpf::SizeBytes(insn.Size()), /*is_write=*/true, pc);
+      const u32 bytes = ebpf::SizeBytes(insn.Size());
+      CheckMemAccess(state, state.regs[insn.dst], insn.off, bytes,
+                     /*is_write=*/true, pc);
+      // An atomic op stores a combined value, not the source register;
+      // passing no value downgrades the slot instead of mis-spilling.
+      StackStore(state, state.regs[insn.dst], insn.off, bytes,
+                 insn.Mode() == ebpf::BPF_MEM ? &state.regs[insn.src]
+                                              : nullptr);
       return;
     }
     case ebpf::BPF_JMP:
@@ -923,6 +1301,7 @@ DataflowResult Dataflow::Run() {
     }
     const u32 b = worklist_.front();
     worklist_.pop_front();
+    ++result.iterations;
     DfState state = in_[b];
     const BasicBlock& block = cfg_.blocks[b];
 
@@ -1002,6 +1381,137 @@ DataflowResult Dataflow::Run() {
         }
       }
     }
+    // Packet range discovery: a 64-bit compare between a live packet
+    // pointer at a known constant offset and data_end proves that many
+    // bytes readable from data on the "pointer below end" edge — for every
+    // live packet pointer in the state, registers and spilled slots alike.
+    if (cls == ebpf::BPF_JMP && term.UsesRegSrc()) {
+      const AbsVal& lhs = state.regs[term.dst];
+      const AbsVal& rhs = state.regs[term.src];
+      const bool pkt_is_dst =
+          lhs.kind == VK::kPacket && rhs.kind == VK::kPacketEnd;
+      const bool pkt_is_src =
+          rhs.kind == VK::kPacket && lhs.kind == VK::kPacketEnd;
+      const AbsVal* pkt = pkt_is_dst ? &lhs : pkt_is_src ? &rhs : nullptr;
+      if (pkt != nullptr && lhs.id == kPacketLiveId &&
+          rhs.id == kPacketLiveId && !pkt->var_off &&
+          pkt->off_min == pkt->off_max && pkt->off_min >= 0 &&
+          pkt->off_min <= 0xffff) {
+        const u32 range = static_cast<u32>(pkt->off_min);
+        bool prove_taken = false;
+        bool prove_fall = false;
+        switch (op) {
+          case ebpf::BPF_JGT:  // pkt > end falls through to pkt <= end
+          case ebpf::BPF_JGE:
+            (pkt_is_dst ? prove_fall : prove_taken) = true;
+            break;
+          case ebpf::BPF_JLT:  // pkt < end taken
+          case ebpf::BPF_JLE:
+            (pkt_is_dst ? prove_taken : prove_fall) = true;
+            break;
+          default:
+            break;
+        }
+        if (prove_taken) {
+          BumpPacketRange(taken, range);
+        }
+        if (prove_fall) {
+          BumpPacketRange(fall, range);
+        }
+      }
+    }
+    // Zone refinement: seed the interval facts of every scalar register,
+    // add the relational constraint a 64-bit reg-reg compare proves on
+    // each edge, close, and fold any tightened bounds back into the range
+    // domain — the reduced product that lets `r1 < r2, r2 <= k` prove
+    // `r1 <= k-1` where intervals alone cannot.
+    if (opts_.enable_relational) {
+      const bool is32 = cls == ebpf::BPF_JMP32;
+      for (const bool branch_taken : {true, false}) {
+        DfState& st = branch_taken ? taken : fall;
+        Zone& z = st.zone;
+        for (int r = 0; r < kZoneRegs; ++r) {
+          const AbsVal& reg = st.regs[r];
+          if (IsScalarKind(reg.kind)) {
+            const RangeVal rng = RngOf(reg);
+            z.SeedRange(r, rng.smin, rng.smax);
+          }
+        }
+        if (!is32 && term.UsesRegSrc() && term.dst < kZoneRegs &&
+            term.src < kZoneRegs &&
+            IsScalarKind(st.regs[term.dst].kind) &&
+            IsScalarKind(st.regs[term.src].kind)) {
+          u8 signed_op = 0;
+          switch (op) {
+            case ebpf::BPF_JEQ:
+            case ebpf::BPF_JNE:
+            case ebpf::BPF_JSGT:
+            case ebpf::BPF_JSGE:
+            case ebpf::BPF_JSLT:
+            case ebpf::BPF_JSLE:
+              signed_op = op;
+              break;
+            case ebpf::BPF_JGT:
+            case ebpf::BPF_JGE:
+            case ebpf::BPF_JLT:
+            case ebpf::BPF_JLE: {
+              // Unsigned order coincides with the signed one only when
+              // both operands are provably non-negative (as after any
+              // sub-word load).
+              if (RngOf(st.regs[term.dst]).smin >= 0 &&
+                  RngOf(st.regs[term.src]).smin >= 0) {
+                signed_op = op == ebpf::BPF_JGT   ? ebpf::BPF_JSGT
+                            : op == ebpf::BPF_JGE ? ebpf::BPF_JSGE
+                            : op == ebpf::BPF_JLT ? ebpf::BPF_JSLT
+                                                  : ebpf::BPF_JSLE;
+              }
+              break;
+            }
+            default:
+              break;
+          }
+          if (signed_op != 0) {
+            z.RefineCompare(signed_op, branch_taken, term.dst, term.src);
+          }
+        }
+        z.Close();
+        if (z.bot) {
+          // Relationally infeasible edge: keep analyzing (kind-level
+          // findings must survive) on a sane top state, but withhold
+          // claims like the interval refinement does.
+          st.range_dead = true;
+          st.zone = Zone{};
+          continue;
+        }
+        for (int r = 0; r < kZoneRegs; ++r) {
+          AbsVal& reg = st.regs[r];
+          if (!IsScalarKind(reg.kind)) {
+            continue;
+          }
+          RangeVal rng = RngOf(reg);
+          const s64 upper = z.Upper(r);
+          const s64 lower = z.Lower(r);
+          bool tightened = false;
+          if (upper != kZoneInf && upper < rng.smax) {
+            rng.smax = upper;
+            tightened = true;
+          }
+          if (lower != -kZoneInf && lower > rng.smin) {
+            rng.smin = lower;
+            tightened = true;
+          }
+          if (!tightened) {
+            continue;
+          }
+          if (rng.smin > rng.smax) {
+            st.range_dead = true;
+            break;
+          }
+          rng.Reduce();
+          SetScalarRng(reg, rng);
+        }
+      }
+    }
     if (taken_block != kNoBlock) {
       Propagate(taken_block, std::move(taken));
     }
@@ -1045,6 +1555,41 @@ void Dataflow::RecordTrace() {
         } else {
           claims[static_cast<xbase::usize>(r)].JoinOther();
         }
+      }
+      if (opts_.enable_relational && pc < trace.rel_per_pc.size()) {
+        // Pairwise difference bounds: the zone's constraint where it has
+        // one, tightened against what the intervals already imply
+        // (smax_i - smin_j, evaluated in 128 bits).
+        std::array<s64, ebpf::kRelRegs * ebpf::kRelRegs> path;
+        path.fill(ebpf::kRelInf);
+        for (int i = 0; i < ebpf::kRelRegs; ++i) {
+          const AbsVal& ri = state.regs[static_cast<xbase::usize>(i)];
+          if (!IsScalarKind(ri.kind)) {
+            continue;
+          }
+          const RangeVal rng_i = RngOf(ri);
+          for (int j = 0; j < ebpf::kRelRegs; ++j) {
+            if (i == j) {
+              continue;
+            }
+            const AbsVal& rj = state.regs[static_cast<xbase::usize>(j)];
+            if (!IsScalarKind(rj.kind)) {
+              continue;
+            }
+            __int128 bound = static_cast<__int128>(rng_i.smax) -
+                             static_cast<__int128>(RngOf(rj).smin);
+            const s64 zone_bound = state.zone.DiffUpper(i, j);
+            if (zone_bound != kZoneInf &&
+                static_cast<__int128>(zone_bound) < bound) {
+              bound = zone_bound;
+            }
+            if (bound < static_cast<__int128>(ebpf::kRelInf)) {
+              path[static_cast<xbase::usize>(i * ebpf::kRelRegs + j)] =
+                  static_cast<s64>(bound);
+            }
+          }
+        }
+        trace.rel_per_pc[pc].JoinPath(path);
       }
       Transfer(state, pc);
       pc += prog_.insns[pc].IsLdImm64() ? 2 : 1;

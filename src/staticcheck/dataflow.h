@@ -16,44 +16,11 @@
 #include <vector>
 
 #include "src/staticcheck/cfg.h"
+#include "src/staticcheck/memdom.h"
 #include "src/staticcheck/range.h"
+#include "src/staticcheck/zone.h"
 
 namespace staticcheck {
-
-// Abstract value kinds. kTop is "initialized, nothing else known".
-enum class VK : u8 {
-  kUninit = 0,
-  kTop,
-  kConst,    // fully-known 64-bit scalar
-  kCtx,      // the context pointer (R1 at entry)
-  kStack,    // frame pointer with a fixed byte offset
-  kMapPtr,   // ld_imm64 map reference
-  kMapVal,   // pointer into a map value
-  kMem,      // helper-provided memory (ringbuf record)
-  kSock,     // socket object pointer
-  kTask,     // task_struct pointer
-  kFunc,     // callback reference
-};
-
-inline bool IsPointerKind(VK kind) {
-  return kind >= VK::kCtx && kind <= VK::kTask;
-}
-
-struct AbsVal {
-  VK kind = VK::kUninit;
-  bool or_null = false;  // pointer kinds: may still be NULL
-  bool var_off = false;  // pointer offset includes an unknown scalar
-  s64 off_min = 0;       // pointer offset range (kStack/kMapVal/kMem)
-  s64 off_max = 0;
-  u64 cval = 0;          // kConst
-  int map_fd = -1;       // kMapPtr/kMapVal
-  u32 mem_size = 0;      // kMem
-  u32 id = 0;            // null-refinement / reference join key
-  // Numeric range claim; meaningful for kTop/kConst scalars only (kConst
-  // keeps rng == RangeVal::Const(cval) as an invariant).
-  RangeVal rng;
-  bool operator==(const AbsVal&) const = default;
-};
 
 // An open acquire obligation (socket reference etc.).
 struct RefObligation {
@@ -75,12 +42,17 @@ struct DfState {
   // Per-byte init tracking of the 512-byte stack frame; index 0 is the
   // deepest byte (R10-512), index 511 is R10-1.
   std::array<u8, ebpf::kMaxStackBytes> stack_init = {};
+  // Typed slot contents (spill/fill tracking); refines stack_init.
+  StackDom stack;
+  // Relational constraints over registers and tracked slots.
+  Zone zone;
   std::vector<RefObligation> refs;  // sorted by id
   bool operator==(const DfState&) const = default;
 };
 
 struct DataflowResult {
   bool complete = true;  // false if the iteration budget was exhausted
+  u32 iterations = 0;    // worklist pops until fixpoint
 };
 
 // Runs the pass over every reachable block, appending findings.

@@ -1,0 +1,73 @@
+#include "src/staticcheck/memdom.h"
+
+#include "src/xbase/strfmt.h"
+
+namespace staticcheck {
+
+std::string_view SlotKindName(SlotKind kind) {
+  switch (kind) {
+    case SlotKind::kEmpty:
+      return "empty";
+    case SlotKind::kMisc:
+      return "misc";
+    case SlotKind::kSpill:
+      return "spill";
+  }
+  return "?";
+}
+
+std::string_view VKName(VK kind) {
+  switch (kind) {
+    case VK::kUninit:
+      return "uninit";
+    case VK::kTop:
+      return "scalar";
+    case VK::kConst:
+      return "const";
+    case VK::kCtx:
+      return "ctx";
+    case VK::kStack:
+      return "fp";
+    case VK::kMapPtr:
+      return "map_ptr";
+    case VK::kMapVal:
+      return "map_value";
+    case VK::kMem:
+      return "mem";
+    case VK::kSock:
+      return "sock";
+    case VK::kTask:
+      return "task";
+    case VK::kPacket:
+      return "pkt";
+    case VK::kPacketEnd:
+      return "pkt_end";
+    case VK::kFunc:
+      return "func";
+  }
+  return "?";
+}
+
+std::string FormatStackDom(const StackDom& dom) {
+  std::string out;
+  for (int i = 0; i < kStackSlots; ++i) {
+    const StackSlot& slot = dom.slots[static_cast<xbase::usize>(i)];
+    if (slot.kind == SlotKind::kEmpty) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += " ";
+    }
+    if (slot.kind == SlotKind::kSpill) {
+      out += xbase::StrFormat(
+          "fp-%d=%.*s", 8 * (i + 1),
+          static_cast<int>(VKName(slot.val.kind).size()),
+          VKName(slot.val.kind).data());
+    } else {
+      out += xbase::StrFormat("fp-%d=misc", 8 * (i + 1));
+    }
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+}  // namespace staticcheck

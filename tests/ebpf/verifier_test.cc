@@ -370,6 +370,77 @@ TEST_F(VerifierTest, JsetFalseBranchClearsBits) {
   ExpectAccepted(Must(b.Build()));
 }
 
+TEST_F(VerifierTest, RegRegCompareRefinesAgainstBoundedRegister) {
+  // r8 is bounded by an immediate compare (r8 <= 8); the *reg-reg* compare
+  // "if r7 >= r8 goto out" must then bound r7 <= r8 - 1 <= 7 on the
+  // fallthrough, keeping a byte access at r7 within an 8-byte value.
+  // Before endpoint-based reg-reg refinement only reg-vs-immediate
+  // compares refined, so this program was (wrongly) rejected.
+  const int fd = MakeArrayMap(8, 4);
+  const struct {
+    u8 op;
+    bool taken_is_bad;  // branch taken = out-of-bounds side
+  } cases[] = {
+      {BPF_JGE, true},   // if (r7 >= r8) goto out;  else r7 < r8
+      {BPF_JLT, false},  // if (r7 < r8) goto ok
+      {BPF_JSGE, true},  // signed forms: r7, r8 both provably >= 0
+      {BPF_JSLT, false},
+  };
+  for (const auto& test_case : cases) {
+    ProgramBuilder b("regreg_refine", ProgType::kXdp);
+    b.Ins(StMemImm(BPF_W, R10, -4, 0))
+        .Ins(LdMapFd(R1, fd))
+        .Ins(Mov64Reg(R2, R10))
+        .Ins(Alu64Imm(BPF_ADD, R2, -4))
+        .Ins(CallHelper(kHelperMapLookupElem))
+        .JmpTo(BPF_JEQ, R0, 0, "out")
+        .Ins(Mov64Reg(R9, R0))
+        .Ins(LdxMem(BPF_W, R7, R9, 0))
+        .Ins(LdxMem(BPF_W, R8, R9, 4))
+        .JmpTo(BPF_JGT, R8, 8, "out");  // r8 in [0, 8]
+    if (test_case.taken_is_bad) {
+      b.JmpRegTo(test_case.op, R7, R8, "out");
+    } else {
+      b.JmpRegTo(test_case.op, R7, R8, "ok").JaTo("out").Bind("ok");
+    }
+    b.Ins(Alu64Reg(BPF_ADD, R9, R7))
+        .Ins(LdxMem(BPF_B, R0, R9, 0))  // needs r7 <= 7
+        .Bind("out")
+        .Ins(Mov64Imm(R0, 0))
+        .Ins(Exit());
+    auto prog = Must(b.Build());
+    auto result = VerifyProg(prog);
+    EXPECT_TRUE(result.ok())
+        << "op " << int{test_case.op} << ": " << result.status().ToString();
+  }
+}
+
+TEST_F(VerifierTest, RegRegRefinementIsNotOffByOne) {
+  // Same shape, but the access needs r7 <= 7 while the compare only
+  // proves r7 <= r8 <= 8 (non-strict): must still be rejected. Guards the
+  // strict/non-strict distinction the injected
+  // verifier.reg_reg_refine_off_by_one fault breaks.
+  const int fd = MakeArrayMap(8, 4);
+  ProgramBuilder b("regreg_nonstrict", ProgType::kXdp);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R9, R0))
+      .Ins(LdxMem(BPF_W, R7, R9, 0))
+      .Ins(LdxMem(BPF_W, R8, R9, 4))
+      .JmpTo(BPF_JGT, R8, 8, "out")     // r8 in [0, 8]
+      .JmpRegTo(BPF_JGT, R7, R8, "out")  // else r7 <= r8, so r7 <= 8: too wide
+      .Ins(Alu64Reg(BPF_ADD, R9, R7))
+      .Ins(LdxMem(BPF_B, R0, R9, 0))    // needs r7 <= 7
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  ExpectRejected(Must(b.Build()), "invalid access to map value");
+}
+
 // ---- helper argument checking ------------------------------------------------------------
 
 TEST_F(VerifierTest, RejectsScalarWhereMapPtrExpected) {

@@ -1,0 +1,214 @@
+// Integration tests for the relational layer of staticcheck: the zone
+// domain carrying reg-reg facts through branches, the stack memory domain
+// round-tripping spills (and demoting scribbled slots), and the packet
+// domain proving data_end bounds and invalidating them across
+// packet-mutating helpers. Each behavior is pinned with an A/B pair: the
+// same program under enable_relational on and off, or a well-formed
+// program against its subtly-broken twin.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/analysis/workloads.h"
+#include "src/ebpf/asm.h"
+#include "src/ebpf/helper.h"
+#include "src/staticcheck/check.h"
+
+namespace {
+
+using namespace ebpf;  // NOLINT: register/opcode constants read like asm
+
+struct TestRig {
+  TestRig() : kernel(Config()), bpf(kernel) {
+    (void)kernel.BootstrapWorkload();
+  }
+
+  static simkern::KernelConfig Config() {
+    simkern::KernelConfig config;
+    config.unprivileged_bpf_disabled = false;
+    return config;
+  }
+
+  int ArrayMap(const std::string& name, u32 value_size, u32 entries) {
+    MapSpec spec;
+    spec.type = MapType::kArray;
+    spec.key_size = 4;
+    spec.value_size = value_size;
+    spec.max_entries = entries;
+    spec.name = name;
+    auto fd = bpf.maps().Create(spec);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return fd.ok() ? fd.value() : -1;
+  }
+
+  staticcheck::Report Check(const Program& prog, bool relational) {
+    staticcheck::CheckOptions opts;
+    opts.maps = &bpf.maps();
+    opts.helpers = &bpf.helpers();
+    opts.callgraph = &kernel.callgraph();
+    opts.enable_relational = relational;
+    auto report = staticcheck::RunChecks(prog, opts);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? std::move(report).value() : staticcheck::Report{};
+  }
+
+  simkern::Kernel kernel;
+  Bpf bpf;
+};
+
+std::string Rules(const staticcheck::Report& report) {
+  std::string all;
+  for (const auto& finding : report.findings) {
+    all += finding.rule + " ";
+  }
+  return all;
+}
+
+// --- zone domain: reg-reg facts across branches --------------------------
+
+TEST(RelationalZone, RelGuardProvableOnlyWithZones) {
+  // r7 < r8 then r8 <= 32 bounds r7 <= 31 — but only if the analysis can
+  // carry the r7 - r8 <= -1 fact across the second branch. The interval
+  // product cannot (neither register has useful endpoints at the compare),
+  // so this one program separates the two configurations.
+  TestRig rig;
+  const int fd = rig.ArrayMap("rel", 64, 4);
+  auto prog = analysis::BuildRelGuard(fd);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+
+  const auto with_zones = rig.Check(prog.value(), /*relational=*/true);
+  EXPECT_EQ(with_zones.errors(), 0u) << Rules(with_zones);
+
+  const auto intervals_only = rig.Check(prog.value(), /*relational=*/false);
+  EXPECT_GT(intervals_only.errors(), 0u)
+      << "interval product should not prove the guarded access";
+  EXPECT_TRUE(intervals_only.HasRule("map-value-oob"))
+      << Rules(intervals_only);
+}
+
+// --- stack memory domain: spill/fill -------------------------------------
+
+TEST(RelationalStack, SpillFillRestoresBounds) {
+  // A bounds-checked index survives a round trip through fp-8 only when
+  // the stack domain tracks the spilled abstract value.
+  TestRig rig;
+  const int fd = rig.ArrayMap("m", 64, 4);
+  ProgramBuilder b("spill_fill", ProgType::kKprobe);
+  b.Ins(StMemImm(BPF_W, R10, -4, 0))
+      .Ins(LdMapFd(R1, fd))
+      .Ins(Mov64Reg(R2, R10))
+      .Ins(Alu64Imm(BPF_ADD, R2, -4))
+      .Ins(CallHelper(kHelperMapLookupElem))
+      .JmpTo(BPF_JEQ, R0, 0, "out")
+      .Ins(Mov64Reg(R9, R0))
+      .Ins(LdxMem(BPF_DW, R6, R9, 0))
+      .JmpTo(BPF_JGT, R6, 7, "out")
+      .Ins(StxMem(BPF_DW, R10, R6, -8))   // spill bounded index
+      .Ins(LdxMem(BPF_DW, R7, R10, -8))   // fill it back
+      .Ins(Alu64Reg(BPF_ADD, R9, R7))
+      .Ins(LdxMem(BPF_B, R0, R9, 56))     // needs r7 in [0, 7]
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+
+  const auto tracked = rig.Check(prog.value(), /*relational=*/true);
+  EXPECT_EQ(tracked.errors(), 0u) << Rules(tracked);
+  EXPECT_FALSE(tracked.HasRule("map-value-var-off")) << Rules(tracked);
+
+  // Without the memory domain the fill produces an unknown scalar and the
+  // access offset is statically unbounded.
+  const auto untracked = rig.Check(prog.value(), /*relational=*/false);
+  EXPECT_TRUE(untracked.HasRule("map-value-var-off")) << Rules(untracked);
+}
+
+TEST(RelationalStack, NarrowOverwriteDemotesSpill) {
+  // BuildSpillWidthExploit scribbles one byte over the spilled slot; a
+  // sound stack domain must forget the old bounds (restoring them anyway
+  // is the kernel's spill-width-confusion defect, commit 27113c59b6d0).
+  TestRig rig;
+  const int fd = rig.ArrayMap("m", 64, 4);
+  auto prog = analysis::BuildSpillWidthExploit(fd);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+
+  const auto report = rig.Check(prog.value(), /*relational=*/true);
+  EXPECT_TRUE(report.HasRule("map-value-var-off"))
+      << "fill after a narrow overwrite must be unknown, rules: "
+      << Rules(report);
+}
+
+// --- packet domain: data_end proofs and helper invalidation --------------
+
+TEST(RelationalPacket, BoundsCheckedAccessIsClean) {
+  TestRig rig;
+  ProgramBuilder b("pkt_ok", ProgType::kSocketFilter);
+  b.Ins(LdxMem(BPF_DW, R7, R1, 8))    // data
+      .Ins(LdxMem(BPF_DW, R3, R1, 16))  // data_end
+      .Ins(Mov64Reg(R4, R7))
+      .Ins(Alu64Imm(BPF_ADD, R4, 14))
+      .JmpRegTo(BPF_JGT, R4, R3, "out")  // data + 14 > data_end -> out
+      .Ins(LdxMem(BPF_B, R5, R7, 13))    // within the proven 14 bytes
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  const auto report = rig.Check(prog.value(), /*relational=*/true);
+  EXPECT_EQ(report.errors(), 0u) << Rules(report);
+}
+
+TEST(RelationalPacket, UnprovenAccessIsFlagged) {
+  TestRig rig;
+  ProgramBuilder b("pkt_unproven", ProgType::kSocketFilter);
+  b.Ins(LdxMem(BPF_DW, R7, R1, 8))   // data, no data_end compare
+      .Ins(LdxMem(BPF_B, R5, R7, 0))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  const auto report = rig.Check(prog.value(), /*relational=*/true);
+  EXPECT_TRUE(report.HasRule("pkt-oob")) << Rules(report);
+  EXPECT_GT(report.errors(), 0u);
+}
+
+TEST(RelationalPacket, StaleAfterMutatingHelperIsFlagged) {
+  // BuildPktRangeStaleExploit re-reads through the pre-helper packet
+  // pointer after bpf_skb_vlan_push; the proven range must not survive.
+  TestRig rig;
+  auto prog = analysis::BuildPktRangeStaleExploit();
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  const auto report = rig.Check(prog.value(), /*relational=*/true);
+  EXPECT_TRUE(report.HasRule("pkt-oob")) << Rules(report);
+  EXPECT_GT(report.errors(), 0u);
+}
+
+TEST(RelationalPacket, SpilledPacketPointerAlsoGoesStale) {
+  // The same invalidation must reach pointers parked on the stack across
+  // the helper call — the escape hatch the in-kernel bug class used.
+  TestRig rig;
+  ProgramBuilder b("pkt_spill_stale", ProgType::kSocketFilter);
+  b.Ins(Mov64Reg(R6, R1))
+      .Ins(LdxMem(BPF_DW, R7, R1, 8))
+      .Ins(LdxMem(BPF_DW, R3, R1, 16))
+      .Ins(Mov64Reg(R4, R7))
+      .Ins(Alu64Imm(BPF_ADD, R4, 14))
+      .JmpRegTo(BPF_JGT, R4, R3, "out")
+      .Ins(StxMem(BPF_DW, R10, R7, -8))  // park proven pointer at fp-8
+      .Ins(Mov64Reg(R1, R6))
+      .Ins(Mov64Imm(R2, 0x8100))
+      .Ins(Mov64Imm(R3, 2))
+      .Ins(CallHelper(kHelperSkbVlanPush))  // mutates packet geometry
+      .Ins(LdxMem(BPF_DW, R8, R10, -8))     // unpark
+      .Ins(LdxMem(BPF_B, R5, R8, 13))       // stale proof
+      .Bind("out")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.ok());
+  const auto report = rig.Check(prog.value(), /*relational=*/true);
+  EXPECT_TRUE(report.HasRule("pkt-oob")) << Rules(report);
+  EXPECT_GT(report.errors(), 0u);
+}
+
+}  // namespace

@@ -7,8 +7,9 @@
 //                                            per-program seed a finding
 //                                            printed
 //   rangefuzz --check-faults                 deterministic Table-1 witness
-//                                            table (all four range faults
-//                                            must be detected)
+//                                            tables (all four range faults
+//                                            AND all three relational
+//                                            faults must be detected)
 //   rangefuzz --list-faults                  injectable range fault ids
 //
 // Exit status: 0 clean / all faults detected, 1 unsoundness or divergence
@@ -28,6 +29,9 @@ const char* const kRangeFaults[] = {
     "verifier.sign_ext_confusion",
     "verifier.jgt_refine_off_by_one",
     "verifier.tnum_mul_precision",
+    "verifier.reg_reg_refine_off_by_one",
+    "verifier.spill_width_confusion",
+    "verifier.pkt_range_stale_helper",
 };
 
 int Usage() {
@@ -87,7 +91,22 @@ int main(int argc, char** argv) {
     }
     std::fputs(analysis::FormatRangeFaultTable(rows.value()).c_str(),
                stdout);
+    auto rel_rows = analysis::CheckRelationalFaults();
+    if (!rel_rows.ok()) {
+      std::fprintf(stderr, "rangefuzz: %s\n",
+                   rel_rows.status().ToString().c_str());
+      return 2;
+    }
+    std::fputs("\n", stdout);
+    std::fputs(
+        analysis::FormatRelationalFaultTable(rel_rows.value()).c_str(),
+        stdout);
     for (const auto& row : rows.value()) {
+      if (!row.detected()) {
+        return 1;
+      }
+    }
+    for (const auto& row : rel_rows.value()) {
       if (!row.detected()) {
         return 1;
       }

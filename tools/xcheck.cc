@@ -6,10 +6,12 @@
 //   xcheck --diff              run the differential oracle table
 //   xcheck --ranges NAME       per-instruction staticcheck vs verifier
 //                              range table for a demo ('!' = disjoint)
+//   xcheck --zones NAME        per-instruction staticcheck vs verifier
+//                              difference-bound table ('!' = contradicts)
 //   xcheck FILE.bin            analyze raw bytecode (8-byte LE insns)
 //
 // Exit status: 0 clean, 1 error-severity findings (--ranges: disjoint
-// claims), 2 usage/load problems.
+// claims; --zones: contradictory bounds), 2 usage/load problems.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -77,6 +79,19 @@ std::vector<Demo> Demos() {
        [](ebpf::Bpf&) { return analysis::BuildSkLookupNoRelease(); }},
       {"jit-victim", "reads an uninitialized register on a cold path",
        [](ebpf::Bpf&) { return analysis::BuildJitHijackVictim(); }},
+      {"rel-guard", "bound carried through a reg-reg compare (zones prove "
+                    "it, intervals cannot)",
+       [](ebpf::Bpf& bpf) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, MakeArrayMap(bpf, "rel", 64, 4));
+         return analysis::BuildRelGuard(fd);
+       }},
+      {"spill-heavy", "index round-tripped through stack spills 8 times",
+       [](ebpf::Bpf& bpf) -> xbase::Result<ebpf::Program> {
+         XB_ASSIGN_OR_RETURN(int fd, MakeArrayMap(bpf, "spl", 64, 4));
+         return analysis::BuildSpillHeavy(8, fd);
+       }},
+      {"pkt-stale", "packet pointer reused after a mutating helper",
+       [](ebpf::Bpf&) { return analysis::BuildPktRangeStaleExploit(); }},
   };
 }
 
@@ -204,6 +219,84 @@ int RunRanges(const char* name) {
   return 2;
 }
 
+// Side-by-side relational table: both analyses' per-pc difference-bound
+// claims, contradictions marked. The zones counterpart of --ranges.
+int RunZones(const char* name) {
+  for (const Demo& demo : Demos()) {
+    if (std::strcmp(demo.name, name) != 0) {
+      continue;
+    }
+    simkern::Kernel kernel{simkern::KernelConfig{}};
+    ebpf::Bpf bpf(kernel);
+    auto prog = demo.build(bpf);
+    if (!prog.ok()) {
+      std::fprintf(stderr, "xcheck: build failed: %s\n",
+                   prog.status().ToString().c_str());
+      return 2;
+    }
+
+    ebpf::RangeTrace verifier_trace;
+    ebpf::VerifyOptions vopts;
+    vopts.version = kernel.version();
+    vopts.faults = &bpf.faults();
+    vopts.kfuncs = &bpf.kfuncs();
+    vopts.range_trace = &verifier_trace;
+    auto verdict =
+        ebpf::Verify(prog.value(), bpf.maps(), bpf.helpers(), vopts);
+
+    ebpf::RangeTrace static_trace;
+    staticcheck::CheckOptions copts;
+    copts.maps = &bpf.maps();
+    copts.helpers = &bpf.helpers();
+    copts.callgraph = &kernel.callgraph();
+    copts.range_trace = &static_trace;
+    auto report = staticcheck::RunChecks(prog.value(), copts);
+    if (!report.ok()) {
+      std::fprintf(stderr, "xcheck: %s\n",
+                   report.status().ToString().c_str());
+      return 2;
+    }
+
+    std::printf("demo %s: %s\n", demo.name, demo.blurb);
+    std::printf("verifier: %s\n\n",
+                verdict.ok() ? "accepts" : verdict.status().message().c_str());
+    std::printf("%-4s %-28s %-40s %s\n", "pc", "insn", "staticcheck zones",
+                "verifier relations");
+    const xbase::usize len = std::min(static_trace.rel_per_pc.size(),
+                                      verifier_trace.rel_per_pc.size());
+    for (xbase::usize pc = 0; pc < len; ++pc) {
+      const ebpf::RelClaims& sc = static_trace.rel_per_pc[pc];
+      const ebpf::RelClaims& ver = verifier_trace.rel_per_pc[pc];
+      if (!sc.seen && !ver.seen) {
+        continue;
+      }
+      bool contradicts = false;
+      for (int i = 0; i < ebpf::kRelRegs && !contradicts; ++i) {
+        for (int j = 0; j < ebpf::kRelRegs; ++j) {
+          if (i != j && sc.seen && ver.seen &&
+              ebpf::RelBoundsContradict(sc.At(i, j), ver.At(j, i))) {
+            contradicts = true;
+            break;
+          }
+        }
+      }
+      std::printf("%-4zu %-28s %-40s %s%s\n", pc,
+                  ebpf::DisasmInsn(prog.value().insns[pc]).c_str(),
+                  ebpf::FormatRelClaims(sc).c_str(),
+                  ebpf::FormatRelClaims(ver).c_str(),
+                  contradicts ? "   !CONTRADICTS" : "");
+    }
+    const analysis::RelCompareResult cmp =
+        analysis::CompareRelTraces(static_trace, verifier_trace);
+    std::printf("\n%llu bound pairs compared, %llu contradictory\n",
+                static_cast<unsigned long long>(cmp.points),
+                static_cast<unsigned long long>(cmp.contradictions));
+    return cmp.contradictions > 0 ? 1 : 0;
+  }
+  std::fprintf(stderr, "xcheck: unknown demo '%s' (try --list)\n", name);
+  return 2;
+}
+
 int RunFile(const char* path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
@@ -263,6 +356,9 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--ranges") == 0) {
     return RunRanges(argv[2]);
   }
+  if (argc == 3 && std::strcmp(argv[1], "--zones") == 0) {
+    return RunZones(argv[2]);
+  }
   if (argc == 2 && std::strcmp(argv[1], "--diff") == 0) {
     auto report = analysis::RunDiffCheck();
     if (!report.ok()) {
@@ -282,6 +378,6 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: xcheck --list | --demo NAME | --diff | "
-               "--ranges NAME | FILE.bin\n");
+               "--ranges NAME | --zones NAME | FILE.bin\n");
   return 2;
 }
