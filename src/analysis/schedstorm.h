@@ -1,0 +1,96 @@
+// Deterministic scheduler chaos harness: drives randomized tick / attach /
+// detach / sched-fault-toggle / task-create / task-exit / clock-advance
+// sequences against a supervised SchedCore and asserts the scheduling
+// invariants after every single step — kernel alive, supervisor consistent,
+// runqueue entries live and duplicate-free, every supervised tick with
+// runnable tasks dispatching one, and no runnable task waiting unboundedly.
+// Everything derives from one xbase::Rng seed, so any failure replays
+// bit-identically from the seed printed in the failure message
+// (`tools/schedstorm --seed N --ops M`).
+//
+// The policy corpus is deliberately hostile: honest sched_ext programs that
+// misbehave only when a sched.* helper defect is injected underneath them
+// (stall-loop, invalid-pid, runnable-filter, crash-on-pick), an actively
+// malicious double-picking policy, a constant-garbage policy, and signed
+// safex extensions that yield or panic on pick. Surviving the storm — every
+// runnable task keeps progressing no matter what the pick policy does — is
+// the availability claim for the scheduler hook family.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/supervisor.h"
+#include "src/xbase/types.h"
+
+namespace analysis {
+
+struct SchedStormConfig {
+  xbase::u64 seed = 1;
+  xbase::u64 ops = 10000;
+  // Round-robin toggling of the four sched.* helper defects.
+  bool toggle_faults = true;
+  // Starvation bound handed to the SchedCore under test.
+  xbase::u64 starvation_bound_ns = 10 * simkern::kNsPerMs;
+  // Liveness invariant: no runnable task may ever wait longer than this.
+  // Generous (200x the bound) because a runnable-filter defect legitimately
+  // starves the hidden task for a few breaker trips before eviction — the
+  // invariant is that the wait is *bounded*, unlike the unsupervised loop
+  // where it grows without limit.
+  xbase::u64 max_wait_ns = 2 * simkern::kNsPerSec;
+  safex::SupervisorConfig supervisor;
+};
+
+struct SchedStormStats {
+  xbase::u64 ops_executed = 0;
+  xbase::u64 ticks = 0;
+  xbase::u64 dispatches = 0;
+  xbase::u64 ext_picks = 0;
+  xbase::u64 default_picks = 0;
+  xbase::u64 fallback_picks = 0;
+  xbase::u64 yields = 0;
+  xbase::u64 deadline_misses = 0;
+  xbase::u64 invalid_picks = 0;
+  xbase::u64 starvation_events = 0;
+  xbase::u64 stalls = 0;
+  xbase::u64 attaches = 0;
+  xbase::u64 detaches = 0;
+  xbase::u64 fault_toggles = 0;
+  xbase::u64 task_creates = 0;
+  xbase::u64 task_exits = 0;
+  xbase::u64 clock_advances = 0;
+  xbase::u64 oopses_contained = 0;
+  xbase::u64 supervisor_failures = 0;
+  xbase::u64 supervisor_trips = 0;
+  xbase::u64 supervisor_evictions = 0;
+  xbase::u64 supervisor_readmissions = 0;
+  xbase::u64 max_wait_seen_ns = 0;
+  xbase::usize faults_ever_injected = 0;  // distinct sched defects enabled
+  xbase::u64 final_sim_time_ns = 0;
+};
+
+struct SchedStormReport {
+  bool ok = false;
+  xbase::u64 seed = 0;
+  // On failure: which invariant broke, at which op, doing what.
+  std::string failure;
+  xbase::u64 failed_at_op = 0;
+  SchedStormStats stats;
+};
+
+SchedStormReport RunSchedStorm(const SchedStormConfig& config);
+
+// --check-faults mode: for each injectable scheduler fault class, a fresh
+// supervised rig with the matched witness policy must *detect* the fault
+// (the right FailureKind charged to the right attachment) and *contain* it
+// (every tick still dispatches; the kernel stays alive; a starved task is
+// rescued). Clean-baseline legs assert no false positives.
+struct SchedFaultCheck {
+  std::string name;      // fault id, or "clean.<policy>" for baselines
+  bool passed = false;
+  std::string detail;    // what was expected vs. observed on failure
+};
+
+std::vector<SchedFaultCheck> RunSchedFaultChecks();
+
+}  // namespace analysis

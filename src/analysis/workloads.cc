@@ -585,4 +585,97 @@ xbase::Result<Program> BuildPacketCounter(int map_fd) {
   return b.Build();
 }
 
+xbase::Result<Program> BuildSchedPickFirst() {
+  ProgramBuilder b("sched_pick_first", ProgType::kSchedExt);
+  b.Ins(Mov64Imm(R1, 0))
+      .Ins(CallHelper(kHelperSchedPeekPid))
+      .JmpTo(BPF_JEQ, R0, -1, "yield")  // empty visible set
+      .Ins(Exit())
+      .Bind("yield")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildSchedPickViaDefault() {
+  ProgramBuilder b("sched_pick_via_default", ProgType::kSchedExt);
+  b.Ins(CallHelper(kHelperSchedPickDefault))
+      .JmpTo(BPF_JEQ, R0, -1, "yield")
+      .Ins(Exit())
+      .Bind("yield")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildSchedPickLongestWaiting() {
+  ProgramBuilder b("sched_pick_longest_waiting", ProgType::kSchedExt);
+  // r6 = index, r7 = visible count (capped at 16), r8 = best pid,
+  // r9 = best wait. Helper calls clobber r1-r5, so the candidate pid is
+  // spilled to fp-8 across the bpf_sched_wait_ns call.
+  b.Ins(CallHelper(kHelperSchedNrRunnable))
+      .Ins(Mov64Reg(R7, R0))
+      .JmpTo(BPF_JEQ, R7, 0, "yield")
+      .JmpTo(BPF_JLE, R7, 16, "cap_ok")
+      .Ins(Mov64Imm(R7, 16))
+      .Bind("cap_ok")
+      .Ins(Mov64Imm(R6, 0))
+      .Ins(Mov64Imm(R8, 0))
+      .Ins(Mov64Imm(R9, 0))
+      .Bind("loop")
+      .JmpRegTo(BPF_JGE, R6, R7, "done")
+      .Ins(Mov64Reg(R1, R6))
+      .Ins(CallHelper(kHelperSchedPeekPid))
+      .JmpTo(BPF_JEQ, R0, -1, "next")
+      .Ins(StxMem(BPF_DW, R10, R0, -8))
+      .Ins(Mov64Reg(R1, R0))
+      .Ins(CallHelper(kHelperSchedWaitNs))
+      .JmpTo(BPF_JEQ, R0, -1, "next")
+      .JmpRegTo(BPF_JLT, R0, R9, "next")  // wait < best: keep current
+      .Ins(Mov64Reg(R9, R0))
+      .Ins(LdxMem(BPF_DW, R8, R10, -8))
+      .Bind("next")
+      .Ins(Alu64Imm(BPF_ADD, R6, 1))
+      .JaTo("loop")
+      .Bind("done")
+      .JmpTo(BPF_JEQ, R8, 0, "yield")
+      .Ins(Mov64Reg(R0, R8))
+      .Ins(Exit())
+      .Bind("yield")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildSchedDoublePick() {
+  ProgramBuilder b("sched_double_pick", ProgType::kSchedExt);
+  b.Ins(Mov64Imm(R1, 0))
+      .Ins(CallHelper(kHelperSchedPeekPid))
+      .JmpTo(BPF_JEQ, R0, -1, "yield")
+      .Ins(Mov64Reg(R6, R0))
+      .Ins(Mov64Reg(R1, R0))
+      .Ins(CallHelper(kHelperSchedDequeue))  // the pick is gone by dispatch
+      .Ins(Mov64Reg(R0, R6))
+      .Ins(Exit())
+      .Bind("yield")
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildSchedPickConstant(u32 pid) {
+  ProgramBuilder b(StrFormat("sched_pick_const_%u", pid),
+                   ProgType::kSchedExt);
+  b.Ins(Mov64Imm(R0, static_cast<s32>(pid))).Ins(Exit());
+  return b.Build();
+}
+
+xbase::Result<Program> BuildSchedYield() {
+  ProgramBuilder b("sched_yield", ProgType::kSchedExt);
+  b.Ins(CallHelper(kHelperSchedYield))
+      .Ins(Mov64Imm(R0, 0))
+      .Ins(Exit());
+  return b.Build();
+}
+
 }  // namespace analysis

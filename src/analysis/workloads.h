@@ -154,4 +154,38 @@ xbase::Result<ebpf::Program> BuildCountedLoop(xbase::u32 trip_count);
 // parses the first bytes of the packet and counts into a map.
 xbase::Result<ebpf::Program> BuildPacketCounter(int map_fd);
 
+// ---- scheduler pick-next policies (sched_ext family) -----------------------
+// All are ProgType::kSchedExt and verify cleanly at v6.12 under a
+// privileged loader; the fault witnesses misbehave only when the named
+// sched.* helper defect is injected underneath them.
+
+// Picks the first task the enumeration helpers expose (index 0); yields
+// (returns 0) when the visible set is empty. The witness for
+// sched.helper_pick_invalid_pid: the buggy peek serves a dead pid and this
+// honest policy faithfully returns it.
+xbase::Result<ebpf::Program> BuildSchedPickFirst();
+
+// Delegates the decision to bpf_sched_pick_default (head of queue). The
+// witness for sched.helper_stall_loop: the buggy helper burns ~10ms of
+// simulated CPU before answering, blowing any sane pick deadline.
+xbase::Result<ebpf::Program> BuildSchedPickViaDefault();
+
+// Scans up to 16 visible tasks and picks the one waiting longest — the
+// honest fairness policy. The witness for sched.helper_runnable_filter
+// (the hidden task can never win a scan it does not appear in) and for
+// sched.helper_crash_on_pick (bpf_sched_wait_ns oopses on the pick path).
+xbase::Result<ebpf::Program> BuildSchedPickLongestWaiting();
+
+// Peeks a pid, dequeues it itself, then returns it — so by dispatch time
+// the pid is no longer runnable. A malicious/buggy *policy* (no helper
+// defect needed): the double-pick the scheduler core must contain.
+xbase::Result<ebpf::Program> BuildSchedDoublePick();
+
+// Always returns `pid` regardless of the runqueue. With a dead or absurd
+// pid this is the constant-garbage policy.
+xbase::Result<ebpf::Program> BuildSchedPickConstant(xbase::u32 pid);
+
+// Calls bpf_sched_yield and returns 0: the cooperative hand-off path.
+xbase::Result<ebpf::Program> BuildSchedYield();
+
 }  // namespace analysis

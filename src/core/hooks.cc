@@ -14,6 +14,8 @@ std::string_view HookPointName(HookPoint hook) {
       return "syscall_enter";
     case HookPoint::kSchedSwitch:
       return "sched_switch";
+    case HookPoint::kSchedPickNext:
+      return "sched_pick_next";
   }
   return "unknown";
 }
@@ -44,6 +46,26 @@ xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
       return xbase::AlreadyExists(xbase::StrFormat(
           "bpf prog %u already attached to %s", prog_id,
           HookPointName(hook).data()));
+    }
+  }
+  // The scheduler hook is part of the sched_ext privilege model: only
+  // sched_ext-typed programs may decide picks, and a sched_ext program has
+  // no business on packet/syscall/tracing hooks.
+  {
+    auto loaded = bpf_loader_.Find(prog_id);
+    if (loaded.ok()) {
+      const bool is_sched = loaded.value()->source.type ==
+                            ebpf::ProgType::kSchedExt;
+      if (hook == HookPoint::kSchedPickNext && !is_sched) {
+        return xbase::FailedPrecondition(xbase::StrFormat(
+            "prog %u is not sched_ext-typed; cannot attach to %s", prog_id,
+            HookPointName(hook).data()));
+      }
+      if (hook != HookPoint::kSchedPickNext && is_sched) {
+        return xbase::FailedPrecondition(xbase::StrFormat(
+            "sched_ext prog %u can only attach to sched_pick_next",
+            prog_id));
+      }
     }
   }
   // Pin the program for the attachment's lifetime: Unload refuses while the
@@ -186,6 +208,7 @@ HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
     verdict.status =
         xbase::Terminated("foreign exception escaped attachment dispatch");
   }
+  verdict.cost_ns = kernel.clock().now_ns() - now;
 
   if (supervisor == nullptr) {
     return verdict;
@@ -285,14 +308,19 @@ HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
 
 void HookRegistry::ApplyFallback(HookPoint hook,
                                  HookFireReport& report) const {
-  if (hook == HookPoint::kXdpIngress &&
-      config_.xdp_fallback_verdict == 1) {
-    report.verdict = 1;  // fail closed: drop the packet
+  const HookFallback& fallback =
+      config_.fallback[static_cast<xbase::usize>(hook)];
+  if (fallback.action != FallbackAction::kFailClosed) {
+    // kFailOpen leaves the neutral aggregate in place. kDefaultPolicy is
+    // the scheduler core's job: it sees the report and runs the built-in
+    // round-robin policy — nothing to substitute here.
+    return;
   }
-  if (hook == HookPoint::kSyscallEnter && config_.syscall_fail_closed &&
-      !report.denied) {
+  if (hook == HookPoint::kXdpIngress) {
+    report.verdict = fallback.value != 0 ? fallback.value : 1;  // XDP_DROP
+  } else if (hook == HookPoint::kSyscallEnter && !report.denied) {
     report.denied = true;
-    report.verdict = config_.syscall_fallback_errno;
+    report.verdict = fallback.value != 0 ? fallback.value : 1;  // EPERM
   }
 }
 
@@ -308,6 +336,7 @@ void HookRegistry::FireInto(HookPoint hook, simkern::Addr ctx_addr,
   report.verdicts.clear();  // keeps capacity for the steady state
   report.verdict = hook == HookPoint::kXdpIngress ? 2 /* XDP_PASS */ : 0;
   report.denied = false;
+  report.decider = 0;
   report.served = 0;
   report.failed = 0;
   report.skipped = 0;
@@ -336,6 +365,11 @@ void HookRegistry::FireInto(HookPoint hook, simkern::Addr ctx_addr,
           !report.denied) {
         report.denied = true;
         report.verdict = verdict.value;
+      }
+      if (hook == HookPoint::kSchedPickNext && report.decider == 0) {
+        // First served attachment decides the pick.
+        report.verdict = verdict.value;
+        report.decider = verdict.attachment_id;
       }
     } else {
       ++report.failed;

@@ -29,7 +29,9 @@ enum class HookPoint : xbase::u8 {
   kXdpIngress,     // per packet; verdict: XDP_DROP(1)/XDP_PASS(2)
   kSyscallEnter,   // per syscall; verdict: 0 allow, nonzero deny-errno
   kSchedSwitch,    // tracing; verdict ignored
+  kSchedPickNext,  // scheduler: verdict = pid to dispatch (0 = yield)
 };
+inline constexpr xbase::usize kHookPointCount = 4;
 
 std::string_view HookPointName(HookPoint hook);
 
@@ -40,31 +42,60 @@ struct HookVerdict {
   xbase::Status status;  // non-OK if the program/extension failed
   bool skipped = false;  // the breaker refused the invocation
   ExtHealth health = ExtHealth::kHealthy;  // after this fire
+  // Simulated time the attachment consumed (deadline attribution).
+  xbase::u64 cost_ns = 0;
 };
 
 struct HookFireReport {
   std::vector<HookVerdict> verdicts;
   // Aggregate: packets — dropped if any attachment said DROP; syscalls —
-  // denied with the first nonzero errno.
+  // denied with the first nonzero errno; scheduler — the first served
+  // attachment's pick stands.
   xbase::u64 verdict = 0;
   bool denied = false;
+  // Attachment whose verdict became the aggregate (scheduler hooks);
+  // 0 when no served attachment decided.
+  xbase::u32 decider = 0;
   // Per-fire accounting (availability measurements key off these).
   xbase::u32 served = 0;   // ran to completion with an OK status
   xbase::u32 failed = 0;   // ran but ended with a non-OK status
   xbase::u32 skipped = 0;  // refused by quarantine/eviction
 };
 
+// What stands in for a failed or skipped attachment's verdict. Fallback is
+// per hook *family*: a packet hook failing open must not force the
+// scheduler family to fail open too (and vice versa) — the right degraded
+// behaviour is a per-family policy decision.
+enum class FallbackAction : xbase::u8 {
+  kFailOpen,       // neutral verdict: pass the packet / allow the syscall
+  kFailClosed,     // protective verdict: drop / deny with `value`
+  kDefaultPolicy,  // defer to the subsystem's built-in policy (scheduler:
+                   // the round-robin default scheduler takes over)
+};
+
+struct HookFallback {
+  FallbackAction action = FallbackAction::kFailOpen;
+  // Fail-closed verdict payload: XDP code (default 1 = DROP) or deny
+  // errno (default 1 = EPERM) when zero.
+  xbase::u64 value = 0;
+};
+
+constexpr std::array<HookFallback, kHookPointCount> DefaultFallbacks() {
+  std::array<HookFallback, kHookPointCount> fallback{};
+  // Packet, syscall and tracing hooks fail open by default; the scheduler
+  // family fails over to the built-in default policy — "fail open" is
+  // meaningless when the extension *is* the decision-maker.
+  fallback[static_cast<xbase::usize>(HookPoint::kSchedPickNext)] =
+      HookFallback{FallbackAction::kDefaultPolicy, 0};
+  return fallback;
+}
+
 struct HookRegistryConfig {
   // Health/containment layer; null runs the unsupervised baseline (one bad
   // attachment can poison its hook or the kernel, as before).
   Supervisor* supervisor = nullptr;
-  // Verdict substituted for a failed or skipped XDP attachment:
-  // 2 = XDP_PASS (fail open, the default), 1 = XDP_DROP (fail closed).
-  xbase::u64 xdp_fallback_verdict = 2;
-  // If true, a failed or skipped syscall policy denies with
-  // syscall_fallback_errno instead of failing open.
-  bool syscall_fail_closed = false;
-  xbase::u64 syscall_fallback_errno = 1;  // EPERM
+  // Per-hook-family fallback policy, indexed by HookPoint.
+  std::array<HookFallback, kHookPointCount> fallback = DefaultFallbacks();
   // Execution options handed to every eBPF attachment run (engine
   // selection, executing CPU, tracing). Defaults to the threaded engine.
   ebpf::ExecOptions exec_options;
@@ -120,7 +151,7 @@ class HookRegistry {
   // store; Fire (hot path) takes one atomic shared_ptr load and walks a
   // table no concurrent detach can mutate under it.
   struct Snapshot {
-    std::array<std::vector<Attachment>, 3> by_hook;
+    std::array<std::vector<Attachment>, kHookPointCount> by_hook;
   };
 
   void PublishSnapshot();

@@ -18,6 +18,12 @@ std::string_view FailureKindName(FailureKind kind) {
       return "resource_leak";
     case FailureKind::kRuntimeError:
       return "runtime_error";
+    case FailureKind::kDeadlineMiss:
+      return "deadline_miss";
+    case FailureKind::kInvalidPick:
+      return "invalid_pick";
+    case FailureKind::kStarvation:
+      return "starvation";
   }
   return "unknown";
 }

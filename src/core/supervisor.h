@@ -33,8 +33,11 @@ enum class FailureKind : xbase::u8 {
   kOops,           // kernel oops raised while the attachment was on-CPU
   kResourceLeak,   // refcount/lock leak found by the post-invocation audit
   kRuntimeError,   // foreign exception or other abnormal termination
+  kDeadlineMiss,   // scheduler pick exceeded its armed watchdog deadline
+  kInvalidPick,    // scheduler returned a dead/non-runnable/double pick
+  kStarvation,     // a runnable task went unscheduled past the bound
 };
-inline constexpr xbase::usize kFailureKindCount = 6;
+inline constexpr xbase::usize kFailureKindCount = 9;
 
 std::string_view FailureKindName(FailureKind kind);
 

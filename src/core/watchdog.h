@@ -16,13 +16,28 @@ class Watchdog {
   Watchdog() = default;
 
   void Arm(const simkern::SimClock& clock, xbase::u64 budget_ns) {
-    deadline_ns_ = clock.now_ns() + budget_ns;
+    const xbase::u64 now = clock.now_ns();
+    // Saturating add: a budget near u64 max must pin the deadline at the
+    // far future, not wrap past `now` (a wrapped deadline is already in
+    // the past, so the watchdog would kill every invocation instantly).
+    deadline_ns_ = now + budget_ns;
+    if (deadline_ns_ < now) {
+      deadline_ns_ = ~xbase::u64{0};
+    }
     armed_ = true;
   }
   void Disarm() { armed_ = false; }
 
   bool Expired(const simkern::SimClock& clock) const {
     return armed_ && clock.now_ns() >= deadline_ns_;
+  }
+
+  // Budget left before the deadline; 0 when disarmed or already expired.
+  xbase::u64 remaining_ns(const simkern::SimClock& clock) const {
+    if (!armed_ || clock.now_ns() >= deadline_ns_) {
+      return 0;
+    }
+    return deadline_ns_ - clock.now_ns();
   }
 
   xbase::u64 deadline_ns() const { return deadline_ns_; }

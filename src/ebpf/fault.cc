@@ -85,6 +85,22 @@ const std::vector<FaultInfo>& FaultRegistry::Catalog() {
        "Arbitrary read/write", "CVE-2021-29154",
        "branch displacement miscomputed during image finalization hijacks "
        "control flow"},
+      {std::string(kFaultSchedStallLoop), "helper", "Deadlock/Hang",
+       "sched_ext watchdog timeout class",
+       "bpf_sched_pick_default spins over a corrupted dispatch list, "
+       "burning CPU far past the pick deadline on every call"},
+      {std::string(kFaultSchedPickInvalidPid), "helper", "Use-after-free",
+       "stale pid reuse class",
+       "bpf_sched_peek_pid serves a cached pid of an already-exited task, "
+       "steering the scheduler at freed state"},
+      {std::string(kFaultSchedRunnableFilter), "helper", "Starvation",
+       "runqueue enumeration off-by-one class",
+       "bpf_sched_nr_runnable/peek_pid skip the newest runnable task, so "
+       "any enumerating policy starves it indefinitely"},
+      {std::string(kFaultSchedCrashOnPick), "helper",
+       "Null-pointer dereference", "sched_ext NULL task walk class",
+       "bpf_sched_wait_ns walks a NULL task_struct when the queue entry is "
+       "mid-update, oopsing on the pick path"},
   };
   return kCatalog;
 }

@@ -57,6 +57,17 @@ inline constexpr std::string_view kFaultHelperTaskStorageNull =
     "helper.task_storage.null_owner";  // commit 1a9c72ad class
 inline constexpr std::string_view kFaultJitBranchOffByOne =
     "jit.branch_off_by_one";  // CVE-2021-29154 class
+// Scheduler-helper defects (sched_ext family). All four live *below* the
+// verifier's horizon — a verified pick policy still stalls, starves,
+// misdirects or crashes the scheduler when the helper underneath is buggy.
+inline constexpr std::string_view kFaultSchedStallLoop =
+    "sched.helper_stall_loop";  // pick path burns unbounded CPU time
+inline constexpr std::string_view kFaultSchedPickInvalidPid =
+    "sched.helper_pick_invalid_pid";  // stale pid of an exited task
+inline constexpr std::string_view kFaultSchedRunnableFilter =
+    "sched.helper_runnable_filter";  // enumeration hides one runnable task
+inline constexpr std::string_view kFaultSchedCrashOnPick =
+    "sched.helper_crash_on_pick";  // NULL task walk on the pick path
 
 struct FaultInfo {
   std::string id;

@@ -56,6 +56,7 @@ xbase::Status RegisterDefaultHelpers(HelperRegistry& registry,
   HelperWiring wiring{registry, kernel, std::make_shared<HelperState>()};
   XB_RETURN_IF_ERROR(RegisterCoreHelpers(wiring));
   XB_RETURN_IF_ERROR(RegisterNetHelpers(wiring));
+  XB_RETURN_IF_ERROR(RegisterSchedHelpers(wiring));
   return xbase::Status::Ok();
 }
 

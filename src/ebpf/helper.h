@@ -48,6 +48,17 @@ enum class RetType : u8 {
   kMemOrNull,
 };
 
+// Helper families gate which program types may call a helper. This is the
+// privilege model of the scheduler hook family: scheduler helpers mutate
+// the runqueue, so only sched_ext programs (attachable by privileged
+// loaders only) may call them — and a sched_ext program has no packet, so
+// the net family is off limits to it.
+enum class HelperFamily : u8 {
+  kGeneric,  // callable from any program type
+  kNet,      // packet/socket helpers: not callable from sched_ext
+  kSched,    // runqueue helpers: callable only from sched_ext
+};
+
 // Runtime services helpers need from the executor. Implemented by the
 // interpreter; null when a helper is unit-tested in isolation.
 class RuntimeHooks {
@@ -91,6 +102,7 @@ struct HelperSpec {
   int releases_ref_arg = 0;    // 1-based arg index releasing a reference
   bool gpl_only = false;
   bool changes_packet_data = false;
+  HelperFamily family = HelperFamily::kGeneric;
   std::string entry_func;      // call-graph node of the implementation
   u64 cost_ns = simkern::kCostHelperCallNs;
 
@@ -185,6 +197,16 @@ enum HelperId : u32 {
   kHelperKtimeGetTaiNs = 208,
   kHelperUserRingbufDrain = 209,
   kHelperCgrpStorageGet = 210,
+  // Scheduler family (v6.12 sched_ext). Real kernels expose these as
+  // kfuncs rather than numbered helpers; we model them as a versioned
+  // helper family, numbered above the real-Linux id range.
+  kHelperSchedNrRunnable = 230,
+  kHelperSchedPeekPid = 231,
+  kHelperSchedWaitNs = 232,
+  kHelperSchedEnqueue = 233,
+  kHelperSchedDequeue = 234,
+  kHelperSchedPickDefault = 235,
+  kHelperSchedYield = 236,
 };
 
 // bpf_sys_bpf sub-commands (subset).

@@ -30,6 +30,7 @@ struct HelperWiring {
 // Registration units (one per implementation file).
 xbase::Status RegisterCoreHelpers(HelperWiring& wiring);
 xbase::Status RegisterNetHelpers(HelperWiring& wiring);
+xbase::Status RegisterSchedHelpers(HelperWiring& wiring);
 
 // Shared utilities -----------------------------------------------------------
 

@@ -52,6 +52,9 @@ HelperSpec MakeSpec(u32 id, const char* name,
   }
   spec.ret = ret;
   spec.cost_ns = cost_ns;
+  // Everything in this file touches packets or sockets; the family tag
+  // keeps the suite out of reach of sched_ext programs.
+  spec.family = HelperFamily::kNet;
   return spec;
 }
 

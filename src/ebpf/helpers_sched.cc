@@ -1,0 +1,206 @@
+// Scheduler helper suite (sched_ext family, v6.12). These are the runqueue
+// primitives a pick-next extension composes its policy from: enumerate the
+// runnable set, inspect waits, reorder the queue, and hand control back.
+// Real kernels expose the equivalents as kfuncs; we model them as a
+// versioned helper family so the Figure 3/4 census machinery sees them like
+// any other helper. All are HelperFamily::kSched — callable only from
+// sched_ext programs, which in turn only privileged loaders may install.
+//
+// Four injectable defects live here, all below the verifier's horizon: a
+// verified pick policy still stalls, starves, misdirects or crashes the
+// scheduler when the helper underneath is buggy.
+#include <algorithm>
+#include <vector>
+
+#include "src/ebpf/helpers_internal.h"
+#include "src/simkern/sched.h"
+#include "src/xbase/bytes.h"
+
+namespace ebpf {
+
+using simkern::KernelVersion;
+using xbase::usize;
+
+namespace {
+
+// Registration shorthand (mirrors helpers_core.cc).
+struct Def {
+  HelperWiring& wiring;
+
+  xbase::Status operator()(
+      HelperSpec spec,
+      std::initializer_list<std::pair<const char*, usize>> links,
+      HelperFn fn) {
+    if (spec.entry_func.empty()) {
+      spec.entry_func = spec.name;
+    }
+    LinkHelperCallGraph(wiring.kernel, spec.entry_func, links);
+    return wiring.registry.Register(std::move(spec), std::move(fn));
+  }
+};
+
+HelperSpec MakeSpec(u32 id, const char* name,
+                    std::initializer_list<ArgType> args, RetType ret,
+                    u64 cost_ns = simkern::kCostHelperCallNs) {
+  HelperSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.introduced = KernelVersion{6, 12};  // sched_ext merge window
+  spec.family = HelperFamily::kSched;
+  int i = 0;
+  for (ArgType arg : args) {
+    spec.args[i++] = arg;
+  }
+  spec.ret = ret;
+  spec.cost_ns = cost_ns;
+  return spec;
+}
+
+constexpr ArgType kA = ArgType::kAnything;
+
+// The runnable set as the enumeration helpers expose it. Under the
+// runnable-filter defect the newest task (highest pid) is silently dropped
+// from every enumeration, so any policy that picks from what it can see
+// starves that task indefinitely — the queue itself still holds it, which
+// is exactly why the supervisor's starvation detector (which reads the
+// queue, not the helpers) can catch the lie.
+std::vector<u32> VisiblePids(HelperCtx& ctx) {
+  const simkern::RunQueue& rq = ctx.kernel.runqueue();
+  std::vector<u32> pids;
+  pids.reserve(rq.runnable_count());
+  for (usize i = 0; i < rq.runnable_count(); ++i) {
+    pids.push_back(rq.PidAt(i).value());
+  }
+  if (ctx.faults.IsActive(kFaultSchedRunnableFilter) && !pids.empty()) {
+    const u32 hidden = *std::max_element(pids.begin(), pids.end());
+    std::erase(pids, hidden);
+  }
+  return pids;
+}
+
+}  // namespace
+
+xbase::Status RegisterSchedHelpers(HelperWiring& wiring) {
+  Def def{wiring};
+
+  XB_RETURN_IF_ERROR(def(
+      MakeSpec(kHelperSchedNrRunnable, "bpf_sched_nr_runnable", {},
+               RetType::kInteger),
+      {{"task", 2}},
+      [](HelperCtx& ctx, const HelperArgs&) -> xbase::Result<u64> {
+        return VisiblePids(ctx).size();
+      }));
+
+  XB_RETURN_IF_ERROR(def(
+      MakeSpec(kHelperSchedPeekPid, "bpf_sched_peek_pid", {kA},
+               RetType::kInteger),
+      {{"task", 3}},
+      [](HelperCtx& ctx, const HelperArgs& a) -> xbase::Result<u64> {
+        if (ctx.faults.IsActive(kFaultSchedPickInvalidPid)) {
+          // The defect: a cached pid from a previous enumeration whose task
+          // has since exited. The policy steers the scheduler at freed
+          // state; containment must catch the dead pid at dispatch.
+          return 0xdead;
+        }
+        const std::vector<u32> pids = VisiblePids(ctx);
+        if (a[0] >= pids.size()) {
+          return static_cast<u64>(-1);
+        }
+        // Serve the pid from the task_struct itself, not the queue entry —
+        // the helper walks real kernel bytes like its kfunc counterpart.
+        auto task = ctx.kernel.tasks().FindByPid(pids[a[0]]);
+        if (!task.ok()) {
+          return static_cast<u64>(-1);
+        }
+        XB_ASSIGN_OR_RETURN(
+            const std::vector<u8> raw,
+            ReadMem(ctx.kernel,
+                    task.value()->struct_addr + simkern::TaskLayout::kPid,
+                    4));
+        return xbase::LoadLe32(raw.data());
+      }));
+
+  XB_RETURN_IF_ERROR(def(
+      MakeSpec(kHelperSchedWaitNs, "bpf_sched_wait_ns", {kA},
+               RetType::kInteger),
+      {{"task", 2}, {"timekeeping", 1}},
+      [](HelperCtx& ctx, const HelperArgs& a) -> xbase::Result<u64> {
+        if (ctx.faults.IsActive(kFaultSchedCrashOnPick)) {
+          // The defect: the queue entry is mid-update and the helper walks
+          // a NULL task_struct. Address 0x10 is in the guard page, so the
+          // checked read routes to an oops on the pick path.
+          XB_RETURN_IF_ERROR(
+              ReadMem(ctx.kernel, simkern::TaskLayout::kPid + 0x10, 4)
+                  .status());
+        }
+        auto wait = ctx.kernel.runqueue().WaitNs(
+            static_cast<u32>(a[0]), ctx.kernel.clock().now_ns());
+        if (!wait.ok()) {
+          return static_cast<u64>(-1);
+        }
+        return wait.value();
+      }));
+
+  XB_RETURN_IF_ERROR(def(
+      MakeSpec(kHelperSchedEnqueue, "bpf_sched_enqueue", {kA},
+               RetType::kInteger),
+      {{"task", 4}},
+      [](HelperCtx& ctx, const HelperArgs& a) -> xbase::Result<u64> {
+        const u32 pid = static_cast<u32>(a[0]);
+        if (!ctx.kernel.tasks().FindByPid(pid).ok()) {
+          return NegErrno(kESrch);
+        }
+        const xbase::Status status = ctx.kernel.runqueue().Enqueue(
+            pid, ctx.kernel.clock().now_ns());
+        if (status.code() == xbase::Code::kAlreadyExists) {
+          return NegErrno(kEExist);
+        }
+        XB_RETURN_IF_ERROR(status);
+        return 0;
+      }));
+
+  XB_RETURN_IF_ERROR(def(
+      MakeSpec(kHelperSchedDequeue, "bpf_sched_dequeue", {kA},
+               RetType::kInteger),
+      {{"task", 4}},
+      [](HelperCtx& ctx, const HelperArgs& a) -> xbase::Result<u64> {
+        const xbase::Status status =
+            ctx.kernel.runqueue().Dequeue(static_cast<u32>(a[0]));
+        if (status.code() == xbase::Code::kNotFound) {
+          return NegErrno(kENoEnt);
+        }
+        XB_RETURN_IF_ERROR(status);
+        return 0;
+      }));
+
+  XB_RETURN_IF_ERROR(def(
+      MakeSpec(kHelperSchedPickDefault, "bpf_sched_pick_default", {},
+               RetType::kInteger),
+      {{"task", 3}},
+      [](HelperCtx& ctx, const HelperArgs&) -> xbase::Result<u64> {
+        if (ctx.faults.IsActive(kFaultSchedStallLoop) &&
+            ctx.hooks != nullptr) {
+          // The defect: the helper spins over a corrupted dispatch list,
+          // burning far past any pick deadline before returning. The
+          // watchdog, not the verifier, is the only thing that sees this.
+          ctx.hooks->Charge(10 * simkern::kNsPerMs);
+        }
+        auto pick = ctx.kernel.runqueue().PickDefault();
+        if (!pick.ok()) {
+          return static_cast<u64>(-1);
+        }
+        return pick.value();
+      }));
+
+  XB_RETURN_IF_ERROR(def(
+      MakeSpec(kHelperSchedYield, "bpf_sched_yield", {}, RetType::kInteger),
+      {{"task", 1}},
+      [](HelperCtx& ctx, const HelperArgs&) -> xbase::Result<u64> {
+        ctx.kernel.runqueue().RequestYield();
+        return 0;
+      }));
+
+  return xbase::Status::Ok();
+}
+
+}  // namespace ebpf

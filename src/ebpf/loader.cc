@@ -50,6 +50,12 @@ xbase::Result<PreparedLoad> Loader::Prepare(const Program& prog,
     return xbase::PermissionDenied(
         "unprivileged BPF is disabled (kernel.unprivileged_bpf_disabled=1)");
   }
+  if (prog.type == ProgType::kSchedExt && !options.privileged) {
+    // Installing a scheduler is a root-only operation regardless of the
+    // unprivileged-bpf sysctl: a pick policy controls every task's CPU.
+    return xbase::PermissionDenied(
+        "sched_ext programs require a privileged loader");
+  }
 
   if (options.staticcheck_prepass) {
     const auto prepass_start = std::chrono::steady_clock::now();

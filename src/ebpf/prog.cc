@@ -18,6 +18,8 @@ std::string_view ProgTypeName(ProgType type) {
       return "cgroup_skb";
     case ProgType::kSyscall:
       return "syscall";
+    case ProgType::kSchedExt:
+      return "sched_ext";
   }
   return "unknown";
 }

@@ -20,6 +20,7 @@ enum class ProgType : u8 {
   kPerfEvent,
   kCgroupSkb,
   kSyscall,       // bpf_sys_bpf-capable programs (v5.14+)
+  kSchedExt,      // scheduler policy: picks the next task (v6.12+)
 };
 
 std::string_view ProgTypeName(ProgType type);

@@ -37,6 +37,7 @@ inline xbase::Result<int> FdFromMapHandle(u64 value) {
 // Errno values, returned negative from helpers.
 inline constexpr s64 kEPerm = 1;
 inline constexpr s64 kENoEnt = 2;
+inline constexpr s64 kESrch = 3;
 inline constexpr s64 kE2Big = 7;
 inline constexpr s64 kEAgain = 11;
 inline constexpr s64 kEFault = 14;

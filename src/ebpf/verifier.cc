@@ -7,6 +7,7 @@
 
 #include "src/ebpf/disasm.h"
 #include "src/ebpf/runtime.h"
+#include "src/simkern/sched.h"
 #include "src/xbase/strfmt.h"
 
 namespace ebpf {
@@ -150,6 +151,9 @@ CtxRules CtxRulesFor(ProgType type) {
       return CtxRules{64, false, false};
     case ProgType::kSyscall:
       return CtxRules{64, true, false};
+    case ProgType::kSchedExt:
+      // Read-only pick context (now, nr_runnable, prev_pid, tick).
+      return CtxRules{simkern::SchedCtxLayout::kSize, false, false};
   }
   return CtxRules{};
 }
@@ -1143,6 +1147,21 @@ xbase::Status Verifier::CheckHelperCall(VerifierState& state,
     return Reject(pc, StrFormat("unknown func %s#%u (introduced in %s)",
                                 spec.name.c_str(), helper_id,
                                 spec.introduced.ToString().c_str()));
+  }
+  // Helper-family privilege model: scheduler helpers are only reachable
+  // from sched_ext programs, and sched_ext programs cannot touch the
+  // packet/socket family.
+  if (spec.family == HelperFamily::kSched &&
+      prog_.type != ProgType::kSchedExt) {
+    return Reject(pc, StrFormat("helper %s#%u is restricted to sched_ext "
+                                "programs",
+                                spec.name.c_str(), helper_id));
+  }
+  if (prog_.type == ProgType::kSchedExt &&
+      spec.family == HelperFamily::kNet) {
+    return Reject(pc, StrFormat("helper %s#%u is not available to "
+                                "sched_ext programs",
+                                spec.name.c_str(), helper_id));
   }
 
   const bool lock_checks =

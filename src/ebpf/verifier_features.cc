@@ -46,6 +46,10 @@ const std::vector<VFeatureInfo>& VerifierFeatureTable() {
        "callback verification for bpf_loop", true},
       {VFeature::kDynptr, {6, 1}, 1000, "dynptr",
        "dynptr and kptr verification logic", false},
+      {VFeature::kSchedExtChecks, {6, 12}, 700, "sched_ext",
+       "sched_ext program admission: sched-family helper gating, scheduler "
+       "context access rules",
+       true},
   };
   return kTable;
 }

@@ -36,6 +36,7 @@ enum class VFeature : xbase::u8 {
   kMiscHardening,      // v5.15: ALU sanitation reworks, bounds fixes
   kBpfLoopCallbacks,   // v5.17: bpf_loop callback verification
   kDynptr,             // v6.1: dynptr/kptr logic
+  kSchedExtChecks,     // v6.12: sched_ext program/helper-family gating
 };
 
 struct VFeatureInfo {

@@ -99,4 +99,11 @@ xbase::Status Kernel::BootstrapWorkload() {
   return xbase::Status::Ok();
 }
 
+xbase::Status Kernel::RemoveTask(xbase::u32 pid) {
+  runqueue_.Drop(pid);
+  XB_RETURN_IF_ERROR(tasks_.Remove(mem_, objects_, pid));
+  Printk(xbase::StrFormat("task %u exited", pid));
+  return xbase::Status::Ok();
+}
+
 }  // namespace simkern

@@ -18,6 +18,7 @@
 #include "src/simkern/net.h"
 #include "src/simkern/object.h"
 #include "src/simkern/rcu.h"
+#include "src/simkern/sched.h"
 #include "src/simkern/subsys.h"
 #include "src/simkern/task.h"
 #include "src/simkern/version.h"
@@ -63,6 +64,7 @@ class Kernel {
   RcuState& rcu() { return rcu_; }
   LockTable& locks() { return locks_; }
   TaskTable& tasks() { return tasks_; }
+  RunQueue& runqueue() { return runqueue_; }
   NetState& net() { return net_; }
   CallGraph& callgraph() { return callgraph_; }
   const KernelConfig& config() const { return config_; }
@@ -121,6 +123,10 @@ class Kernel {
   // current), established sockets, and an sk_buff to attach programs to.
   xbase::Status BootstrapWorkload();
 
+  // Task exit, end to end: removes the task from the runqueue and the task
+  // table (unmapping its struct and stack, releasing its identity).
+  xbase::Status RemoveTask(xbase::u32 pid);
+
  private:
   KernelConfig config_;
   SimMemory mem_;
@@ -129,6 +135,7 @@ class Kernel {
   RcuState rcu_;
   LockTable locks_;
   TaskTable tasks_;
+  RunQueue runqueue_;
   NetState net_;
   CallGraph callgraph_;
   KernelState state_ = KernelState::kRunning;

@@ -1,0 +1,115 @@
+#include "src/simkern/sched.h"
+
+#include <algorithm>
+
+#include "src/xbase/strfmt.h"
+
+namespace simkern {
+
+using xbase::u32;
+using xbase::u64;
+using xbase::usize;
+
+xbase::Status RunQueue::Enqueue(u32 pid, u64 now_ns) {
+  if (Contains(pid)) {
+    return xbase::AlreadyExists(
+        xbase::StrFormat("pid %u already runnable", pid));
+  }
+  queue_.push_back(RunQueueEntry{pid, now_ns});
+  stats_.try_emplace(pid);
+  return xbase::Status::Ok();
+}
+
+xbase::Status RunQueue::Dequeue(u32 pid) {
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [pid](const RunQueueEntry& entry) {
+                           return entry.pid == pid;
+                         });
+  if (it == queue_.end()) {
+    return xbase::NotFound(xbase::StrFormat("pid %u not runnable", pid));
+  }
+  queue_.erase(it);
+  return xbase::Status::Ok();
+}
+
+void RunQueue::Drop(u32 pid) {
+  (void)Dequeue(pid);
+  stats_.erase(pid);
+}
+
+bool RunQueue::Contains(u32 pid) const {
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [pid](const RunQueueEntry& entry) {
+                       return entry.pid == pid;
+                     });
+}
+
+xbase::Result<u32> RunQueue::PidAt(usize index) const {
+  if (index >= queue_.size()) {
+    return xbase::NotFound(
+        xbase::StrFormat("runqueue index %zu out of range", index));
+  }
+  return queue_[index].pid;
+}
+
+xbase::Result<u32> RunQueue::PickDefault() const {
+  if (queue_.empty()) {
+    return xbase::NotFound("runqueue empty");
+  }
+  return queue_.front().pid;
+}
+
+xbase::Status RunQueue::MarkRan(u32 pid, u64 now_ns) {
+  XB_RETURN_IF_ERROR(Dequeue(pid));
+  SchedTaskStats& stats = stats_[pid];
+  stats.last_ran_ns = now_ns;
+  ++stats.runs;
+  stats.last_starved_flag_ns = 0;
+  return xbase::Status::Ok();
+}
+
+xbase::Result<u64> RunQueue::WaitNs(u32 pid, u64 now_ns) const {
+  for (const RunQueueEntry& entry : queue_) {
+    if (entry.pid == pid) {
+      return now_ns >= entry.enqueued_ns ? now_ns - entry.enqueued_ns : 0;
+    }
+  }
+  return xbase::NotFound(xbase::StrFormat("pid %u not runnable", pid));
+}
+
+u64 RunQueue::MaxWaitNs(u64 now_ns) const {
+  u64 max_wait = 0;
+  for (const RunQueueEntry& entry : queue_) {
+    if (now_ns > entry.enqueued_ns) {
+      max_wait = std::max(max_wait, now_ns - entry.enqueued_ns);
+    }
+  }
+  return max_wait;
+}
+
+std::vector<u32> RunQueue::ScanStarved(u64 bound_ns, u64 now_ns) {
+  std::vector<u32> starved;
+  for (const RunQueueEntry& entry : queue_) {
+    const u64 wait = now_ns >= entry.enqueued_ns
+                         ? now_ns - entry.enqueued_ns
+                         : 0;
+    if (wait < bound_ns) {
+      continue;
+    }
+    SchedTaskStats& stats = stats_[entry.pid];
+    if (stats.last_starved_flag_ns != 0 &&
+        now_ns - stats.last_starved_flag_ns < bound_ns) {
+      continue;  // already charged for this bound
+    }
+    stats.last_starved_flag_ns = now_ns;
+    starved.push_back(entry.pid);
+  }
+  return starved;
+}
+
+SchedTaskStats RunQueue::StatsOf(u32 pid) const {
+  auto it = stats_.find(pid);
+  return it == stats_.end() ? SchedTaskStats{} : it->second;
+}
+
+}  // namespace simkern

@@ -1,0 +1,98 @@
+// Simulated scheduler substrate: a single global runqueue of runnable
+// tasks. The queue itself is deliberately dumb — FIFO order, no priorities —
+// because the interesting policy decisions are delegated to extensions
+// through the sched_pick_next hook (sched_ext-style). What the queue *does*
+// own is the ground truth the robustness machinery needs: who is runnable,
+// how long each task has waited, and which waits have already been flagged
+// as starvation so a starving task is charged once per bound, not once per
+// scan.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/xbase/status.h"
+#include "src/xbase/types.h"
+
+namespace simkern {
+
+// Context block layout for sched_pick_next extensions (read-only to the
+// program, written by the scheduler core before every pick).
+struct SchedCtxLayout {
+  static constexpr xbase::usize kNowNs = 0;       // u64 simulated time
+  static constexpr xbase::usize kNrRunnable = 8;  // u32
+  static constexpr xbase::usize kPrevPid = 12;    // u32 last dispatched pid
+  static constexpr xbase::usize kTick = 16;       // u64 scheduling cycle
+  static constexpr xbase::usize kSize = 64;
+};
+
+struct RunQueueEntry {
+  xbase::u32 pid = 0;
+  xbase::u64 enqueued_ns = 0;  // when the task (re)became runnable
+};
+
+// Per-pid scheduling statistics that survive across run cycles (an entry is
+// removed from the queue while its task holds the CPU).
+struct SchedTaskStats {
+  xbase::u64 last_ran_ns = 0;
+  xbase::u64 runs = 0;
+  // Last time the starvation detector flagged this task; cleared when the
+  // task finally runs. Edge-triggers the detector: one flag per bound.
+  xbase::u64 last_starved_flag_ns = 0;
+};
+
+class RunQueue {
+ public:
+  // Marks `pid` runnable. AlreadyExists if it is queued.
+  xbase::Status Enqueue(xbase::u32 pid, xbase::u64 now_ns);
+  // Removes `pid` from the runnable set (stats are kept).
+  xbase::Status Dequeue(xbase::u32 pid);
+  // Task exit: drop the queue entry (if any) and the stats record.
+  void Drop(xbase::u32 pid);
+
+  bool Contains(xbase::u32 pid) const;
+  xbase::usize runnable_count() const { return queue_.size(); }
+  // Queue-order enumeration (index 0 = head = next default pick).
+  xbase::Result<xbase::u32> PidAt(xbase::usize index) const;
+
+  // The built-in fail-over policy: head of the queue. Combined with the
+  // dispatch cycle (dequeue, run, re-enqueue at the tail) this is plain
+  // round-robin — every runnable task is served within nr_runnable slices.
+  xbase::Result<xbase::u32> PickDefault() const;
+
+  // Dispatch bookkeeping: dequeues `pid`, stamps last_ran/runs and clears
+  // its starvation flag. The caller re-enqueues after the timeslice.
+  xbase::Status MarkRan(xbase::u32 pid, xbase::u64 now_ns);
+
+  // How long `pid` has been waiting on the queue.
+  xbase::Result<xbase::u64> WaitNs(xbase::u32 pid, xbase::u64 now_ns) const;
+  // Longest wait currently on the queue (0 if empty).
+  xbase::u64 MaxWaitNs(xbase::u64 now_ns) const;
+
+  // Starvation detector: returns the pids that have waited >= bound_ns and
+  // have not been flagged within the last bound_ns, flagging them. A task
+  // that keeps starving is therefore re-flagged once per bound until it
+  // finally runs.
+  std::vector<xbase::u32> ScanStarved(xbase::u64 bound_ns, xbase::u64 now_ns);
+
+  // Lifetime stats for `pid` (zeroes if never enqueued).
+  SchedTaskStats StatsOf(xbase::u32 pid) const;
+
+  // Cooperative yield plumbing for the bpf_sched_yield helper: the running
+  // extension raises the flag, the scheduler core consumes it once per pick
+  // and treats the verdict as a voluntary hand-off to the default policy.
+  void RequestYield() { yield_requested_ = true; }
+  bool ConsumeYield() {
+    const bool was = yield_requested_;
+    yield_requested_ = false;
+    return was;
+  }
+
+ private:
+  std::deque<RunQueueEntry> queue_;
+  std::map<xbase::u32, SchedTaskStats> stats_;
+  bool yield_requested_ = false;
+};
+
+}  // namespace simkern

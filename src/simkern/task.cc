@@ -55,6 +55,23 @@ xbase::Result<u32> TaskTable::Create(SimMemory& mem, ObjectTable& objects,
   return pid;
 }
 
+xbase::Status TaskTable::Remove(SimMemory& mem, ObjectTable& objects,
+                                u32 pid) {
+  auto it = tasks_.find(pid);
+  if (it == tasks_.end()) {
+    return xbase::NotFound(xbase::StrFormat("no task with pid %u", pid));
+  }
+  Task& task = it->second;
+  if (current_ == &task) {
+    current_ = nullptr;
+  }
+  XB_RETURN_IF_ERROR(mem.Unmap(task.struct_addr));
+  XB_RETURN_IF_ERROR(mem.Unmap(task.stack_addr));
+  (void)objects.Release(task.object_id);
+  tasks_.erase(it);
+  return xbase::Status::Ok();
+}
+
 xbase::Result<const Task*> TaskTable::FindByPid(u32 pid) const {
   auto it = tasks_.find(pid);
   if (it == tasks_.end()) {
@@ -70,6 +87,15 @@ xbase::Result<const Task*> TaskTable::FindByAddr(Addr struct_addr) const {
     }
   }
   return xbase::NotFound("no task at that address");
+}
+
+std::vector<u32> TaskTable::Pids() const {
+  std::vector<u32> pids;
+  pids.reserve(tasks_.size());
+  for (const auto& [pid, _] : tasks_) {
+    pids.push_back(pid);
+  }
+  return pids;
 }
 
 xbase::Status TaskTable::SetCurrent(u32 pid) {

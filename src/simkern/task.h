@@ -45,8 +45,17 @@ class TaskTable {
                                    xbase::u32 pid, xbase::u32 tgid,
                                    const std::string& comm);
 
+  // Task exit: unmaps the struct and stack, drops the create-time reference
+  // on the ObjectTable identity (an extension still holding a reference
+  // keeps the identity alive as a zombie until it releases), and clears
+  // `current_` if it points at the removed task.
+  xbase::Status Remove(SimMemory& mem, ObjectTable& objects, xbase::u32 pid);
+
   xbase::Result<const Task*> FindByPid(xbase::u32 pid) const;
   xbase::Result<const Task*> FindByAddr(Addr struct_addr) const;
+
+  // All live pids, ascending.
+  std::vector<xbase::u32> Pids() const;
 
   // "current" — the task on whose behalf the extension runs.
   xbase::Status SetCurrent(xbase::u32 pid);

@@ -31,7 +31,10 @@ int ReleaseYear(KernelVersion version) {
   if (version <= KernelVersion{6, 1}) {
     return 2022;
   }
-  return 2023;
+  if (version <= KernelVersion{6, 6}) {
+    return 2023;
+  }
+  return 2024;
 }
 
 }  // namespace simkern

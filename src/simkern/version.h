@@ -40,12 +40,16 @@ inline constexpr KernelVersion kV5_15{5, 15};  // 2021
 inline constexpr KernelVersion kV5_17{5, 17};  // 2022: bpf_loop
 inline constexpr KernelVersion kV5_18{5, 18};  // 2022: the paper's study tree
 inline constexpr KernelVersion kV6_1{6, 1};    // 2022
+inline constexpr KernelVersion kV6_12{6, 12};  // 2024: sched_ext lands
 
 // Release year for the growth plots (Figures 2 and 4).
 int ReleaseYear(KernelVersion version);
 
-// The versions plotted on the x-axis of Figures 2 and 4, in order.
+// The versions plotted on the x-axis of Figures 2 and 4, in order. v6.12
+// extends the paper's plot forward past its v6.1 cutoff: the scheduler
+// helper family lands there, so the helper-growth curve keeps climbing.
 inline constexpr KernelVersion kPlottedVersions[] = {
-    kV3_18, kV4_3, kV4_9, kV4_14, kV4_20, kV5_4, kV5_10, kV5_15, kV6_1};
+    kV3_18, kV4_3, kV4_9, kV4_14, kV4_20, kV5_4, kV5_10, kV5_15, kV6_1,
+    kV6_12};
 
 }  // namespace simkern

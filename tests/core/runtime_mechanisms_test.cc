@@ -140,6 +140,35 @@ TEST(WatchdogTest, FiresAtDeadline) {
   EXPECT_FALSE(watchdog.Expired(clock));
 }
 
+TEST(WatchdogTest, HugeBudgetSaturatesInsteadOfWrapping) {
+  simkern::SimClock clock;
+  clock.Advance(1000);
+  Watchdog watchdog;
+  // now + budget overflows u64; a wrapping add would land the deadline in
+  // the past and kill the invocation instantly.
+  watchdog.Arm(clock, ~xbase::u64{0} - 10);
+  EXPECT_FALSE(watchdog.Expired(clock));
+  EXPECT_EQ(watchdog.deadline_ns(), ~xbase::u64{0});
+  clock.Advance(1'000'000'000);
+  EXPECT_FALSE(watchdog.Expired(clock)) << "pinned at the far future";
+}
+
+TEST(WatchdogTest, RemainingTracksClockAndZeroesWhenDone) {
+  simkern::SimClock clock;
+  Watchdog watchdog;
+  EXPECT_EQ(watchdog.remaining_ns(clock), 0u) << "disarmed";
+  watchdog.Arm(clock, 1000);
+  EXPECT_EQ(watchdog.remaining_ns(clock), 1000u);
+  clock.Advance(400);
+  EXPECT_EQ(watchdog.remaining_ns(clock), 600u);
+  clock.Advance(600);
+  EXPECT_EQ(watchdog.remaining_ns(clock), 0u) << "expired";
+  clock.Advance(100);
+  EXPECT_EQ(watchdog.remaining_ns(clock), 0u) << "stays zero past expiry";
+  watchdog.Disarm();
+  EXPECT_EQ(watchdog.remaining_ns(clock), 0u);
+}
+
 // ---- canonical encoding ----------------------------------------------------------------
 
 TEST(ArtifactTest, CanonicalEncodingIsDeterministic) {

@@ -338,5 +338,67 @@ TEST_F(SupervisedHooksTest, LeakAuditAcrossThousandQuarantineCycles) {
       << "one attachment must map to exactly one health record";
 }
 
+TEST_F(SupervisedHooksTest, FallbackVerdictsArePerHookFamily) {
+  // One failing extension on the packet hook and one on the syscall hook;
+  // the families must degrade independently — XDP failing closed must not
+  // force syscalls closed too, and vice versa.
+  panic_flag_ = true;
+  (void)hooks_->AttachExtension(HookPoint::kXdpIngress,
+                                LoadToggleExt(&panic_flag_));
+  (void)hooks_->AttachExtension(HookPoint::kSyscallEnter,
+                                LoadToggleExt(&panic_flag_));
+  auto& fallback = hooks_->config().fallback;
+  fallback[static_cast<xbase::usize>(HookPoint::kXdpIngress)] =
+      HookFallback{FallbackAction::kFailClosed, 0};
+  fallback[static_cast<xbase::usize>(HookPoint::kSyscallEnter)] =
+      HookFallback{FallbackAction::kFailOpen, 0};
+
+  HookFireReport xdp = hooks_->Fire(HookPoint::kXdpIngress, ctx_).value();
+  EXPECT_EQ(xdp.failed, 1u);
+  EXPECT_EQ(xdp.verdict, 1u) << "fail-closed packet family: XDP_DROP";
+  HookFireReport sys = hooks_->Fire(HookPoint::kSyscallEnter, ctx_).value();
+  EXPECT_EQ(sys.failed, 1u);
+  EXPECT_FALSE(sys.denied) << "fail-open syscall family: allow";
+
+  // Swap the polarity per family; the other family must not move.
+  fallback[static_cast<xbase::usize>(HookPoint::kXdpIngress)] =
+      HookFallback{FallbackAction::kFailOpen, 0};
+  fallback[static_cast<xbase::usize>(HookPoint::kSyscallEnter)] =
+      HookFallback{FallbackAction::kFailClosed, 13};
+  xdp = hooks_->Fire(HookPoint::kXdpIngress, ctx_).value();
+  EXPECT_EQ(xdp.verdict, 2u) << "fail-open packet family: XDP_PASS";
+  sys = hooks_->Fire(HookPoint::kSyscallEnter, ctx_).value();
+  EXPECT_TRUE(sys.denied) << "fail-closed syscall family: deny";
+  EXPECT_EQ(sys.verdict, 13u) << "with the configured errno";
+}
+
+TEST(SupervisorUnit, DeadlineMissLadderClosesViaProbation) {
+  // The scheduler's kDeadlineMiss failures drive the same breaker ladder
+  // as a panic: budget exhaustion -> quarantine -> half-open probation ->
+  // clean trials close the breaker.
+  Supervisor supervisor(TestConfig());
+  (void)supervisor.Admit(1, 0);
+  for (int i = 0; i < 3; ++i) {
+    supervisor.RecordFailure(1, FailureKind::kDeadlineMiss, "slow pick",
+                             i * kMs);
+  }
+  ASSERT_EQ(supervisor.HealthOf(1), ExtHealth::kQuarantined);
+  EXPECT_FALSE(supervisor.Admit(1, 5 * kMs).allow) << "inside the backoff";
+  const AdmitDecision trial = supervisor.Admit(1, 15 * kMs);
+  EXPECT_TRUE(trial.allow);
+  EXPECT_TRUE(trial.probation_trial);
+  supervisor.RecordSuccess(1, 15 * kMs);
+  EXPECT_EQ(supervisor.HealthOf(1), ExtHealth::kProbation);
+  supervisor.RecordSuccess(1, 16 * kMs);
+  EXPECT_EQ(supervisor.HealthOf(1), ExtHealth::kHealthy);
+  EXPECT_EQ(supervisor.readmissions(), 1u);
+  const ExtRecord* record = supervisor.Find(1);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->failures_by_kind[static_cast<xbase::usize>(
+                FailureKind::kDeadlineMiss)],
+            3u);
+  EXPECT_TRUE(supervisor.CheckConsistent(17 * kMs).ok());
+}
+
 }  // namespace
 }  // namespace safex

@@ -203,7 +203,7 @@ TEST_F(FaultTest, FaultRegistryCatalogIsConsistent) {
     EXPECT_FALSE(info.category.empty());
     EXPECT_FALSE(info.reference.empty());
   }
-  EXPECT_EQ(FaultRegistry::Catalog().size(), 19u);
+  EXPECT_EQ(FaultRegistry::Catalog().size(), 23u);
 }
 
 }  // namespace

@@ -236,6 +236,42 @@ TEST(TaskTest, CreateAndReadBack) {
             xbase::Code::kAlreadyExists);
 }
 
+TEST(TaskTest, RemoveMakesFindFailCleanly) {
+  Kernel kernel;
+  ASSERT_TRUE(kernel.tasks()
+                  .Create(kernel.mem(), kernel.objects(), 7, 7, "worker")
+                  .ok());
+  const Addr struct_addr = kernel.tasks().FindByPid(7).value()->struct_addr;
+  ASSERT_TRUE(kernel.tasks().SetCurrent(7).ok());
+  ASSERT_TRUE(kernel.tasks().Remove(kernel.mem(), kernel.objects(), 7).ok());
+  // The regression this pins: a lookup after removal must fail cleanly —
+  // NotFound, not a stale pointer into unmapped memory.
+  EXPECT_EQ(kernel.tasks().FindByPid(7).status().code(),
+            xbase::Code::kNotFound);
+  EXPECT_EQ(kernel.tasks().FindByAddr(struct_addr).status().code(),
+            xbase::Code::kNotFound);
+  EXPECT_EQ(kernel.tasks().current(), nullptr)
+      << "current must not dangle past the exit";
+  EXPECT_FALSE(kernel.mem().ReadU32(struct_addr + TaskLayout::kPid).ok())
+      << "the struct region is unmapped";
+  EXPECT_EQ(kernel.tasks().Remove(kernel.mem(), kernel.objects(), 7).code(),
+            xbase::Code::kNotFound);
+  // The pid is reusable after exit.
+  EXPECT_TRUE(kernel.tasks()
+                  .Create(kernel.mem(), kernel.objects(), 7, 7, "reborn")
+                  .ok());
+}
+
+TEST(TaskTest, KernelRemoveTaskAlsoDropsRunqueueEntry) {
+  Kernel kernel;
+  ASSERT_TRUE(kernel.BootstrapWorkload().ok());
+  ASSERT_TRUE(kernel.runqueue().Enqueue(4321, kernel.clock().now_ns()).ok());
+  ASSERT_TRUE(kernel.RemoveTask(4321).ok());
+  EXPECT_FALSE(kernel.runqueue().Contains(4321));
+  EXPECT_EQ(kernel.tasks().FindByPid(4321).status().code(),
+            xbase::Code::kNotFound);
+}
+
 TEST(TaskTest, CurrentTaskSwitches) {
   Kernel kernel;
   ASSERT_TRUE(kernel.BootstrapWorkload().ok());
