@@ -1,0 +1,384 @@
+#include "src/analysis/permaudit.h"
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/ebpf/asm.h"
+#include "src/ebpf/jit.h"
+#include "src/ebpf/loader.h"
+#include "src/ebpf/verifier.h"
+#include "src/xbase/strfmt.h"
+
+namespace analysis {
+
+using ebpf::ProgType;
+using simkern::KernelVersion;
+using staticcheck::AdmissionCell;
+using staticcheck::ExpectedAdmission;
+using staticcheck::PermLayer;
+using staticcheck::PermReason;
+using xbase::StrFormat;
+using xbase::usize;
+
+namespace {
+
+// The minimal witness: call the helper, then exit. Verifier gate checks
+// run before argument checks, so the witness never needs valid arguments —
+// a gate denial and an argument denial are textually distinct.
+ebpf::Program MakeWitness(xbase::u32 helper_id, ProgType type) {
+  ebpf::Program prog;
+  prog.name = StrFormat("perm-witness-%u", helper_id);
+  prog.type = type;
+  prog.insns = {ebpf::CallHelper(static_cast<xbase::s32>(helper_id)),
+                ebpf::Exit()};
+  return prog;
+}
+
+PermReason VerifierReasonFor(const ebpf::HelperSpec& spec,
+                             KernelVersion version) {
+  // The verifier checks version before family; attribute the dropped gate
+  // in the same order.
+  if (spec.introduced > version) {
+    return PermReason::kVersion;
+  }
+  return PermReason::kFamily;
+}
+
+}  // namespace
+
+std::string_view GateObservationName(GateObservation obs) {
+  switch (obs) {
+    case GateObservation::kAdmitted:
+      return "admitted";
+    case GateObservation::kVersionDenied:
+      return "version-denied";
+    case GateObservation::kFamilyDenied:
+      return "family-denied";
+  }
+  return "unknown";
+}
+
+GateObservation ProbeVerifierGate(ebpf::Bpf& bpf, xbase::u32 helper_id,
+                                  ProgType type, KernelVersion version) {
+  const ebpf::Program witness = MakeWitness(helper_id, type);
+  ebpf::VerifyOptions opts;
+  opts.version = version;
+  opts.privileged = true;  // isolate the gates from the privilege axis
+  opts.faults = &bpf.faults();
+  opts.kfuncs = &bpf.kfuncs();
+  auto result = ebpf::Verify(witness, bpf.maps(), bpf.helpers(), opts);
+  if (result.ok()) {
+    return GateObservation::kAdmitted;
+  }
+  const std::string& message = result.status().message();
+  if (message.find("(introduced in ") != std::string::npos) {
+    return GateObservation::kVersionDenied;
+  }
+  if (message.find(" is restricted to ") != std::string::npos ||
+      message.find(" is not available to ") != std::string::npos) {
+    return GateObservation::kFamilyDenied;
+  }
+  return GateObservation::kAdmitted;  // rejected past the gates
+}
+
+bool ProbeRuntimeGateDenies(ebpf::Bpf& bpf, xbase::u32 helper_id,
+                            ProgType type, KernelVersion version) {
+  const ebpf::Program witness = MakeWitness(helper_id, type);
+  ebpf::JitStats stats;
+  const ebpf::DecodedImage image =
+      ebpf::DecodeProgram(witness, &bpf.helpers(), &bpf.kfuncs(), &stats,
+                          &version, &bpf.faults());
+  return !image.calls.empty() && image.calls.front().gate_denied;
+}
+
+bool ProbeLoaderPrivilegeDenies(ebpf::Bpf& bpf, ProgType type,
+                                bool privileged) {
+  ebpf::Program prog;
+  prog.name = "perm-priv-witness";
+  prog.type = type;
+  prog.insns = {ebpf::Mov64Imm(ebpf::R0, 0), ebpf::Exit()};
+  ebpf::Loader loader(bpf);
+  ebpf::LoadOptions opts;
+  opts.privileged = privileged;
+  opts.version_override = simkern::kV6_12;
+  auto result = loader.Prepare(prog, opts);
+  if (result.ok()) {
+    return false;
+  }
+  return result.status().message().find("require a privileged loader") !=
+         std::string::npos;
+}
+
+std::vector<KernelVersion> ProbeVersionsFor(const ebpf::HelperSpec& spec) {
+  std::set<KernelVersion> versions(std::begin(simkern::kPlottedVersions),
+                                   std::end(simkern::kPlottedVersions));
+  versions.insert(spec.introduced);
+  // The minor release immediately before introduction: the exact cell the
+  // version-gate off-by-one defect wrongly admits.
+  if (spec.introduced.minor > 0) {
+    versions.insert(KernelVersion{spec.introduced.major,
+                                  static_cast<xbase::u16>(
+                                      spec.introduced.minor - 1)});
+  } else if (spec.introduced.major > 0) {
+    versions.insert(KernelVersion{
+        static_cast<xbase::u16>(spec.introduced.major - 1), 99});
+  }
+  return {versions.begin(), versions.end()};
+}
+
+PermCensusReport RunPermCensus(ebpf::Bpf& bpf) {
+  PermCensusReport report;
+  const std::vector<const ebpf::HelperSpec*> specs = bpf.helpers().AllSpecs();
+  report.stats.helpers = specs.size();
+  report.stats.prog_types = ebpf::kProgTypeCount;
+
+  // Loader layer: the privilege gate depends only on (type, privilege), so
+  // probe each pair once and record at most one gap per pair.
+  for (ProgType type : ebpf::kAllProgTypes) {
+    for (bool privileged : {true, false}) {
+      ++report.stats.loader_probes;
+      const bool expected_denies =
+          ebpf::ProgTypeRequiresPrivilege(type) && !privileged;
+      const bool observed_denies =
+          ProbeLoaderPrivilegeDenies(bpf, type, privileged);
+      if (expected_denies == observed_denies) {
+        continue;
+      }
+      PermGap gap;
+      gap.cell = AdmissionCell{0, type, privileged, simkern::kV6_12};
+      gap.layer = PermLayer::kLoader;
+      gap.reason = PermReason::kPrivilege;
+      gap.detail = StrFormat(
+          "loader privilege gate: expected %s, observed %s for %s x %s",
+          expected_denies ? "deny" : "allow",
+          observed_denies ? "deny" : "allow",
+          ebpf::ProgTypeName(type).data(), privileged ? "priv" : "unpriv");
+      (expected_denies ? report.gaps : report.overblocks)
+          .push_back(std::move(gap));
+    }
+  }
+
+  // Verifier and runtime layers: the gates depend on (helper, type,
+  // version) only, so probe each triple once; the cell counter still walks
+  // the full cross product including the privilege axis.
+  for (const ebpf::HelperSpec* spec : specs) {
+    const std::vector<KernelVersion> versions = ProbeVersionsFor(*spec);
+    for (ProgType type : ebpf::kAllProgTypes) {
+      for (KernelVersion version : versions) {
+        ++report.stats.verifier_probes;
+        ++report.stats.runtime_probes;
+        const GateObservation verifier_observed =
+            ProbeVerifierGate(bpf, spec->id, type, version);
+        const bool runtime_denies =
+            ProbeRuntimeGateDenies(bpf, spec->id, type, version);
+        for (bool privileged : {true, false}) {
+          ++report.stats.cells;
+          const ExpectedAdmission expected =
+              staticcheck::ExpectedAdmissionFor(*spec, type, privileged,
+                                                version);
+          switch (expected.reason) {
+            case PermReason::kAllowed:
+              ++report.stats.expected_allows;
+              break;
+            case PermReason::kPrivilege:
+              ++report.stats.expected_privilege_denials;
+              break;
+            case PermReason::kVersion:
+              ++report.stats.expected_version_denials;
+              break;
+            case PermReason::kFamily:
+              ++report.stats.expected_family_denials;
+              break;
+          }
+          if (!privileged) {
+            continue;  // gate comparison below is privilege-independent
+          }
+          const AdmissionCell cell{spec->id, type, privileged, version};
+          if (expected.verifier_denies &&
+              verifier_observed == GateObservation::kAdmitted) {
+            PermGap gap;
+            gap.cell = cell;
+            gap.layer = PermLayer::kVerifier;
+            gap.reason = VerifierReasonFor(*spec, version);
+            gap.writes_state = spec->writes_state;
+            gap.detail = StrFormat(
+                "%s: contract denies (%s) but the verifier gate admitted "
+                "%s%s",
+                cell.ToString().c_str(),
+                staticcheck::PermReasonName(gap.reason).data(),
+                spec->name.c_str(), spec->writes_state
+                    ? " [writes kernel state]" : "");
+            report.gaps.push_back(std::move(gap));
+          } else if (!expected.verifier_denies &&
+                     verifier_observed != GateObservation::kAdmitted) {
+            PermGap gap;
+            gap.cell = cell;
+            gap.layer = PermLayer::kVerifier;
+            gap.reason = PermReason::kAllowed;
+            gap.writes_state = spec->writes_state;
+            gap.detail = StrFormat(
+                "%s: contract allows but the verifier gate said %s",
+                cell.ToString().c_str(),
+                GateObservationName(verifier_observed).data());
+            report.overblocks.push_back(std::move(gap));
+          }
+          if (expected.runtime_denies && !runtime_denies) {
+            PermGap gap;
+            gap.cell = cell;
+            gap.layer = PermLayer::kRuntime;
+            gap.reason = VerifierReasonFor(*spec, version);
+            gap.writes_state = spec->writes_state;
+            gap.detail = StrFormat(
+                "%s: contract denies (%s) but dispatch would bind %s%s",
+                cell.ToString().c_str(),
+                staticcheck::PermReasonName(gap.reason).data(),
+                spec->name.c_str(), spec->writes_state
+                    ? " [writes kernel state]" : "");
+            report.gaps.push_back(std::move(gap));
+          } else if (!expected.runtime_denies && runtime_denies) {
+            PermGap gap;
+            gap.cell = cell;
+            gap.layer = PermLayer::kRuntime;
+            gap.reason = PermReason::kAllowed;
+            gap.writes_state = spec->writes_state;
+            gap.detail = StrFormat(
+                "%s: contract allows but dispatch gate-denied the call",
+                cell.ToString().c_str());
+            report.overblocks.push_back(std::move(gap));
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+struct PermRig {
+  PermRig() {
+    simkern::KernelConfig config;
+    config.version = simkern::kV6_12;
+    // The blanket unprivileged-bpf sysctl fires before the per-type
+    // privilege gate; disable it so the probes observe the gate under
+    // audit rather than the sysctl shadowing it.
+    config.unprivileged_bpf_disabled = false;
+    kernel = std::make_unique<simkern::Kernel>(config);
+    bpf = std::make_unique<ebpf::Bpf>(*kernel);
+  }
+
+  std::unique_ptr<simkern::Kernel> kernel;
+  std::unique_ptr<ebpf::Bpf> bpf;
+};
+
+std::string GapSummary(const PermCensusReport& report) {
+  usize verifier = 0, runtime = 0, loader = 0;
+  for (const PermGap& gap : report.gaps) {
+    switch (gap.layer) {
+      case PermLayer::kVerifier:
+        ++verifier;
+        break;
+      case PermLayer::kRuntime:
+        ++runtime;
+        break;
+      case PermLayer::kLoader:
+        ++loader;
+        break;
+    }
+  }
+  return StrFormat("%zu gaps (verifier %zu, runtime %zu, loader %zu), "
+                   "%zu overblocks over %zu cells",
+                   report.gaps.size(), verifier, runtime, loader,
+                   report.overblocks.size(), report.stats.cells);
+}
+
+// One fault leg of the matrix: inject `fault`, census, and require every
+// gap to land in `layer` with `reason` (kAllowed = any reason); then clear
+// the fault and require the rig to census clean again.
+PermFaultCheck CheckFaultLeg(std::string_view fault, PermLayer layer,
+                             PermReason reason) {
+  PermFaultCheck check;
+  check.name = std::string(fault);
+  PermRig rig;
+  rig.bpf->faults().Inject(fault);
+  const PermCensusReport faulty = RunPermCensus(*rig.bpf);
+  rig.bpf->faults().Clear(fault);
+  if (faulty.gaps.empty()) {
+    check.detail = "injected fault produced no census gap";
+    return check;
+  }
+  for (const PermGap& gap : faulty.gaps) {
+    if (gap.layer != layer) {
+      check.detail = StrFormat(
+          "gap misattributed to layer %s (expected %s): %s",
+          staticcheck::PermLayerName(gap.layer).data(),
+          staticcheck::PermLayerName(layer).data(), gap.detail.c_str());
+      return check;
+    }
+    if (reason != PermReason::kAllowed && gap.reason != reason) {
+      check.detail = StrFormat(
+          "gap charged to the wrong gate %s (expected %s): %s",
+          staticcheck::PermReasonName(gap.reason).data(),
+          staticcheck::PermReasonName(reason).data(), gap.detail.c_str());
+      return check;
+    }
+  }
+  if (!faulty.overblocks.empty()) {
+    check.detail = StrFormat("fault produced %zu spurious overblocks",
+                             faulty.overblocks.size());
+    return check;
+  }
+  const PermCensusReport after = RunPermCensus(*rig.bpf);
+  if (!after.clean()) {
+    check.detail =
+        StrFormat("census still dirty after clearing the fault: %s",
+                  GapSummary(after).c_str());
+    return check;
+  }
+  check.passed = true;
+  check.detail = GapSummary(faulty);
+  return check;
+}
+
+}  // namespace
+
+std::vector<PermFaultCheck> RunPermFaultChecks() {
+  std::vector<PermFaultCheck> checks;
+
+  {
+    // Clean baseline: zero gaps, zero overblocks, full coverage.
+    PermFaultCheck check;
+    check.name = "clean.census";
+    PermRig rig;
+    const PermCensusReport report = RunPermCensus(*rig.bpf);
+    check.passed = report.clean() &&
+                   report.stats.helpers ==
+                       rig.bpf->helpers().AllSpecs().size() &&
+                   report.stats.cells > 0;
+    check.detail = GapSummary(report);
+    checks.push_back(std::move(check));
+  }
+
+  checks.push_back(CheckFaultLeg(ebpf::kFaultVerifierFamilyGateSkip,
+                                 PermLayer::kVerifier, PermReason::kFamily));
+  checks.push_back(CheckFaultLeg(ebpf::kFaultVerifierVersionGateOffByOne,
+                                 PermLayer::kVerifier, PermReason::kVersion));
+  checks.push_back(CheckFaultLeg(ebpf::kFaultRuntimeDispatchUnverified,
+                                 PermLayer::kRuntime, PermReason::kAllowed));
+
+  {
+    // Closing baseline on a fresh rig: the matrix must not leave state
+    // behind that poisons later censuses.
+    PermFaultCheck check;
+    check.name = "clean.recheck";
+    PermRig rig;
+    const PermCensusReport report = RunPermCensus(*rig.bpf);
+    check.passed = report.clean();
+    check.detail = GapSummary(report);
+    checks.push_back(std::move(check));
+  }
+  return checks;
+}
+
+}  // namespace analysis

@@ -1,0 +1,113 @@
+// permaudit: the access-control census. Model-checks every admission cell
+// (helper x program type x privilege x kernel version) the contract in
+// staticcheck/permcheck defines against what the enforcement layers
+// actually do: the verifier's gates are probed by verifying a minimal
+// witness program (gate rejections are textually distinguishable from
+// later argument rejections because the gates run first), the runtime
+// dispatch gate by lowering the same witness and reading the call site's
+// gate_denied bit, and the loader's privilege gate by preparing a trivial
+// program per (type, privilege) pair.
+//
+// A cell where a layer is more permissive than the contract is a missing
+// permission check, attributed to that layer; a cell where a layer denies
+// what the contract allows is an over-block (a different defect class —
+// it costs expressiveness, not safety). On a clean build both lists are
+// empty for 100% of cells; each injected perm fault must surface as gaps
+// in exactly its own layer (RunPermFaultChecks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ebpf/bpf.h"
+#include "src/staticcheck/permcheck.h"
+
+namespace analysis {
+
+// A contract violation at one admission cell.
+struct PermGap {
+  staticcheck::AdmissionCell cell;
+  staticcheck::PermLayer layer = staticcheck::PermLayer::kVerifier;
+  staticcheck::PermReason reason = staticcheck::PermReason::kAllowed;
+  // Severity bit from the helper spec: a dropped check in front of a
+  // state-mutating helper outranks one in front of a pure reader.
+  bool writes_state = false;
+  std::string detail;  // expected vs observed, for the report table
+};
+
+struct PermCensusStats {
+  xbase::usize helpers = 0;
+  xbase::usize prog_types = 0;
+  xbase::usize cells = 0;  // helper x type x privilege x probed versions
+  xbase::usize verifier_probes = 0;
+  xbase::usize runtime_probes = 0;
+  xbase::usize loader_probes = 0;
+  xbase::usize expected_allows = 0;
+  xbase::usize expected_version_denials = 0;
+  xbase::usize expected_family_denials = 0;
+  xbase::usize expected_privilege_denials = 0;
+};
+
+struct PermCensusReport {
+  PermCensusStats stats;
+  std::vector<PermGap> gaps;        // layer more permissive than contract
+  std::vector<PermGap> overblocks;  // layer denies a contract-allowed cell
+
+  bool clean() const { return gaps.empty() && overblocks.empty(); }
+};
+
+// The version axis for one helper: the plotted Figure 4 timeline, the
+// helper's own introduction version, and the minor release immediately
+// before it — the predecessor cell is what the version-gate off-by-one
+// defect flips, so the census must probe it to catch that defect.
+std::vector<simkern::KernelVersion> ProbeVersionsFor(
+    const ebpf::HelperSpec& spec);
+
+// ---- probe primitives (shared with permstorm) ------------------------------
+
+// What the verifier's admission gates did with a witness call. Rejections
+// that fire after the gates (argument/type errors) count as admitted: the
+// gates let the call through.
+enum class GateObservation : xbase::u8 {
+  kAdmitted,
+  kVersionDenied,
+  kFamilyDenied,
+};
+
+std::string_view GateObservationName(GateObservation obs);
+
+// Verifies a minimal `call helper; exit` witness and classifies the gate
+// outcome by the rejection text (the gates run before argument checks).
+GateObservation ProbeVerifierGate(ebpf::Bpf& bpf, xbase::u32 helper_id,
+                                  ebpf::ProgType type,
+                                  simkern::KernelVersion version);
+
+// Lowers the same witness with the dispatch gate version and reads back
+// the call site's gate_denied bit (both execution engines consult it).
+bool ProbeRuntimeGateDenies(ebpf::Bpf& bpf, xbase::u32 helper_id,
+                            ebpf::ProgType type,
+                            simkern::KernelVersion version);
+
+// Prepares a trivial program as (type, privilege) and reports whether the
+// loader's privilege gate specifically denied it.
+bool ProbeLoaderPrivilegeDenies(ebpf::Bpf& bpf, ebpf::ProgType type,
+                                bool privileged);
+
+// Runs the full census against `bpf`'s registries with whatever faults its
+// fault registry currently carries. Covers every registered helper.
+PermCensusReport RunPermCensus(ebpf::Bpf& bpf);
+
+// --check-faults mode: each injectable missing-permission-check defect, on
+// its own fresh rig, must surface as census gaps in exactly the layer the
+// fault lives in (and leave the other layer's gates intact), and the rig
+// must census clean again once the fault is cleared. Clean baselines
+// bracket the matrix so a trigger-happy census cannot pass.
+struct PermFaultCheck {
+  std::string name;    // fault id, or "clean.census" / "clean.recheck"
+  bool passed = false;
+  std::string detail;  // expected vs observed on failure
+};
+
+std::vector<PermFaultCheck> RunPermFaultChecks();
+
+}  // namespace analysis

@@ -16,6 +16,8 @@ std::string_view HookPointName(HookPoint hook) {
       return "sched_switch";
     case HookPoint::kSchedPickNext:
       return "sched_pick_next";
+    case HookPoint::kLsmFileOpen:
+      return "lsm_file_open";
   }
   return "unknown";
 }
@@ -48,14 +50,16 @@ xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
           HookPointName(hook).data()));
     }
   }
-  // The scheduler hook is part of the sched_ext privilege model: only
-  // sched_ext-typed programs may decide picks, and a sched_ext program has
-  // no business on packet/syscall/tracing hooks.
+  // Decision-maker hooks are part of the privilege model: only the
+  // matching program type may decide (sched_ext on the pick hook, lsm on
+  // the access hook), and a decision-maker program has no business on
+  // packet/syscall/tracing hooks — the pairing is enforced both ways.
   {
     auto loaded = bpf_loader_.Find(prog_id);
     if (loaded.ok()) {
-      const bool is_sched = loaded.value()->source.type ==
-                            ebpf::ProgType::kSchedExt;
+      const ebpf::ProgType type = loaded.value()->source.type;
+      const bool is_sched = type == ebpf::ProgType::kSchedExt;
+      const bool is_lsm = type == ebpf::ProgType::kLsm;
       if (hook == HookPoint::kSchedPickNext && !is_sched) {
         return xbase::FailedPrecondition(xbase::StrFormat(
             "prog %u is not sched_ext-typed; cannot attach to %s", prog_id,
@@ -65,6 +69,15 @@ xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
         return xbase::FailedPrecondition(xbase::StrFormat(
             "sched_ext prog %u can only attach to sched_pick_next",
             prog_id));
+      }
+      if (hook == HookPoint::kLsmFileOpen && !is_lsm) {
+        return xbase::FailedPrecondition(xbase::StrFormat(
+            "prog %u is not lsm-typed; cannot attach to %s", prog_id,
+            HookPointName(hook).data()));
+      }
+      if (hook != HookPoint::kLsmFileOpen && is_lsm) {
+        return xbase::FailedPrecondition(xbase::StrFormat(
+            "lsm prog %u can only attach to lsm_file_open", prog_id));
       }
     }
   }
@@ -318,7 +331,9 @@ void HookRegistry::ApplyFallback(HookPoint hook,
   }
   if (hook == HookPoint::kXdpIngress) {
     report.verdict = fallback.value != 0 ? fallback.value : 1;  // XDP_DROP
-  } else if (hook == HookPoint::kSyscallEnter && !report.denied) {
+  } else if ((hook == HookPoint::kSyscallEnter ||
+              hook == HookPoint::kLsmFileOpen) &&
+             !report.denied) {
     report.denied = true;
     report.verdict = fallback.value != 0 ? fallback.value : 1;  // EPERM
   }
@@ -361,8 +376,9 @@ void HookRegistry::FireInto(HookPoint hook, simkern::Addr ctx_addr,
       if (hook == HookPoint::kXdpIngress && verdict.value == 1) {
         report.verdict = 1;  // any DROP wins
       }
-      if (hook == HookPoint::kSyscallEnter && verdict.value != 0 &&
-          !report.denied) {
+      if ((hook == HookPoint::kSyscallEnter ||
+           hook == HookPoint::kLsmFileOpen) &&
+          verdict.value != 0 && !report.denied) {
         report.denied = true;
         report.verdict = verdict.value;
       }

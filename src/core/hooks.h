@@ -30,8 +30,9 @@ enum class HookPoint : xbase::u8 {
   kSyscallEnter,   // per syscall; verdict: 0 allow, nonzero deny-errno
   kSchedSwitch,    // tracing; verdict ignored
   kSchedPickNext,  // scheduler: verdict = pid to dispatch (0 = yield)
+  kLsmFileOpen,    // access control; verdict: 0 allow, nonzero deny-errno
 };
-inline constexpr xbase::usize kHookPointCount = 4;
+inline constexpr xbase::usize kHookPointCount = 5;
 
 std::string_view HookPointName(HookPoint hook);
 
@@ -87,6 +88,10 @@ constexpr std::array<HookFallback, kHookPointCount> DefaultFallbacks() {
   // meaningless when the extension *is* the decision-maker.
   fallback[static_cast<xbase::usize>(HookPoint::kSchedPickNext)] =
       HookFallback{FallbackAction::kDefaultPolicy, 0};
+  // An access-control hook that fails open is not an access-control hook:
+  // a crashed or quarantined lsm policy must deny (EPERM), never allow.
+  fallback[static_cast<xbase::usize>(HookPoint::kLsmFileOpen)] =
+      HookFallback{FallbackAction::kFailClosed, 0};
   return fallback;
 }
 

@@ -80,6 +80,13 @@ struct CallSite {
   u32 id = 0;
   s32 imm = 0;  // raw imm, for fault-message fidelity
   bool is_kfunc = false;
+  // The runtime's own copy of the access-control decision: at lowering time
+  // the call site is re-checked against the helper contract (family admits
+  // the program type, helper exists at the gate version). A verifier that
+  // wrongly admitted the call (family-gate-skip / version off-by-one
+  // faults) still hits this independent layer — both engines consult the
+  // same bit, so they deny identically.
+  bool gate_denied = false;
 };
 
 struct DecodedImage {

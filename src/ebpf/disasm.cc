@@ -1,10 +1,199 @@
 #include "src/ebpf/disasm.h"
 
+#include "src/ebpf/helper.h"
 #include "src/xbase/strfmt.h"
 
 namespace ebpf {
 
 using xbase::StrFormat;
+
+std::string_view HelperName(u32 helper_id) {
+  switch (helper_id) {
+    case kHelperMapLookupElem:
+      return "bpf_map_lookup_elem";
+    case kHelperMapUpdateElem:
+      return "bpf_map_update_elem";
+    case kHelperMapDeleteElem:
+      return "bpf_map_delete_elem";
+    case kHelperProbeRead:
+      return "bpf_probe_read";
+    case kHelperKtimeGetNs:
+      return "bpf_ktime_get_ns";
+    case kHelperTracePrintk:
+      return "bpf_trace_printk";
+    case kHelperGetPrandomU32:
+      return "bpf_get_prandom_u32";
+    case kHelperGetSmpProcessorId:
+      return "bpf_get_smp_processor_id";
+    case kHelperSkbStoreBytes:
+      return "bpf_skb_store_bytes";
+    case kHelperL3CsumReplace:
+      return "bpf_l3_csum_replace";
+    case kHelperL4CsumReplace:
+      return "bpf_l4_csum_replace";
+    case kHelperTailCall:
+      return "bpf_tail_call";
+    case kHelperCloneRedirect:
+      return "bpf_clone_redirect";
+    case kHelperGetCurrentPidTgid:
+      return "bpf_get_current_pid_tgid";
+    case kHelperGetCurrentUidGid:
+      return "bpf_get_current_uid_gid";
+    case kHelperGetCurrentComm:
+      return "bpf_get_current_comm";
+    case kHelperGetCgroupClassid:
+      return "bpf_get_cgroup_classid";
+    case kHelperSkbVlanPush:
+      return "bpf_skb_vlan_push";
+    case kHelperSkbVlanPop:
+      return "bpf_skb_vlan_pop";
+    case kHelperSkbGetTunnelKey:
+      return "bpf_skb_get_tunnel_key";
+    case kHelperSkbSetTunnelKey:
+      return "bpf_skb_set_tunnel_key";
+    case kHelperPerfEventRead:
+      return "bpf_perf_event_read";
+    case kHelperRedirect:
+      return "bpf_redirect";
+    case kHelperGetRouteRealm:
+      return "bpf_get_route_realm";
+    case kHelperPerfEventOutput:
+      return "bpf_perf_event_output";
+    case kHelperSkbLoadBytes:
+      return "bpf_skb_load_bytes";
+    case kHelperGetStackid:
+      return "bpf_get_stackid";
+    case kHelperCsumDiff:
+      return "bpf_csum_diff";
+    case kHelperSkbChangeProto:
+      return "bpf_skb_change_proto";
+    case kHelperSkbChangeType:
+      return "bpf_skb_change_type";
+    case kHelperSkbUnderCgroup:
+      return "bpf_skb_under_cgroup";
+    case kHelperGetHashRecalc:
+      return "bpf_get_hash_recalc";
+    case kHelperGetCurrentTask:
+      return "bpf_get_current_task";
+    case kHelperProbeWriteUser:
+      return "bpf_probe_write_user";
+    case kHelperCurrentTaskUnderCgroup:
+      return "bpf_current_task_under_cgroup";
+    case kHelperSkbChangeTail:
+      return "bpf_skb_change_tail";
+    case kHelperSkbPullData:
+      return "bpf_skb_pull_data";
+    case kHelperGetNumaNodeId:
+      return "bpf_get_numa_node_id";
+    case kHelperXdpAdjustHead:
+      return "bpf_xdp_adjust_head";
+    case kHelperProbeReadStr:
+      return "bpf_probe_read_str";
+    case kHelperGetSocketCookie:
+      return "bpf_get_socket_cookie";
+    case kHelperGetSocketUid:
+      return "bpf_get_socket_uid";
+    case kHelperSetHash:
+      return "bpf_set_hash";
+    case kHelperSetsockopt:
+      return "bpf_setsockopt";
+    case kHelperSkbAdjustRoom:
+      return "bpf_skb_adjust_room";
+    case kHelperXdpAdjustMeta:
+      return "bpf_xdp_adjust_meta";
+    case kHelperPerfEventReadValue:
+      return "bpf_perf_event_read_value";
+    case kHelperGetStack:
+      return "bpf_get_stack";
+    case kHelperFibLookup:
+      return "bpf_fib_lookup";
+    case kHelperSkLookupTcp:
+      return "bpf_sk_lookup_tcp";
+    case kHelperSkLookupUdp:
+      return "bpf_sk_lookup_udp";
+    case kHelperSkRelease:
+      return "bpf_sk_release";
+    case kHelperMapPushElem:
+      return "bpf_map_push_elem";
+    case kHelperMapPopElem:
+      return "bpf_map_pop_elem";
+    case kHelperSpinLock:
+      return "bpf_spin_lock";
+    case kHelperSpinUnlock:
+      return "bpf_spin_unlock";
+    case kHelperStrtol:
+      return "bpf_strtol";
+    case kHelperStrtoul:
+      return "bpf_strtoul";
+    case kHelperSkStorageGet:
+      return "bpf_sk_storage_get";
+    case kHelperSendSignal:
+      return "bpf_send_signal";
+    case kHelperKtimeGetBootNs:
+      return "bpf_ktime_get_boot_ns";
+    case kHelperRingbufOutput:
+      return "bpf_ringbuf_output";
+    case kHelperRingbufReserve:
+      return "bpf_ringbuf_reserve";
+    case kHelperRingbufSubmit:
+      return "bpf_ringbuf_submit";
+    case kHelperRingbufDiscard:
+      return "bpf_ringbuf_discard";
+    case kHelperCsumLevel:
+      return "bpf_csum_level";
+    case kHelperGetTaskStack:
+      return "bpf_get_task_stack";
+    case kHelperSnprintf:
+      return "bpf_snprintf";
+    case kHelperTaskStorageGet:
+      return "bpf_task_storage_get";
+    case kHelperTaskStorageDelete:
+      return "bpf_task_storage_delete";
+    case kHelperGetCurrentTaskBtf:
+      return "bpf_get_current_task_btf";
+    case kHelperSysBpf:
+      return "bpf_sys_bpf";
+    case kHelperFindVma:
+      return "bpf_find_vma";
+    case kHelperLoop:
+      return "bpf_loop";
+    case kHelperStrncmp:
+      return "bpf_strncmp";
+    case kHelperKtimeGetTaiNs:
+      return "bpf_ktime_get_tai_ns";
+    case kHelperUserRingbufDrain:
+      return "bpf_user_ringbuf_drain";
+    case kHelperCgrpStorageGet:
+      return "bpf_cgrp_storage_get";
+    case kHelperSchedNrRunnable:
+      return "bpf_sched_nr_runnable";
+    case kHelperSchedPeekPid:
+      return "bpf_sched_peek_pid";
+    case kHelperSchedWaitNs:
+      return "bpf_sched_wait_ns";
+    case kHelperSchedEnqueue:
+      return "bpf_sched_enqueue";
+    case kHelperSchedDequeue:
+      return "bpf_sched_dequeue";
+    case kHelperSchedPickDefault:
+      return "bpf_sched_pick_default";
+    case kHelperSchedYield:
+      return "bpf_sched_yield";
+    case kHelperLsmInodeId:
+      return "bpf_lsm_inode_id";
+    case kHelperLsmOpenFlags:
+      return "bpf_lsm_open_flags";
+    case kHelperLsmCurrentUid:
+      return "bpf_lsm_current_uid";
+    case kHelperLsmReadPath:
+      return "bpf_lsm_read_path";
+    case kHelperLsmAudit:
+      return "bpf_lsm_audit";
+    case kHelperLsmRatelimit:
+      return "bpf_lsm_ratelimit";
+  }
+  return "";
+}
 
 namespace {
 
@@ -80,6 +269,14 @@ std::string DisasmInsn(const Insn& insn) {
       if (op == BPF_CALL) {
         if (insn.src == BPF_PSEUDO_CALL) {
           return StrFormat("call pc%+d", insn.imm);
+        }
+        if (insn.src == BPF_PSEUDO_KFUNC_CALL) {
+          return StrFormat("call kfunc#%d", insn.imm);
+        }
+        const std::string_view name =
+            HelperName(static_cast<u32>(insn.imm));
+        if (!name.empty()) {
+          return StrFormat("call %s#%d", name.data(), insn.imm);
         }
         return StrFormat("call helper#%d", insn.imm);
       }

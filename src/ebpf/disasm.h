@@ -3,10 +3,16 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "src/ebpf/prog.h"
 
 namespace ebpf {
+
+// Static helper-id -> name table (every registered family: core, net,
+// sched, lsm). Returns "" for ids outside the table; consistency with the
+// live registry (HelperSpec::name) is asserted by the permcheck tests.
+std::string_view HelperName(u32 helper_id);
 
 std::string DisasmInsn(const Insn& insn);
 // Whole-program listing with pc column; ld_imm64 pairs rendered as one line.

@@ -101,6 +101,20 @@ const std::vector<FaultInfo>& FaultRegistry::Catalog() {
        "Null-pointer dereference", "sched_ext NULL task walk class",
        "bpf_sched_wait_ns walks a NULL task_struct when the queue entry is "
        "mid-update, oopsing on the pick path"},
+      {std::string(kFaultVerifierFamilyGateSkip), "verifier",
+       "Missing permission check", "ACHyb KACV census class",
+       "the helper-family gate is skipped at admission: restricted-family "
+       "helpers (sched/lsm) verify fine from any program type, and net "
+       "helpers verify from decision-maker programs"},
+      {std::string(kFaultVerifierVersionGateOffByOne), "verifier",
+       "Missing permission check", "feature-gate off-by-one class",
+       "the version gate compares against the next minor release, so a "
+       "helper is admitted one kernel version before it exists"},
+      {std::string(kFaultRuntimeDispatchUnverified), "runtime",
+       "Missing permission check", "dispatch-table confusion class",
+       "the JIT call-site binding skips the family/version contract "
+       "re-check, so a call the verifier never approved still resolves to "
+       "a live helper function at dispatch"},
   };
   return kCatalog;
 }

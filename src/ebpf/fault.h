@@ -68,10 +68,19 @@ inline constexpr std::string_view kFaultSchedRunnableFilter =
     "sched.helper_runnable_filter";  // enumeration hides one runnable task
 inline constexpr std::string_view kFaultSchedCrashOnPick =
     "sched.helper_crash_on_pick";  // NULL task walk on the pick path
+// Missing-permission-check defects: each drops one layer's enforcement of
+// the helper access-control contract (family / version / dispatch), so the
+// permcheck census must detect the gap and attribute it to the right layer.
+inline constexpr std::string_view kFaultVerifierFamilyGateSkip =
+    "verifier.helper_family_gate_skip";  // family gate dropped at admission
+inline constexpr std::string_view kFaultVerifierVersionGateOffByOne =
+    "verifier.version_gate_off_by_one";  // admits next-minor helpers early
+inline constexpr std::string_view kFaultRuntimeDispatchUnverified =
+    "runtime.dispatch_unverified_helper";  // dispatch binds unapproved fns
 
 struct FaultInfo {
   std::string id;
-  std::string component;  // "verifier" | "helper" | "jit"
+  std::string component;  // "verifier" | "helper" | "jit" | "runtime"
   std::string category;   // Table 1 row
   std::string reference;  // CVE / commit modelled
   std::string description;

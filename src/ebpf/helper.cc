@@ -1,9 +1,58 @@
 #include "src/ebpf/helper.h"
 
+#include <set>
+#include <string>
+
 #include "src/ebpf/helpers_internal.h"
 #include "src/xbase/strfmt.h"
 
 namespace ebpf {
+
+std::string_view HelperFamilyName(HelperFamily family) {
+  switch (family) {
+    case HelperFamily::kGeneric:
+      return "generic";
+    case HelperFamily::kNet:
+      return "net";
+    case HelperFamily::kSched:
+      return "sched";
+    case HelperFamily::kLsm:
+      return "lsm";
+  }
+  return "unknown";
+}
+
+bool FamilyAdmitsProgType(HelperFamily family, ProgType type) {
+  switch (family) {
+    case HelperFamily::kGeneric:
+      return true;
+    case HelperFamily::kNet:
+      // Decision-maker program types have no packet/socket to operate on.
+      return type != ProgType::kSchedExt && type != ProgType::kLsm;
+    case HelperFamily::kSched:
+      return type == ProgType::kSchedExt;
+    case HelperFamily::kLsm:
+      return type == ProgType::kLsm;
+  }
+  return false;
+}
+
+bool ProgTypeRequiresPrivilege(ProgType type) {
+  return type == ProgType::kSchedExt || type == ProgType::kLsm;
+}
+
+ProgType AdmittingProgType(HelperFamily family) {
+  switch (family) {
+    case HelperFamily::kSched:
+      return ProgType::kSchedExt;
+    case HelperFamily::kLsm:
+      return ProgType::kLsm;
+    case HelperFamily::kGeneric:
+    case HelperFamily::kNet:
+      break;
+  }
+  return ProgType::kSocketFilter;
+}
 
 xbase::Status HelperRegistry::Register(HelperSpec spec, HelperFn fn) {
   if (helpers_.contains(spec.id)) {
@@ -51,13 +100,71 @@ xbase::usize HelperRegistry::CountAtVersion(
   return count;
 }
 
+xbase::Status HelperRegistry::Validate() const {
+  std::set<std::string> names;
+  for (const auto& [id, entry] : helpers_) {
+    const HelperSpec& spec = entry.spec;
+    if (spec.id != id) {
+      return xbase::Internal(xbase::StrFormat(
+          "helper table drift: spec id %u stored under key %u", spec.id, id));
+    }
+    if (spec.name.empty()) {
+      return xbase::Internal(
+          xbase::StrFormat("helper %u has no name", spec.id));
+    }
+    if (!names.insert(spec.name).second) {
+      return xbase::Internal(xbase::StrFormat(
+          "helper %u reuses the name %s", spec.id, spec.name.c_str()));
+    }
+    if (spec.introduced == simkern::KernelVersion{}) {
+      return xbase::Internal(xbase::StrFormat(
+          "helper %s#%u has no introduction version (version gate would "
+          "admit it everywhere)",
+          spec.name.c_str(), spec.id));
+    }
+    if (spec.family != HelperFamily::kGeneric &&
+        spec.family != HelperFamily::kNet &&
+        spec.family != HelperFamily::kSched &&
+        spec.family != HelperFamily::kLsm) {
+      return xbase::Internal(xbase::StrFormat(
+          "helper %s#%u has an unknown family %u (family gate undefined)",
+          spec.name.c_str(), spec.id, static_cast<u32>(spec.family)));
+    }
+    if (spec.entry_func.empty()) {
+      return xbase::Internal(xbase::StrFormat(
+          "helper %s#%u has no call-graph entry function", spec.name.c_str(),
+          spec.id));
+    }
+    bool seen_none = false;
+    for (int i = 0; i < 5; ++i) {
+      const ArgType arg = spec.args[i];
+      if (arg == ArgType::kNone) {
+        seen_none = true;
+        continue;
+      }
+      if (seen_none) {
+        return xbase::Internal(xbase::StrFormat(
+            "helper %s#%u: argument %d follows a kNone gap",
+            spec.name.c_str(), spec.id, i + 1));
+      }
+      // Note: no mem/size adjacency rule here — the registry legitimately
+      // uses kMemSize as a bare byte-count scalar (bpf_ringbuf_reserve)
+      // and mem pointers with fixed widths (bpf_strtol's out arg).
+    }
+  }
+  return xbase::Status::Ok();
+}
+
 xbase::Status RegisterDefaultHelpers(HelperRegistry& registry,
                                      simkern::Kernel& kernel) {
   HelperWiring wiring{registry, kernel, std::make_shared<HelperState>()};
   XB_RETURN_IF_ERROR(RegisterCoreHelpers(wiring));
   XB_RETURN_IF_ERROR(RegisterNetHelpers(wiring));
   XB_RETURN_IF_ERROR(RegisterSchedHelpers(wiring));
-  return xbase::Status::Ok();
+  XB_RETURN_IF_ERROR(RegisterLsmHelpers(wiring));
+  // The startup consistency assert: a malformed table must never reach the
+  // verifier or the dispatch path (Bpf panics on any error here).
+  return registry.Validate();
 }
 
 }  // namespace ebpf

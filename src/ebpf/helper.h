@@ -16,6 +16,7 @@
 
 #include "src/ebpf/fault.h"
 #include "src/ebpf/map.h"
+#include "src/ebpf/prog.h"
 #include "src/simkern/kernel.h"
 #include "src/xbase/status.h"
 
@@ -49,15 +50,38 @@ enum class RetType : u8 {
 };
 
 // Helper families gate which program types may call a helper. This is the
-// privilege model of the scheduler hook family: scheduler helpers mutate
-// the runqueue, so only sched_ext programs (attachable by privileged
-// loaders only) may call them — and a sched_ext program has no packet, so
-// the net family is off limits to it.
+// privilege model of the scheduler and LSM hook families: scheduler
+// helpers mutate the runqueue, so only sched_ext programs (attachable by
+// privileged loaders only) may call them — and a sched_ext program has no
+// packet, so the net family is off limits to it. LSM helpers read the
+// access-control decision context and emit audit state, so only lsm
+// programs (also privileged-only) may call them.
 enum class HelperFamily : u8 {
   kGeneric,  // callable from any program type
-  kNet,      // packet/socket helpers: not callable from sched_ext
+  kNet,      // packet/socket helpers: not callable from sched_ext/lsm
   kSched,    // runqueue helpers: callable only from sched_ext
+  kLsm,      // access-control helpers: callable only from lsm programs
 };
+
+std::string_view HelperFamilyName(HelperFamily family);
+
+// The declared access-control contract, stated once and consumed by every
+// enforcement layer (verifier gate, runtime dispatch gate) and by the
+// permcheck census that model-checks those layers against it. A layer that
+// disagrees with these predicates has dropped a permission check.
+//
+// Which program types a family admits: kGeneric admits all; kNet admits
+// everything except the decision-maker families (sched_ext, lsm); kSched
+// admits only sched_ext; kLsm admits only lsm.
+bool FamilyAdmitsProgType(HelperFamily family, ProgType type);
+// Whether loading a program of `type` requires a privileged loader
+// regardless of the unprivileged-bpf sysctl (sched_ext picks every task's
+// CPU; lsm decides every access): the loader-layer half of the contract.
+bool ProgTypeRequiresPrivilege(ProgType type);
+// The single program type a restricted family admits (kSched -> sched_ext,
+// kLsm -> lsm); used for witness synthesis and gate messages. Generic/net
+// families return the neutral kSocketFilter.
+ProgType AdmittingProgType(HelperFamily family);
 
 // Runtime services helpers need from the executor. Implemented by the
 // interpreter; null when a helper is unit-tested in isolation.
@@ -102,6 +126,11 @@ struct HelperSpec {
   int releases_ref_arg = 0;    // 1-based arg index releasing a reference
   bool gpl_only = false;
   bool changes_packet_data = false;
+  // Capability bit: true when the helper mutates kernel or shared state
+  // (maps, runqueue, audit log) rather than only reading it. Census
+  // severity metadata: a missing permission check in front of a writing
+  // helper is a worse gap than one in front of a pure reader.
+  bool writes_state = false;
   HelperFamily family = HelperFamily::kGeneric;
   std::string entry_func;      // call-graph node of the implementation
   u64 cost_ns = simkern::kCostHelperCallNs;
@@ -207,6 +236,14 @@ enum HelperId : u32 {
   kHelperSchedDequeue = 234,
   kHelperSchedPickDefault = 235,
   kHelperSchedYield = 236,
+  // LSM family (v6.12). Access-control helpers for lsm programs deciding
+  // file-open verdicts; numbered above the sched family.
+  kHelperLsmInodeId = 240,
+  kHelperLsmOpenFlags = 241,
+  kHelperLsmCurrentUid = 242,
+  kHelperLsmReadPath = 243,
+  kHelperLsmAudit = 244,
+  kHelperLsmRatelimit = 245,
 };
 
 // bpf_sys_bpf sub-commands (subset).
@@ -228,6 +265,13 @@ class HelperRegistry {
   std::vector<const HelperSpec*> AllSpecs() const;
   // Number available at a given kernel version (Figure 4 series).
   xbase::usize CountAtVersion(simkern::KernelVersion version) const;
+
+  // Registry-wide consistency assert, run at kernel construction: every
+  // helper has a unique id (Register enforces), a non-empty unique name, a
+  // known family, a non-zero introduction version, an entry function, and
+  // a gap-free argument spec (no argument after the first kNone). Catches
+  // silent table drift when a new family is wired in.
+  xbase::Status Validate() const;
 
  private:
   struct Entry {

@@ -19,6 +19,11 @@ struct HelperState {
   std::map<simkern::Addr, simkern::LockId> lock_ids;
   // perf_event_output sink: (cpu, payload) records for tests to inspect.
   std::vector<std::vector<u8>> perf_events;
+  // bpf_lsm_audit sink: raw audit records for tests to inspect (bounded;
+  // oldest dropped first).
+  std::vector<std::vector<u8>> lsm_audit;
+  // bpf_lsm_ratelimit token buckets, keyed by the program-chosen key.
+  std::map<u64, u64> lsm_buckets;
 };
 
 struct HelperWiring {
@@ -31,6 +36,7 @@ struct HelperWiring {
 xbase::Status RegisterCoreHelpers(HelperWiring& wiring);
 xbase::Status RegisterNetHelpers(HelperWiring& wiring);
 xbase::Status RegisterSchedHelpers(HelperWiring& wiring);
+xbase::Status RegisterLsmHelpers(HelperWiring& wiring);
 
 // Shared utilities -----------------------------------------------------------
 

@@ -1,0 +1,179 @@
+// LSM helper suite (lsm family, v6.12). These are the primitives an
+// lsm_file_open policy composes its allow/deny decision from: read the
+// decision context (inode, flags, acting credentials, path), emit an audit
+// record, and rate-limit noisy verdict paths. All are HelperFamily::kLsm —
+// callable only from lsm programs, which in turn only privileged loaders
+// may install; the family is v6.12-gated so the Figure 3/4 census sees it
+// grow the helper surface exactly like sched_ext did.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/ebpf/helpers_internal.h"
+#include "src/simkern/lsm.h"
+#include "src/xbase/bytes.h"
+
+namespace ebpf {
+
+using simkern::KernelVersion;
+using simkern::LsmCtxLayout;
+using xbase::usize;
+
+namespace {
+
+// Registration shorthand (mirrors helpers_core.cc / helpers_sched.cc).
+struct Def {
+  HelperWiring& wiring;
+
+  xbase::Status operator()(
+      HelperSpec spec,
+      std::initializer_list<std::pair<const char*, usize>> links,
+      HelperFn fn) {
+    if (spec.entry_func.empty()) {
+      spec.entry_func = spec.name;
+    }
+    LinkHelperCallGraph(wiring.kernel, spec.entry_func, links);
+    return wiring.registry.Register(std::move(spec), std::move(fn));
+  }
+};
+
+HelperSpec MakeSpec(u32 id, const char* name,
+                    std::initializer_list<ArgType> args, RetType ret,
+                    u64 cost_ns = simkern::kCostHelperCallNs) {
+  HelperSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.introduced = KernelVersion{6, 12};  // lands with the lsm hook family
+  spec.family = HelperFamily::kLsm;
+  int i = 0;
+  for (ArgType arg : args) {
+    spec.args[i++] = arg;
+  }
+  spec.ret = ret;
+  spec.cost_ns = cost_ns;
+  return spec;
+}
+
+constexpr ArgType kUMem = ArgType::kPtrToUninitMem;
+constexpr ArgType kMem = ArgType::kPtrToMem;
+constexpr ArgType kSz = ArgType::kMemSize;
+constexpr ArgType kScalarA = ArgType::kScalar;
+
+// Audit sink cap: keep the latest records, drop the oldest beyond this.
+constexpr usize kMaxAuditRecords = 256;
+// Rate limiter: at most this many allowances per key per kernel lifetime
+// window (the storm resets state between rigs, so a simple counter models
+// the token bucket well enough for the census).
+constexpr u64 kRatelimitBurst = 16;
+
+// Reads a fixed-width field out of the hook's context block. Helpers are
+// invoked outside program execution in unit tests (hooks == nullptr);
+// there is no context to read then, mirroring the sched helpers' -1.
+xbase::Result<u64> ReadCtxField(HelperCtx& ctx, usize offset, usize size) {
+  if (ctx.hooks == nullptr) {
+    return static_cast<u64>(-1);
+  }
+  XB_ASSIGN_OR_RETURN(
+      const std::vector<u8> raw,
+      ReadMem(ctx.kernel, ctx.hooks->ctx_addr() + offset, size));
+  return size == 8 ? xbase::LoadLe64(raw.data())
+                   : static_cast<u64>(xbase::LoadLe32(raw.data()));
+}
+
+}  // namespace
+
+xbase::Status RegisterLsmHelpers(HelperWiring& wiring) {
+  Def def{wiring};
+  std::shared_ptr<HelperState> state = wiring.state;
+
+  XB_RETURN_IF_ERROR(def(
+      MakeSpec(kHelperLsmInodeId, "bpf_lsm_inode_id", {},
+               RetType::kInteger),
+      {{"task", 2}, {"mm", 1}},
+      [](HelperCtx& ctx, const HelperArgs&) -> xbase::Result<u64> {
+        return ReadCtxField(ctx, LsmCtxLayout::kInodeId, 8);
+      }));
+
+  XB_RETURN_IF_ERROR(def(
+      MakeSpec(kHelperLsmOpenFlags, "bpf_lsm_open_flags", {},
+               RetType::kInteger),
+      {{"task", 1}},
+      [](HelperCtx& ctx, const HelperArgs&) -> xbase::Result<u64> {
+        return ReadCtxField(ctx, LsmCtxLayout::kOpenFlags, 4);
+      }));
+
+  XB_RETURN_IF_ERROR(def(
+      MakeSpec(kHelperLsmCurrentUid, "bpf_lsm_current_uid", {},
+               RetType::kInteger),
+      {{"task", 3}},
+      [](HelperCtx& ctx, const HelperArgs&) -> xbase::Result<u64> {
+        return ReadCtxField(ctx, LsmCtxLayout::kUid, 4);
+      }));
+
+  XB_RETURN_IF_ERROR(def(
+      // Path materialization walks dentries and may fault pages in, so it
+      // touches mm as well as the task's fs context (real d_path depth).
+      MakeSpec(kHelperLsmReadPath, "bpf_lsm_read_path", {kUMem, kSz},
+               RetType::kInteger),
+      {{"mm", 36}, {"task", 2}, {"util", 4}},
+      [](HelperCtx& ctx, const HelperArgs& a) -> xbase::Result<u64> {
+        if (ctx.hooks == nullptr) {
+          return static_cast<u64>(-1);
+        }
+        XB_ASSIGN_OR_RETURN(const u64 path_len,
+                            ReadCtxField(ctx, LsmCtxLayout::kPathLen, 4));
+        const usize want = std::min<usize>(
+            {static_cast<usize>(a[1]), static_cast<usize>(path_len),
+             LsmCtxLayout::kPathMax});
+        if (want == 0) {
+          return 0;
+        }
+        XB_ASSIGN_OR_RETURN(
+            const std::vector<u8> path,
+            ReadMem(ctx.kernel,
+                    ctx.hooks->ctx_addr() + LsmCtxLayout::kPath, want));
+        XB_RETURN_IF_ERROR(WriteMem(ctx.kernel, a[0], path));
+        return want;
+      }));
+
+  {
+    HelperSpec spec = MakeSpec(kHelperLsmAudit, "bpf_lsm_audit",
+                               {kMem, kSz}, RetType::kInteger);
+    spec.writes_state = true;  // appends to the kernel audit log
+    // Audit emission is the family's heavy path: records leave the kernel
+    // over netlink, so the entry reaches deep into net_core, like the
+    // real audit_log_end -> netlink_unicast chain.
+    XB_RETURN_IF_ERROR(def(
+        std::move(spec), {{"net_core", 520}, {"trace", 5}, {"util", 2}},
+        [state](HelperCtx& ctx, const HelperArgs& a) -> xbase::Result<u64> {
+          const usize size = std::min<usize>(a[1], 128);
+          XB_ASSIGN_OR_RETURN(std::vector<u8> record,
+                              ReadMem(ctx.kernel, a[0], size));
+          if (state->lsm_audit.size() >= kMaxAuditRecords) {
+            state->lsm_audit.erase(state->lsm_audit.begin());
+          }
+          state->lsm_audit.push_back(std::move(record));
+          return 0;
+        }));
+  }
+
+  {
+    HelperSpec spec = MakeSpec(kHelperLsmRatelimit, "bpf_lsm_ratelimit",
+                               {kScalarA}, RetType::kInteger);
+    spec.writes_state = true;  // consumes bucket tokens
+    XB_RETURN_IF_ERROR(def(
+        std::move(spec), {{"task", 1}, {"timekeeping", 1}},
+        [state](HelperCtx&, const HelperArgs& a) -> xbase::Result<u64> {
+          u64& used = state->lsm_buckets[a[0]];
+          if (used >= kRatelimitBurst) {
+            return 0;  // bucket empty: suppress
+          }
+          ++used;
+          return 1;  // allowed
+        }));
+  }
+
+  return xbase::Status::Ok();
+}
+
+}  // namespace ebpf

@@ -280,6 +280,19 @@ xbase::Result<u64> Execution::RunFrom(u32 pc, u64* regs, u32 depth) {
             cost_ns = spec.value()->cost_ns;
             fn = bpf_.kfuncs().FindFn(static_cast<u32>(insn.imm));
           } else {
+            // Consult the lowering's access-control verdict for this call
+            // site (same bit the threaded engine checks, so the engines
+            // deny identically when the verifier wrongly admitted a call).
+            if (pc < decoded_->ops.size()) {
+              const MicroOp& mop = decoded_->ops[pc];
+              if (mop.handler == static_cast<u16>(UOp::kCallHelper) &&
+                  decoded_->calls[mop.jump].gate_denied) {
+                return RuntimeFault(xbase::KernelFault(StrFormat(
+                    "bpf: helper call #%d denied by access contract at "
+                    "dispatch",
+                    insn.imm)));
+              }
+            }
             auto spec = bpf_.helpers().FindSpec(static_cast<u32>(insn.imm));
             if (!spec.ok()) {
               return RuntimeFault(xbase::KernelFault(

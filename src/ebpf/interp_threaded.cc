@@ -341,6 +341,16 @@ dispatch_fetch:
 
   EBPF_CASE(CallHelper) {
     const CallSite& site = calls[op.jump];
+    if (site.gate_denied) {
+      // The dispatch layer's own access-control verdict, computed at
+      // lowering time against the declared helper contract. Reached only
+      // when the verifier wrongly admitted the call (injected gate
+      // faults): deny before the helper body can run.
+      EBPF_SYNC();
+      return RuntimeFault(xbase::KernelFault(StrFormat(
+          "bpf: helper call #%d denied by access contract at dispatch",
+          site.imm)));
+    }
     ++stats_.helper_calls;
     const HelperFn* fn = site.fn;
     u64 cost_ns = site.cost_ns;

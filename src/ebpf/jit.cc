@@ -91,9 +91,13 @@ UOp SizedOp(UOp byte_variant, u8 size_code) {
 // Binds a helper/kfunc call site, resolving the function pointer and cost
 // now if the registry is available (it is on every Loader path; a null
 // registry defers to the legacy runtime lookup with identical faults).
+// Helper sites are additionally re-checked against the declared access
+// contract when a gate version is supplied — the dispatch layer does not
+// trust that the verifier ran its own gates.
 u32 AddCallSite(DecodedImage& out, const Insn& insn, bool is_kfunc,
-                const HelperRegistry* helpers, const KfuncRegistry* kfuncs,
-                JitStats* stats) {
+                ProgType type, const HelperRegistry* helpers,
+                const KfuncRegistry* kfuncs, JitStats* stats,
+                const simkern::KernelVersion* gate_version, bool skip_gate) {
   CallSite site;
   site.id = static_cast<u32>(insn.imm);
   site.imm = insn.imm;
@@ -111,6 +115,14 @@ u32 AddCallSite(DecodedImage& out, const Insn& insn, bool is_kfunc,
       site.cost_ns = spec.value()->cost_ns;
       auto fn = helpers->FindFn(site.id);
       site.fn = fn.ok() ? fn.value() : nullptr;
+      if (gate_version != nullptr && !skip_gate &&
+          (!FamilyAdmitsProgType(spec.value()->family, type) ||
+           spec.value()->introduced > *gate_version)) {
+        site.gate_denied = true;
+        if (stats != nullptr) {
+          ++stats->call_sites_gate_denied;
+        }
+      }
     }
   }
   if (site.fn != nullptr && stats != nullptr) {
@@ -124,10 +136,16 @@ u32 AddCallSite(DecodedImage& out, const Insn& insn, bool is_kfunc,
 
 DecodedImage DecodeProgram(const Program& image,
                            const HelperRegistry* helpers,
-                           const KfuncRegistry* kfuncs, JitStats* stats) {
+                           const KfuncRegistry* kfuncs, JitStats* stats,
+                           const simkern::KernelVersion* gate_version,
+                           const FaultRegistry* faults) {
   DecodedImage out;
   const u32 n = image.len();
   out.ops.resize(n);
+  // The injected dispatch defect: the lowering trusts the verifier
+  // completely and skips its own contract re-check.
+  const bool skip_gate =
+      faults != nullptr && faults->IsActive(kFaultRuntimeDispatchUnverified);
 
   for (u32 pc = 0; pc < n; ++pc) {
     const Insn& insn = image.insns[pc];
@@ -231,12 +249,14 @@ DecodedImage DecodeProgram(const Program& image,
             op.jump = static_cast<u32>(static_cast<s64>(pc) + 1 + insn.imm);
           } else if (insn.IsKfuncCall()) {
             op.handler = static_cast<u16>(UOp::kCallKfunc);
-            op.jump = AddCallSite(out, insn, /*is_kfunc=*/true, helpers,
-                                  kfuncs, stats);
+            op.jump = AddCallSite(out, insn, /*is_kfunc=*/true, image.type,
+                                  helpers, kfuncs, stats, gate_version,
+                                  skip_gate);
           } else {
             op.handler = static_cast<u16>(UOp::kCallHelper);
-            op.jump = AddCallSite(out, insn, /*is_kfunc=*/false, helpers,
-                                  kfuncs, stats);
+            op.jump = AddCallSite(out, insn, /*is_kfunc=*/false, image.type,
+                                  helpers, kfuncs, stats, gate_version,
+                                  skip_gate);
           }
           break;
         }
@@ -275,7 +295,9 @@ DecodedImage DecodeProgram(const Program& image,
 xbase::Result<JitImage> JitCompile(const Program& prog,
                                    const FaultRegistry& faults,
                                    const HelperRegistry* helpers,
-                                   const KfuncRegistry* kfuncs) {
+                                   const KfuncRegistry* kfuncs,
+                                   const simkern::KernelVersion*
+                                       gate_version) {
   JitImage out;
   out.image = prog;
   out.stats.insns_translated = prog.len();
@@ -306,7 +328,8 @@ xbase::Result<JitImage> JitCompile(const Program& prog,
   // Lower the finalized (possibly corrupted) image: the off-by-one above
   // becomes an off-by-one in the pre-relocated micro-op targets, so the
   // fault reaches the threaded engine too.
-  out.decoded = DecodeProgram(out.image, helpers, kfuncs, &out.stats);
+  out.decoded = DecodeProgram(out.image, helpers, kfuncs, &out.stats,
+                              gate_version, &faults);
   return out;
 }
 

@@ -23,6 +23,7 @@ struct JitStats {
   u32 branches_corrupted = 0;  // nonzero only under jit.branch_off_by_one
   u32 micro_ops = 0;           // lowered slots (1:1 with image insns)
   u32 call_sites_resolved = 0; // helper/kfunc fns bound at lowering time
+  u32 call_sites_gate_denied = 0;  // failed the dispatch contract re-check
 };
 
 struct JitImage {
@@ -36,17 +37,28 @@ struct JitImage {
 // interpreter's decode would do if pc landed on that slot, so the two
 // engines stay observationally identical even on corrupted control flow.
 // The registries are optional; without them call sites resolve lazily at
-// run time.
+// run time. When `gate_version` is given, every helper call site is
+// re-checked against the declared contract (family admits image.type,
+// helper introduced by the gate version) and marked gate_denied on
+// failure — the runtime's independent access-control layer. `faults`
+// carries the dispatch-layer defect that skips this re-check.
 DecodedImage DecodeProgram(const Program& image,
                            const HelperRegistry* helpers,
                            const KfuncRegistry* kfuncs,
-                           JitStats* stats = nullptr);
+                           JitStats* stats = nullptr,
+                           const simkern::KernelVersion* gate_version =
+                               nullptr,
+                           const FaultRegistry* faults = nullptr);
 
 // Translates a verified program into an executable image (branch
-// relocation/corruption, then lowering).
+// relocation/corruption, then lowering). `gate_version` is the version the
+// program was verified against; the Loader always passes it, so dispatch
+// gating is on for every loaded program.
 xbase::Result<JitImage> JitCompile(const Program& prog,
                                    const FaultRegistry& faults,
                                    const HelperRegistry* helpers = nullptr,
-                                   const KfuncRegistry* kfuncs = nullptr);
+                                   const KfuncRegistry* kfuncs = nullptr,
+                                   const simkern::KernelVersion*
+                                       gate_version = nullptr);
 
 }  // namespace ebpf

@@ -50,11 +50,13 @@ xbase::Result<PreparedLoad> Loader::Prepare(const Program& prog,
     return xbase::PermissionDenied(
         "unprivileged BPF is disabled (kernel.unprivileged_bpf_disabled=1)");
   }
-  if (prog.type == ProgType::kSchedExt && !options.privileged) {
-    // Installing a scheduler is a root-only operation regardless of the
-    // unprivileged-bpf sysctl: a pick policy controls every task's CPU.
+  if (ProgTypeRequiresPrivilege(prog.type) && !options.privileged) {
+    // Installing a decision-maker is a root-only operation regardless of
+    // the unprivileged-bpf sysctl: a pick policy controls every task's CPU,
+    // an lsm policy every open() verdict.
     return xbase::PermissionDenied(
-        "sched_ext programs require a privileged loader");
+        xbase::StrFormat("%s programs require a privileged loader",
+                         ProgTypeName(prog.type).data()));
   }
 
   if (options.staticcheck_prepass) {
@@ -85,9 +87,13 @@ xbase::Result<PreparedLoad> Loader::Prepare(const Program& prog,
   }
 
   const auto jit_start = std::chrono::steady_clock::now();
+  // The lowering re-checks every helper call site against the contract at
+  // the same version the verifier used — independent enforcement, so a
+  // gate the verifier dropped still denies at dispatch.
   XB_ASSIGN_OR_RETURN(
       JitImage jit,
-      JitCompile(prog, bpf_.faults(), &bpf_.helpers(), &bpf_.kfuncs()));
+      JitCompile(prog, bpf_.faults(), &bpf_.helpers(), &bpf_.kfuncs(),
+                 &vopts.version));
   if (times != nullptr) {
     times->jit_ns = ElapsedNs(jit_start);
   }

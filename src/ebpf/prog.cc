@@ -20,6 +20,8 @@ std::string_view ProgTypeName(ProgType type) {
       return "syscall";
     case ProgType::kSchedExt:
       return "sched_ext";
+    case ProgType::kLsm:
+      return "lsm";
   }
   return "unknown";
 }

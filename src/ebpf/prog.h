@@ -21,9 +21,20 @@ enum class ProgType : u8 {
   kCgroupSkb,
   kSyscall,       // bpf_sys_bpf-capable programs (v5.14+)
   kSchedExt,      // scheduler policy: picks the next task (v6.12+)
+  kLsm,           // access-control hooks: allow/deny verdicts (v6.12+)
 };
 
 std::string_view ProgTypeName(ProgType type);
+
+// Every program type, for exhaustive admission-cell enumeration (the
+// permcheck census walks helpers x prog types x privilege x versions).
+inline constexpr ProgType kAllProgTypes[] = {
+    ProgType::kSocketFilter, ProgType::kKprobe,    ProgType::kTracepoint,
+    ProgType::kXdp,          ProgType::kPerfEvent, ProgType::kCgroupSkb,
+    ProgType::kSyscall,      ProgType::kSchedExt,  ProgType::kLsm,
+};
+inline constexpr xbase::usize kProgTypeCount =
+    sizeof(kAllProgTypes) / sizeof(kAllProgTypes[0]);
 
 // Verdicts XDP programs return.
 inline constexpr u64 kXdpAborted = 0;

@@ -7,6 +7,7 @@
 
 #include "src/ebpf/disasm.h"
 #include "src/ebpf/runtime.h"
+#include "src/simkern/lsm.h"
 #include "src/simkern/sched.h"
 #include "src/xbase/strfmt.h"
 
@@ -154,6 +155,9 @@ CtxRules CtxRulesFor(ProgType type) {
     case ProgType::kSchedExt:
       // Read-only pick context (now, nr_runnable, prev_pid, tick).
       return CtxRules{simkern::SchedCtxLayout::kSize, false, false};
+    case ProgType::kLsm:
+      // Read-only decision context (pid, uid, inode, flags, path).
+      return CtxRules{simkern::LsmCtxLayout::kSize, false, false};
   }
   return CtxRules{};
 }
@@ -1143,25 +1147,34 @@ xbase::Status Verifier::CheckHelperCall(VerifierState& state,
     return Reject(pc, StrFormat("invalid func unknown#%u", helper_id));
   }
   const HelperSpec& spec = *spec_result.value();
-  if (spec.introduced > opts_.version) {
+  simkern::KernelVersion gate_version = opts_.version;
+  if (FaultOn(kFaultVerifierVersionGateOffByOne)) {
+    // Defect: the gate compares against the *next* minor release, so a
+    // helper is admitted one kernel version before it exists.
+    ++gate_version.minor;
+  }
+  if (spec.introduced > gate_version) {
     return Reject(pc, StrFormat("unknown func %s#%u (introduced in %s)",
                                 spec.name.c_str(), helper_id,
                                 spec.introduced.ToString().c_str()));
   }
-  // Helper-family privilege model: scheduler helpers are only reachable
-  // from sched_ext programs, and sched_ext programs cannot touch the
-  // packet/socket family.
-  if (spec.family == HelperFamily::kSched &&
-      prog_.type != ProgType::kSchedExt) {
-    return Reject(pc, StrFormat("helper %s#%u is restricted to sched_ext "
-                                "programs",
-                                spec.name.c_str(), helper_id));
-  }
-  if (prog_.type == ProgType::kSchedExt &&
-      spec.family == HelperFamily::kNet) {
+  // Helper-family access-control model (the declared contract lives in
+  // FamilyAdmitsProgType): decision-maker families (sched/lsm) are only
+  // reachable from their own program type, and those program types cannot
+  // touch the packet/socket family.
+  if (!FamilyAdmitsProgType(spec.family, prog_.type) &&
+      !FaultOn(kFaultVerifierFamilyGateSkip)) {
+    if (spec.family == HelperFamily::kSched ||
+        spec.family == HelperFamily::kLsm) {
+      return Reject(
+          pc, StrFormat("helper %s#%u is restricted to %s programs",
+                        spec.name.c_str(), helper_id,
+                        ProgTypeName(AdmittingProgType(spec.family)).data()));
+    }
     return Reject(pc, StrFormat("helper %s#%u is not available to "
-                                "sched_ext programs",
-                                spec.name.c_str(), helper_id));
+                                "%s programs",
+                                spec.name.c_str(), helper_id,
+                                ProgTypeName(prog_.type).data()));
   }
 
   const bool lock_checks =

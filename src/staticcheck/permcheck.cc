@@ -1,0 +1,115 @@
+#include "src/staticcheck/permcheck.h"
+
+#include "src/xbase/strfmt.h"
+
+namespace staticcheck {
+
+std::string_view PermReasonName(PermReason reason) {
+  switch (reason) {
+    case PermReason::kAllowed:
+      return "allowed";
+    case PermReason::kPrivilege:
+      return "privilege";
+    case PermReason::kVersion:
+      return "version";
+    case PermReason::kFamily:
+      return "family";
+  }
+  return "unknown";
+}
+
+std::string_view PermLayerName(PermLayer layer) {
+  switch (layer) {
+    case PermLayer::kVerifier:
+      return "verifier";
+    case PermLayer::kRuntime:
+      return "runtime";
+    case PermLayer::kLoader:
+      return "loader";
+  }
+  return "unknown";
+}
+
+std::string AdmissionCell::ToString() const {
+  return xbase::StrFormat("helper#%u x %s x %s x %s", helper_id,
+                          ebpf::ProgTypeName(type).data(),
+                          privileged ? "priv" : "unpriv",
+                          version.ToString().c_str());
+}
+
+ExpectedAdmission ExpectedAdmissionFor(const ebpf::HelperSpec& spec,
+                                       ebpf::ProgType type, bool privileged,
+                                       simkern::KernelVersion version) {
+  ExpectedAdmission out;
+  // Each layer's obligation is independent of the others: a cell the
+  // family gate denies must be denied by the verifier even when the
+  // loader would already have refused the load.
+  out.loader_denies = ebpf::ProgTypeRequiresPrivilege(type) && !privileged;
+  const bool version_denies = spec.introduced > version;
+  const bool family_denies = !ebpf::FamilyAdmitsProgType(spec.family, type);
+  out.verifier_denies = version_denies || family_denies;
+  out.runtime_denies = version_denies || family_denies;
+  out.allow = !out.loader_denies && !out.verifier_denies;
+  if (out.allow) {
+    return out;
+  }
+  // Attribute the denial to the gate that fires first in the real load
+  // pipeline: loader privilege, then verifier version, then family.
+  if (out.loader_denies) {
+    out.reason = PermReason::kPrivilege;
+  } else if (version_denies) {
+    out.reason = PermReason::kVersion;
+  } else {
+    out.reason = PermReason::kFamily;
+  }
+  return out;
+}
+
+RequiredContract ScanRequiredContract(const ebpf::Program& prog,
+                                      const ebpf::HelperRegistry& helpers) {
+  RequiredContract out;
+  out.requires_privilege = ebpf::ProgTypeRequiresPrivilege(prog.type);
+  for (xbase::usize pc = 0; pc < prog.insns.size(); ++pc) {
+    const ebpf::Insn& insn = prog.insns[pc];
+    if (insn.IsLdImm64()) {
+      ++pc;  // second slot of the wide immediate carries no opcode
+      continue;
+    }
+    if (!insn.IsHelperCall()) {
+      continue;
+    }
+    const u32 id = static_cast<u32>(insn.imm);
+    bool seen = false;
+    for (u32 prior : out.helpers) {
+      if (prior == id) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      out.helpers.push_back(id);
+    }
+    auto spec = helpers.FindSpec(id);
+    if (!spec.ok()) {
+      out.violations.push_back(
+          xbase::StrFormat("pc %zu: unknown helper #%u", pc, id));
+      continue;
+    }
+    if (spec.value()->introduced > out.min_version) {
+      out.min_version = spec.value()->introduced;
+    }
+    if (spec.value()->writes_state) {
+      out.calls_writing_helper = true;
+    }
+    if (!ebpf::FamilyAdmitsProgType(spec.value()->family, prog.type)) {
+      out.violations.push_back(xbase::StrFormat(
+          "pc %zu: %s family helper %s#%u not callable from %s programs",
+          pc, ebpf::HelperFamilyName(spec.value()->family).data(),
+          spec.value()->name.c_str(), id,
+          ebpf::ProgTypeName(prog.type).data()));
+    }
+  }
+  return out;
+}
+
+}  // namespace staticcheck

@@ -1,0 +1,96 @@
+// permcheck: the contract side of the helper access-control audit. The
+// declared contract (HelperSpec family + introduction version, plus the
+// program-type privilege predicate) is the single source of truth; this
+// pass restates it as a per-cell admission verdict so the census in
+// analysis/permaudit can model-check what the verifier, the dispatch gate
+// and the loader *actually* enforce against what they *should* enforce.
+// A layer that is more permissive than ExpectedAdmissionFor for any cell
+// has dropped a permission check.
+//
+// Like every staticcheck pass this is verifier-independent: it derives its
+// verdicts from the registry specs and contract predicates in helper.h
+// alone and must never include src/ebpf/verifier.h (CI greps for it).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ebpf/helper.h"
+#include "src/ebpf/prog.h"
+#include "src/simkern/version.h"
+#include "src/xbase/types.h"
+
+namespace staticcheck {
+
+using xbase::u32;
+using xbase::u8;
+
+// Why a cell is denied; kAllowed when it is not. Ordered by the pipeline
+// stage that fires first: the loader's privilege gate runs before the
+// verifier, and the verifier checks the version gate before the family
+// gate.
+enum class PermReason : u8 {
+  kAllowed = 0,
+  kPrivilege,  // loader: program type needs a privileged loader
+  kVersion,    // helper not yet introduced at this kernel version
+  kFamily,     // helper family does not admit this program type
+};
+
+std::string_view PermReasonName(PermReason reason);
+
+// The enforcement layer charged with a gap. The verifier and the dispatch
+// gate independently enforce family+version; the loader alone enforces
+// privilege.
+enum class PermLayer : u8 { kVerifier, kRuntime, kLoader };
+
+std::string_view PermLayerName(PermLayer layer);
+
+// One admission cell: may a program of `type`, loaded with or without
+// privilege on a kernel at `version`, call helper `helper_id`?
+struct AdmissionCell {
+  u32 helper_id = 0;
+  ebpf::ProgType type = ebpf::ProgType::kSocketFilter;
+  bool privileged = true;
+  simkern::KernelVersion version;
+
+  std::string ToString() const;
+};
+
+// The contract's verdict for one cell, split per enforcement layer so the
+// census can probe each layer in isolation and attribute gaps.
+struct ExpectedAdmission {
+  bool allow = true;
+  PermReason reason = PermReason::kAllowed;  // first denying gate
+  bool verifier_denies = false;  // version or family gate must fire
+  bool runtime_denies = false;   // dispatch re-check must fire (same terms)
+  bool loader_denies = false;    // privilege gate must fire
+};
+
+ExpectedAdmission ExpectedAdmissionFor(const ebpf::HelperSpec& spec,
+                                       ebpf::ProgType type, bool privileged,
+                                       simkern::KernelVersion version);
+
+// Program-level contract summary: a pure bytecode scan collecting every
+// helper the program calls and what those calls demand from the
+// loader/kernel — the minimum kernel version, whether a privileged loader
+// is required, and any family violation visible statically. The severity
+// bit (writes_state) rides along so a downstream gap report can rank
+// mutating helpers above pure readers.
+struct RequiredContract {
+  std::vector<u32> helpers;  // distinct called helper ids, program order
+  simkern::KernelVersion min_version;  // max over introduced versions
+  bool requires_privilege = false;     // prog type is privilege-gated
+  bool calls_writing_helper = false;   // any called helper mutates state
+  // Static family violations: helper calls the contract already denies for
+  // this program type. A clean program has none; the census synthesizes
+  // programs that have exactly one.
+  std::vector<std::string> violations;
+
+  bool well_typed() const { return violations.empty(); }
+};
+
+RequiredContract ScanRequiredContract(const ebpf::Program& prog,
+                                      const ebpf::HelperRegistry& helpers);
+
+}  // namespace staticcheck

@@ -85,7 +85,12 @@ TEST(DisasmTest, RendersCommonForms) {
   EXPECT_EQ(DisasmInsn(LdxMem(BPF_W, R0, R1, 8)), "r0 = *(u32 *)(r1 +8)");
   EXPECT_EQ(DisasmInsn(StMemImm(BPF_DW, R10, -8, 3)),
             "*(u64 *)(r10 -8) = 3");
-  EXPECT_EQ(DisasmInsn(CallHelper(1)), "call helper#1");
+  EXPECT_EQ(DisasmInsn(CallHelper(1)), "call bpf_map_lookup_elem#1");
+  EXPECT_EQ(DisasmInsn(CallHelper(999)), "call helper#999");
+  EXPECT_EQ(DisasmInsn(CallHelper(kHelperSchedNrRunnable)),
+            "call bpf_sched_nr_runnable#230");
+  EXPECT_EQ(DisasmInsn(CallHelper(kHelperLsmInodeId)),
+            "call bpf_lsm_inode_id#240");
   EXPECT_EQ(DisasmInsn(Exit()), "exit");
   EXPECT_EQ(DisasmInsn(JmpImm(BPF_JEQ, R3, 0, 5)), "if r3 jeq 0 goto +5");
   EXPECT_EQ(DisasmInsn(AtomicAdd(BPF_W, R0, R1, 4)),

@@ -198,12 +198,12 @@ TEST_F(FaultTest, FaultRegistryCatalogIsConsistent) {
   for (const FaultInfo& info : FaultRegistry::Catalog()) {
     EXPECT_FALSE(info.id.empty());
     EXPECT_TRUE(info.component == "verifier" || info.component == "helper" ||
-                info.component == "jit")
+                info.component == "jit" || info.component == "runtime")
         << info.id;
     EXPECT_FALSE(info.category.empty());
     EXPECT_FALSE(info.reference.empty());
   }
-  EXPECT_EQ(FaultRegistry::Catalog().size(), 23u);
+  EXPECT_EQ(FaultRegistry::Catalog().size(), 26u);
 }
 
 }  // namespace

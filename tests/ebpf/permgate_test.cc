@@ -1,0 +1,143 @@
+// Runtime dispatch gate tests, end to end: when an injected verifier
+// defect admits a program the contract forbids, the dispatch-time
+// re-check computed at lowering must still refuse to run the helper call
+// — identically on both execution engines. Only stacking the runtime
+// dispatch fault on top of the verifier fault lets the call through,
+// which is exactly the two-layer failure the census attributes per layer
+// (pinned here via RunPermFaultChecks).
+#include <gtest/gtest.h>
+
+#include "src/analysis/permaudit.h"
+#include "src/ebpf/asm.h"
+#include "src/ebpf/bpf.h"
+#include "src/ebpf/fault.h"
+#include "src/ebpf/interp.h"
+#include "src/ebpf/loader.h"
+
+namespace ebpf {
+namespace {
+
+class PermGateTest : public ::testing::Test {
+ protected:
+  PermGateTest() {
+    simkern::KernelConfig config;
+    config.version = simkern::kV6_12;
+    config.unprivileged_bpf_disabled = false;
+    kernel_ = std::make_unique<simkern::Kernel>(config);
+    EXPECT_TRUE(kernel_->BootstrapWorkload().ok());
+    bpf_ = std::make_unique<Bpf>(*kernel_);
+    loader_ = std::make_unique<Loader>(*bpf_);
+    ctx_ = kernel_->mem()
+               .Map(64, simkern::MemPerm::kReadWrite,
+                    simkern::RegionKind::kKernelData, "permctx")
+               .value();
+  }
+
+  Program YieldCaller(ProgType type) {
+    ProgramBuilder b("yield-caller", type);
+    b.Ins(CallHelper(kHelperSchedYield)).Ins(Exit());
+    return b.Build().value();
+  }
+
+  // Runs `id` on one engine and returns the raw result.
+  xbase::Result<ExecResult> Run(u32 id, ExecEngine engine) {
+    ExecOptions opts;
+    opts.engine = engine;
+    return Execute(*bpf_, *loader_->Find(id).value(), ctx_, opts,
+                   loader_.get());
+  }
+
+  std::unique_ptr<simkern::Kernel> kernel_;
+  std::unique_ptr<Bpf> bpf_;
+  std::unique_ptr<Loader> loader_;
+  simkern::Addr ctx_ = 0;
+};
+
+TEST_F(PermGateTest, DispatchGateCatchesFamilyGateSkip) {
+  // The verifier defect admits a sched helper into a socket filter; the
+  // dispatch re-check, derived independently from the same contract, must
+  // refuse to execute the call — on both engines, with the same message.
+  bpf_->faults().Inject(kFaultVerifierFamilyGateSkip);
+  auto id = loader_->Load(YieldCaller(ProgType::kSocketFilter));
+  ASSERT_TRUE(id.ok()) << "the injected defect must admit the program";
+  EXPECT_EQ(loader_->Find(id.value()).value()->jit.call_sites_gate_denied,
+            1u);
+
+  for (ExecEngine engine : {ExecEngine::kThreaded, ExecEngine::kLegacy}) {
+    auto result = Run(id.value(), engine);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find(
+                  "helper call #236 denied by access contract at dispatch"),
+              std::string::npos)
+        << result.status().message();
+  }
+}
+
+TEST_F(PermGateTest, DispatchGateCatchesVersionOffByOne) {
+  // One minor release before the helper's introduction: the off-by-one
+  // defect makes the verifier admit the predecessor cell, but the
+  // dispatch gate still compares against the true load version.
+  bpf_->faults().Inject(kFaultVerifierVersionGateOffByOne);
+  LoadOptions opts;
+  opts.version_override = simkern::KernelVersion{6, 11};
+  auto id = loader_->Load(YieldCaller(ProgType::kSchedExt), opts);
+  ASSERT_TRUE(id.ok()) << "the off-by-one defect must admit the program";
+
+  for (ExecEngine engine : {ExecEngine::kThreaded, ExecEngine::kLegacy}) {
+    auto result = Run(id.value(), engine);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find(
+                  "denied by access contract at dispatch"),
+              std::string::npos)
+        << result.status().message();
+  }
+}
+
+TEST_F(PermGateTest, StackedDispatchFaultLetsTheCallThrough) {
+  // Both layers broken at once: the verifier admits and the dispatch
+  // re-check is skipped, so the forbidden helper actually runs. This is
+  // the defect pair the census charges to the runtime layer.
+  bpf_->faults().Inject(kFaultVerifierFamilyGateSkip);
+  bpf_->faults().Inject(kFaultRuntimeDispatchUnverified);
+  auto id = loader_->Load(YieldCaller(ProgType::kSocketFilter));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(loader_->Find(id.value()).value()->jit.call_sites_gate_denied,
+            0u)
+      << "the dispatch fault must skip the lowering-time re-check";
+
+  for (ExecEngine engine : {ExecEngine::kThreaded, ExecEngine::kLegacy}) {
+    auto result = Run(id.value(), engine);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ(result.value().stats.helper_calls, 1u);
+  }
+}
+
+TEST_F(PermGateTest, CleanContractCompliantCallExecutesNormally) {
+  auto id = loader_->Load(YieldCaller(ProgType::kSchedExt));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(loader_->Find(id.value()).value()->jit.call_sites_gate_denied,
+            0u);
+  for (ExecEngine engine : {ExecEngine::kThreaded, ExecEngine::kLegacy}) {
+    auto result = Run(id.value(), engine);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ(result.value().r0, 0u);
+    EXPECT_EQ(result.value().stats.helper_calls, 1u);
+  }
+}
+
+TEST_F(PermGateTest, FaultMatrixAttributesEveryDefectToItsLayer) {
+  // The census-side statement of the same property: each injectable
+  // missing-permission-check defect must surface as gaps in exactly its
+  // own layer, and clean rigs must census gap-free before and after.
+  const std::vector<analysis::PermFaultCheck> checks =
+      analysis::RunPermFaultChecks();
+  ASSERT_EQ(checks.size(), 5u);
+  for (const analysis::PermFaultCheck& check : checks) {
+    EXPECT_TRUE(check.passed) << check.name << ": " << check.detail;
+  }
+  EXPECT_EQ(checks.front().name, "clean.census");
+  EXPECT_EQ(checks.back().name, "clean.recheck");
+}
+
+}  // namespace
+}  // namespace ebpf

@@ -1,0 +1,304 @@
+// permcheck tests: the contract side of the access-control audit. The
+// ExpectedAdmissionFor verdicts are the census's ground truth, so they are
+// pinned cell by cell here — per-layer obligations, pipeline-order reason
+// attribution — together with the bytecode contract scan, the registry
+// consistency assert, the disassembler's helper-name table, and the static
+// half of the version-gate matrix: every registered helper must flip from
+// denied to admitted exactly at its declared introduction version, on the
+// verifier gate and the dispatch gate alike (probed end to end here via
+// permaudit's shared probe primitives).
+#include <gtest/gtest.h>
+
+#include "src/analysis/permaudit.h"
+#include "src/ebpf/asm.h"
+#include "src/ebpf/bpf.h"
+#include "src/ebpf/disasm.h"
+#include "src/staticcheck/permcheck.h"
+
+namespace staticcheck {
+namespace {
+
+using ebpf::ProgType;
+using simkern::KernelVersion;
+
+class PermcheckTest : public ::testing::Test {
+ protected:
+  const ebpf::HelperSpec& Spec(u32 id) {
+    return *bpf_.helpers().FindSpec(id).value();
+  }
+
+  simkern::Kernel kernel_;
+  ebpf::Bpf bpf_{kernel_};
+};
+
+// ---- ExpectedAdmissionFor --------------------------------------------------
+
+TEST_F(PermcheckTest, GenericHelperFromUnprivilegedSocketFilterIsAllowed) {
+  const ExpectedAdmission a = ExpectedAdmissionFor(
+      Spec(ebpf::kHelperMapLookupElem), ProgType::kSocketFilter,
+      /*privileged=*/false, simkern::kV6_12);
+  EXPECT_TRUE(a.allow);
+  EXPECT_EQ(a.reason, PermReason::kAllowed);
+  EXPECT_FALSE(a.verifier_denies);
+  EXPECT_FALSE(a.runtime_denies);
+  EXPECT_FALSE(a.loader_denies);
+}
+
+TEST_F(PermcheckTest, FamilyDenialChargesVerifierAndRuntimeNotLoader) {
+  const ExpectedAdmission a = ExpectedAdmissionFor(
+      Spec(ebpf::kHelperSchedYield), ProgType::kXdp, /*privileged=*/true,
+      simkern::kV6_12);
+  EXPECT_FALSE(a.allow);
+  EXPECT_EQ(a.reason, PermReason::kFamily);
+  EXPECT_TRUE(a.verifier_denies);
+  EXPECT_TRUE(a.runtime_denies);
+  EXPECT_FALSE(a.loader_denies);
+}
+
+TEST_F(PermcheckTest, VersionDenialChargesVerifierAndRuntime) {
+  // sched helper from its own admitting type, but before its introduction.
+  const ExpectedAdmission a = ExpectedAdmissionFor(
+      Spec(ebpf::kHelperSchedYield), ProgType::kSchedExt,
+      /*privileged=*/true, simkern::kV6_1);
+  EXPECT_FALSE(a.allow);
+  EXPECT_EQ(a.reason, PermReason::kVersion);
+  EXPECT_TRUE(a.verifier_denies);
+  EXPECT_TRUE(a.runtime_denies);
+  EXPECT_FALSE(a.loader_denies);
+}
+
+TEST_F(PermcheckTest, PrivilegeDenialChargesLoaderAlone) {
+  // lsm helper from an lsm program: family and version admit, so the only
+  // obligation left is the loader's — lsm loads are privileged-only.
+  const ExpectedAdmission a = ExpectedAdmissionFor(
+      Spec(ebpf::kHelperLsmCurrentUid), ProgType::kLsm,
+      /*privileged=*/false, simkern::kV6_12);
+  EXPECT_FALSE(a.allow);
+  EXPECT_EQ(a.reason, PermReason::kPrivilege);
+  EXPECT_FALSE(a.verifier_denies);
+  EXPECT_FALSE(a.runtime_denies);
+  EXPECT_TRUE(a.loader_denies);
+}
+
+TEST_F(PermcheckTest, ReasonFollowsPipelineOrderWhenSeveralGatesDeny) {
+  // Unprivileged + too-old version: the loader's privilege gate fires
+  // before verification ever starts, so privilege wins the attribution —
+  // but the verifier/runtime obligations are still recorded, because each
+  // layer must enforce its own gate no matter what ran before it.
+  const ExpectedAdmission a = ExpectedAdmissionFor(
+      Spec(ebpf::kHelperLsmAudit), ProgType::kLsm, /*privileged=*/false,
+      simkern::kV6_1);
+  EXPECT_EQ(a.reason, PermReason::kPrivilege);
+  EXPECT_TRUE(a.loader_denies);
+  EXPECT_TRUE(a.verifier_denies);
+  EXPECT_TRUE(a.runtime_denies);
+
+  // Version outranks family within the verifier: its gate runs first.
+  const ExpectedAdmission b = ExpectedAdmissionFor(
+      Spec(ebpf::kHelperSchedYield), ProgType::kXdp, /*privileged=*/true,
+      simkern::kV6_1);
+  EXPECT_EQ(b.reason, PermReason::kVersion);
+}
+
+TEST_F(PermcheckTest, NamesAndCellToString) {
+  EXPECT_EQ(PermReasonName(PermReason::kAllowed), "allowed");
+  EXPECT_EQ(PermReasonName(PermReason::kPrivilege), "privilege");
+  EXPECT_EQ(PermReasonName(PermReason::kVersion), "version");
+  EXPECT_EQ(PermReasonName(PermReason::kFamily), "family");
+  EXPECT_EQ(PermLayerName(PermLayer::kVerifier), "verifier");
+  EXPECT_EQ(PermLayerName(PermLayer::kRuntime), "runtime");
+  EXPECT_EQ(PermLayerName(PermLayer::kLoader), "loader");
+
+  const AdmissionCell cell{ebpf::kHelperSchedYield, ProgType::kXdp, false,
+                           simkern::kV6_12};
+  const std::string s = cell.ToString();
+  EXPECT_NE(s.find("helper#236"), std::string::npos) << s;
+  EXPECT_NE(s.find("xdp"), std::string::npos) << s;
+  EXPECT_NE(s.find("unpriv"), std::string::npos) << s;
+}
+
+// ---- ScanRequiredContract --------------------------------------------------
+
+TEST_F(PermcheckTest, ScanCollectsDistinctHelpersAndMinVersion) {
+  ebpf::ProgramBuilder b("scan", ProgType::kSocketFilter);
+  b.Ins(ebpf::CallHelper(ebpf::kHelperKtimeGetNs))
+      .Ins(ebpf::CallHelper(ebpf::kHelperGetCurrentPidTgid))
+      .Ins(ebpf::CallHelper(ebpf::kHelperKtimeGetNs))  // duplicate
+      .Ins(ebpf::Mov64Imm(ebpf::R0, 0))
+      .Ins(ebpf::Exit());
+  const RequiredContract contract =
+      ScanRequiredContract(b.Build().value(), bpf_.helpers());
+  ASSERT_EQ(contract.helpers.size(), 2u);
+  EXPECT_EQ(contract.helpers[0], ebpf::kHelperKtimeGetNs);
+  EXPECT_EQ(contract.helpers[1], ebpf::kHelperGetCurrentPidTgid);
+  const KernelVersion expected_min =
+      std::max(Spec(ebpf::kHelperKtimeGetNs).introduced,
+               Spec(ebpf::kHelperGetCurrentPidTgid).introduced);
+  EXPECT_EQ(contract.min_version, expected_min);
+  EXPECT_FALSE(contract.requires_privilege);
+  EXPECT_FALSE(contract.calls_writing_helper);
+  EXPECT_TRUE(contract.well_typed());
+}
+
+TEST_F(PermcheckTest, ScanFlagsPrivilegeAndWritingHelpers) {
+  ebpf::ProgramBuilder b("audit", ProgType::kLsm);
+  b.Ins(ebpf::StMemImm(ebpf::BPF_DW, ebpf::R10, -8, 0x41))
+      .Ins(ebpf::Mov64Reg(ebpf::R1, ebpf::R10))
+      .Ins(ebpf::Alu64Imm(ebpf::BPF_ADD, ebpf::R1, -8))
+      .Ins(ebpf::Mov64Imm(ebpf::R2, 8))
+      .Ins(ebpf::CallHelper(ebpf::kHelperLsmAudit))
+      .Ins(ebpf::Mov64Imm(ebpf::R0, 0))
+      .Ins(ebpf::Exit());
+  const RequiredContract contract =
+      ScanRequiredContract(b.Build().value(), bpf_.helpers());
+  EXPECT_TRUE(contract.requires_privilege) << "lsm is a privileged type";
+  EXPECT_TRUE(contract.calls_writing_helper) << "bpf_lsm_audit mutates";
+  EXPECT_EQ(contract.min_version, (KernelVersion{6, 12}));
+  EXPECT_TRUE(contract.well_typed());
+}
+
+TEST_F(PermcheckTest, ScanReportsFamilyViolationsAndUnknownHelpers) {
+  ebpf::ProgramBuilder b("bad", ProgType::kXdp);
+  b.Ins(ebpf::CallHelper(ebpf::kHelperSchedYield))
+      .Ins(ebpf::CallHelper(9999))
+      .Ins(ebpf::Mov64Imm(ebpf::R0, 0))
+      .Ins(ebpf::Exit());
+  const RequiredContract contract =
+      ScanRequiredContract(b.Build().value(), bpf_.helpers());
+  EXPECT_FALSE(contract.well_typed());
+  ASSERT_EQ(contract.violations.size(), 2u);
+  EXPECT_NE(contract.violations[0].find(
+                "sched family helper bpf_sched_yield#236 not callable "
+                "from xdp programs"),
+            std::string::npos)
+      << contract.violations[0];
+  EXPECT_NE(contract.violations[1].find("unknown helper #9999"),
+            std::string::npos)
+      << contract.violations[1];
+}
+
+TEST_F(PermcheckTest, ScanSkipsLdImm64SecondSlot) {
+  // The wide immediate's second slot has opcode 0 and an arbitrary imm; a
+  // scanner that fails to skip it could misread the payload as a call.
+  ebpf::ProgramBuilder b("wide", ProgType::kSocketFilter);
+  b.Ins(ebpf::LdImm64(ebpf::R1,
+                      (static_cast<xbase::u64>(ebpf::kHelperSchedYield)
+                       << 32) |
+                          ebpf::kHelperSchedYield))
+      .Ins(ebpf::Mov64Imm(ebpf::R0, 0))
+      .Ins(ebpf::Exit());
+  const RequiredContract contract =
+      ScanRequiredContract(b.Build().value(), bpf_.helpers());
+  EXPECT_TRUE(contract.helpers.empty());
+  EXPECT_TRUE(contract.well_typed());
+}
+
+// ---- registry consistency + helper-name table ------------------------------
+
+TEST_F(PermcheckTest, DefaultRegistryValidates) {
+  EXPECT_TRUE(bpf_.helpers().Validate().ok());
+}
+
+TEST_F(PermcheckTest, ValidateCatchesContractlessSpecs) {
+  ebpf::HelperRegistry registry;
+  ebpf::HelperSpec spec;
+  spec.id = 7001;
+  spec.name = "bpf_test_no_version";
+  spec.entry_func = "bpf_test_no_version";
+  // introduced left at {}: the version gate would admit it everywhere.
+  ASSERT_TRUE(registry
+                  .Register(spec,
+                            [](ebpf::HelperCtx&, const ebpf::HelperArgs&)
+                                -> xbase::Result<xbase::u64> { return 0; })
+                  .ok());
+  const xbase::Status status = registry.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("no introduction version"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST_F(PermcheckTest, ValidateCatchesArgGapAfterNone) {
+  ebpf::HelperRegistry registry;
+  ebpf::HelperSpec spec;
+  spec.id = 7002;
+  spec.name = "bpf_test_arg_gap";
+  spec.entry_func = "bpf_test_arg_gap";
+  spec.introduced = KernelVersion{6, 1};
+  spec.args = {ebpf::ArgType::kScalar, ebpf::ArgType::kNone,
+               ebpf::ArgType::kScalar, ebpf::ArgType::kNone,
+               ebpf::ArgType::kNone};
+  ASSERT_TRUE(registry
+                  .Register(spec,
+                            [](ebpf::HelperCtx&, const ebpf::HelperArgs&)
+                                -> xbase::Result<xbase::u64> { return 0; })
+                  .ok());
+  EXPECT_FALSE(registry.Validate().ok());
+}
+
+TEST_F(PermcheckTest, DisassemblerNameTableMatchesRegistry) {
+  // xcheck prints helper calls by name through HelperName(); a helper
+  // registered without a disassembler entry would print as a bare id and
+  // silently drift out of the census reports.
+  for (const ebpf::HelperSpec* spec : bpf_.helpers().AllSpecs()) {
+    EXPECT_EQ(ebpf::HelperName(spec->id), spec->name)
+        << "helper #" << spec->id;
+  }
+  EXPECT_TRUE(ebpf::HelperName(0xdead).empty());
+}
+
+// ---- version-gate matrix ---------------------------------------------------
+
+TEST_F(PermcheckTest, ContractVersionGateFlipsExactlyAtIntroduction) {
+  // Static half: for every helper, the contract's verdict from its own
+  // admitting program type flips from version-denied to allowed exactly at
+  // the declared introduction version — including the predecessor minor,
+  // which ProbeVersionsFor guarantees is probed.
+  for (const ebpf::HelperSpec* spec : bpf_.helpers().AllSpecs()) {
+    const ProgType type = ebpf::AdmittingProgType(spec->family);
+    bool saw_predecessor = false;
+    for (KernelVersion version : analysis::ProbeVersionsFor(*spec)) {
+      const ExpectedAdmission a =
+          ExpectedAdmissionFor(*spec, type, /*privileged=*/true, version);
+      const bool before_gate = spec->introduced > version;
+      EXPECT_EQ(a.allow, !before_gate)
+          << spec->name << " at " << version.ToString();
+      EXPECT_EQ(a.reason == PermReason::kVersion, before_gate)
+          << spec->name << " at " << version.ToString();
+      if (before_gate) {
+        saw_predecessor = true;
+      }
+    }
+    if (spec->introduced > KernelVersion{3, 19}) {
+      EXPECT_TRUE(saw_predecessor)
+          << spec->name << ": the probe axis must include a version below "
+          << "the gate or an off-by-one defect is invisible";
+    }
+  }
+}
+
+TEST_F(PermcheckTest, EnforcedVersionGatesFlipExactlyAtIntroduction) {
+  // Dynamic half: the verifier gate and the runtime dispatch gate, probed
+  // for every helper at every version on the probe axis, must agree with
+  // the contract cell for cell — admission flips at the declared gate and
+  // nowhere else, on both enforcement layers.
+  for (const ebpf::HelperSpec* spec : bpf_.helpers().AllSpecs()) {
+    const ProgType type = ebpf::AdmittingProgType(spec->family);
+    for (KernelVersion version : analysis::ProbeVersionsFor(*spec)) {
+      const bool before_gate = spec->introduced > version;
+      const analysis::GateObservation verifier =
+          analysis::ProbeVerifierGate(bpf_, spec->id, type, version);
+      EXPECT_EQ(verifier == analysis::GateObservation::kVersionDenied,
+                before_gate)
+          << spec->name << " at " << version.ToString() << ": verifier saw "
+          << analysis::GateObservationName(verifier);
+      EXPECT_EQ(analysis::ProbeRuntimeGateDenies(bpf_, spec->id, type,
+                                                 version),
+                before_gate)
+          << spec->name << " at " << version.ToString() << " (dispatch)";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace staticcheck

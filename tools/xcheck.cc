@@ -4,6 +4,8 @@
 //   xcheck --list              list built-in demo programs
 //   xcheck --demo NAME         analyze a built-in demo (disasm + findings)
 //   xcheck --diff              run the differential oracle table
+//   xcheck --helpers           helper census: id, name, family, version
+//                              (cross-checked against the static name table)
 //   xcheck --ranges NAME       per-instruction staticcheck vs verifier
 //                              range table for a demo ('!' = disjoint)
 //   xcheck --zones NAME        per-instruction staticcheck vs verifier
@@ -11,7 +13,8 @@
 //   xcheck FILE.bin            analyze raw bytecode (8-byte LE insns)
 //
 // Exit status: 0 clean, 1 error-severity findings (--ranges: disjoint
-// claims; --zones: contradictory bounds), 2 usage/load problems.
+// claims; --zones: contradictory bounds; --helpers: name-table drift),
+// 2 usage/load problems.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -297,6 +300,35 @@ int RunZones(const char* name) {
   return 2;
 }
 
+// Helper census: every registered helper with its declared contract, the
+// human face of what permcheck model-checks. Also cross-checks the static
+// disasm name table against the live registry so the two cannot drift.
+int RunHelpers() {
+  simkern::Kernel kernel{simkern::KernelConfig{}};
+  ebpf::Bpf bpf(kernel);
+  std::printf("%-5s %-32s %-8s %-6s %-6s %s\n", "id", "name", "family",
+              "since", "writes", "static-name");
+  int drift = 0;
+  for (const ebpf::HelperSpec* spec : bpf.helpers().AllSpecs()) {
+    const std::string_view static_name = ebpf::HelperName(spec->id);
+    const bool match = static_name == spec->name;
+    drift += match ? 0 : 1;
+    std::printf("%-5u %-32s %-8s %-6s %-6s %s\n", spec->id,
+                spec->name.c_str(),
+                ebpf::HelperFamilyName(spec->family).data(),
+                spec->introduced.ToString().c_str(),
+                spec->writes_state ? "yes" : "no",
+                match ? "ok" : "DRIFT");
+  }
+  if (drift > 0) {
+    std::fprintf(stderr,
+                 "xcheck: %d helper(s) missing from the static name table "
+                 "(src/ebpf/disasm.cc HelperName)\n",
+                 drift);
+  }
+  return drift > 0 ? 1 : 0;
+}
+
 int RunFile(const char* path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
@@ -359,6 +391,9 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--zones") == 0) {
     return RunZones(argv[2]);
   }
+  if (argc == 2 && std::strcmp(argv[1], "--helpers") == 0) {
+    return RunHelpers();
+  }
   if (argc == 2 && std::strcmp(argv[1], "--diff") == 0) {
     auto report = analysis::RunDiffCheck();
     if (!report.ok()) {
@@ -377,7 +412,7 @@ int main(int argc, char** argv) {
     return RunFile(argv[1]);
   }
   std::fprintf(stderr,
-               "usage: xcheck --list | --demo NAME | --diff | "
+               "usage: xcheck --list | --demo NAME | --diff | --helpers | "
                "--ranges NAME | --zones NAME | FILE.bin\n");
   return 2;
 }
