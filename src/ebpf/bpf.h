@@ -69,10 +69,22 @@ class Bpf {
       exec_stack_busy_.store(false, std::memory_order_release);
       return 0;
     }
-    std::fill(region->bytes.begin(), region->bytes.end(), xbase::u8{0});
+    // Re-zero only the prefix the previous run could have dirtied (its
+    // frame high-water mark, reported at release). Frames beyond the mark
+    // never had R10 pointing into them, and every admitted stack access is
+    // frame-relative — except under injected verifier faults, where a
+    // contained program's promise is void anyway; such runs release with
+    // the conservative full-region mark.
+    const xbase::usize dirty =
+        std::min<xbase::usize>(exec_stack_dirty_, region->bytes.size());
+    std::fill(region->bytes.begin(),
+              region->bytes.begin() + static_cast<std::ptrdiff_t>(dirty),
+              xbase::u8{0});
     return exec_stack_base_;
   }
-  void ReleaseExecStack() {
+  void ReleaseExecStack(
+      xbase::usize dirty_bytes = ~static_cast<xbase::usize>(0)) {
+    exec_stack_dirty_ = dirty_bytes;
     exec_stack_busy_.store(false, std::memory_order_release);
   }
 
@@ -84,6 +96,9 @@ class Bpf {
   FaultRegistry faults_;
   simkern::Addr exec_stack_base_ = 0;
   xbase::usize exec_stack_size_ = 0;
+  // Bytes of the cached stack the last lease may have written; the next
+  // lease zeroes only this prefix. Starts at "everything" for safety.
+  xbase::usize exec_stack_dirty_ = ~static_cast<xbase::usize>(0);
   std::atomic<bool> exec_stack_busy_{false};
 };
 

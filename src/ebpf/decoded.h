@@ -22,6 +22,15 @@ namespace ebpf {
 // Every micro-op handler. The X-macro keeps the enum, the computed-goto
 // label table and the switch fallback in lockstep: adding a handler here
 // adds it everywhere or the build breaks.
+//
+// The trailing groups are only ever emitted by analysis-driven lowering
+// (never straight decode): the `...U` variants are unchecked memory ops —
+// the runtime bounds check is elided because both the verifier and (when
+// run) staticcheck proved the access in bounds at that pc — and the
+// `Fuse...` superops execute two adjacent micro-ops in one dispatch. A
+// fused head keeps its tail slot intact so mid-pair branch entries still
+// work; the packing of the second op's fields is described at each
+// handler in interp_threaded.cc.
 #define EBPF_UOP_ALU4(X, Name)                                       \
   X(Alu64##Name##Imm) X(Alu64##Name##Reg)                            \
   X(Alu32##Name##Imm) X(Alu32##Name##Reg)
@@ -46,7 +55,15 @@ namespace ebpf {
   EBPF_UOP_JMP4(X, Jeq) EBPF_UOP_JMP4(X, Jne) EBPF_UOP_JMP4(X, Jgt)  \
   EBPF_UOP_JMP4(X, Jge) EBPF_UOP_JMP4(X, Jlt) EBPF_UOP_JMP4(X, Jle)  \
   EBPF_UOP_JMP4(X, Jsgt) EBPF_UOP_JMP4(X, Jsge)                      \
-  EBPF_UOP_JMP4(X, Jslt) EBPF_UOP_JMP4(X, Jsle) EBPF_UOP_JMP4(X, Jset)
+  EBPF_UOP_JMP4(X, Jslt) EBPF_UOP_JMP4(X, Jsle) EBPF_UOP_JMP4(X, Jset) \
+  X(LdxBU) X(LdxHU) X(LdxWU) X(LdxDwU)                               \
+  X(StxBU) X(StxHU) X(StxWU) X(StxDwU)                               \
+  X(StBU) X(StHU) X(StWU) X(StDwU)                                   \
+  X(FuseAddImmAddImm) X(FuseAddImmJa) X(FuseAddRegAddImm)            \
+  X(FuseMovRegAddImm) X(FuseMovImmExit)                              \
+  X(FuseLdxWUAddImm) X(FuseLdxDwUAddImm)                             \
+  X(FuseAddRegAddImmJa)                                              \
+  X(SuperBlock)
 
 enum class UOp : u16 {
 #define EBPF_UOP_ENUM(Name) k##Name,
@@ -92,6 +109,13 @@ struct CallSite {
 struct DecodedImage {
   std::vector<MicroOp> ops;     // 1:1 with image instruction slots
   std::vector<CallSite> calls;  // indexed by MicroOp::jump of Call* ops
+  // Side table for kSuperBlock heads: the original per-insn micro-ops of
+  // each superblock, stored contiguously (jump = start index, imm = len).
+  // The block's interior slots in `ops` stay INTACT, so a branch entering
+  // mid-block executes them one at a time; only the head slot is replaced,
+  // and its fast path runs these copies in a tight loop with the block's
+  // insn cost charged at entry.
+  std::vector<MicroOp> sb_ops;
 
   bool empty() const { return ops.empty(); }
 };

@@ -85,6 +85,10 @@ const std::vector<FaultInfo>& FaultRegistry::Catalog() {
        "Arbitrary read/write", "CVE-2021-29154",
        "branch displacement miscomputed during image finalization hijacks "
        "control flow"},
+      {std::string(kFaultJitElideUnproven), "jit",
+       "Arbitrary read/write", "check-elision soundness class",
+       "JIT lowering elides runtime bounds checks for memory micro-ops the "
+       "static analyses never proved in-bounds"},
       {std::string(kFaultSchedStallLoop), "helper", "Deadlock/Hang",
        "sched_ext watchdog timeout class",
        "bpf_sched_pick_default spins over a corrupted dispatch list, "

@@ -57,6 +57,8 @@ inline constexpr std::string_view kFaultHelperTaskStorageNull =
     "helper.task_storage.null_owner";  // commit 1a9c72ad class
 inline constexpr std::string_view kFaultJitBranchOffByOne =
     "jit.branch_off_by_one";  // CVE-2021-29154 class
+inline constexpr std::string_view kFaultJitElideUnproven =
+    "jit.elide_unproven";  // bounds check dropped without an analysis proof
 // Scheduler-helper defects (sched_ext family). All four live *below* the
 // verifier's horizon — a verified pick policy still stalls, starves,
 // misdirects or crashes the scheduler when the helper underneath is buggy.

@@ -33,11 +33,21 @@ class Execution final : public RuntimeHooks {
   Execution(Bpf& bpf, const LoadedProgram& prog, const ExecOptions& opts,
             const Loader* loader)
       : bpf_(bpf), kernel_(bpf.kernel()), opts_(opts), loader_(loader),
-        insns_(&prog.image.insns), decoded_(EnsureDecoded(prog)) {}
+        insns_(&prog.image.insns), decoded_(EnsureDecoded(prog)),
+        wild_writes_at_entry_(bpf.kernel().mem().unchecked_wild_writes()) {}
 
   ~Execution() override {
     if (leased_stack_) {
-      bpf_.ReleaseExecStack();
+      // Report how much stack this run could have dirtied so the next
+      // lease only re-zeroes that prefix. Frame-relative accesses are
+      // bounded by the frame high-water mark; a run that went wild
+      // (elided access under a wrong proof) reports "everything".
+      const bool went_wild =
+          kernel_.mem().unchecked_wild_writes() != wild_writes_at_entry_;
+      bpf_.ReleaseExecStack(
+          went_wild ? ~static_cast<xbase::usize>(0)
+                    : static_cast<xbase::usize>(kFrameBytes) *
+                          (stats_.max_frame_depth + 1));
     } else if (stack_base_ != 0) {
       (void)kernel_.mem().Unmap(stack_base_);
     }
@@ -124,6 +134,76 @@ class Execution final : public RuntimeHooks {
     return xbase::Status::Ok();
   }
 
+  // ---- Elided-check memory path ---------------------------------------
+  // The unchecked (`...U`) micro-ops resolve addresses through a small
+  // ring of direct region windows instead of ReadChecked/WriteChecked:
+  // the static layers proved the access in bounds, so the runtime skips
+  // NULL-guard/permission/key enforcement and fault recording entirely.
+  // Region byte storage is stable between helper calls, and helpers are
+  // the only unmap path, so the windows are flushed at every helper/kfunc
+  // invoke boundary and never dangle. When the proof was wrong (a buggy
+  // verifier), a crossing access simply misses every window and region —
+  // a *wild* access: silently dropped/poisoned, counted on SimMemory, and
+  // never an oops. That silence is the paper's point.
+  static constexpr u32 kDirectWindows = 4;
+
+  u8* DirectPtr(simkern::Addr addr, u32 size) {
+    for (u32 i = 0; i < kDirectWindows; ++i) {
+      const simkern::SimMemory::DirectWindow& w = windows_[i];
+      // Overflow-safe containment: rel wraps huge for addr < base.
+      const u64 rel = addr - w.base;
+      if (rel < w.len && w.len - rel >= size) {
+        return w.bytes + rel;
+      }
+    }
+    return DirectPtrSlow(addr, size);
+  }
+
+  u8* DirectPtrSlow(simkern::Addr addr, u32 size) {
+    simkern::SimMemory::DirectWindow w =
+        kernel_.mem().TranslateForUnchecked(addr);
+    if (w.bytes == nullptr) {
+      return nullptr;  // unmapped: wild
+    }
+    windows_[window_next_] = w;
+    window_next_ = (window_next_ + 1) % kDirectWindows;
+    const u64 rel = addr - w.base;
+    if (w.len - rel < size) {
+      return nullptr;  // straddles the region end: wild
+    }
+    return w.bytes + rel;
+  }
+
+  void ResetWindows() {
+    for (u32 i = 0; i < kDirectWindows; ++i) {
+      windows_[i] = {};
+    }
+  }
+
+  // A wild elided read observes a deterministic poison pattern (masked to
+  // the access width); a wild elided write vanishes. Both engines with
+  // checks would have oopsed here — the counters are the only witness.
+  u64 WildRead(u32 size) {
+    kernel_.mem().NoteWildRead();
+    const u64 poison = 0xdeadbeefdeadbeefULL;
+    return size >= 8 ? poison : poison & ((u64{1} << (size * 8)) - 1);
+  }
+
+  void WildWrite() { kernel_.mem().NoteWildWrite(); }
+
+  // Inline cache for map lookups on the helper fast path: one entry keyed
+  // by (map identity, generation, key bytes). The map pointer is compared
+  // against the live Find() result and never dereferenced, and the
+  // generation is a process-global monotonic stamp bumped on every
+  // mutation, so destroyed/recreated maps and updated entries both miss.
+  struct LookupCache {
+    const void* map = nullptr;
+    u64 gen = 0;
+    u64 key = 0;
+    u32 key_size = 0;
+    simkern::Addr addr = 0;
+  };
+
   // Returns the program's lowered form, decoding on the spot for programs
   // that never went through JitCompile (hand-built test fixtures). The
   // lazily-decoded images are kept alive for the run in owned_decodes_.
@@ -171,6 +251,10 @@ class Execution final : public RuntimeHooks {
   std::vector<simkern::ObjectId> open_refs_;
   u32 callback_depth_ = 0;
   std::optional<u32> pending_tail_call_;
+  simkern::SimMemory::DirectWindow windows_[kDirectWindows] = {};
+  u32 window_next_ = 0;
+  LookupCache lookup_cache_;
+  u64 wild_writes_at_entry_ = 0;
 };
 
 }  // namespace internal

@@ -27,6 +27,38 @@ using xbase::StrFormat;
 
 namespace {
 constexpr u64 kScratchPoison = 0xdead2bad00000000ULL;
+
+// Width-dispatched little-endian access for the elided-check memory ops.
+// Every call site passes a constant width, so the switch folds away.
+inline u64 DirectLoad(const u8* p, u32 bytes) {
+  switch (bytes) {
+    case 1:
+      return p[0];
+    case 2:
+      return xbase::LoadLe16(p);
+    case 4:
+      return xbase::LoadLe32(p);
+    default:
+      return xbase::LoadLe64(p);
+  }
+}
+
+inline void DirectStore(u8* p, u32 bytes, u64 value) {
+  switch (bytes) {
+    case 1:
+      p[0] = static_cast<u8>(value);
+      break;
+    case 2:
+      xbase::StoreLe16(p, static_cast<xbase::u16>(value));
+      break;
+    case 4:
+      xbase::StoreLe32(p, static_cast<u32>(value));
+      break;
+    default:
+      xbase::StoreLe64(p, value);
+      break;
+  }
+}
 }  // namespace
 
 #if defined(UNTENABLE_SWITCH_DISPATCH) || \
@@ -203,6 +235,69 @@ constexpr u64 kScratchPoison = 0xdead2bad00000000ULL;
     EBPF_NEXT();                                                      \
   }
 
+// Elided-check memory ops. The static layers proved the access in bounds,
+// so there is no fault point — and therefore no observable point, which is
+// why the EBPF_SYNC flush disappears along with the check (the per-insn
+// counter stays batched straight through proven superblocks; the 4096-insn
+// RCU probe in EBPF_NEXT is retained everywhere for exact stall-check
+// parity with the legacy engine). Address resolution goes through the
+// direct-window ring (interp_internal.h); a miss against every region is a
+// wild access — poisoned read / dropped write, counted on SimMemory, never
+// an oops. When the proof was wrong, this is the paper's silent corruption.
+#define EBPF_LDXU_CASE(Sz, Bytes)                                     \
+  EBPF_CASE(Ldx##Sz##U) {                                             \
+    const u8* p = DirectPtr(regs[op.src] + EBPF_MEM_OFF(), Bytes);    \
+    regs[op.dst] = p != nullptr ? DirectLoad(p, Bytes) : WildRead(Bytes); \
+    ++pc;                                                             \
+    EBPF_NEXT();                                                      \
+  }
+
+#define EBPF_STXU_CASE(Sz, Bytes)                                     \
+  EBPF_CASE(Stx##Sz##U) {                                             \
+    u8* p = DirectPtr(regs[op.dst] + EBPF_MEM_OFF(), Bytes);          \
+    if (p != nullptr) {                                               \
+      DirectStore(p, Bytes, regs[op.src]);                            \
+    } else {                                                          \
+      WildWrite();                                                    \
+    }                                                                 \
+    ++pc;                                                             \
+    EBPF_NEXT();                                                      \
+  }
+
+#define EBPF_STU_CASE(Sz, Bytes)                                      \
+  EBPF_CASE(St##Sz##U) {                                              \
+    u8* p = DirectPtr(regs[op.dst] + EBPF_MEM_OFF(), Bytes);          \
+    if (p != nullptr) {                                               \
+      DirectStore(p, Bytes, op.imm);                                  \
+    } else {                                                          \
+      WildWrite();                                                    \
+    }                                                                 \
+    ++pc;                                                             \
+    EBPF_NEXT();                                                      \
+  }
+
+// Second-half bookkeeping of a fused pair, replicating exactly what
+// EBPF_NEXT would have done between the two halves: count the tail insn,
+// probe/cap on it, trace it with the mid-pair register state. The periodic
+// path re-enters at dispatch_fetch with pc set to the INTACT tail slot, so
+// the stall probe, cap recheck, and tracer all observe the same stream as
+// the unfused form (and the tail executes exactly once — this macro skips
+// its own trace on that path because dispatch_fetch traces).
+#define EBPF_FUSE_STEP2(SecondPc)                                     \
+  do {                                                                \
+    ++insns;                                                          \
+    if ((insns & 0xfff) == 0) {                                       \
+      pc = (SecondPc);                                                \
+      goto periodic;                                                  \
+    }                                                                 \
+    if (insns > max_insns) {                                          \
+      goto insn_cap;                                                  \
+    }                                                                 \
+    if (tracer != nullptr) {                                          \
+      tracer->OnInsn((SecondPc), regs);                               \
+    }                                                                 \
+  } while (0)
+
 xbase::Result<u64> Execution::RunThreaded(u32 pc, u64* regs, u32 depth) {
   stats_.max_frame_depth = std::max(stats_.max_frame_depth, depth);
 
@@ -220,6 +315,7 @@ xbase::Result<u64> Execution::RunThreaded(u32 pc, u64* regs, u32 depth) {
   const MicroOp* ops = decoded_->ops.data();
   u32 num_ops = static_cast<u32>(decoded_->ops.size());
   const CallSite* calls = decoded_->calls.data();
+  const MicroOp* sb = decoded_->sb_ops.data();
 
   InsnTracer* const tracer = opts_.tracer;
   const u64 max_insns = opts_.max_insns;
@@ -261,6 +357,10 @@ dispatch_fetch:
   if (tracer != nullptr) {
     tracer->OnInsn(pc, regs);
   }
+// Dispatch `op` as already fetched/bookkept/traced — the superblock slow
+// path re-enters here with the head's ORIGINAL op swapped in (EBPF_NEXT
+// already counted and traced that insn when it fetched the block head).
+dispatch_op:
 
 #if EBPF_COMPUTED_GOTO
   goto* kDispatch[op.handler];
@@ -297,6 +397,233 @@ dispatch_fetch:
   EBPF_ATOMIC_CASE(H, 2)
   EBPF_ATOMIC_CASE(W, 4)
   EBPF_ATOMIC_CASE(Dw, 8)
+
+  EBPF_LDXU_CASE(B, 1)
+  EBPF_LDXU_CASE(H, 2)
+  EBPF_LDXU_CASE(W, 4)
+  EBPF_LDXU_CASE(Dw, 8)
+
+  EBPF_STXU_CASE(B, 1)
+  EBPF_STXU_CASE(H, 2)
+  EBPF_STXU_CASE(W, 4)
+  EBPF_STXU_CASE(Dw, 8)
+
+  EBPF_STU_CASE(B, 1)
+  EBPF_STU_CASE(H, 2)
+  EBPF_STU_CASE(W, 4)
+  EBPF_STU_CASE(Dw, 8)
+
+  // ---- fused superops (see FusePairs in jit.cc for the field packing).
+  // Each executes head-then-tail semantics in one dispatch; the tail slot
+  // stays intact for mid-pair branch entries and periodic re-dispatch.
+
+  // dst += imm; src(reg idx) += (s32)jump.
+  EBPF_CASE(FuseAddImmAddImm) {
+    regs[op.dst] += op.imm;
+    EBPF_FUSE_STEP2(pc + 1);
+    regs[op.src] +=
+        static_cast<u64>(static_cast<s64>(static_cast<s32>(op.jump)));
+    pc += 2;
+    EBPF_NEXT();
+  }
+
+  // dst += imm; goto jump (the tail's pre-relocated target).
+  EBPF_CASE(FuseAddImmJa) {
+    regs[op.dst] += op.imm;
+    EBPF_FUSE_STEP2(pc + 1);
+    pc = op.jump;
+    EBPF_NEXT();
+  }
+
+  // dst += src; reg[jump] += imm.
+  EBPF_CASE(FuseAddRegAddImm) {
+    regs[op.dst] += regs[op.src];
+    EBPF_FUSE_STEP2(pc + 1);
+    regs[op.jump] += op.imm;
+    pc += 2;
+    EBPF_NEXT();
+  }
+
+  // dst = src; dst += imm.
+  EBPF_CASE(FuseMovRegAddImm) {
+    regs[op.dst] = regs[op.src];
+    EBPF_FUSE_STEP2(pc + 1);
+    regs[op.dst] += op.imm;
+    pc += 2;
+    EBPF_NEXT();
+  }
+
+  // dst = imm; exit — replica of the Exit body after the mov.
+  EBPF_CASE(FuseMovImmExit) {
+    regs[op.dst] = op.imm;
+    EBPF_FUSE_STEP2(pc + 1);
+    if (call_depth != 0) {
+      const u64 r0 = regs[R0];
+      SavedFrame& saved = call_stack[--call_depth];
+      std::memcpy(regs, saved.regs, sizeof(saved.regs));
+      regs[R0] = r0;
+      pc = saved.return_pc;
+      --bpf_frame;
+      EBPF_NEXT();
+    }
+    EBPF_SYNC();
+    return regs[R0];
+  }
+
+  // dst = *(u32*)(src + off); dst += imm. jump keeps the memory offset.
+  EBPF_CASE(FuseLdxWUAddImm) {
+    const u8* p = DirectPtr(regs[op.src] + EBPF_MEM_OFF(), 4);
+    regs[op.dst] = p != nullptr ? xbase::LoadLe32(p) : WildRead(4);
+    EBPF_FUSE_STEP2(pc + 1);
+    regs[op.dst] += op.imm;
+    pc += 2;
+    EBPF_NEXT();
+  }
+
+  // dst = *(u64*)(src + off); dst += imm.
+  EBPF_CASE(FuseLdxDwUAddImm) {
+    const u8* p = DirectPtr(regs[op.src] + EBPF_MEM_OFF(), 8);
+    regs[op.dst] = p != nullptr ? xbase::LoadLe64(p) : WildRead(8);
+    EBPF_FUSE_STEP2(pc + 1);
+    regs[op.dst] += op.imm;
+    pc += 2;
+    EBPF_NEXT();
+  }
+
+  // dst += src; reg[jump] += (s32)imm; goto (imm >> 32) — the whole
+  // counted-loop back-edge body in one dispatch. Slots pc+1 / pc+2 intact.
+  EBPF_CASE(FuseAddRegAddImmJa) {
+    regs[op.dst] += regs[op.src];
+    EBPF_FUSE_STEP2(pc + 1);
+    regs[op.jump] += static_cast<u64>(
+        static_cast<s64>(static_cast<s32>(static_cast<u32>(op.imm))));
+    EBPF_FUSE_STEP2(pc + 2);
+    pc = static_cast<u32>(op.imm >> 32);
+    EBPF_NEXT();
+  }
+
+  // Entry-charged straight-line superblock (imm = len, jump = sb_ops start).
+  // Fast path: the whole block's insn cost is charged up front and the
+  // original per-insn ops run in a tight loop with no per-insn fetch,
+  // probe, cap, or dispatch — the analysis proved the block straight-line
+  // and fault-free, so there is no observable point inside it. Any run
+  // where the bookkeeping WOULD be observable — a tracer attached, the
+  // harness insn cap landing mid-block, or the 4096-insn RCU probe
+  // boundary crossing inside the block — takes the slow path instead:
+  // execute the head's original op (already counted and traced by the
+  // dispatch that fetched this slot) and fall back to per-insn execution
+  // through the intact interior slots, preserving exact boundary parity
+  // with the legacy engine.
+  EBPF_CASE(SuperBlock) {
+    const u32 len = static_cast<u32>(op.imm);
+    const MicroOp* bop = sb + op.jump;
+    if (tracer != nullptr || insns + len - 1 > max_insns ||
+        ((insns + len - 1) >> 12) != (insns >> 12)) {
+      op = *bop;  // the head's original micro-op
+      goto dispatch_op;
+    }
+    insns += len - 1;
+    ++bop;  // skip the slow-path head copy; run the folded list
+    for (const MicroOp* bend = bop + static_cast<u32>(op.imm >> 32);
+         bop != bend; ++bop) {
+      const MicroOp& b = *bop;
+      switch (static_cast<UOp>(b.handler)) {
+        case UOp::kAlu64AddImm: regs[b.dst] += b.imm; break;
+        case UOp::kAlu64AddReg: regs[b.dst] += regs[b.src]; break;
+        case UOp::kAlu32AddImm:
+          regs[b.dst] = static_cast<u32>(regs[b.dst]) + static_cast<u32>(b.imm);
+          break;
+        case UOp::kAlu32AddReg:
+          regs[b.dst] =
+              static_cast<u32>(regs[b.dst]) + static_cast<u32>(regs[b.src]);
+          break;
+        case UOp::kAlu64SubImm: regs[b.dst] -= b.imm; break;
+        case UOp::kAlu64SubReg: regs[b.dst] -= regs[b.src]; break;
+        case UOp::kAlu32SubImm:
+          regs[b.dst] = static_cast<u32>(regs[b.dst]) - static_cast<u32>(b.imm);
+          break;
+        case UOp::kAlu32SubReg:
+          regs[b.dst] =
+              static_cast<u32>(regs[b.dst]) - static_cast<u32>(regs[b.src]);
+          break;
+        case UOp::kAlu64AndImm: regs[b.dst] &= b.imm; break;
+        case UOp::kAlu64AndReg: regs[b.dst] &= regs[b.src]; break;
+        case UOp::kAlu32AndImm:
+          regs[b.dst] = static_cast<u32>(regs[b.dst]) & static_cast<u32>(b.imm);
+          break;
+        case UOp::kAlu32AndReg:
+          regs[b.dst] =
+              static_cast<u32>(regs[b.dst]) & static_cast<u32>(regs[b.src]);
+          break;
+        case UOp::kAlu64OrImm: regs[b.dst] |= b.imm; break;
+        case UOp::kAlu64OrReg: regs[b.dst] |= regs[b.src]; break;
+        case UOp::kAlu32OrImm:
+          regs[b.dst] = static_cast<u32>(regs[b.dst]) | static_cast<u32>(b.imm);
+          break;
+        case UOp::kAlu32OrReg:
+          regs[b.dst] =
+              static_cast<u32>(regs[b.dst]) | static_cast<u32>(regs[b.src]);
+          break;
+        case UOp::kAlu64XorImm: regs[b.dst] ^= b.imm; break;
+        case UOp::kAlu64XorReg: regs[b.dst] ^= regs[b.src]; break;
+        case UOp::kAlu32XorImm:
+          regs[b.dst] = static_cast<u32>(regs[b.dst]) ^ static_cast<u32>(b.imm);
+          break;
+        case UOp::kAlu32XorReg:
+          regs[b.dst] =
+              static_cast<u32>(regs[b.dst]) ^ static_cast<u32>(regs[b.src]);
+          break;
+        case UOp::kAlu64MovImm: regs[b.dst] = b.imm; break;
+        case UOp::kAlu64MovReg: regs[b.dst] = regs[b.src]; break;
+        case UOp::kAlu32MovImm: regs[b.dst] = static_cast<u32>(b.imm); break;
+        case UOp::kAlu32MovReg:
+          regs[b.dst] = static_cast<u32>(regs[b.src]);
+          break;
+        case UOp::kLdxBU: case UOp::kLdxHU: case UOp::kLdxWU:
+        case UOp::kLdxDwU: {
+          const u32 bytes = 1u << (b.handler - static_cast<u16>(UOp::kLdxBU));
+          const u8* p = DirectPtr(
+              regs[b.src] +
+                  static_cast<u64>(static_cast<s64>(static_cast<s32>(b.jump))),
+              bytes);
+          regs[b.dst] = p != nullptr ? DirectLoad(p, bytes) : WildRead(bytes);
+          break;
+        }
+        case UOp::kStxBU: case UOp::kStxHU: case UOp::kStxWU:
+        case UOp::kStxDwU: {
+          const u32 bytes = 1u << (b.handler - static_cast<u16>(UOp::kStxBU));
+          u8* p = DirectPtr(
+              regs[b.dst] +
+                  static_cast<u64>(static_cast<s64>(static_cast<s32>(b.jump))),
+              bytes);
+          if (p != nullptr) {
+            DirectStore(p, bytes, regs[b.src]);
+          } else {
+            WildWrite();
+          }
+          break;
+        }
+        case UOp::kStBU: case UOp::kStHU: case UOp::kStWU:
+        case UOp::kStDwU: {
+          const u32 bytes = 1u << (b.handler - static_cast<u16>(UOp::kStBU));
+          u8* p = DirectPtr(
+              regs[b.dst] +
+                  static_cast<u64>(static_cast<s64>(static_cast<s32>(b.jump))),
+              bytes);
+          if (p != nullptr) {
+            DirectStore(p, bytes, b.imm);
+          } else {
+            WildWrite();
+          }
+          break;
+        }
+        default:
+          break;  // unreachable: BlockableOp gates admission at lowering
+      }
+    }
+    pc += len;
+    EBPF_NEXT();
+  }
 
   EBPF_CASE(AtomicBad) {
     EBPF_SYNC();
@@ -389,7 +716,39 @@ dispatch_fetch:
         if (!read.ok()) {
           return kernel_.Route(std::move(read));
         }
-        auto addr = map.value()->LookupAddr(kernel_, {key_buf, key_size});
+        Map* m = map.value();
+        const MapType mtype = m->spec().type;
+        // Lookup inline cache: one entry keyed by (map identity, global
+        // generation stamp, key bytes). Array and hash only — percpu
+        // lookups depend on current_cpu, and the other types aren't value
+        // lookups. Misses are cached too (addr 0); an Update that later
+        // inserts the key bumps the generation and invalidates. The
+        // cached map pointer is only ever *compared* against the live
+        // Find() result, never dereferenced first, so a destroyed map
+        // can't dangle, and the process-global stamp kills ABA reuse.
+        if (key_size <= 8 &&
+            (mtype == MapType::kArray || mtype == MapType::kHash)) {
+          u64 key_word = 0;
+          std::memcpy(&key_word, key_buf, key_size);
+          if (lookup_cache_.map == m &&
+              lookup_cache_.gen == m->generation() &&
+              lookup_cache_.key_size == key_size &&
+              lookup_cache_.key == key_word) {
+            regs[R0] = lookup_cache_.addr;
+          } else {
+            auto addr = m->LookupAddr(kernel_, {key_buf, key_size});
+            const Addr value_addr = addr.ok() ? addr.value() : 0;
+            lookup_cache_ = {m, m->generation(), key_word, key_size,
+                             value_addr};
+            regs[R0] = value_addr;  // NULL on miss
+          }
+          for (int r = R1; r <= R5; ++r) {
+            regs[r] = kScratchPoison + static_cast<u64>(r);
+          }
+          ++pc;
+          EBPF_NEXT();
+        }
+        auto addr = m->LookupAddr(kernel_, {key_buf, key_size});
         regs[R0] = addr.ok() ? addr.value() : 0;  // NULL on miss
         for (int r = R1; r <= R5; ++r) {
           regs[r] = kScratchPoison + static_cast<u64>(r);
@@ -402,6 +761,9 @@ dispatch_fetch:
     const HelperArgs args = {regs[R1], regs[R2], regs[R3], regs[R4],
                              regs[R5]};
     auto ret = (*fn)(hctx, args);
+    // Helpers are the only path that can unmap regions (map delete,
+    // ringbuf churn): drop the direct windows so elided accesses re-translate.
+    ResetWindows();
     // Nested callbacks advanced the shared counter and may have
     // tail-called; re-sync the locals with the world.
     insns = stats_.insns;
@@ -409,6 +771,7 @@ dispatch_fetch:
     ops = decoded_->ops.data();
     num_ops = static_cast<u32>(decoded_->ops.size());
     calls = decoded_->calls.data();
+    sb = decoded_->sb_ops.data();
     if (!ret.ok()) {
       return ret.status();
     }
@@ -428,6 +791,7 @@ dispatch_fetch:
       ops = decoded_->ops.data();
       num_ops = static_cast<u32>(decoded_->ops.size());
       calls = decoded_->calls.data();
+      sb = decoded_->sb_ops.data();
       regs[R1] = ctx_addr_;
       pc = 0;
       EBPF_NEXT();
@@ -457,11 +821,13 @@ dispatch_fetch:
     const HelperArgs args = {regs[R1], regs[R2], regs[R3], regs[R4],
                              regs[R5]};
     auto ret = (*fn)(hctx, args);
+    ResetWindows();  // kfuncs can unmap regions too
     insns = stats_.insns;
     synced_insns = insns;
     ops = decoded_->ops.data();
     num_ops = static_cast<u32>(decoded_->ops.size());
     calls = decoded_->calls.data();
+    sb = decoded_->sb_ops.data();
     if (!ret.ok()) {
       return ret.status();
     }
@@ -479,6 +845,7 @@ dispatch_fetch:
       ops = decoded_->ops.data();
       num_ops = static_cast<u32>(decoded_->ops.size());
       calls = decoded_->calls.data();
+      sb = decoded_->sb_ops.data();
       regs[R1] = ctx_addr_;
       pc = 0;
       EBPF_NEXT();

@@ -13,6 +13,7 @@
 #include "src/ebpf/fault.h"
 #include "src/ebpf/kfunc.h"
 #include "src/ebpf/prog.h"
+#include "src/ebpf/rangetrace.h"
 #include "src/xbase/status.h"
 
 namespace ebpf {
@@ -24,6 +25,23 @@ struct JitStats {
   u32 micro_ops = 0;           // lowered slots (1:1 with image insns)
   u32 call_sites_resolved = 0; // helper/kfunc fns bound at lowering time
   u32 call_sites_gate_denied = 0;  // failed the dispatch contract re-check
+  u32 checks_elided = 0;  // memory micro-ops lowered without bounds checks
+  u32 pairs_fused = 0;    // adjacent micro-op pairs fused into superops
+  u32 superblocks = 0;    // straight-line runs lowered to entry-charged blocks
+};
+
+// The static analyses' per-pc memory-safety proofs, consumed at lowering
+// time. Elision is fail-closed: a memory micro-op only loses its runtime
+// bounds check when the verifier trace has a proven claim at its pc AND —
+// if a staticcheck trace is supplied (the loader's prepass, defense in
+// depth) — staticcheck agrees. Null traces or missing/unproven claims
+// keep every check. With `claims == nullptr` (every non-loader caller)
+// lowering is byte-identical to the pre-elision JIT.
+struct JitClaims {
+  const RangeTrace* verifier = nullptr;
+  const RangeTrace* staticcheck = nullptr;
+  bool elide = true;  // lower unchecked memory variants
+  bool fuse = true;   // fuse adjacent pairs into superops
 };
 
 struct JitImage {
@@ -48,7 +66,8 @@ DecodedImage DecodeProgram(const Program& image,
                            JitStats* stats = nullptr,
                            const simkern::KernelVersion* gate_version =
                                nullptr,
-                           const FaultRegistry* faults = nullptr);
+                           const FaultRegistry* faults = nullptr,
+                           const JitClaims* claims = nullptr);
 
 // Translates a verified program into an executable image (branch
 // relocation/corruption, then lowering). `gate_version` is the version the
@@ -59,6 +78,7 @@ xbase::Result<JitImage> JitCompile(const Program& prog,
                                    const HelperRegistry* helpers = nullptr,
                                    const KfuncRegistry* kfuncs = nullptr,
                                    const simkern::KernelVersion*
-                                       gate_version = nullptr);
+                                       gate_version = nullptr,
+                                   const JitClaims* claims = nullptr);
 
 }  // namespace ebpf

@@ -59,11 +59,23 @@ xbase::Result<PreparedLoad> Loader::Prepare(const Program& prog,
                          ProgTypeName(prog.type).data()));
   }
 
+  // Per-pc in-bounds claims the JIT consumes for check elision. mem_only
+  // keeps the recording cheap on the load path (no per-pc register ranges,
+  // just one MemClaim per instruction). Claims are AND-ed across paths and
+  // fail closed: an instruction the analysis never saw keeps its check.
+  RangeTrace elide_trace;
+  elide_trace.mem_only = true;
+  RangeTrace prepass_trace;
+  prepass_trace.mem_only = true;
+
   if (options.staticcheck_prepass) {
     const auto prepass_start = std::chrono::steady_clock::now();
     staticcheck::CheckOptions copts;
     copts.maps = &bpf_.maps();
     copts.helpers = &bpf_.helpers();
+    if (options.elide_checks) {
+      copts.range_trace = &prepass_trace;
+    }
     XB_ASSIGN_OR_RETURN(staticcheck::Report prepass,
                         staticcheck::RunChecks(prog, copts));
     if (times != nullptr) {
@@ -78,6 +90,9 @@ xbase::Result<PreparedLoad> Loader::Prepare(const Program& prog,
   vopts.privileged = options.privileged;
   vopts.faults = &bpf_.faults();
   vopts.kfuncs = &bpf_.kfuncs();
+  if (options.elide_checks) {
+    vopts.range_trace = &elide_trace;
+  }
 
   const auto verify_start = std::chrono::steady_clock::now();
   XB_ASSIGN_OR_RETURN(VerifyResult verify,
@@ -90,10 +105,16 @@ xbase::Result<PreparedLoad> Loader::Prepare(const Program& prog,
   // The lowering re-checks every helper call site against the contract at
   // the same version the verifier used — independent enforcement, so a
   // gate the verifier dropped still denies at dispatch.
+  // Elision requires the verifier's claim; when the staticcheck prepass ran
+  // it must agree (two independent provers, defense in depth).
+  JitClaims jit_claims;
+  jit_claims.verifier = &elide_trace;
+  jit_claims.staticcheck = options.staticcheck_prepass ? &prepass_trace : nullptr;
   XB_ASSIGN_OR_RETURN(
       JitImage jit,
       JitCompile(prog, bpf_.faults(), &bpf_.helpers(), &bpf_.kfuncs(),
-                 &vopts.version));
+                 &vopts.version,
+                 options.elide_checks ? &jit_claims : nullptr));
   if (times != nullptr) {
     times->jit_ns = ElapsedNs(jit_start);
   }

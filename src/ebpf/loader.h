@@ -55,6 +55,18 @@ struct LoadOptions {
   // unresolved ticket immediately, false blocks for the verdict. The
   // synchronous Loader::Load path ignores it.
   bool async = false;
+  // Let the JIT lower away runtime bounds checks (and fuse micro-op pairs)
+  // for memory accesses the admission analyses proved in bounds. Fail-closed:
+  // the lowering only elides where a claim exists and is proven; with this
+  // off (or under -DUNTENABLE_NO_ELIDE) every access keeps its check.
+  // NOTE: service::AdmissionService's verdict cache is not keyed on this
+  // flag — it is a build-global policy, not per-load (see ci.yml's
+  // no-elide leg, which flips the default for the whole build).
+#ifdef UNTENABLE_NO_ELIDE
+  bool elide_checks = false;
+#else
+  bool elide_checks = true;
+#endif
 };
 
 // The outcome of the fallible admission stages, ready to register.

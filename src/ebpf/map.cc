@@ -1,11 +1,17 @@
 #include "src/ebpf/map.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "src/xbase/bytes.h"
 #include "src/xbase/strfmt.h"
 
 namespace ebpf {
+
+u64 Map::NextGeneration() {
+  static std::atomic<u64> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 using simkern::MemPerm;
 using simkern::RegionKind;
@@ -89,7 +95,7 @@ xbase::Result<Addr> ArrayMap::LookupAddr(simkern::Kernel& kernel,
   return values_base_ + static_cast<u64>(index) * spec().value_size;
 }
 
-xbase::Status ArrayMap::Update(simkern::Kernel& kernel,
+xbase::Status ArrayMap::DoUpdate(simkern::Kernel& kernel,
                                std::span<const u8> key,
                                std::span<const u8> value, u64 flags) {
   XB_RETURN_IF_ERROR(CheckValueSize(value));
@@ -100,7 +106,7 @@ xbase::Status ArrayMap::Update(simkern::Kernel& kernel,
   return kernel.mem().Write(addr, value);
 }
 
-xbase::Status ArrayMap::Delete(simkern::Kernel& kernel,
+xbase::Status ArrayMap::DoDelete(simkern::Kernel& kernel,
                                std::span<const u8> key) {
   (void)kernel;
   (void)key;
@@ -129,7 +135,7 @@ xbase::Result<Addr> HashMap::LookupAddr(simkern::Kernel& kernel,
   return it->second;
 }
 
-xbase::Status HashMap::Update(simkern::Kernel& kernel,
+xbase::Status HashMap::DoUpdate(simkern::Kernel& kernel,
                               std::span<const u8> key,
                               std::span<const u8> value, u64 flags) {
   XB_RETURN_IF_ERROR(CheckKeySize(key));
@@ -159,7 +165,7 @@ xbase::Status HashMap::Update(simkern::Kernel& kernel,
   return xbase::Status::Ok();
 }
 
-xbase::Status HashMap::Delete(simkern::Kernel& kernel,
+xbase::Status HashMap::DoDelete(simkern::Kernel& kernel,
                               std::span<const u8> key) {
   XB_RETURN_IF_ERROR(CheckKeySize(key));
   auto it = entries_.find(std::vector<u8>(key.begin(), key.end()));
@@ -215,7 +221,7 @@ xbase::Result<Addr> PercpuArrayMap::LookupAddr(simkern::Kernel& kernel,
   return LookupAddrForCpu(key, kernel.current_cpu());
 }
 
-xbase::Status PercpuArrayMap::Update(simkern::Kernel& kernel,
+xbase::Status PercpuArrayMap::DoUpdate(simkern::Kernel& kernel,
                                      std::span<const u8> key,
                                      std::span<const u8> value, u64 flags) {
   XB_RETURN_IF_ERROR(CheckValueSize(value));
@@ -226,7 +232,7 @@ xbase::Status PercpuArrayMap::Update(simkern::Kernel& kernel,
   return kernel.mem().Write(addr, value);
 }
 
-xbase::Status PercpuArrayMap::Delete(simkern::Kernel& kernel,
+xbase::Status PercpuArrayMap::DoDelete(simkern::Kernel& kernel,
                                      std::span<const u8> key) {
   (void)kernel;
   (void)key;
@@ -255,7 +261,7 @@ xbase::Result<Addr> ProgArrayMap::LookupAddr(simkern::Kernel& kernel,
   return xbase::PermissionDenied("prog array values are not readable");
 }
 
-xbase::Status ProgArrayMap::Update(simkern::Kernel& kernel,
+xbase::Status ProgArrayMap::DoUpdate(simkern::Kernel& kernel,
                                    std::span<const u8> key,
                                    std::span<const u8> value, u64 flags) {
   (void)kernel;
@@ -270,7 +276,7 @@ xbase::Status ProgArrayMap::Update(simkern::Kernel& kernel,
   return xbase::Status::Ok();
 }
 
-xbase::Status ProgArrayMap::Delete(simkern::Kernel& kernel,
+xbase::Status ProgArrayMap::DoDelete(simkern::Kernel& kernel,
                                    std::span<const u8> key) {
   (void)kernel;
   XB_RETURN_IF_ERROR(CheckKeySize(key));
@@ -323,7 +329,7 @@ xbase::Result<Addr> RingBufMap::LookupAddr(simkern::Kernel& kernel,
   return xbase::PermissionDenied("ringbuf has no direct lookup");
 }
 
-xbase::Status RingBufMap::Update(simkern::Kernel& kernel,
+xbase::Status RingBufMap::DoUpdate(simkern::Kernel& kernel,
                                  std::span<const u8> key,
                                  std::span<const u8> value, u64 flags) {
   (void)kernel;
@@ -333,7 +339,7 @@ xbase::Status RingBufMap::Update(simkern::Kernel& kernel,
   return xbase::PermissionDenied("ringbuf has no direct update");
 }
 
-xbase::Status RingBufMap::Delete(simkern::Kernel& kernel,
+xbase::Status RingBufMap::DoDelete(simkern::Kernel& kernel,
                                  std::span<const u8> key) {
   (void)kernel;
   (void)key;
@@ -422,7 +428,7 @@ xbase::Result<Addr> TaskStorageMap::LookupAddr(simkern::Kernel& kernel,
   return it->second;
 }
 
-xbase::Status TaskStorageMap::Update(simkern::Kernel& kernel,
+xbase::Status TaskStorageMap::DoUpdate(simkern::Kernel& kernel,
                                      std::span<const u8> key,
                                      std::span<const u8> value, u64 flags) {
   (void)flags;
@@ -442,7 +448,7 @@ xbase::Status TaskStorageMap::Update(simkern::Kernel& kernel,
   return kernel.mem().Write(it->second, value);
 }
 
-xbase::Status TaskStorageMap::Delete(simkern::Kernel& kernel,
+xbase::Status TaskStorageMap::DoDelete(simkern::Kernel& kernel,
                                      std::span<const u8> key) {
   XB_RETURN_IF_ERROR(CheckKeySize(key));
   const u32 pid = xbase::LoadLe32(key.data());

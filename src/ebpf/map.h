@@ -63,21 +63,40 @@ class Map {
   // back from bpf_map_lookup_elem.
   virtual xbase::Result<Addr> LookupAddr(simkern::Kernel& kernel,
                                          std::span<const u8> key) = 0;
-  virtual xbase::Status Update(simkern::Kernel& kernel,
-                               std::span<const u8> key,
-                               std::span<const u8> value, u64 flags) = 0;
-  virtual xbase::Status Delete(simkern::Kernel& kernel,
-                               std::span<const u8> key) = 0;
+  // Mutations funnel through these non-virtual wrappers so every one
+  // advances the generation stamp the engines' lookup inline caches key
+  // on. The stamp comes from a process-global monotonic counter (not a
+  // per-map ++), so a map destroyed and recreated at the same address can
+  // never resurrect a cached entry (no ABA).
+  xbase::Status Update(simkern::Kernel& kernel, std::span<const u8> key,
+                       std::span<const u8> value, u64 flags) {
+    generation_ = NextGeneration();
+    return DoUpdate(kernel, key, value, flags);
+  }
+  xbase::Status Delete(simkern::Kernel& kernel, std::span<const u8> key) {
+    generation_ = NextGeneration();
+    return DoDelete(kernel, key);
+  }
+  u64 generation() const { return generation_; }
 
   virtual u32 entry_count() const = 0;
 
  protected:
+  virtual xbase::Status DoUpdate(simkern::Kernel& kernel,
+                                 std::span<const u8> key,
+                                 std::span<const u8> value, u64 flags) = 0;
+  virtual xbase::Status DoDelete(simkern::Kernel& kernel,
+                                 std::span<const u8> key) = 0;
+
   xbase::Status CheckKeySize(std::span<const u8> key) const;
   xbase::Status CheckValueSize(std::span<const u8> value) const;
 
  private:
+  static u64 NextGeneration();
+
   int fd_;
   MapSpec spec_;
+  u64 generation_ = NextGeneration();
 };
 
 // ---- array ------------------------------------------------------------------
@@ -88,10 +107,10 @@ class ArrayMap : public Map {
 
   xbase::Result<Addr> LookupAddr(simkern::Kernel& kernel,
                                  std::span<const u8> key) override;
-  xbase::Status Update(simkern::Kernel& kernel, std::span<const u8> key,
-                       std::span<const u8> value, u64 flags) override;
-  xbase::Status Delete(simkern::Kernel& kernel,
-                       std::span<const u8> key) override;
+  xbase::Status DoUpdate(simkern::Kernel& kernel, std::span<const u8> key,
+                         std::span<const u8> value, u64 flags) override;
+  xbase::Status DoDelete(simkern::Kernel& kernel,
+                         std::span<const u8> key) override;
   u32 entry_count() const override { return spec().max_entries; }
 
   Addr values_base() const { return values_base_; }
@@ -115,10 +134,10 @@ class HashMap : public Map {
 
   xbase::Result<Addr> LookupAddr(simkern::Kernel& kernel,
                                  std::span<const u8> key) override;
-  xbase::Status Update(simkern::Kernel& kernel, std::span<const u8> key,
-                       std::span<const u8> value, u64 flags) override;
-  xbase::Status Delete(simkern::Kernel& kernel,
-                       std::span<const u8> key) override;
+  xbase::Status DoUpdate(simkern::Kernel& kernel, std::span<const u8> key,
+                         std::span<const u8> value, u64 flags) override;
+  xbase::Status DoDelete(simkern::Kernel& kernel,
+                         std::span<const u8> key) override;
   u32 entry_count() const override {
     return static_cast<u32>(entries_.size());
   }
@@ -139,10 +158,10 @@ class PercpuArrayMap : public Map {
   xbase::Result<Addr> LookupAddr(simkern::Kernel& kernel,
                                  std::span<const u8> key) override;
   xbase::Result<Addr> LookupAddrForCpu(std::span<const u8> key, u32 cpu);
-  xbase::Status Update(simkern::Kernel& kernel, std::span<const u8> key,
-                       std::span<const u8> value, u64 flags) override;
-  xbase::Status Delete(simkern::Kernel& kernel,
-                       std::span<const u8> key) override;
+  xbase::Status DoUpdate(simkern::Kernel& kernel, std::span<const u8> key,
+                         std::span<const u8> value, u64 flags) override;
+  xbase::Status DoDelete(simkern::Kernel& kernel,
+                         std::span<const u8> key) override;
   u32 entry_count() const override { return spec().max_entries; }
 
  private:
@@ -159,10 +178,10 @@ class ProgArrayMap : public Map {
 
   xbase::Result<Addr> LookupAddr(simkern::Kernel& kernel,
                                  std::span<const u8> key) override;
-  xbase::Status Update(simkern::Kernel& kernel, std::span<const u8> key,
-                       std::span<const u8> value, u64 flags) override;
-  xbase::Status Delete(simkern::Kernel& kernel,
-                       std::span<const u8> key) override;
+  xbase::Status DoUpdate(simkern::Kernel& kernel, std::span<const u8> key,
+                         std::span<const u8> value, u64 flags) override;
+  xbase::Status DoDelete(simkern::Kernel& kernel,
+                         std::span<const u8> key) override;
   u32 entry_count() const override;
 
   std::optional<u32> ProgIdAt(u32 index) const;
@@ -181,10 +200,10 @@ class RingBufMap : public Map {
 
   xbase::Result<Addr> LookupAddr(simkern::Kernel& kernel,
                                  std::span<const u8> key) override;
-  xbase::Status Update(simkern::Kernel& kernel, std::span<const u8> key,
-                       std::span<const u8> value, u64 flags) override;
-  xbase::Status Delete(simkern::Kernel& kernel,
-                       std::span<const u8> key) override;
+  xbase::Status DoUpdate(simkern::Kernel& kernel, std::span<const u8> key,
+                         std::span<const u8> value, u64 flags) override;
+  xbase::Status DoDelete(simkern::Kernel& kernel,
+                         std::span<const u8> key) override;
   u32 entry_count() const override { return pending_; }
 
   // Producer API used by bpf_ringbuf_output / reserve+commit.
@@ -223,10 +242,10 @@ class TaskStorageMap : public Map {
   // Keyed by pid (u32 key).
   xbase::Result<Addr> LookupAddr(simkern::Kernel& kernel,
                                  std::span<const u8> key) override;
-  xbase::Status Update(simkern::Kernel& kernel, std::span<const u8> key,
-                       std::span<const u8> value, u64 flags) override;
-  xbase::Status Delete(simkern::Kernel& kernel,
-                       std::span<const u8> key) override;
+  xbase::Status DoUpdate(simkern::Kernel& kernel, std::span<const u8> key,
+                         std::span<const u8> value, u64 flags) override;
+  xbase::Status DoDelete(simkern::Kernel& kernel,
+                         std::span<const u8> key) override;
   u32 entry_count() const override {
     return static_cast<u32>(entries_.size());
   }

@@ -200,11 +200,37 @@ inline bool RelBoundsContradict(s64 a_ij, s64 b_ji) {
   return static_cast<__int128>(a_ij) + static_cast<__int128>(b_ji) < 0;
 }
 
+// Per-pc memory-safety claim: "every bounds check this analysis ran at
+// this pc succeeded". `seen` distinguishes "never analysed" (fail-closed:
+// the JIT must keep the runtime check) from "analysed and proven".
+// `proven` is ANDed over every visit, so a pc reached on multiple paths
+// is only claimed when all of them are in bounds.
+struct MemClaim {
+  bool seen = false;
+  bool proven = true;
+  void Record(bool ok) {
+    seen = true;
+    proven = proven && ok;
+  }
+};
+
 struct RangeTrace {
   std::vector<std::array<RegClaim, kNumRegs>> per_pc;
   std::vector<RelClaims> rel_per_pc;
+  std::vector<MemClaim> mem_per_pc;
+  // When set before verification, only mem_per_pc is populated; the
+  // per-register interval and relational claims (the expensive part of
+  // trace recording) are skipped. The loader uses this so check elision
+  // never pays the differential-testing export cost on the load path.
+  bool mem_only = false;
 
   void Reset(xbase::usize prog_len) {
+    mem_per_pc.assign(prog_len, {});
+    if (mem_only) {
+      per_pc.clear();
+      rel_per_pc.clear();
+      return;
+    }
     per_pc.assign(prog_len, {});
     rel_per_pc.assign(prog_len, {});
   }

@@ -218,6 +218,8 @@ class Verifier {
                               const RegState& src, u8 op, u32 pc);
 
   xbase::Status CheckMemInsn(VerifierState& state, const Insn& insn, u32 pc);
+  xbase::Status CheckMemInsnImpl(VerifierState& state, const Insn& insn,
+                                 u32 pc);
   xbase::Status CheckMemAccess(VerifierState& state, u8 regno, s32 insn_off,
                                u32 size, bool is_write, u32 pc,
                                RegState* load_dest, const RegState* store_src);
@@ -1060,8 +1062,25 @@ xbase::Status Verifier::CheckMemAccess(VerifierState& state, u8 regno,
   return Reject(pc, "unhandled pointer type");
 }
 
+// Thin recording wrapper: exports a per-pc memory-safety claim into the
+// RangeTrace. An accepted check means the verifier believes every concrete
+// execution reaching this pc stays in bounds — exactly the precondition the
+// JIT needs to elide the runtime check. Injected verifier range faults
+// (scalar_bounds, jgt_refine_off_by_one) make unsound checks *succeed*, so
+// a buggy proof automatically becomes a wrongly-proven claim here and, via
+// elision, real silent corruption downstream — no extra plumbing.
 xbase::Status Verifier::CheckMemInsn(VerifierState& state, const Insn& insn,
                                      u32 pc) {
+  xbase::Status st = CheckMemInsnImpl(state, insn, pc);
+  if (opts_.range_trace != nullptr &&
+      pc < opts_.range_trace->mem_per_pc.size()) {
+    opts_.range_trace->mem_per_pc[pc].Record(st.ok());
+  }
+  return st;
+}
+
+xbase::Status Verifier::CheckMemInsnImpl(VerifierState& state,
+                                         const Insn& insn, u32 pc) {
   FuncState& frame = state.cur();
   const u32 size = SizeBytes(insn.Size());
   if (size == 0) {

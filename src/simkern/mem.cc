@@ -237,6 +237,20 @@ const Region* SimMemory::FindRegionContaining(Addr addr) const {
   return Locate(addr, 1);
 }
 
+SimMemory::DirectWindow SimMemory::TranslateForUnchecked(Addr addr) {
+  // Pure region lookup — no NULL-guard, permission, key, or fault
+  // bookkeeping (see header). Region byte storage is stable for the
+  // region's lifetime, so the returned window stays valid until Unmap.
+  const Region* region = Locate(addr, 1);
+  if (region == nullptr) {
+    return {};
+  }
+  // Locate is const-qualified over our own regions_; the unchecked path
+  // needs mutable bytes for stores.
+  Region& mut = const_cast<Region&>(*region);
+  return {mut.base, static_cast<xbase::u64>(mut.size), mut.bytes.data()};
+}
+
 void SimMemory::SetRegionKey(Addr base, u32 key) {
   if (Region* region = FindRegion(base)) {
     region->protection_key = key;

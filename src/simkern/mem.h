@@ -128,6 +128,30 @@ class SimMemory {
   Region* FindRegion(Addr base);
   const Region* FindRegionContaining(Addr addr) const;
 
+  // Region translation for the elided-check execution path. When the JIT
+  // has a static proof that an access is in bounds, the engine skips
+  // ReadChecked/WriteChecked entirely and caches {base, len, bytes}
+  // windows from this call. Deliberately performs NO permission,
+  // protection-key, or NULL-guard enforcement and records no MemFault:
+  // if the proof was wrong (a buggy verifier), the access must *succeed
+  // silently* against whatever memory is there — the paper's
+  // "buggy verifier ⇒ silent corruption" chain, not a caught oops.
+  struct DirectWindow {
+    Addr base = 0;
+    xbase::u64 len = 0;
+    xbase::u8* bytes = nullptr;
+  };
+  DirectWindow TranslateForUnchecked(Addr addr);
+
+  // Wild (unmapped-address) accesses taken through the unchecked path.
+  // The corruption-witness tests read these: a nonzero count after a run
+  // that raised no fault is the observable signature of an elided check
+  // that was actually load-bearing.
+  void NoteWildRead() { ++unchecked_wild_reads_; }
+  void NoteWildWrite() { ++unchecked_wild_writes_; }
+  xbase::u64 unchecked_wild_reads() const { return unchecked_wild_reads_; }
+  xbase::u64 unchecked_wild_writes() const { return unchecked_wild_writes_; }
+
   void SetRegionKey(Addr base, xbase::u32 key);
 
   // Last fault, if any; cleared on read. The kernel turns pending faults
@@ -147,6 +171,8 @@ class SimMemory {
   std::map<Addr, Region> regions_;
   Addr next_base_ = kKernelBase + 0x10000;
   xbase::u64 total_mapped_ = 0;
+  xbase::u64 unchecked_wild_reads_ = 0;
+  xbase::u64 unchecked_wild_writes_ = 0;
   mutable std::optional<MemFault> fault_;
 };
 

@@ -6,7 +6,9 @@
 #include <set>
 #include <utility>
 
+#include "src/simkern/lsm.h"
 #include "src/simkern/net.h"
+#include "src/simkern/sched.h"
 #include "src/xbase/strfmt.h"
 
 namespace staticcheck {
@@ -45,6 +47,28 @@ AbsVal ConstVal(u64 value) {
 }
 
 bool IsScalarKind(VK kind) { return kind == VK::kTop || kind == VK::kConst; }
+
+// Context block size per program type, mirroring the simkern layouts the
+// runtime maps (staticcheck derives this independently — it must not
+// include the verifier it cross-checks).
+s64 CtxBytesFor(ebpf::ProgType type) {
+  switch (type) {
+    case ebpf::ProgType::kXdp:
+    case ebpf::ProgType::kSocketFilter:
+    case ebpf::ProgType::kCgroupSkb:
+      return static_cast<s64>(simkern::SkBuffLayout::kSize);
+    case ebpf::ProgType::kSchedExt:
+      return static_cast<s64>(simkern::SchedCtxLayout::kSize);
+    case ebpf::ProgType::kLsm:
+      return static_cast<s64>(simkern::LsmCtxLayout::kSize);
+    case ebpf::ProgType::kKprobe:
+    case ebpf::ProgType::kTracepoint:
+    case ebpf::ProgType::kPerfEvent:
+    case ebpf::ProgType::kSyscall:
+      return 64;
+  }
+  return 0;
+}
 
 // The range claim of a scalar abstract value (Unknown for anything else,
 // so callers stay sound without checking kinds twice).
@@ -271,6 +295,8 @@ class Dataflow {
 
   void CheckMemAccess(DfState& state, const AbsVal& base, s64 insn_off,
                       u32 size, bool is_write, u32 pc);
+  bool CheckMemAccessImpl(DfState& state, const AbsVal& base, s64 insn_off,
+                          u32 size, bool is_write, u32 pc);
   void MarkStackBytes(DfState& state, const AbsVal& base, s64 insn_off,
                       u32 size);
   void CheckStackInit(const DfState& state, const AbsVal& base, u32 size,
@@ -309,6 +335,10 @@ class Dataflow {
   std::vector<DfState> in_;
   std::vector<u32> merge_count_;
   std::deque<u32> worklist_;
+  // True only while RecordTrace re-walks the fixpoint states; memory
+  // claims are exported then, so every claim is judged at the converged
+  // invariant rather than at some intermediate iterate.
+  bool recording_ = false;
 };
 
 void Dataflow::RefineNull(DfState& state, u32 id, bool is_null) {
@@ -411,25 +441,46 @@ void Dataflow::CheckStackInit(const DfState& state, const AbsVal& base,
   }
 }
 
+// Recording wrapper: during the RecordTrace re-walk, exports a per-pc
+// "this access is provably in bounds" claim the JIT can consume for check
+// elision. Fail-closed by construction — a pc never reaching this point
+// leaves its claim unseen, and any path where the proof is imprecise ANDs
+// the claim to unproven.
 void Dataflow::CheckMemAccess(DfState& state, const AbsVal& base,
                               s64 insn_off, u32 size, bool is_write,
                               u32 pc) {
+  const bool proven =
+      CheckMemAccessImpl(state, base, insn_off, size, is_write, pc);
+  if (recording_ && opts_.range_trace != nullptr &&
+      pc < opts_.range_trace->mem_per_pc.size()) {
+    opts_.range_trace->mem_per_pc[pc].Record(proven);
+  }
+}
+
+// Returns true iff the access is provably within its region — the bar for
+// runtime check elision, which is strictly higher than "no finding": a
+// region we cannot size (kTop base, unsized kMem, unknown map) produces no
+// diagnostic but is NOT proven. Uninit-read warnings on in-frame stack
+// loads are bounds-irrelevant and do not lower the claim.
+bool Dataflow::CheckMemAccessImpl(DfState& state, const AbsVal& base,
+                                  s64 insn_off, u32 size, bool is_write,
+                                  u32 pc) {
   switch (base.kind) {
     case VK::kUninit:
     case VK::kTop:
     case VK::kFunc:
-      return;  // uninit reported by Use(); kTop is unknowable
+      return false;  // uninit reported by Use(); kTop is unknowable
     case VK::kConst:
       Report(Severity::kError, pc,
              base.cval == 0 ? "null-deref" : "const-deref",
              StrFormat("memory access through constant address 0x%llx",
                        static_cast<unsigned long long>(base.cval)));
-      return;
+      return false;
     case VK::kStack: {
       if (base.var_off) {
         Report(Severity::kWarning, pc, "stack-var-off",
                "stack access at a variable offset");
-        return;
+        return false;
       }
       const s64 lo = base.off_min + insn_off;
       const s64 hi = base.off_max + insn_off + size;
@@ -439,7 +490,7 @@ void Dataflow::CheckMemAccess(DfState& state, const AbsVal& base,
                          "%lld-byte frame",
                          static_cast<long long>(lo), size,
                          static_cast<long long>(kStackBytes)));
-        return;
+        return false;
       }
       if (is_write) {
         MarkStackBytes(state, base, insn_off, size);
@@ -449,23 +500,23 @@ void Dataflow::CheckMemAccess(DfState& state, const AbsVal& base,
         shifted.off_max += insn_off;
         CheckStackInit(state, shifted, size, pc, "load");
       }
-      return;
+      return true;
     }
     case VK::kMapVal: {
       if (base.or_null) {
         Report(Severity::kError, pc, "null-deref",
                "map value pointer may be NULL (no null check on this "
                "path)");
-        return;
+        return false;
       }
       const u32 value_size = MapValueSize(base.map_fd);
       if (value_size == 0) {
-        return;  // no map table available
+        return false;  // no map table available
       }
       if (base.var_off) {
         Report(Severity::kWarning, pc, "map-value-var-off",
                "map value accessed at a statically unbounded offset");
-        return;
+        return false;
       }
       const s64 lo = base.off_min + insn_off;
       const s64 hi = base.off_max + insn_off + size;
@@ -475,18 +526,19 @@ void Dataflow::CheckMemAccess(DfState& state, const AbsVal& base,
                          "map value",
                          static_cast<long long>(lo),
                          static_cast<long long>(hi), value_size));
+        return false;
       }
-      return;
+      return true;
     }
     case VK::kMem: {
       if (base.or_null) {
         Report(Severity::kError, pc, "null-deref",
                "helper-provided memory may be NULL (no null check on this "
                "path)");
-        return;
+        return false;
       }
       if (base.mem_size == 0 || base.var_off) {
-        return;
+        return false;
       }
       const s64 lo = base.off_min + insn_off;
       const s64 hi = base.off_max + insn_off + size;
@@ -496,14 +548,15 @@ void Dataflow::CheckMemAccess(DfState& state, const AbsVal& base,
                          "memory region",
                          static_cast<long long>(lo),
                          static_cast<long long>(hi), base.mem_size));
+        return false;
       }
-      return;
+      return true;
     }
     case VK::kPacket: {
       if (base.var_off) {
         Report(Severity::kWarning, pc, "pkt-var-off",
                "packet access at a statically unbounded offset");
-        return;
+        return false;
       }
       const s64 lo = base.off_min + insn_off;
       const s64 hi = base.off_max + insn_off + size;
@@ -520,31 +573,37 @@ void Dataflow::CheckMemAccess(DfState& state, const AbsVal& base,
                              ? ""
                              : " (pointer is stale after a packet-mutating "
                                "helper)"));
+        return false;
       }
-      return;
+      return true;
     }
     case VK::kPacketEnd:
       Report(Severity::kError, pc, "pkt-end-deref",
              "data_end is a bound for comparisons, not a loadable pointer");
-      return;
-    case VK::kCtx:
+      return false;
+    case VK::kCtx: {
       if (base.off_min + insn_off < 0) {
         Report(Severity::kWarning, pc, "ctx-oob",
                "context accessed at a negative offset");
+        return false;
       }
-      return;
+      const s64 ctx_bytes = CtxBytesFor(prog_.type);
+      return !base.var_off && ctx_bytes > 0 &&
+             base.off_max + insn_off + size <= ctx_bytes;
+    }
     case VK::kMapPtr:
       Report(Severity::kWarning, pc, "map-ptr-deref",
              "direct dereference of a map object pointer");
-      return;
+      return false;
     case VK::kSock:
     case VK::kTask:
       if (base.or_null) {
         Report(Severity::kError, pc, "null-deref",
                "object pointer may be NULL (no null check on this path)");
       }
-      return;
+      return false;  // 64-byte objects, but runtime layout is opaque here
   }
+  return false;
 }
 
 void Dataflow::CheckNullArg(const AbsVal& reg, int argno,
@@ -1533,6 +1592,7 @@ DataflowResult Dataflow::Run() {
 void Dataflow::RecordTrace() {
   ebpf::RangeTrace& trace = *opts_.range_trace;
   trace.Reset(prog_.len());
+  recording_ = true;
   for (xbase::usize b = 0; b < cfg_.blocks.size(); ++b) {
     // Skip unreached blocks and blocks only reachable across edges the
     // refinement proved infeasible: their claims would be vacuous, and a
@@ -1543,17 +1603,19 @@ void Dataflow::RecordTrace() {
     DfState state = in_[b];
     const BasicBlock& block = cfg_.blocks[b];
     for (u32 pc = block.start; pc < block.end;) {
-      std::array<ebpf::RegClaim, ebpf::kNumRegs>& claims =
-          trace.per_pc[pc];
-      for (int r = 0; r < ebpf::kNumRegs; ++r) {
-        const AbsVal& reg = state.regs[static_cast<xbase::usize>(r)];
-        if (IsScalarKind(reg.kind)) {
-          const RangeVal rng = RngOf(reg);
-          claims[static_cast<xbase::usize>(r)].JoinScalar(
-              rng.umin, rng.umax, rng.smin, rng.smax, rng.bits.value,
-              rng.bits.mask);
-        } else {
-          claims[static_cast<xbase::usize>(r)].JoinOther();
+      if (pc < trace.per_pc.size()) {
+        std::array<ebpf::RegClaim, ebpf::kNumRegs>& claims =
+            trace.per_pc[pc];
+        for (int r = 0; r < ebpf::kNumRegs; ++r) {
+          const AbsVal& reg = state.regs[static_cast<xbase::usize>(r)];
+          if (IsScalarKind(reg.kind)) {
+            const RangeVal rng = RngOf(reg);
+            claims[static_cast<xbase::usize>(r)].JoinScalar(
+                rng.umin, rng.umax, rng.smin, rng.smax, rng.bits.value,
+                rng.bits.mask);
+          } else {
+            claims[static_cast<xbase::usize>(r)].JoinOther();
+          }
         }
       }
       if (opts_.enable_relational && pc < trace.rel_per_pc.size()) {
@@ -1595,6 +1657,7 @@ void Dataflow::RecordTrace() {
       pc += prog_.insns[pc].IsLdImm64() ? 2 : 1;
     }
   }
+  recording_ = false;
 }
 
 }  // namespace

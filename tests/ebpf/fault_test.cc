@@ -17,6 +17,8 @@ struct RunOutcome {
   xbase::Status load_status;
   u64 r0 = 0;
   xbase::usize ref_leaks = 0;
+  u64 wild_reads = 0;
+  u64 wild_writes = 0;
 };
 
 class FaultTest : public ::testing::Test {
@@ -55,6 +57,8 @@ class FaultTest : public ::testing::Test {
     }
     outcome.kernel_crashed = kernel.crashed();
     outcome.ref_leaks = kernel.objects().DiffSince(before).size();
+    outcome.wild_reads = kernel.mem().unchecked_wild_reads();
+    outcome.wild_writes = kernel.mem().unchecked_wild_writes();
     return outcome;
   }
 
@@ -96,7 +100,19 @@ TEST_F(FaultTest, ScalarBoundsDefectAdmitsArbitraryRead) {
   const RunOutcome buggy =
       RunWith(kFaultVerifierScalarBounds, prog, true, true, prepare);
   EXPECT_TRUE(buggy.load_ok);
+  // With analysis-driven check elision, the buggy verifier's wrongly-proven
+  // bounds claim strips the runtime check: the out-of-bounds read no longer
+  // oopses — it completes *silently* as a wild access. The wild counter is
+  // the only witness. (Before elision this asserted kernel_crashed; the
+  // -DUNTENABLE_NO_ELIDE build keeps the checks and still does.)
+#ifdef UNTENABLE_NO_ELIDE
   EXPECT_TRUE(buggy.kernel_crashed);
+  EXPECT_EQ(buggy.wild_reads + buggy.wild_writes, 0u);
+#else
+  EXPECT_FALSE(buggy.kernel_crashed);
+  EXPECT_GT(buggy.wild_reads + buggy.wild_writes, 0u)
+      << "elided OOB access should register as wild, not oops";
+#endif
 }
 
 TEST_F(FaultTest, PtrLeakDefectLeaksKernelAddress) {
@@ -203,7 +219,7 @@ TEST_F(FaultTest, FaultRegistryCatalogIsConsistent) {
     EXPECT_FALSE(info.category.empty());
     EXPECT_FALSE(info.reference.empty());
   }
-  EXPECT_EQ(FaultRegistry::Catalog().size(), 26u);
+  EXPECT_EQ(FaultRegistry::Catalog().size(), 27u);
 }
 
 }  // namespace
