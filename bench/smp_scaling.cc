@@ -1,0 +1,199 @@
+// SMP SCALING — the tentpole's throughput curve. The same seeded
+// mixed-tenant event stream (trafficgen: ~70% packet fires, ~10% sched
+// ticks, ~10% LSM opens, ~10% map churn) runs against kernels with 1, 2,
+// 4, 8 and 16 simulated CPUs, each CPU a real thread with its own clock,
+// runqueue, RCU reader slot and per-CPU map slots. Aggregate throughput is
+// measured in *simulated* time — events divided by the slowest CPU's clock
+// advance (the makespan) — so the curve is a property of the simulated
+// machine, not of how many host cores the CI runner happens to have. Wall
+// time and wall-clock fire-latency tails (p50/p99/p999) are reported per
+// point alongside it.
+//
+// Default: human-readable table. With `--json PATH` it also writes the
+// BENCH_smp.json CI artifact and exits nonzero if a gate fails:
+//   - aggregate throughput at 4 CPUs must be >= 3.0x the 1-CPU run;
+//   - the p999 fire-latency tail at the 1- and 4-CPU points must stay
+//     under 5 ms (the 8/16-CPU tails are reported, not gated — on a
+//     small CI host 16 worker threads legitimately preempt each other);
+//   - every point's per-CPU counter sum must match its packet fire count
+//     exactly (RunTraffic already fails the run otherwise).
+#include <cstring>
+#include <vector>
+
+#include "bench/benchutil.h"
+#include "src/analysis/trafficgen.h"
+#include "src/xbase/strfmt.h"
+
+namespace {
+
+constexpr xbase::u64 kSeed = 42;
+constexpr xbase::u64 kEvents = 20000;
+constexpr xbase::u32 kCpuPoints[] = {1, 2, 4, 8, 16};
+constexpr double kMinSpeedupAt4 = 3.0;
+constexpr xbase::u64 kP999CeilingNs = 5'000'000;
+
+struct Point {
+  xbase::u32 cpus = 0;
+  analysis::TrafficReport report;
+  double speedup = 0;  // vs the 1-CPU point, in simulated time
+};
+
+double SpeedupAt(const std::vector<Point>& points, xbase::u32 cpus) {
+  for (const Point& point : points) {
+    if (point.cpus == cpus) {
+      return point.speedup;
+    }
+  }
+  return 0;
+}
+
+bool TailGated(const Point& point) { return point.cpus <= 4; }
+
+bool GatePassed(const std::vector<Point>& points, std::string* why) {
+  for (const Point& point : points) {
+    if (!point.report.ok) {
+      *why = xbase::StrFormat("%u-cpu run failed: %s", point.cpus,
+                              point.report.failure.c_str());
+      return false;
+    }
+    if (TailGated(point) && point.report.fire_latency.p999 > kP999CeilingNs) {
+      *why = xbase::StrFormat(
+          "%u-cpu p999 fire latency %llu ns exceeds the %llu ns ceiling",
+          point.cpus,
+          static_cast<unsigned long long>(point.report.fire_latency.p999),
+          static_cast<unsigned long long>(kP999CeilingNs));
+      return false;
+    }
+  }
+  const double speedup4 = SpeedupAt(points, 4);
+  if (speedup4 < kMinSpeedupAt4) {
+    *why = xbase::StrFormat(
+        "aggregate throughput at 4 CPUs is %.2fx the 1-CPU run (gate %.1fx)",
+        speedup4, kMinSpeedupAt4);
+    return false;
+  }
+  return true;
+}
+
+int WriteJson(const char* path, const std::vector<Point>& points) {
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "smp_scaling: cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"smp_scaling\",\n  \"seed\": %llu,\n"
+               "  \"events\": %llu,\n  \"points\": [\n",
+               static_cast<unsigned long long>(kSeed),
+               static_cast<unsigned long long>(kEvents));
+  for (xbase::usize i = 0; i < points.size(); ++i) {
+    const Point& point = points[i];
+    const analysis::TrafficReport& report = point.report;
+    xbase::u64 stolen = 0;
+    for (const analysis::TrafficCpuStats& cpu : report.per_cpu) {
+      stolen += cpu.stolen;
+    }
+    std::fprintf(
+        out,
+        "    {\"cpus\": %u, \"ok\": %s, \"events_per_sim_ms\": %.1f, "
+        "\"speedup_vs_1cpu\": %.2f, \"sim_makespan_ms\": %.3f, "
+        "\"wall_ms\": %.1f, \"fire_p50_ns\": %llu, \"fire_p99_ns\": %llu, "
+        "\"fire_p999_ns\": %llu, \"fires\": %zu, \"stolen\": %llu, "
+        "\"tail_gated\": %s}%s\n",
+        point.cpus, report.ok ? "true" : "false", report.events_per_sim_ms,
+        point.speedup, static_cast<double>(report.sim_elapsed_ns) / 1e6,
+        static_cast<double>(report.wall_elapsed_ns) / 1e6,
+        static_cast<unsigned long long>(report.fire_latency.p50),
+        static_cast<unsigned long long>(report.fire_latency.p99),
+        static_cast<unsigned long long>(report.fire_latency.p999),
+        report.fire_latency.samples, static_cast<unsigned long long>(stolen),
+        TailGated(point) ? "true" : "false",
+        i + 1 < points.size() ? "," : "");
+  }
+  std::string why;
+  const bool passed = GatePassed(points, &why);
+  std::fprintf(out,
+               "  ],\n  \"gates\": {\"speedup_4cpu\": %.2f, "
+               "\"speedup_4cpu_min\": %.1f, \"p999_ceiling_ns\": %llu},\n"
+               "  \"gate_passed\": %s\n}\n",
+               SpeedupAt(points, 4), kMinSpeedupAt4,
+               static_cast<unsigned long long>(kP999CeilingNs),
+               passed ? "true" : "false");
+  std::fclose(out);
+  std::printf("smp_scaling: wrote %s (gate %s)\n", path,
+              passed ? "passed" : "FAILED");
+  if (!passed) {
+    std::printf("smp_scaling: %s\n", why.c_str());
+  }
+  return passed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  benchutil::Title("SMP scaling: one seeded stream, 1 -> 16 simulated CPUs");
+  std::printf("  %llu mixed-tenant events per point (seed %llu); aggregate "
+              "throughput in simulated time\n",
+              static_cast<unsigned long long>(kEvents),
+              static_cast<unsigned long long>(kSeed));
+  benchutil::Rule();
+  std::printf("  %-5s %-12s %-9s %-13s %-25s %s\n", "cpus", "events/simms",
+              "speedup", "wall ms", "fire p50/p99/p999 ns", "verdict");
+  benchutil::Rule();
+
+  std::vector<Point> points;
+  double base_throughput = 0;
+  for (xbase::u32 cpus : kCpuPoints) {
+    analysis::TrafficConfig config;
+    config.seed = kSeed;
+    config.events = kEvents;
+    config.cpus = cpus;
+    Point point;
+    point.cpus = cpus;
+    point.report = analysis::RunTraffic(config);
+    if (cpus == 1) {
+      base_throughput = point.report.events_per_sim_ms;
+    }
+    point.speedup = base_throughput > 0
+                        ? point.report.events_per_sim_ms / base_throughput
+                        : 0;
+    std::printf("  %-5u %-12.1f %-9.2f %-13.1f %-25s %s\n", cpus,
+                point.report.events_per_sim_ms, point.speedup,
+                static_cast<double>(point.report.wall_elapsed_ns) / 1e6,
+                xbase::StrFormat(
+                    "%llu / %llu / %llu",
+                    static_cast<unsigned long long>(
+                        point.report.fire_latency.p50),
+                    static_cast<unsigned long long>(
+                        point.report.fire_latency.p99),
+                    static_cast<unsigned long long>(
+                        point.report.fire_latency.p999))
+                    .c_str(),
+                point.report.ok ? "ok" : point.report.failure.c_str());
+    points.push_back(std::move(point));
+  }
+  benchutil::Rule();
+  std::string why;
+  const bool passed = GatePassed(points, &why);
+  std::printf("  gate: 4-CPU aggregate throughput %.2fx the 1-CPU run "
+              "(must be >= %.1fx) — %s\n",
+              SpeedupAt(points, 4), kMinSpeedupAt4,
+              passed ? "PASS" : "FAIL");
+  if (!passed) {
+    std::printf("  %s\n", why.c_str());
+  }
+  benchutil::Note("throughput uses each run's slowest simulated clock as "
+                  "the makespan; wall time is informational");
+
+  if (json_path != nullptr) {
+    return WriteJson(json_path, points);
+  }
+  return passed ? 0 : 1;
+}

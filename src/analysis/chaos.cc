@@ -1,6 +1,7 @@
 #include "src/analysis/chaos.h"
 
 #include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 
@@ -100,7 +101,8 @@ struct CorpusProgram {
 
 struct ChaosRig {
   explicit ChaosRig(const ChaosConfig& config)
-      : kernel(MakeKernelConfig()), bpf(kernel), bpf_loader(bpf) {
+      : kernel(MakeKernelConfig(config.cpus)), bpf(kernel),
+        bpf_loader(bpf) {
     kernel.set_oops_recovery(true);
     ok = kernel.BootstrapWorkload().ok();
     auto rt = safex::Runtime::Create(kernel, bpf);
@@ -122,9 +124,12 @@ struct ChaosRig {
                                                   *ext_loader, hook_config);
   }
 
-  static simkern::KernelConfig MakeKernelConfig() {
+  static simkern::KernelConfig MakeKernelConfig(xbase::u32 cpus) {
     simkern::KernelConfig config;
     config.unprivileged_bpf_disabled = false;
+    if (cpus > 1) {
+      config.num_cpus = cpus;
+    }
     return config;
   }
 
@@ -174,6 +179,10 @@ ChaosReport RunChaos(const ChaosConfig& config) {
   if (!rig.ok) {
     report.failure = "rig construction failed";
     return report;
+  }
+  const bool smp = config.cpus > 1;
+  if (smp) {
+    rig.kernel.StartCpus();
   }
 
   // --- fixed substrate: maps, one skb, one ctx block ---------------------
@@ -258,21 +267,23 @@ ChaosReport RunChaos(const ChaosConfig& config) {
   // leave a net refcount above this snapshot.
   const simkern::RefcountSnapshot baseline = rig.kernel.objects().Snapshot();
 
-  // Survival invariants, checked after every op.
+  // Survival invariants, checked after every op. Every check is
+  // machine-wide: any CPU's leaked reader, held lock or drifted record
+  // breaks the run (the op loop quiesces SMP bursts before checking).
   auto check_invariants = [&](u64 op_index,
                               const std::string& op) -> std::string {
     if (rig.kernel.state() != simkern::KernelState::kRunning) {
       return "kernel not running (oopsed/panicked)";
     }
-    if (rig.kernel.rcu().InCriticalSection()) {
+    if (rig.kernel.rcu().AnyReader()) {
       return "RCU read-side critical section leaked";
     }
     if (!rig.kernel.rcu().stalls().empty()) {
       return "RCU stall recorded";
     }
-    if (!rig.kernel.locks().HeldLocks().empty()) {
-      return xbase::StrFormat("%zu lock(s) still held",
-                              rig.kernel.locks().HeldLocks().size());
+    if (rig.kernel.locks().held_count_total() != 0) {
+      return xbase::StrFormat("%d lock(s) still held",
+                              rig.kernel.locks().held_count_total());
     }
     const auto leaks = rig.kernel.objects().DiffSince(baseline);
     if (!leaks.empty()) {
@@ -280,7 +291,7 @@ ChaosReport RunChaos(const ChaosConfig& config) {
                               leaks.size(), leaks.front().name.c_str());
     }
     const xbase::Status supervisor_state =
-        rig.supervisor->CheckConsistent(rig.kernel.clock().now_ns());
+        rig.supervisor->CheckConsistent(rig.kernel.clock().max_now_ns());
     if (!supervisor_state.ok()) {
       return supervisor_state.message();
     }
@@ -391,9 +402,12 @@ ChaosReport RunChaos(const ChaosConfig& config) {
       }
       ++report.stats.fault_toggles;
     } else if (dice < 50) {
-      // Let simulated time pass (backoffs expire, windows slide).
+      // Let simulated time pass (backoffs expire, windows slide) — on
+      // every CPU, so per-CPU quarantine deadlines all move.
       const u64 delta = rng.NextBelow(20 * simkern::kNsPerMs);
-      rig.kernel.clock().Advance(delta);
+      for (u32 cpu = 0; cpu < rig.kernel.num_cpus(); ++cpu) {
+        rig.kernel.clock().Advance(cpu, delta);
+      }
       op_desc = "advance clock";
       ++report.stats.clock_advances;
     } else {
@@ -403,12 +417,49 @@ ChaosReport RunChaos(const ChaosConfig& config) {
           hook == safex::HookPoint::kXdpIngress ? skb.value().meta_addr
                                                 : ctx_block.value();
       op_desc = std::string("fire ") + std::string(HookPointName(hook));
-      auto fired = rig.hooks->Fire(hook, ctx_addr);
-      if (fired.ok()) {
-        ++report.stats.fires;
-        report.stats.attachments_served += fired.value().served;
-        report.stats.attachments_failed += fired.value().failed;
-        report.stats.attachments_skipped += fired.value().skipped;
+      if (smp && rig.kernel.cpus() != nullptr) {
+        // Cross-CPU burst: one fire per CPU runs concurrently on the pool
+        // (idle CPUs steal), with a fault toggle racing the in-flight
+        // fires. Invariants are asserted after the Drain barrier.
+        simkern::CpuPool& pool = *rig.kernel.cpus();
+        std::mutex agg_mu;
+        for (u32 i = 0; i < config.cpus; ++i) {
+          rig.hooks->FireAsyncOn(pool, i % rig.kernel.num_cpus(), hook,
+                                 ctx_addr);
+          pool.Submit(i % rig.kernel.num_cpus(), [&] {
+            auto fired = rig.hooks->Fire(hook, ctx_addr);
+            if (fired.ok()) {
+              std::lock_guard<std::mutex> lock(agg_mu);
+              ++report.stats.fires;
+              report.stats.attachments_served += fired.value().served;
+              report.stats.attachments_failed += fired.value().failed;
+              report.stats.attachments_skipped += fired.value().skipped;
+            }
+          });
+        }
+        if (config.toggle_faults && !catalog.empty()) {
+          // Deliberately concurrent with the burst: the registry is
+          // atomic, and fires must survive faults flipping mid-flight.
+          const ebpf::FaultInfo& fault =
+              catalog[fault_cursor++ % catalog.size()];
+          if (rig.bpf.faults().IsActive(fault.id)) {
+            rig.bpf.faults().Clear(fault.id);
+          } else {
+            rig.bpf.faults().Inject(fault.id);
+            faults_ever.insert(fault.id);
+          }
+          ++report.stats.fault_toggles;
+        }
+        pool.Drain();
+        report.stats.fires += config.cpus;  // the FireAsyncOn halves
+      } else {
+        auto fired = rig.hooks->Fire(hook, ctx_addr);
+        if (fired.ok()) {
+          ++report.stats.fires;
+          report.stats.attachments_served += fired.value().served;
+          report.stats.attachments_failed += fired.value().failed;
+          report.stats.attachments_skipped += fired.value().skipped;
+        }
       }
     }
 
@@ -425,9 +476,12 @@ ChaosReport RunChaos(const ChaosConfig& config) {
     }
   }
 
+  if (smp) {
+    rig.kernel.StopCpus();
+  }
   report.stats.ops_executed = ops_done;
   report.stats.faults_ever_injected = faults_ever.size();
-  report.stats.final_sim_time_ns = rig.kernel.clock().now_ns();
+  report.stats.final_sim_time_ns = rig.kernel.clock().max_now_ns();
   report.stats.supervisor_failures = rig.supervisor->failures();
   report.stats.supervisor_trips = rig.supervisor->trips();
   report.stats.supervisor_evictions = rig.supervisor->evictions();

@@ -27,6 +27,12 @@ namespace analysis {
 struct ChaosConfig {
   xbase::u64 seed = 1;
   xbase::u64 ops = 10000;
+  // Simulated CPUs. >1 turns every fire op into a cross-CPU burst: the
+  // fires run concurrently on real CPU-bound threads (with fault toggles
+  // racing them), and the survival invariants are asserted machine-wide at
+  // the post-burst quiescence barrier. Replayable: the op sequence still
+  // derives from the seed; only intra-burst interleaving varies.
+  xbase::u32 cpus = 1;
   // Round-robin fault toggling (guarantees every registry defect is active
   // at some point once enough toggle ops have fired).
   bool toggle_faults = true;

@@ -38,8 +38,8 @@ class PanicPickExt : public safex::Extension {
 
 struct SchedRig {
   SchedRig(const safex::SupervisorConfig& supervisor_config,
-           u64 starvation_bound_ns, bool supervised = true)
-      : kernel(MakeKernelConfig()), bpf(kernel), bpf_loader(bpf) {
+           u64 starvation_bound_ns, bool supervised = true, u32 cpus = 1)
+      : kernel(MakeKernelConfig(cpus)), bpf(kernel), bpf_loader(bpf) {
     kernel.set_oops_recovery(true);
     ok = kernel.BootstrapWorkload().ok();
     auto rt = safex::Runtime::Create(kernel, bpf);
@@ -67,10 +67,13 @@ struct SchedRig {
     ok = sched->Init().ok();
   }
 
-  static simkern::KernelConfig MakeKernelConfig() {
+  static simkern::KernelConfig MakeKernelConfig(u32 cpus) {
     simkern::KernelConfig config;
     config.version = simkern::kV6_12;
     config.unprivileged_bpf_disabled = false;
+    if (cpus > 1) {
+      config.num_cpus = cpus;
+    }
     return config;
   }
 
@@ -114,10 +117,33 @@ SchedStormReport RunSchedStorm(const SchedStormConfig& config) {
   report.seed = config.seed;
 
   xbase::Rng rng(config.seed);
-  SchedRig rig(config.supervisor, config.starvation_bound_ns);
+  SchedRig rig(config.supervisor, config.starvation_bound_ns,
+               /*supervised=*/true, config.cpus);
   if (!rig.ok) {
     report.failure = "rig construction failed";
     return report;
+  }
+
+  // SMP mode: one SchedCore per simulated CPU (Linux-style per-CPU rq; the
+  // kernel's runqueue() accessor resolves to the executing CPU's queue), all
+  // sharing the kernel, hook registry and supervisor. cores[0] is the rig's
+  // existing cpu0 core so the single-CPU path is byte-identical to before.
+  const bool smp = config.cpus > 1;
+  std::vector<safex::SchedCore*> cores;
+  std::vector<std::unique_ptr<safex::SchedCore>> extra_cores;
+  cores.push_back(rig.sched.get());
+  if (smp) {
+    rig.kernel.StartCpus();
+    safex::SchedConfig core_config = rig.sched->config();
+    for (u32 cpu = 1; cpu < rig.kernel.num_cpus(); ++cpu) {
+      extra_cores.push_back(std::make_unique<safex::SchedCore>(
+          rig.kernel, *rig.hooks, core_config));
+      if (!extra_cores.back()->Init().ok()) {
+        report.failure = "per-cpu sched core init failed";
+        return report;
+      }
+      cores.push_back(extra_cores.back().get());
+    }
   }
 
   // --- policy corpus: loaded once, attached/detached by the dice ---------
@@ -175,52 +201,62 @@ SchedStormReport RunSchedStorm(const SchedStormConfig& config) {
   usize fault_cursor = 0;
   u32 next_pid = 50000;
 
-  // Scheduling invariants, checked after every op.
+  // Scheduling invariants, checked after every op — machine-wide: every
+  // CPU's runqueue against that CPU's clock, locks totalled across CPUs,
+  // readers checked on every CPU. Single-CPU runs degenerate to the
+  // historical checks exactly. Only called at quiescent points (the burst
+  // has Drained), so cross-thread reads of per-CPU state are ordered.
   auto check_invariants = [&](bool ticked, usize runnable_before,
                               const safex::SchedTickOutcome& outcome)
       -> std::string {
     if (rig.kernel.state() != simkern::KernelState::kRunning) {
       return "kernel not running (oopsed/panicked)";
     }
-    if (rig.kernel.rcu().InCriticalSection()) {
+    if (rig.kernel.rcu().AnyReader()) {
       return "RCU read-side critical section leaked";
     }
-    if (!rig.kernel.locks().HeldLocks().empty()) {
-      return xbase::StrFormat("%zu lock(s) still held",
-                              rig.kernel.locks().HeldLocks().size());
+    const int held = rig.kernel.locks().held_count_total();
+    if (held != 0) {
+      return xbase::StrFormat("%d lock(s) still held", held);
     }
     const xbase::Status supervisor_state =
-        rig.supervisor->CheckConsistent(rig.kernel.clock().now_ns());
+        rig.supervisor->CheckConsistent(rig.kernel.clock().max_now_ns());
     if (!supervisor_state.ok()) {
       return supervisor_state.message();
     }
-    // Every queued pid must name a live task, exactly once.
-    const simkern::RunQueue& rq = rig.kernel.runqueue();
-    std::set<u32> seen;
-    for (usize i = 0; i < rq.runnable_count(); ++i) {
-      const u32 pid = rq.PidAt(i).value();
-      if (!rig.kernel.tasks().FindByPid(pid).ok()) {
-        return xbase::StrFormat("dead pid %u on the runqueue", pid);
+    for (u32 cpu = 0; cpu < rig.kernel.num_cpus(); ++cpu) {
+      // Every queued pid must name a live task, exactly once per queue (a
+      // task is legitimately on several CPUs' queues: each per-CPU core
+      // schedules the full task set, like chaos tenants spanning CPUs).
+      const simkern::RunQueue& rq = rig.kernel.runqueue(cpu);
+      std::set<u32> seen;
+      for (usize i = 0; i < rq.runnable_count(); ++i) {
+        const u32 pid = rq.PidAt(i).value();
+        if (!rig.kernel.tasks().FindByPid(pid).ok()) {
+          return xbase::StrFormat("dead pid %u on cpu%u's runqueue", pid,
+                                  cpu);
+        }
+        if (!seen.insert(pid).second) {
+          return xbase::StrFormat("pid %u queued twice on cpu%u", pid, cpu);
+        }
       }
-      if (!seen.insert(pid).second) {
-        return xbase::StrFormat("pid %u queued twice", pid);
+      // Bounded waits: the whole point of the containment ladder. Each
+      // queue's entries are stamped with its own CPU's clock.
+      const u64 max_wait = rq.MaxWaitNs(rig.kernel.clock().now_ns(cpu));
+      if (max_wait > report.stats.max_wait_seen_ns) {
+        report.stats.max_wait_seen_ns = max_wait;
+      }
+      if (max_wait > config.max_wait_ns) {
+        return xbase::StrFormat(
+            "runnable task on cpu%u waiting %llu ns (bound %llu)", cpu,
+            static_cast<unsigned long long>(max_wait),
+            static_cast<unsigned long long>(config.max_wait_ns));
       }
     }
     // Liveness: a supervised tick with runnable tasks must dispatch one —
     // no pick policy, however hostile, may take the CPU away.
     if (ticked && runnable_before > 0 && outcome.ran_pid == 0) {
       return "supervised tick with runnable tasks dispatched nothing";
-    }
-    // Bounded waits: the whole point of the containment ladder.
-    const u64 max_wait = rq.MaxWaitNs(rig.kernel.clock().now_ns());
-    if (max_wait > report.stats.max_wait_seen_ns) {
-      report.stats.max_wait_seen_ns = max_wait;
-    }
-    if (max_wait > config.max_wait_ns) {
-      return xbase::StrFormat("runnable task waiting %llu ns (bound %llu)",
-                              static_cast<unsigned long long>(max_wait),
-                              static_cast<unsigned long long>(
-                                  config.max_wait_ns));
     }
     return "";
   };
@@ -237,13 +273,55 @@ SchedStormReport RunSchedStorm(const SchedStormConfig& config) {
       // One scheduling cycle. Reclaim runs inside Tick, so count what is
       // *about to be* runnable — every live task.
       runnable_before = rig.kernel.tasks().size();
-      op_desc = "tick";
-      outcome = rig.sched->Tick();
-      ticked = true;
-      ++report.stats.ticks;
+      if (smp) {
+        // Cross-CPU burst: every core ticks concurrently on its own
+        // CPU-bound thread, against its own runqueue and clock, through
+        // the shared hook registry and supervisor. A fault toggle races
+        // the in-flight picks (the registry is atomic), so a defect can
+        // switch on mid-burst — exactly the interleaving a real SMP
+        // machine produces.
+        op_desc = "tick burst";
+        simkern::CpuPool& pool = *rig.kernel.cpus();
+        std::vector<safex::SchedTickOutcome> outcomes(cores.size());
+        for (u32 cpu = 0; cpu < cores.size(); ++cpu) {
+          safex::SchedCore* core = cores[cpu];
+          safex::SchedTickOutcome* slot = &outcomes[cpu];
+          pool.Submit(cpu, [core, slot] { *slot = core->Tick(); });
+        }
+        if (config.toggle_faults && rng.NextBelow(4) == 0) {
+          const std::string_view fault =
+              kSchedFaults[fault_cursor++ % std::size(kSchedFaults)];
+          if (rig.bpf.faults().IsActive(fault)) {
+            rig.bpf.faults().Clear(fault);
+          } else {
+            rig.bpf.faults().Inject(fault);
+            faults_ever.insert(fault);
+          }
+          ++report.stats.fault_toggles;
+        }
+        pool.Drain();
+        // Surface the worst outcome of the burst for the liveness check.
+        outcome = outcomes[0];
+        for (const safex::SchedTickOutcome& o : outcomes) {
+          if (o.ran_pid == 0) {
+            outcome = o;
+          }
+        }
+        ticked = true;
+        report.stats.ticks += cores.size();
+      } else {
+        op_desc = "tick";
+        outcome = rig.sched->Tick();
+        ticked = true;
+        ++report.stats.ticks;
+      }
     } else if (dice < 65) {
       const u64 delta = rng.NextBelow(5 * simkern::kNsPerMs);
-      rig.kernel.clock().Advance(delta);
+      // Keep the per-CPU clocks loosely in step: the storm advances the
+      // whole machine, as a global timer interrupt would.
+      for (u32 cpu = 0; cpu < rig.kernel.num_cpus(); ++cpu) {
+        rig.kernel.clock().Advance(cpu, delta);
+      }
       op_desc = "advance clock";
       ++report.stats.clock_advances;
     } else if (dice < 75) {
@@ -297,8 +375,11 @@ SchedStormReport RunSchedStorm(const SchedStormConfig& config) {
               .ok()) {
         // Runnable immediately; the reclaim pass would admit it next tick
         // anyway, enqueueing here just stamps the honest arrival time.
-        (void)rig.kernel.runqueue().Enqueue(pid,
-                                            rig.kernel.clock().now_ns());
+        // SMP: land it on a round-robin home CPU, stamped with that CPU's
+        // clock (each queue's waits are measured against its own clock).
+        const u32 home = pid % rig.kernel.num_cpus();
+        (void)rig.kernel.runqueue(home).Enqueue(
+            pid, rig.kernel.clock().now_ns(home));
         ++report.stats.task_creates;
       }
     } else {
@@ -330,19 +411,24 @@ SchedStormReport RunSchedStorm(const SchedStormConfig& config) {
     }
   }
 
-  const safex::SchedStats& sched_stats = rig.sched->stats();
+  if (smp) {
+    rig.kernel.StopCpus();
+  }
   report.stats.ops_executed = ops_done;
-  report.stats.dispatches = sched_stats.dispatches;
-  report.stats.ext_picks = sched_stats.ext_picks;
-  report.stats.default_picks = sched_stats.default_picks;
-  report.stats.fallback_picks = sched_stats.fallback_picks;
-  report.stats.yields = sched_stats.yields;
-  report.stats.deadline_misses = sched_stats.deadline_misses;
-  report.stats.invalid_picks = sched_stats.invalid_picks;
-  report.stats.starvation_events = sched_stats.starvation_events;
-  report.stats.stalls = sched_stats.stalls;
+  for (const safex::SchedCore* core : cores) {
+    const safex::SchedStats& sched_stats = core->stats();
+    report.stats.dispatches += sched_stats.dispatches;
+    report.stats.ext_picks += sched_stats.ext_picks;
+    report.stats.default_picks += sched_stats.default_picks;
+    report.stats.fallback_picks += sched_stats.fallback_picks;
+    report.stats.yields += sched_stats.yields;
+    report.stats.deadline_misses += sched_stats.deadline_misses;
+    report.stats.invalid_picks += sched_stats.invalid_picks;
+    report.stats.starvation_events += sched_stats.starvation_events;
+    report.stats.stalls += sched_stats.stalls;
+  }
   report.stats.faults_ever_injected = faults_ever.size();
-  report.stats.final_sim_time_ns = rig.kernel.clock().now_ns();
+  report.stats.final_sim_time_ns = rig.kernel.clock().max_now_ns();
   report.stats.supervisor_failures = rig.supervisor->failures();
   report.stats.supervisor_trips = rig.supervisor->trips();
   report.stats.supervisor_evictions = rig.supervisor->evictions();

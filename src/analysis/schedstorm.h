@@ -28,6 +28,14 @@ namespace analysis {
 struct SchedStormConfig {
   xbase::u64 seed = 1;
   xbase::u64 ops = 10000;
+  // Simulated CPUs. >1 runs one SchedCore per CPU (Linux-style per-CPU
+  // runqueues, same kernel/hooks/supervisor underneath): every tick op
+  // becomes a cross-CPU burst of concurrent ticks on real CPU-bound
+  // threads, with fault toggles racing the in-flight picks, and the
+  // invariants asserted machine-wide (all queues, all clocks) at the
+  // post-burst quiescence barrier. Replayable: the op sequence still
+  // derives from the seed; only intra-burst interleaving varies.
+  xbase::u32 cpus = 1;
   // Round-robin toggling of the four sched.* helper defects.
   bool toggle_faults = true;
   // Starvation bound handed to the SchedCore under test.

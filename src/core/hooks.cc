@@ -42,6 +42,7 @@ FailureKind ClassifyTermination(const std::string& reason) {
 
 xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
                                                       xbase::u32 prog_id) {
+  std::lock_guard<std::mutex> lock(attach_mu_);
   for (const Attachment& attachment : attachments_) {
     if (attachment.hook == hook && !attachment.is_safex &&
         attachment.target_id == prog_id) {
@@ -98,6 +99,7 @@ xbase::Result<xbase::u32> HookRegistry::AttachProgram(HookPoint hook,
 
 xbase::Result<xbase::u32> HookRegistry::AttachExtension(HookPoint hook,
                                                         xbase::u32 ext_id) {
+  std::lock_guard<std::mutex> lock(attach_mu_);
   for (const Attachment& attachment : attachments_) {
     if (attachment.hook == hook && attachment.is_safex &&
         attachment.target_id == ext_id) {
@@ -118,6 +120,7 @@ xbase::Result<xbase::u32> HookRegistry::AttachExtension(HookPoint hook,
 }
 
 xbase::Status HookRegistry::Detach(xbase::u32 attachment_id) {
+  std::lock_guard<std::mutex> lock(attach_mu_);
   auto it = std::find_if(attachments_.begin(), attachments_.end(),
                          [attachment_id](const Attachment& attachment) {
                            return attachment.id == attachment_id;
@@ -141,6 +144,7 @@ xbase::Status HookRegistry::Detach(xbase::u32 attachment_id) {
   return xbase::Status::Ok();
 }
 
+// Called with attach_mu_ held.
 void HookRegistry::PublishSnapshot() {
   auto snapshot = std::make_shared<Snapshot>();
   for (const Attachment& attachment : attachments_) {
@@ -178,12 +182,15 @@ HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
   // walking the lock table before every run, arm the (reused) refcount
   // journal and record the O(1) held-lock count; the expensive walks only
   // happen when those say something actually changed.
+  // All repair scratch is per-CPU: concurrent fires on other CPUs use
+  // their own slots, so the baselines can't cross-contaminate.
+  FireScratch& scratch = scratch_[kernel.current_cpu()];
   const int rcu_depth_before = kernel.rcu().depth();
   if (supervisor != nullptr) {
     kernel.objects().BeginRefJournal();
-    locks_before_scratch_.clear();
+    scratch.locks_before.clear();
     if (kernel.locks().held_count() != 0) {
-      kernel.locks().HeldLocksInto(&locks_before_scratch_);
+      kernel.locks().HeldLocksInto(&scratch.locks_before);
     }
     kernel.BeginExtensionScope(attachment.scope_label);
   }
@@ -237,12 +244,12 @@ HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
   }
   xbase::u32 locks_repaired = 0;
   if (kernel.locks().held_count() != 0) {
-    locks_after_scratch_.clear();
-    kernel.locks().HeldLocksInto(&locks_after_scratch_);
-    for (const simkern::LockId lock : locks_after_scratch_) {
-      if (std::find(locks_before_scratch_.begin(),
-                    locks_before_scratch_.end(),
-                    lock) == locks_before_scratch_.end()) {
+    scratch.locks_after.clear();
+    kernel.locks().HeldLocksInto(&scratch.locks_after);
+    for (const simkern::LockId lock : scratch.locks_after) {
+      if (std::find(scratch.locks_before.begin(),
+                    scratch.locks_before.end(),
+                    lock) == scratch.locks_before.end()) {
         kernel.locks().ForceRelease(lock);
         ++locks_repaired;
       }
@@ -256,10 +263,10 @@ HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
     // exactly what Snapshot/DiffSince used to report (freed-in-scope
     // objects net out or fail the IsLive check, matching the old skip of
     // freed entries).
-    ref_net_scratch_.clear();
+    scratch.ref_net.clear();
     for (const simkern::RefJournalEvent& event : journal) {
       bool merged = false;
-      for (auto& [id, net] : ref_net_scratch_) {
+      for (auto& [id, net] : scratch.ref_net) {
         if (id == event.id) {
           net += event.delta;
           merged = true;
@@ -267,10 +274,10 @@ HookVerdict HookRegistry::RunAttachment(const Attachment& attachment,
         }
       }
       if (!merged) {
-        ref_net_scratch_.emplace_back(event.id, event.delta);
+        scratch.ref_net.emplace_back(event.id, event.delta);
       }
     }
-    for (const auto& [id, net] : ref_net_scratch_) {
+    for (const auto& [id, net] : scratch.ref_net) {
       if (net <= 0 || !kernel.objects().IsLive(id)) {
         continue;
       }
@@ -346,8 +353,27 @@ xbase::Result<HookFireReport> HookRegistry::Fire(HookPoint hook,
   return report;
 }
 
+void HookRegistry::FireAsync(simkern::CpuPool& pool, HookPoint hook,
+                             simkern::Addr ctx_addr) {
+  pool.SubmitAny([this, hook, ctx_addr] {
+    FireInto(hook, ctx_addr,
+             scratch_[bpf_.kernel().current_cpu()].async_report);
+  });
+}
+
+void HookRegistry::FireAsyncOn(simkern::CpuPool& pool, xbase::u32 cpu,
+                               HookPoint hook, simkern::Addr ctx_addr) {
+  pool.Submit(cpu, [this, hook, ctx_addr] {
+    // A stolen task runs on the thief's CPU — index by the *executing*
+    // CPU, never the submission target.
+    FireInto(hook, ctx_addr,
+             scratch_[bpf_.kernel().current_cpu()].async_report);
+  });
+}
+
 void HookRegistry::FireInto(HookPoint hook, simkern::Addr ctx_addr,
                             HookFireReport& report) {
+  ++scratch_[bpf_.kernel().current_cpu()].fires;
   report.verdicts.clear();  // keeps capacity for the steady state
   report.verdict = hook == HookPoint::kXdpIngress ? 2 /* XDP_PASS */ : 0;
   report.denied = false;
@@ -396,6 +422,7 @@ void HookRegistry::FireInto(HookPoint hook, simkern::Addr ctx_addr,
 }
 
 xbase::usize HookRegistry::AttachedCount(HookPoint hook) const {
+  std::lock_guard<std::mutex> lock(attach_mu_);
   xbase::usize count = 0;
   for (const Attachment& attachment : attachments_) {
     if (attachment.hook == hook) {

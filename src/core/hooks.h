@@ -14,6 +14,7 @@
 #include <array>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "src/core/supervisor.h"
 #include "src/ebpf/interp.h"
 #include "src/ebpf/loader.h"
+#include "src/simkern/smp.h"
 
 namespace safex {
 
@@ -134,8 +136,39 @@ class HookRegistry {
   void FireInto(HookPoint hook, simkern::Addr ctx_addr,
                 HookFireReport& report);
 
+  // SMP dispatch: enqueue the fire on the pool (round-robin across CPUs,
+  // work-stealing when a CPU backs up). The fire runs on the worker's
+  // bound CPU against that CPU's clock, percpu map slots and scratch; the
+  // report lands in the executing CPU's scratch slot (see
+  // async_report_on; read it only after a pool Drain). Safe to call
+  // concurrently from any thread.
+  void FireAsync(simkern::CpuPool& pool, HookPoint hook,
+                 simkern::Addr ctx_addr);
+  // Pin the fire to one CPU's queue instead of round-robin.
+  void FireAsyncOn(simkern::CpuPool& pool, xbase::u32 cpu, HookPoint hook,
+                   simkern::Addr ctx_addr);
+
   xbase::usize AttachedCount(HookPoint hook) const;
-  xbase::usize AttachedCountTotal() const { return attachments_.size(); }
+  xbase::usize AttachedCountTotal() const {
+    std::lock_guard<std::mutex> lock(attach_mu_);
+    return attachments_.size();
+  }
+
+  // Per-CPU fire accounting (valid at quiescent points).
+  xbase::u64 fires_on(xbase::u32 cpu) const {
+    return cpu < simkern::kMaxCpus ? scratch_[cpu].fires : 0;
+  }
+  // Last async fire report that landed on `cpu` (valid post-Drain).
+  const HookFireReport& async_report_on(xbase::u32 cpu) const {
+    return scratch_[cpu < simkern::kMaxCpus ? cpu : 0].async_report;
+  }
+  xbase::u64 fires_total() const {
+    xbase::u64 total = 0;
+    for (const FireScratch& scratch : scratch_) {
+      total += scratch.fires;
+    }
+    return total;
+  }
 
   HookRegistryConfig& config() { return config_; }
   Supervisor* supervisor() { return config_.supervisor; }
@@ -168,19 +201,31 @@ class HookRegistry {
                             simkern::Addr ctx_addr);
   void ApplyFallback(HookPoint hook, HookFireReport& report) const;
 
+  // Per-CPU fire state: repair scratch (leak detection is
+  // count/journal-gated, so the vectors stay empty — and allocation-free —
+  // on the happy path), the async-dispatch report, and the fire counter.
+  // Only the bound CPU's thread touches its slot, so no locking; reads
+  // from other threads are valid only at quiescent points (post-Drain).
+  struct alignas(64) FireScratch {
+    std::vector<simkern::LockId> locks_before;
+    std::vector<simkern::LockId> locks_after;
+    std::vector<std::pair<simkern::ObjectId, xbase::s64>> ref_net;
+    HookFireReport async_report;
+    xbase::u64 fires = 0;
+  };
+
   ebpf::Bpf& bpf_;
   ebpf::Loader& bpf_loader_;
   ExtLoader& ext_loader_;
   HookRegistryConfig config_;
+  // attach_mu_ guards the control plane (attachments_, next_id_); the fire
+  // path never takes it — it reads the published snapshot.
+  mutable std::mutex attach_mu_;
   std::vector<Attachment> attachments_;
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_{
       std::make_shared<const Snapshot>()};
   xbase::u32 next_id_ = 1;
-  // Reusable repair scratch (leak detection is count/journal-gated, so
-  // these stay empty — and allocation-free — on the happy path).
-  std::vector<simkern::LockId> locks_before_scratch_;
-  std::vector<simkern::LockId> locks_after_scratch_;
-  std::vector<std::pair<simkern::ObjectId, xbase::s64>> ref_net_scratch_;
+  std::array<FireScratch, simkern::kMaxCpus> scratch_;
 };
 
 }  // namespace safex

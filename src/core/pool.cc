@@ -73,7 +73,7 @@ xbase::Result<PerCpuPools> PerCpuPools::Create(simkern::Kernel& kernel,
                                                u32 chunk_count,
                                                u32 protection_key) {
   PerCpuPools pools;
-  for (u32 cpu = 0; cpu < simkern::kNumCpus; ++cpu) {
+  for (u32 cpu = 0; cpu < kernel.config().num_cpus; ++cpu) {
     XB_ASSIGN_OR_RETURN(
         MemoryPool pool,
         MemoryPool::Create(kernel, xbase::StrFormat("percpu%u", cpu),

@@ -44,6 +44,7 @@ std::string_view ExtHealthName(ExtHealth health) {
 
 AdmitDecision Supervisor::Admit(xbase::u32 attachment_id, xbase::u64 now_ns) {
   AdmitDecision decision;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(attachment_id);
   if (it == records_.end()) {
     records_[attachment_id].invocations = 1;
@@ -83,6 +84,7 @@ AdmitDecision Supervisor::Admit(xbase::u32 attachment_id, xbase::u64 now_ns) {
 }
 
 void Supervisor::RecordSuccess(xbase::u32 attachment_id, xbase::u64 now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(attachment_id);
   if (it == records_.end()) {
     return;
@@ -99,9 +101,17 @@ void Supervisor::RecordSuccess(xbase::u32 attachment_id, xbase::u64 now_ns) {
 
 void Supervisor::RecordFailure(xbase::u32 attachment_id, FailureKind kind,
                                std::string detail, xbase::u64 now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
   ExtRecord& record = records_[attachment_id];
   if (record.health == ExtHealth::kEvicted) {
     return;  // nothing left to contain
+  }
+  // Per-CPU clocks advance independently, so a failure reported from a
+  // lagging CPU can carry a timestamp behind the record's newest window
+  // entry. Clamp to keep each record's window monotonic (the invariant
+  // CheckConsistent audits); cross-record ordering is not a contract.
+  if (!record.window.empty() && now_ns < record.window.back().at_ns) {
+    now_ns = record.window.back().at_ns;
   }
   FailureEvent event{now_ns, kind, std::move(detail)};
   record.last_failure = event;
@@ -154,6 +164,7 @@ xbase::u64 Supervisor::BackoffFor(xbase::u32 trips) const {
 }
 
 void Supervisor::Forget(xbase::u32 attachment_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(attachment_id);
   if (it == records_.end()) {
     return;
@@ -164,16 +175,19 @@ void Supervisor::Forget(xbase::u32 attachment_id) {
 }
 
 ExtHealth Supervisor::HealthOf(xbase::u32 attachment_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(attachment_id);
   return it == records_.end() ? ExtHealth::kHealthy : it->second.health;
 }
 
 const ExtRecord* Supervisor::Find(xbase::u32 attachment_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(attachment_id);
   return it == records_.end() ? nullptr : &it->second;
 }
 
 xbase::Status Supervisor::CheckConsistent(xbase::u64 now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
   xbase::u64 failures = 0;
   xbase::u64 skips = 0;
   for (const auto& [id, record] : records_) {

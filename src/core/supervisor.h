@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -108,15 +109,36 @@ class Supervisor {
   void Forget(xbase::u32 attachment_id);
 
   ExtHealth HealthOf(xbase::u32 attachment_id) const;
+  // Control-plane/test use only: the pointer is into the record map and is
+  // not protected against a concurrent RecordFailure on another CPU. Read
+  // it only at quiescent points (after Drain barriers).
   const ExtRecord* Find(xbase::u32 attachment_id) const;
 
   // Aggregate counters (across all attachments, lifetime).
-  xbase::u64 trips() const { return trips_; }
-  xbase::u64 evictions() const { return evictions_; }
-  xbase::u64 readmissions() const { return readmissions_; }
-  xbase::u64 failures() const { return failures_; }
-  xbase::u64 skips() const { return skips_; }
-  xbase::usize tracked() const { return records_.size(); }
+  xbase::u64 trips() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trips_;
+  }
+  xbase::u64 evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+  xbase::u64 readmissions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return readmissions_;
+  }
+  xbase::u64 failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_;
+  }
+  xbase::u64 skips() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return skips_;
+  }
+  xbase::usize tracked() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
 
   const SupervisorConfig& config() const { return config_; }
 
@@ -126,10 +148,14 @@ class Supervisor {
   xbase::Status CheckConsistent(xbase::u64 now_ns) const;
 
  private:
+  // Called with mu_ held.
   void Trip(xbase::u32 attachment_id, ExtRecord& record, xbase::u64 now_ns);
   void PruneWindow(ExtRecord& record, xbase::u64 now_ns);
   xbase::u64 BackoffFor(xbase::u32 trips) const;
 
+  // Guards every record and aggregate counter: attachments fire — and
+  // fail — concurrently from all simulated CPUs.
+  mutable std::mutex mu_;
   SupervisorConfig config_;
   std::map<xbase::u32, ExtRecord> records_;
   xbase::u64 trips_ = 0;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 
 #include "src/ebpf/fault.h"
@@ -40,33 +41,36 @@ class Bpf {
     return HelperCtx{kernel_, maps_, faults_, hooks};
   }
 
-  // --- reusable execution stack -------------------------------------------
-  // Steady-state executions lease one cached stack mapping instead of
+  // --- reusable execution stacks ------------------------------------------
+  // Steady-state executions lease a cached per-CPU stack mapping instead of
   // mapping/unmapping a fresh region per run (the per-fire allocation the
-  // dispatch hot path must not pay). Returns 0 when the cache is busy (a
-  // nested or concurrent execution holds it) or `bytes` differs from the
-  // cached size — the caller then maps its own region, preserving the old
-  // behaviour exactly. The leased region is re-zeroed so programs see the
-  // same fresh-map contents either way.
+  // dispatch hot path must not pay). Each simulated CPU has its own cached
+  // slot, so concurrent fires on different CPUs never contend and never
+  // share stack bytes. Returns 0 when the bound CPU's slot is busy (a
+  // nested execution holds it) or `bytes` differs from the cached size —
+  // the caller then maps its own region, preserving the old behaviour
+  // exactly. The leased region is re-zeroed so programs see the same
+  // fresh-map contents either way.
   simkern::Addr AcquireExecStack(xbase::usize bytes) {
-    if (exec_stack_busy_.exchange(true, std::memory_order_acquire)) {
+    ExecStackSlot& slot = exec_stacks_[kernel_.current_cpu()];
+    if (slot.busy.exchange(true, std::memory_order_acquire)) {
       return 0;
     }
-    if (exec_stack_base_ == 0) {
+    if (slot.base == 0) {
       auto mapped = kernel_.mem().Map(
           bytes, simkern::MemPerm::kReadWrite,
           simkern::RegionKind::kExtensionStack, "bpf-stack");
       if (!mapped.ok()) {
-        exec_stack_busy_.store(false, std::memory_order_release);
+        slot.busy.store(false, std::memory_order_release);
         return 0;
       }
-      exec_stack_base_ = mapped.value();
-      exec_stack_size_ = bytes;
-      return exec_stack_base_;  // freshly mapped: already zero-filled
+      slot.base = mapped.value();
+      slot.size = bytes;
+      return slot.base;  // freshly mapped: already zero-filled
     }
-    simkern::Region* region = kernel_.mem().FindRegion(exec_stack_base_);
-    if (bytes != exec_stack_size_ || region == nullptr) {
-      exec_stack_busy_.store(false, std::memory_order_release);
+    simkern::Region* region = kernel_.mem().FindRegion(slot.base);
+    if (bytes != slot.size || region == nullptr) {
+      slot.busy.store(false, std::memory_order_release);
       return 0;
     }
     // Re-zero only the prefix the previous run could have dirtied (its
@@ -76,30 +80,37 @@ class Bpf {
     // contained program's promise is void anyway; such runs release with
     // the conservative full-region mark.
     const xbase::usize dirty =
-        std::min<xbase::usize>(exec_stack_dirty_, region->bytes.size());
+        std::min<xbase::usize>(slot.dirty, region->bytes.size());
     std::fill(region->bytes.begin(),
               region->bytes.begin() + static_cast<std::ptrdiff_t>(dirty),
               xbase::u8{0});
-    return exec_stack_base_;
+    return slot.base;
   }
   void ReleaseExecStack(
       xbase::usize dirty_bytes = ~static_cast<xbase::usize>(0)) {
-    exec_stack_dirty_ = dirty_bytes;
-    exec_stack_busy_.store(false, std::memory_order_release);
+    ExecStackSlot& slot = exec_stacks_[kernel_.current_cpu()];
+    slot.dirty = dirty_bytes;
+    slot.busy.store(false, std::memory_order_release);
   }
 
  private:
+  // One cached stack per simulated CPU; only the bound thread touches its
+  // slot, so the fields other than `busy` need no synchronization.
+  struct alignas(64) ExecStackSlot {
+    simkern::Addr base = 0;
+    xbase::usize size = 0;
+    // Bytes of the cached stack the last lease may have written; the next
+    // lease zeroes only this prefix. Starts at "everything" for safety.
+    xbase::usize dirty = ~static_cast<xbase::usize>(0);
+    std::atomic<bool> busy{false};
+  };
+
   simkern::Kernel& kernel_;
   MapTable maps_;
   HelperRegistry helpers_;
   KfuncRegistry kfuncs_;
   FaultRegistry faults_;
-  simkern::Addr exec_stack_base_ = 0;
-  xbase::usize exec_stack_size_ = 0;
-  // Bytes of the cached stack the last lease may have written; the next
-  // lease zeroes only this prefix. Starts at "everything" for safety.
-  xbase::usize exec_stack_dirty_ = ~static_cast<xbase::usize>(0);
-  std::atomic<bool> exec_stack_busy_{false};
+  std::array<ExecStackSlot, simkern::kMaxCpus> exec_stacks_;
 };
 
 }  // namespace ebpf

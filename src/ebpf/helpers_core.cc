@@ -302,6 +302,7 @@ xbase::Status RegisterCoreHelpers(HelperWiring& wiring) {
                RetType::kInteger),
       {{"util", 2}},
       [state](HelperCtx&, const HelperArgs&) -> xbase::Result<u64> {
+        std::lock_guard<std::mutex> lock(state->mu);
         return state->rng.NextU32();
       }));
   XB_RETURN_IF_ERROR(def(
@@ -395,6 +396,7 @@ xbase::Status RegisterCoreHelpers(HelperWiring& wiring) {
                {kMapPtr, kA}, RetType::kInteger),
       {{"trace", 300}},
       [state](HelperCtx&, const HelperArgs&) -> xbase::Result<u64> {
+        std::lock_guard<std::mutex> lock(state->mu);
         return state->rng.NextBelow(1 << 20);  // synthetic counter value
       }));
 
@@ -405,6 +407,7 @@ xbase::Status RegisterCoreHelpers(HelperWiring& wiring) {
       [state](HelperCtx& ctx, const HelperArgs& a) -> xbase::Result<u64> {
         std::vector<u8> buf(std::min<u64>(a[3], 24), 0);
         if (buf.size() >= 8) {
+          std::lock_guard<std::mutex> lock(state->mu);
           xbase::StoreLe64(buf.data(), state->rng.NextBelow(1 << 20));
         }
         XB_RETURN_IF_ERROR(WriteMem(ctx.kernel, a[2], buf));
@@ -419,6 +422,7 @@ xbase::Status RegisterCoreHelpers(HelperWiring& wiring) {
         XB_ASSIGN_OR_RETURN(const std::vector<u8> data,
                             ReadMem(ctx.kernel, a[3],
                                     std::min<u64>(a[4], 512)));
+        std::lock_guard<std::mutex> lock(state->mu);
         state->perf_events.push_back(data);
         return 0;
       }));
@@ -428,6 +432,7 @@ xbase::Status RegisterCoreHelpers(HelperWiring& wiring) {
                {kCtxA, kMapPtr, kA}, RetType::kInteger, 200),
       {{"trace", 510}, {"mm", 40}},
       [state](HelperCtx&, const HelperArgs&) -> xbase::Result<u64> {
+        std::lock_guard<std::mutex> lock(state->mu);
         return state->rng.NextBelow(1024);  // synthetic stack bucket
       }));
 
@@ -539,15 +544,26 @@ xbase::Status RegisterCoreHelpers(HelperWiring& wiring) {
                {ArgType::kSpinLock}, RetType::kVoid),
       {{"util", 1}},
       [state](HelperCtx& ctx, const HelperArgs& a) -> xbase::Result<u64> {
-        auto it = state->lock_ids.find(a[0]);
-        if (it == state->lock_ids.end()) {
-          const simkern::LockId id = ctx.kernel.locks().Create(
-              xbase::StrFormat("bpf_spin_lock@0x%llx",
-                               static_cast<unsigned long long>(a[0])));
-          it = state->lock_ids.emplace(a[0], id).first;
+        // Resolve/create the id under state->mu, but drop it before
+        // Acquire: a contended cross-CPU acquire blocks, and holding
+        // state->mu through the wait would deadlock against the holder's
+        // eventual bpf_spin_unlock (which needs state->mu too).
+        simkern::LockId id;
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          auto it = state->lock_ids.find(a[0]);
+          if (it == state->lock_ids.end()) {
+            it = state->lock_ids
+                     .emplace(a[0],
+                              ctx.kernel.locks().Create(xbase::StrFormat(
+                                  "bpf_spin_lock@0x%llx",
+                                  static_cast<unsigned long long>(a[0]))))
+                     .first;
+          }
+          id = it->second;
         }
         XB_RETURN_IF_ERROR(
-            ctx.kernel.Route(ctx.kernel.locks().Acquire(it->second, "bpf")));
+            ctx.kernel.Route(ctx.kernel.locks().Acquire(id, "bpf")));
         return 0;
       }));
   XB_RETURN_IF_ERROR(def(
@@ -555,13 +571,17 @@ xbase::Status RegisterCoreHelpers(HelperWiring& wiring) {
                {ArgType::kSpinLock}, RetType::kVoid),
       {{"util", 1}},
       [state](HelperCtx& ctx, const HelperArgs& a) -> xbase::Result<u64> {
-        auto it = state->lock_ids.find(a[0]);
-        if (it == state->lock_ids.end()) {
-          return ctx.kernel.Route(
-              xbase::KernelFault("bpf_spin_unlock of unknown lock"));
+        simkern::LockId id;
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          auto it = state->lock_ids.find(a[0]);
+          if (it == state->lock_ids.end()) {
+            return ctx.kernel.Route(
+                xbase::KernelFault("bpf_spin_unlock of unknown lock"));
+          }
+          id = it->second;
         }
-        XB_RETURN_IF_ERROR(
-            ctx.kernel.Route(ctx.kernel.locks().Release(it->second)));
+        XB_RETURN_IF_ERROR(ctx.kernel.Route(ctx.kernel.locks().Release(id)));
         return 0;
       }));
 

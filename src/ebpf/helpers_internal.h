@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "src/ebpf/helper.h"
 #include "src/ebpf/runtime.h"
@@ -12,7 +13,10 @@
 namespace ebpf {
 
 // Mutable state shared across helper invocations of one kernel instance.
+// `mu` guards every field: helpers fire concurrently from all simulated
+// CPUs once Kernel::StartCpus has run.
 struct HelperState {
+  std::mutex mu;
   xbase::Rng rng{0x5eed5eedULL};
   // bpf_spin_lock addresses -> simkern lock identities, created on first
   // acquire of each distinct lock address.

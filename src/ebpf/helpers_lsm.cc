@@ -149,6 +149,7 @@ xbase::Status RegisterLsmHelpers(HelperWiring& wiring) {
           const usize size = std::min<usize>(a[1], 128);
           XB_ASSIGN_OR_RETURN(std::vector<u8> record,
                               ReadMem(ctx.kernel, a[0], size));
+          std::lock_guard<std::mutex> lock(state->mu);
           if (state->lsm_audit.size() >= kMaxAuditRecords) {
             state->lsm_audit.erase(state->lsm_audit.begin());
           }
@@ -164,6 +165,7 @@ xbase::Status RegisterLsmHelpers(HelperWiring& wiring) {
     XB_RETURN_IF_ERROR(def(
         std::move(spec), {{"task", 1}, {"timekeeping", 1}},
         [state](HelperCtx&, const HelperArgs& a) -> xbase::Result<u64> {
+          std::lock_guard<std::mutex> lock(state->mu);
           u64& used = state->lsm_buckets[a[0]];
           if (used >= kRatelimitBurst) {
             return 0;  // bucket empty: suppress

@@ -31,8 +31,17 @@ xbase::Result<ExecResult> Execution::Run(Addr ctx_addr) {
         kernel_.mem().Map(kStackBytes, simkern::MemPerm::kReadWrite,
                           simkern::RegionKind::kExtensionStack, "bpf-stack"));
   }
-  const u32 prev_cpu = kernel_.current_cpu();
-  kernel_.set_current_cpu(opts_.cpu);
+  // kCpuInherit runs on the calling thread's bound CPU; an explicit cpu
+  // rebinds the thread for the duration of the run (and restores after, so
+  // harnesses that pin executions to a CPU keep their thread's binding).
+  const bool rebind = opts_.cpu != kCpuInherit;
+  const u32 prev_cpu = rebind ? kernel_.current_cpu() : 0;
+  if (rebind) {
+    kernel_.set_current_cpu(opts_.cpu);
+  }
+  // Resolve the bound CPU's clock cell once; Charge() runs per dispatched
+  // micro-op and must not pay the TLS resolution every time.
+  clock_cell_ = &kernel_.clock().BoundCell();
   if (opts_.wrap_in_rcu) {
     kernel_.rcu().ReadLock(kernel_.clock(), "bpf-prog");
   }
@@ -48,7 +57,9 @@ xbase::Result<ExecResult> Execution::Run(Addr ctx_addr) {
   if (opts_.wrap_in_rcu) {
     (void)kernel_.rcu().ReadUnlock();
   }
-  kernel_.set_current_cpu(prev_cpu);
+  if (rebind) {
+    kernel_.set_current_cpu(prev_cpu);
+  }
   if (!result.ok()) {
     return result.status();
   }

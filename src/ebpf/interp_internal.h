@@ -14,6 +14,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -93,7 +94,11 @@ class Execution final : public RuntimeHooks {
   }
   void Charge(u64 ns) override {
     const u64 charged = ns * opts_.cost_multiplier;
-    kernel_.clock().Advance(charged);
+    // Single-writer store on the CPU cell Run() resolved — the per-insn
+    // charge stays a pair of movs, no TLS walk, no atomic RMW.
+    clock_cell_->store(
+        clock_cell_->load(std::memory_order_relaxed) + charged,
+        std::memory_order_relaxed);
     stats_.sim_time_charged_ns += charged;
   }
   simkern::Addr ctx_addr() const override { return ctx_addr_; }
@@ -245,6 +250,8 @@ class Execution final : public RuntimeHooks {
   const DecodedImage* decoded_;
 
   simkern::Addr ctx_addr_ = 0;
+  // The bound CPU's clock cell, resolved once per run (see Charge).
+  std::atomic<u64>* clock_cell_ = nullptr;
   simkern::Addr stack_base_ = 0;
   bool leased_stack_ = false;
   ExecStats stats_;

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 
 #include "src/xbase/bytes.h"
 #include "src/xbase/strfmt.h"
@@ -128,6 +130,7 @@ xbase::Result<Addr> HashMap::LookupAddr(simkern::Kernel& kernel,
                                         std::span<const u8> key) {
   (void)kernel;
   XB_RETURN_IF_ERROR(CheckKeySize(key));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(std::vector<u8>(key.begin(), key.end()));
   if (it == entries_.end()) {
     return xbase::NotFound("no hash entry");
@@ -141,6 +144,7 @@ xbase::Status HashMap::DoUpdate(simkern::Kernel& kernel,
   XB_RETURN_IF_ERROR(CheckKeySize(key));
   XB_RETURN_IF_ERROR(CheckValueSize(value));
   std::vector<u8> key_vec(key.begin(), key.end());
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key_vec);
   if (it != entries_.end()) {
     if (flags == kBpfNoExist) {
@@ -168,6 +172,7 @@ xbase::Status HashMap::DoUpdate(simkern::Kernel& kernel,
 xbase::Status HashMap::DoDelete(simkern::Kernel& kernel,
                               std::span<const u8> key) {
   XB_RETURN_IF_ERROR(CheckKeySize(key));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(std::vector<u8>(key.begin(), key.end()));
   if (it == entries_.end()) {
     return xbase::NotFound("no hash entry");
@@ -188,10 +193,14 @@ xbase::Result<std::unique_ptr<PercpuArrayMap>> PercpuArrayMap::Create(
   }
   auto map = std::unique_ptr<PercpuArrayMap>(
       new PercpuArrayMap(fd, std::move(spec)));
+  // The backing store is genuinely per-CPU: one full value array per
+  // configured CPU, cpu-major, so concurrent fires on different CPUs
+  // write disjoint bytes with no locking.
+  map->num_cpus_ = kernel.config().num_cpus;
   XB_ASSIGN_OR_RETURN(
       map->values_base_,
       kernel.mem().Map(static_cast<usize>(map->spec().value_size) *
-                           map->spec().max_entries * kNumSimCpus,
+                           map->spec().max_entries * map->num_cpus_,
                        MemPerm::kReadWrite, RegionKind::kPerCpu,
                        "map:" + map->spec().name));
   return map;
@@ -204,7 +213,7 @@ xbase::Result<Addr> PercpuArrayMap::LookupAddrForCpu(std::span<const u8> key,
   if (index >= spec().max_entries) {
     return xbase::NotFound("percpu index out of range");
   }
-  if (cpu >= kNumSimCpus) {
+  if (cpu >= num_cpus_) {
     return xbase::InvalidArgument("bad cpu");
   }
   const u64 cpu_stride =
@@ -272,6 +281,7 @@ xbase::Status ProgArrayMap::DoUpdate(simkern::Kernel& kernel,
   if (index >= spec().max_entries) {
     return xbase::OutOfRange("prog array index");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   slots_[index] = xbase::LoadLe32(value.data());
   return xbase::Status::Ok();
 }
@@ -284,11 +294,13 @@ xbase::Status ProgArrayMap::DoDelete(simkern::Kernel& kernel,
   if (index >= spec().max_entries) {
     return xbase::OutOfRange("prog array index");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   slots_[index].reset();
   return xbase::Status::Ok();
 }
 
 u32 ProgArrayMap::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   u32 count = 0;
   for (const auto& slot : slots_) {
     if (slot.has_value()) {
@@ -299,6 +311,7 @@ u32 ProgArrayMap::entry_count() const {
 }
 
 std::optional<u32> ProgArrayMap::ProgIdAt(u32 index) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (index >= slots_.size()) {
     return std::nullopt;
   }
@@ -346,8 +359,7 @@ xbase::Status RingBufMap::DoDelete(simkern::Kernel& kernel,
   return xbase::PermissionDenied("ringbuf has no direct delete");
 }
 
-xbase::Result<Addr> RingBufMap::Reserve(simkern::Kernel& kernel, u32 size) {
-  (void)kernel;
+xbase::Result<Addr> RingBufMap::ReserveLocked(u32 size) {
   if (size == 0 || size > capacity_) {
     return xbase::InvalidArgument("bad ringbuf record size");
   }
@@ -362,7 +374,13 @@ xbase::Result<Addr> RingBufMap::Reserve(simkern::Kernel& kernel, u32 size) {
   return addr;
 }
 
-xbase::Status RingBufMap::Commit(Addr record) {
+xbase::Result<Addr> RingBufMap::Reserve(simkern::Kernel& kernel, u32 size) {
+  (void)kernel;
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReserveLocked(size);
+}
+
+xbase::Status RingBufMap::CommitLocked(Addr record) {
   for (Record& rec : records_) {
     if (rec.addr == record && !rec.committed) {
       rec.committed = true;
@@ -372,7 +390,13 @@ xbase::Status RingBufMap::Commit(Addr record) {
   return xbase::InvalidArgument("commit of unreserved ringbuf record");
 }
 
+xbase::Status RingBufMap::Commit(Addr record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitLocked(record);
+}
+
 xbase::Status RingBufMap::Discard(Addr record) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = records_.begin(); it != records_.end(); ++it) {
     if (it->addr == record && !it->committed) {
       records_.erase(it);
@@ -385,13 +409,17 @@ xbase::Status RingBufMap::Discard(Addr record) {
 
 xbase::Status RingBufMap::Output(simkern::Kernel& kernel,
                                  std::span<const u8> data) {
+  // One critical section for reserve+write+commit so concurrent producers
+  // can't interleave inside a record.
+  std::lock_guard<std::mutex> lock(mu_);
   XB_ASSIGN_OR_RETURN(const Addr addr,
-                      Reserve(kernel, static_cast<u32>(data.size())));
+                      ReserveLocked(static_cast<u32>(data.size())));
   XB_RETURN_IF_ERROR(kernel.mem().Write(addr, data));
-  return Commit(addr);
+  return CommitLocked(addr);
 }
 
 xbase::Result<std::vector<u8>> RingBufMap::Consume(simkern::Kernel& kernel) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = records_.begin(); it != records_.end(); ++it) {
     if (it->committed) {
       std::vector<u8> out(it->size);
@@ -421,6 +449,7 @@ xbase::Result<Addr> TaskStorageMap::LookupAddr(simkern::Kernel& kernel,
   (void)kernel;
   XB_RETURN_IF_ERROR(CheckKeySize(key));
   const u32 pid = xbase::LoadLe32(key.data());
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(pid);
   if (it == entries_.end()) {
     return xbase::NotFound("no storage for task");
@@ -435,6 +464,7 @@ xbase::Status TaskStorageMap::DoUpdate(simkern::Kernel& kernel,
   XB_RETURN_IF_ERROR(CheckKeySize(key));
   XB_RETURN_IF_ERROR(CheckValueSize(value));
   const u32 pid = xbase::LoadLe32(key.data());
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(pid);
   if (it == entries_.end()) {
     XB_ASSIGN_OR_RETURN(
@@ -452,6 +482,7 @@ xbase::Status TaskStorageMap::DoDelete(simkern::Kernel& kernel,
                                      std::span<const u8> key) {
   XB_RETURN_IF_ERROR(CheckKeySize(key));
   const u32 pid = xbase::LoadLe32(key.data());
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(pid);
   if (it == entries_.end()) {
     return xbase::NotFound("no storage for task");
@@ -471,6 +502,7 @@ xbase::Result<Addr> TaskStorageMap::GetForTask(simkern::Kernel& kernel,
       kernel.mem().ReadChecked(task_addr + simkern::TaskLayout::kPid,
                                pid_bytes, /*access_key=*/0));
   const u32 pid = xbase::LoadLe32(pid_bytes);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(pid);
   if (it != entries_.end()) {
     return it->second;
@@ -491,6 +523,7 @@ xbase::Result<Addr> TaskStorageMap::GetForTask(simkern::Kernel& kernel,
 // ---- MapTable ---------------------------------------------------------------------
 
 xbase::Result<int> MapTable::Create(const MapSpec& spec) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const int fd = next_fd_++;
   std::unique_ptr<Map> map;
   switch (spec.type) {
@@ -525,6 +558,7 @@ xbase::Result<int> MapTable::Create(const MapSpec& spec) {
 }
 
 xbase::Result<Map*> MapTable::Find(int fd) {
+  ReadGuard guard(*this);
   auto it = maps_.find(fd);
   if (it == maps_.end()) {
     return xbase::NotFound(StrFormat("no map with fd %d", fd));
@@ -533,6 +567,7 @@ xbase::Result<Map*> MapTable::Find(int fd) {
 }
 
 xbase::Result<const Map*> MapTable::Find(int fd) const {
+  ReadGuard guard(*this);
   auto it = maps_.find(fd);
   if (it == maps_.end()) {
     return xbase::NotFound(StrFormat("no map with fd %d", fd));
@@ -541,6 +576,7 @@ xbase::Result<const Map*> MapTable::Find(int fd) const {
 }
 
 xbase::Status MapTable::Destroy(int fd) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (maps_.erase(fd) == 0) {
     return xbase::NotFound(StrFormat("no map with fd %d", fd));
   }
@@ -553,6 +589,7 @@ Map* MapTable::FindByValueAddr(Addr addr) {
   if (region == nullptr) {
     return nullptr;
   }
+  ReadGuard guard(*this);
   for (auto& [_, map] : maps_) {
     if (auto* array = dynamic_cast<ArrayMap*>(map.get())) {
       if (array->values_base() == region->base) {

@@ -5,9 +5,12 @@
 // address whose use faults — the use-after-free shape of Table 1.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -39,8 +42,6 @@ inline constexpr u64 kBpfAny = 0;
 inline constexpr u64 kBpfNoExist = 1;
 inline constexpr u64 kBpfExist = 2;
 
-inline constexpr u32 kNumSimCpus = 4;
-
 struct MapSpec {
   MapType type = MapType::kArray;
   u32 key_size = 4;
@@ -70,14 +71,16 @@ class Map {
   // never resurrect a cached entry (no ABA).
   xbase::Status Update(simkern::Kernel& kernel, std::span<const u8> key,
                        std::span<const u8> value, u64 flags) {
-    generation_ = NextGeneration();
+    generation_.store(NextGeneration(), std::memory_order_release);
     return DoUpdate(kernel, key, value, flags);
   }
   xbase::Status Delete(simkern::Kernel& kernel, std::span<const u8> key) {
-    generation_ = NextGeneration();
+    generation_.store(NextGeneration(), std::memory_order_release);
     return DoDelete(kernel, key);
   }
-  u64 generation() const { return generation_; }
+  u64 generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   virtual u32 entry_count() const = 0;
 
@@ -96,7 +99,9 @@ class Map {
 
   int fd_;
   MapSpec spec_;
-  u64 generation_ = NextGeneration();
+  // Atomic: cross-CPU fires stamp and read it concurrently; the inline
+  // lookup caches only need a monotonic "something changed" witness.
+  std::atomic<u64> generation_{NextGeneration()};
 };
 
 // ---- array ------------------------------------------------------------------
@@ -139,12 +144,14 @@ class HashMap : public Map {
   xbase::Status DoDelete(simkern::Kernel& kernel,
                          std::span<const u8> key) override;
   u32 entry_count() const override {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<u32>(entries_.size());
   }
 
  private:
   HashMap(int fd, MapSpec spec) : Map(fd, std::move(spec)) {}
 
+  mutable std::mutex mu_;  // guards entries_ across CPUs
   std::map<std::vector<u8>, Addr> entries_;
 };
 
@@ -164,10 +171,13 @@ class PercpuArrayMap : public Map {
                          std::span<const u8> key) override;
   u32 entry_count() const override { return spec().max_entries; }
 
+  u32 num_cpus() const { return num_cpus_; }
+
  private:
   PercpuArrayMap(int fd, MapSpec spec) : Map(fd, std::move(spec)) {}
 
   Addr values_base_ = 0;  // cpu-major layout
+  u32 num_cpus_ = 1;      // captured from KernelConfig::num_cpus at Create
 };
 
 // ---- prog array (tail calls) ---------------------------------------------------
@@ -189,6 +199,7 @@ class ProgArrayMap : public Map {
  private:
   ProgArrayMap(int fd, MapSpec spec) : Map(fd, std::move(spec)) {}
 
+  mutable std::mutex mu_;  // guards slots_ across CPUs
   std::vector<std::optional<u32>> slots_;
 };
 
@@ -204,7 +215,10 @@ class RingBufMap : public Map {
                          std::span<const u8> value, u64 flags) override;
   xbase::Status DoDelete(simkern::Kernel& kernel,
                          std::span<const u8> key) override;
-  u32 entry_count() const override { return pending_; }
+  u32 entry_count() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+  }
 
   // Producer API used by bpf_ringbuf_output / reserve+commit.
   xbase::Result<Addr> Reserve(simkern::Kernel& kernel, u32 size);
@@ -214,10 +228,16 @@ class RingBufMap : public Map {
 
   // Consumer API for userspace-side tests.
   xbase::Result<std::vector<u8>> Consume(simkern::Kernel& kernel);
-  u32 dropped() const { return dropped_; }
+  u32 dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
 
  private:
   RingBufMap(int fd, MapSpec spec) : Map(fd, std::move(spec)) {}
+
+  xbase::Result<Addr> ReserveLocked(u32 size);
+  xbase::Status CommitLocked(Addr record);
 
   struct Record {
     Addr addr;
@@ -225,6 +245,9 @@ class RingBufMap : public Map {
     bool committed;
   };
 
+  // One producer/consumer lock: ringbuf ordering across CPUs is the
+  // kernel's own contract (the real ringbuf serializes reservations too).
+  mutable std::mutex mu_;
   Addr data_base_ = 0;
   u32 capacity_ = 0;
   u32 head_ = 0;  // next free byte offset
@@ -247,6 +270,7 @@ class TaskStorageMap : public Map {
   xbase::Status DoDelete(simkern::Kernel& kernel,
                          std::span<const u8> key) override;
   u32 entry_count() const override {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<u32>(entries_.size());
   }
 
@@ -258,10 +282,14 @@ class TaskStorageMap : public Map {
  private:
   TaskStorageMap(int fd, MapSpec spec) : Map(fd, std::move(spec)) {}
 
+  mutable std::mutex mu_;        // guards entries_ across CPUs
   std::map<u32, Addr> entries_;  // pid -> value region
 };
 
 // ---- table ------------------------------------------------------------------------
+// The fd table locks only once Kernel::StartCpus has armed SMP; the
+// single-threaded dispatch path (which hits Find on every map helper)
+// keeps paying just an untaken branch.
 class MapTable {
  public:
   explicit MapTable(simkern::Kernel& kernel) : kernel_(kernel) {}
@@ -275,10 +303,35 @@ class MapTable {
   // runtime oracle and the analysis tools.
   Map* FindByValueAddr(Addr addr);
 
-  xbase::usize size() const { return maps_.size(); }
+  xbase::usize size() const {
+    ReadGuard guard(*this);
+    return maps_.size();
+  }
 
  private:
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const MapTable& table)
+        : table_(table), locked_(table.kernel_.smp_active()) {
+      if (locked_) {
+        table_.mu_.lock_shared();
+      }
+    }
+    ~ReadGuard() {
+      if (locked_) {
+        table_.mu_.unlock_shared();
+      }
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    const MapTable& table_;
+    const bool locked_;
+  };
+
   simkern::Kernel& kernel_;
+  mutable std::shared_mutex mu_;
   std::map<int, std::unique_ptr<Map>> maps_;
   int next_fd_ = 3;
 };

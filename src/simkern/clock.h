@@ -2,22 +2,84 @@
 // detection, watchdog budgets, the §2.2 "800 seconds" run — is measured in
 // simulated nanoseconds so experiments are deterministic and fast: executing
 // one BPF instruction advances the clock by a fixed cost instead of waiting.
+//
+// SMP: each simulated CPU owns an independent timeline (cache-line padded),
+// advanced only by the thread bound to that CPU (see cpu.h). Cross-CPU
+// reads (aggregating a scaling curve, the max_now_ns watermark) use relaxed
+// atomics on the single-writer cells; callers aggregate at quiescent points
+// (after a CpuPool drain), which provides the happens-before edge.
 #pragma once
 
+#include <array>
+#include <atomic>
+
+#include "src/simkern/cpu.h"
 #include "src/xbase/types.h"
 
 namespace simkern {
 
 class SimClock {
  public:
-  xbase::u64 now_ns() const { return now_ns_; }
+  // Binds the clock to `owner` (the Kernel) with `num_cpus` independent
+  // per-CPU timelines. An unconfigured clock (unit tests constructing a
+  // bare SimClock) stays single-timeline: every thread resolves to cpu 0.
+  void Configure(const void* owner, xbase::u32 num_cpus) {
+    owner_ = owner;
+    num_cpus_ = num_cpus < 1 ? 1 : (num_cpus > kMaxCpus ? kMaxCpus
+                                                        : num_cpus);
+  }
+  xbase::u32 num_cpus() const { return num_cpus_; }
 
-  void Advance(xbase::u64 delta_ns) { now_ns_ += delta_ns; }
+  // The calling thread's CPU timeline.
+  xbase::u64 now_ns() const { return now_ns(Bound()); }
+  void Advance(xbase::u64 delta_ns) { Advance(Bound(), delta_ns); }
 
-  void Reset() { now_ns_ = 0; }
+  // Explicit-CPU accessors (harnesses and aggregation).
+  xbase::u64 now_ns(xbase::u32 cpu) const {
+    return cells_[cpu < num_cpus_ ? cpu : 0].ns.load(
+        std::memory_order_relaxed);
+  }
+  void Advance(xbase::u32 cpu, xbase::u64 delta_ns) {
+    // Single-writer per cell: a plain load+store pair, not an RMW, so the
+    // per-instruction charge path stays a couple of movs.
+    std::atomic<xbase::u64>& cell = cells_[cpu < num_cpus_ ? cpu : 0].ns;
+    cell.store(cell.load(std::memory_order_relaxed) + delta_ns,
+               std::memory_order_relaxed);
+  }
+
+  // The furthest-ahead CPU timeline: the simulated wall time of the whole
+  // machine. Aggregate throughput = events / max_now_ns delta.
+  xbase::u64 max_now_ns() const {
+    xbase::u64 max = 0;
+    for (xbase::u32 cpu = 0; cpu < num_cpus_; ++cpu) {
+      const xbase::u64 ns = cells_[cpu].ns.load(std::memory_order_relaxed);
+      if (ns > max) {
+        max = ns;
+      }
+    }
+    return max;
+  }
+
+  // The bound CPU's raw cell, for hot loops that charge per instruction
+  // and must not pay the TLS resolution per charge (resolve once per run).
+  std::atomic<xbase::u64>& BoundCell() { return cells_[Bound()].ns; }
+
+  void Reset() {
+    for (auto& cell : cells_) {
+      cell.ns.store(0, std::memory_order_relaxed);
+    }
+  }
 
  private:
-  xbase::u64 now_ns_ = 0;
+  struct alignas(64) Cell {
+    std::atomic<xbase::u64> ns{0};
+  };
+
+  xbase::u32 Bound() const { return BoundCpuFor(owner_, num_cpus_); }
+
+  std::array<Cell, kMaxCpus> cells_{};
+  const void* owner_ = nullptr;
+  xbase::u32 num_cpus_ = 1;
 };
 
 // Default instruction/operation costs, loosely calibrated to a ~1 GHz
@@ -28,8 +90,5 @@ inline constexpr xbase::u64 kCostMapOpNs = 50;
 
 inline constexpr xbase::u64 kNsPerMs = 1'000'000ULL;
 inline constexpr xbase::u64 kNsPerSec = 1'000'000'000ULL;
-
-// Simulated SMP width; extensions execute on cpu 0.
-inline constexpr xbase::u32 kNumCpus = 4;
 
 }  // namespace simkern

@@ -1,0 +1,4 @@
+#include "src/simkern/cpu.h"
+
+// ThisThreadCpuBinding is header-inline (hook-fire hot path); this TU just
+// anchors the header for build-system dependency tracking.

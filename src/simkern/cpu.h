@@ -1,0 +1,47 @@
+// Per-thread simulated-CPU binding. SMP in the simkern is real threads:
+// each worker thread of a Kernel's CpuPool binds itself to one simulated
+// CPU, and every per-CPU subsystem (clock, RCU reader state, runqueues,
+// per-CPU map addressing, extension scopes) resolves "which CPU am I on?"
+// through this thread-local binding instead of a shared mutable field —
+// the shared `Kernel::current_cpu_` u32 was a data race the moment two
+// threads executed concurrently.
+//
+// The binding carries an owner pointer (the Kernel it belongs to) so that
+// a thread that outlives one Kernel and services another never leaks its
+// old CPU number: a mismatched owner resolves to CPU 0.
+#pragma once
+
+#include "src/xbase/types.h"
+
+namespace simkern {
+
+// Upper bound on simulated CPUs per kernel; the scaling experiments sweep
+// 1..16. Runtime width is KernelConfig::num_cpus (clamped to this).
+inline constexpr xbase::u32 kMaxCpus = 16;
+
+struct CpuBinding {
+  const void* owner = nullptr;
+  xbase::u32 cpu = 0;
+};
+
+// The calling thread's binding (mutable reference; assign to bind).
+// Inline on purpose: current_cpu() sits on the hook-fire hot path (map
+// addressing, exec-stack slots, fire scratch), and an out-of-line TLS
+// accessor costs a call per resolution. CpuBinding zero-initializes
+// constantly, so there is no thread-local init guard.
+inline CpuBinding& ThisThreadCpuBinding() {
+  thread_local CpuBinding binding;
+  return binding;
+}
+
+// Resolves the calling thread's CPU for `owner`: the bound CPU when the
+// binding belongs to `owner` and is in range, else CPU 0 (the main thread
+// and any foreign thread execute as cpu0, preserving the historical
+// single-CPU behaviour).
+inline xbase::u32 BoundCpuFor(const void* owner, xbase::u32 num_cpus) {
+  const CpuBinding& binding = ThisThreadCpuBinding();
+  return (binding.owner == owner && binding.cpu < num_cpus) ? binding.cpu
+                                                            : 0;
+}
+
+}  // namespace simkern

@@ -10,52 +10,98 @@ constexpr xbase::usize kDmesgCapacity = 1024;
 }  // namespace
 
 Kernel::Kernel(const KernelConfig& config) : config_(config) {
+  if (config_.num_cpus < 1) {
+    config_.num_cpus = 1;
+  } else if (config_.num_cpus > kMaxCpus) {
+    config_.num_cpus = kMaxCpus;
+  }
+  clock_.Configure(this, config_.num_cpus);
+  rcu_.Configure(this, config_.num_cpus);
+  locks_.Configure(this, config_.num_cpus, &clock_);
+  objects_.Configure(this, config_.num_cpus);
+  scopes_ = std::vector<CpuScope>(config_.num_cpus);
+  runqueues_.reserve(config_.num_cpus);
+  for (xbase::u32 cpu = 0; cpu < config_.num_cpus; ++cpu) {
+    runqueues_.push_back(std::make_unique<RunQueue>());
+  }
   if (config_.build_subsystem_graph) {
     BuildSubsystems(callgraph_, DefaultSubsystems(), config_.subsystem_seed);
   }
-  Printk(xbase::StrFormat("Linux-sim %s booting (unprivileged_bpf_disabled=%d)",
-                          config_.version.ToString().c_str(),
-                          config_.unprivileged_bpf_disabled ? 1 : 0));
+  Printk(xbase::StrFormat(
+      "Linux-sim %s booting (unprivileged_bpf_disabled=%d nr_cpus=%u)",
+      config_.version.ToString().c_str(),
+      config_.unprivileged_bpf_disabled ? 1 : 0, config_.num_cpus));
+}
+
+Kernel::~Kernel() { StopCpus(); }
+
+void Kernel::StartCpus() {
+  if (pool_ != nullptr && pool_->running()) {
+    return;
+  }
+  // Arm concurrency guards *before* any worker thread exists; the store is
+  // sequenced before thread creation, so workers always observe it.
+  mem_.EnableConcurrentAccess();
+  smp_active_.store(true, std::memory_order_release);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<CpuPool>(this, config_.num_cpus);
+  }
+  pool_->Start();
+  Printk(xbase::StrFormat("smp: bringing up %u CPUs", config_.num_cpus));
+}
+
+void Kernel::StopCpus() {
+  if (pool_ != nullptr) {
+    pool_->Stop();
+  }
 }
 
 void Kernel::Oops(const std::string& message) {
-  OopsRecord record{clock_.now_ns(), message, scope_label_, false};
+  CpuScope& scope = scopes_[current_cpu()];
+  OopsRecord record{clock_.now_ns(), message, scope.label, false};
   Printk("------------[ cut here ]------------");
   Printk(message);
-  if (in_scope_) {
-    Printk("CPU: 0 PID: ext Comm: " + scope_label_);
+  if (scope.open) {
+    Printk(xbase::StrFormat("CPU: %u PID: ext Comm: %s", current_cpu(),
+                            scope.label.c_str()));
   }
   Printk("---[ end trace ]---");
-  if (oops_recovery_ && in_scope_ && state_ == KernelState::kRunning) {
+  KernelState running = KernelState::kRunning;
+  if (oops_recovery() && scope.open &&
+      state() == KernelState::kRunning) {
     // Containment path: the incident is on an attributed extension's CPU
     // time; record it, charge it to the scope, keep the kernel running.
     record.recovered = true;
-    ++scope_oopses_;
-    Printk("oops contained: attributed to " + scope_label_ +
+    ++scope.oopses;
+    Printk("oops contained: attributed to " + scope.label +
            ", kernel keeps running");
-  } else if (state_ == KernelState::kRunning) {
-    state_ = KernelState::kOopsed;
+  } else {
+    state_.compare_exchange_strong(running, KernelState::kOopsed,
+                                   std::memory_order_acq_rel);
   }
+  std::lock_guard<std::mutex> lock(oops_mu_);
   oopses_.push_back(std::move(record));
 }
 
 void Kernel::BeginExtensionScope(const std::string& label) {
-  in_scope_ = true;
-  scope_label_ = label;  // copy-assign: reuses scope_label_'s capacity
-  scope_oopses_ = 0;
+  CpuScope& scope = scopes_[current_cpu()];
+  scope.open = true;
+  scope.label = label;  // copy-assign: reuses the label's capacity
+  scope.oopses = 0;
 }
 
 xbase::u32 Kernel::EndExtensionScope() {
-  const xbase::u32 raised = scope_oopses_;
-  in_scope_ = false;
-  scope_label_.clear();
-  scope_oopses_ = 0;
+  CpuScope& scope = scopes_[current_cpu()];
+  const xbase::u32 raised = scope.oopses;
+  scope.open = false;
+  scope.label.clear();
+  scope.oopses = 0;
   return raised;
 }
 
 void Kernel::Panic(const std::string& message) {
   Printk("Kernel panic - not syncing: " + message);
-  state_ = KernelState::kPanicked;
+  state_.store(KernelState::kPanicked, std::memory_order_release);
 }
 
 xbase::Status Kernel::Route(xbase::Status status) {
@@ -100,7 +146,9 @@ xbase::Status Kernel::BootstrapWorkload() {
 }
 
 xbase::Status Kernel::RemoveTask(xbase::u32 pid) {
-  runqueue_.Drop(pid);
+  for (auto& runqueue : runqueues_) {
+    runqueue->Drop(pid);
+  }
   XB_RETURN_IF_ERROR(tasks_.Remove(mem_, objects_, pid));
   Printk(xbase::StrFormat("task %u exited", pid));
   return xbase::Status::Ok();

@@ -2,8 +2,17 @@
 // ring and the crash state. Both extension frameworks (ebpf and safex) run
 // against a Kernel instance; experiment harnesses construct one per trial so
 // crashes are isolated and observable.
+//
+// SMP: the kernel runs KernelConfig::num_cpus simulated CPUs. Per-CPU state
+// (clock timeline, RCU reader slot, runqueue, extension scope, held-lock
+// accounting) is resolved through the calling thread's CPU binding (cpu.h):
+// the main thread and any unbound thread execute as cpu0, so single-CPU
+// callers see exactly the historical behaviour. StartCpus() spins up a
+// CpuPool of real worker threads — one per simulated CPU, work-stealing —
+// that harnesses submit hook fires and ticks to.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -13,12 +22,14 @@
 
 #include "src/simkern/callgraph.h"
 #include "src/simkern/clock.h"
+#include "src/simkern/cpu.h"
 #include "src/simkern/lock.h"
 #include "src/simkern/mem.h"
 #include "src/simkern/net.h"
 #include "src/simkern/object.h"
 #include "src/simkern/rcu.h"
 #include "src/simkern/sched.h"
+#include "src/simkern/smp.h"
 #include "src/simkern/subsys.h"
 #include "src/simkern/task.h"
 #include "src/simkern/version.h"
@@ -38,6 +49,10 @@ struct KernelConfig {
   bool unprivileged_bpf_disabled = true;  // the v5.15+ default the paper cites
   bool build_subsystem_graph = true;
   xbase::u64 subsystem_seed = 0x5eed;
+  // Simulated SMP width, clamped to [1, kMaxCpus]. Default matches the
+  // retired compile-time constant so per-CPU map layouts and existing
+  // experiments are unchanged.
+  xbase::u32 num_cpus = 4;
 };
 
 struct OopsRecord {
@@ -55,6 +70,7 @@ class Kernel {
   explicit Kernel(const KernelConfig& config = {});
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
+  ~Kernel();
 
   // --- components -----------------------------------------------------
   SimMemory& mem() { return mem_; }
@@ -64,11 +80,29 @@ class Kernel {
   RcuState& rcu() { return rcu_; }
   LockTable& locks() { return locks_; }
   TaskTable& tasks() { return tasks_; }
-  RunQueue& runqueue() { return runqueue_; }
+  // The calling thread's CPU's runqueue (cpu0 for unbound threads).
+  RunQueue& runqueue() { return *runqueues_[current_cpu()]; }
+  RunQueue& runqueue(xbase::u32 cpu) {
+    return *runqueues_[cpu < num_cpus() ? cpu : 0];
+  }
   NetState& net() { return net_; }
   CallGraph& callgraph() { return callgraph_; }
   const KernelConfig& config() const { return config_; }
   KernelVersion version() const { return config_.version; }
+  xbase::u32 num_cpus() const { return config_.num_cpus; }
+
+  // --- SMP ----------------------------------------------------------------
+  // Starts one worker thread per simulated CPU (idempotent). Arms the
+  // memory table's reader/writer lock first, so the single-threaded
+  // dispatch path never pays for locking it is not using.
+  void StartCpus();
+  void StopCpus();
+  CpuPool* cpus() { return pool_.get(); }
+  // True once StartCpus has run: concurrency-aware structures (map table,
+  // memory) switch their guards on.
+  bool smp_active() const {
+    return smp_active_.load(std::memory_order_acquire);
+  }
 
   // --- crash machinery --------------------------------------------------
   // Records an oops. Every KERNEL_FAULT status produced by a subsystem
@@ -79,8 +113,11 @@ class Kernel {
   // through untouched. Returns the status for chaining.
   xbase::Status Route(xbase::Status status);
 
-  KernelState state() const { return state_; }
-  bool crashed() const { return state_ != KernelState::kRunning; }
+  KernelState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  bool crashed() const { return state() != KernelState::kRunning; }
+  // Read at quiescent points (oops recording is internally locked).
   const std::vector<OopsRecord>& oopses() const { return oopses_; }
 
   // --- recoverable-oops plumbing -----------------------------------------
@@ -90,26 +127,40 @@ class Kernel {
   // is killed by its caller (the supervisor), not the whole machine. This
   // models the containment half of the paper's §3 proposal; a panic is
   // always fatal regardless.
-  void set_oops_recovery(bool enabled) { oops_recovery_ = enabled; }
-  bool oops_recovery() const { return oops_recovery_; }
+  void set_oops_recovery(bool enabled) {
+    oops_recovery_.store(enabled, std::memory_order_release);
+  }
+  bool oops_recovery() const {
+    return oops_recovery_.load(std::memory_order_acquire);
+  }
 
-  // Opens/closes the attribution scope (one level: extensions do not nest
-  // across hooks). EndExtensionScope returns how many oopses were raised
-  // while the scope was open. Takes the label by const reference and copies
-  // into the retained string so the steady-state dispatch path reuses its
-  // capacity instead of allocating per fire.
+  // Opens/closes the attribution scope on the calling thread's CPU (one
+  // level per CPU: extensions do not nest across hooks, but each CPU runs
+  // its own extension concurrently). EndExtensionScope returns how many
+  // oopses were raised while this CPU's scope was open. Takes the label by
+  // const reference and copies into the retained string so the
+  // steady-state dispatch path reuses its capacity instead of allocating
+  // per fire.
   void BeginExtensionScope(const std::string& label);
   xbase::u32 EndExtensionScope();
-  bool InExtensionScope() const { return in_scope_; }
-  const std::string& extension_scope() const { return scope_label_; }
+  bool InExtensionScope() const { return scopes_[current_cpu()].open; }
+  const std::string& extension_scope() const {
+    return scopes_[current_cpu()].label;
+  }
 
   // --- CPU affinity -------------------------------------------------------
-  // Which simulated CPU the currently-executing extension runs on. Helpers
-  // (bpf_get_smp_processor_id) and per-CPU map addressing read this instead
-  // of assuming cpu0. The executor sets it from ExecOptions::cpu for the
-  // duration of a run and restores the previous value after.
-  xbase::u32 current_cpu() const { return current_cpu_; }
-  void set_current_cpu(xbase::u32 cpu) { current_cpu_ = cpu; }
+  // Which simulated CPU the calling thread is executing as. Helpers
+  // (bpf_get_smp_processor_id) and per-CPU map addressing read this. The
+  // binding is thread-local: CpuPool workers bind at startup, the executor
+  // rebinds for the duration of a run when ExecOptions::cpu is explicit,
+  // and foreign threads resolve to cpu0.
+  xbase::u32 current_cpu() const {
+    return BoundCpuFor(this, config_.num_cpus);
+  }
+  void set_current_cpu(xbase::u32 cpu) {
+    ThisThreadCpuBinding() =
+        CpuBinding{this, cpu < config_.num_cpus ? cpu : 0};
+  }
 
   // --- dmesg -------------------------------------------------------------
   // Printk is internally locked: admission workers log loads concurrently
@@ -123,11 +174,20 @@ class Kernel {
   // current), established sockets, and an sk_buff to attach programs to.
   xbase::Status BootstrapWorkload();
 
-  // Task exit, end to end: removes the task from the runqueue and the task
-  // table (unmapping its struct and stack, releasing its identity).
+  // Task exit, end to end: removes the task from every CPU's runqueue and
+  // the task table (unmapping its struct and stack, releasing its
+  // identity).
   xbase::Status RemoveTask(xbase::u32 pid);
 
  private:
+  // One CPU's extension-attribution scope; only the thread bound to that
+  // CPU touches it.
+  struct alignas(64) CpuScope {
+    bool open = false;
+    std::string label;
+    xbase::u32 oopses = 0;
+  };
+
   KernelConfig config_;
   SimMemory mem_;
   SimClock clock_;
@@ -135,18 +195,18 @@ class Kernel {
   RcuState rcu_;
   LockTable locks_;
   TaskTable tasks_;
-  RunQueue runqueue_;
+  std::vector<std::unique_ptr<RunQueue>> runqueues_;
   NetState net_;
   CallGraph callgraph_;
-  KernelState state_ = KernelState::kRunning;
+  std::atomic<KernelState> state_{KernelState::kRunning};
+  std::mutex oops_mu_;
   std::vector<OopsRecord> oopses_;
   std::mutex dmesg_mu_;
   std::deque<std::string> dmesg_;
-  bool oops_recovery_ = false;
-  bool in_scope_ = false;
-  std::string scope_label_;
-  xbase::u32 scope_oopses_ = 0;
-  xbase::u32 current_cpu_ = 0;
+  std::atomic<bool> oops_recovery_{false};
+  std::vector<CpuScope> scopes_;
+  std::unique_ptr<CpuPool> pool_;
+  std::atomic<bool> smp_active_{false};
 };
 
 }  // namespace simkern

@@ -1,32 +1,94 @@
 #include "src/simkern/lock.h"
 
+#include <chrono>
+
 namespace simkern {
 
+namespace {
+// Wall-clock bound on a cross-CPU spin before the lock is declared wedged
+// (the remote holder never released — e.g. its extension was terminated
+// with the lock held and nobody repaired it yet).
+constexpr std::chrono::seconds kSpinWedgeTimeout{5};
+constexpr std::chrono::milliseconds kSpinRecheck{20};
+}  // namespace
+
+void LockTable::Configure(const void* owner, xbase::u32 num_cpus,
+                          const SimClock* clock) {
+  owner_ = owner;
+  num_cpus_ =
+      num_cpus < 1 ? 1 : (num_cpus > kMaxCpus ? kMaxCpus : num_cpus);
+  clock_ = clock;
+}
+
 LockId LockTable::Create(std::string name) {
+  std::lock_guard<std::mutex> guard(mu_);
   const LockId id = next_id_++;
-  locks_.emplace(id, SpinLock{id, std::move(name), false, {}});
+  locks_.emplace(id, SpinLock{id, std::move(name), false, {}, 0, 0, {}});
   return id;
 }
 
 xbase::Status LockTable::Acquire(LockId id, std::string holder) {
+  const xbase::u32 cpu = Bound();
+  std::unique_lock<std::mutex> guard(mu_);
   auto it = locks_.find(id);
   if (it == locks_.end()) {
     return xbase::KernelFault("spin_lock on nonexistent lock");
   }
-  if (it->second.held) {
-    // Preemption is off while extensions run: re-acquiring a held spinlock
-    // never unblocks. This is the deadlock class of Table 1.
+  SpinLock& lock = it->second;
+  if (lock.held && (lock.holder_cpu == cpu || owner_ == nullptr)) {
+    // Preemption is off while extensions run: re-acquiring a spinlock this
+    // CPU already holds never unblocks. This is the deadlock class of
+    // Table 1. (Unconfigured tables treat every acquire-of-held this way.)
     return xbase::KernelFault("deadlock: spin_lock on held lock " +
-                              it->second.name + " (holder " +
-                              it->second.holder + ")");
+                              lock.name + " (holder " + lock.holder + ")");
   }
-  it->second.held = true;
-  it->second.holder = std::move(holder);
-  ++held_count_;
+  if (lock.held) {
+    // Held by another CPU: genuinely spin (block this thread) until the
+    // remote release, recording the contention.
+    ++lock.stats.contended_acquires;
+    const auto spin_start = std::chrono::steady_clock::now();
+    const auto deadline = spin_start + kSpinWedgeTimeout;
+    bool released = cv_.wait_until(guard, deadline, [&] {
+      // The map node is stable; re-find is unnecessary.
+      return !lock.held;
+    });
+    // Re-check with periodic wakeups folded into wait_until's predicate
+    // loop; `released` is false only at the deadline.
+    lock.stats.spin_wall_ns += static_cast<xbase::u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - spin_start)
+            .count());
+    if (!released) {
+      return xbase::KernelFault(
+          "spinlock wedged: " + lock.name +
+          " held across the spin timeout (holder " + lock.holder + ")");
+    }
+  }
+  lock.held = true;
+  lock.holder = std::move(holder);
+  lock.holder_cpu = cpu;
+  lock.acquired_at_ns = NowOn(cpu);
+  ++lock.stats.acquires;
+  held_by_cpu_[cpu].count.fetch_add(1, std::memory_order_relaxed);
   return xbase::Status::Ok();
 }
 
+void LockTable::ReleaseLocked(SpinLock& lock) {
+  const xbase::u64 now = NowOn(lock.holder_cpu);
+  const xbase::u64 held_ns =
+      now > lock.acquired_at_ns ? now - lock.acquired_at_ns : 0;
+  lock.stats.hold_sim_ns += held_ns;
+  if (held_ns > lock.stats.max_hold_sim_ns) {
+    lock.stats.max_hold_sim_ns = held_ns;
+  }
+  lock.held = false;
+  held_by_cpu_[lock.holder_cpu].count.fetch_sub(1,
+                                                std::memory_order_relaxed);
+  cv_.notify_all();
+}
+
 xbase::Status LockTable::Release(LockId id) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = locks_.find(id);
   if (it == locks_.end()) {
     return xbase::KernelFault("spin_unlock on nonexistent lock");
@@ -35,13 +97,13 @@ xbase::Status LockTable::Release(LockId id) {
     return xbase::KernelFault("spin_unlock of lock not held: " +
                               it->second.name);
   }
-  it->second.held = false;
+  ReleaseLocked(it->second);
   it->second.holder.clear();
-  --held_count_;
   return xbase::Status::Ok();
 }
 
 bool LockTable::IsHeld(LockId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = locks_.find(id);
   return it != locks_.end() && it->second.held;
 }
@@ -53,25 +115,49 @@ std::vector<LockId> LockTable::HeldLocks() const {
 }
 
 void LockTable::HeldLocksInto(std::vector<LockId>* out) const {
+  const xbase::u32 cpu = Bound();
+  std::lock_guard<std::mutex> guard(mu_);
   for (const auto& [id, lock] : locks_) {
-    if (lock.held) {
+    if (lock.held && lock.holder_cpu == cpu) {
       out->push_back(id);
     }
   }
 }
 
 const SpinLock* LockTable::Find(LockId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = locks_.find(id);
   return it == locks_.end() ? nullptr : &it->second;
 }
 
+LockStats LockTable::StatsOf(LockId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = locks_.find(id);
+  return it == locks_.end() ? LockStats{} : it->second.stats;
+}
+
+LockStats LockTable::Totals() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  LockStats total;
+  for (const auto& [id, lock] : locks_) {
+    total.acquires += lock.stats.acquires;
+    total.contended_acquires += lock.stats.contended_acquires;
+    total.spin_wall_ns += lock.stats.spin_wall_ns;
+    total.hold_sim_ns += lock.stats.hold_sim_ns;
+    if (lock.stats.max_hold_sim_ns > total.max_hold_sim_ns) {
+      total.max_hold_sim_ns = lock.stats.max_hold_sim_ns;
+    }
+  }
+  return total;
+}
+
 void LockTable::ForceRelease(LockId id) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = locks_.find(id);
   if (it != locks_.end()) {
     if (it->second.held) {
-      --held_count_;
+      ReleaseLocked(it->second);
     }
-    it->second.held = false;
     it->second.holder = "forced";
   }
 }

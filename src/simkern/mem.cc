@@ -65,6 +65,7 @@ xbase::Result<Addr> SimMemory::Map(usize size, MemPerm perm, RegionKind kind,
   if (size == 0) {
     return xbase::InvalidArgument("cannot map empty region: " + name);
   }
+  std::unique_lock<std::shared_mutex> table_guard(table_mu_);
   Addr base = fixed_base;
   if (base == 0) {
     base = next_base_;
@@ -96,6 +97,7 @@ xbase::Result<Addr> SimMemory::Map(usize size, MemPerm perm, RegionKind kind,
 }
 
 xbase::Status SimMemory::Unmap(Addr base) {
+  std::unique_lock<std::shared_mutex> table_guard(table_mu_);
   auto it = regions_.find(base);
   if (it == regions_.end()) {
     return xbase::NotFound(
@@ -125,11 +127,15 @@ xbase::Status SimMemory::Fault(FaultKind kind, Addr addr, bool is_write,
                                std::string detail) {
   MemFault fault{kind, addr, is_write, std::move(detail)};
   const std::string text = fault.ToString();
-  fault_ = std::move(fault);
+  {
+    std::lock_guard<std::mutex> guard(fault_mu_);
+    fault_ = std::move(fault);
+  }
   return xbase::KernelFault(text);
 }
 
 xbase::Status SimMemory::Read(Addr addr, std::span<u8> out) const {
+  ReadGuard table_guard(*this);
   const Region* region = Locate(addr, out.size());
   if (region == nullptr) {
     return xbase::OutOfRange(
@@ -142,6 +148,7 @@ xbase::Status SimMemory::Read(Addr addr, std::span<u8> out) const {
 }
 
 xbase::Status SimMemory::Write(Addr addr, std::span<const u8> data) {
+  ReadGuard table_guard(*this);
   const Region* region = Locate(addr, data.size());
   if (region == nullptr) {
     return xbase::OutOfRange(
@@ -157,6 +164,7 @@ xbase::Status SimMemory::Write(Addr addr, std::span<const u8> data) {
 
 xbase::Status SimMemory::ReadChecked(Addr addr, std::span<u8> out,
                                      u32 access_key) {
+  ReadGuard table_guard(*this);
   if (addr < kNullGuardSize) {
     return Fault(FaultKind::kNullDeref, addr, false, "read through NULL");
   }
@@ -181,6 +189,7 @@ xbase::Status SimMemory::ReadChecked(Addr addr, std::span<u8> out,
 
 xbase::Status SimMemory::WriteChecked(Addr addr, std::span<const u8> data,
                                       u32 access_key) {
+  ReadGuard table_guard(*this);
   if (addr < kNullGuardSize) {
     return Fault(FaultKind::kNullDeref, addr, true, "write through NULL");
   }
@@ -229,11 +238,13 @@ xbase::Status SimMemory::WriteU32(Addr addr, u32 value) {
 }
 
 Region* SimMemory::FindRegion(Addr base) {
+  ReadGuard table_guard(*this);
   auto it = regions_.find(base);
   return it == regions_.end() ? nullptr : &it->second;
 }
 
 const Region* SimMemory::FindRegionContaining(Addr addr) const {
+  ReadGuard table_guard(*this);
   return Locate(addr, 1);
 }
 
@@ -241,6 +252,7 @@ SimMemory::DirectWindow SimMemory::TranslateForUnchecked(Addr addr) {
   // Pure region lookup — no NULL-guard, permission, key, or fault
   // bookkeeping (see header). Region byte storage is stable for the
   // region's lifetime, so the returned window stays valid until Unmap.
+  ReadGuard table_guard(*this);
   const Region* region = Locate(addr, 1);
   if (region == nullptr) {
     return {};
@@ -252,12 +264,15 @@ SimMemory::DirectWindow SimMemory::TranslateForUnchecked(Addr addr) {
 }
 
 void SimMemory::SetRegionKey(Addr base, u32 key) {
-  if (Region* region = FindRegion(base)) {
-    region->protection_key = key;
+  std::unique_lock<std::shared_mutex> table_guard(table_mu_);
+  auto it = regions_.find(base);
+  if (it != regions_.end()) {
+    it->second.protection_key = key;
   }
 }
 
 std::optional<MemFault> SimMemory::TakeFault() {
+  std::lock_guard<std::mutex> guard(fault_mu_);
   std::optional<MemFault> fault = std::move(fault_);
   fault_.reset();
   return fault;

@@ -8,8 +8,11 @@
 // the first page is never mapped so NULL dereferences are always caught.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -147,17 +150,38 @@ class SimMemory {
   // The corruption-witness tests read these: a nonzero count after a run
   // that raised no fault is the observable signature of an elided check
   // that was actually load-bearing.
-  void NoteWildRead() { ++unchecked_wild_reads_; }
-  void NoteWildWrite() { ++unchecked_wild_writes_; }
-  xbase::u64 unchecked_wild_reads() const { return unchecked_wild_reads_; }
-  xbase::u64 unchecked_wild_writes() const { return unchecked_wild_writes_; }
+  void NoteWildRead() {
+    unchecked_wild_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteWildWrite() {
+    unchecked_wild_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  xbase::u64 unchecked_wild_reads() const {
+    return unchecked_wild_reads_.load(std::memory_order_relaxed);
+  }
+  xbase::u64 unchecked_wild_writes() const {
+    return unchecked_wild_writes_.load(std::memory_order_relaxed);
+  }
+
+  // Arms the region-table reader/writer lock. Off by default so the
+  // single-threaded dispatch hot path pays only an untaken branch per
+  // access; Kernel::StartCpus flips it before any worker thread runs.
+  // Note the lock protects the region *table* (Map/Unmap vs lookups), not
+  // region byte contents — concurrent byte ownership is a workload-level
+  // contract (per-CPU map slots, per-CPU stacks, per-map mutexes).
+  void EnableConcurrentAccess() {
+    concurrent_.store(true, std::memory_order_release);
+  }
 
   void SetRegionKey(Addr base, xbase::u32 key);
 
   // Last fault, if any; cleared on read. The kernel turns pending faults
   // into an oops.
   std::optional<MemFault> TakeFault();
-  bool has_fault() const { return fault_.has_value(); }
+  bool has_fault() const {
+    std::lock_guard<std::mutex> guard(fault_mu_);
+    return fault_.has_value();
+  }
 
   xbase::usize region_count() const { return regions_.size(); }
   xbase::u64 total_mapped_bytes() const { return total_mapped_; }
@@ -167,12 +191,37 @@ class SimMemory {
   xbase::Status Fault(FaultKind kind, Addr addr, bool is_write,
                       std::string detail);
 
+  // Shared-lock RAII that is a no-op until EnableConcurrentAccess.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const SimMemory& mem)
+        : mem_(mem.concurrent_.load(std::memory_order_acquire) ? &mem
+                                                               : nullptr) {
+      if (mem_ != nullptr) {
+        mem_->table_mu_.lock_shared();
+      }
+    }
+    ~ReadGuard() {
+      if (mem_ != nullptr) {
+        mem_->table_mu_.unlock_shared();
+      }
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    const SimMemory* mem_;
+  };
+
   // Keyed by base address.
   std::map<Addr, Region> regions_;
   Addr next_base_ = kKernelBase + 0x10000;
   xbase::u64 total_mapped_ = 0;
-  xbase::u64 unchecked_wild_reads_ = 0;
-  xbase::u64 unchecked_wild_writes_ = 0;
+  std::atomic<xbase::u64> unchecked_wild_reads_{0};
+  std::atomic<xbase::u64> unchecked_wild_writes_{0};
+  std::atomic<bool> concurrent_{false};
+  mutable std::shared_mutex table_mu_;
+  mutable std::mutex fault_mu_;
   mutable std::optional<MemFault> fault_;
 };
 

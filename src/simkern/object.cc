@@ -25,8 +25,15 @@ std::string_view ObjectTypeName(ObjectType type) {
   return "object";
 }
 
+void ObjectTable::Configure(const void* owner, xbase::u32 num_cpus) {
+  owner_ = owner;
+  num_cpus_ =
+      num_cpus < 1 ? 1 : (num_cpus > kMaxCpus ? kMaxCpus : num_cpus);
+}
+
 ObjectId ObjectTable::Create(ObjectType type, std::string name,
                              Addr struct_addr) {
+  std::lock_guard<std::mutex> guard(mu_);
   const ObjectId id = next_id_++;
   KObject object;
   object.id = id;
@@ -34,13 +41,12 @@ ObjectId ObjectTable::Create(ObjectType type, std::string name,
   object.name = std::move(name);
   object.struct_addr = struct_addr;
   objects_.emplace(id, std::move(object));
-  if (journal_active_) {
-    journal_.push_back(RefJournalEvent{id, +1});
-  }
+  JournalEvent(id, +1);
   return id;
 }
 
 xbase::Status ObjectTable::Acquire(ObjectId id) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return xbase::KernelFault(
@@ -52,13 +58,12 @@ xbase::Status ObjectTable::Acquire(ObjectId id) {
                               it->second.name);
   }
   ++it->second.refcount;
-  if (journal_active_) {
-    journal_.push_back(RefJournalEvent{id, +1});
-  }
+  JournalEvent(id, +1);
   return xbase::Status::Ok();
 }
 
 xbase::Status ObjectTable::Release(ObjectId id) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return xbase::KernelFault(
@@ -77,13 +82,12 @@ xbase::Status ObjectTable::Release(ObjectId id) {
   if (object.refcount == 0) {
     object.freed = true;
   }
-  if (journal_active_) {
-    journal_.push_back(RefJournalEvent{id, -1});
-  }
+  JournalEvent(id, -1);
   return xbase::Status::Ok();
 }
 
 xbase::Status ObjectTable::Destroy(ObjectId id) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return xbase::NotFound("no such object");
@@ -94,6 +98,7 @@ xbase::Status ObjectTable::Destroy(ObjectId id) {
 }
 
 xbase::Result<KObject*> ObjectTable::Find(ObjectId id) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return xbase::NotFound(
@@ -103,16 +108,19 @@ xbase::Result<KObject*> ObjectTable::Find(ObjectId id) {
 }
 
 bool ObjectTable::IsLive(ObjectId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = objects_.find(id);
   return it != objects_.end() && !it->second.freed;
 }
 
 s64 ObjectTable::RefcountOf(ObjectId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = objects_.find(id);
   return it == objects_.end() ? -1 : it->second.refcount;
 }
 
 RefcountSnapshot ObjectTable::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
   RefcountSnapshot snapshot;
   for (const auto& [id, object] : objects_) {
     if (!object.freed) {
@@ -124,6 +132,7 @@ RefcountSnapshot ObjectTable::Snapshot() const {
 
 std::vector<RefLeak> ObjectTable::DiffSince(
     const RefcountSnapshot& snapshot) const {
+  std::lock_guard<std::mutex> guard(mu_);
   std::vector<RefLeak> leaks;
   for (const auto& [id, object] : objects_) {
     if (object.freed) {
@@ -141,16 +150,19 @@ std::vector<RefLeak> ObjectTable::DiffSince(
 }
 
 void ObjectTable::BeginRefJournal() {
-  journal_.clear();  // keeps capacity — steady-state scopes do not allocate
-  journal_active_ = true;
+  JournalSlot& slot = journals_[Bound()];
+  slot.events.clear();  // keeps capacity — steady-state scopes do not allocate
+  slot.active = true;
 }
 
 const std::vector<RefJournalEvent>& ObjectTable::EndRefJournal() {
-  journal_active_ = false;
-  return journal_;
+  JournalSlot& slot = journals_[Bound()];
+  slot.active = false;
+  return slot.events;
 }
 
 usize ObjectTable::live_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
   usize count = 0;
   for (const auto& [_, object] : objects_) {
     if (!object.freed) {

@@ -5,10 +5,13 @@
 // harness snapshots counts and diffs them.
 #pragma once
 
+#include <array>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/simkern/cpu.h"
 #include "src/simkern/mem.h"
 #include "src/xbase/status.h"
 #include "src/xbase/types.h"
@@ -58,6 +61,12 @@ struct RefJournalEvent {
 
 class ObjectTable {
  public:
+  // Binds the table to `owner` (the Kernel): the refcount journal becomes
+  // per-CPU (each CPU's extension scope journals only its own mutations),
+  // and the table itself is internally locked so concurrent CPUs can
+  // acquire/release safely. Unconfigured tables behave single-CPU.
+  void Configure(const void* owner, xbase::u32 num_cpus);
+
   ObjectId Create(ObjectType type, std::string name, Addr struct_addr = 0);
 
   // Refcount manipulation. Acquire on a freed object is a use-after-free:
@@ -80,21 +89,40 @@ class ObjectTable {
 
   // Journal-based alternative to Snapshot/DiffSince for the dispatch hot
   // path: instead of copying the whole table before every extension run,
-  // record the (usually zero) mutations made during the run. The journal
-  // buffer is owned by the table and reused across scopes, so a run that
-  // touches no refcounts costs two flag writes and no allocation.
+  // record the (usually zero) mutations made during the run. Journals are
+  // per-CPU: Begin/End act on the calling thread's CPU slot, and mutations
+  // land in the mutating thread's own slot — concurrent extension scopes
+  // on different CPUs never see each other's refcount traffic. The buffers
+  // are owned by the table and reused across scopes, so a run that touches
+  // no refcounts costs two flag writes and no allocation.
   void BeginRefJournal();
-  // Stops recording and returns the events since BeginRefJournal. The
-  // reference stays valid until the next BeginRefJournal.
+  // Stops recording and returns the events since BeginRefJournal on this
+  // CPU. The reference stays valid until this CPU's next BeginRefJournal.
   const std::vector<RefJournalEvent>& EndRefJournal();
 
   xbase::usize live_count() const;
 
  private:
+  // One CPU's journal; only the thread bound to that CPU touches it.
+  struct alignas(64) JournalSlot {
+    std::vector<RefJournalEvent> events;
+    bool active = false;
+  };
+
+  xbase::u32 Bound() const { return BoundCpuFor(owner_, num_cpus_); }
+  void JournalEvent(ObjectId id, xbase::s32 delta) {
+    JournalSlot& slot = journals_[Bound()];
+    if (slot.active) {
+      slot.events.push_back(RefJournalEvent{id, delta});
+    }
+  }
+
+  mutable std::mutex mu_;
   std::map<ObjectId, KObject> objects_;
   ObjectId next_id_ = 1;
-  std::vector<RefJournalEvent> journal_;
-  bool journal_active_ = false;
+  std::array<JournalSlot, kMaxCpus> journals_;
+  const void* owner_ = nullptr;
+  xbase::u32 num_cpus_ = 1;
 };
 
 }  // namespace simkern

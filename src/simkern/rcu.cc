@@ -1,47 +1,109 @@
 #include "src/simkern/rcu.h"
 
+#include <chrono>
+
 namespace simkern {
 
+namespace {
+// Wall-clock bound on a grace period before it is declared wedged. Far
+// beyond any legitimate drain in the experiments (read-side sections are
+// microseconds of wall time); hitting it means a reader never exited.
+constexpr std::chrono::seconds kGraceWedgeTimeout{10};
+constexpr std::chrono::milliseconds kGraceRecheck{50};
+}  // namespace
+
+void RcuState::Configure(const void* owner, xbase::u32 num_cpus) {
+  owner_ = owner;
+  num_cpus_ =
+      num_cpus < 1 ? 1 : (num_cpus > kMaxCpus ? kMaxCpus : num_cpus);
+}
+
 void RcuState::ReadLock(const SimClock& clock, std::string holder) {
-  if (depth_ == 0) {
-    locked_at_ns_ = clock.now_ns();
-    stall_reported_ = false;
-    holder_ = std::move(holder);
+  ReaderSlot& slot = slots_[Bound()];
+  const int depth = slot.depth.load(std::memory_order_relaxed);
+  if (depth == 0) {
+    slot.locked_at_ns = clock.now_ns();
+    slot.stall_reported = false;
+    slot.holder = std::move(holder);
   }
-  ++depth_;
+  slot.depth.store(depth + 1, std::memory_order_seq_cst);
 }
 
 xbase::Status RcuState::ReadUnlock() {
-  if (depth_ == 0) {
+  ReaderSlot& slot = slots_[Bound()];
+  const int depth = slot.depth.load(std::memory_order_relaxed);
+  if (depth == 0) {
     return xbase::KernelFault("rcu_read_unlock without matching lock");
   }
-  --depth_;
+  slot.depth.store(depth - 1, std::memory_order_seq_cst);
+  if (depth == 1 && sync_waiters_.load(std::memory_order_seq_cst) > 0) {
+    // A synchronizer may be blocked on this CPU's section: wake it. Taking
+    // mu_ before notifying closes the missed-wakeup window against a
+    // waiter that checked the predicate just before our store.
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
   return xbase::Status::Ok();
 }
 
 xbase::u64 RcuState::HeldForNs(const SimClock& clock) const {
-  if (depth_ == 0) {
+  const ReaderSlot& slot = slots_[Bound()];
+  if (slot.depth.load(std::memory_order_relaxed) == 0) {
     return 0;
   }
-  return clock.now_ns() - locked_at_ns_;
+  return clock.now_ns() - slot.locked_at_ns;
+}
+
+bool RcuState::AnyReader() const {
+  for (xbase::u32 cpu = 0; cpu < num_cpus_; ++cpu) {
+    if (slots_[cpu].depth.load(std::memory_order_seq_cst) > 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void RcuState::CheckStall(const SimClock& clock) {
-  if (depth_ == 0 || stall_reported_) {
+  ReaderSlot& slot = slots_[Bound()];
+  if (slot.depth.load(std::memory_order_relaxed) == 0 ||
+      slot.stall_reported) {
     return;
   }
-  const xbase::u64 held = HeldForNs(clock);
+  const xbase::u64 held = clock.now_ns() - slot.locked_at_ns;
   if (held >= kRcuStallTimeoutNs) {
-    stalls_.push_back(RcuStall{clock.now_ns(), held, holder_});
-    stall_reported_ = true;
+    std::lock_guard<std::mutex> lock(stalls_mu_);
+    stalls_.push_back(RcuStall{clock.now_ns(), held, slot.holder});
+    slot.stall_reported = true;
   }
 }
 
-xbase::Status RcuState::SynchronizeRcu() const {
-  if (depth_ > 0) {
+xbase::Status RcuState::SynchronizeRcu() {
+  if (slots_[Bound()].depth.load(std::memory_order_relaxed) > 0) {
     return xbase::KernelFault(
         "synchronize_rcu inside read-side critical section (deadlock)");
   }
+  sync_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  const auto deadline =
+      std::chrono::steady_clock::now() + kGraceWedgeTimeout;
+  bool drained = true;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (AnyReader()) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        drained = false;
+        break;
+      }
+      // Periodic re-check self-heals any lost notification.
+      cv_.wait_for(lock, kGraceRecheck);
+    }
+  }
+  sync_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  if (!drained) {
+    return xbase::KernelFault(
+        "synchronize_rcu wedged: remote reader never exited its critical "
+        "section");
+  }
+  grace_periods_.fetch_add(1, std::memory_order_release);
   return xbase::Status::Ok();
 }
 

@@ -318,7 +318,7 @@ TEST_F(InterpTest, PercpuSlotsDoNotAliasAcrossExecutingCpus) {
   auto loaded = loader_.Find(id.value());
 
   for (const ExecEngine engine : {ExecEngine::kThreaded, ExecEngine::kLegacy}) {
-    for (u32 cpu = 0; cpu < kNumSimCpus; ++cpu) {
+    for (u32 cpu = 0; cpu < kernel_.config().num_cpus; ++cpu) {
       ExecOptions opts;
       opts.engine = engine;
       opts.cpu = cpu;
@@ -329,7 +329,7 @@ TEST_F(InterpTest, PercpuSlotsDoNotAliasAcrossExecutingCpus) {
     auto* map = dynamic_cast<PercpuArrayMap*>(bpf_.maps().Find(fd).value());
     ASSERT_NE(map, nullptr);
     xbase::u8 key[4] = {};
-    for (u32 cpu = 0; cpu < kNumSimCpus; ++cpu) {
+    for (u32 cpu = 0; cpu < kernel_.config().num_cpus; ++cpu) {
       const auto addr = map->LookupAddrForCpu(key, cpu);
       ASSERT_TRUE(addr.ok());
       const auto value = kernel_.mem().ReadU64(addr.value());

@@ -4,6 +4,11 @@
 //   chaos --seed N             replay a specific seed
 //   chaos --ops M              number of randomized operations (default 10000)
 //   chaos --no-faults          leave the fault registry alone (calm mode)
+//   chaos --cpus N             cross-CPU storm: every fire op bursts one
+//                              fire per CPU on real CPU-bound threads,
+//                              fault toggles race the in-flight fires, and
+//                              invariants are asserted machine-wide at the
+//                              post-burst barrier
 //   chaos --engine E           execution engine for hook fires:
 //                              threaded (default) or legacy
 //   chaos --quiet              print only the verdict line
@@ -55,7 +60,7 @@ void PrintStats(const analysis::ChaosStats& stats) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: chaos [--seed N] [--ops M] [--no-faults] "
+               "usage: chaos [--seed N] [--ops M] [--cpus N] [--no-faults] "
                "[--engine threaded|legacy] [--quiet]\n");
   return 2;
 }
@@ -71,6 +76,12 @@ int main(int argc, char** argv) {
       config.seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--ops" && i + 1 < argc) {
       config.ops = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--cpus" && i + 1 < argc) {
+      config.cpus =
+          static_cast<xbase::u32>(std::strtoul(argv[++i], nullptr, 0));
+      if (config.cpus < 1) {
+        return Usage();
+      }
     } else if (arg == "--no-faults") {
       config.toggle_faults = false;
     } else if (arg == "--faults") {
@@ -91,9 +102,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("chaos: seed=%llu ops=%llu faults=%s engine=%s\n",
+  std::printf("chaos: seed=%llu ops=%llu cpus=%u faults=%s engine=%s\n",
               static_cast<unsigned long long>(config.seed),
-              static_cast<unsigned long long>(config.ops),
+              static_cast<unsigned long long>(config.ops), config.cpus,
               config.toggle_faults ? "on" : "off",
               config.engine == ebpf::ExecEngine::kLegacy ? "legacy"
                                                          : "threaded");

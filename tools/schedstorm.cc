@@ -3,6 +3,11 @@
 //   schedstorm                 one storm with the default seed/op count
 //   schedstorm --seed N        replay a specific seed
 //   schedstorm --ops M         number of randomized operations (default 10000)
+//   schedstorm --cpus N        cross-CPU storm: one scheduler core per
+//                              simulated CPU, tick bursts run concurrently
+//                              on real CPU-bound threads, fault toggles
+//                              race the in-flight picks, invariants are
+//                              asserted machine-wide at the burst barrier
 //   schedstorm --no-faults     leave the sched fault registry alone
 //   schedstorm --check-faults  per-fault-class detection/containment matrix
 //                              instead of a storm (plus clean baselines)
@@ -82,8 +87,8 @@ int RunFaultChecks() {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: schedstorm [--seed N] [--ops M] [--no-faults] "
-               "[--check-faults] [--quiet]\n");
+               "usage: schedstorm [--seed N] [--ops M] [--cpus N] "
+               "[--no-faults] [--check-faults] [--quiet]\n");
   return 2;
 }
 
@@ -99,6 +104,12 @@ int main(int argc, char** argv) {
       config.seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--ops" && i + 1 < argc) {
       config.ops = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--cpus" && i + 1 < argc) {
+      config.cpus =
+          static_cast<xbase::u32>(std::strtoul(argv[++i], nullptr, 0));
+      if (config.cpus < 1) {
+        return Usage();
+      }
     } else if (arg == "--no-faults") {
       config.toggle_faults = false;
     } else if (arg == "--faults") {
@@ -117,9 +128,9 @@ int main(int argc, char** argv) {
     return RunFaultChecks();
   }
 
-  std::printf("schedstorm: seed=%llu ops=%llu faults=%s\n",
+  std::printf("schedstorm: seed=%llu ops=%llu cpus=%u faults=%s\n",
               static_cast<unsigned long long>(config.seed),
-              static_cast<unsigned long long>(config.ops),
+              static_cast<unsigned long long>(config.ops), config.cpus,
               config.toggle_faults ? "on" : "off");
   const analysis::SchedStormReport report = analysis::RunSchedStorm(config);
   if (!quiet) {
